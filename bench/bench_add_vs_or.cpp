@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Section 4's design comparison: OR-relocation (power-of-two,
+ * size-aligned contexts; internal fragmentation) versus
+ * Am29000-style ADD base-plus-offset addressing (exact-size
+ * contexts; external fragmentation and more complex software). ADD
+ * is charged higher allocation costs, reflecting the paper's note
+ * that "the software for managing arbitrary-size contexts is likely
+ * to be more complex" (first-fit interval search vs bit-parallel
+ * scan).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "base/table.hh"
+#include "exp/env.hh"
+#include "exp/sweep.hh"
+#include "multithread/workload.hh"
+
+int
+main()
+{
+    using namespace rr;
+
+    const unsigned seeds = exp::benchSeeds();
+    const unsigned threads = exp::benchThreads();
+    const std::vector<double> latencies =
+        exp::benchFast()
+            ? std::vector<double>{128.0, 512.0}
+            : std::vector<double>{64.0, 128.0, 256.0, 512.0, 1024.0};
+
+    std::printf("OR relocation vs ADD (Am29000) relocation "
+                "(Section 4)\n");
+    std::printf("(cache faults, C ~ U[6,24], S = 6; ADD allocation "
+                "costs 40/25/10 vs OR 25/15/5)\n\n");
+
+    for (const unsigned num_regs : {64u, 128u}) {
+        Table table({"F", "R", "L", "fixed", "or-reloc", "add-reloc",
+                     "resident or", "resident add"});
+        for (const double run_length : {16.0, 64.0}) {
+            for (const double latency : latencies) {
+                const exp::ConfigMaker maker =
+                    [&](mt::ArchKind arch, uint64_t seed) {
+                        mt::MtConfig config = mt::fig5Config(
+                            arch, num_regs, run_length,
+                            static_cast<uint64_t>(latency), seed);
+                        config.workload.numThreads = threads;
+                        if (arch == mt::ArchKind::AddReloc) {
+                            config.costs.allocSucceed = 40;
+                            config.costs.allocFail = 25;
+                            config.costs.dealloc = 10;
+                        }
+                        return config;
+                    };
+                const auto fixed =
+                    exp::replicate(maker, mt::ArchKind::FixedHw,
+                                   seeds);
+                const auto or_reloc =
+                    exp::replicate(maker, mt::ArchKind::Flexible,
+                                   seeds);
+                const auto add_reloc =
+                    exp::replicate(maker, mt::ArchKind::AddReloc,
+                                   seeds);
+                table.addRow(
+                    {Table::num(static_cast<uint64_t>(num_regs)),
+                     Table::num(run_length, 0),
+                     Table::num(latency, 0),
+                     Table::num(fixed.meanEfficiency),
+                     Table::num(or_reloc.meanEfficiency),
+                     Table::num(add_reloc.meanEfficiency),
+                     Table::num(or_reloc.meanResident, 1),
+                     Table::num(add_reloc.meanResident, 1)});
+            }
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+    std::printf("Expected shape: ADD packs more contexts (no "
+                "power-of-two rounding:\nC ~ U[6,24] wastes ~43%% "
+                "under OR), so it reaches higher residency and\n"
+                "often higher efficiency despite costlier allocation "
+                "— the paper's reason\nfor calling ADD 'more "
+                "general', traded against an adder on the decode\n"
+                "critical path, which our cycle-level model does not "
+                "penalize.\n");
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the runtime primitives (host
+ * nanoseconds, not simulated cycles): the bitmap context allocator,
+ * the interval allocator backing the ADD comparison, the NextRRM
+ * scheduler ring, the relocation unit, the RNG/distributions, and a
+ * whole multithreading simulation per iteration.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <optional>
+#include <vector>
+
+#include "base/distributions.hh"
+#include "base/rng.hh"
+#include "machine/relocation_unit.hh"
+#include "multithread/workload.hh"
+#include "runtime/context_allocator.hh"
+#include "runtime/context_ring.hh"
+#include "runtime/interval_allocator.hh"
+
+namespace {
+
+using namespace rr;
+
+void
+BM_ContextAllocatorAllocRelease(benchmark::State &state)
+{
+    const unsigned num_regs = static_cast<unsigned>(state.range(0));
+    runtime::ContextAllocator alloc(num_regs, 5);
+    Rng rng(1);
+    std::vector<runtime::Context> live;
+    for (auto _ : state) {
+        if (live.size() < num_regs / 16 &&
+            (live.empty() || (rng.next() & 1))) {
+            const auto context = alloc.allocate(
+                static_cast<unsigned>(rng.nextRange(4, 24)));
+            if (context)
+                live.push_back(*context);
+        } else if (!live.empty()) {
+            alloc.release(live.back());
+            live.pop_back();
+        }
+        benchmark::DoNotOptimize(alloc.freeRegs());
+    }
+}
+BENCHMARK(BM_ContextAllocatorAllocRelease)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_IntervalAllocatorAllocRelease(benchmark::State &state)
+{
+    runtime::IntervalAllocator alloc(256);
+    Rng rng(2);
+    std::vector<runtime::Interval> live;
+    for (auto _ : state) {
+        if (live.size() < 12 && (live.empty() || (rng.next() & 1))) {
+            const auto interval = alloc.allocate(
+                static_cast<unsigned>(rng.nextRange(4, 24)));
+            if (interval)
+                live.push_back(*interval);
+        } else if (!live.empty()) {
+            alloc.release(live.back());
+            live.pop_back();
+        }
+        benchmark::DoNotOptimize(alloc.freeRegs());
+    }
+}
+BENCHMARK(BM_IntervalAllocatorAllocRelease);
+
+void
+BM_ContextRingRotate(benchmark::State &state)
+{
+    runtime::ContextRing ring;
+    for (uint32_t i = 0; i < 16; ++i)
+        ring.insert(i * 8);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ring.advance());
+}
+BENCHMARK(BM_ContextRingRotate);
+
+void
+BM_RelocationUnitOr(benchmark::State &state)
+{
+    machine::RelocationUnit unit(128, 5);
+    unit.setMask(40);
+    unsigned operand = 0;
+    for (auto _ : state) {
+        operand = (operand + 1) & 31;
+        benchmark::DoNotOptimize(unit.relocate(operand).physical);
+    }
+}
+BENCHMARK(BM_RelocationUnitOr);
+
+void
+BM_GeometricSample(benchmark::State &state)
+{
+    GeometricDist dist(static_cast<double>(state.range(0)));
+    Rng rng(3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dist.sample(rng));
+}
+BENCHMARK(BM_GeometricSample)->Arg(8)->Arg(512);
+
+void
+BM_MtSimulation(benchmark::State &state)
+{
+    const auto arch = state.range(0) == 0 ? mt::ArchKind::FixedHw
+                                          : mt::ArchKind::Flexible;
+    uint64_t seed = 1;
+    for (auto _ : state) {
+        mt::MtConfig config = mt::fig5Config(arch, 128, 32.0, 200,
+                                             seed++);
+        config.workload.numThreads = 16;
+        config.workload.workDist = makeConstant(4000);
+        benchmark::DoNotOptimize(
+            mt::simulate(std::move(config)).efficiencyCentral);
+    }
+}
+BENCHMARK(BM_MtSimulation)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+} // namespace

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The full Section 4 design space in one table: fixed hardware
+ * contexts, OR register relocation (the paper), ADD base-plus-offset
+ * (Am29000), and the Named State context cache (Nuth & Dally) — the
+ * spectrum from coarsest to finest register-file binding
+ * granularity. Hardware complexity grows down the table (no decode
+ * logic -> OR gates -> adder -> fully associative file); this bench
+ * shows what each step buys in processor utilization.
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "exp/env.hh"
+#include "exp/sweep.hh"
+#include "ext/context_cache.hh"
+#include "multithread/workload.hh"
+
+namespace {
+
+using namespace rr;
+
+double
+cacheEff(unsigned num_regs, double run, uint64_t latency,
+         unsigned threads, unsigned seeds)
+{
+    double total = 0.0;
+    for (uint64_t seed = 1; seed <= seeds; ++seed) {
+        ext::ContextCacheConfig config;
+        config.numThreads = threads;
+        config.workDist =
+            makeConstant(mt::defaultWorkPerThread(run));
+        config.regsDist = makeUniformInt(6, 24);
+        config.faultModel =
+            std::make_shared<mt::CacheFaultModel>(run, latency);
+        config.numRegs = num_regs;
+        config.seed = seed;
+        total += ext::simulateContextCache(config).efficiencyCentral;
+    }
+    return total / seeds;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace rr;
+
+    const unsigned seeds = exp::benchSeeds();
+    const unsigned threads = 32;
+
+    std::printf("The Section 4 design space: binding granularity vs "
+                "utilization\n");
+    std::printf("(cache faults, C ~ U[6,24], S = 6; context cache: "
+                "S = 4, demand\n spill/fill at 2 cycles/register, "
+                "LRU)\n\n");
+
+    for (const unsigned num_regs : {64u, 128u}) {
+        Table table({"F", "R", "L", "fixed (coarsest)", "or-reloc",
+                     "add-reloc", "context cache (finest)"});
+        for (const double run : {16.0, 64.0}) {
+            for (const uint64_t latency : {128ull, 512ull}) {
+                const exp::ConfigMaker maker =
+                    [&](mt::ArchKind arch, uint64_t seed) {
+                        mt::MtConfig config = mt::fig5Config(
+                            arch, num_regs, run, latency, seed);
+                        config.workload.numThreads = threads;
+                        if (arch == mt::ArchKind::AddReloc) {
+                            config.costs.allocSucceed = 40;
+                            config.costs.allocFail = 25;
+                            config.costs.dealloc = 10;
+                        }
+                        return config;
+                    };
+                table.addRow(
+                    {Table::num(static_cast<uint64_t>(num_regs)),
+                     Table::num(run, 0), Table::num(latency),
+                     Table::num(
+                         exp::replicate(maker, mt::ArchKind::FixedHw,
+                                        seeds)
+                             .meanEfficiency),
+                     Table::num(
+                         exp::replicate(maker,
+                                        mt::ArchKind::Flexible,
+                                        seeds)
+                             .meanEfficiency),
+                     Table::num(
+                         exp::replicate(maker,
+                                        mt::ArchKind::AddReloc,
+                                        seeds)
+                             .meanEfficiency),
+                     Table::num(cacheEff(num_regs, run, latency,
+                                         threads, seeds))});
+            }
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+    std::printf("Expected shape: utilization rises monotonically "
+                "with binding granularity\n(fixed < OR < ADD < "
+                "context cache) — but so does decode-path hardware:\n"
+                "the paper's argument is that the OR point buys most "
+                "of the benefit for a\nsingle gate delay, which the "
+                "cycle-level numbers here cannot show.\n");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reproduces Figure 5 (a), (b), (c): processor efficiency vs memory
+ * latency under cache faults, for register files of 64, 128, and 256
+ * registers; curves for run lengths R = 8, 32, 128; context sizes
+ * C ~ U[6, 24]; S = 6; constant latency; contexts never unloaded.
+ *
+ * Paper shapes to look for: the flexible (register relocation)
+ * column above the fixed column at nearly every point, with the gap
+ * widening for shorter run lengths and larger files; efficiency
+ * falling with L and rising with R.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "exp/env.hh"
+#include "exp/sweep.hh"
+#include "multithread/workload.hh"
+
+int
+main()
+{
+    using namespace rr;
+
+    const unsigned seeds = exp::benchSeeds();
+    const unsigned threads = exp::benchThreads();
+    const std::vector<double> run_lengths = {8.0, 32.0, 128.0};
+    const std::vector<double> latencies =
+        exp::benchFast()
+            ? std::vector<double>{32.0, 128.0, 512.0}
+            : std::vector<double>{16.0, 32.0, 64.0, 128.0,
+                                  256.0, 512.0, 1024.0};
+
+    std::printf("Figure 5 — cache faults: efficiency vs memory "
+                "latency\n");
+    std::printf("(C ~ U[6,24], S = 6, geometric run lengths, constant "
+                "latency,\n never unload; %u seeds per point, %u "
+                "threads)\n\n",
+                seeds, threads);
+
+    const char *panels[] = {"(a)", "(b)", "(c)"};
+    const unsigned files[] = {64, 128, 256};
+    for (int p = 0; p < 3; ++p) {
+        const unsigned num_regs = files[p];
+        const exp::PanelMaker maker =
+            [num_regs, threads](mt::ArchKind arch, double r, double l,
+                                uint64_t seed) {
+                mt::MtConfig config = mt::fig5Config(
+                    arch, num_regs, r,
+                    static_cast<uint64_t>(l), seed);
+                config.workload.numThreads = threads;
+                return config;
+            };
+        const exp::FigurePanel panel = exp::sweepPanel(
+            num_regs, maker, run_lengths, latencies, seeds);
+        std::printf("Figure 5%s: F = %u registers\n%s\n", panels[p],
+                    num_regs, panel.toTable().render().c_str());
+        if (exp::envUnsigned("RR_BENCH_CSV", 0) != 0) {
+            std::printf("csv:\n%s\n",
+                        panel.toTable().renderCsv().c_str());
+        }
+    }
+    return 0;
+}

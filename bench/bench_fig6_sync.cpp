@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reproduces Figure 6 (a), (b), (c): processor efficiency vs
+ * synchronization latency, for register files of 64, 128, and 256
+ * registers; curves for run lengths R = 32, 128, 512; C ~ U[6, 24];
+ * S = 8; geometric run lengths, exponentially distributed waits;
+ * competitive two-phase unloading.
+ *
+ * Paper shapes to look for: flexible above fixed for most points;
+ * in panel (a) (F = 64) the flexible advantage diminishes as L grows
+ * and fixed contexts marginally win at large L — the software
+ * allocation cost effect the paper attributes to continual context
+ * loading and unloading (see bench_fig6a_lowcost for the ablation
+ * that removes it).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "exp/env.hh"
+#include "exp/sweep.hh"
+#include "multithread/workload.hh"
+
+int
+main()
+{
+    using namespace rr;
+
+    const unsigned seeds = exp::benchSeeds();
+    const unsigned threads = exp::benchThreads();
+    const std::vector<double> run_lengths = {32.0, 128.0, 512.0};
+    const std::vector<double> latencies =
+        exp::benchFast()
+            ? std::vector<double>{128.0, 512.0, 2048.0}
+            : std::vector<double>{64.0, 128.0, 256.0, 512.0,
+                                  1024.0, 2048.0, 4096.0};
+
+    std::printf("Figure 6 — synchronization faults: efficiency vs "
+                "latency\n");
+    std::printf("(C ~ U[6,24], S = 8, geometric run lengths, "
+                "exponential waits,\n two-phase unloading; %u seeds "
+                "per point, %u threads)\n\n",
+                seeds, threads);
+
+    const char *panels[] = {"(a)", "(b)", "(c)"};
+    const unsigned files[] = {64, 128, 256};
+    for (int p = 0; p < 3; ++p) {
+        const unsigned num_regs = files[p];
+        const exp::PanelMaker maker =
+            [num_regs, threads](mt::ArchKind arch, double r, double l,
+                                uint64_t seed) {
+                mt::MtConfig config =
+                    mt::fig6Config(arch, num_regs, r, l, seed);
+                config.workload.numThreads = threads;
+                return config;
+            };
+        const exp::FigurePanel panel = exp::sweepPanel(
+            num_regs, maker, run_lengths, latencies, seeds);
+        std::printf("Figure 6%s: F = %u registers\n%s\n", panels[p],
+                    num_regs, panel.toTable().render().c_str());
+        if (exp::envUnsigned("RR_BENCH_CSV", 0) != 0) {
+            std::printf("csv:\n%s\n",
+                        panel.toTable().renderCsv().c_str());
+        }
+    }
+    return 0;
+}

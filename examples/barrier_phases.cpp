@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Barrier-synchronized parallel phases on the cycle-level machine —
+ * a gang of threads executes a phase of work each, raises a
+ * synchronization fault at the barrier, and the fault completes only
+ * when every running thread has arrived.
+ *
+ * Three observations, all with real Figure 3 context switches and
+ * APRIL-style polling:
+ *
+ *  1. Multithreading hides barrier skew completely on one node: the
+ *     processor fills a fast thread's wait with the other threads'
+ *     phases, so skewed and uniform phase lengths cost the same.
+ *  2. The per-phase overhead is one switch + poll per thread
+ *     (~11 cycles), so efficiency follows 2U / (2U + 11) in phase
+ *     length U — fine-grained gangs need exactly the cheap switches
+ *     register relocation provides.
+ *  3. The gang must be co-resident: a barrier deadlocks if a member
+ *     cannot hold a context. Relocated 16-register contexts fit a
+ *     4-thread gang in 64 registers where 32-register fixed contexts
+ *     cannot.
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "kernel/machine_mt_kernel.hh"
+#include "runtime/context_allocator.hh"
+
+namespace {
+
+using namespace rr;
+
+kernel::KernelConfig
+gangConfig(unsigned threads, std::shared_ptr<Distribution> units)
+{
+    kernel::KernelConfig config;
+    config.numThreads = threads;
+    config.segmentUnits = std::move(units);
+    config.service = kernel::FaultService::Barrier;
+    config.segmentsPerThread = 24;
+    config.seed = 5;
+    return config;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace rr;
+
+    std::printf("Barrier-synchronized phases on the RRISC machine\n\n");
+
+    // 1. Skew is hidden by multithreading.
+    {
+        Table table({"phase length dist", "cycles", "efficiency",
+                     "barriers"});
+        for (const bool skewed : {false, true}) {
+            const auto result = kernel::runMachineKernel(gangConfig(
+                6, skewed ? makeGeometric(40.0)
+                          : std::shared_ptr<Distribution>(
+                                makeConstant(40))));
+            table.addRow({skewed ? "geometric(40)" : "constant(40)",
+                          Table::num(result.totalCycles),
+                          Table::num(result.efficiencyTotal),
+                          Table::num(result.barriers)});
+        }
+        std::printf("%s\n", table.render().c_str());
+        std::printf("Skewed and uniform phases cost the same: while "
+                    "early arrivals wait at the\nbarrier, the "
+                    "processor runs the remaining threads' phases — "
+                    "the wait is\nentirely hidden (the paper's core "
+                    "claim about synchronization faults).\n\n");
+    }
+
+    // 2. Overhead amortization: efficiency vs phase grain.
+    {
+        Table table({"units/phase", "efficiency",
+                     "model 2U/(2U+11)"});
+        for (const uint64_t units : {5ull, 10ull, 20ull, 40ull,
+                                     80ull, 160ull}) {
+            const auto result = kernel::runMachineKernel(
+                gangConfig(6, makeConstant(units)));
+            const double model =
+                2.0 * static_cast<double>(units) /
+                (2.0 * static_cast<double>(units) + 11.0);
+            table.addRow({Table::num(units),
+                          Table::num(result.efficiencyTotal),
+                          Table::num(model)});
+        }
+        std::printf("%s\n", table.render().c_str());
+        std::printf("Per phase each thread pays one fault + yield + "
+                    "poll (~11 cycles); with\n4-6 cycle hardware-free "
+                    "switches, even 10-unit phases run at ~65%%\n"
+                    "efficiency — the fine-grained regime the paper "
+                    "targets.\n\n");
+    }
+
+    // 3. Gang co-residency: the packing argument.
+    {
+        std::printf("Gang co-residency on a 64-register file "
+                    "(4-thread gang):\n");
+        runtime::ContextAllocator fixed_like(64, 6, 32);
+        unsigned fixed_fit = 0;
+        while (fixed_like.allocate(32))
+            ++fixed_fit;
+        runtime::ContextAllocator relocated(64, 6, 16);
+        unsigned flex_fit = 0;
+        while (relocated.allocate(16))
+            ++flex_fit;
+        std::printf("  fixed 32-register contexts: %u of 4 gang "
+                    "members fit -> the barrier\n  can never "
+                    "complete without expensive unload/reload every "
+                    "phase.\n",
+                    fixed_fit);
+        std::printf("  relocated 16-register contexts: %u of 4 fit "
+                    "-> the gang runs:\n",
+                    flex_fit);
+
+        kernel::KernelConfig config =
+            gangConfig(4, makeConstant(40));
+        config.numRegs = 64;
+        config.forcedContextSize = 16;
+        const auto result = kernel::runMachineKernel(config);
+        std::printf("    %lu cycles, efficiency %.3f, %lu barriers, "
+                    "halted: %s\n",
+                    static_cast<unsigned long>(result.totalCycles),
+                    result.efficiencyTotal,
+                    static_cast<unsigned long>(result.barriers),
+                    result.halted ? "yes" : "no");
+    }
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * A producer-consumer style workload — the scenario motivating the
+ * paper's synchronization-fault experiments (Section 3.3): threads
+ * block on exponentially distributed waits (a consumer waiting for a
+ * producer), and the runtime uses the competitive two-phase policy to
+ * decide when a blocked context should give up its registers.
+ *
+ * The demo mixes fine-grained consumer threads (few registers, short
+ * run lengths) with coarser producer threads (more registers, longer
+ * run lengths) — exactly the "mix of both coarse and fine-grained
+ * threads" flexibility argument of Section 2 — and compares register
+ * relocation against fixed-size hardware contexts as the mean
+ * synchronization latency grows.
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "multithread/workload.hh"
+
+namespace {
+
+using namespace rr;
+
+/**
+ * A two-class thread supply: half "producers" (20 registers, mean
+ * run 128), half "consumers" (7 registers, mean run 32). Register
+ * requirements alternate by thread id through a two-point
+ * distribution.
+ */
+class TwoPointDist : public Distribution
+{
+  public:
+    TwoPointDist(uint64_t a, uint64_t b) : a_(a), b_(b) {}
+
+    uint64_t
+    sample(Rng &rng) const override
+    {
+        return (rng.next() & 1) ? a_ : b_;
+    }
+
+    double
+    mean() const override
+    {
+        return (static_cast<double>(a_) + static_cast<double>(b_)) /
+               2.0;
+    }
+
+    std::string
+    describe() const override
+    {
+        return "two-point";
+    }
+
+  private:
+    uint64_t a_;
+    uint64_t b_;
+};
+
+mt::MtConfig
+makeConfig(mt::ArchKind arch, double mean_latency, uint64_t seed)
+{
+    mt::MtConfig config;
+    config.workload.numThreads = 64;
+    config.workload.workDist = makeConstant(20000);
+    // Producers use 20 registers (context of 32 under relocation),
+    // consumers 7 (context of 8): flexible packing fits ~3x more
+    // consumers than the one-size-fits-all hardware contexts.
+    config.workload.regsDist = std::make_shared<TwoPointDist>(20, 7);
+    config.faultModel =
+        std::make_shared<mt::SyncFaultModel>(48.0, mean_latency);
+    config.costs = arch == mt::ArchKind::FixedHw
+                       ? runtime::CostModel::paperFixed(8)
+                       : runtime::CostModel::paperFlexible(8);
+    config.arch = arch;
+    config.numRegs = 128;
+    config.unloadPolicy = mt::UnloadPolicyKind::TwoPhase;
+    config.seed = seed;
+    return config;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace rr;
+
+    std::printf("Producer-consumer synchronization workload\n");
+    std::printf("(64 threads: producers C=20, consumers C=7; F=128, "
+                "S=8,\n geometric runs, exponential waits, two-phase "
+                "unloading)\n\n");
+
+    Table table({"sync latency L", "fixed", "flexible", "speedup",
+                 "resident(avg) fixed", "resident(avg) flex"});
+    for (const double latency :
+         {100.0, 250.0, 500.0, 1000.0, 2000.0, 4000.0}) {
+        const mt::MtStats fixed =
+            mt::simulate(makeConfig(mt::ArchKind::FixedHw, latency, 1));
+        const mt::MtStats flex = mt::simulate(
+            makeConfig(mt::ArchKind::Flexible, latency, 1));
+        table.addRow({Table::num(latency, 0),
+                      Table::num(fixed.efficiencyCentral),
+                      Table::num(flex.efficiencyCentral),
+                      Table::num(flex.efficiencyCentral /
+                                     fixed.efficiencyCentral,
+                                 2),
+                      Table::num(fixed.avgResidentContexts, 1),
+                      Table::num(flex.avgResidentContexts, 1)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Register relocation keeps more producer+consumer "
+                "contexts resident,\nso longer waits are hidden "
+                "behind other runnable threads. At the deepest\n"
+                "latencies every fault rotates threads through the "
+                "file and the fixed\nbaseline's zero-cost allocation "
+                "edges ahead — the Figure 6(a) effect;\nsee "
+                "bench_fig6a_lowcost for the allocator fix.\n");
+    return 0;
+}

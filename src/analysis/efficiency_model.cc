@@ -1,0 +1,48 @@
+#include "analysis/efficiency_model.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace rr::analysis {
+
+EfficiencyModel::EfficiencyModel(double run_length, double latency,
+                                 double switch_cost)
+    : r_(run_length), l_(latency), s_(switch_cost)
+{
+    rr_assert(run_length > 0.0, "run length must be positive");
+    rr_assert(latency >= 0.0, "latency must be nonnegative");
+    rr_assert(switch_cost >= 0.0, "switch cost must be nonnegative");
+}
+
+double
+EfficiencyModel::saturated() const
+{
+    return r_ / (r_ + s_);
+}
+
+double
+EfficiencyModel::linear(double n) const
+{
+    return n * r_ / (r_ + s_ + l_);
+}
+
+double
+EfficiencyModel::efficiency(double n) const
+{
+    return std::min(linear(n), saturated());
+}
+
+double
+EfficiencyModel::saturationPoint() const
+{
+    return 1.0 + l_ / (r_ + s_);
+}
+
+bool
+EfficiencyModel::inLinearRegime(double n) const
+{
+    return n < saturationPoint();
+}
+
+} // namespace rr::analysis

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The closed-form multithreading efficiency model quoted in
+ * Section 3.4 of the paper (after Saavedra-Barrera, Culler &
+ * von Eicken): for deterministic run length R, fault latency L, and
+ * context switch cost S,
+ *
+ *   saturated:  E_sat = R / (R + S)
+ *   linear:     E_lin(N) = N * R / (R + S + L)
+ *   boundary:   N* = 1 + L / (R + S)
+ *
+ * Efficiency grows linearly in the number of resident contexts N
+ * until the saturation point N*, after which it is constant.
+ */
+
+#ifndef RR_ANALYSIS_EFFICIENCY_MODEL_HH
+#define RR_ANALYSIS_EFFICIENCY_MODEL_HH
+
+namespace rr::analysis {
+
+/** The deterministic-case processor efficiency model. */
+class EfficiencyModel
+{
+  public:
+    /**
+     * @param run_length run length between faults, R (cycles)
+     * @param latency    fault service latency, L (cycles)
+     * @param switch_cost context switch cost, S (cycles)
+     */
+    EfficiencyModel(double run_length, double latency,
+                    double switch_cost);
+
+    double runLength() const { return r_; }
+    double latency() const { return l_; }
+    double switchCost() const { return s_; }
+
+    /** E_sat: efficiency when a ready context is always resident. */
+    double saturated() const;
+
+    /** E_lin(N): efficiency with N resident contexts, pre-saturation. */
+    double linear(double n) const;
+
+    /** min(E_lin(N), E_sat): the model's efficiency at N contexts. */
+    double efficiency(double n) const;
+
+    /** N*: number of contexts at which the processor saturates. */
+    double saturationPoint() const;
+
+    /**
+     * @return true when N contexts leave the processor in the linear
+     * (sub-saturated) regime.
+     */
+    bool inLinearRegime(double n) const;
+
+  private:
+    double r_;
+    double l_;
+    double s_;
+};
+
+} // namespace rr::analysis
+
+#endif // RR_ANALYSIS_EFFICIENCY_MODEL_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * A two-pass assembler for RRISC.
+ *
+ * Syntax:
+ *   - one instruction, label, or directive per line;
+ *   - comments start with ';', '#', or '//' and run to end of line;
+ *   - labels are 'name:' and may share a line with an instruction;
+ *   - registers are context-relative: r0 .. r63; 'psw' is accepted by
+ *     the mov pseudo-instruction;
+ *   - immediates are decimal or 0x-hex, optionally negative;
+ *   - memory operands use imm(rs1) form: ld r1, 4(r2);
+ *   - branch/jump targets may be labels (PC-relative offsets are
+ *     computed automatically) or explicit immediates.
+ *
+ * Directives:
+ *   .org  ADDR       set the next emission address (word address)
+ *   .word VALUE      emit a literal 32-bit word
+ *   .align N         pad with zeros to an N-word boundary
+ *   .equ  NAME, VAL  define an assembly-time constant
+ *
+ * Pseudo-instructions:
+ *   mov rd, rs       -> addi rd, rs, 0
+ *   mov rd, psw      -> mfpsw rd
+ *   mov psw, rs      -> mtpsw rs
+ *   li  rd, imm      -> lui rd, hi; ori rd, rd, lo   (30-bit range)
+ *   la  rd, label    -> li with the label's word address
+ *   b   label        -> beq r0, r0, label
+ *
+ * This is the tool chain the paper assumes exists (Section 2.4): the
+ * compiler emits context-relative register numbers starting at 0 and
+ * reports each thread's register requirement; here, hand-written
+ * assembly plays the role of compiled code.
+ */
+
+#ifndef RR_ASSEMBLER_ASSEMBLER_HH
+#define RR_ASSEMBLER_ASSEMBLER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rr::assembler {
+
+/** One assembly diagnostic. */
+struct Diagnostic
+{
+    int line;            ///< 1-based source line
+    std::string message; ///< what went wrong
+
+    /** Render as "line N: message". */
+    std::string str() const;
+};
+
+/** The result of assembling a source string. */
+struct Program
+{
+    /** Base word address of the image (set by a leading .org). */
+    uint32_t base = 0;
+
+    /** The assembled image, one 32-bit word per instruction. */
+    std::vector<uint32_t> words;
+
+    /** Label name -> absolute word address. */
+    std::map<std::string, uint32_t> symbols;
+
+    /** Word index -> source line (for traces and diagnostics). */
+    std::vector<int> lines;
+
+    /** Errors; assembly succeeded iff empty. */
+    std::vector<Diagnostic> errors;
+
+    /** @return true when no errors were produced. */
+    bool ok() const { return errors.empty(); }
+
+    /** Address of @p label; panics when undefined. */
+    uint32_t addressOf(const std::string &label) const;
+};
+
+/**
+ * Assemble RRISC source text.
+ * Never throws; errors are reported in Program::errors.
+ */
+Program assemble(const std::string &source);
+
+} // namespace rr::assembler
+
+#endif // RR_ASSEMBLER_ASSEMBLER_HH

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Bit-manipulation helpers used throughout the register-relocation
+ * runtime: power-of-two arithmetic, find-first-set (the MC88000 FF1
+ * operation mentioned in Section 2.3 of the paper), and the
+ * bit-parallel prefix scan used by the Appendix A allocator.
+ */
+
+#ifndef RR_BASE_BITOPS_HH
+#define RR_BASE_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace rr {
+
+/** @return true iff @p x is a (nonzero) power of two. */
+constexpr bool
+isPowerOfTwo(uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/**
+ * Ceiling of the base-2 logarithm; log2Ceil(1) == 0.
+ * This is the paper's ceil(lg n) used to size the RRM register.
+ */
+constexpr unsigned
+log2Ceil(uint64_t x)
+{
+    unsigned bits = 0;
+    uint64_t v = 1;
+    while (v < x) {
+        v <<= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+/** Floor of the base-2 logarithm; log2Floor(1) == 0, undefined for 0. */
+constexpr unsigned
+log2Floor(uint64_t x)
+{
+    unsigned bits = 0;
+    while (x > 1) {
+        x >>= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+/** Round @p x up to the next power of two (returns 1 for x <= 1). */
+constexpr uint64_t
+roundUpPowerOfTwo(uint64_t x)
+{
+    return uint64_t{1} << log2Ceil(x);
+}
+
+/**
+ * Find-first-set: index of the least significant 1 bit, or -1 when no
+ * bit is set. Mirrors the MC88000 FF1-style operation the paper cites
+ * as an allocator accelerator.
+ */
+constexpr int
+findFirstSet(uint64_t x)
+{
+    if (x == 0)
+        return -1;
+    return std::countr_zero(x);
+}
+
+/** Population count. */
+constexpr unsigned
+popCount(uint64_t x)
+{
+    return static_cast<unsigned>(std::popcount(x));
+}
+
+/** A mask with the low @p n bits set (n in [0, 64]). */
+constexpr uint64_t
+lowMask(unsigned n)
+{
+    return n >= 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1;
+}
+
+/**
+ * Bit-parallel prefix scan from the paper's Appendix A: given an
+ * availability bitmap where a 1 marks a free unit, produce a bitmap in
+ * which bit i is set iff bits [i, i + run) are all set. Only bits at
+ * positions that are multiples of @p run remain meaningful after the
+ * caller applies an alignment mask.
+ *
+ * @param map  availability bitmap
+ * @param run  run length; must be a power of two
+ */
+constexpr uint64_t
+contiguousRunMap(uint64_t map, unsigned run)
+{
+    uint64_t t = map;
+    for (unsigned width = 1; width < run; width <<= 1)
+        t &= t >> width;
+    return t;
+}
+
+/**
+ * Mask selecting bit positions aligned to @p run within a 64-bit map
+ * (bit 0, bit run, bit 2*run, ...). @p run must be a power of two.
+ */
+constexpr uint64_t
+alignedPositionsMask(unsigned run)
+{
+    uint64_t m = 0;
+    for (unsigned i = 0; i < 64; i += run)
+        m |= uint64_t{1} << i;
+    return m;
+}
+
+} // namespace rr
+
+#endif // RR_BASE_BITOPS_HH

@@ -1,0 +1,154 @@
+#include "base/distributions.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace rr {
+
+ConstantDist::ConstantDist(uint64_t value)
+    : value_(value)
+{
+}
+
+uint64_t
+ConstantDist::sample(Rng &) const
+{
+    return value_;
+}
+
+double
+ConstantDist::mean() const
+{
+    return static_cast<double>(value_);
+}
+
+std::string
+ConstantDist::describe() const
+{
+    std::ostringstream os;
+    os << "constant(" << value_ << ")";
+    return os.str();
+}
+
+GeometricDist::GeometricDist(double mean)
+    : mean_(mean)
+{
+    rr_assert(mean >= 1.0, "geometric mean must be >= 1, got ", mean);
+}
+
+uint64_t
+GeometricDist::sample(Rng &rng) const
+{
+    // Inverse-CDF sampling of a geometric on {1, 2, ...} with success
+    // probability p = 1/mean. ceil(ln U / ln (1-p)) for U in (0, 1).
+    if (mean_ <= 1.0)
+        return 1;
+    const double p = 1.0 / mean_;
+    double u = rng.nextDouble();
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    const double v = std::ceil(std::log(u) / std::log(1.0 - p));
+    if (v < 1.0)
+        return 1;
+    return static_cast<uint64_t>(v);
+}
+
+double
+GeometricDist::mean() const
+{
+    return mean_;
+}
+
+std::string
+GeometricDist::describe() const
+{
+    std::ostringstream os;
+    os << "geometric(mean=" << mean_ << ")";
+    return os.str();
+}
+
+ExponentialDist::ExponentialDist(double mean)
+    : mean_(mean)
+{
+    rr_assert(mean > 0.0, "exponential mean must be positive, got ", mean);
+}
+
+uint64_t
+ExponentialDist::sample(Rng &rng) const
+{
+    double u = rng.nextDouble();
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    const double v = -mean_ * std::log(u);
+    if (v < 1.0)
+        return 1;
+    return static_cast<uint64_t>(std::llround(v));
+}
+
+double
+ExponentialDist::mean() const
+{
+    return mean_;
+}
+
+std::string
+ExponentialDist::describe() const
+{
+    std::ostringstream os;
+    os << "exponential(mean=" << mean_ << ")";
+    return os.str();
+}
+
+UniformIntDist::UniformIntDist(uint64_t lo, uint64_t hi)
+    : lo_(lo), hi_(hi)
+{
+    rr_assert(lo <= hi, "invalid uniform range [", lo, ", ", hi, "]");
+}
+
+uint64_t
+UniformIntDist::sample(Rng &rng) const
+{
+    return rng.nextRange(lo_, hi_);
+}
+
+double
+UniformIntDist::mean() const
+{
+    return (static_cast<double>(lo_) + static_cast<double>(hi_)) / 2.0;
+}
+
+std::string
+UniformIntDist::describe() const
+{
+    std::ostringstream os;
+    os << "uniform[" << lo_ << ", " << hi_ << "]";
+    return os.str();
+}
+
+std::shared_ptr<Distribution>
+makeConstant(uint64_t value)
+{
+    return std::make_shared<ConstantDist>(value);
+}
+
+std::shared_ptr<Distribution>
+makeGeometric(double mean)
+{
+    return std::make_shared<GeometricDist>(mean);
+}
+
+std::shared_ptr<Distribution>
+makeExponential(double mean)
+{
+    return std::make_shared<ExponentialDist>(mean);
+}
+
+std::shared_ptr<Distribution>
+makeUniformInt(uint64_t lo, uint64_t hi)
+{
+    return std::make_shared<UniformIntDist>(lo, hi);
+}
+
+} // namespace rr

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The stochastic distributions used by the paper's workloads
+ * (Sections 3.2 and 3.3):
+ *
+ *  - geometric run lengths with mean R ("fixed probability of a fault
+ *    on each execution cycle");
+ *  - constant latency (cache faults, "lightly loaded networks");
+ *  - exponential latency (synchronization faults, producer-consumer
+ *    waiting);
+ *  - uniform integer context sizes (C uniformly distributed 6..24);
+ *  - degenerate/constant values (homogeneous context experiments).
+ */
+
+#ifndef RR_BASE_DISTRIBUTIONS_HH
+#define RR_BASE_DISTRIBUTIONS_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "base/rng.hh"
+
+namespace rr {
+
+/**
+ * A distribution over nonnegative cycle counts / register counts.
+ * Samples are at least 1 for duration-like quantities; the minimum is
+ * configured per concrete distribution.
+ */
+class Distribution
+{
+  public:
+    virtual ~Distribution() = default;
+
+    /** Draw one sample using the supplied generator. */
+    virtual uint64_t sample(Rng &rng) const = 0;
+
+    /** Exact mean of the distribution (for analytical comparisons). */
+    virtual double mean() const = 0;
+
+    /** Human-readable description, e.g. "geometric(mean=32)". */
+    virtual std::string describe() const = 0;
+};
+
+/** Degenerate distribution: always returns the same value. */
+class ConstantDist : public Distribution
+{
+  public:
+    explicit ConstantDist(uint64_t value);
+
+    uint64_t sample(Rng &rng) const override;
+    double mean() const override;
+    std::string describe() const override;
+
+  private:
+    uint64_t value_;
+};
+
+/**
+ * Geometric distribution on {1, 2, 3, ...} with the given mean: a
+ * fault occurs on each cycle with probability 1/mean, so run lengths
+ * between faults are geometric (paper, Section 3.2).
+ */
+class GeometricDist : public Distribution
+{
+  public:
+    explicit GeometricDist(double mean);
+
+    uint64_t sample(Rng &rng) const override;
+    double mean() const override;
+    std::string describe() const override;
+
+  private:
+    double mean_;
+};
+
+/**
+ * Exponential distribution with the given mean, rounded to whole
+ * cycles with a minimum of 1 (paper, Section 3.3: synchronization wait
+ * times are exponentially distributed).
+ */
+class ExponentialDist : public Distribution
+{
+  public:
+    explicit ExponentialDist(double mean);
+
+    uint64_t sample(Rng &rng) const override;
+    double mean() const override;
+    std::string describe() const override;
+
+  private:
+    double mean_;
+};
+
+/** Uniform integer distribution over the closed range [lo, hi]. */
+class UniformIntDist : public Distribution
+{
+  public:
+    UniformIntDist(uint64_t lo, uint64_t hi);
+
+    uint64_t sample(Rng &rng) const override;
+    double mean() const override;
+    std::string describe() const override;
+
+  private:
+    uint64_t lo_;
+    uint64_t hi_;
+};
+
+/** Convenience factories returning shared ownership handles. */
+std::shared_ptr<Distribution> makeConstant(uint64_t value);
+std::shared_ptr<Distribution> makeGeometric(double mean);
+std::shared_ptr<Distribution> makeExponential(double mean);
+std::shared_ptr<Distribution> makeUniformInt(uint64_t lo, uint64_t hi);
+
+} // namespace rr
+
+#endif // RR_BASE_DISTRIBUTIONS_HH

@@ -1,0 +1,58 @@
+#include "base/logging.hh"
+
+#include <cstdio>
+
+namespace rr {
+
+namespace {
+bool outputEnabled = true;
+} // namespace
+
+void
+setLogOutputEnabled(bool enabled)
+{
+    outputEnabled = enabled;
+}
+
+bool
+logOutputEnabled()
+{
+    return outputEnabled;
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    std::exit(1);
+}
+
+void
+warnImpl(const char *file, int line, const std::string &msg)
+{
+    if (outputEnabled) {
+        std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
+    }
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (outputEnabled) {
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+    }
+}
+
+} // namespace detail
+} // namespace rr

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Diagnostic logging helpers, patterned after gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated; the simulator itself is
+ *            broken. Aborts.
+ * fatal()  — the simulation cannot continue due to a user error (bad
+ *            configuration, invalid arguments). Exits with status 1.
+ * warn()   — something may be modelled imprecisely but execution can
+ *            continue.
+ * inform() — status messages with no connotation of incorrect behaviour.
+ */
+
+#ifndef RR_BASE_LOGGING_HH
+#define RR_BASE_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace rr {
+
+namespace detail {
+
+/** Format the variadic argument pack by streaming each piece. */
+template <typename... Args>
+std::string
+formatMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+/** Emit a panic message and abort. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Emit a fatal message and exit(1). */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Emit a warning message. */
+void warnImpl(const char *file, int line, const std::string &msg);
+
+/** Emit an informational message. */
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Enable or disable warn()/inform() output (tests silence it). */
+void setLogOutputEnabled(bool enabled);
+
+/** @return whether warn()/inform() output is currently enabled. */
+bool logOutputEnabled();
+
+} // namespace rr
+
+#define rr_panic(...)                                                      \
+    ::rr::detail::panicImpl(__FILE__, __LINE__,                            \
+                            ::rr::detail::formatMessage(__VA_ARGS__))
+
+#define rr_fatal(...)                                                      \
+    ::rr::detail::fatalImpl(__FILE__, __LINE__,                            \
+                            ::rr::detail::formatMessage(__VA_ARGS__))
+
+#define rr_warn(...)                                                       \
+    ::rr::detail::warnImpl(__FILE__, __LINE__,                             \
+                           ::rr::detail::formatMessage(__VA_ARGS__))
+
+#define rr_inform(...)                                                     \
+    ::rr::detail::informImpl(::rr::detail::formatMessage(__VA_ARGS__))
+
+/** Panic unless the given invariant holds. */
+#define rr_assert(cond, ...)                                               \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            rr_panic("assertion failed: ", #cond, " ",                     \
+                     ::rr::detail::formatMessage(__VA_ARGS__));            \
+        }                                                                  \
+    } while (0)
+
+#endif // RR_BASE_LOGGING_HH

@@ -1,0 +1,84 @@
+#include "base/rng.hh"
+
+#include "base/logging.hh"
+
+namespace rr {
+
+namespace {
+
+/** splitmix64 step, used for seed expansion. */
+uint64_t
+splitmix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed_value)
+{
+    seed(seed_value);
+}
+
+void
+Rng::seed(uint64_t seed_value)
+{
+    uint64_t sm = seed_value;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+    // A state of all zeros is invalid for xoshiro; splitmix64 cannot
+    // produce four zero outputs in a row, but be defensive anyway.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 1;
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 random mantissa bits -> [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+uint64_t
+Rng::nextRange(uint64_t lo, uint64_t hi)
+{
+    rr_assert(lo <= hi, "invalid range [", lo, ", ", hi, "]");
+    const uint64_t span = hi - lo;
+    if (span == ~uint64_t{0})
+        return next();
+    return lo + static_cast<uint64_t>(nextDouble() *
+                                      static_cast<double>(span + 1));
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0xd1b54a32d192ed03ull);
+}
+
+} // namespace rr

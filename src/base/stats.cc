@@ -1,0 +1,206 @@
+#include "base/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace rr {
+
+void
+RunningStats::add(double x)
+{
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStats::mean() const
+{
+    return count_ == 0 ? 0.0 : mean_;
+}
+
+double
+RunningStats::variance() const
+{
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::min() const
+{
+    return min_;
+}
+
+double
+RunningStats::max() const
+{
+    return max_;
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = n1 + n2;
+    mean_ += delta * n2 / n;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+IntervalRecorder::record(uint64_t time, uint64_t cumulative)
+{
+    if (!times_.empty()) {
+        rr_assert(time >= times_.back(),
+                  "non-monotonic time: ", time, " < ", times_.back());
+        rr_assert(cumulative >= values_.back(),
+                  "non-monotonic value: ", cumulative, " < ",
+                  values_.back());
+        // Collapse repeated samples at the same timestamp.
+        if (time == times_.back()) {
+            values_.back() = cumulative;
+            return;
+        }
+    }
+    times_.push_back(time);
+    values_.push_back(cumulative);
+}
+
+uint64_t
+IntervalRecorder::endTime() const
+{
+    return times_.empty() ? 0 : times_.back();
+}
+
+uint64_t
+IntervalRecorder::endValue() const
+{
+    return values_.empty() ? 0 : values_.back();
+}
+
+double
+IntervalRecorder::valueAt(double t) const
+{
+    if (times_.empty())
+        return 0.0;
+    if (t <= static_cast<double>(times_.front()))
+        return static_cast<double>(values_.front());
+    if (t >= static_cast<double>(times_.back()))
+        return static_cast<double>(values_.back());
+
+    // First index with time > t.
+    const auto it = std::upper_bound(times_.begin(), times_.end(),
+                                     static_cast<uint64_t>(t));
+    const size_t hi = static_cast<size_t>(it - times_.begin());
+    const size_t lo = hi - 1;
+    const double t0 = static_cast<double>(times_[lo]);
+    const double t1 = static_cast<double>(times_[hi]);
+    const double v0 = static_cast<double>(values_[lo]);
+    const double v1 = static_cast<double>(values_[hi]);
+    if (t1 <= t0)
+        return v1;
+    return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+}
+
+double
+IntervalRecorder::windowRate(uint64_t t_begin, uint64_t t_end) const
+{
+    if (times_.empty() || t_end <= t_begin)
+        return 0.0;
+    const double v0 = valueAt(static_cast<double>(t_begin));
+    const double v1 = valueAt(static_cast<double>(t_end));
+    return (v1 - v0) / static_cast<double>(t_end - t_begin);
+}
+
+double
+IntervalRecorder::centralRate(double lo_frac, double hi_frac) const
+{
+    if (times_.empty())
+        return 0.0;
+    const double end = static_cast<double>(endTime());
+    const auto t0 = static_cast<uint64_t>(end * lo_frac);
+    const auto t1 = static_cast<uint64_t>(end * hi_frac);
+    if (t1 <= t0)
+        return totalRate();
+    return windowRate(t0, t1);
+}
+
+double
+IntervalRecorder::totalRate() const
+{
+    if (times_.empty() || endTime() == 0)
+        return 0.0;
+    return static_cast<double>(endValue()) /
+           static_cast<double>(endTime());
+}
+
+Histogram::Histogram(uint64_t bin_width, size_t num_bins)
+    : bin_width_(bin_width), counts_(num_bins, 0)
+{
+    rr_assert(bin_width >= 1, "bin width must be >= 1");
+    rr_assert(num_bins >= 1, "need at least one bin");
+}
+
+void
+Histogram::add(uint64_t x)
+{
+    const uint64_t bin = x / bin_width_;
+    if (bin < counts_.size())
+        ++counts_[bin];
+    else
+        ++overflow_;
+    ++total_;
+}
+
+uint64_t
+Histogram::binCount(size_t i) const
+{
+    rr_assert(i < counts_.size(), "bin index out of range");
+    return counts_[i];
+}
+
+std::string
+Histogram::render() const
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0)
+            continue;
+        os << "[" << i * bin_width_ << ", " << (i + 1) * bin_width_
+           << "): " << counts_[i] << "\n";
+    }
+    if (overflow_ > 0)
+        os << "overflow: " << overflow_ << "\n";
+    return os.str();
+}
+
+} // namespace rr

@@ -1,0 +1,106 @@
+#include "base/table.hh"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace rr {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    rr_assert(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    rr_assert(cells.size() == headers_.size(),
+              "row arity ", cells.size(), " != header arity ",
+              headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+Table::num(uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+Table::num(int64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+Table::num(int v)
+{
+    return std::to_string(v);
+}
+
+std::string
+Table::num(unsigned v)
+{
+    return std::to_string(v);
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << std::setw(static_cast<int>(widths[c])) << cells[c];
+            os << (c + 1 == cells.size() ? "\n" : "  ");
+        }
+    };
+    emit_row(headers_);
+    for (size_t c = 0; c < headers_.size(); ++c) {
+        os << std::string(widths[c], '-')
+           << (c + 1 == headers_.size() ? "\n" : "  ");
+    }
+    for (const auto &row : rows_)
+        emit_row(row);
+    return os.str();
+}
+
+std::string
+Table::renderCsv() const
+{
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c)
+            os << cells[c] << (c + 1 == cells.size() ? "\n" : ",");
+    };
+    emit_row(headers_);
+    for (const auto &row : rows_)
+        emit_row(row);
+    return os.str();
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    os << render();
+}
+
+} // namespace rr

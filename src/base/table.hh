@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Aligned-column table printer used by the benchmark harness to emit
+ * the paper's tables and figure series in a readable form, plus a CSV
+ * emitter for downstream plotting.
+ */
+
+#ifndef RR_BASE_TABLE_HH
+#define RR_BASE_TABLE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rr {
+
+/** A simple text table with a header row and aligned columns. */
+class Table
+{
+  public:
+    /** Construct with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string num(double v, int precision = 3);
+
+    /** Convenience: format an integer. */
+    static std::string num(uint64_t v);
+    static std::string num(int64_t v);
+    static std::string num(int v);
+    static std::string num(unsigned v);
+
+    /** Render with aligned columns and a separator under the header. */
+    std::string render() const;
+
+    /** Render as CSV (no alignment, comma-separated). */
+    std::string renderCsv() const;
+
+    /** Stream the aligned rendering to @p os. */
+    void print(std::ostream &os) const;
+
+    size_t numRows() const { return rows_.size(); }
+    size_t numCols() const { return headers_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace rr
+
+#endif // RR_BASE_TABLE_HH

@@ -1,0 +1,132 @@
+#include "checker/boundary_checker.hh"
+
+#include <sstream>
+
+#include "base/bitops.hh"
+#include "base/logging.hh"
+#include "isa/instruction.hh"
+
+namespace rr::checker {
+
+const char *
+operandKindName(OperandKind kind)
+{
+    switch (kind) {
+      case OperandKind::Rd:
+        return "rd";
+      case OperandKind::Rs1:
+        return "rs1";
+      case OperandKind::Rs2:
+        return "rs2";
+    }
+    return "?";
+}
+
+std::string
+Violation::str() const
+{
+    std::ostringstream os;
+    os << "addr " << address;
+    if (line > 0)
+        os << " (line " << line << ")";
+    os << ": " << text << ": " << operandKindName(operand) << " r"
+       << reg << " outside context of " << limit << " registers";
+    return os.str();
+}
+
+namespace {
+
+/** Offset bits of @p operand under the bank-select interpretation. */
+unsigned
+operandOffset(unsigned operand, const CheckOptions &options)
+{
+    if (options.multiRrmBanks <= 1)
+        return operand;
+    const unsigned bank_bits = log2Ceil(options.multiRrmBanks);
+    const unsigned offset_bits = options.operandWidth - bank_bits;
+    return operand & static_cast<unsigned>(lowMask(offset_bits));
+}
+
+void
+checkWord(const assembler::Program &program, uint32_t address,
+          unsigned context_size, const CheckOptions &options,
+          std::vector<Violation> &out)
+{
+    const size_t index = address - program.base;
+    const uint32_t word = program.words[index];
+    const int line = index < program.lines.size()
+                         ? program.lines[index]
+                         : 0;
+
+    isa::Instruction inst;
+    if (!isa::decode(word, inst)) {
+        if (options.flagInvalidWords) {
+            Violation v;
+            v.address = address;
+            v.line = line;
+            v.reg = 0;
+            v.limit = context_size;
+            v.text = "<invalid instruction word>";
+            out.push_back(v);
+        }
+        return;
+    }
+
+    const isa::FormatInfo info = isa::formatInfo(inst.format());
+    auto check = [&](bool present, unsigned reg, OperandKind kind) {
+        if (!present)
+            return;
+        if (operandOffset(reg, options) < context_size)
+            return;
+        Violation v;
+        v.address = address;
+        v.line = line;
+        v.operand = kind;
+        v.reg = reg;
+        v.limit = context_size;
+        v.text = isa::disassemble(inst);
+        out.push_back(v);
+    };
+
+    // Slot usage mirrors the decoder: B-format has no rd; R1S-style
+    // formats have no rd; etc.
+    check(info.hasRd, inst.rd, OperandKind::Rd);
+    check(info.hasRs1, inst.rs1, OperandKind::Rs1);
+    check(info.hasRs2, inst.rs2, OperandKind::Rs2);
+}
+
+} // namespace
+
+std::vector<Violation>
+checkProgram(const assembler::Program &program, unsigned context_size,
+             const CheckOptions &options)
+{
+    rr_assert(context_size >= 1, "context size must be positive");
+    std::vector<Violation> out;
+    for (size_t i = 0; i < program.words.size(); ++i) {
+        checkWord(program, program.base + static_cast<uint32_t>(i),
+                  context_size, options, out);
+    }
+    return out;
+}
+
+std::vector<Violation>
+checkRegions(const assembler::Program &program,
+             const std::vector<Region> &regions,
+             const CheckOptions &options)
+{
+    std::vector<Violation> out;
+    for (const Region &region : regions) {
+        rr_assert(region.begin <= region.end, "inverted region");
+        for (uint32_t addr = region.begin; addr < region.end; ++addr) {
+            if (addr < program.base ||
+                addr - program.base >= program.words.size()) {
+                continue;
+            }
+            checkWord(program, addr, region.contextSize, options, out);
+        }
+    }
+    return out;
+}
+
+} // namespace rr::checker

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Static context-boundary checker — the debugging tool suggested in
+ * Section 2.4 of the paper: since the compiler (not the hardware) is
+ * responsible for protection among thread contexts under OR
+ * relocation, "a separate tool could be used to statically check
+ * executables or object files for most violations of context
+ * boundaries."
+ *
+ * The checker decodes every instruction in an assembled program and
+ * reports register operands that address beyond the declared context
+ * size. Different regions of the image may declare different sizes
+ * (per-thread code), and the dual-RRM extension's bank-select bit
+ * can be honoured.
+ */
+
+#ifndef RR_CHECKER_BOUNDARY_CHECKER_HH
+#define RR_CHECKER_BOUNDARY_CHECKER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "assembler/assembler.hh"
+
+namespace rr::checker {
+
+/** Which operand slot violated the boundary. */
+enum class OperandKind : uint8_t
+{
+    Rd,
+    Rs1,
+    Rs2,
+};
+
+/** @return printable operand-slot name. */
+const char *operandKindName(OperandKind kind);
+
+/** One boundary violation. */
+struct Violation
+{
+    uint32_t address = 0;     ///< word address of the instruction
+    int line = 0;             ///< source line (0 when unknown)
+    OperandKind operand = OperandKind::Rd;
+    unsigned reg = 0;         ///< offending context-relative register
+    unsigned limit = 0;       ///< declared context size
+    std::string text;         ///< disassembly
+
+    /** Render as "addr N (line L): <disasm>: rs1 r17 >= context 16". */
+    std::string str() const;
+};
+
+/** A code region with a declared context size. */
+struct Region
+{
+    uint32_t begin = 0;   ///< first word address (inclusive)
+    uint32_t end = 0;     ///< one past the last word address
+    unsigned contextSize = 32; ///< registers the code may address
+};
+
+/** Checker options. */
+struct CheckOptions
+{
+    /**
+     * When nonzero, the top log2(banks) bits of each operand select
+     * an RRM bank (Section 5.3) and only the remaining offset bits
+     * are checked against the context size.
+     */
+    unsigned multiRrmBanks = 0;
+
+    /** Operand field width w (offset interpretation for banks). */
+    unsigned operandWidth = 6;
+
+    /**
+     * Treat undecodable words as violations-by-proxy? When false
+     * (default) they are skipped — data words are legal in an image.
+     */
+    bool flagInvalidWords = false;
+};
+
+/**
+ * Check the whole program against one context size.
+ */
+std::vector<Violation> checkProgram(const assembler::Program &program,
+                                    unsigned context_size,
+                                    const CheckOptions &options = {});
+
+/**
+ * Check a program whose image is divided into regions of differing
+ * context sizes; words outside every region are not checked.
+ */
+std::vector<Violation>
+checkRegions(const assembler::Program &program,
+             const std::vector<Region> &regions,
+             const CheckOptions &options = {});
+
+} // namespace rr::checker
+
+#endif // RR_CHECKER_BOUNDARY_CHECKER_HH

@@ -1,0 +1,39 @@
+#include "exp/env.hh"
+
+#include <cstdlib>
+#include <string>
+
+namespace rr::exp {
+
+unsigned
+envUnsigned(const char *name, unsigned fallback)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr || *value == '\0')
+        return fallback;
+    char *end = nullptr;
+    const unsigned long parsed = std::strtoul(value, &end, 10);
+    if (end == value)
+        return fallback;
+    return static_cast<unsigned>(parsed);
+}
+
+unsigned
+benchSeeds()
+{
+    return envUnsigned("RR_BENCH_SEEDS", 3);
+}
+
+unsigned
+benchThreads()
+{
+    return envUnsigned("RR_BENCH_THREADS", 64);
+}
+
+bool
+benchFast()
+{
+    return envUnsigned("RR_BENCH_FAST", 0) != 0;
+}
+
+} // namespace rr::exp

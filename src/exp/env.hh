@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Environment-variable knobs for the benchmark harness, so a full
+ * paper-scale reproduction and a quick smoke run use the same
+ * binaries:
+ *
+ *   RR_BENCH_SEEDS   replications per data point (default 3)
+ *   RR_BENCH_THREADS thread supply per simulation (default 64)
+ *   RR_BENCH_FAST    when set nonzero, benches trim their sweeps
+ */
+
+#ifndef RR_EXP_ENV_HH
+#define RR_EXP_ENV_HH
+
+namespace rr::exp {
+
+/** Read an unsigned env var, or @p fallback when unset/invalid. */
+unsigned envUnsigned(const char *name, unsigned fallback);
+
+/** Number of seeds per data point (RR_BENCH_SEEDS, default 3). */
+unsigned benchSeeds();
+
+/** Threads per simulation (RR_BENCH_THREADS, default 64). */
+unsigned benchThreads();
+
+/** Whether benches should trim sweeps (RR_BENCH_FAST). */
+bool benchFast();
+
+} // namespace rr::exp
+
+#endif // RR_EXP_ENV_HH

@@ -1,0 +1,70 @@
+#include "exp/sweep.hh"
+
+#include <cmath>
+
+#include "base/stats.hh"
+
+namespace rr::exp {
+
+Replicated
+replicate(const ConfigMaker &maker, mt::ArchKind arch,
+          unsigned num_seeds)
+{
+    RunningStats eff;
+    RunningStats resident;
+    for (unsigned seed = 1; seed <= num_seeds; ++seed) {
+        const mt::MtStats stats = mt::simulate(maker(arch, seed));
+        eff.add(stats.efficiencyCentral);
+        resident.add(stats.avgResidentContexts);
+    }
+    Replicated out;
+    out.meanEfficiency = eff.mean();
+    out.stddev = eff.stddev();
+    out.meanResident = resident.mean();
+    out.seeds = num_seeds;
+    return out;
+}
+
+Table
+FigurePanel::toTable() const
+{
+    Table table({"F", "R", "L", "fixed", "flexible", "flex/fixed"});
+    for (const auto &point : points) {
+        const double fixed = point.fixed.meanEfficiency;
+        const double flexible = point.flexible.meanEfficiency;
+        const double ratio = fixed > 0.0 ? flexible / fixed : 0.0;
+        table.addRow({Table::num(static_cast<uint64_t>(numRegs)),
+                      Table::num(point.runLength, 0),
+                      Table::num(point.latency, 0), Table::num(fixed),
+                      Table::num(flexible), Table::num(ratio, 2)});
+    }
+    return table;
+}
+
+FigurePanel
+sweepPanel(unsigned num_regs, const PanelMaker &maker,
+           const std::vector<double> &run_lengths,
+           const std::vector<double> &latencies, unsigned num_seeds)
+{
+    FigurePanel panel;
+    panel.numRegs = num_regs;
+    for (const double run_length : run_lengths) {
+        for (const double latency : latencies) {
+            ComparisonPoint point;
+            point.runLength = run_length;
+            point.latency = latency;
+            const ConfigMaker bound =
+                [&](mt::ArchKind arch, uint64_t seed) {
+                    return maker(arch, run_length, latency, seed);
+                };
+            point.fixed =
+                replicate(bound, mt::ArchKind::FixedHw, num_seeds);
+            point.flexible =
+                replicate(bound, mt::ArchKind::Flexible, num_seeds);
+            panel.points.push_back(point);
+        }
+    }
+    return panel;
+}
+
+} // namespace rr::exp

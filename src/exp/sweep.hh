@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Parameter-sweep harness for the figure reproductions: runs a
+ * configuration over multiple seeds, averages the central-window
+ * efficiency, and assembles fixed-vs-flexible comparison series in
+ * the shape of the paper's figures (efficiency vs latency, one curve
+ * per run length, one panel per register file size).
+ */
+
+#ifndef RR_EXP_SWEEP_HH
+#define RR_EXP_SWEEP_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/table.hh"
+#include "multithread/mt_processor.hh"
+
+namespace rr::exp {
+
+/** Builds an MtConfig for (arch, seed); the sweep varies the rest. */
+using ConfigMaker =
+    std::function<mt::MtConfig(mt::ArchKind arch, uint64_t seed)>;
+
+/** Replicated measurement of one configuration. */
+struct Replicated
+{
+    double meanEfficiency = 0.0;
+    double stddev = 0.0;
+    double meanResident = 0.0;
+    unsigned seeds = 0;
+};
+
+/**
+ * Run @p maker for @p num_seeds seeds (1, 2, ...) with the given
+ * architecture and aggregate the central-window efficiency.
+ */
+Replicated replicate(const ConfigMaker &maker, mt::ArchKind arch,
+                     unsigned num_seeds);
+
+/** One (x, curve) data point comparing the two architectures. */
+struct ComparisonPoint
+{
+    double latency = 0.0;     ///< x axis (L)
+    double runLength = 0.0;   ///< curve parameter (R)
+    Replicated fixed;         ///< fixed-size hardware contexts
+    Replicated flexible;      ///< register relocation
+};
+
+/**
+ * A full figure panel: a sweep of latencies for each run length at
+ * one register file size.
+ */
+struct FigurePanel
+{
+    unsigned numRegs = 0;                 ///< F for this panel
+    std::vector<ComparisonPoint> points;  ///< all (R, L) points
+
+    /**
+     * Render as an aligned table with one row per point:
+     * F, R, L, fixed eff, flexible eff, and the flexible/fixed ratio.
+     */
+    Table toTable() const;
+};
+
+/** Builds an MtConfig for (arch, R, L, seed). */
+using PanelMaker = std::function<mt::MtConfig(
+    mt::ArchKind arch, double run_length, double latency,
+    uint64_t seed)>;
+
+/**
+ * Sweep a panel: for every run length in @p run_lengths and latency
+ * in @p latencies, measure both architectures over @p num_seeds
+ * seeds.
+ */
+FigurePanel sweepPanel(unsigned num_regs, const PanelMaker &maker,
+                       const std::vector<double> &run_lengths,
+                       const std::vector<double> &latencies,
+                       unsigned num_seeds);
+
+} // namespace rr::exp
+
+#endif // RR_EXP_SWEEP_HH

@@ -1,0 +1,73 @@
+#include "ext/adaptive.hh"
+
+#include "base/logging.hh"
+
+namespace rr::ext {
+
+double
+interferenceRunLength(double mean_run, double alpha, unsigned resident)
+{
+    rr_assert(alpha >= 0.0, "alpha must be nonnegative");
+    const double n = resident == 0 ? 1.0 : static_cast<double>(resident);
+    return mean_run / (1.0 + alpha * (n - 1.0));
+}
+
+namespace {
+
+CapSample
+evaluateCap(const mt::MtConfig &base, double mean_run, uint64_t latency,
+            double alpha, unsigned cap, unsigned capacity)
+{
+    mt::MtConfig config = base;
+    config.residencyCap = cap;
+
+    // Residency in saturation is deterministic: the cap when one is
+    // set, otherwise the register file's context capacity (both
+    // limited by the thread supply). Interference is driven by that
+    // steady-state residency.
+    unsigned resident = cap != 0 ? std::min(cap, capacity) : capacity;
+    resident = std::min(resident, config.workload.numThreads);
+
+    const double r_eff =
+        interferenceRunLength(mean_run, alpha, resident);
+    config.faultModel =
+        std::make_shared<mt::CacheFaultModel>(r_eff, latency);
+    const mt::MtStats stats = mt::simulate(std::move(config));
+
+    CapSample sample;
+    sample.cap = cap;
+    sample.effectiveRunLength = r_eff;
+    sample.efficiency = stats.efficiencyCentral;
+    return sample;
+}
+
+} // namespace
+
+AdaptiveResult
+adaptiveSearch(const mt::MtConfig &base, double mean_run,
+               uint64_t latency, double alpha, unsigned max_cap,
+               unsigned regs_per_context)
+{
+    rr_assert(max_cap >= 1, "need at least one cap candidate");
+    rr_assert(regs_per_context >= 1, "bad context size");
+    const unsigned capacity = base.numRegs / regs_per_context;
+
+    AdaptiveResult result;
+    result.uncapped =
+        evaluateCap(base, mean_run, latency, alpha, 0, capacity);
+
+    bool have_best = false;
+    for (unsigned cap = 1; cap <= max_cap; ++cap) {
+        const CapSample sample =
+            evaluateCap(base, mean_run, latency, alpha, cap, capacity);
+        result.samples.push_back(sample);
+        if (!have_best ||
+            sample.efficiency > result.best.efficiency) {
+            result.best = sample;
+            have_best = true;
+        }
+    }
+    return result;
+}
+
+} // namespace rr::ext

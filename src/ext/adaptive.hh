@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Section 5.2 extension: cache interference and adaptive limiting of
+ * the number of resident contexts.
+ *
+ * Threads sharing a cache interfere mostly destructively: each
+ * additional resident context raises the miss ratio, which shortens
+ * the effective run length between faults. We model this with a
+ * linear interference coefficient alpha:
+ *
+ *     R_eff(N) = R / (1 + alpha * (N - 1))
+ *
+ * More contexts help latency tolerance (Section 3.4) but hurt R_eff;
+ * there is an optimum N. AdaptiveController searches for it the way
+ * the paper's proposed runtime would — by measuring efficiency at
+ * candidate residency caps and keeping the best (a working-set style
+ * feedback control, after Denning).
+ */
+
+#ifndef RR_EXT_ADAPTIVE_HH
+#define RR_EXT_ADAPTIVE_HH
+
+#include <functional>
+#include <vector>
+
+#include "multithread/mt_processor.hh"
+
+namespace rr::ext {
+
+/** Effective run length with @p resident contexts (alpha model). */
+double interferenceRunLength(double mean_run, double alpha,
+                             unsigned resident);
+
+/** Measured efficiency at one residency cap. */
+struct CapSample
+{
+    unsigned cap = 0;
+    double effectiveRunLength = 0.0;
+    double efficiency = 0.0;
+};
+
+/** Outcome of the adaptive search. */
+struct AdaptiveResult
+{
+    std::vector<CapSample> samples; ///< every cap evaluated
+    CapSample best;                 ///< highest-efficiency cap
+    CapSample uncapped;             ///< no limit (naive baseline)
+};
+
+/**
+ * Evaluate residency caps 1..@p max_cap plus the uncapped baseline.
+ *
+ * @param base       configuration template (cache-fault experiments)
+ * @param mean_run   interference-free run length R
+ * @param latency    cache fault latency L
+ * @param alpha      interference coefficient
+ * @param max_cap    largest residency cap to evaluate
+ * @param regs_per_context  registers per resident context (used to
+ *                   derive the register file's context capacity, and
+ *                   hence the uncapped residency, deterministically)
+ */
+AdaptiveResult adaptiveSearch(const mt::MtConfig &base, double mean_run,
+                              uint64_t latency, double alpha,
+                              unsigned max_cap,
+                              unsigned regs_per_context = 8);
+
+} // namespace rr::ext
+
+#endif // RR_EXT_ADAPTIVE_HH

@@ -1,0 +1,175 @@
+#include "ext/context_cache.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+
+namespace rr::ext {
+
+namespace {
+
+/** Internal per-thread state. */
+struct CacheThread
+{
+    unsigned id = 0;
+    unsigned regs = 0;        ///< footprint C
+    uint64_t remaining = 0;   ///< useful cycles left
+    bool resident = false;    ///< footprint currently cached
+    bool blocked = false;
+    uint64_t completion = 0;
+    Rng rng{0};
+};
+
+} // namespace
+
+ContextCacheStats
+simulateContextCache(const ContextCacheConfig &config)
+{
+    rr_assert(config.workDist && config.regsDist && config.faultModel,
+              "incomplete configuration");
+    rr_assert(config.numThreads >= 1, "no threads");
+
+    Rng master(config.seed);
+    std::vector<CacheThread> threads(config.numThreads);
+    std::deque<unsigned> ready;
+    for (unsigned i = 0; i < config.numThreads; ++i) {
+        CacheThread &t = threads[i];
+        t.id = i;
+        t.rng = master.split();
+        t.regs = static_cast<unsigned>(
+            std::min<uint64_t>(config.regsDist->sample(t.rng),
+                               config.numRegs));
+        t.regs = std::max(t.regs, 1u);
+        t.remaining =
+            std::max<uint64_t>(1, config.workDist->sample(t.rng));
+        ready.push_back(i);
+    }
+
+    // LRU order of resident footprints (front = least recent).
+    std::list<unsigned> lru;
+    std::unordered_map<unsigned, std::list<unsigned>::iterator>
+        lruPos;
+    unsigned residentRegs = 0;
+
+    // Completion heap.
+    using Event = std::pair<uint64_t, unsigned>;
+    std::priority_queue<Event, std::vector<Event>, std::greater<>>
+        completions;
+
+    ContextCacheStats stats;
+    IntervalRecorder recorder;
+    uint64_t now = 0;
+    uint64_t useful = 0;
+    unsigned finished = 0;
+    recorder.record(0, 0);
+
+    auto evict_for = [&](unsigned needed) {
+        while (config.numRegs - residentRegs < needed) {
+            rr_assert(!lru.empty(), "cannot evict enough registers");
+            const unsigned victim = lru.front();
+            lru.pop_front();
+            lruPos.erase(victim);
+            threads[victim].resident = false;
+            residentRegs -= threads[victim].regs;
+        }
+    };
+    auto touch = [&](unsigned tid) {
+        CacheThread &t = threads[tid];
+        if (t.resident) {
+            lru.erase(lruPos[tid]);
+        } else {
+            // Demand fill: evict LRU footprints, pay per register.
+            evict_for(t.regs);
+            residentRegs += t.regs;
+            t.resident = true;
+            const uint64_t cost =
+                static_cast<uint64_t>(t.regs) *
+                config.spillFillPerReg;
+            now += cost;
+            stats.spillFillCycles += cost;
+            ++stats.refills;
+        }
+        lruPos[tid] = lru.insert(lru.end(), tid);
+    };
+
+    while (finished < config.numThreads) {
+        // Wake completions.
+        while (!completions.empty() &&
+               completions.top().first <= now) {
+            const unsigned tid = completions.top().second;
+            completions.pop();
+            threads[tid].blocked = false;
+            ready.push_back(tid);
+        }
+
+        if (ready.empty()) {
+            rr_assert(!completions.empty(), "deadlock");
+            const uint64_t next = completions.top().first;
+            stats.idleCycles += next - now;
+            now = next;
+            recorder.record(now, useful);
+            continue;
+        }
+
+        // Resident-first dispatch: "spill only when immediately
+        // needed" means the scheduler prefers threads whose bindings
+        // are already cached; cold threads run when no hot thread is
+        // ready (this is what keeps the cache from thrashing under
+        // oversubscription).
+        auto pick = ready.begin();
+        for (auto it = ready.begin(); it != ready.end(); ++it) {
+            if (threads[*it].resident) {
+                pick = it;
+                break;
+            }
+        }
+        const unsigned tid = *pick;
+        ready.erase(pick);
+        CacheThread &t = threads[tid];
+
+        // Context switch: just a context-ID change (no RRM setup, no
+        // bulk restore) plus any demand fills.
+        now += config.switchCost;
+        stats.switchCycles += config.switchCost;
+        touch(tid);
+
+        const mt::FaultSample fault = config.faultModel->next(t.rng);
+        const uint64_t segment =
+            std::min<uint64_t>(fault.runLength, t.remaining);
+        now += segment;
+        useful += segment;
+        stats.usefulCycles += segment;
+        t.remaining -= segment;
+
+        if (t.remaining == 0) {
+            ++finished;
+            if (t.resident) {
+                lru.erase(lruPos[tid]);
+                lruPos.erase(tid);
+                t.resident = false;
+                residentRegs -= t.regs;
+            }
+        } else {
+            ++stats.faults;
+            t.blocked = true;
+            t.completion = now + fault.latency;
+            completions.push({t.completion, tid});
+            // The footprint stays cached until capacity evicts it —
+            // "spills only when immediately needed" (Section 4).
+        }
+        recorder.record(now, useful);
+    }
+
+    stats.totalCycles = now;
+    stats.efficiencyTotal =
+        now == 0 ? 0.0
+                 : static_cast<double>(useful) /
+                       static_cast<double>(now);
+    stats.efficiencyCentral =
+        recorder.centralRate(config.statsLoFrac, config.statsHiFrac);
+    return stats;
+}
+
+} // namespace rr::ext

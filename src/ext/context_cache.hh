@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The Named State Processor comparison (Section 4): Nuth & Dally's
+ * *context cache* replaces the register file with a fully
+ * associative cache of variable bindings — registers spill "only
+ * when they are immediately needed for another purpose". The paper
+ * positions register relocation between fixed hardware contexts and
+ * this design: "a binding of variable names to contexts that is
+ * finer than conventional multithreaded processors, but coarser
+ * than the context cache".
+ *
+ * Model (documented simplification): thread footprints are cached
+ * with per-thread granularity under LRU. A thread is dispatched
+ * whether or not its registers are resident; the registers it is
+ * missing are filled on demand (charged per register), evicting the
+ * least-recently-run threads' registers when the file is full.
+ * There is no bulk context load/unload and no allocation — exactly
+ * the behaviour that makes the design attractive — at the cost of
+ * a fully associative register file, which we note but do not
+ * model (it would lengthen the cycle time, not the cycle count).
+ */
+
+#ifndef RR_EXT_CONTEXT_CACHE_HH
+#define RR_EXT_CONTEXT_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "base/stats.hh"
+#include "multithread/fault_model.hh"
+#include "multithread/thread.hh"
+
+namespace rr::ext {
+
+/** Configuration of a context-cache simulation. */
+struct ContextCacheConfig
+{
+    unsigned numThreads = 32;
+    std::shared_ptr<Distribution> workDist;  ///< work per thread
+    std::shared_ptr<Distribution> regsDist;  ///< footprint C
+    std::shared_ptr<const mt::FaultModel> faultModel;
+
+    unsigned numRegs = 128;    ///< register file (cache) capacity
+    uint64_t switchCost = 4;   ///< context-ID change (no mask setup)
+    uint64_t spillFillPerReg = 2; ///< cycles per demand spill+fill
+    uint64_t seed = 1;
+
+    double statsLoFrac = 0.2;
+    double statsHiFrac = 0.8;
+};
+
+/** Results of a context-cache simulation. */
+struct ContextCacheStats
+{
+    uint64_t totalCycles = 0;
+    uint64_t usefulCycles = 0;
+    uint64_t idleCycles = 0;
+    uint64_t switchCycles = 0;
+    uint64_t spillFillCycles = 0;
+    uint64_t faults = 0;
+    uint64_t refills = 0;      ///< dispatches that missed the cache
+    double efficiencyCentral = 0.0;
+    double efficiencyTotal = 0.0;
+};
+
+/** Simulate a coarse-MT node with a context-cache register file. */
+ContextCacheStats
+simulateContextCache(const ContextCacheConfig &config);
+
+} // namespace rr::ext
+
+#endif // RR_EXT_CONTEXT_CACHE_HH

@@ -1,0 +1,157 @@
+#include "ext/software_only.hh"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "multithread/workload.hh"
+
+namespace rr::ext {
+
+using runtime::Context;
+
+SoftwareOnlyPolicy::SoftwareOnlyPolicy(unsigned num_regs,
+                                       std::vector<unsigned> slot_sizes)
+    : numRegs_(num_regs)
+{
+    rr_assert(!slot_sizes.empty(), "need at least one slot");
+    const unsigned total =
+        std::accumulate(slot_sizes.begin(), slot_sizes.end(), 0u);
+    rr_assert(total <= num_regs, "slots (", total,
+              " regs) exceed the register file (", num_regs, ")");
+
+    unsigned base = 0;
+    for (const unsigned size : slot_sizes) {
+        rr_assert(size > 0, "zero-size slot");
+        slotBase_.push_back(base);
+        slotSize_.push_back(size);
+        slotFree_.push_back(true);
+        base += size;
+    }
+}
+
+std::optional<Context>
+SoftwareOnlyPolicy::allocate(unsigned regs_used)
+{
+    // The thread's binary contains a code version for every slot, so
+    // it can occupy any free slot that is large enough.
+    for (size_t i = 0; i < slotFree_.size(); ++i) {
+        if (!slotFree_[i] || slotSize_[i] < regs_used)
+            continue;
+        slotFree_[i] = false;
+        Context context;
+        context.rrm = slotBase_[i];
+        context.size = slotSize_[i];
+        return context;
+    }
+    return std::nullopt;
+}
+
+unsigned
+SoftwareOnlyPolicy::requiredSpace(unsigned regs_used) const
+{
+    // Slots are fixed at compile time; report the smallest slot that
+    // can hold the thread.
+    unsigned best = 0;
+    for (const unsigned size : slotSize_) {
+        if (size >= regs_used && (best == 0 || size < best))
+            best = size;
+    }
+    return best;
+}
+
+void
+SoftwareOnlyPolicy::release(const Context &context)
+{
+    for (size_t i = 0; i < slotBase_.size(); ++i) {
+        if (slotBase_[i] == context.rrm &&
+            slotSize_[i] == context.size) {
+            rr_assert(!slotFree_[i], "double free of slot ", i);
+            slotFree_[i] = true;
+            return;
+        }
+    }
+    rr_panic("context does not match any compile-time slot");
+}
+
+unsigned
+SoftwareOnlyPolicy::numRegs() const
+{
+    return numRegs_;
+}
+
+unsigned
+SoftwareOnlyPolicy::freeRegs() const
+{
+    unsigned free_regs = 0;
+    for (size_t i = 0; i < slotFree_.size(); ++i) {
+        if (slotFree_[i])
+            free_regs += slotSize_[i];
+    }
+    return free_regs;
+}
+
+std::string
+SoftwareOnlyPolicy::describe() const
+{
+    std::ostringstream os;
+    os << "software-only(F=" << numRegs_ << ", " << slotBase_.size()
+       << " compile-time slots)";
+    return os.str();
+}
+
+double
+codeExpansionRunLength(double mean_run, unsigned versions,
+                       double penalty_per_doubling)
+{
+    rr_assert(versions >= 1, "need at least one code version");
+    rr_assert(penalty_per_doubling >= 0.0 && penalty_per_doubling < 1.0,
+              "penalty must be in [0, 1)");
+    const double doublings = std::log2(static_cast<double>(versions));
+    return mean_run *
+           std::pow(1.0 - penalty_per_doubling, doublings);
+}
+
+SoftwareOnlyResult
+simulateSoftwareOnly(unsigned num_regs, unsigned versions,
+                     double mean_run, uint64_t latency,
+                     unsigned num_threads, uint64_t work_per_thread,
+                     unsigned regs_per_thread,
+                     double penalty_per_doubling, uint64_t seed)
+{
+    rr_assert(versions >= 1, "need at least one code version");
+    const unsigned slot_regs = num_regs / versions;
+    rr_assert(slot_regs >= regs_per_thread,
+              "threads need ", regs_per_thread,
+              " registers but slots hold only ", slot_regs);
+
+    SoftwareOnlyResult result;
+    result.versions = versions;
+    result.effectiveRunLength =
+        codeExpansionRunLength(mean_run, versions,
+                               penalty_per_doubling);
+
+    mt::MtConfig config;
+    config.workload = mt::homogeneousWorkload(
+        num_threads, work_per_thread, regs_per_thread);
+    config.faultModel = std::make_shared<mt::CacheFaultModel>(
+        result.effectiveRunLength, latency);
+    // No relocation hardware: switching is a jump through a version
+    // table, comparable to the Figure 3 path; allocation is static
+    // and free.
+    config.costs = runtime::CostModel::paperFixed(6);
+    config.numRegs = num_regs;
+    config.customPolicy = [num_regs, versions, slot_regs] {
+        return std::make_unique<SoftwareOnlyPolicy>(
+            num_regs,
+            std::vector<unsigned>(versions, slot_regs));
+    };
+    config.unloadPolicy = mt::UnloadPolicyKind::Never;
+    config.seed = seed;
+
+    result.stats = mt::simulate(std::move(config));
+    return result;
+}
+
+} // namespace rr::ext

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Section 5.1 extension: the software-only approach.
+ *
+ * With no relocation hardware at all, the compiler generates multiple
+ * versions of each thread's code, each version bound to a disjoint
+ * subset of the register file — relocation performed at compile time.
+ * Consequences modelled here:
+ *
+ *  - the register file is partitioned *statically* into K slots
+ *    (arbitrary sizes are allowed — no power-of-two constraint);
+ *  - context allocation binds a thread to any free slot large enough
+ *    for its register requirement (the thread's binary contains a
+ *    version for every slot), at zero allocation cost;
+ *  - code expansion: K versions of every function enlarge the
+ *    instruction working set. We model this as a multiplicative run
+ *    length degradation per doubling of K (more instruction cache
+ *    misses shorten the distance between stalls), with a documented,
+ *    tunable coefficient;
+ *  - K is small in practice (the paper's gcc/MIPS experiment found
+ *    more than two contexts impractical on a 32-register file).
+ */
+
+#ifndef RR_EXT_SOFTWARE_ONLY_HH
+#define RR_EXT_SOFTWARE_ONLY_HH
+
+#include <vector>
+
+#include "multithread/context_policy.hh"
+#include "multithread/mt_processor.hh"
+
+namespace rr::ext {
+
+/** Static compile-time partitioning of the register file. */
+class SoftwareOnlyPolicy : public mt::ContextPolicy
+{
+  public:
+    /**
+     * @param num_regs    register file size F
+     * @param slot_sizes  compile-time partition sizes; their sum must
+     *                    not exceed F
+     */
+    SoftwareOnlyPolicy(unsigned num_regs,
+                       std::vector<unsigned> slot_sizes);
+
+    std::optional<runtime::Context> allocate(unsigned regs_used) override;
+    unsigned requiredSpace(unsigned regs_used) const override;
+    void release(const runtime::Context &context) override;
+    unsigned numRegs() const override;
+    unsigned freeRegs() const override;
+    std::string describe() const override;
+
+  private:
+    unsigned numRegs_;
+    std::vector<unsigned> slotBase_;
+    std::vector<unsigned> slotSize_;
+    std::vector<bool> slotFree_;
+};
+
+/**
+ * Run length degradation from code expansion: each doubling of the
+ * number of code versions multiplies the mean run length by
+ * (1 - penalty_per_doubling).
+ *
+ * @return the effective mean run length for K versions
+ */
+double codeExpansionRunLength(double mean_run, unsigned versions,
+                              double penalty_per_doubling);
+
+/** Result of one software-only simulation. */
+struct SoftwareOnlyResult
+{
+    unsigned versions = 0;       ///< K
+    double effectiveRunLength = 0.0;
+    mt::MtStats stats;
+};
+
+/**
+ * Simulate the software-only scheme: partition @p num_regs registers
+ * into @p versions equal slots, degrade the run length for code
+ * expansion, and run the given fault parameters (cache-fault model,
+ * S = 6, never unload).
+ */
+SoftwareOnlyResult simulateSoftwareOnly(
+    unsigned num_regs, unsigned versions, double mean_run,
+    uint64_t latency, unsigned num_threads, uint64_t work_per_thread,
+    unsigned regs_per_thread, double penalty_per_doubling = 0.05,
+    uint64_t seed = 1);
+
+} // namespace rr::ext
+
+#endif // RR_EXT_SOFTWARE_ONLY_HH

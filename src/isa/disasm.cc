@@ -1,0 +1,75 @@
+#include "isa/instruction.hh"
+
+#include <sstream>
+
+namespace rr::isa {
+
+namespace {
+
+std::string
+reg(unsigned r)
+{
+    return "r" + std::to_string(r);
+}
+
+} // namespace
+
+std::string
+disassemble(const Instruction &inst)
+{
+    std::ostringstream os;
+    os << mnemonicOf(inst.op);
+
+    switch (inst.format()) {
+      case Format::None:
+        break;
+      case Format::R3:
+        os << " " << reg(inst.rd) << ", " << reg(inst.rs1) << ", "
+           << reg(inst.rs2);
+        break;
+      case Format::R2:
+        os << " " << reg(inst.rd) << ", " << reg(inst.rs1);
+        break;
+      case Format::R1D:
+        os << " " << reg(inst.rd);
+        break;
+      case Format::R1S:
+        os << " " << reg(inst.rs1);
+        break;
+      case Format::I:
+        if (inst.op == Opcode::LD || inst.op == Opcode::ST) {
+            os << " " << reg(inst.rd) << ", " << inst.imm << "("
+               << reg(inst.rs1) << ")";
+        } else {
+            os << " " << reg(inst.rd) << ", " << reg(inst.rs1) << ", "
+               << inst.imm;
+        }
+        break;
+      case Format::B:
+        os << " " << reg(inst.rs1) << ", " << reg(inst.rs2) << ", "
+           << inst.imm;
+        break;
+      case Format::J:
+      case Format::UI:
+        os << " " << reg(inst.rd) << ", " << inst.imm;
+        break;
+      case Format::Imm:
+        os << " " << inst.imm;
+        break;
+      case Format::Rs1Imm:
+        os << " " << reg(inst.rs1) << ", " << inst.imm;
+        break;
+    }
+    return os.str();
+}
+
+std::string
+disassemble(uint32_t word)
+{
+    Instruction inst;
+    if (!decode(word, inst))
+        return "<invalid>";
+    return disassemble(inst);
+}
+
+} // namespace rr::isa

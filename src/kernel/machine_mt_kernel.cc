@@ -1,0 +1,259 @@
+#include "kernel/machine_mt_kernel.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "assembler/assembler.hh"
+#include "base/bitops.hh"
+#include "base/logging.hh"
+#include "runtime/asm_routines.hh"
+#include "runtime/context_loader.hh"
+
+namespace rr::kernel {
+
+namespace {
+
+/** Memory layout (word addresses). */
+constexpr uint64_t liveCounterAddr = 0x4000;
+constexpr uint64_t flagBase = 0x4010;
+constexpr uint64_t tableBase = 0x4100;
+
+} // namespace
+
+MachineMtKernel::MachineMtKernel(KernelConfig config)
+    : config_(std::move(config)), rng_(config_.seed)
+{
+    rr_assert(config_.segmentUnits != nullptr,
+              "segment distribution missing");
+    rr_assert(config_.service == FaultService::Barrier ||
+                  config_.latency != nullptr,
+              "latency distribution missing");
+    rr_assert(config_.numThreads >= 1, "no threads");
+    rr_assert(config_.regsUsed >= 12,
+              "the kernel body uses context-relative r0..r11");
+
+    machine::CpuConfig cpu_config;
+    cpu_config.numRegs = config_.numRegs;
+    cpu_config.operandWidth = config_.operandWidth;
+    cpu_config.ldrrmDelaySlots = 1;
+    const uint64_t table_words =
+        static_cast<uint64_t>(config_.numThreads) *
+        (config_.segmentsPerThread + 1);
+    cpu_config.memWords = std::max<size_t>(
+        1u << 16, static_cast<size_t>(tableBase + table_words + 64));
+    cpu_ = std::make_unique<machine::Cpu>(cpu_config);
+
+    allocator_ = std::make_unique<runtime::ContextAllocator>(
+        config_.numRegs, config_.operandWidth);
+
+    buildProgram();
+    createThreads();
+}
+
+void
+MachineMtKernel::buildProgram()
+{
+    std::ostringstream os;
+    os << "entry:\n"
+       << "    jmp r0\n"
+       << runtime::figure3YieldSource() << R"(
+; Shared thread body: run a segment of work units, fault, yield,
+; poll for completion on resumption, fetch the next segment.
+thread_start:
+    ld   r4, 0(r10)     ; first segment length
+    addi r10, r10, 1
+    bne  r4, r7, work
+    b    done           ; empty table
+work:
+    sub  r4, r4, r6     ; one work unit = sub + bne (2 cycles)
+    bne  r4, r7, work
+    fault 0             ; segment over: raise the long-latency fault
+    jal  r0, yield
+poll:
+    ld   r8, 0(r9)      ; resumed: has the fault completed?
+    bne  r8, r7, resume
+poll_fail:
+    jal  r0, yield      ; still outstanding: yield again
+    b    poll
+resume:
+    ld   r4, 0(r10)     ; next segment
+    addi r10, r10, 1
+    bne  r4, r7, work
+done:
+    ld   r8, 0(r11)     ; thread finished: live_count -= 1
+    sub  r8, r8, r6
+    st   r8, 0(r11)
+    bne  r8, r7, parked
+    halt
+parked:
+    jal  r0, yield
+    b    parked
+)";
+
+    const assembler::Program prog = assembler::assemble(os.str());
+    for (const auto &error : prog.errors)
+        rr_panic("kernel program: ", error.str());
+    cpu_->mem().loadImage(prog.base, prog.words);
+    entryAddr_ = prog.addressOf("thread_start");
+    workAddr_ = prog.addressOf("work");
+    pollFailAddr_ = prog.addressOf("poll_fail");
+}
+
+void
+MachineMtKernel::createThreads()
+{
+    const unsigned context_regs =
+        config_.forcedContextSize != 0 ? config_.forcedContextSize
+                                       : config_.regsUsed;
+
+    for (unsigned tid = 0; tid < config_.numThreads; ++tid) {
+        const auto context = allocator_->allocate(context_regs);
+        rr_assert(context.has_value(),
+                  "thread ", tid, " does not fit the register file; "
+                  "reduce numThreads or the context size");
+
+        ThreadInfo info;
+        info.rrm = context->rrm;
+        info.flagAddr = flagBase + tid;
+        info.tableAddr =
+            tableBase + static_cast<uint64_t>(tid) *
+                            (config_.segmentsPerThread + 1);
+
+        // Fill the segment table (terminated by a 0 sentinel).
+        for (unsigned s = 0; s < config_.segmentsPerThread; ++s) {
+            const uint64_t units =
+                std::max<uint64_t>(1, config_.segmentUnits->sample(rng_));
+            cpu_->mem().write(info.tableAddr + s,
+                              static_cast<uint32_t>(units));
+            info.totalUnits += units;
+        }
+        cpu_->mem().write(info.tableAddr + config_.segmentsPerThread,
+                          0);
+
+        // Architectural register images.
+        runtime::pokeContextReg(*cpu_, info.rrm, 0, entryAddr_);
+        runtime::pokeContextReg(*cpu_, info.rrm, 1, 0);
+        runtime::pokeContextReg(*cpu_, info.rrm, 6, 1);
+        runtime::pokeContextReg(*cpu_, info.rrm, 7, 0);
+        runtime::pokeContextReg(*cpu_, info.rrm, 9,
+                                static_cast<uint32_t>(info.flagAddr));
+        runtime::pokeContextReg(*cpu_, info.rrm, 10,
+                                static_cast<uint32_t>(info.tableAddr));
+        runtime::pokeContextReg(*cpu_, info.rrm, 11,
+                                static_cast<uint32_t>(liveCounterAddr));
+
+        rrmToThread_[info.rrm] = tid;
+        threads_.push_back(info);
+    }
+
+    // Wire the NextRRM ring (Figure 3 / Section 2.2).
+    for (size_t i = 0; i < threads_.size(); ++i) {
+        const ThreadInfo &cur = threads_[i];
+        const ThreadInfo &next = threads_[(i + 1) % threads_.size()];
+        runtime::pokeContextReg(*cpu_, cur.rrm, 2, next.rrm);
+    }
+
+    cpu_->mem().write(liveCounterAddr,
+                      static_cast<uint32_t>(threads_.size()));
+    cpu_->setRrmImmediate(threads_.front().rrm);
+    cpu_->setPc(entryAddr_);
+    result_.residentContexts =
+        static_cast<unsigned>(threads_.size());
+}
+
+void
+MachineMtKernel::onFault(uint32_t)
+{
+    const auto it = rrmToThread_.find(cpu_->rrm());
+    rr_assert(it != rrmToThread_.end(), "fault from unknown context");
+    const unsigned tid = it->second;
+
+    cpu_->mem().write(threads_[tid].flagAddr, 0);
+    ++result_.faults;
+
+    if (config_.service == FaultService::Barrier) {
+        if (arrived_.empty())
+            arrived_.assign(threads_.size(), false);
+        if (!arrived_[tid]) {
+            arrived_[tid] = true;
+            ++arrivalCount_;
+        }
+        return; // released in onStep when everyone has arrived
+    }
+
+    const uint64_t latency =
+        std::max<uint64_t>(1, config_.latency->sample(rng_));
+    pending_.push({cpu_->cycles() + latency, tid});
+}
+
+void
+MachineMtKernel::onStep(uint64_t cycle, uint32_t pc)
+{
+    // The harness plays the memory system: completion flags mature
+    // as machine time advances.
+    while (!pending_.empty() && pending_.top().completion <= cycle) {
+        const PendingFault fault = pending_.top();
+        pending_.pop();
+        cpu_->mem().write(threads_[fault.tid].flagAddr, 1);
+    }
+
+    // Barrier release: every still-running thread has arrived. The
+    // live counter is the machine's own memory word, so threads that
+    // finished no longer count toward the barrier.
+    if (config_.service == FaultService::Barrier &&
+        arrivalCount_ > 0 &&
+        arrivalCount_ >=
+            cpu_->mem().read(liveCounterAddr)) {
+        for (unsigned tid = 0; tid < threads_.size(); ++tid) {
+            if (arrived_[tid]) {
+                cpu_->mem().write(threads_[tid].flagAddr, 1);
+                arrived_[tid] = false;
+            }
+        }
+        arrivalCount_ = 0;
+        ++result_.barriers;
+    }
+
+    if (pc == workAddr_) {
+        ++result_.workUnits;
+        recorder_.record(cycle, result_.workUnits);
+    } else if (pc == pollFailAddr_) {
+        ++result_.failedPolls;
+    }
+}
+
+KernelResult
+MachineMtKernel::run()
+{
+    cpu_->setFaultHook(
+        [this](machine::Cpu &, uint32_t fault_class) {
+            onFault(fault_class);
+        });
+    cpu_->setTraceHook([this](const machine::TraceEntry &entry) {
+        onStep(entry.cycle, entry.pc);
+    });
+
+    cpu_->run(config_.maxSteps);
+
+    result_.halted = cpu_->halted() &&
+                     cpu_->trap() == machine::TrapKind::None;
+    result_.totalCycles = cpu_->cycles();
+    result_.usefulCycles = 2 * result_.workUnits;
+    recorder_.record(result_.totalCycles, result_.workUnits);
+    result_.efficiencyTotal =
+        result_.totalCycles == 0
+            ? 0.0
+            : static_cast<double>(result_.usefulCycles) /
+                  static_cast<double>(result_.totalCycles);
+    result_.efficiencyCentral = 2.0 * recorder_.centralRate();
+    return result_;
+}
+
+KernelResult
+runMachineKernel(KernelConfig config)
+{
+    MachineMtKernel kernel(std::move(config));
+    return kernel.run();
+}
+
+} // namespace rr::kernel

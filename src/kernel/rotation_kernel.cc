@@ -1,0 +1,125 @@
+#include "kernel/rotation_kernel.hh"
+
+#include "assembler/assembler.hh"
+#include "base/bitops.hh"
+#include "base/logging.hh"
+#include "runtime/asm_routines.hh"
+
+namespace rr::kernel {
+
+namespace {
+
+// Must match the .equ block in rotationSchedulerSource().
+constexpr uint64_t mailboxAddr = 0x3000;
+constexpr uint64_t mailbox2Addr = 0x3001;
+constexpr uint64_t liveAddr = 0x3002;
+constexpr uint64_t allocMapAddr = 0x3003;
+constexpr uint64_t queueAddr = 0x3010;
+constexpr uint64_t saveAreaBase = 0x3100;
+constexpr unsigned saveAreaWords = 8;
+
+} // namespace
+
+RotationKernel::RotationKernel(RotationConfig config)
+    : config_(config)
+{
+    rr_assert(config_.numThreads >= 1 && config_.numThreads <= 100,
+              "1..100 threads supported");
+    rr_assert(config_.segmentsPerThread >= 1, "no segments");
+
+    machine::CpuConfig cpu_config;
+    cpu_config.numRegs = 128;
+    cpu_config.operandWidth = 6;
+    cpu_config.ldrrmDelaySlots = 1;
+    cpu_config.memWords = 1u << 15;
+    cpu_ = std::make_unique<machine::Cpu>(cpu_config);
+
+    const assembler::Program prog = assembler::assemble(
+        runtime::rotationSchedulerSource(config_.workUnits));
+    for (const auto &error : prog.errors)
+        rr_panic("rotation runtime: ", error.str());
+    cpu_->mem().loadImage(prog.base, prog.words);
+    workAddr_ = prog.addressOf("work");
+    rotateAddr_ = prog.addressOf("sched_rotate");
+    dequeueAddr_ = prog.addressOf("sched_dequeue");
+
+    // The scheduler context owns registers 0..31 (chunks 0..7); the
+    // remaining 24 chunks are free for thread contexts.
+    cpu_->mem().write(allocMapAddr, 0xffffff00u);
+    cpu_->mem().write(liveAddr, config_.numThreads);
+
+    // Save areas + ready queue (ring of save-area addresses).
+    const unsigned qcap = static_cast<unsigned>(
+        roundUpPowerOfTwo(config_.numThreads + 1));
+    rr_assert(queueAddr + qcap <= saveAreaBase, "queue too large");
+    const uint32_t thread_start = prog.addressOf("thread_start");
+    for (unsigned tid = 0; tid < config_.numThreads; ++tid) {
+        const uint64_t area = saveAreaOf(tid);
+        cpu_->mem().write(area + 0, thread_start); // r0: entry PC
+        cpu_->mem().write(area + 1, 0);            // r1: PSW image
+        cpu_->mem().write(area + 2, 0);            // r2: own RRM
+        cpu_->mem().write(area + 3, 0);            // r3: sched RRM
+        cpu_->mem().write(area + 4, config_.segmentsPerThread); // r6
+        cpu_->mem().write(area + 5, 0);            // r7: zero
+        cpu_->mem().write(area + 6, 0);            // thread.rrm
+        cpu_->mem().write(area + 7, 0);            // thread.allocMask
+        cpu_->mem().write(queueAddr + tid,
+                          static_cast<uint32_t>(area));
+    }
+
+    // Scheduler register file image (context base 0 => absolute).
+    cpu_->regs().write(6, 0);
+    cpu_->regs().write(8, 0x11111111u);
+    cpu_->regs().write(9, 0x0000ffffu);
+    cpu_->regs().write(10, static_cast<uint32_t>(allocMapAddr));
+    cpu_->regs().write(13, 0x0000000fu);
+    cpu_->regs().write(16, static_cast<uint32_t>(queueAddr));
+    cpu_->regs().write(17, 0);                    // head
+    cpu_->regs().write(18, config_.numThreads);   // tail
+    cpu_->regs().write(19, qcap - 1);             // index mask
+    cpu_->regs().write(25, 0x55555555u);
+
+    cpu_->setRrmImmediate(0);
+    cpu_->setPc(dequeueAddr_);
+}
+
+uint64_t
+RotationKernel::saveAreaOf(unsigned tid) const
+{
+    return saveAreaBase + static_cast<uint64_t>(tid) * saveAreaWords;
+}
+
+RotationResult
+RotationKernel::run()
+{
+    cpu_->setFaultHook([this](machine::Cpu &, uint32_t fault_class) {
+        if (fault_class == 63)
+            result_.allocPanic = true;
+        else
+            ++result_.faults;
+    });
+    cpu_->setTraceHook([this](const machine::TraceEntry &entry) {
+        if (entry.pc == workAddr_)
+            ++result_.workUnits;
+        else if (entry.pc == rotateAddr_)
+            ++result_.rotations;
+    });
+
+    cpu_->run(config_.maxSteps);
+
+    result_.halted = cpu_->halted() &&
+                     cpu_->trap() == machine::TrapKind::None;
+    result_.totalCycles = cpu_->cycles();
+    result_.usefulCycles = 2 * result_.workUnits;
+    result_.finalAllocMap = cpu_->mem().read(allocMapAddr);
+    return result_;
+}
+
+RotationResult
+runRotationKernel(RotationConfig config)
+{
+    RotationKernel kernel(config);
+    return kernel.run();
+}
+
+} // namespace rr::kernel

@@ -1,0 +1,177 @@
+#include "kernel/twophase_kernel.hh"
+
+#include <algorithm>
+
+#include "assembler/assembler.hh"
+#include "base/logging.hh"
+#include "runtime/asm_routines.hh"
+
+namespace rr::kernel {
+
+namespace {
+
+// Must match the .equ block in twoPhaseSchedulerSource().
+constexpr uint64_t qheadAddr = 0x3000;
+constexpr uint64_t qtailAddr = 0x3001;
+constexpr uint64_t liveAddr = 0x3002;
+constexpr uint64_t queueAddr = 0x3010;
+constexpr uint32_t queueMask = 127;
+constexpr uint64_t saveAreaBase = 0x3100;
+constexpr unsigned saveAreaWords = 8;
+
+constexpr unsigned flagWord = 5;     // completion flag
+constexpr unsigned unloadedWord = 7; // blocked-and-unloaded marker
+
+} // namespace
+
+TwoPhaseKernel::TwoPhaseKernel(TwoPhaseConfig config)
+    : config_(std::move(config)), rng_(config_.seed)
+{
+    rr_assert(config_.latency != nullptr, "latency distribution "
+                                          "missing");
+    rr_assert(config_.numThreads >= 1 && config_.numThreads <= 100,
+              "1..100 threads supported");
+    rr_assert(config_.numSlots >= 1 && config_.numSlots <= 16,
+              "1..16 slots supported");
+    rr_assert(config_.numSlots <= config_.numThreads,
+              "more slots than threads");
+
+    machine::CpuConfig cpu_config;
+    cpu_config.numRegs = 128;
+    cpu_config.operandWidth = 6;
+    cpu_config.ldrrmDelaySlots = 1;
+    cpu_config.memWords = 1u << 15;
+    cpu_ = std::make_unique<machine::Cpu>(cpu_config);
+
+    const assembler::Program prog =
+        assembler::assemble(runtime::twoPhaseSchedulerSource(
+            config_.workUnits, config_.pollBudget));
+    for (const auto &error : prog.errors)
+        rr_panic("two-phase runtime: ", error.str());
+    cpu_->mem().loadImage(prog.base, prog.words);
+    workAddr_ = prog.addressOf("work");
+    swapOutAddr_ = prog.addressOf("swap_out");
+    swapInAddr_ = prog.addressOf("swap_in");
+
+    const uint32_t work_seg = prog.addressOf("work_seg");
+
+    // Save areas for every thread.
+    for (unsigned tid = 0; tid < config_.numThreads; ++tid) {
+        const uint64_t area = saveAreaOf(tid);
+        cpu_->mem().write(area + 0, work_seg);
+        cpu_->mem().write(area + 1, 0);
+        cpu_->mem().write(area + 4, config_.segmentsPerThread);
+        cpu_->mem().write(area + flagWord, 0);
+        cpu_->mem().write(area + unloadedWord, 0);
+    }
+
+    // Threads beyond the slots wait in the memory ready queue.
+    const unsigned queued = config_.numThreads - config_.numSlots;
+    for (unsigned j = 0; j < queued; ++j) {
+        cpu_->mem().write(queueAddr + j,
+                          static_cast<uint32_t>(
+                              saveAreaOf(config_.numSlots + j)));
+    }
+    cpu_->mem().write(qheadAddr, 0);
+    cpu_->mem().write(qtailAddr, queued);
+    cpu_->mem().write(liveAddr, config_.numThreads);
+
+    // Slot contexts: 8 registers at bases 0, 8, 16, ... wired into a
+    // Figure 3 ring; slot i initially runs thread i.
+    for (unsigned slot = 0; slot < config_.numSlots; ++slot) {
+        const uint32_t rrm = 8 * slot;
+        const uint32_t next_rrm =
+            8 * ((slot + 1) % config_.numSlots);
+        cpu_->regs().write(rrm | 0, work_seg);
+        cpu_->regs().write(rrm | 1, 0);
+        cpu_->regs().write(rrm | 2, next_rrm);
+        cpu_->regs().write(rrm | 3, 0);
+        cpu_->regs().write(
+            rrm | 4, static_cast<uint32_t>(saveAreaOf(slot)));
+        cpu_->regs().write(rrm | 5, 0);
+        cpu_->regs().write(rrm | 6, config_.segmentsPerThread);
+        cpu_->regs().write(rrm | 7, 0);
+    }
+    cpu_->setRrmImmediate(0);
+    cpu_->setPc(work_seg);
+}
+
+uint64_t
+TwoPhaseKernel::saveAreaOf(unsigned tid) const
+{
+    return saveAreaBase + static_cast<uint64_t>(tid) * saveAreaWords;
+}
+
+void
+TwoPhaseKernel::onFault()
+{
+    // The faulting thread is identified through the slot's r4.
+    const uint32_t area = cpu_->readContextReg(4);
+    rr_assert(area >= saveAreaBase, "bad save-area pointer");
+    const unsigned tid = static_cast<unsigned>(
+        (area - saveAreaBase) / saveAreaWords);
+    rr_assert(tid < config_.numThreads, "bad thread id");
+
+    const uint64_t latency =
+        std::max<uint64_t>(1, config_.latency->sample(rng_));
+    cpu_->mem().write(area + flagWord, 0);
+    pending_.push({cpu_->cycles() + latency, tid});
+    ++result_.faults;
+}
+
+void
+TwoPhaseKernel::onStep(uint64_t cycle, uint32_t pc)
+{
+    // The memory system: completions set the flag; an unloaded
+    // thread is put back on the ready queue (single producer for
+    // QTAIL — the running code never writes it).
+    while (!pending_.empty() && pending_.top().completion <= cycle) {
+        const unsigned tid = pending_.top().tid;
+        pending_.pop();
+        const uint64_t area = saveAreaOf(tid);
+        cpu_->mem().write(area + flagWord, 1);
+        if (cpu_->mem().read(area + unloadedWord) == 1) {
+            const uint32_t tail = cpu_->mem().read(qtailAddr);
+            cpu_->mem().write(queueAddr + (tail & queueMask),
+                              static_cast<uint32_t>(area));
+            cpu_->mem().write(qtailAddr, tail + 1);
+            cpu_->mem().write(area + unloadedWord, 0);
+        }
+    }
+
+    if (pc == workAddr_)
+        ++result_.workUnits;
+    else if (pc == swapOutAddr_)
+        ++result_.swapOuts;
+    else if (pc == swapInAddr_)
+        ++result_.dequeues;
+}
+
+TwoPhaseResult
+TwoPhaseKernel::run()
+{
+    cpu_->setFaultHook(
+        [this](machine::Cpu &, uint32_t) { onFault(); });
+    cpu_->setTraceHook([this](const machine::TraceEntry &entry) {
+        onStep(entry.cycle, entry.pc);
+        if (observer_)
+            observer_(entry);
+    });
+
+    cpu_->run(config_.maxSteps);
+
+    result_.halted = cpu_->halted() &&
+                     cpu_->trap() == machine::TrapKind::None;
+    result_.totalCycles = cpu_->cycles();
+    result_.usefulCycles = 2 * result_.workUnits;
+    return result_;
+}
+
+TwoPhaseResult
+runTwoPhaseKernel(TwoPhaseConfig config)
+{
+    TwoPhaseKernel kernel(std::move(config));
+    return kernel.run();
+}
+
+} // namespace rr::kernel

@@ -1,0 +1,424 @@
+#include "machine/cpu.hh"
+
+#include "base/bitops.hh"
+#include "base/logging.hh"
+
+namespace rr::machine {
+
+using isa::Instruction;
+using isa::Opcode;
+
+const char *
+trapName(TrapKind kind)
+{
+    switch (kind) {
+      case TrapKind::None:
+        return "none";
+      case TrapKind::InvalidOpcode:
+        return "invalid-opcode";
+      case TrapKind::OperandTooWide:
+        return "operand-too-wide";
+      case TrapKind::RegOutOfRange:
+        return "reg-out-of-range";
+      case TrapKind::MemOutOfRange:
+        return "mem-out-of-range";
+      case TrapKind::ContextBounds:
+        return "context-bounds-violation";
+    }
+    return "unknown";
+}
+
+Cpu::Cpu(const CpuConfig &config)
+    : config_(config),
+      regs_(config.numRegs),
+      mem_(config.memWords),
+      relocation_(config.numRegs, config.operandWidth,
+                  config.relocationMode, config.rrmBanks)
+{
+}
+
+void
+Cpu::setRrmImmediate(uint32_t mask, unsigned bank)
+{
+    relocation_.setMask(mask, bank);
+}
+
+unsigned
+Cpu::relocateOrTrap(unsigned operand) const
+{
+    if (operand >= (1u << config_.operandWidth))
+        throw TrapSignal{TrapKind::OperandTooWide};
+    const RelocationResult result = relocation_.relocate(operand);
+    if (!result.ok)
+        throw TrapSignal{TrapKind::ContextBounds};
+    if (result.physical >= regs_.size())
+        throw TrapSignal{TrapKind::RegOutOfRange};
+    return result.physical;
+}
+
+uint32_t
+Cpu::readOperand(unsigned operand) const
+{
+    const unsigned physical = relocateOrTrap(operand);
+    if (config_.timing.enabled() && stepReadCount_ < 4)
+        stepReads_[stepReadCount_++] = physical;
+    return regs_.read(physical);
+}
+
+void
+Cpu::writeOperand(unsigned operand, uint32_t value)
+{
+    regs_.write(relocateOrTrap(operand), value);
+}
+
+uint32_t
+Cpu::readContextReg(unsigned context_reg) const
+{
+    const RelocationResult result = relocation_.relocate(context_reg);
+    rr_assert(result.ok, "context register ", context_reg,
+              " violates bounds");
+    return regs_.read(result.physical);
+}
+
+void
+Cpu::writeContextReg(unsigned context_reg, uint32_t value)
+{
+    const RelocationResult result = relocation_.relocate(context_reg);
+    rr_assert(result.ok, "context register ", context_reg,
+              " violates bounds");
+    regs_.write(result.physical, value);
+}
+
+void
+Cpu::advancePendingRrm()
+{
+    if (!rrmPending_)
+        return;
+    --rrmPendingRemaining_;
+    if (rrmPendingRemaining_ == 0) {
+        relocation_.setMask(rrmPendingValue_, rrmPendingBank_);
+        rrmPending_ = false;
+    }
+}
+
+bool
+Cpu::step()
+{
+    if (halted_ || trap_ != TrapKind::None)
+        return false;
+
+    // Delay-slot state machine: the mask installed by LDRRM becomes
+    // visible only after ldrrmDelaySlots further instructions.
+    advancePendingRrm();
+
+    if (!mem_.inRange(pc_)) {
+        trap_ = TrapKind::MemOutOfRange;
+        return false;
+    }
+    const uint32_t word = mem_.read(pc_);
+    Instruction inst;
+    if (!isa::decode(word, inst)) {
+        trap_ = TrapKind::InvalidOpcode;
+        return false;
+    }
+
+    if (traceHook_) {
+        traceHook_(TraceEntry{cycles_, pc_, inst, relocation_.mask(0),
+                              isa::disassemble(inst)});
+    }
+
+    const uint32_t pc_before = pc_;
+    stepReadCount_ = 0;
+
+    try {
+        execute(inst);
+    } catch (const TrapSignal &signal) {
+        trap_ = signal.kind;
+        return false;
+    }
+
+    ++cycles_;
+    ++instret_;
+
+    if (config_.timing.enabled()) {
+        // Load-use: this instruction read the destination of the
+        // immediately preceding load.
+        if (prevWasLoad_ && prevWroteReg_) {
+            for (unsigned i = 0; i < stepReadCount_; ++i) {
+                if (stepReads_[i] == prevDestPhys_) {
+                    cycles_ += config_.timing.loadUsePenalty;
+                    timingStats_.loadUseStalls +=
+                        config_.timing.loadUsePenalty;
+                    break;
+                }
+            }
+        }
+        // Redirection: any non-sequential next PC flushes the front
+        // of the pipeline (taken branches, jumps, fault vectors).
+        if (pc_ != pc_before + 1 && !halted_) {
+            cycles_ += config_.timing.takenBranchPenalty;
+            timingStats_.branchStalls +=
+                config_.timing.takenBranchPenalty;
+        }
+        if (inst.op == isa::Opcode::LDRRM ||
+            inst.op == isa::Opcode::LDRRMX) {
+            cycles_ += config_.timing.ldrrmPenalty;
+            timingStats_.ldrrmStalls += config_.timing.ldrrmPenalty;
+        }
+        // Track this instruction's write for the next step's hazard
+        // check.
+        prevWasLoad_ = inst.op == isa::Opcode::LD;
+        const isa::FormatInfo info = isa::formatInfo(inst.format());
+        prevWroteReg_ =
+            info.hasRd && inst.op != isa::Opcode::ST;
+        if (prevWroteReg_) {
+            const RelocationResult dest =
+                relocation_.relocate(inst.rd);
+            prevDestPhys_ = dest.physical;
+        }
+    }
+
+    return trap_ == TrapKind::None && !halted_;
+}
+
+uint64_t
+Cpu::run(uint64_t max_steps)
+{
+    uint64_t executed = 0;
+    while (executed < max_steps) {
+        const uint64_t before = instret_;
+        const bool more = step();
+        executed += instret_ - before;
+        if (!more)
+            break;
+    }
+    return executed;
+}
+
+void
+Cpu::resume()
+{
+    halted_ = false;
+    trap_ = TrapKind::None;
+}
+
+void
+Cpu::execute(const Instruction &inst)
+{
+    uint32_t next = pc_ + 1;
+
+    auto mem_read = [&](uint64_t addr) {
+        if (!mem_.inRange(addr))
+            throw TrapSignal{TrapKind::MemOutOfRange};
+        return mem_.read(addr);
+    };
+    auto mem_write = [&](uint64_t addr, uint32_t value) {
+        if (!mem_.inRange(addr))
+            throw TrapSignal{TrapKind::MemOutOfRange};
+        mem_.write(addr, value);
+    };
+
+    switch (inst.op) {
+      case Opcode::NOP:
+        break;
+      case Opcode::HALT:
+        halted_ = true;
+        break;
+
+      case Opcode::ADD:
+        writeOperand(inst.rd,
+                     readOperand(inst.rs1) + readOperand(inst.rs2));
+        break;
+      case Opcode::SUB:
+        writeOperand(inst.rd,
+                     readOperand(inst.rs1) - readOperand(inst.rs2));
+        break;
+      case Opcode::AND:
+        writeOperand(inst.rd,
+                     readOperand(inst.rs1) & readOperand(inst.rs2));
+        break;
+      case Opcode::OR:
+        writeOperand(inst.rd,
+                     readOperand(inst.rs1) | readOperand(inst.rs2));
+        break;
+      case Opcode::XOR:
+        writeOperand(inst.rd,
+                     readOperand(inst.rs1) ^ readOperand(inst.rs2));
+        break;
+      case Opcode::SLL:
+        writeOperand(inst.rd, readOperand(inst.rs1)
+                                  << (readOperand(inst.rs2) & 31));
+        break;
+      case Opcode::SRL:
+        writeOperand(inst.rd, readOperand(inst.rs1) >>
+                                  (readOperand(inst.rs2) & 31));
+        break;
+      case Opcode::SRA:
+        writeOperand(inst.rd,
+                     static_cast<uint32_t>(
+                         static_cast<int32_t>(readOperand(inst.rs1)) >>
+                         (readOperand(inst.rs2) & 31)));
+        break;
+      case Opcode::SLT:
+        writeOperand(inst.rd,
+                     static_cast<int32_t>(readOperand(inst.rs1)) <
+                             static_cast<int32_t>(readOperand(inst.rs2))
+                         ? 1
+                         : 0);
+        break;
+      case Opcode::SLTU:
+        writeOperand(inst.rd,
+                     readOperand(inst.rs1) < readOperand(inst.rs2) ? 1
+                                                                   : 0);
+        break;
+
+      case Opcode::ADDI:
+        writeOperand(inst.rd,
+                     readOperand(inst.rs1) +
+                         static_cast<uint32_t>(inst.imm));
+        break;
+      case Opcode::ANDI:
+        writeOperand(inst.rd, readOperand(inst.rs1) &
+                                  static_cast<uint32_t>(inst.imm));
+        break;
+      case Opcode::ORI:
+        writeOperand(inst.rd, readOperand(inst.rs1) |
+                                  static_cast<uint32_t>(inst.imm));
+        break;
+      case Opcode::XORI:
+        writeOperand(inst.rd, readOperand(inst.rs1) ^
+                                  static_cast<uint32_t>(inst.imm));
+        break;
+      case Opcode::SLTI:
+        writeOperand(inst.rd,
+                     static_cast<int32_t>(readOperand(inst.rs1)) <
+                             inst.imm
+                         ? 1
+                         : 0);
+        break;
+      case Opcode::SLLI:
+        writeOperand(inst.rd, readOperand(inst.rs1)
+                                  << (static_cast<uint32_t>(inst.imm) &
+                                      31));
+        break;
+      case Opcode::SRLI:
+        writeOperand(inst.rd,
+                     readOperand(inst.rs1) >>
+                         (static_cast<uint32_t>(inst.imm) & 31));
+        break;
+      case Opcode::SRAI:
+        writeOperand(inst.rd,
+                     static_cast<uint32_t>(
+                         static_cast<int32_t>(readOperand(inst.rs1)) >>
+                         (static_cast<uint32_t>(inst.imm) & 31)));
+        break;
+
+      case Opcode::LUI:
+        writeOperand(inst.rd, static_cast<uint32_t>(inst.imm) << 12);
+        break;
+
+      case Opcode::LD: {
+        const uint64_t addr =
+            readOperand(inst.rs1) + static_cast<uint32_t>(inst.imm);
+        writeOperand(inst.rd, mem_read(addr));
+        break;
+      }
+      case Opcode::ST: {
+        const uint64_t addr =
+            readOperand(inst.rs1) + static_cast<uint32_t>(inst.imm);
+        mem_write(addr, readOperand(inst.rd));
+        break;
+      }
+
+      case Opcode::BEQ:
+        if (readOperand(inst.rs1) == readOperand(inst.rs2))
+            next = pc_ + static_cast<uint32_t>(inst.imm);
+        break;
+      case Opcode::BNE:
+        if (readOperand(inst.rs1) != readOperand(inst.rs2))
+            next = pc_ + static_cast<uint32_t>(inst.imm);
+        break;
+      case Opcode::BLT:
+        if (static_cast<int32_t>(readOperand(inst.rs1)) <
+            static_cast<int32_t>(readOperand(inst.rs2))) {
+            next = pc_ + static_cast<uint32_t>(inst.imm);
+        }
+        break;
+      case Opcode::BGE:
+        if (static_cast<int32_t>(readOperand(inst.rs1)) >=
+            static_cast<int32_t>(readOperand(inst.rs2))) {
+            next = pc_ + static_cast<uint32_t>(inst.imm);
+        }
+        break;
+
+      case Opcode::JAL:
+        writeOperand(inst.rd, pc_ + 1);
+        next = pc_ + static_cast<uint32_t>(inst.imm);
+        break;
+      case Opcode::JALR: {
+        const uint32_t target =
+            readOperand(inst.rs1) + static_cast<uint32_t>(inst.imm);
+        writeOperand(inst.rd, pc_ + 1);
+        next = target;
+        break;
+      }
+      case Opcode::JMP:
+        next = readOperand(inst.rs1);
+        break;
+
+      case Opcode::LDRRM:
+        rrmPendingValue_ = readOperand(inst.rs1);
+        rrmPendingBank_ = 0;
+        rrmPendingRemaining_ = config_.ldrrmDelaySlots + 1;
+        rrmPending_ = true;
+        break;
+      case Opcode::RDRRM:
+        writeOperand(inst.rd, relocation_.mask(0));
+        break;
+      case Opcode::LDRRMX: {
+        const auto bank = static_cast<unsigned>(inst.imm);
+        if (bank >= relocation_.numBanks())
+            throw TrapSignal{TrapKind::InvalidOpcode};
+        // Extension masks are loaded without delay slots for
+        // simplicity; bank 0 keeps the architected delay behaviour.
+        const uint32_t value = readOperand(inst.rs1);
+        if (bank == 0) {
+            rrmPendingValue_ = value;
+            rrmPendingBank_ = 0;
+            rrmPendingRemaining_ = config_.ldrrmDelaySlots + 1;
+            rrmPending_ = true;
+        } else {
+            relocation_.setMask(value, bank);
+        }
+        break;
+      }
+
+      case Opcode::MFPSW:
+        writeOperand(inst.rd, psw_);
+        break;
+      case Opcode::MTPSW:
+        psw_ = readOperand(inst.rs1);
+        break;
+
+      case Opcode::FF1: {
+        const int bit = findFirstSet(readOperand(inst.rs1));
+        writeOperand(inst.rd, static_cast<uint32_t>(bit));
+        break;
+      }
+
+      case Opcode::FAULT:
+        lastFaultClass_ = static_cast<uint32_t>(inst.imm);
+        ++faultCount_;
+        pc_ = next;
+        if (faultHook_)
+            faultHook_(*this, lastFaultClass_);
+        return; // the hook may have redirected the PC
+
+      case Opcode::NumOpcodes:
+        throw TrapSignal{TrapKind::InvalidOpcode};
+    }
+
+    pc_ = next;
+}
+
+} // namespace rr::machine

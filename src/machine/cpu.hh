@@ -1,0 +1,231 @@
+/**
+ * @file
+ * The cycle-level RRISC CPU.
+ *
+ * This models the processor the paper assumes: a single-issue RISC
+ * with fixed-field decoding, one instruction per cycle, a special RRM
+ * register loaded by LDRRM (with a configurable number of delay
+ * slots, Section 2.1), and a processor status word moved by
+ * MFPSW/MTPSW (Figure 3). Register relocation happens at decode via
+ * the RelocationUnit.
+ *
+ * The FAULT instruction invokes a user hook so that higher layers can
+ * model long-latency events (remote cache misses, synchronization
+ * faults) and drive software context switches exactly as the paper's
+ * Figure 3 code does.
+ */
+
+#ifndef RR_MACHINE_CPU_HH
+#define RR_MACHINE_CPU_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "isa/instruction.hh"
+#include "machine/memory.hh"
+#include "machine/pipeline_timing.hh"
+#include "machine/register_file.hh"
+#include "machine/relocation_unit.hh"
+
+namespace rr::machine {
+
+/** Why the CPU stopped executing. */
+enum class TrapKind : uint8_t
+{
+    None,             ///< running or halted normally
+    InvalidOpcode,    ///< undecodable instruction word
+    OperandTooWide,   ///< register operand >= 2^w
+    RegOutOfRange,    ///< relocated register >= n
+    MemOutOfRange,    ///< data or instruction address out of range
+    ContextBounds,    ///< Mux-mode context bounds violation
+};
+
+/** @return a printable name for @p kind. */
+const char *trapName(TrapKind kind);
+
+/** Static machine configuration. */
+struct CpuConfig
+{
+    /** Physical register file size n (power of two). */
+    unsigned numRegs = 128;
+
+    /**
+     * Register operand width w: a context may address at most 2^w
+     * registers (paper Section 2.1). Must not exceed the 6-bit
+     * encoding field.
+     */
+    unsigned operandWidth = 5;
+
+    /** Delay slots after LDRRM before the new mask takes effect. */
+    unsigned ldrrmDelaySlots = 1;
+
+    /** Memory size in words. */
+    size_t memWords = 1u << 16;
+
+    /** Decode-stage combining operation. */
+    RelocationMode relocationMode = RelocationMode::Or;
+
+    /** RRM bank entries (>1 enables the Section 5.3 extension). */
+    unsigned rrmBanks = 1;
+
+    /** Pipeline hazard penalties (all zero = ideal 1 CPI). */
+    PipelineTimingConfig timing;
+};
+
+/** One line of execution trace. */
+struct TraceEntry
+{
+    uint64_t cycle;       ///< cycle at which the instruction executed
+    uint32_t pc;          ///< word address of the instruction
+    isa::Instruction inst; ///< decoded (pre-relocation) instruction
+    uint32_t rrm;          ///< active RRM (bank 0) during decode
+    std::string text;      ///< disassembly
+};
+
+/** The RRISC processor. */
+class Cpu
+{
+  public:
+    /** Called when a FAULT instruction executes. */
+    using FaultHook = std::function<void(Cpu &, uint32_t fault_class)>;
+
+    /** Called once per executed instruction when tracing is enabled. */
+    using TraceHook = std::function<void(const TraceEntry &)>;
+
+    explicit Cpu(const CpuConfig &config);
+
+    // ---- state access ---------------------------------------------------
+
+    const CpuConfig &config() const { return config_; }
+    RegisterFile &regs() { return regs_; }
+    const RegisterFile &regs() const { return regs_; }
+    Memory &mem() { return mem_; }
+    const Memory &mem() const { return mem_; }
+    RelocationUnit &relocation() { return relocation_; }
+    const RelocationUnit &relocation() const { return relocation_; }
+
+    uint32_t pc() const { return pc_; }
+    void setPc(uint32_t pc) { pc_ = pc; }
+
+    uint32_t psw() const { return psw_; }
+    void setPsw(uint32_t psw) { psw_ = psw; }
+
+    /** Active RRM (bank 0); pending delay-slot loads not included. */
+    uint32_t rrm() const { return relocation_.mask(0); }
+
+    /**
+     * Set the RRM immediately, bypassing delay slots (used by the
+     * runtime when synthesizing initial state, not by simulated code).
+     */
+    void setRrmImmediate(uint32_t mask, unsigned bank = 0);
+
+    /**
+     * Read / write a context-relative register under the *current*
+     * RRM — how the runtime layer peeks into the active context.
+     * Panics on relocation failure.
+     */
+    uint32_t readContextReg(unsigned context_reg) const;
+    void writeContextReg(unsigned context_reg, uint32_t value);
+
+    // ---- execution ------------------------------------------------------
+
+    /**
+     * Execute one instruction.
+     * @return false when the CPU is halted or trapped.
+     */
+    bool step();
+
+    /**
+     * Run until HALT, a trap, or @p max_steps instructions.
+     * @return number of instructions executed.
+     */
+    uint64_t run(uint64_t max_steps);
+
+    bool halted() const { return halted_; }
+    TrapKind trap() const { return trap_; }
+
+    /** Clear halt/trap so execution can continue (runtime use). */
+    void resume();
+
+    uint64_t cycles() const { return cycles_; }
+    uint64_t instructionsRetired() const { return instret_; }
+
+    /** Stall-cycle breakdown (all zero with default timing). */
+    const PipelineTimingStats &timingStats() const
+    {
+        return timingStats_;
+    }
+
+    /**
+     * Charge @p n extra cycles without executing instructions (models
+     * pipeline bubbles and memory stalls imposed by a higher layer).
+     */
+    void stall(uint64_t n) { cycles_ += n; }
+
+    // ---- hooks ----------------------------------------------------------
+
+    void setFaultHook(FaultHook hook) { faultHook_ = std::move(hook); }
+    void setTraceHook(TraceHook hook) { traceHook_ = std::move(hook); }
+
+    /** Class value of the most recent FAULT instruction. */
+    uint32_t lastFaultClass() const { return lastFaultClass_; }
+
+    /** Total FAULT instructions executed. */
+    uint64_t faultCount() const { return faultCount_; }
+
+  private:
+    struct TrapSignal
+    {
+        TrapKind kind;
+    };
+
+    /** Relocate a context-relative operand or raise a trap. */
+    unsigned relocateOrTrap(unsigned operand) const;
+
+    uint32_t readOperand(unsigned operand) const;
+    void writeOperand(unsigned operand, uint32_t value);
+
+    void execute(const isa::Instruction &inst);
+
+    /** Apply/advance the pending LDRRM delay-slot state machine. */
+    void advancePendingRrm();
+
+    CpuConfig config_;
+    RegisterFile regs_;
+    Memory mem_;
+    RelocationUnit relocation_;
+
+    uint32_t pc_ = 0;
+    uint32_t psw_ = 0;
+    bool halted_ = false;
+    TrapKind trap_ = TrapKind::None;
+
+    uint64_t cycles_ = 0;
+    uint64_t instret_ = 0;
+
+    // Pending LDRRM (delay slots). remaining_ counts instructions that
+    // still execute under the old mask.
+    bool rrmPending_ = false;
+    unsigned rrmPendingBank_ = 0;
+    uint32_t rrmPendingValue_ = 0;
+    unsigned rrmPendingRemaining_ = 0;
+
+    FaultHook faultHook_;
+    TraceHook traceHook_;
+    uint32_t lastFaultClass_ = 0;
+    uint64_t faultCount_ = 0;
+
+    // Pipeline hazard tracking (only maintained when timing is
+    // enabled).
+    PipelineTimingStats timingStats_;
+    mutable unsigned stepReads_[4] = {0, 0, 0, 0};
+    mutable unsigned stepReadCount_ = 0;
+    bool prevWasLoad_ = false;
+    bool prevWroteReg_ = false;
+    unsigned prevDestPhys_ = 0;
+};
+
+} // namespace rr::machine
+
+#endif // RR_MACHINE_CPU_HH

@@ -1,0 +1,42 @@
+#include "machine/memory.hh"
+
+#include "base/logging.hh"
+
+namespace rr::machine {
+
+Memory::Memory(size_t num_words)
+    : words_(num_words, 0)
+{
+    rr_assert(num_words > 0, "memory must be nonempty");
+}
+
+uint32_t
+Memory::read(uint64_t addr) const
+{
+    rr_assert(addr < words_.size(), "memory read out of range: ", addr);
+    return words_[addr];
+}
+
+void
+Memory::write(uint64_t addr, uint32_t value)
+{
+    rr_assert(addr < words_.size(), "memory write out of range: ", addr);
+    words_[addr] = value;
+}
+
+void
+Memory::loadImage(uint64_t base, const std::vector<uint32_t> &image)
+{
+    rr_assert(base + image.size() <= words_.size(),
+              "image does not fit: base ", base, " + ", image.size(),
+              " > ", words_.size());
+    std::copy(image.begin(), image.end(), words_.begin() + base);
+}
+
+void
+Memory::clear()
+{
+    std::fill(words_.begin(), words_.end(), 0);
+}
+
+} // namespace rr::machine

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * A flat, word-addressed memory for the cycle-level machine. RRISC is
+ * word-oriented: addresses count 32-bit words.
+ */
+
+#ifndef RR_MACHINE_MEMORY_HH
+#define RR_MACHINE_MEMORY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rr::machine {
+
+/** Word-addressed RAM. */
+class Memory
+{
+  public:
+    /** Construct with @p num_words words, zero-initialized. */
+    explicit Memory(size_t num_words);
+
+    /** Number of words. */
+    size_t size() const { return words_.size(); }
+
+    /** @return true when @p addr is a valid word address. */
+    bool inRange(uint64_t addr) const { return addr < words_.size(); }
+
+    /** Read the word at @p addr; panics when out of range. */
+    uint32_t read(uint64_t addr) const;
+
+    /** Write the word at @p addr; panics when out of range. */
+    void write(uint64_t addr, uint32_t value);
+
+    /** Copy @p image into memory starting at word @p base. */
+    void loadImage(uint64_t base, const std::vector<uint32_t> &image);
+
+    /** Zero all of memory. */
+    void clear();
+
+  private:
+    std::vector<uint32_t> words_;
+};
+
+} // namespace rr::machine
+
+#endif // RR_MACHINE_MEMORY_HH

@@ -1,0 +1,15 @@
+#include "machine/pipeline_timing.hh"
+
+namespace rr::machine {
+
+PipelineTimingConfig
+PipelineTimingConfig::classicFiveStage()
+{
+    PipelineTimingConfig config;
+    config.takenBranchPenalty = 2;
+    config.loadUsePenalty = 1;
+    config.ldrrmPenalty = 0; // the delay slot absorbs it
+    return config;
+}
+
+} // namespace rr::machine

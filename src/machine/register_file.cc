@@ -1,0 +1,35 @@
+#include "machine/register_file.hh"
+
+#include "base/logging.hh"
+
+namespace rr::machine {
+
+RegisterFile::RegisterFile(unsigned num_regs)
+    : regs_(num_regs, 0)
+{
+    rr_assert(num_regs >= 4, "register file too small: ", num_regs);
+}
+
+uint32_t
+RegisterFile::read(unsigned index) const
+{
+    rr_assert(index < regs_.size(), "register read out of range: ",
+              index, " >= ", regs_.size());
+    return regs_[index];
+}
+
+void
+RegisterFile::write(unsigned index, uint32_t value)
+{
+    rr_assert(index < regs_.size(), "register write out of range: ",
+              index, " >= ", regs_.size());
+    regs_[index] = value;
+}
+
+void
+RegisterFile::clear()
+{
+    std::fill(regs_.begin(), regs_.end(), 0);
+}
+
+} // namespace rr::machine

@@ -1,0 +1,103 @@
+#include "machine/relocation_unit.hh"
+
+#include "base/bitops.hh"
+#include "base/logging.hh"
+
+namespace rr::machine {
+
+RelocationUnit::RelocationUnit(unsigned num_regs, unsigned operand_width,
+                               RelocationMode mode, unsigned num_banks)
+    : numRegs_(num_regs),
+      operandWidth_(operand_width),
+      mode_(mode),
+      maskBits_(log2Ceil(num_regs)),
+      contextSize_(1u << operand_width),
+      masks_(num_banks, 0)
+{
+    rr_assert(isPowerOfTwo(num_regs),
+              "register file size must be a power of two: ", num_regs);
+    rr_assert(operand_width >= 1 && operand_width <= 6,
+              "operand width must be in [1, 6]: ", operand_width);
+    rr_assert(num_banks >= 1 && isPowerOfTwo(num_banks),
+              "bank count must be a power of two >= 1: ", num_banks);
+    rr_assert((1u << operand_width) <= num_regs,
+              "operand width addresses more registers than exist");
+    rr_assert(log2Ceil(num_banks) < operand_width,
+              "too many banks for the operand width");
+}
+
+void
+RelocationUnit::setMask(uint32_t mask, unsigned bank)
+{
+    rr_assert(bank < masks_.size(), "bad RRM bank ", bank);
+    // The hardware RRM register holds only ceil(lg n) bits.
+    masks_[bank] = mask & static_cast<uint32_t>(lowMask(maskBits_));
+}
+
+uint32_t
+RelocationUnit::mask(unsigned bank) const
+{
+    rr_assert(bank < masks_.size(), "bad RRM bank ", bank);
+    return masks_[bank];
+}
+
+void
+RelocationUnit::setContextSize(unsigned size)
+{
+    rr_assert(isPowerOfTwo(size), "context size must be a power of two: ",
+              size);
+    rr_assert(size <= (1u << operandWidth_),
+              "context size ", size, " exceeds 2^w");
+    contextSize_ = size;
+}
+
+RelocationResult
+RelocationUnit::relocate(unsigned operand) const
+{
+    // Select the bank from the operand's top bits when the bank count
+    // exceeds one (Section 5.3 extension).
+    const unsigned bank_bits = log2Ceil(numBanks());
+    const unsigned offset_bits = operandWidth_ - bank_bits;
+    const unsigned bank = bank_bits == 0
+                              ? 0
+                              : (operand >> offset_bits) &
+                                    static_cast<unsigned>(
+                                        lowMask(bank_bits));
+    const unsigned offset =
+        operand & static_cast<unsigned>(lowMask(offset_bits));
+    const uint32_t rrm = masks_[bank];
+
+    RelocationResult result;
+    switch (mode_) {
+      case RelocationMode::Or:
+        // The paper's mechanism: a plain bitwise OR. The split between
+        // base and offset bits is implicit in the mask's alignment.
+        result.physical = (rrm | offset) &
+                          static_cast<unsigned>(lowMask(maskBits_));
+        break;
+
+      case RelocationMode::Mux: {
+        // Footnote 3: select low bits from the operand, high bits from
+        // the RRM; an operand bit above the context size is a bounds
+        // violation instead of silently escaping the context.
+        const unsigned size_bits = log2Ceil(contextSize_);
+        const auto low = static_cast<unsigned>(lowMask(size_bits));
+        if ((offset & ~low) != 0) {
+            result.ok = false;
+            result.physical = (rrm & ~low) | (offset & low);
+            break;
+        }
+        result.physical = (rrm & ~low) | (offset & low);
+        break;
+      }
+
+      case RelocationMode::Add:
+        // Am29000-style base-plus-offset; wraps modulo the file size.
+        result.physical = (rrm + offset) &
+                          static_cast<unsigned>(lowMask(maskBits_));
+        break;
+    }
+    return result;
+}
+
+} // namespace rr::machine

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The register relocation unit — the paper's core hardware mechanism
+ * (Section 2.1, Figure 2).
+ *
+ * During instruction decode, each register operand field is combined
+ * with the register relocation mask (RRM) to form an absolute register
+ * number. Three combining operations are modelled:
+ *
+ *  - Or:  the paper's mechanism — a bitwise OR. The flexible split
+ *         between base bits (from the RRM) and offset bits (from the
+ *         operand) falls out of the OR for power-of-two, size-aligned
+ *         contexts (Figure 1).
+ *  - Mux: the referee suggestion from footnote 3 — each bit is
+ *         selected from either the RRM or the operand according to
+ *         the context size, which additionally *prevents* a thread
+ *         from addressing registers outside its context (operand bits
+ *         above the context size raise a bounds violation).
+ *  - Add: the AMD Am29000-style base-plus-offset addressing discussed
+ *         in Section 4 — removes the power-of-two constraint at the
+ *         cost of an adder on the critical decode path.
+ *
+ * The unit also models a small bank of RRMs for the Section 5.3
+ * "multiple active contexts" extension: when the bank has more than
+ * one entry, the high-order bit(s) of each register operand select
+ * which mask relocates the remaining offset bits.
+ */
+
+#ifndef RR_MACHINE_RELOCATION_UNIT_HH
+#define RR_MACHINE_RELOCATION_UNIT_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace rr::machine {
+
+/** How operand fields combine with the relocation mask. */
+enum class RelocationMode : uint8_t
+{
+    Or,   ///< bitwise OR (the paper's mechanism)
+    Mux,  ///< per-bit select with bounds checking (footnote 3)
+    Add,  ///< base + offset (Am29000 comparison, Section 4)
+};
+
+/** Result of relocating one operand. */
+struct RelocationResult
+{
+    unsigned physical = 0;  ///< absolute register number
+    bool ok = true;         ///< false on a bounds violation (Mux mode)
+};
+
+/** Models the decode-stage relocation hardware. */
+class RelocationUnit
+{
+  public:
+    /**
+     * @param num_regs       physical register file size (n)
+     * @param operand_width  instruction operand field width (w); the
+     *                       architectural maximum context size is 2^w
+     * @param mode           combining operation
+     * @param num_banks      number of RRM registers (1 for the base
+     *                       mechanism; >1 for the Section 5.3
+     *                       extension)
+     */
+    RelocationUnit(unsigned num_regs, unsigned operand_width,
+                   RelocationMode mode = RelocationMode::Or,
+                   unsigned num_banks = 1);
+
+    /** Physical register file size. */
+    unsigned numRegs() const { return numRegs_; }
+
+    /** Operand field width w. */
+    unsigned operandWidth() const { return operandWidth_; }
+
+    /** Combining mode. */
+    RelocationMode mode() const { return mode_; }
+
+    /** Number of RRM bank entries. */
+    unsigned numBanks() const
+    {
+        return static_cast<unsigned>(masks_.size());
+    }
+
+    /**
+     * Install a mask into bank @p bank. Only the low ceil(lg n) bits
+     * are retained, mirroring the width of the hardware RRM register.
+     */
+    void setMask(uint32_t mask, unsigned bank = 0);
+
+    /** Current mask in bank @p bank. */
+    uint32_t mask(unsigned bank = 0) const;
+
+    /**
+     * Configure the context size used by Mux-mode bounds checking
+     * (and by Add mode to compute the base). Must be a power of two.
+     * Or mode ignores this value — that is precisely the paper's
+     * point: OR-relocation needs no size information in hardware.
+     */
+    void setContextSize(unsigned size);
+
+    /** Context size last configured via setContextSize. */
+    unsigned contextSize() const { return contextSize_; }
+
+    /**
+     * Relocate one register operand field.
+     *
+     * With multiple banks, the top bits of @p operand (above the
+     * per-bank offset width) select the bank and the remaining bits
+     * form the offset.
+     */
+    RelocationResult relocate(unsigned operand) const;
+
+    /** Width in bits of the RRM register: ceil(lg n). */
+    unsigned maskBits() const { return maskBits_; }
+
+  private:
+    unsigned numRegs_;
+    unsigned operandWidth_;
+    RelocationMode mode_;
+    unsigned maskBits_;
+    unsigned contextSize_;
+    std::vector<uint32_t> masks_;
+};
+
+} // namespace rr::machine
+
+#endif // RR_MACHINE_RELOCATION_UNIT_HH

@@ -1,0 +1,231 @@
+#include "multithread/fault_model.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace rr::mt {
+
+CacheFaultModel::CacheFaultModel(double mean_run, uint64_t latency)
+    : run_(mean_run), latency_(latency)
+{
+}
+
+FaultSample
+CacheFaultModel::next(Rng &rng) const
+{
+    return {run_.sample(rng), latency_, FaultClass::Cache};
+}
+
+double
+CacheFaultModel::meanRunLength() const
+{
+    return run_.mean();
+}
+
+double
+CacheFaultModel::meanLatency() const
+{
+    return static_cast<double>(latency_);
+}
+
+std::string
+CacheFaultModel::describe() const
+{
+    std::ostringstream os;
+    os << "cache(R=" << run_.mean() << ", L=" << latency_ << ")";
+    return os.str();
+}
+
+SyncFaultModel::SyncFaultModel(double mean_run, double mean_latency)
+    : run_(mean_run), latency_(mean_latency)
+{
+}
+
+FaultSample
+SyncFaultModel::next(Rng &rng) const
+{
+    return {run_.sample(rng), latency_.sample(rng),
+            FaultClass::Synchronization};
+}
+
+double
+SyncFaultModel::meanRunLength() const
+{
+    return run_.mean();
+}
+
+double
+SyncFaultModel::meanLatency() const
+{
+    return latency_.mean();
+}
+
+std::string
+SyncFaultModel::describe() const
+{
+    std::ostringstream os;
+    os << "sync(R=" << run_.mean() << ", L=" << latency_.mean() << ")";
+    return os.str();
+}
+
+CombinedFaultModel::CombinedFaultModel(double cache_run,
+                                       uint64_t cache_latency,
+                                       double sync_run,
+                                       double sync_latency)
+    : cacheRun_(cache_run),
+      cacheLatency_(cache_latency),
+      syncRun_(sync_run),
+      syncLatency_(sync_latency)
+{
+}
+
+FaultSample
+CombinedFaultModel::next(Rng &rng) const
+{
+    const uint64_t cache_at = cacheRun_.sample(rng);
+    const uint64_t sync_at = syncRun_.sample(rng);
+    if (cache_at <= sync_at)
+        return {cache_at, cacheLatency_, FaultClass::Cache};
+    return {sync_at, syncLatency_.sample(rng),
+            FaultClass::Synchronization};
+}
+
+double
+CombinedFaultModel::meanRunLength() const
+{
+    // Approximate: the minimum of two geometrics is geometric with
+    // combined per-cycle rate 1/Rc + 1/Rs - 1/(Rc*Rs).
+    const double pc = 1.0 / cacheRun_.mean();
+    const double ps = 1.0 / syncRun_.mean();
+    return 1.0 / (pc + ps - pc * ps);
+}
+
+double
+CombinedFaultModel::meanLatency() const
+{
+    // Weight latencies by each process's per-cycle rate.
+    const double pc = 1.0 / cacheRun_.mean();
+    const double ps = 1.0 / syncRun_.mean();
+    return (pc * static_cast<double>(cacheLatency_) +
+            ps * syncLatency_.mean()) /
+           (pc + ps);
+}
+
+std::string
+CombinedFaultModel::describe() const
+{
+    std::ostringstream os;
+    os << "combined(cache R=" << cacheRun_.mean()
+       << " L=" << cacheLatency_ << "; sync R=" << syncRun_.mean()
+       << " L=" << syncLatency_.mean() << ")";
+    return os.str();
+}
+
+PhasedFaultModel::PhasedFaultModel(std::vector<Phase> phases)
+    : phases_(std::move(phases))
+{
+    rr_assert(!phases_.empty(), "need at least one phase");
+    for (const Phase &phase : phases_) {
+        rr_assert(phase.faults >= 1, "phase with no faults");
+        rr_assert(phase.meanRun >= 1.0, "phase run length < 1");
+        cycleLength_ += phase.faults;
+    }
+}
+
+const PhasedFaultModel::Phase &
+PhasedFaultModel::phaseFor(uint64_t sequence) const
+{
+    uint64_t pos = sequence % cycleLength_;
+    for (const Phase &phase : phases_) {
+        if (pos < phase.faults)
+            return phase;
+        pos -= phase.faults;
+    }
+    rr_panic("phase schedule exhausted");
+}
+
+FaultSample
+PhasedFaultModel::next(Rng &rng) const
+{
+    return next(rng, 0);
+}
+
+FaultSample
+PhasedFaultModel::next(Rng &rng, uint64_t sequence) const
+{
+    const Phase &phase = phaseFor(sequence);
+    FaultSample sample;
+    sample.runLength = GeometricDist(phase.meanRun).sample(rng);
+    if (phase.exponentialLatency) {
+        sample.latency =
+            ExponentialDist(phase.meanLatency).sample(rng);
+    } else {
+        sample.latency = static_cast<uint64_t>(phase.meanLatency);
+    }
+    sample.kind = phase.kind;
+    return sample;
+}
+
+double
+PhasedFaultModel::meanRunLength() const
+{
+    double weighted = 0.0;
+    for (const Phase &phase : phases_)
+        weighted += static_cast<double>(phase.faults) * phase.meanRun;
+    return weighted / static_cast<double>(cycleLength_);
+}
+
+double
+PhasedFaultModel::meanLatency() const
+{
+    double weighted = 0.0;
+    for (const Phase &phase : phases_) {
+        weighted +=
+            static_cast<double>(phase.faults) * phase.meanLatency;
+    }
+    return weighted / static_cast<double>(cycleLength_);
+}
+
+std::string
+PhasedFaultModel::describe() const
+{
+    std::ostringstream os;
+    os << "phased(" << phases_.size() << " phases, cycle "
+       << cycleLength_ << " faults)";
+    return os.str();
+}
+
+DeterministicFaultModel::DeterministicFaultModel(uint64_t run,
+                                                 uint64_t latency)
+    : run_(run), latency_(latency)
+{
+}
+
+FaultSample
+DeterministicFaultModel::next(Rng &) const
+{
+    return {run_, latency_, FaultClass::Cache};
+}
+
+double
+DeterministicFaultModel::meanRunLength() const
+{
+    return static_cast<double>(run_);
+}
+
+double
+DeterministicFaultModel::meanLatency() const
+{
+    return static_cast<double>(latency_);
+}
+
+std::string
+DeterministicFaultModel::describe() const
+{
+    std::ostringstream os;
+    os << "deterministic(R=" << run_ << ", L=" << latency_ << ")";
+    return os.str();
+}
+
+} // namespace rr::mt

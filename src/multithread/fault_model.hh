@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Fault models for the experiments of Section 3.
+ *
+ * Cache faults (Section 3.2): run lengths between faults are
+ * geometrically distributed with mean R (fixed per-cycle miss
+ * probability) and fault latency is a constant L (uniform network
+ * response time on a lightly loaded network).
+ *
+ * Synchronization faults (Section 3.3): run lengths are geometric
+ * with mean R and wait times are exponentially distributed with mean
+ * L (producer-consumer synchronization).
+ *
+ * Combined (Section 3, "we also ran experiments involving both types
+ * of faults"): two independent fault processes; the earlier fault of
+ * the two fires.
+ */
+
+#ifndef RR_MULTITHREAD_FAULT_MODEL_HH
+#define RR_MULTITHREAD_FAULT_MODEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/distributions.hh"
+#include "base/rng.hh"
+
+namespace rr::mt {
+
+/** What kind of long-latency event occurred. */
+enum class FaultClass : uint8_t
+{
+    Cache,
+    Synchronization,
+};
+
+/** One drawn fault: run until it, then wait for it. */
+struct FaultSample
+{
+    uint64_t runLength = 0; ///< useful cycles before the fault
+    uint64_t latency = 0;   ///< service time of the fault
+    FaultClass kind = FaultClass::Cache;
+};
+
+/** Generates the per-thread stochastic fault process. */
+class FaultModel
+{
+  public:
+    virtual ~FaultModel() = default;
+
+    /** Draw the next (run length, latency) pair. */
+    virtual FaultSample next(Rng &rng) const = 0;
+
+    /**
+     * Draw the @p sequence-th fault of a thread (0-based). The
+     * default ignores the sequence number; phase-structured models
+     * override this to vary parameters over a thread's lifetime.
+     */
+    virtual FaultSample
+    next(Rng &rng, uint64_t sequence) const
+    {
+        (void)sequence;
+        return next(rng);
+    }
+
+    /** Mean run length R (for analytical comparison). */
+    virtual double meanRunLength() const = 0;
+
+    /** Mean latency L (for analytical comparison). */
+    virtual double meanLatency() const = 0;
+
+    /** Human-readable description. */
+    virtual std::string describe() const = 0;
+};
+
+/** Geometric run lengths, constant latency. */
+class CacheFaultModel : public FaultModel
+{
+  public:
+    CacheFaultModel(double mean_run, uint64_t latency);
+
+    FaultSample next(Rng &rng) const override;
+    double meanRunLength() const override;
+    double meanLatency() const override;
+    std::string describe() const override;
+
+  private:
+    GeometricDist run_;
+    uint64_t latency_;
+};
+
+/** Geometric run lengths, exponential latency. */
+class SyncFaultModel : public FaultModel
+{
+  public:
+    SyncFaultModel(double mean_run, double mean_latency);
+
+    FaultSample next(Rng &rng) const override;
+    double meanRunLength() const override;
+    double meanLatency() const override;
+    std::string describe() const override;
+
+  private:
+    GeometricDist run_;
+    ExponentialDist latency_;
+};
+
+/**
+ * Two independent processes (cache + synchronization); each draw
+ * races a geometric cache-fault run against a geometric sync-fault
+ * run and the earlier one fires with its own latency distribution.
+ */
+class CombinedFaultModel : public FaultModel
+{
+  public:
+    CombinedFaultModel(double cache_run, uint64_t cache_latency,
+                       double sync_run, double sync_latency);
+
+    FaultSample next(Rng &rng) const override;
+    double meanRunLength() const override;
+    double meanLatency() const override;
+    std::string describe() const override;
+
+  private:
+    GeometricDist cacheRun_;
+    uint64_t cacheLatency_;
+    GeometricDist syncRun_;
+    ExponentialDist syncLatency_;
+};
+
+/**
+ * A phase-structured workload: threads cycle through phases with
+ * different fault behaviour (e.g. a compute phase with long run
+ * lengths and rare cache misses followed by a communication phase
+ * with short runs and synchronization waits) — the shape of real
+ * parallel applications, beyond the paper's single-regime synthetic
+ * threads.
+ */
+class PhasedFaultModel : public FaultModel
+{
+  public:
+    /** One phase of the repeating schedule. */
+    struct Phase
+    {
+        uint64_t faults = 1;      ///< faults spent in this phase
+        double meanRun = 32.0;    ///< geometric run-length mean
+        double meanLatency = 100.0; ///< latency mean
+        bool exponentialLatency = false; ///< else constant
+        FaultClass kind = FaultClass::Cache;
+    };
+
+    /** @param phases repeating schedule; must be nonempty. */
+    explicit PhasedFaultModel(std::vector<Phase> phases);
+
+    /** The phase governing the @p sequence-th fault. */
+    const Phase &phaseFor(uint64_t sequence) const;
+
+    FaultSample next(Rng &rng) const override;
+    FaultSample next(Rng &rng, uint64_t sequence) const override;
+    double meanRunLength() const override;
+    double meanLatency() const override;
+    std::string describe() const override;
+
+  private:
+    std::vector<Phase> phases_;
+    uint64_t cycleLength_ = 0; ///< total faults per schedule cycle
+};
+
+/**
+ * Deterministic model (constant run length and latency) used to
+ * validate the simulator against the closed-form efficiency
+ * equations of Section 3.4.
+ */
+class DeterministicFaultModel : public FaultModel
+{
+  public:
+    DeterministicFaultModel(uint64_t run, uint64_t latency);
+
+    FaultSample next(Rng &rng) const override;
+    double meanRunLength() const override;
+    double meanLatency() const override;
+    std::string describe() const override;
+
+  private:
+    uint64_t run_;
+    uint64_t latency_;
+};
+
+} // namespace rr::mt
+
+#endif // RR_MULTITHREAD_FAULT_MODEL_HH

@@ -1,0 +1,429 @@
+#include "multithread/mt_processor.hh"
+
+#include "base/logging.hh"
+
+namespace rr::mt {
+
+const char *
+archName(ArchKind kind)
+{
+    switch (kind) {
+      case ArchKind::Flexible:
+        return "flexible";
+      case ArchKind::FixedHw:
+        return "fixed";
+      case ArchKind::AddReloc:
+        return "add";
+    }
+    return "unknown";
+}
+
+uint64_t
+MtStats::accountedCycles() const
+{
+    return usefulCycles + idleCycles + switchCycles + allocCycles +
+           deallocCycles + loadCycles + unloadCycles + queueCycles;
+}
+
+MtProcessor::MtProcessor(MtConfig config)
+    : config_(std::move(config)), ring_(std::max(1u, config_.priorityLevels))
+{
+    rr_assert(config_.workload.workDist != nullptr,
+              "workload work distribution missing");
+    rr_assert(config_.workload.regsDist != nullptr,
+              "workload register distribution missing");
+    rr_assert(config_.faultModel != nullptr, "fault model missing");
+    rr_assert(config_.workload.numThreads > 0, "no threads");
+    policy_ = makePolicy();
+}
+
+std::unique_ptr<ContextPolicy>
+MtProcessor::makePolicy() const
+{
+    if (config_.customPolicy)
+        return config_.customPolicy();
+    switch (config_.arch) {
+      case ArchKind::Flexible:
+        return std::make_unique<FlexibleContextPolicy>(
+            config_.numRegs, config_.operandWidth,
+            config_.minContextSize);
+      case ArchKind::FixedHw:
+        return std::make_unique<FixedContextPolicy>(
+            config_.numRegs, config_.fixedContextRegs);
+      case ArchKind::AddReloc:
+        return std::make_unique<AddContextPolicy>(config_.numRegs);
+    }
+    rr_panic("unknown architecture");
+}
+
+void
+MtProcessor::createThreads()
+{
+    Rng master(config_.seed);
+    // Priorities draw from their own stream so that enabling them
+    // does not perturb the workload's run-length/latency draws.
+    Rng priority_rng(config_.seed ^ 0xa5a5a5a55a5a5a5aull);
+    threads_.resize(config_.workload.numThreads);
+    for (unsigned i = 0; i < config_.workload.numThreads; ++i) {
+        Thread &t = threads_[i];
+        t.id = i;
+        t.rng = master.split();
+        t.regsUsed = static_cast<unsigned>(
+            config_.workload.regsDist->sample(t.rng));
+        rr_assert(t.regsUsed >= 1, "thread requires zero registers");
+        t.totalWork =
+            std::max<uint64_t>(1, config_.workload.workDist->sample(t.rng));
+        if (config_.workload.priorityDist) {
+            const uint64_t level =
+                config_.workload.priorityDist->sample(priority_rng);
+            t.priority = static_cast<unsigned>(std::min<uint64_t>(
+                level, std::max(1u, config_.priorityLevels) - 1));
+        }
+        t.remainingWork = t.totalWork;
+        t.state = ThreadState::UnloadedReady;
+        threadQueue_.push_back(i);
+    }
+}
+
+void
+MtProcessor::charge(uint64_t cycles, uint64_t &bucket)
+{
+    bucket += cycles;
+    now_ += cycles;
+}
+
+void
+MtProcessor::noteResidencyChange(int delta)
+{
+    residencyIntegral_ += static_cast<double>(residentCount_) *
+                          static_cast<double>(now_ - lastResidencyTime_);
+    lastResidencyTime_ = now_;
+    residentCount_ = static_cast<unsigned>(
+        static_cast<int>(residentCount_) + delta);
+    stats_.maxResidentContexts =
+        std::max(stats_.maxResidentContexts, residentCount_);
+}
+
+void
+MtProcessor::processCompletions()
+{
+    for (;;) {
+        // Completions apply to both blocked states; prune manually.
+        while (!completions_.empty()) {
+            const Event &top = completions_.top();
+            const Thread &t = threads_[top.tid];
+            if (t.blockEpoch == top.epoch &&
+                (t.state == ThreadState::BlockedLoaded ||
+                 t.state == ThreadState::BlockedUnloaded)) {
+                break;
+            }
+            completions_.pop();
+        }
+        if (completions_.empty() || completions_.top().time > now_)
+            return;
+
+        const Event event = completions_.top();
+        completions_.pop();
+        Thread &t = threads_[event.tid];
+        ++t.blockEpoch; // invalidate any pending unload deadline
+
+        if (t.state == ThreadState::BlockedLoaded) {
+            // The context is still resident: it simply becomes
+            // runnable again in the ring.
+            t.state = ThreadState::LoadedReady;
+            ring_.insert(t.context->rrm, t.priority);
+        } else {
+            // The context was unloaded while blocked: the thread
+            // re-enters the software thread queue (10-cycle insert)
+            // and must be re-allocated + re-loaded before running.
+            charge(config_.costs.queueOp, stats_.queueCycles);
+            t.state = ThreadState::UnloadedReady;
+            threadQueue_.push_back(t.id);
+            refill();
+        }
+    }
+}
+
+uint64_t
+MtProcessor::twoPhaseBudget(const Thread &t) const
+{
+    // Competitive waiting: spin for as long as blocking would cost.
+    // Blocking a context and resuming it later costs the unload, the
+    // deallocation, a queue insert and remove, a fresh allocation,
+    // and the reload — all avoided if the fault completes while the
+    // context spins.
+    const runtime::CostModel &costs = config_.costs;
+    return costs.unloadCost(t.regsUsed) + costs.dealloc +
+           2 * costs.queueOp + costs.allocSucceed +
+           costs.loadCost(t.regsUsed);
+}
+
+void
+MtProcessor::evict(unsigned tid)
+{
+    Thread &t = threads_[tid];
+    rr_assert(t.state == ThreadState::BlockedLoaded,
+              "evicting thread in state ", threadStateName(t.state));
+
+    // Two-phase second phase: the accrued cost of failed resume
+    // attempts has reached the cost of unloading — give up the
+    // registers.
+    charge(config_.costs.unloadCost(t.regsUsed), stats_.unloadCycles);
+    charge(config_.costs.dealloc, stats_.deallocCycles);
+    policy_->release(*t.context);
+    rrmToThread_.erase(t.context->rrm);
+    t.context.reset();
+    t.state = ThreadState::BlockedUnloaded;
+    ++t.timesUnloaded;
+    ++stats_.unloads;
+    noteResidencyChange(-1);
+}
+
+void
+MtProcessor::refill()
+{
+    // First-fit scan of the software thread queue: FCFS order, but a
+    // thread whose context cannot fit the free registers does not
+    // block smaller threads behind it. (With fixed hardware contexts
+    // every thread needs one identical slot, so this degenerates to
+    // plain FCFS.)
+    auto it = threadQueue_.begin();
+    while (it != threadQueue_.end()) {
+        if (config_.residencyCap != 0 &&
+            residentCount_ >= config_.residencyCap) {
+            return; // adaptive limit (Section 5.2): leave space idle
+        }
+        const unsigned tid = *it;
+        Thread &t = threads_[tid];
+        rr_assert(t.state == ThreadState::UnloadedReady,
+                  "queued thread in state ", threadStateName(t.state));
+
+        // Constant-time capacity check against the runtime's free-
+        // register counter: a search that cannot possibly succeed is
+        // never attempted, so it costs nothing. (Figure 4's failed-
+        // allocation cost is for genuine searches defeated by
+        // fragmentation.)
+        const unsigned needed = policy_->requiredSpace(t.regsUsed);
+        if (needed == 0 || needed > policy_->freeRegs()) {
+            ++it;
+            continue;
+        }
+
+        const auto context = policy_->allocate(t.regsUsed);
+        if (context) {
+            charge(config_.costs.allocSucceed, stats_.allocCycles);
+            ++stats_.allocSuccesses;
+        } else {
+            // A genuine search defeated by fragmentation.
+            charge(config_.costs.allocFail, stats_.allocCycles);
+            ++stats_.allocFailures;
+            ++it;
+            continue;
+        }
+
+        charge(config_.costs.queueOp, stats_.queueCycles);
+        charge(config_.costs.loadCost(t.regsUsed), stats_.loadCycles);
+        ++stats_.loads;
+        ++t.timesLoaded;
+
+        it = threadQueue_.erase(it);
+        t.context = context;
+        t.state = ThreadState::LoadedReady;
+        ring_.insert(context->rrm, t.priority);
+        rrmToThread_[context->rrm] = tid;
+        noteResidencyChange(+1);
+    }
+}
+
+void
+MtProcessor::runNext()
+{
+    const uint32_t rrm = ring_.current();
+    const auto it = rrmToThread_.find(rrm);
+    rr_assert(it != rrmToThread_.end(), "ring rrm without thread");
+    Thread &t = threads_[it->second];
+    rr_assert(t.state == ThreadState::LoadedReady,
+              "scheduled thread in state ", threadStateName(t.state));
+
+    t.state = ThreadState::Running;
+    const FaultSample fault =
+        config_.faultModel->next(t.rng, t.faults);
+    const uint64_t segment = std::min(fault.runLength, t.remainingWork);
+
+    now_ += segment;
+    useful_ += segment;
+    stats_.usefulCycles += segment;
+    t.remainingWork -= segment;
+
+    if (t.remainingWork == 0) {
+        // Thread completes: its context is deallocated and the freed
+        // registers may admit a queued thread.
+        t.state = ThreadState::Finished;
+        t.finishTime = now_;
+        ++finished_;
+        ring_.remove(rrm);
+        rrmToThread_.erase(rrm);
+        charge(config_.costs.dealloc, stats_.deallocCycles);
+        policy_->release(*t.context);
+        t.context.reset();
+        noteResidencyChange(-1);
+        ++stats_.threadsFinished;
+        refill();
+        return;
+    }
+
+    // Long-latency fault: block the thread and switch away.
+    ++t.faults;
+    ++stats_.faults;
+    if (fault.kind == FaultClass::Cache)
+        ++stats_.cacheFaults;
+    else
+        ++stats_.syncFaults;
+
+    t.state = ThreadState::BlockedLoaded;
+    t.blockedAt = now_;
+    ++t.blockEpoch;
+    t.faultCompletion = now_ + fault.latency;
+    completions_.push({t.faultCompletion, t.blockEpoch, t.id});
+    ring_.remove(rrm);
+
+    // Two-phase accounting starts afresh for this blocking episode.
+    t.spinAccrued = 0;
+
+    charge(config_.costs.contextSwitch, stats_.switchCycles);
+}
+
+bool
+MtProcessor::nextCompletionTime(uint64_t &out)
+{
+    while (!completions_.empty()) {
+        const Event &top = completions_.top();
+        const Thread &t = threads_[top.tid];
+        if (t.blockEpoch == top.epoch &&
+            (t.state == ThreadState::BlockedLoaded ||
+             t.state == ThreadState::BlockedUnloaded)) {
+            out = top.time;
+            return true;
+        }
+        completions_.pop();
+    }
+    return false;
+}
+
+void
+MtProcessor::idleOrEvict()
+{
+    uint64_t completion = 0;
+    const bool have_completion = nextCompletionTime(completion);
+
+    // Two-phase: while the processor spins with nothing runnable,
+    // the scheduler repeatedly polls the blocked resident contexts;
+    // each accrues a 1/N share of the spin time. The first context
+    // whose accrual would reach its waiting budget is unloaded at a
+    // computable instant — but only when a queued thread could use
+    // the freed registers.
+    bool have_evict = false;
+    uint64_t evict_time = 0;
+    unsigned evict_tid = 0;
+    unsigned num_blocked_loaded = 0;
+
+    if (config_.unloadPolicy == UnloadPolicyKind::TwoPhase &&
+        !threadQueue_.empty()) {
+        uint64_t best_remaining = 0;
+        for (const Thread &t : threads_) {
+            if (t.state != ThreadState::BlockedLoaded)
+                continue;
+            ++num_blocked_loaded;
+            const uint64_t budget = twoPhaseBudget(t);
+            const uint64_t remaining =
+                budget > t.spinAccrued ? budget - t.spinAccrued : 0;
+            if (!have_evict || remaining < best_remaining) {
+                best_remaining = remaining;
+                evict_tid = t.id;
+                have_evict = true;
+            }
+        }
+        if (have_evict)
+            evict_time = now_ + best_remaining * num_blocked_loaded;
+    }
+
+    if (!have_completion && !have_evict) {
+        rr_fatal("deadlock: no runnable context, no pending event, ",
+                 config_.workload.numThreads - finished_,
+                 " unfinished threads (a thread may require more "
+                 "registers than any context can hold)");
+    }
+
+    uint64_t until = 0;
+    if (have_completion && have_evict)
+        until = std::min(completion, evict_time);
+    else if (have_completion)
+        until = completion;
+    else
+        until = evict_time;
+    rr_assert(until >= now_, "event in the past");
+
+    // The spin interval is wasted processor time; accrue the
+    // round-robin poll shares against the blocked residents.
+    const uint64_t interval = until - now_;
+    if (num_blocked_loaded > 0) {
+        for (Thread &t : threads_) {
+            if (t.state == ThreadState::BlockedLoaded)
+                t.spinAccrued += interval / num_blocked_loaded;
+        }
+    }
+    stats_.idleCycles += interval;
+    now_ = until;
+
+    if (have_evict && until == evict_time) {
+        evict(evict_tid);
+        refill();
+    }
+}
+
+MtStats
+MtProcessor::run()
+{
+    createThreads();
+    recorder_.record(0, 0);
+    refill();
+
+    const unsigned total = config_.workload.numThreads;
+    while (finished_ < total) {
+        // Charging overheads while processing completions can push
+        // the clock past further completions, so iterate to a
+        // fixpoint: when no cycles were charged, every event due at
+        // or before now has been handled.
+        for (;;) {
+            const uint64_t before = now_;
+            processCompletions();
+            if (now_ == before)
+                break;
+        }
+
+        if (!ring_.empty())
+            runNext();
+        else
+            idleOrEvict();
+        recorder_.record(now_, useful_);
+    }
+
+    // Finalize.
+    noteResidencyChange(0);
+    stats_.totalCycles = now_;
+    stats_.efficiencyTotal = recorder_.totalRate();
+    stats_.efficiencyCentral =
+        recorder_.centralRate(config_.statsLoFrac, config_.statsHiFrac);
+    stats_.avgResidentContexts =
+        now_ == 0 ? 0.0 : residencyIntegral_ / static_cast<double>(now_);
+    return stats_;
+}
+
+MtStats
+simulate(MtConfig config)
+{
+    MtProcessor processor(std::move(config));
+    return processor.run();
+}
+
+} // namespace rr::mt

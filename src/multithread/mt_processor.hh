@@ -1,0 +1,266 @@
+/**
+ * @file
+ * The multithreaded-node simulator used for every experiment in
+ * Section 3 of the paper.
+ *
+ * It models one node of a coarsely multithreaded multiprocessor
+ * (APRIL-like): the processor executes the current thread until a
+ * long-latency fault occurs, then spends S cycles switching to the
+ * next loaded, runnable context. Context allocation, loading and
+ * unloading, and thread queue manipulation are charged the cycle
+ * costs of Figure 4 (see runtime::CostModel). The simulation is
+ * event-driven: time advances in lumps (run segments and charged
+ * overheads), with a heap of outstanding fault completions.
+ *
+ * Two unloading policies are provided:
+ *  - Never (Section 3.2): contexts stay resident while blocked; used
+ *    for the cache-fault experiments "to avoid effects due to the
+ *    selection of a particular thread unloading policy".
+ *  - TwoPhase (Section 3.3): the competitive two-phase algorithm of
+ *    Lim & Agarwal — "a context is unloaded when the cost of
+ *    repeated, unsuccessful attempts to continue execution equals
+ *    the cost of unloading and blocking the context". Unsuccessful
+ *    resume attempts (the scheduler polling a still-blocked
+ *    context) only consume processor cycles while nothing else is
+ *    runnable, so each blocked resident context accrues its
+ *    round-robin share of the processor's spin time; when a
+ *    context's accrual reaches its unload + block cost, it is
+ *    unloaded, freeing registers for queued threads. While other
+ *    contexts keep the processor busy, blocked contexts accrue
+ *    nothing and stay resident — waiting costs nothing then.
+ *
+ * The load/unload cost is based on C, the number of registers the
+ * thread actually uses (Section 2.5), for BOTH architectures — the
+ * paper's deliberately conservative choice in favour of the fixed
+ * baseline.
+ */
+
+#ifndef RR_MULTITHREAD_MT_PROCESSOR_HH
+#define RR_MULTITHREAD_MT_PROCESSOR_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "base/stats.hh"
+#include "multithread/context_policy.hh"
+#include "multithread/fault_model.hh"
+#include "multithread/thread.hh"
+#include "runtime/context_ring.hh"
+#include "runtime/cost_model.hh"
+
+namespace rr::mt {
+
+/** Which register-file architecture to simulate. */
+enum class ArchKind : uint8_t
+{
+    Flexible, ///< register relocation (the paper's mechanism)
+    FixedHw,  ///< conventional fixed-size hardware contexts
+    AddReloc, ///< Am29000-style exact-size contexts (Section 4)
+};
+
+/** @return printable architecture name. */
+const char *archName(ArchKind kind);
+
+/** Thread unloading policy. */
+enum class UnloadPolicyKind : uint8_t
+{
+    Never,    ///< blocked contexts stay resident (Section 3.2)
+    TwoPhase, ///< competitive two-phase unloading (Section 3.3)
+};
+
+/** The synthetic thread supply (Section 3.1). */
+struct WorkloadSpec
+{
+    unsigned numThreads = 64;
+
+    /** Total useful cycles per thread. */
+    std::shared_ptr<Distribution> workDist;
+
+    /** Registers required per thread (C). */
+    std::shared_ptr<Distribution> regsDist;
+
+    /**
+     * Optional priority per thread (0 = highest); null = all
+     * threads share one class. Values are clamped to the
+     * configuration's priority level count.
+     */
+    std::shared_ptr<Distribution> priorityDist;
+};
+
+/** Full configuration of one simulation. */
+struct MtConfig
+{
+    WorkloadSpec workload;
+
+    /** Stochastic fault process (shared, stateless). */
+    std::shared_ptr<const FaultModel> faultModel;
+
+    /** Figure 4 cycle costs. */
+    runtime::CostModel costs;
+
+    ArchKind arch = ArchKind::Flexible;
+
+    /**
+     * Optional policy override: when set, it is used instead of the
+     * policy implied by `arch` (extensions such as the Section 5.1
+     * software-only scheme plug in here).
+     */
+    std::function<std::unique_ptr<ContextPolicy>()> customPolicy;
+
+    unsigned numRegs = 128;        ///< F
+    unsigned operandWidth = 5;     ///< w (max context size 2^w)
+    unsigned minContextSize = 4;   ///< smallest flexible context
+    unsigned fixedContextRegs = 32; ///< hardware context size
+
+    UnloadPolicyKind unloadPolicy = UnloadPolicyKind::Never;
+
+    /**
+     * Upper bound on simultaneously resident contexts; 0 = no cap.
+     * Used by the Section 5.2 adaptive-residency extension to trade
+     * multithreading against cache interference.
+     */
+    unsigned residencyCap = 0;
+
+    uint64_t seed = 12345;
+
+    /** Scheduler priority levels (Section 2.2 thread classes). */
+    unsigned priorityLevels = 1;
+
+    /** Central measurement window (transient exclusion). */
+    double statsLoFrac = 0.2;
+    double statsHiFrac = 0.8;
+};
+
+/** Results of one simulation. */
+struct MtStats
+{
+    // Cycle accounting; the categories partition totalCycles.
+    uint64_t totalCycles = 0;
+    uint64_t usefulCycles = 0;
+    uint64_t idleCycles = 0;
+    uint64_t switchCycles = 0;
+    uint64_t allocCycles = 0;
+    uint64_t deallocCycles = 0;
+    uint64_t loadCycles = 0;
+    uint64_t unloadCycles = 0;
+    uint64_t queueCycles = 0;
+
+    // Event counts.
+    uint64_t faults = 0;
+    uint64_t cacheFaults = 0;
+    uint64_t syncFaults = 0;
+    uint64_t loads = 0;
+    uint64_t unloads = 0;
+    uint64_t allocSuccesses = 0;
+    uint64_t allocFailures = 0;
+
+    // Derived measures.
+    double efficiencyCentral = 0.0; ///< useful rate, central window
+    double efficiencyTotal = 0.0;   ///< useful rate, whole run
+    double avgResidentContexts = 0.0; ///< time-weighted mean residency
+    unsigned maxResidentContexts = 0;
+    unsigned threadsFinished = 0;
+
+    /** Sum of all overhead + useful + idle buckets (= totalCycles). */
+    uint64_t accountedCycles() const;
+};
+
+/** Single-node multithreaded processor simulator. */
+class MtProcessor
+{
+  public:
+    explicit MtProcessor(MtConfig config);
+
+    /** Run the workload to completion and return the statistics. */
+    MtStats run();
+
+    /** Thread table after run() (per-thread statistics). */
+    const std::vector<Thread> &threads() const { return threads_; }
+
+    /** The configuration in use. */
+    const MtConfig &config() const { return config_; }
+
+  private:
+    /** Heap entry: (time, epoch, thread id), earliest time first. */
+    struct Event
+    {
+        uint64_t time;
+        uint64_t epoch;
+        unsigned tid;
+
+        bool operator>(const Event &other) const
+        {
+            return time > other.time;
+        }
+    };
+    using EventHeap =
+        std::priority_queue<Event, std::vector<Event>,
+                            std::greater<Event>>;
+
+    void createThreads();
+    std::unique_ptr<ContextPolicy> makePolicy() const;
+
+    /** Charge @p cycles of overhead to @p bucket and advance time. */
+    void charge(uint64_t cycles, uint64_t &bucket);
+
+    /** Track the time-weighted resident-context integral. */
+    void noteResidencyChange(int delta);
+
+    /** Wake fault completions due at or before now. */
+    void processCompletions();
+
+    /** The two-phase waiting budget for thread @p t (cycles). */
+    uint64_t twoPhaseBudget(const Thread &t) const;
+
+    /** Unload blocked, loaded thread @p tid (two-phase second phase). */
+    void evict(unsigned tid);
+
+    /**
+     * Advance through an interval with nothing runnable: spin-poll
+     * time accrues against blocked resident contexts (two-phase) and
+     * may trigger an eviction; otherwise idle until the next fault
+     * completion.
+     */
+    void idleOrEvict();
+
+    /** Load threads from the queue head while allocation succeeds. */
+    void refill();
+
+    /** Run the current ring context until its next fault or finish. */
+    void runNext();
+
+    /** Earliest pending fault completion; false when none. */
+    bool nextCompletionTime(uint64_t &out);
+
+    MtConfig config_;
+    std::unique_ptr<ContextPolicy> policy_;
+    std::vector<Thread> threads_;
+
+    uint64_t now_ = 0;
+    uint64_t useful_ = 0;
+    unsigned finished_ = 0;
+
+    runtime::PriorityRing ring_{1};
+    std::unordered_map<uint32_t, unsigned> rrmToThread_;
+    std::deque<unsigned> threadQueue_;
+
+    EventHeap completions_;
+
+    IntervalRecorder recorder_;
+    MtStats stats_;
+
+    unsigned residentCount_ = 0;
+    uint64_t lastResidencyTime_ = 0;
+    double residencyIntegral_ = 0.0;
+};
+
+/** Convenience: construct, run, and return the statistics. */
+MtStats simulate(MtConfig config);
+
+} // namespace rr::mt
+
+#endif // RR_MULTITHREAD_MT_PROCESSOR_HH

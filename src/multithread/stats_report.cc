@@ -1,0 +1,44 @@
+#include "multithread/stats_report.hh"
+
+#include <sstream>
+
+namespace rr::mt {
+
+Table
+cycleBreakdownTable(const MtStats &stats)
+{
+    Table table({"category", "cycles", "fraction"});
+    const double total =
+        stats.totalCycles == 0 ? 1.0
+                               : static_cast<double>(stats.totalCycles);
+    const auto row = [&](const char *name, uint64_t cycles) {
+        table.addRow({name, Table::num(cycles),
+                      Table::num(static_cast<double>(cycles) / total)});
+    };
+    row("useful work", stats.usefulCycles);
+    row("idle / spin", stats.idleCycles);
+    row("context switch", stats.switchCycles);
+    row("allocation", stats.allocCycles);
+    row("deallocation", stats.deallocCycles);
+    row("context load", stats.loadCycles);
+    row("context unload", stats.unloadCycles);
+    row("thread queue", stats.queueCycles);
+    row("total", stats.totalCycles);
+    return table;
+}
+
+std::string
+summaryLine(const MtStats &stats)
+{
+    std::ostringstream os;
+    os << "eff " << Table::num(stats.efficiencyCentral)
+       << " (central) / " << Table::num(stats.efficiencyTotal)
+       << " (total) over " << stats.totalCycles << " cycles; "
+       << stats.faults << " faults, " << stats.loads << " loads, "
+       << stats.unloads << " unloads, resident avg "
+       << Table::num(stats.avgResidentContexts, 1) << " (max "
+       << stats.maxResidentContexts << ")";
+    return os.str();
+}
+
+} // namespace rr::mt

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Human-readable reporting of MtStats: a cycle-breakdown table
+ * (useful / idle / switch / allocation / load / unload / queue) and
+ * a one-line summary, used by examples and benches.
+ */
+
+#ifndef RR_MULTITHREAD_STATS_REPORT_HH
+#define RR_MULTITHREAD_STATS_REPORT_HH
+
+#include <string>
+
+#include "base/table.hh"
+#include "multithread/mt_processor.hh"
+
+namespace rr::mt {
+
+/** Two-column breakdown of where the cycles went. */
+Table cycleBreakdownTable(const MtStats &stats);
+
+/** "eff 0.42 (central) over 1234567 cycles, 890 faults, ...". */
+std::string summaryLine(const MtStats &stats);
+
+} // namespace rr::mt
+
+#endif // RR_MULTITHREAD_STATS_REPORT_HH

@@ -1,0 +1,119 @@
+#include "multithread/workload.hh"
+
+#include <algorithm>
+
+namespace rr::mt {
+
+WorkloadSpec
+paperWorkload(unsigned num_threads, uint64_t work_per_thread,
+              unsigned c_lo, unsigned c_hi)
+{
+    WorkloadSpec spec;
+    spec.numThreads = num_threads;
+    spec.workDist = makeConstant(work_per_thread);
+    spec.regsDist = makeUniformInt(c_lo, c_hi);
+    return spec;
+}
+
+WorkloadSpec
+homogeneousWorkload(unsigned num_threads, uint64_t work_per_thread,
+                    unsigned c)
+{
+    WorkloadSpec spec;
+    spec.numThreads = num_threads;
+    spec.workDist = makeConstant(work_per_thread);
+    spec.regsDist = makeConstant(c);
+    return spec;
+}
+
+uint64_t
+defaultWorkPerThread(double mean_run)
+{
+    // At least ~250 faults per thread, with a floor so short-run
+    // workloads still dominate the fixed transients.
+    return std::max<uint64_t>(20000,
+                              static_cast<uint64_t>(mean_run * 250.0));
+}
+
+MtConfig
+fig5Config(ArchKind arch, unsigned num_regs, double mean_run,
+           uint64_t latency, uint64_t seed)
+{
+    MtConfig config;
+    config.workload = paperWorkload(defaultThreadCount,
+                                    defaultWorkPerThread(mean_run));
+    config.faultModel =
+        std::make_shared<CacheFaultModel>(mean_run, latency);
+    config.costs = arch == ArchKind::FixedHw
+                       ? runtime::CostModel::paperFixed(6)
+                       : runtime::CostModel::paperFlexible(6);
+    config.arch = arch;
+    config.numRegs = num_regs;
+    config.unloadPolicy = UnloadPolicyKind::Never;
+    config.seed = seed;
+    return config;
+}
+
+MtConfig
+fig6Config(ArchKind arch, unsigned num_regs, double mean_run,
+           double mean_latency, uint64_t seed)
+{
+    MtConfig config;
+    config.workload = paperWorkload(defaultThreadCount,
+                                    defaultWorkPerThread(mean_run));
+    config.faultModel =
+        std::make_shared<SyncFaultModel>(mean_run, mean_latency);
+    config.costs = arch == ArchKind::FixedHw
+                       ? runtime::CostModel::paperFixed(8)
+                       : runtime::CostModel::paperFlexible(8);
+    config.arch = arch;
+    config.numRegs = num_regs;
+    config.unloadPolicy = UnloadPolicyKind::TwoPhase;
+    config.seed = seed;
+    return config;
+}
+
+MtConfig
+combinedConfig(ArchKind arch, unsigned num_regs, double cache_run,
+               uint64_t cache_latency, double sync_run,
+               double sync_latency, uint64_t seed)
+{
+    MtConfig config;
+    const double combined_run =
+        1.0 / (1.0 / cache_run + 1.0 / sync_run);
+    config.workload = paperWorkload(
+        defaultThreadCount, defaultWorkPerThread(combined_run));
+    config.faultModel = std::make_shared<CombinedFaultModel>(
+        cache_run, cache_latency, sync_run, sync_latency);
+    config.costs = arch == ArchKind::FixedHw
+                       ? runtime::CostModel::paperFixed(8)
+                       : runtime::CostModel::paperFlexible(8);
+    config.arch = arch;
+    config.numRegs = num_regs;
+    config.unloadPolicy = UnloadPolicyKind::TwoPhase;
+    config.seed = seed;
+    return config;
+}
+
+MtConfig
+deterministicConfig(ArchKind arch, unsigned num_regs, uint64_t run,
+                    uint64_t latency, unsigned num_threads,
+                    unsigned regs_used, uint64_t seed)
+{
+    MtConfig config;
+    config.workload = homogeneousWorkload(
+        num_threads, defaultWorkPerThread(static_cast<double>(run)),
+        regs_used);
+    config.faultModel =
+        std::make_shared<DeterministicFaultModel>(run, latency);
+    config.costs = arch == ArchKind::FixedHw
+                       ? runtime::CostModel::paperFixed(6)
+                       : runtime::CostModel::paperFlexible(6);
+    config.arch = arch;
+    config.numRegs = num_regs;
+    config.unloadPolicy = UnloadPolicyKind::Never;
+    config.seed = seed;
+    return config;
+}
+
+} // namespace rr::mt

@@ -1,0 +1,433 @@
+#include "runtime/asm_routines.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace rr::runtime {
+
+std::string
+figure3YieldSource()
+{
+    // Figure 3 of the paper, in dst-first syntax. The mov in the
+    // LDRRM delay slot still relocates through the *old* mask, saving
+    // the outgoing thread's PSW into its own r1; the mov after the
+    // slot runs under the new mask and restores the incoming thread's
+    // PSW from its r1.
+    return R"(
+yield:
+    ldrrm r2          ; install new relocation mask (1 delay slot)
+    mov   r1, psw     ; delay slot: save old status register
+    mov   psw, r1     ; restore new status register
+    jmp   r0          ; execute code in new context
+)";
+}
+
+std::string
+appendixAAllocatorSource()
+{
+    return R"(
+; ---- ContextAlloc16: binary search (Appendix A) --------------------
+ctx_alloc16:
+    ld    r4, 0(r10)       ; tempMap = AllocMap
+    srli  r5, r4, 1
+    and   r4, r4, r5       ; tempMap &= tempMap >> 1
+    srli  r5, r4, 2
+    and   r4, r4, r5       ; tempMap &= tempMap >> 2
+    and   r4, r4, r8       ; tempMap &= 0x11111111
+    bne   r4, r6, ca16_found
+    mov   r12, r6          ; FAILURE
+    jmp   r15
+ca16_found:
+    mov   r7, r6           ; rrm = 0
+    and   r5, r4, r9       ; 16-bit block with a free chunk?
+    bne   r5, r6, ca16_low16
+    ori   r7, r7, 16
+    srli  r4, r4, 16
+ca16_low16:
+    andi  r5, r4, 0xff     ; 8-bit block?
+    bne   r5, r6, ca16_low8
+    ori   r7, r7, 8
+    srli  r4, r4, 8
+ca16_low8:
+    andi  r5, r4, 0xf      ; 4-bit block?
+    bne   r5, r6, ca16_low4
+    ori   r7, r7, 4
+ca16_low4:
+    sll   r5, r13, r7      ; tempMap = 0x000f << rrm
+    ld    r14, 0(r10)
+    xori  r4, r5, -1       ; ~tempMap
+    and   r14, r14, r4
+    st    r14, 0(r10)      ; AllocMap &= ~tempMap
+    slli  r4, r7, 2
+    st    r4, 0(r11)       ; t->rrm = rrm << 2
+    st    r5, 1(r11)       ; t->allocMask = tempMap
+    addi  r12, r6, 1       ; SUCCESS
+    jmp   r15
+
+; ---- ContextAlloc64: linear search (Appendix A) --------------------
+ctx_alloc64:
+    ld    r4, 0(r10)
+    and   r5, r4, r9       ; low-order halfword
+    beq   r5, r9, ca64_low
+    srli  r5, r4, 16       ; high-order halfword
+    beq   r5, r9, ca64_high
+    mov   r12, r6          ; FAILURE
+    jmp   r15
+ca64_low:
+    xori  r5, r9, -1       ; ~0xffff
+    and   r4, r4, r5
+    st    r4, 0(r10)       ; AllocMap &= ~0xffff
+    st    r6, 0(r11)       ; t->rrm = 0
+    st    r9, 1(r11)       ; t->allocMask = 0xffff
+    addi  r12, r6, 1
+    jmp   r15
+ca64_high:
+    and   r4, r4, r9
+    st    r4, 0(r10)       ; AllocMap &= 0xffff
+    addi  r5, r6, 64
+    st    r5, 0(r11)       ; t->rrm = 16 << 2
+    slli  r5, r9, 16
+    st    r5, 1(r11)       ; t->allocMask = 0xffff << 16
+    addi  r12, r6, 1
+    jmp   r15
+
+; ---- ContextAlloc16 with FF1 (footnote 2) --------------------------
+ctx_alloc16_ff1:
+    ld    r4, 0(r10)
+    srli  r5, r4, 1
+    and   r4, r4, r5
+    srli  r5, r4, 2
+    and   r4, r4, r5
+    and   r4, r4, r8
+    bne   r4, r6, caff_found
+    mov   r12, r6          ; FAILURE
+    jmp   r15
+caff_found:
+    ff1   r7, r4           ; find first free aligned block
+    sll   r5, r13, r7
+    ld    r14, 0(r10)
+    xori  r4, r5, -1
+    and   r14, r14, r4
+    st    r14, 0(r10)
+    slli  r4, r7, 2
+    st    r4, 0(r11)
+    st    r5, 1(r11)
+    addi  r12, r6, 1
+    jmp   r15
+
+; ---- ContextDealloc (Appendix A) -----------------------------------
+ctx_dealloc:
+    ld    r4, 0(r10)
+    ld    r5, 1(r11)
+    or    r4, r4, r5       ; AllocMap |= t->allocMask
+    st    r4, 0(r10)
+    jmp   r15
+)";
+}
+
+std::string
+roundRobinDemoSource()
+{
+    std::ostringstream os;
+    os << R"(
+entry:
+    jmp   r0              ; begin the first thread
+)" << figure3YieldSource()
+       << R"(
+; Shared, context-relative thread body. Conventions:
+;   r0 PC save, r1 PSW save, r2 NextRRM (Figure 3)
+;   r4 remaining iterations, r5 accumulator
+;   r6 constant 1, r7 constant 0, r9 live-counter address
+thread_body:
+    sub   r4, r4, r6      ; one unit of work
+    add   r5, r5, r4
+    jal   r0, yield       ; explicit fault: switch context
+    bne   r4, r7, thread_body
+    ld    r8, 0(r9)       ; thread done: live_count -= 1
+    sub   r8, r8, r6
+    st    r8, 0(r9)
+    bne   r8, r7, spin
+    halt                  ; last thread out stops the machine
+spin:
+    jal   r0, yield       ; completed threads keep yielding
+    b     spin
+)";
+    return os.str();
+}
+
+std::string
+rotationSchedulerSource(unsigned work_units)
+{
+    rr_assert(work_units >= 1 && work_units <= 2047,
+              "work units must fit an addi immediate");
+    std::ostringstream os;
+    os << "; Complete software runtime: rotation scheduler.\n"
+       << ".equ MAILBOX, 0x3000\n"
+       << ".equ MAILBOX2, 0x3001\n"
+       << ".equ LIVE, 0x3002\n"
+       << ".equ QUEUE, 0x3010\n"
+       << ".equ WORKUNITS, " << work_units << "\n"
+       << R"(
+entry:
+    b    sched_dequeue
+
+; ---------------- thread code (context-relative, 8 registers) -----
+thread_start:
+    addi r5, r7, WORKUNITS
+work:
+    addi r5, r5, -1
+    bne  r5, r7, work
+    addi r6, r6, -1
+    beq  r6, r7, thread_done
+    fault 0                    ; long-latency event at segment end
+    jal  r0, unload_self       ; r0 = the 'b thread_start' below
+    b    thread_start
+
+thread_done:
+    li   r5, LIVE
+    ld   r1, 0(r5)
+    addi r1, r1, -1
+    st   r1, 0(r5)
+    li   r5, MAILBOX
+    st   r4, 0(r5)
+    ldrrm r3                   ; into the scheduler context
+    nop
+    b    sched_finish
+
+; Section 2.5 unload, run inside the victim context: store exactly
+; the registers this 8-register context uses, then hand the save
+; area to the scheduler through the mailbox.
+unload_self:
+    mov  r1, psw
+    st   r0, 0(r4)
+    st   r1, 1(r4)
+    st   r2, 2(r4)
+    st   r3, 3(r4)
+    st   r6, 4(r4)
+    st   r7, 5(r4)
+    li   r1, MAILBOX
+    st   r4, 0(r1)
+    ldrrm r3
+    nop
+    b    sched_rotate
+
+; ---------------- scheduler (context at base 0, 32 registers) -----
+sched_rotate:
+    li   r21, MAILBOX
+    ld   r20, 0(r21)           ; victim save area
+    add  r24, r16, r18         ; enqueue victim at the tail
+    st   r20, 0(r24)
+    addi r18, r18, 1
+    and  r18, r18, r19
+    addi r11, r20, 6           ; Appendix A thread struct
+    jal  r15, ctx_dealloc
+    b    sched_dequeue
+
+sched_finish:
+    li   r21, MAILBOX
+    ld   r20, 0(r21)
+    addi r11, r20, 6
+    jal  r15, ctx_dealloc
+    li   r21, LIVE
+    ld   r24, 0(r21)
+    bne  r24, r6, sched_dequeue
+    halt                       ; last thread retired
+
+sched_dequeue:
+    add  r24, r16, r17         ; dequeue the head thread
+    ld   r22, 0(r24)           ; its save area
+    addi r17, r17, 1
+    and  r17, r17, r19
+    addi r11, r22, 6
+    jal  r15, ctx_alloc8
+    beq  r12, r6, alloc_panic
+    li   r21, MAILBOX2
+    st   r22, 0(r21)
+    ld   r23, 6(r22)           ; freshly assigned RRM
+    ldrrm r23                  ; into the new thread's context
+    nop
+    b    boot
+
+alloc_panic:
+    fault 63                   ; should be impossible: equal sizes
+    halt
+
+; Reload, bootstrapped inside the target context: LUI/ORI build
+; constants without reading any (still undefined) register.
+boot:
+    li   r4, MAILBOX2
+    ld   r4, 0(r4)             ; save area; also the thread's r4
+    ld   r0, 0(r4)
+    ld   r1, 1(r4)
+    ld   r3, 3(r4)
+    ld   r6, 4(r4)
+    ld   r7, 5(r4)
+    ld   r2, 6(r4)             ; own RRM — fresh, the context moved
+    mov  psw, r1
+    jmp  r0
+
+; ---------------- 8-register allocator (FF1, aligned pairs) -------
+ctx_alloc8:
+    ld   r4, 0(r10)
+    srli r5, r4, 1
+    and  r4, r4, r5            ; runs of 2 free chunks
+    and  r4, r4, r25           ; aligned pair positions (0x55555555)
+    bne  r4, r6, ca8_found
+    mov  r12, r6               ; FAILURE
+    jmp  r15
+ca8_found:
+    ff1  r7, r4
+    addi r5, r6, 3
+    sll  r5, r5, r7            ; allocMask = 0x3 << chunk
+    ld   r14, 0(r10)
+    xori r4, r5, -1
+    and  r14, r14, r4
+    st   r14, 0(r10)           ; AllocMap &= ~allocMask
+    slli r4, r7, 2
+    st   r4, 0(r11)            ; rrm = chunk * 4
+    st   r5, 1(r11)
+    addi r12, r6, 1            ; SUCCESS
+    jmp  r15
+)" << appendixAAllocatorSource();
+    return os.str();
+}
+
+std::string
+twoPhaseSchedulerSource(unsigned work_units, unsigned poll_budget)
+{
+    rr_assert(work_units >= 1 && work_units <= 2047,
+              "work units must fit an addi immediate");
+    rr_assert(poll_budget >= 1 && poll_budget <= 2047,
+              "poll budget must fit an addi immediate");
+    std::ostringstream os;
+    os << "; Two-phase slot scheduler: every instruction addresses\n"
+       << "; only r0..r7 (one 8-register context).\n"
+       << ".equ QHEAD, 0x3000\n"
+       << ".equ QTAIL, 0x3001\n"
+       << ".equ LIVE, 0x3002\n"
+       << ".equ QMASK, 127\n"
+       << ".equ QUEUE, 0x3010\n"
+       << ".equ WORKUNITS, " << work_units << "\n"
+       << ".equ BUDGET, " << poll_budget << "\n"
+       << R"(
+entry:
+    jmp   r0
+
+yield:                      ; Figure 3 among the slots
+    ldrrm r2
+    mov   r1, psw
+    mov   psw, r1
+    jmp   r0
+
+work_seg:                   ; run one segment of the current thread
+    addi  r5, r7, WORKUNITS
+work:
+    addi  r5, r5, -1
+    bne   r5, r7, work
+    addi  r6, r6, -1
+    beq   r6, r7, thread_done
+    fault 0                 ; long-latency event (flag cleared)
+    addi  r3, r7, 0         ; first phase: reset the poll counter
+    jal   r0, yield
+poll:
+    ld    r5, 5(r4)         ; has the fault completed?
+    bne   r5, r7, work_seg
+    addi  r3, r3, 1         ; one more unsuccessful resume attempt
+    addi  r5, r7, BUDGET
+    blt   r3, r5, poll_again
+    ; Budget exhausted (second phase): surrender the slot if a
+    ; queued thread could use it.
+    li    r5, QHEAD
+    ld    r5, 0(r5)
+    li    r1, QTAIL
+    ld    r1, 0(r1)
+    bne   r5, r1, swap_out
+poll_again:
+    jal   r0, yield
+    b     poll
+
+swap_out:
+    ; Commit the unload, then save state (Section 2.5: exactly the
+    ; registers this thread uses).
+    addi  r5, r7, 1
+    st    r5, 7(r4)         ; unloaded marker
+    st    r0, 0(r4)         ; resume PC (the poll loop re-entry)
+    mov   r1, psw
+    st    r1, 1(r4)
+    st    r6, 4(r4)
+    ; Lost-wakeup reconciliation. The memory system enqueues an
+    ; unloaded thread when its fault completes and clears the marker;
+    ; reading flag THEN marker makes the outcome unambiguous:
+    ;   flag 0            -> still blocked, the unload stands;
+    ;   flag 1, marker 0  -> completion already enqueued us, swap;
+    ;   flag 1, marker 1  -> completion landed before the marker was
+    ;                        visible: nobody enqueued us — cancel the
+    ;                        unload and resume right here.
+    ld    r5, 5(r4)
+    beq   r5, r7, swap_in
+    ld    r5, 7(r4)
+    beq   r5, r7, swap_in
+    st    r7, 7(r4)
+    b     work_seg
+swap_in:                    ; dequeue a ready thread into this slot
+    li    r5, QHEAD
+    ld    r1, 0(r5)
+    addi  r1, r1, 1
+    st    r1, 0(r5)         ; head++
+    addi  r1, r1, -1
+    andi  r0, r1, QMASK
+    li    r3, QUEUE
+    add   r3, r3, r0
+    ld    r4, 0(r3)         ; new thread's save area
+    st    r7, 7(r4)         ; it is loaded now
+    ld    r0, 0(r4)
+    ld    r1, 1(r4)
+    mov   psw, r1
+    ld    r6, 4(r4)
+    addi  r3, r7, 0         ; fresh poll counter
+    jmp   r0
+
+thread_done:
+    li    r5, LIVE
+    ld    r1, 0(r5)
+    addi  r1, r1, -1
+    st    r1, 0(r5)
+    beq   r1, r7, all_done
+slot_idle:                  ; this slot waits for queued work
+    li    r5, QHEAD
+    ld    r5, 0(r5)
+    li    r1, QTAIL
+    ld    r1, 0(r1)
+    bne   r5, r1, swap_in
+    jal   r0, yield
+    b     slot_idle
+
+all_done:
+    halt
+)";
+    return os.str();
+}
+
+std::string
+saveRestoreSource(unsigned max_regs)
+{
+    rr_assert(max_regs >= 1 && max_regs <= 30,
+              "save/restore supports 1..30 registers, got ", max_regs);
+    std::ostringstream os;
+    os << "; Multi-entry-point context unload (Section 2.5).\n";
+    for (unsigned k = max_regs; k >= 1; --k) {
+        os << "unload_" << k << ":\n";
+        os << "    st r" << (k - 1) << ", " << (k - 1) << "(r30)\n";
+    }
+    os << "    jmp r31\n";
+    os << "; Multi-entry-point context load (Section 2.5).\n";
+    for (unsigned k = max_regs; k >= 1; --k) {
+        os << "load_" << k << ":\n";
+        os << "    ld r" << (k - 1) << ", " << (k - 1) << "(r30)\n";
+    }
+    os << "    jmp r31\n";
+    return os.str();
+}
+
+} // namespace rr::runtime

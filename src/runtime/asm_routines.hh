@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Embedded RRISC assembly sources for the paper's runtime routines.
+ * These are executed on the cycle-level machine to *measure* the cycle
+ * costs that the stochastic simulators then charge (Figure 4):
+ *
+ *  - the Figure 3 fast context switch (yield);
+ *  - the Appendix A context allocation / deallocation routines
+ *    (binary-search, linear-search, and FF1-accelerated variants);
+ *  - the Section 2.5 multi-entry-point context save/restore code.
+ *
+ * Register conventions used by the routines (all context-relative):
+ *
+ *  yield path (Figure 3):
+ *    r0  thread program counter (PC)
+ *    r1  processor status word (PSW)
+ *    r2  mask for next thread (NextRRM)
+ *
+ *  allocator (Appendix A):
+ *    r4, r5, r7, r14  scratch
+ *    r6   constant 0
+ *    r8   constant 0x11111111
+ *    r9   constant 0x0000ffff
+ *    r10  address of AllocMap (one memory word)
+ *    r11  address of the thread record: word 0 = rrm, word 1 =
+ *         allocMask
+ *    r12  result: 1 = SUCCESS, 0 = FAILURE
+ *    r13  constant 0x0000000f
+ *    r15  return address
+ *
+ *  save/restore (Section 2.5):
+ *    r30  save-area pointer
+ *    r31  return address
+ */
+
+#ifndef RR_RUNTIME_ASM_ROUTINES_HH
+#define RR_RUNTIME_ASM_ROUTINES_HH
+
+#include <string>
+
+namespace rr::runtime {
+
+/**
+ * The Figure 3 yield routine. Expects to be included in a program
+ * that defines the label 'yield'. A thread switches away with
+ * 'jal r0, yield' (explicit fault) and resumes at the instruction
+ * after that jal.
+ */
+std::string figure3YieldSource();
+
+/**
+ * The Appendix A allocator translated to RRISC, with labels
+ * ctx_alloc16 (binary search), ctx_alloc64 (linear search),
+ * ctx_alloc16_ff1 (using the FF1 instruction, footnote 2), and
+ * ctx_dealloc. Callers use 'jal r15, <label>'.
+ */
+std::string appendixAAllocatorSource();
+
+/**
+ * A complete round-robin multithreading demo program: @p num_threads
+ * threads share one body; each runs @p iterations loop iterations,
+ * yielding (Figure 3) after each, then decrements a live-thread
+ * counter and halts the machine when it reaches zero.
+ *
+ * The caller must initialize, per context: r0 = address of
+ * 'thread_body', r2 = NextRRM, r4 = iterations, r6 = 1, r7 = 0,
+ * r9 = address of the live counter; and store @p num_threads in that
+ * counter. Labels: 'yield', 'thread_body', 'entry'.
+ */
+std::string roundRobinDemoSource();
+
+/**
+ * Multi-entry-point context save/restore (Section 2.5): labels
+ * 'unload_k' store registers r(k-1)..r0 to the save area at r30 and
+ * return via r31; labels 'load_k' restore them. Entry points exist
+ * for k = 1 .. @p max_regs (max_regs <= 30 because r30/r31 carry the
+ * pointer and return address).
+ */
+std::string saveRestoreSource(unsigned max_regs);
+
+/**
+ * The complete dynamic runtime in RRISC assembly: a rotation
+ * scheduler that, on every fault, unloads the faulting thread's
+ * 8-register context (Section 2.5 style, within the victim context),
+ * deallocates it (Appendix A), dequeues the next thread from a
+ * memory-resident ready queue, allocates a fresh context
+ * (an FF1-accelerated 8-register allocator), reloads the thread, and
+ * resumes it — exercising every software mechanism of Section 2 with
+ * no hardware support beyond the RRM.
+ *
+ * Thread context conventions (8 registers):
+ *   r0 resume PC    r1 PSW save     r2 own RRM     r3 scheduler RRM
+ *   r4 save-area pointer   r5 scratch/link   r6 segments left
+ *   r7 constant 0
+ *
+ * Save-area layout (8 words per thread):
+ *   [0] r0  [1] r1  [2] r2  [3] r3  [4] r6  [5] r7
+ *   [6] rrm (thread struct word 0)  [7] allocMask (word 1)
+ *
+ * Scheduler context: 32 registers at base 0 (RRM 0). Registers
+ * follow the Appendix A conventions (r6, r8, r9, r10, r13, r15 plus
+ * scratch r4, r5, r7, r14) extended with r16 queue base, r17 head,
+ * r18 tail, r19 capacity mask, r20-r24 scratch, r25 = 0x55555555.
+ *
+ * Memory conventions are defined with .equ at the top of the source:
+ * MAILBOX (victim save-area handoff), MAILBOX2 (reload handoff),
+ * LIVE (live-thread counter), ALLOCMAP, QUEUE (ring buffer of
+ * save-area addresses).
+ *
+ * @param work_units loop passes per run segment (1 .. 2047)
+ */
+std::string rotationSchedulerSource(unsigned work_units);
+
+/**
+ * The two-phase scheduler in RRISC assembly: a ring of fixed context
+ * *slots* switched with the Figure 3 fast path; each slot multiplexes
+ * threads. A blocked thread polls its completion flag when the ring
+ * visits it; after @p poll_budget failed polls (the accumulated cost
+ * of unsuccessful resume attempts, Section 3.3) it gives up the slot:
+ * it saves its state, and the slot dequeues a ready thread from the
+ * memory queue and resumes it. Unloaded threads re-enter the queue
+ * when their fault completes (posted by the memory system — the C++
+ * harness).
+ *
+ * Every instruction of the runtime addresses only r0..r7, so the
+ * whole program passes an 8-register context-boundary check:
+ *   r0 resume PC    r1 PSW save / scratch   r2 next-slot RRM (fixed)
+ *   r3 poll counter r4 save-area pointer    r5 scratch
+ *   r6 segments left                        r7 constant 0
+ *
+ * Save-area layout (8 words):
+ *   [0] r0  [1] r1  [4] r6  [5] completion flag
+ *   [7] unloaded marker (1 = blocked & unloaded; the memory system
+ *       enqueues the thread on completion and clears it)
+ *
+ * @param work_units  loop passes per run segment (1 .. 2047)
+ * @param poll_budget failed polls before surrendering the slot
+ */
+std::string twoPhaseSchedulerSource(unsigned work_units,
+                                    unsigned poll_budget);
+
+} // namespace rr::runtime
+
+#endif // RR_RUNTIME_ASM_ROUTINES_HH

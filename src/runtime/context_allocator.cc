@@ -1,0 +1,134 @@
+#include "runtime/context_allocator.hh"
+
+#include <algorithm>
+
+#include "base/bitops.hh"
+#include "base/logging.hh"
+
+namespace rr::runtime {
+
+ContextAllocator::ContextAllocator(unsigned num_regs,
+                                   unsigned operand_width,
+                                   unsigned min_size)
+    : numRegs_(num_regs),
+      minSize_(min_size),
+      maxSize_(std::min(num_regs, 1u << operand_width)),
+      numChunks_(num_regs / chunkRegs),
+      bitmap_((numChunks_ + 63) / 64, 0)
+{
+    rr_assert(isPowerOfTwo(num_regs) && num_regs >= 16,
+              "register file size must be a power of two >= 16, got ",
+              num_regs);
+    rr_assert(isPowerOfTwo(min_size) && min_size >= chunkRegs,
+              "min context size must be a power of two >= ", chunkRegs);
+    rr_assert(minSize_ <= maxSize_, "min size ", minSize_,
+              " exceeds max size ", maxSize_);
+
+    // All chunks start free.
+    for (unsigned c = 0; c < numChunks_; ++c)
+        bitmap_[c / 64] |= uint64_t{1} << (c % 64);
+}
+
+unsigned
+ContextAllocator::contextSizeFor(unsigned required_regs) const
+{
+    if (required_regs > maxSize_)
+        return 0;
+    const unsigned rounded = static_cast<unsigned>(
+        roundUpPowerOfTwo(std::max(required_regs, 1u)));
+    return std::max(rounded, minSize_);
+}
+
+std::optional<Context>
+ContextAllocator::allocate(unsigned required_regs)
+{
+    ++stats_.allocCalls;
+
+    const unsigned size = contextSizeFor(required_regs);
+    if (size == 0) {
+        ++stats_.allocFailures;
+        return std::nullopt;
+    }
+    const unsigned run = size / chunkRegs; // chunks per context
+
+    // Aligned power-of-two runs never straddle a 64-chunk boundary
+    // (run <= 64 and runs are run-aligned), so each bitmap word can be
+    // searched independently — this is the Appendix A algorithm
+    // applied per word.
+    rr_assert(run <= 64, "context larger than one bitmap word");
+    for (unsigned w = 0; w * 64 < numChunks_; ++w) {
+        uint64_t candidates = contiguousRunMap(bitmap_[w], run) &
+                              alignedPositionsMask(run);
+        if (w * 64 + 64 > numChunks_) {
+            // Partial trailing word: mask off chunks beyond the file.
+            candidates &= lowMask(numChunks_ - w * 64);
+        }
+        const int bit = findFirstSet(candidates);
+        if (bit < 0)
+            continue;
+
+        const unsigned chunk = w * 64 + static_cast<unsigned>(bit);
+        const uint64_t alloc_mask = lowMask(run)
+                                    << static_cast<unsigned>(bit);
+        bitmap_[w] &= ~alloc_mask;
+
+        Context context;
+        context.rrm = chunk * chunkRegs;
+        context.size = size;
+        return context;
+    }
+
+    ++stats_.allocFailures;
+    return std::nullopt;
+}
+
+void
+ContextAllocator::release(const Context &context)
+{
+    ++stats_.deallocCalls;
+
+    rr_assert(context.size >= minSize_ && context.size <= maxSize_ &&
+                  isPowerOfTwo(context.size),
+              "bad context size ", context.size);
+    rr_assert(context.rrm % context.size == 0,
+              "context base ", context.rrm, " not aligned to size ",
+              context.size);
+    rr_assert(context.endReg() <= numRegs_,
+              "context exceeds the register file");
+
+    const unsigned run = context.size / chunkRegs;
+    const unsigned chunk = context.rrm / chunkRegs;
+    const unsigned w = chunk / 64;
+    const unsigned bit = chunk % 64;
+    const uint64_t alloc_mask = lowMask(run) << bit;
+
+    rr_assert((bitmap_[w] & alloc_mask) == 0,
+              "double free of context at base ", context.rrm);
+    bitmap_[w] |= alloc_mask;
+}
+
+unsigned
+ContextAllocator::freeRegs() const
+{
+    unsigned free_chunks = 0;
+    for (const uint64_t word : bitmap_)
+        free_chunks += popCount(word);
+    return free_chunks * chunkRegs;
+}
+
+double
+ContextAllocator::utilization() const
+{
+    return static_cast<double>(allocatedRegs()) /
+           static_cast<double>(numRegs_);
+}
+
+bool
+ContextAllocator::regAllocated(unsigned reg) const
+{
+    rr_assert(reg < numRegs_, "register ", reg, " out of range");
+    const unsigned chunk = reg / chunkRegs;
+    return (bitmap_[chunk / 64] & (uint64_t{1} << (chunk % 64))) == 0;
+}
+
+} // namespace rr::runtime

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The software context allocator — a generalization of the paper's
+ * Appendix A routines.
+ *
+ * The register file is viewed as an array of 4-register "chunks"; an
+ * allocation bitmap holds one bit per chunk (1 = free). A context of
+ * size 2^k registers is a naturally aligned run of 2^k / 4 chunks, so
+ * the resulting base register number doubles as the register
+ * relocation mask (RRM): ORing any offset < 2^k into an aligned base
+ * yields base + offset, which is exactly the flexible base/offset
+ * split of Figure 1.
+ *
+ * The search uses the Appendix A bit-parallel prefix scan to build a
+ * map of free aligned runs, then find-first-set — equivalent to the
+ * listing's binary search but expressed over whole bitmap words.
+ */
+
+#ifndef RR_RUNTIME_CONTEXT_ALLOCATOR_HH
+#define RR_RUNTIME_CONTEXT_ALLOCATOR_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace rr::runtime {
+
+/** A resident context: an aligned power-of-two block of registers. */
+struct Context
+{
+    uint32_t rrm = 0;      ///< relocation mask == base register number
+    unsigned size = 0;     ///< allocated registers (power of two)
+
+    /** First register of the context. */
+    unsigned baseReg() const { return rrm; }
+
+    /** One-past-the-last register of the context. */
+    unsigned endReg() const { return rrm + size; }
+
+    bool operator==(const Context &other) const = default;
+};
+
+/** Aggregate statistics kept by the allocator. */
+struct AllocatorStats
+{
+    uint64_t allocCalls = 0;     ///< total allocation attempts
+    uint64_t allocFailures = 0;  ///< attempts that found no space
+    uint64_t deallocCalls = 0;   ///< total deallocations
+};
+
+/** Bitmap-based allocator for variable-size register contexts. */
+class ContextAllocator
+{
+  public:
+    /**
+     * @param num_regs       register file size F (power of two >= 16)
+     * @param operand_width  w; the maximum context size is 2^w
+     * @param min_size       smallest allocatable context (>= chunk
+     *                       size; the paper suggests at least 4 so a
+     *                       context can hold more than a PC)
+     */
+    ContextAllocator(unsigned num_regs, unsigned operand_width,
+                     unsigned min_size = 4);
+
+    /** Register file size F. */
+    unsigned numRegs() const { return numRegs_; }
+
+    /** Smallest allocatable context size. */
+    unsigned minSize() const { return minSize_; }
+
+    /** Largest allocatable context size (min(2^w, F)). */
+    unsigned maxSize() const { return maxSize_; }
+
+    /**
+     * The context size that a thread requiring @p required_regs
+     * registers receives: @p required_regs rounded up to a power of
+     * two, clamped to [minSize, maxSize]. Returns 0 when the thread
+     * cannot fit any context (required > maxSize).
+     */
+    unsigned contextSizeFor(unsigned required_regs) const;
+
+    /**
+     * Allocate a context for a thread that uses @p required_regs
+     * registers. First-fit at the lowest base address.
+     * @return the context, or nullopt when no aligned free run exists
+     */
+    std::optional<Context> allocate(unsigned required_regs);
+
+    /** Release a previously allocated context. */
+    void release(const Context &context);
+
+    /** Registers currently free. */
+    unsigned freeRegs() const;
+
+    /** Registers currently allocated. */
+    unsigned allocatedRegs() const { return numRegs_ - freeRegs(); }
+
+    /** Fraction of the register file currently allocated. */
+    double utilization() const;
+
+    /** @return true when every chunk is free. */
+    bool empty() const { return freeRegs() == numRegs_; }
+
+    /** Lifetime statistics. */
+    const AllocatorStats &stats() const { return stats_; }
+
+    /**
+     * @return true when the chunk containing register @p reg is
+     * allocated (tests use this to verify non-overlap).
+     */
+    bool regAllocated(unsigned reg) const;
+
+    /** Registers per bitmap chunk (the paper uses 4). */
+    static constexpr unsigned chunkRegs = 4;
+
+  private:
+    unsigned numRegs_;
+    unsigned minSize_;
+    unsigned maxSize_;
+    unsigned numChunks_;
+    std::vector<uint64_t> bitmap_; ///< 1 = free chunk
+    AllocatorStats stats_;
+};
+
+} // namespace rr::runtime
+
+#endif // RR_RUNTIME_CONTEXT_ALLOCATOR_HH

@@ -1,0 +1,97 @@
+#include "runtime/context_loader.hh"
+
+#include "base/logging.hh"
+
+namespace rr::runtime {
+
+using machine::Cpu;
+
+void
+pokeContextReg(Cpu &cpu, uint32_t rrm, unsigned reg, uint32_t value)
+{
+    cpu.regs().write(rrm | reg, value);
+}
+
+uint32_t
+peekContextReg(const Cpu &cpu, uint32_t rrm, unsigned reg)
+{
+    return cpu.regs().read(rrm | reg);
+}
+
+void
+unloadContext(Cpu &cpu, const Context &context, unsigned used_regs,
+              uint64_t mem_base)
+{
+    rr_assert(used_regs <= context.size,
+              "thread uses ", used_regs, " registers but context holds ",
+              context.size);
+    // Store registers (used_regs - 1) .. 0, exactly as the multi-
+    // entry-point unload routine of Section 2.5 would.
+    for (unsigned r = used_regs; r-- > 0;)
+        cpu.mem().write(mem_base + r, cpu.regs().read(context.rrm | r));
+}
+
+void
+loadContext(Cpu &cpu, const Context &context, unsigned used_regs,
+            uint64_t mem_base)
+{
+    rr_assert(used_regs <= context.size,
+              "thread uses ", used_regs, " registers but context holds ",
+              context.size);
+    for (unsigned r = used_regs; r-- > 0;)
+        cpu.regs().write(context.rrm | r, cpu.mem().read(mem_base + r));
+}
+
+std::optional<uint64_t>
+runUntilPc(Cpu &cpu, uint32_t target_pc, uint64_t max_steps)
+{
+    const uint64_t start = cpu.cycles();
+    for (uint64_t i = 0; i < max_steps; ++i) {
+        if (cpu.pc() == target_pc)
+            return cpu.cycles() - start;
+        if (!cpu.step())
+            break;
+    }
+    if (cpu.pc() == target_pc)
+        return cpu.cycles() - start;
+    return std::nullopt;
+}
+
+MachineScheduler::MachineScheduler(Cpu &cpu, ContextAllocator &allocator)
+    : cpu_(cpu), allocator_(allocator)
+{
+}
+
+std::optional<Context>
+MachineScheduler::createThread(const ThreadSpec &spec)
+{
+    const auto context = allocator_.allocate(spec.usedRegs);
+    if (!context)
+        return std::nullopt;
+
+    pokeContextReg(cpu_, context->rrm, 0, spec.entryPc);
+    pokeContextReg(cpu_, context->rrm, 1, spec.initialPsw);
+    contexts_.push_back(*context);
+    ring_.insert(context->rrm);
+    return context;
+}
+
+void
+MachineScheduler::start()
+{
+    rr_assert(!contexts_.empty(), "no threads created");
+
+    // Wire NextRRM (r2) links: context i points at context i+1,
+    // wrapping at the end — the circular linked list of relocation
+    // masks from Section 2.2.
+    for (size_t i = 0; i < contexts_.size(); ++i) {
+        const Context &cur = contexts_[i];
+        const Context &next = contexts_[(i + 1) % contexts_.size()];
+        pokeContextReg(cpu_, cur.rrm, 2, next.rrm);
+    }
+
+    cpu_.setRrmImmediate(contexts_.front().rrm);
+    cpu_.setPc(peekContextReg(cpu_, contexts_.front().rrm, 0));
+}
+
+} // namespace rr::runtime

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Glue between the software runtime and the cycle-level machine:
+ * peek/poke of context-relative registers, exact-count context
+ * save/restore (Section 2.5), a helper to run the CPU up to a target
+ * PC (for cycle measurements), and MachineScheduler, which builds a
+ * ring of live thread contexts wired through their NextRRM registers
+ * exactly as Figure 3 expects.
+ */
+
+#ifndef RR_RUNTIME_CONTEXT_LOADER_HH
+#define RR_RUNTIME_CONTEXT_LOADER_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "machine/cpu.hh"
+#include "runtime/context_allocator.hh"
+#include "runtime/context_ring.hh"
+
+namespace rr::runtime {
+
+/**
+ * Write @p value into context-relative register @p reg of the context
+ * whose mask is @p rrm (OR relocation), without touching the CPU's
+ * active RRM.
+ */
+void pokeContextReg(machine::Cpu &cpu, uint32_t rrm, unsigned reg,
+                    uint32_t value);
+
+/** Read a context-relative register of context @p rrm. */
+uint32_t peekContextReg(const machine::Cpu &cpu, uint32_t rrm,
+                        unsigned reg);
+
+/**
+ * Spill exactly @p used_regs registers of @p context to memory at
+ * @p mem_base (the Section 2.5 unload path, performed by the runtime
+ * rather than by simulated code).
+ */
+void unloadContext(machine::Cpu &cpu, const Context &context,
+                   unsigned used_regs, uint64_t mem_base);
+
+/** Restore exactly @p used_regs registers of @p context from memory. */
+void loadContext(machine::Cpu &cpu, const Context &context,
+                 unsigned used_regs, uint64_t mem_base);
+
+/**
+ * Step the CPU until its PC equals @p target_pc (checked before each
+ * instruction), it halts/traps, or @p max_steps instructions retire.
+ *
+ * @return cycles elapsed, or nullopt when the target was not reached
+ */
+std::optional<uint64_t> runUntilPc(machine::Cpu &cpu, uint32_t target_pc,
+                                   uint64_t max_steps);
+
+/**
+ * Builds and owns a set of thread contexts on a machine, wiring the
+ * Figure 3 software ready-ring through each context's NextRRM
+ * register (context-relative r2).
+ */
+class MachineScheduler
+{
+  public:
+    /** Per-thread creation parameters. */
+    struct ThreadSpec
+    {
+        uint32_t entryPc = 0;   ///< initial thread PC (r0)
+        unsigned usedRegs = 8;  ///< registers the thread requires (C)
+        uint32_t initialPsw = 0; ///< initial PSW image (r1)
+    };
+
+    MachineScheduler(machine::Cpu &cpu, ContextAllocator &allocator);
+
+    /**
+     * Allocate a context and initialize its r0 (PC) and r1 (PSW).
+     * @return the context, or nullopt when allocation fails
+     */
+    std::optional<Context> createThread(const ThreadSpec &spec);
+
+    /**
+     * Wire every created context's NextRRM (r2) into a circular list
+     * in creation order and install the first context: sets the CPU's
+     * RRM and jumps the machine PC to that context's saved r0.
+     * Panics when no thread was created.
+     */
+    void start();
+
+    /** Contexts in creation order. */
+    const std::vector<Context> &contexts() const { return contexts_; }
+
+    /** The runtime-side mirror of the ready ring. */
+    const ContextRing &ring() const { return ring_; }
+
+  private:
+    machine::Cpu &cpu_;
+    ContextAllocator &allocator_;
+    std::vector<Context> contexts_;
+    ContextRing ring_;
+};
+
+} // namespace rr::runtime
+
+#endif // RR_RUNTIME_CONTEXT_LOADER_HH

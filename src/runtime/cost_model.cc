@@ -1,0 +1,49 @@
+#include "runtime/cost_model.hh"
+
+namespace rr::runtime {
+
+CostModel
+CostModel::paperFlexible(uint64_t s)
+{
+    CostModel m;
+    m.allocSucceed = 25;
+    m.allocFail = 15;
+    m.dealloc = 5;
+    m.contextSwitch = s;
+    return m;
+}
+
+CostModel
+CostModel::paperFixed(uint64_t s)
+{
+    CostModel m;
+    m.allocSucceed = 0;
+    m.allocFail = 0;
+    m.dealloc = 0;
+    m.contextSwitch = s;
+    return m;
+}
+
+CostModel
+CostModel::ff1Flexible(uint64_t s)
+{
+    CostModel m;
+    m.allocSucceed = 15;
+    m.allocFail = 10;
+    m.dealloc = 5;
+    m.contextSwitch = s;
+    return m;
+}
+
+CostModel
+CostModel::lowCostFlexible(uint64_t s)
+{
+    CostModel m;
+    m.allocSucceed = 4;
+    m.allocFail = 2;
+    m.dealloc = 1;
+    m.contextSwitch = s;
+    return m;
+}
+
+} // namespace rr::runtime

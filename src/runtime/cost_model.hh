@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Cycle-cost assumptions from Figure 4 of the paper.
+ *
+ * Flexible (register relocation):
+ *   context allocate (succeed)  25 cycles
+ *   context allocate (fail)     15 cycles
+ *   context deallocate           5 cycles
+ * Fixed (conventional hardware contexts):
+ *   all of the above             0 cycles (hardware scheduling —
+ *                                 deliberately conservative in favour
+ *                                 of the baseline)
+ * Both:
+ *   context load/unload          C cycles (registers actually used,
+ *                                 Section 2.5) + 10 cycles software
+ *                                 blocking/unblocking overhead
+ *   thread queue insert/remove  10 cycles
+ *   context switch               S cycles (6 for the cache-fault
+ *                                 experiments, 8 for synchronization)
+ */
+
+#ifndef RR_RUNTIME_COST_MODEL_HH
+#define RR_RUNTIME_COST_MODEL_HH
+
+#include <cstdint>
+
+namespace rr::runtime {
+
+/** Cycle costs charged by the multithreading simulators. */
+struct CostModel
+{
+    uint64_t allocSucceed = 0;  ///< successful context allocation
+    uint64_t allocFail = 0;     ///< failed context allocation
+    uint64_t dealloc = 0;       ///< context deallocation
+    uint64_t queueOp = 10;      ///< thread queue insert or remove
+    uint64_t blockOverhead = 10; ///< software (un)blocking per (un)load
+    uint64_t contextSwitch = 6; ///< S, switch between loaded contexts
+
+    /**
+     * Dribbling registers (Soundararajan's dribble-back technique,
+     * cited in Section 3.4 of the paper as orthogonal to register
+     * relocation): a background engine trickles context registers to
+     * and from memory while other threads execute, hiding the
+     * per-register component of load/unload. Only the software
+     * blocking overhead remains on the critical path.
+     */
+    bool dribbleRegisters = false;
+
+    /** Cost of loading a context whose thread uses @p c registers. */
+    uint64_t
+    loadCost(unsigned c) const
+    {
+        return (dribbleRegisters ? 0 : c) + blockOverhead;
+    }
+
+    /** Cost of unloading a context whose thread uses @p c registers. */
+    uint64_t
+    unloadCost(unsigned c) const
+    {
+        return (dribbleRegisters ? 0 : c) + blockOverhead;
+    }
+
+    /** Figure 4 "Flexible" column with switch cost @p s. */
+    static CostModel paperFlexible(uint64_t s);
+
+    /** Figure 4 "Fixed" column with switch cost @p s. */
+    static CostModel paperFixed(uint64_t s);
+
+    /**
+     * Flexible costs assuming an FF1 (find-first-set) instruction:
+     * allocation in ~15 cycles (paper, footnote 2).
+     */
+    static CostModel ff1Flexible(uint64_t s);
+
+    /**
+     * The specialized low-cost allocation policy sketched in
+     * Section 3.3 (four-bit bitmap + direct lookup table), used for
+     * the Figure 6(a) ablation.
+     */
+    static CostModel lowCostFlexible(uint64_t s);
+};
+
+} // namespace rr::runtime
+
+#endif // RR_RUNTIME_COST_MODEL_HH

@@ -1,0 +1,72 @@
+#include "runtime/interval_allocator.hh"
+
+#include "base/logging.hh"
+
+namespace rr::runtime {
+
+IntervalAllocator::IntervalAllocator(unsigned num_regs)
+    : numRegs_(num_regs), freeRegs_(num_regs)
+{
+    rr_assert(num_regs > 0, "empty register file");
+    free_[0] = num_regs;
+}
+
+std::optional<Interval>
+IntervalAllocator::allocate(unsigned size)
+{
+    rr_assert(size > 0, "cannot allocate zero registers");
+    for (auto it = free_.begin(); it != free_.end(); ++it) {
+        if (it->second < size)
+            continue;
+        Interval interval{it->first, size};
+        const unsigned leftover = it->second - size;
+        const unsigned new_base = it->first + size;
+        free_.erase(it);
+        if (leftover > 0)
+            free_[new_base] = leftover;
+        freeRegs_ -= size;
+        return interval;
+    }
+    return std::nullopt;
+}
+
+void
+IntervalAllocator::release(const Interval &interval)
+{
+    rr_assert(interval.size > 0 &&
+                  interval.base + interval.size <= numRegs_,
+              "bad interval [", interval.base, ", ",
+              interval.base + interval.size, ")");
+
+    auto [it, inserted] = free_.emplace(interval.base, interval.size);
+    rr_assert(inserted, "double free at base ", interval.base);
+
+    // Coalesce with the successor.
+    auto next = std::next(it);
+    if (next != free_.end() && it->first + it->second == next->first) {
+        it->second += next->second;
+        free_.erase(next);
+    }
+    // Coalesce with the predecessor.
+    if (it != free_.begin()) {
+        auto prev = std::prev(it);
+        rr_assert(prev->first + prev->second <= it->first,
+                  "free blocks overlap — release of unowned interval?");
+        if (prev->first + prev->second == it->first) {
+            prev->second += it->second;
+            free_.erase(it);
+        }
+    }
+    freeRegs_ += interval.size;
+}
+
+unsigned
+IntervalAllocator::largestFreeBlock() const
+{
+    unsigned best = 0;
+    for (const auto &[base, size] : free_)
+        best = std::max(best, size);
+    return best;
+}
+
+} // namespace rr::runtime

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * A first-fit, arbitrary-size register allocator used to model the
+ * AMD Am29000-style ADD (base-plus-offset) relocation discussed in
+ * Section 4 of the paper: without the power-of-two constraint,
+ * contexts can be exactly C registers, but allocation must manage
+ * arbitrary intervals (with external fragmentation) instead of an
+ * aligned bitmap.
+ */
+
+#ifndef RR_RUNTIME_INTERVAL_ALLOCATOR_HH
+#define RR_RUNTIME_INTERVAL_ALLOCATOR_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+namespace rr::runtime {
+
+/** An allocated interval of registers [base, base + size). */
+struct Interval
+{
+    unsigned base = 0;
+    unsigned size = 0;
+
+    bool operator==(const Interval &other) const = default;
+};
+
+/** First-fit interval allocator with free-block coalescing. */
+class IntervalAllocator
+{
+  public:
+    /** Manage @p num_regs registers, initially all free. */
+    explicit IntervalAllocator(unsigned num_regs);
+
+    /** Total registers managed. */
+    unsigned numRegs() const { return numRegs_; }
+
+    /**
+     * Allocate exactly @p size registers, first fit at the lowest
+     * base. @return nullopt when no free block is large enough.
+     */
+    std::optional<Interval> allocate(unsigned size);
+
+    /** Free a previously allocated interval (coalesces neighbours). */
+    void release(const Interval &interval);
+
+    /** Registers currently free. */
+    unsigned freeRegs() const { return freeRegs_; }
+
+    /** Size of the largest free block (0 when full). */
+    unsigned largestFreeBlock() const;
+
+    /** Number of free blocks (fragmentation indicator). */
+    size_t freeBlockCount() const { return free_.size(); }
+
+  private:
+    unsigned numRegs_;
+    unsigned freeRegs_;
+    std::map<unsigned, unsigned> free_; ///< base -> size, disjoint
+};
+
+} // namespace rr::runtime
+
+#endif // RR_RUNTIME_INTERVAL_ALLOCATOR_HH

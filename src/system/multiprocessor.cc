@@ -1,0 +1,66 @@
+#include "system/multiprocessor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace rr::system {
+
+SystemResult
+simulateSystem(const SystemConfig &config)
+{
+    rr_assert(config.nodeConfig != nullptr, "node builder missing");
+    rr_assert(config.numNodes >= 1, "no nodes");
+    rr_assert(config.baseLatency >= 1.0, "base latency too small");
+    rr_assert(config.maxUtilization > 0.0 &&
+                  config.maxUtilization < 1.0,
+              "bad utilization clamp");
+
+    SystemResult result;
+    double latency = config.baseLatency;
+
+    for (unsigned iter = 1; iter <= config.maxIterations; ++iter) {
+        result.iterations = iter;
+
+        mt::MtConfig node = config.nodeConfig(
+            static_cast<uint64_t>(std::llround(latency)));
+        result.nodeStats = mt::simulate(std::move(node));
+
+        const double fault_rate =
+            result.nodeStats.totalCycles == 0
+                ? 0.0
+                : static_cast<double>(result.nodeStats.faults) /
+                      static_cast<double>(
+                          result.nodeStats.totalCycles);
+
+        // Interconnect contention (M/M/1 flavour, clamped short of
+        // saturation so the fixed point stays finite).
+        double rho = static_cast<double>(config.numNodes) *
+                     fault_rate * config.msgServiceCycles;
+        rho = std::min(rho, config.maxUtilization);
+        const double next_latency =
+            config.baseLatency +
+            config.msgServiceCycles / (1.0 - rho);
+
+        result.networkUtilization = rho;
+        result.effectiveLatency = next_latency;
+        result.nodeEfficiency = result.nodeStats.efficiencyCentral;
+        result.aggregateThroughput =
+            static_cast<double>(config.numNodes) *
+            result.nodeEfficiency;
+
+        const double change =
+            std::abs(next_latency - latency) / latency;
+        // Damped update stabilizes the oscillation between high
+        // latency (low rate) and low latency (high rate).
+        latency = 0.5 * (latency + next_latency);
+        if (change < config.tolerance) {
+            result.converged = true;
+            break;
+        }
+    }
+    return result;
+}
+
+} // namespace rr::system

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Assembler tests: labels, directives, pseudo-instructions, PC-
+ * relative branch resolution, memory operands, comments, and error
+ * diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hh"
+#include "base/rng.hh"
+#include "isa/instruction.hh"
+
+namespace rr::assembler {
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+
+Instruction
+decodeWord(const Program &prog, size_t index)
+{
+    Instruction inst;
+    EXPECT_TRUE(isa::decode(prog.words.at(index), inst));
+    return inst;
+}
+
+TEST(Assembler, BasicInstructions)
+{
+    const Program prog = assemble("add r1, r2, r3\n"
+                                  "addi r4, r5, -7\n"
+                                  "halt\n");
+    ASSERT_TRUE(prog.ok());
+    ASSERT_EQ(prog.words.size(), 3u);
+    EXPECT_EQ(decodeWord(prog, 0), isa::makeR3(Opcode::ADD, 1, 2, 3));
+    EXPECT_EQ(decodeWord(prog, 1), isa::makeI(Opcode::ADDI, 4, 5, -7));
+    EXPECT_EQ(decodeWord(prog, 2).op, Opcode::HALT);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    const Program prog = assemble("; leading comment\n"
+                                  "\n"
+                                  "nop // trailing\n"
+                                  "nop # hash comment\n"
+                                  "   \t \n");
+    ASSERT_TRUE(prog.ok());
+    EXPECT_EQ(prog.words.size(), 2u);
+}
+
+TEST(Assembler, LabelsAndBranches)
+{
+    const Program prog = assemble("start:\n"
+                                  "  nop\n"
+                                  "loop: addi r1, r1, -1\n"
+                                  "  bne r1, r2, loop\n"
+                                  "  b start\n");
+    ASSERT_TRUE(prog.ok());
+    EXPECT_EQ(prog.addressOf("start"), 0u);
+    EXPECT_EQ(prog.addressOf("loop"), 1u);
+    // bne at word 2, target word 1 -> offset -1.
+    EXPECT_EQ(decodeWord(prog, 2), isa::makeB(Opcode::BNE, 1, 2, -1));
+    // b at word 3 -> beq r0, r0 with offset -3.
+    EXPECT_EQ(decodeWord(prog, 3), isa::makeB(Opcode::BEQ, 0, 0, -3));
+}
+
+TEST(Assembler, ForwardReferences)
+{
+    const Program prog = assemble("  jal r0, target\n"
+                                  "  nop\n"
+                                  "target: halt\n");
+    ASSERT_TRUE(prog.ok());
+    EXPECT_EQ(decodeWord(prog, 0), isa::makeJ(Opcode::JAL, 0, 2));
+}
+
+TEST(Assembler, MemoryOperands)
+{
+    const Program prog = assemble("ld r1, 4(r2)\n"
+                                  "st r3, (r4)\n"
+                                  "ld r5, -1(r6)\n");
+    ASSERT_TRUE(prog.ok());
+    EXPECT_EQ(decodeWord(prog, 0), isa::makeI(Opcode::LD, 1, 2, 4));
+    EXPECT_EQ(decodeWord(prog, 1), isa::makeI(Opcode::ST, 3, 4, 0));
+    EXPECT_EQ(decodeWord(prog, 2), isa::makeI(Opcode::LD, 5, 6, -1));
+}
+
+TEST(Assembler, MovPseudo)
+{
+    const Program prog = assemble("mov r1, r2\n"
+                                  "mov r3, psw\n"
+                                  "mov psw, r4\n");
+    ASSERT_TRUE(prog.ok());
+    EXPECT_EQ(decodeWord(prog, 0), isa::makeI(Opcode::ADDI, 1, 2, 0));
+    Instruction mfpsw = decodeWord(prog, 1);
+    EXPECT_EQ(mfpsw.op, Opcode::MFPSW);
+    EXPECT_EQ(mfpsw.rd, 3);
+    Instruction mtpsw = decodeWord(prog, 2);
+    EXPECT_EQ(mtpsw.op, Opcode::MTPSW);
+    EXPECT_EQ(mtpsw.rs1, 4);
+}
+
+TEST(Assembler, LiExpandsToLuiOri)
+{
+    const Program prog = assemble("li r1, 0x12345\n");
+    ASSERT_TRUE(prog.ok());
+    ASSERT_EQ(prog.words.size(), 2u);
+    const Instruction lui = decodeWord(prog, 0);
+    const Instruction ori = decodeWord(prog, 1);
+    EXPECT_EQ(lui.op, Opcode::LUI);
+    EXPECT_EQ(ori.op, Opcode::ORI);
+    const uint32_t value = (static_cast<uint32_t>(lui.imm) << 12) |
+                           static_cast<uint32_t>(ori.imm);
+    EXPECT_EQ(value, 0x12345u);
+}
+
+TEST(Assembler, LaResolvesLabelAddress)
+{
+    const Program prog = assemble("  la r1, data\n"
+                                  "  halt\n"
+                                  "data: .word 99\n");
+    ASSERT_TRUE(prog.ok());
+    EXPECT_EQ(prog.addressOf("data"), 3u);
+    const Instruction lui = decodeWord(prog, 0);
+    const Instruction ori = decodeWord(prog, 1);
+    const uint32_t value = (static_cast<uint32_t>(lui.imm) << 12) |
+                           static_cast<uint32_t>(ori.imm);
+    EXPECT_EQ(value, 3u);
+    EXPECT_EQ(prog.words[3], 99u);
+}
+
+TEST(Assembler, EquConstants)
+{
+    const Program prog = assemble(".equ LIMIT, 42\n"
+                                  "addi r1, r2, LIMIT\n");
+    ASSERT_TRUE(prog.ok());
+    EXPECT_EQ(decodeWord(prog, 0), isa::makeI(Opcode::ADDI, 1, 2, 42));
+}
+
+TEST(Assembler, OrgPadsImage)
+{
+    const Program prog = assemble("nop\n"
+                                  ".org 4\n"
+                                  "halt\n");
+    ASSERT_TRUE(prog.ok());
+    ASSERT_EQ(prog.words.size(), 5u);
+    EXPECT_EQ(decodeWord(prog, 4).op, Opcode::HALT);
+}
+
+TEST(Assembler, LeadingOrgSetsBase)
+{
+    const Program prog = assemble(".org 100\n"
+                                  "start: halt\n");
+    ASSERT_TRUE(prog.ok());
+    EXPECT_EQ(prog.base, 100u);
+    EXPECT_EQ(prog.addressOf("start"), 100u);
+    EXPECT_EQ(prog.words.size(), 1u);
+}
+
+TEST(Assembler, AlignPads)
+{
+    const Program prog = assemble("nop\n"
+                                  ".align 4\n"
+                                  "aligned: halt\n");
+    ASSERT_TRUE(prog.ok());
+    EXPECT_EQ(prog.addressOf("aligned"), 4u);
+}
+
+TEST(Assembler, HexAndNegativeLiterals)
+{
+    const Program prog = assemble("addi r1, r2, 0x7f\n"
+                                  "addi r3, r4, -0x10\n");
+    ASSERT_TRUE(prog.ok());
+    EXPECT_EQ(decodeWord(prog, 0).imm, 0x7f);
+    EXPECT_EQ(decodeWord(prog, 1).imm, -16);
+}
+
+TEST(Assembler, JalrTwoOperandForm)
+{
+    const Program prog = assemble("jalr r1, r2\n");
+    ASSERT_TRUE(prog.ok());
+    EXPECT_EQ(decodeWord(prog, 0), isa::makeI(Opcode::JALR, 1, 2, 0));
+}
+
+TEST(AssemblerErrors, UnknownMnemonic)
+{
+    const Program prog = assemble("frobnicate r1\n");
+    ASSERT_FALSE(prog.ok());
+    EXPECT_NE(prog.errors[0].message.find("unknown"),
+              std::string::npos);
+    EXPECT_EQ(prog.errors[0].line, 1);
+}
+
+TEST(AssemblerErrors, UndefinedLabel)
+{
+    const Program prog = assemble("b nowhere\n");
+    ASSERT_FALSE(prog.ok());
+    EXPECT_NE(prog.errors[0].message.find("nowhere"),
+              std::string::npos);
+}
+
+TEST(AssemblerErrors, DuplicateLabel)
+{
+    const Program prog = assemble("x: nop\nx: nop\n");
+    ASSERT_FALSE(prog.ok());
+    EXPECT_NE(prog.errors[0].message.find("duplicate"),
+              std::string::npos);
+    EXPECT_EQ(prog.errors[0].line, 2);
+}
+
+TEST(AssemblerErrors, BadRegister)
+{
+    const Program prog = assemble("add r1, r64, r2\n");
+    ASSERT_FALSE(prog.ok());
+}
+
+TEST(AssemblerErrors, WrongOperandCount)
+{
+    const Program prog = assemble("add r1, r2\n");
+    ASSERT_FALSE(prog.ok());
+    EXPECT_NE(prog.errors[0].message.find("expects"),
+              std::string::npos);
+}
+
+TEST(AssemblerErrors, BackwardOrgRejected)
+{
+    const Program prog = assemble("nop\nnop\n.org 1\nnop\n");
+    ASSERT_FALSE(prog.ok());
+}
+
+TEST(Assembler, LineMappingTracksSource)
+{
+    const Program prog = assemble("nop\n"
+                                  "nop\n"
+                                  "halt\n");
+    ASSERT_TRUE(prog.ok());
+    EXPECT_EQ(prog.lines[0], 1);
+    EXPECT_EQ(prog.lines[1], 2);
+    EXPECT_EQ(prog.lines[2], 3);
+}
+
+
+/**
+ * Property: disassembly is valid assembler input, and re-assembling
+ * it reproduces the original word — for every opcode with random
+ * legal operands.
+ */
+class DisasmRoundTrip : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(DisasmRoundTrip, TextSurvivesReassembly)
+{
+    const auto op = static_cast<isa::Opcode>(GetParam());
+    const isa::Format fmt = isa::formatOf(op);
+    const isa::FormatInfo info = isa::formatInfo(fmt);
+    rr::Rng rng(GetParam() * 131 + 5);
+
+    for (int trial = 0; trial < 50; ++trial) {
+        isa::Instruction inst;
+        inst.op = op;
+        if (info.hasRd)
+            inst.rd = static_cast<uint8_t>(rng.nextRange(0, 63));
+        if (info.hasRs1)
+            inst.rs1 = static_cast<uint8_t>(rng.nextRange(0, 63));
+        if (info.hasRs2)
+            inst.rs2 = static_cast<uint8_t>(rng.nextRange(0, 63));
+        if (info.hasImm) {
+            if (info.immSigned) {
+                const int32_t lo = -(1 << (info.immBits - 1));
+                const int32_t hi = (1 << (info.immBits - 1)) - 1;
+                inst.imm = static_cast<int32_t>(rng.nextRange(
+                               0, static_cast<uint64_t>(hi - lo))) +
+                           lo;
+            } else {
+                inst.imm = static_cast<int32_t>(
+                    rng.nextRange(0, (1u << info.immBits) - 1));
+            }
+        }
+
+        const uint32_t word = isa::encode(inst);
+        const std::string text = isa::disassemble(inst);
+        const Program prog = assemble(text + "\n");
+        ASSERT_TRUE(prog.ok()) << text;
+        ASSERT_EQ(prog.words.size(), 1u) << text;
+        EXPECT_EQ(prog.words[0], word) << text;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, DisasmRoundTrip,
+    ::testing::Range(0u, isa::numOpcodes),
+    [](const ::testing::TestParamInfo<unsigned> &info) {
+        return std::string(
+            isa::mnemonicOf(static_cast<isa::Opcode>(info.param)));
+    });
+
+} // namespace
+} // namespace rr::assembler

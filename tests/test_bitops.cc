@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for base/bitops.hh, including the Appendix A
+ * bit-parallel prefix scan primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/bitops.hh"
+
+namespace rr {
+namespace {
+
+TEST(BitOps, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(64));
+    EXPECT_FALSE(isPowerOfTwo(65));
+    EXPECT_TRUE(isPowerOfTwo(uint64_t{1} << 63));
+}
+
+TEST(BitOps, Log2Ceil)
+{
+    EXPECT_EQ(log2Ceil(1), 0u);
+    EXPECT_EQ(log2Ceil(2), 1u);
+    EXPECT_EQ(log2Ceil(3), 2u);
+    EXPECT_EQ(log2Ceil(4), 2u);
+    EXPECT_EQ(log2Ceil(5), 3u);
+    // The paper's RRM width examples: 128 regs -> 7 bits, 256 -> 8.
+    EXPECT_EQ(log2Ceil(128), 7u);
+    EXPECT_EQ(log2Ceil(256), 8u);
+}
+
+TEST(BitOps, Log2Floor)
+{
+    EXPECT_EQ(log2Floor(1), 0u);
+    EXPECT_EQ(log2Floor(2), 1u);
+    EXPECT_EQ(log2Floor(3), 1u);
+    EXPECT_EQ(log2Floor(255), 7u);
+    EXPECT_EQ(log2Floor(256), 8u);
+}
+
+TEST(BitOps, RoundUpPowerOfTwo)
+{
+    EXPECT_EQ(roundUpPowerOfTwo(0), 1u);
+    EXPECT_EQ(roundUpPowerOfTwo(1), 1u);
+    EXPECT_EQ(roundUpPowerOfTwo(5), 8u);
+    EXPECT_EQ(roundUpPowerOfTwo(6), 8u);
+    EXPECT_EQ(roundUpPowerOfTwo(17), 32u);
+    EXPECT_EQ(roundUpPowerOfTwo(24), 32u);
+    EXPECT_EQ(roundUpPowerOfTwo(32), 32u);
+}
+
+TEST(BitOps, FindFirstSet)
+{
+    EXPECT_EQ(findFirstSet(0), -1);
+    EXPECT_EQ(findFirstSet(1), 0);
+    EXPECT_EQ(findFirstSet(0x10), 4);
+    EXPECT_EQ(findFirstSet(0xf0f0), 4);
+    EXPECT_EQ(findFirstSet(uint64_t{1} << 63), 63);
+}
+
+TEST(BitOps, LowMask)
+{
+    EXPECT_EQ(lowMask(0), 0u);
+    EXPECT_EQ(lowMask(1), 1u);
+    EXPECT_EQ(lowMask(7), 0x7fu);
+    EXPECT_EQ(lowMask(32), 0xffffffffull);
+    EXPECT_EQ(lowMask(64), ~uint64_t{0});
+}
+
+// The prefix scan must reproduce the Appendix A behaviour: marking
+// positions that start a run of `run` consecutive free (set) bits.
+TEST(BitOps, ContiguousRunMapMatchesBruteForce)
+{
+    const uint64_t maps[] = {0x0ull, ~0ull, 0x11111111ull,
+                             0xff00ff00ff00ff00ull,
+                             0x123456789abcdef0ull, 0x8000000000000001ull};
+    for (const uint64_t map : maps) {
+        for (const unsigned run : {1u, 2u, 4u, 8u, 16u}) {
+            const uint64_t got = contiguousRunMap(map, run);
+            for (unsigned i = 0; i + run <= 64; ++i) {
+                bool all = true;
+                for (unsigned j = 0; j < run; ++j) {
+                    if (!((map >> (i + j)) & 1)) {
+                        all = false;
+                        break;
+                    }
+                }
+                EXPECT_EQ((got >> i) & 1, all ? 1u : 0u)
+                    << "map=" << std::hex << map << " run=" << std::dec
+                    << run << " bit=" << i;
+            }
+        }
+    }
+}
+
+TEST(BitOps, AlignedPositionsMask)
+{
+    EXPECT_EQ(alignedPositionsMask(1), ~uint64_t{0});
+    // Every fourth bit — the Appendix A 0x11111111 pattern widened
+    // to 64 bits.
+    EXPECT_EQ(alignedPositionsMask(4) & 0xffffffffull, 0x11111111ull);
+    EXPECT_EQ(alignedPositionsMask(16),
+              0x0001000100010001ull);
+    EXPECT_EQ(alignedPositionsMask(64), 1ull);
+}
+
+TEST(BitOps, PopCount)
+{
+    EXPECT_EQ(popCount(0), 0u);
+    EXPECT_EQ(popCount(0xff), 8u);
+    EXPECT_EQ(popCount(~uint64_t{0}), 64u);
+}
+
+} // namespace
+} // namespace rr

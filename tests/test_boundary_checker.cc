@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the Section 2.4 static context-boundary checker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hh"
+#include "checker/boundary_checker.hh"
+#include "runtime/asm_routines.hh"
+
+namespace rr::checker {
+namespace {
+
+assembler::Program
+prog(const std::string &source)
+{
+    assembler::Program p = assembler::assemble(source);
+    EXPECT_TRUE(p.ok());
+    return p;
+}
+
+TEST(BoundaryChecker, CleanProgramPasses)
+{
+    const auto p = prog("add r1, r2, r3\n"
+                        "ld r4, 0(r5)\n"
+                        "beq r6, r7, 0\n"
+                        "halt\n");
+    EXPECT_TRUE(checkProgram(p, 8).empty());
+}
+
+TEST(BoundaryChecker, FlagsEachOperandSlot)
+{
+    const auto p = prog("add r9, r1, r2\n"  // rd out of 8
+                        "add r1, r9, r2\n"  // rs1 out
+                        "add r1, r2, r9\n"); // rs2 out
+    const auto violations = checkProgram(p, 8);
+    ASSERT_EQ(violations.size(), 3u);
+    EXPECT_EQ(violations[0].operand, OperandKind::Rd);
+    EXPECT_EQ(violations[1].operand, OperandKind::Rs1);
+    EXPECT_EQ(violations[2].operand, OperandKind::Rs2);
+    for (const auto &v : violations) {
+        EXPECT_EQ(v.reg, 9u);
+        EXPECT_EQ(v.limit, 8u);
+    }
+}
+
+TEST(BoundaryChecker, ReportsAddressAndLine)
+{
+    const auto p = prog("nop\n"
+                        "nop\n"
+                        "addi r12, r1, 0\n");
+    const auto violations = checkProgram(p, 8);
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0].address, 2u);
+    EXPECT_EQ(violations[0].line, 3);
+    EXPECT_NE(violations[0].str().find("r12"), std::string::npos);
+}
+
+TEST(BoundaryChecker, BFormatHasNoRd)
+{
+    // B-format's slot A is rs1; a branch on r9 must report rs1, and
+    // exactly once per offending operand.
+    const auto p = prog("beq r9, r1, 0\n");
+    const auto violations = checkProgram(p, 8);
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0].operand, OperandKind::Rs1);
+}
+
+TEST(BoundaryChecker, DataWordsIgnoredByDefault)
+{
+    const auto p = prog(".word 0xffffffff\n"
+                        "halt\n");
+    EXPECT_TRUE(checkProgram(p, 8).empty());
+
+    CheckOptions options;
+    options.flagInvalidWords = true;
+    EXPECT_EQ(checkProgram(p, 8, options).size(), 1u);
+}
+
+TEST(BoundaryChecker, MultiRrmBankBitExcused)
+{
+    // Operand 32+5 = r37: illegal in a size-8 single-bank context,
+    // legal when the top bit selects bank 1 (offset 5).
+    const auto p = prog("add r37, r1, r2\n");
+    EXPECT_EQ(checkProgram(p, 8).size(), 1u);
+
+    CheckOptions options;
+    options.multiRrmBanks = 2;
+    options.operandWidth = 6;
+    EXPECT_TRUE(checkProgram(p, 8, options).empty());
+}
+
+TEST(BoundaryChecker, RegionsCheckIndependently)
+{
+    const auto p = prog("a: addi r10, r1, 0\n" // fine in 16, bad in 8
+                        "b: addi r10, r1, 0\n");
+    const std::vector<Region> regions = {{0, 1, 16}, {1, 2, 8}};
+    const auto violations = checkRegions(p, regions);
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0].address, 1u);
+    EXPECT_EQ(violations[0].limit, 8u);
+}
+
+TEST(BoundaryChecker, RegionsOutsideImageSkipped)
+{
+    const auto p = prog("halt\n");
+    const std::vector<Region> regions = {{0, 100, 4}};
+    EXPECT_TRUE(checkRegions(p, regions).empty());
+}
+
+// The paper's own runtime code must satisfy its register
+// conventions: the yield routine touches only r0..r2 and passes a
+// 4-register context check; the allocator uses r4..r15 and fits a
+// 16-register scheduler context.
+TEST(BoundaryChecker, Figure3YieldFitsMinimalContext)
+{
+    const auto p = prog(runtime::roundRobinDemoSource());
+    const uint32_t yield = p.addressOf("yield");
+    const std::vector<Region> regions = {{yield, yield + 4, 4}};
+    EXPECT_TRUE(checkRegions(p, regions).empty());
+}
+
+TEST(BoundaryChecker, AppendixAAllocatorFitsSchedulerContext)
+{
+    const auto p = prog(runtime::appendixAAllocatorSource());
+    EXPECT_TRUE(checkProgram(p, 16).empty());
+    // ...but it would violate an 8-register context.
+    EXPECT_FALSE(checkProgram(p, 8).empty());
+}
+
+TEST(BoundaryChecker, OperandKindNames)
+{
+    EXPECT_STREQ(operandKindName(OperandKind::Rd), "rd");
+    EXPECT_STREQ(operandKindName(OperandKind::Rs1), "rs1");
+    EXPECT_STREQ(operandKindName(OperandKind::Rs2), "rs2");
+}
+
+} // namespace
+} // namespace rr::checker

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for the bitmap context allocator: sizing rules (power-of-two
+ * rounding, Section 2.3), alignment (the RRM must double as an OR
+ * mask), capacity, fragmentation behaviour, and a randomized
+ * property test that allocations never overlap and frees restore the
+ * bitmap — parameterized across the paper's register file sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "base/rng.hh"
+#include "runtime/context_allocator.hh"
+
+namespace rr::runtime {
+namespace {
+
+TEST(ContextAllocator, SizeRounding)
+{
+    ContextAllocator alloc(128, 5);
+    // Section 2.3 / 2.4: a thread of 17 registers needs a context of
+    // 32; 6..8 -> 8; 9..16 -> 16; tiny threads get the minimum 4.
+    EXPECT_EQ(alloc.contextSizeFor(1), 4u);
+    EXPECT_EQ(alloc.contextSizeFor(4), 4u);
+    EXPECT_EQ(alloc.contextSizeFor(5), 8u);
+    EXPECT_EQ(alloc.contextSizeFor(8), 8u);
+    EXPECT_EQ(alloc.contextSizeFor(9), 16u);
+    EXPECT_EQ(alloc.contextSizeFor(16), 16u);
+    EXPECT_EQ(alloc.contextSizeFor(17), 32u);
+    EXPECT_EQ(alloc.contextSizeFor(24), 32u);
+    EXPECT_EQ(alloc.contextSizeFor(32), 32u);
+    EXPECT_EQ(alloc.contextSizeFor(33), 0u); // exceeds 2^w
+}
+
+TEST(ContextAllocator, AlignmentInvariant)
+{
+    ContextAllocator alloc(128, 5);
+    for (const unsigned c : {3u, 6u, 12u, 20u, 32u}) {
+        const auto context = alloc.allocate(c);
+        ASSERT_TRUE(context.has_value());
+        // Aligned base: OR-relocation == base + offset.
+        EXPECT_EQ(context->rrm % context->size, 0u)
+            << "C=" << c << " rrm=" << context->rrm;
+    }
+}
+
+TEST(ContextAllocator, FirstFitLowestBase)
+{
+    ContextAllocator alloc(128, 5);
+    const auto a = alloc.allocate(8);
+    const auto b = alloc.allocate(8);
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(a->rrm, 0u);
+    EXPECT_EQ(b->rrm, 8u);
+    alloc.release(*a);
+    const auto c = alloc.allocate(4);
+    ASSERT_TRUE(c);
+    EXPECT_EQ(c->rrm, 0u); // reuses the freed low block
+}
+
+TEST(ContextAllocator, CapacityExactForHomogeneousSizes)
+{
+    // F = 64 holds 8 contexts of size 8 (the Section 3.4 argument
+    // for why homogeneous small contexts show the largest gains).
+    ContextAllocator alloc(64, 5);
+    std::vector<Context> contexts;
+    for (int i = 0; i < 8; ++i) {
+        const auto context = alloc.allocate(8);
+        ASSERT_TRUE(context.has_value()) << "allocation " << i;
+        contexts.push_back(*context);
+    }
+    EXPECT_FALSE(alloc.allocate(8).has_value());
+    EXPECT_EQ(alloc.freeRegs(), 0u);
+    for (const auto &context : contexts)
+        alloc.release(context);
+    EXPECT_TRUE(alloc.empty());
+}
+
+TEST(ContextAllocator, MixedSizePacking)
+{
+    ContextAllocator alloc(64, 5);
+    const auto a = alloc.allocate(32); // [0, 32)
+    const auto b = alloc.allocate(16); // [32, 48)
+    const auto c = alloc.allocate(8);  // [48, 56)
+    const auto d = alloc.allocate(8);  // [56, 64)
+    ASSERT_TRUE(a && b && c && d);
+    EXPECT_EQ(alloc.freeRegs(), 0u);
+    EXPECT_FALSE(alloc.allocate(1).has_value());
+}
+
+TEST(ContextAllocator, FragmentationBlocksLargeContext)
+{
+    ContextAllocator alloc(64, 5);
+    const auto a = alloc.allocate(8); // [0, 8)
+    const auto b = alloc.allocate(8); // [8, 16)
+    const auto c = alloc.allocate(8); // [16, 24)
+    ASSERT_TRUE(a && b && c);
+    alloc.release(*b);
+    // 48 free registers, but no aligned run of 32: [8,16) + [24,64)
+    // only offers [32, 64).
+    const auto big = alloc.allocate(32);
+    ASSERT_TRUE(big.has_value());
+    EXPECT_EQ(big->rrm, 32u);
+    // A second 32-register context cannot fit despite 16 free regs.
+    EXPECT_FALSE(alloc.allocate(32).has_value());
+}
+
+TEST(ContextAllocator, StatsTracking)
+{
+    ContextAllocator alloc(64, 5);
+    const auto a = alloc.allocate(32);
+    const auto b = alloc.allocate(32);
+    ASSERT_TRUE(a && b);
+    EXPECT_FALSE(alloc.allocate(8).has_value());
+    alloc.release(*a);
+    EXPECT_EQ(alloc.stats().allocCalls, 3u);
+    EXPECT_EQ(alloc.stats().allocFailures, 1u);
+    EXPECT_EQ(alloc.stats().deallocCalls, 1u);
+    EXPECT_DOUBLE_EQ(alloc.utilization(), 0.5);
+}
+
+TEST(ContextAllocatorDeath, DoubleFreePanics)
+{
+    ContextAllocator alloc(64, 5);
+    const auto a = alloc.allocate(8);
+    ASSERT_TRUE(a);
+    alloc.release(*a);
+    EXPECT_DEATH(alloc.release(*a), "double free");
+}
+
+TEST(ContextAllocatorDeath, MisalignedReleasePanics)
+{
+    ContextAllocator alloc(64, 5);
+    Context bogus;
+    bogus.rrm = 4;
+    bogus.size = 8;
+    EXPECT_DEATH(alloc.release(bogus), "not aligned");
+}
+
+/** Randomized property test across register file sizes. */
+class AllocatorProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(AllocatorProperty, RandomAllocFreeNeverOverlaps)
+{
+    const unsigned num_regs = GetParam();
+    ContextAllocator alloc(num_regs, 5);
+    Rng rng(num_regs * 31 + 7);
+
+    std::vector<Context> live;
+    std::vector<bool> owned(num_regs, false);
+
+    for (int step = 0; step < 4000; ++step) {
+        const bool do_alloc =
+            live.empty() || (rng.nextRange(0, 99) < 55);
+        if (do_alloc) {
+            const unsigned c =
+                static_cast<unsigned>(rng.nextRange(1, 24));
+            const auto context = alloc.allocate(c);
+            if (!context)
+                continue;
+            // Size and alignment invariants.
+            ASSERT_GE(context->size, alloc.contextSizeFor(c));
+            ASSERT_EQ(context->rrm % context->size, 0u);
+            ASSERT_LE(context->endReg(), num_regs);
+            // No overlap with any live context.
+            for (unsigned r = context->baseReg(); r < context->endReg();
+                 ++r) {
+                ASSERT_FALSE(owned[r]) << "register " << r
+                                       << " double-allocated";
+                owned[r] = true;
+            }
+            live.push_back(*context);
+        } else {
+            const size_t idx = rng.nextRange(0, live.size() - 1);
+            const Context context = live[idx];
+            live[idx] = live.back();
+            live.pop_back();
+            alloc.release(context);
+            for (unsigned r = context.baseReg(); r < context.endReg();
+                 ++r) {
+                owned[r] = false;
+            }
+        }
+        // The allocator's free count must match our model.
+        unsigned owned_count = 0;
+        for (const bool o : owned)
+            owned_count += o ? 1 : 0;
+        ASSERT_EQ(alloc.allocatedRegs(), owned_count);
+    }
+
+    for (const auto &context : live)
+        alloc.release(context);
+    EXPECT_TRUE(alloc.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(FileSizes, AllocatorProperty,
+                         ::testing::Values(64u, 128u, 256u, 512u),
+                         [](const auto &info) {
+                             return "F" + std::to_string(info.param);
+                         });
+
+TEST(ContextAllocator, RegAllocatedProbe)
+{
+    ContextAllocator alloc(64, 5);
+    const auto a = alloc.allocate(8);
+    ASSERT_TRUE(a);
+    EXPECT_TRUE(alloc.regAllocated(a->rrm));
+    EXPECT_TRUE(alloc.regAllocated(a->rrm + 7));
+    EXPECT_FALSE(alloc.regAllocated(a->rrm + 8));
+}
+
+// Appendix A scale check: a 128-register file is exactly the
+// paper's 32-chunk AllocMap; 2 contexts of 64 fill it.
+TEST(ContextAllocator, PaperScaleAlloc64)
+{
+    ContextAllocator alloc(128, 6);
+    const auto lo = alloc.allocate(64);
+    const auto hi = alloc.allocate(64);
+    ASSERT_TRUE(lo && hi);
+    EXPECT_EQ(lo->rrm, 0u);
+    EXPECT_EQ(hi->rrm, 64u);
+    EXPECT_FALSE(alloc.allocate(4).has_value());
+}
+
+} // namespace
+} // namespace rr::runtime

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the runtime/machine glue: context-relative peek/poke,
+ * the C++-level exact-count save/restore (Section 2.5), runUntilPc,
+ * and MachineScheduler's NextRRM ring wiring.
+ */
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hh"
+#include "machine/cpu.hh"
+#include "runtime/context_loader.hh"
+
+namespace rr::runtime {
+namespace {
+
+using machine::Cpu;
+using machine::CpuConfig;
+
+CpuConfig
+config128()
+{
+    CpuConfig config;
+    config.numRegs = 128;
+    config.operandWidth = 5;
+    config.memWords = 8192;
+    return config;
+}
+
+TEST(ContextLoader, PeekPokeRelocate)
+{
+    Cpu cpu(config128());
+    pokeContextReg(cpu, 64, 3, 0xabc);
+    EXPECT_EQ(cpu.regs().read(64 | 3), 0xabcu);
+    EXPECT_EQ(peekContextReg(cpu, 64, 3), 0xabcu);
+    // Independent of the CPU's active RRM.
+    cpu.setRrmImmediate(32);
+    EXPECT_EQ(peekContextReg(cpu, 64, 3), 0xabcu);
+}
+
+TEST(ContextLoader, UnloadLoadRoundTrip)
+{
+    Cpu cpu(config128());
+    Context context;
+    context.rrm = 32;
+    context.size = 16;
+
+    for (unsigned r = 0; r < 12; ++r)
+        pokeContextReg(cpu, context.rrm, r, 5000 + r);
+
+    unloadContext(cpu, context, 12, 0x1000);
+    for (unsigned r = 0; r < 12; ++r)
+        EXPECT_EQ(cpu.mem().read(0x1000 + r), 5000 + r);
+    // Only C registers spilled (Section 2.5).
+    EXPECT_EQ(cpu.mem().read(0x1000 + 12), 0u);
+
+    // Clobber and restore.
+    for (unsigned r = 0; r < 12; ++r)
+        pokeContextReg(cpu, context.rrm, r, 0);
+    loadContext(cpu, context, 12, 0x1000);
+    for (unsigned r = 0; r < 12; ++r)
+        EXPECT_EQ(peekContextReg(cpu, context.rrm, r), 5000 + r);
+}
+
+TEST(ContextLoaderDeath, UnloadMoreThanContextPanics)
+{
+    Cpu cpu(config128());
+    Context context;
+    context.rrm = 32;
+    context.size = 8;
+    EXPECT_DEATH(unloadContext(cpu, context, 9, 0x1000), "context");
+}
+
+TEST(ContextLoader, RunUntilPcMeasuresCycles)
+{
+    Cpu cpu(config128());
+    const auto prog = assembler::assemble("nop\nnop\nnop\n"
+                                          "target: halt\n");
+    ASSERT_TRUE(prog.ok());
+    cpu.mem().loadImage(0, prog.words);
+    const auto cycles = runUntilPc(cpu, prog.addressOf("target"), 100);
+    ASSERT_TRUE(cycles.has_value());
+    EXPECT_EQ(*cycles, 3u);
+}
+
+TEST(ContextLoader, RunUntilPcTimesOut)
+{
+    Cpu cpu(config128());
+    const auto prog = assembler::assemble("loop: b loop\n");
+    ASSERT_TRUE(prog.ok());
+    cpu.mem().loadImage(0, prog.words);
+    EXPECT_FALSE(runUntilPc(cpu, 50, 100).has_value());
+}
+
+TEST(MachineScheduler, WiresNextRrmRing)
+{
+    Cpu cpu(config128());
+    ContextAllocator allocator(128, 5, 8);
+    MachineScheduler scheduler(cpu, allocator);
+
+    MachineScheduler::ThreadSpec spec;
+    spec.entryPc = 100;
+    spec.usedRegs = 8;
+    const auto a = scheduler.createThread(spec);
+    const auto b = scheduler.createThread(spec);
+    const auto c = scheduler.createThread(spec);
+    ASSERT_TRUE(a && b && c);
+    scheduler.start();
+
+    // r2 of each context holds the next context's mask, circularly.
+    EXPECT_EQ(peekContextReg(cpu, a->rrm, 2), b->rrm);
+    EXPECT_EQ(peekContextReg(cpu, b->rrm, 2), c->rrm);
+    EXPECT_EQ(peekContextReg(cpu, c->rrm, 2), a->rrm);
+    // The machine starts in the first context, at its entry PC.
+    EXPECT_EQ(cpu.rrm(), a->rrm);
+    EXPECT_EQ(cpu.pc(), 100u);
+    EXPECT_EQ(scheduler.ring().size(), 3u);
+}
+
+TEST(MachineScheduler, AllocationFailureReported)
+{
+    Cpu cpu(config128());
+    ContextAllocator allocator(128, 5, 8);
+    MachineScheduler scheduler(cpu, allocator);
+
+    MachineScheduler::ThreadSpec spec;
+    spec.entryPc = 0;
+    spec.usedRegs = 32;
+    // 128 / 32 = 4 contexts fit.
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(scheduler.createThread(spec).has_value());
+    EXPECT_FALSE(scheduler.createThread(spec).has_value());
+}
+
+TEST(MachineSchedulerDeath, StartWithoutThreadsPanics)
+{
+    Cpu cpu(config128());
+    ContextAllocator allocator(128, 5, 8);
+    MachineScheduler scheduler(cpu, allocator);
+    EXPECT_DEATH(scheduler.start(), "no threads");
+}
+
+} // namespace
+} // namespace rr::runtime

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the Figure 4 cost-model presets (including the dribbling
+ * extension) and the prebuilt workload/experiment configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "multithread/workload.hh"
+#include "runtime/cost_model.hh"
+
+namespace rr {
+namespace {
+
+TEST(CostModel, PaperFlexiblePreset)
+{
+    const runtime::CostModel m = runtime::CostModel::paperFlexible(6);
+    EXPECT_EQ(m.allocSucceed, 25u);
+    EXPECT_EQ(m.allocFail, 15u);
+    EXPECT_EQ(m.dealloc, 5u);
+    EXPECT_EQ(m.queueOp, 10u);
+    EXPECT_EQ(m.blockOverhead, 10u);
+    EXPECT_EQ(m.contextSwitch, 6u);
+}
+
+TEST(CostModel, PaperFixedPresetIsConservative)
+{
+    const runtime::CostModel m = runtime::CostModel::paperFixed(8);
+    EXPECT_EQ(m.allocSucceed, 0u);
+    EXPECT_EQ(m.allocFail, 0u);
+    EXPECT_EQ(m.dealloc, 0u);
+    EXPECT_EQ(m.contextSwitch, 8u);
+    // Load/unload still cost C + overhead — shared with flexible.
+    EXPECT_EQ(m.loadCost(13), 23u);
+    EXPECT_EQ(m.unloadCost(13), 23u);
+}
+
+TEST(CostModel, Ff1AndLowCostOrdering)
+{
+    const runtime::CostModel general =
+        runtime::CostModel::paperFlexible(8);
+    const runtime::CostModel ff1 =
+        runtime::CostModel::ff1Flexible(8);
+    const runtime::CostModel low =
+        runtime::CostModel::lowCostFlexible(8);
+    EXPECT_LT(ff1.allocSucceed, general.allocSucceed);
+    EXPECT_LT(low.allocSucceed, ff1.allocSucceed);
+    EXPECT_LT(low.dealloc, general.dealloc);
+}
+
+TEST(CostModel, DribblingHidesPerRegisterCost)
+{
+    runtime::CostModel m = runtime::CostModel::paperFlexible(6);
+    EXPECT_EQ(m.loadCost(24), 34u);
+    m.dribbleRegisters = true;
+    EXPECT_EQ(m.loadCost(24), 10u);   // only the block overhead
+    EXPECT_EQ(m.unloadCost(24), 10u);
+}
+
+TEST(Workload, PaperWorkloadDistributions)
+{
+    const mt::WorkloadSpec spec = mt::paperWorkload(48, 12345);
+    EXPECT_EQ(spec.numThreads, 48u);
+    EXPECT_DOUBLE_EQ(spec.workDist->mean(), 12345.0);
+    EXPECT_DOUBLE_EQ(spec.regsDist->mean(), 15.0); // U[6,24]
+}
+
+TEST(Workload, HomogeneousWorkload)
+{
+    const mt::WorkloadSpec spec = mt::homogeneousWorkload(8, 500, 16);
+    Rng rng(1);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(spec.regsDist->sample(rng), 16u);
+}
+
+TEST(Workload, DefaultWorkScalesWithRunLength)
+{
+    EXPECT_EQ(mt::defaultWorkPerThread(8.0), 20000u);   // floor
+    EXPECT_EQ(mt::defaultWorkPerThread(512.0), 128000u); // 250 R
+}
+
+TEST(Workload, Fig5ConfigMatchesPaperParameters)
+{
+    const mt::MtConfig flex =
+        mt::fig5Config(mt::ArchKind::Flexible, 128, 32.0, 200);
+    EXPECT_EQ(flex.costs.contextSwitch, 6u); // Section 3.2
+    EXPECT_EQ(flex.costs.allocSucceed, 25u);
+    EXPECT_EQ(flex.unloadPolicy, mt::UnloadPolicyKind::Never);
+    EXPECT_EQ(flex.numRegs, 128u);
+    EXPECT_DOUBLE_EQ(flex.faultModel->meanRunLength(), 32.0);
+    EXPECT_DOUBLE_EQ(flex.faultModel->meanLatency(), 200.0);
+
+    const mt::MtConfig fixed =
+        mt::fig5Config(mt::ArchKind::FixedHw, 128, 32.0, 200);
+    EXPECT_EQ(fixed.costs.allocSucceed, 0u);
+}
+
+TEST(Workload, Fig6ConfigMatchesPaperParameters)
+{
+    const mt::MtConfig config =
+        mt::fig6Config(mt::ArchKind::Flexible, 64, 128.0, 1000.0);
+    EXPECT_EQ(config.costs.contextSwitch, 8u); // Section 3.3
+    EXPECT_EQ(config.unloadPolicy, mt::UnloadPolicyKind::TwoPhase);
+    EXPECT_DOUBLE_EQ(config.faultModel->meanLatency(), 1000.0);
+}
+
+TEST(Workload, CombinedConfigRatesCompose)
+{
+    const mt::MtConfig config = mt::combinedConfig(
+        mt::ArchKind::Flexible, 128, 64.0, 100, 64.0, 500.0);
+    // Combined rate ~ half the run length of either process.
+    EXPECT_LT(config.faultModel->meanRunLength(), 64.0);
+    EXPECT_GT(config.faultModel->meanRunLength(), 20.0);
+}
+
+TEST(Workload, DeterministicConfigIsDeterministic)
+{
+    const mt::MtConfig config = mt::deterministicConfig(
+        mt::ArchKind::Flexible, 128, 100, 300, 4, 8);
+    Rng rng(9);
+    for (int i = 0; i < 5; ++i) {
+        const mt::FaultSample sample =
+            config.faultModel->next(rng);
+        EXPECT_EQ(sample.runLength, 100u);
+        EXPECT_EQ(sample.latency, 300u);
+    }
+}
+
+} // namespace
+} // namespace rr

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the Section 3 fault models: distribution shapes, means,
+ * fault classes, and the combined model's race semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/stats.hh"
+#include "multithread/fault_model.hh"
+#include "multithread/mt_processor.hh"
+
+namespace rr::mt {
+namespace {
+
+TEST(CacheFaultModel, ConstantLatencyGeometricRuns)
+{
+    CacheFaultModel model(32.0, 100);
+    Rng rng(5);
+    RunningStats runs;
+    for (int i = 0; i < 100000; ++i) {
+        const FaultSample sample = model.next(rng);
+        EXPECT_EQ(sample.latency, 100u);
+        EXPECT_EQ(sample.kind, FaultClass::Cache);
+        EXPECT_GE(sample.runLength, 1u);
+        runs.add(static_cast<double>(sample.runLength));
+    }
+    EXPECT_NEAR(runs.mean(), 32.0, 1.0);
+    EXPECT_DOUBLE_EQ(model.meanRunLength(), 32.0);
+    EXPECT_DOUBLE_EQ(model.meanLatency(), 100.0);
+}
+
+TEST(SyncFaultModel, ExponentialLatency)
+{
+    SyncFaultModel model(128.0, 500.0);
+    Rng rng(6);
+    RunningStats runs, lats;
+    for (int i = 0; i < 100000; ++i) {
+        const FaultSample sample = model.next(rng);
+        EXPECT_EQ(sample.kind, FaultClass::Synchronization);
+        runs.add(static_cast<double>(sample.runLength));
+        lats.add(static_cast<double>(sample.latency));
+    }
+    EXPECT_NEAR(runs.mean(), 128.0, 4.0);
+    EXPECT_NEAR(lats.mean(), 500.0, 15.0);
+    // Exponential: stddev ~ mean.
+    EXPECT_NEAR(lats.stddev(), 500.0, 30.0);
+}
+
+TEST(CombinedFaultModel, MixesBothClasses)
+{
+    CombinedFaultModel model(64.0, 100, 64.0, 400.0);
+    Rng rng(7);
+    uint64_t cache = 0, sync = 0;
+    RunningStats runs;
+    for (int i = 0; i < 50000; ++i) {
+        const FaultSample sample = model.next(rng);
+        (sample.kind == FaultClass::Cache ? cache : sync) += 1;
+        runs.add(static_cast<double>(sample.runLength));
+    }
+    // Equal rates: roughly half each (cache wins ties).
+    EXPECT_GT(cache, 20000u);
+    EXPECT_GT(sync, 15000u);
+    // Combined rate: faster than either alone.
+    EXPECT_LT(runs.mean(), 64.0);
+    EXPECT_NEAR(runs.mean(), model.meanRunLength(),
+                model.meanRunLength() * 0.05);
+}
+
+TEST(CombinedFaultModel, DegenerateRatesFavourFasterProcess)
+{
+    // Sync faults far rarer than cache faults.
+    CombinedFaultModel model(16.0, 50, 100000.0, 1000.0);
+    Rng rng(8);
+    uint64_t cache = 0, sync = 0;
+    for (int i = 0; i < 20000; ++i) {
+        (model.next(rng).kind == FaultClass::Cache ? cache : sync) +=
+            1;
+    }
+    EXPECT_GT(cache, 19500u);
+    EXPECT_LT(sync, 500u);
+}
+
+TEST(DeterministicFaultModel, ExactValues)
+{
+    DeterministicFaultModel model(100, 300);
+    Rng rng(9);
+    for (int i = 0; i < 10; ++i) {
+        const FaultSample sample = model.next(rng);
+        EXPECT_EQ(sample.runLength, 100u);
+        EXPECT_EQ(sample.latency, 300u);
+    }
+}
+
+TEST(FaultModels, Describe)
+{
+    EXPECT_EQ(CacheFaultModel(8, 100).describe(),
+              "cache(R=8, L=100)");
+    EXPECT_EQ(SyncFaultModel(32, 500).describe(),
+              "sync(R=32, L=500)");
+    EXPECT_EQ(DeterministicFaultModel(10, 20).describe(),
+              "deterministic(R=10, L=20)");
+    EXPECT_FALSE(
+        CombinedFaultModel(8, 100, 32, 500).describe().empty());
+}
+
+
+TEST(PhasedFaultModel, PhaseScheduleCycles)
+{
+    PhasedFaultModel model({
+        {3, 200.0, 50.0, false, FaultClass::Cache},
+        {2, 16.0, 800.0, true, FaultClass::Synchronization},
+    });
+    // Sequence 0,1,2 -> phase 0; 3,4 -> phase 1; 5 wraps to phase 0.
+    EXPECT_DOUBLE_EQ(model.phaseFor(0).meanRun, 200.0);
+    EXPECT_DOUBLE_EQ(model.phaseFor(2).meanRun, 200.0);
+    EXPECT_DOUBLE_EQ(model.phaseFor(3).meanRun, 16.0);
+    EXPECT_DOUBLE_EQ(model.phaseFor(4).meanRun, 16.0);
+    EXPECT_DOUBLE_EQ(model.phaseFor(5).meanRun, 200.0);
+    EXPECT_DOUBLE_EQ(model.phaseFor(1000).meanRun, 200.0);
+}
+
+TEST(PhasedFaultModel, SamplesFollowThePhase)
+{
+    PhasedFaultModel model({
+        {1, 500.0, 10.0, false, FaultClass::Cache},
+        {1, 4.0, 900.0, true, FaultClass::Synchronization},
+    });
+    Rng rng(21);
+    RunningStats compute_runs, comm_runs;
+    for (int i = 0; i < 20000; ++i) {
+        const FaultSample a = model.next(rng, 0);
+        EXPECT_EQ(a.kind, FaultClass::Cache);
+        EXPECT_EQ(a.latency, 10u);
+        compute_runs.add(static_cast<double>(a.runLength));
+        const FaultSample b = model.next(rng, 1);
+        EXPECT_EQ(b.kind, FaultClass::Synchronization);
+        comm_runs.add(static_cast<double>(b.runLength));
+    }
+    EXPECT_NEAR(compute_runs.mean(), 500.0, 15.0);
+    EXPECT_NEAR(comm_runs.mean(), 4.0, 0.2);
+}
+
+TEST(PhasedFaultModel, WeightedMeans)
+{
+    PhasedFaultModel model({
+        {3, 100.0, 10.0, false, FaultClass::Cache},
+        {1, 20.0, 50.0, true, FaultClass::Synchronization},
+    });
+    EXPECT_DOUBLE_EQ(model.meanRunLength(), (3 * 100.0 + 20.0) / 4.0);
+    EXPECT_DOUBLE_EQ(model.meanLatency(), (3 * 10.0 + 50.0) / 4.0);
+    EXPECT_EQ(model.describe(), "phased(2 phases, cycle 4 faults)");
+}
+
+TEST(PhasedFaultModel, DrivesSimulatorThroughPhases)
+{
+    // A compute/communicate cycle: the simulator must complete and
+    // account cycles exactly as with stationary models.
+    MtConfig config;
+    config.workload.numThreads = 12;
+    config.workload.workDist = makeConstant(8000);
+    config.workload.regsDist = makeUniformInt(6, 24);
+    config.faultModel = std::make_shared<PhasedFaultModel>(
+        std::vector<PhasedFaultModel::Phase>{
+            {4, 128.0, 60.0, false, FaultClass::Cache},
+            {4, 16.0, 400.0, true, FaultClass::Synchronization},
+        });
+    config.costs = runtime::CostModel::paperFlexible(8);
+    config.numRegs = 128;
+    config.unloadPolicy = UnloadPolicyKind::TwoPhase;
+    const MtStats stats = simulate(std::move(config));
+    EXPECT_EQ(stats.threadsFinished, 12u);
+    EXPECT_EQ(stats.accountedCycles(), stats.totalCycles);
+    EXPECT_GT(stats.cacheFaults, 0u);
+    EXPECT_GT(stats.syncFaults, 0u);
+}
+
+} // namespace
+} // namespace rr::mt

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Figure-shape regression suite: the paper's qualitative claims,
+ * pinned as tests on reduced sweeps so a behavioural regression in
+ * the simulator is caught immediately (EXPERIMENTS.md records the
+ * full-sweep numbers).
+ */
+
+#include <gtest/gtest.h>
+
+#include "multithread/workload.hh"
+
+namespace rr::mt {
+namespace {
+
+double
+meanEff(ArchKind arch, const MtConfig &proto, unsigned seeds = 2)
+{
+    double total = 0.0;
+    for (uint64_t seed = 1; seed <= seeds; ++seed) {
+        MtConfig config = proto;
+        config.arch = arch;
+        config.costs = arch == ArchKind::FixedHw
+                           ? runtime::CostModel::paperFixed(
+                                 proto.costs.contextSwitch)
+                           : proto.costs;
+        config.seed = seed;
+        total += simulate(std::move(config)).efficiencyCentral;
+    }
+    return total / seeds;
+}
+
+MtConfig
+cacheProto(unsigned num_regs, double run, uint64_t latency)
+{
+    MtConfig config = fig5Config(ArchKind::Flexible, num_regs, run,
+                                 latency);
+    config.workload.numThreads = 32;
+    return config;
+}
+
+MtConfig
+syncProto(unsigned num_regs, double run, double latency)
+{
+    MtConfig config = fig6Config(ArchKind::Flexible, num_regs, run,
+                                 latency);
+    config.workload.numThreads = 32;
+    return config;
+}
+
+// Figure 5: "register relocation consistently outperforms
+// conventional fixed-size contexts" under cache faults, despite the
+// large-context bias of C ~ U[6,24].
+TEST(FigureShapes, Fig5FlexibleNeverLoses)
+{
+    for (const unsigned num_regs : {64u, 128u}) {
+        for (const double run : {8.0, 32.0}) {
+            for (const uint64_t latency : {64ull, 256ull, 1024ull}) {
+                const MtConfig proto =
+                    cacheProto(num_regs, run, latency);
+                const double fixed = meanEff(ArchKind::FixedHw, proto);
+                const double flex =
+                    meanEff(ArchKind::Flexible, proto);
+                EXPECT_GE(flex + 0.01, fixed)
+                    << "F=" << num_regs << " R=" << run
+                    << " L=" << latency;
+            }
+        }
+    }
+}
+
+// Figure 5's axes: efficiency falls with L and rises with R.
+TEST(FigureShapes, Fig5Monotonicity)
+{
+    const double e_l64 =
+        meanEff(ArchKind::Flexible, cacheProto(128, 32.0, 64));
+    const double e_l1024 =
+        meanEff(ArchKind::Flexible, cacheProto(128, 32.0, 1024));
+    EXPECT_GT(e_l64, e_l1024);
+
+    const double e_r8 =
+        meanEff(ArchKind::Flexible, cacheProto(128, 8.0, 256));
+    const double e_r128 =
+        meanEff(ArchKind::Flexible, cacheProto(128, 128.0, 256));
+    EXPECT_GT(e_r128, e_r8);
+}
+
+// Figure 6(a): at F = 64 the flexible advantage fades with L and
+// fixed contexts win at large L — but only there; at moderate L the
+// flexible scheme leads.
+TEST(FigureShapes, Fig6aCrossover)
+{
+    const double fixed_small =
+        meanEff(ArchKind::FixedHw, syncProto(64, 32.0, 64.0));
+    const double flex_small =
+        meanEff(ArchKind::Flexible, syncProto(64, 32.0, 64.0));
+    EXPECT_GT(flex_small, fixed_small);
+
+    const double fixed_large =
+        meanEff(ArchKind::FixedHw, syncProto(64, 32.0, 2048.0));
+    const double flex_large =
+        meanEff(ArchKind::Flexible, syncProto(64, 32.0, 2048.0));
+    EXPECT_GT(fixed_large, flex_large);
+}
+
+// Section 3.3's ablation: lower allocation costs recover the
+// flexible advantage where the general-purpose allocator loses it.
+TEST(FigureShapes, Fig6aLowCostAllocationRecovers)
+{
+    MtConfig proto = syncProto(64, 32.0, 1024.0);
+    const double fixed = meanEff(ArchKind::FixedHw, proto);
+    const double general = meanEff(ArchKind::Flexible, proto);
+    proto.costs = runtime::CostModel::lowCostFlexible(8);
+    const double lowcost = meanEff(ArchKind::Flexible, proto);
+    EXPECT_GT(lowcost, general);
+    EXPECT_GT(lowcost + 0.01, fixed);
+}
+
+// Section 3.4: homogeneous small contexts multiply the gains; the
+// abstract's "factor of two" appears exactly at C = 16 and roughly
+// quadruples at C = 8.
+TEST(FigureShapes, HomogeneousHeadlineFactors)
+{
+    MtConfig proto = cacheProto(64, 16.0, 1024);
+    proto.workload = homogeneousWorkload(32, 20000, 16);
+    const double ratio16 = meanEff(ArchKind::Flexible, proto) /
+                           meanEff(ArchKind::FixedHw, proto);
+    EXPECT_GT(ratio16, 1.8);
+    EXPECT_LT(ratio16, 2.2);
+
+    proto.workload = homogeneousWorkload(32, 20000, 8);
+    const double ratio8 = meanEff(ArchKind::Flexible, proto) /
+                          meanEff(ArchKind::FixedHw, proto);
+    EXPECT_GT(ratio8, 3.0);
+}
+
+// Section 3: combined faults sit below either single-fault workload
+// with the ordering preserved.
+TEST(FigureShapes, CombinedFaultsLowerBothArchitectures)
+{
+    for (const ArchKind arch :
+         {ArchKind::FixedHw, ArchKind::Flexible}) {
+        MtConfig cache = cacheProto(128, 64.0, 64);
+        cache.costs.contextSwitch = 8;
+        MtConfig sync = syncProto(128, 128.0, 512.0);
+        MtConfig combined =
+            combinedConfig(arch, 128, 64.0, 64, 128.0, 512.0);
+        combined.workload.numThreads = 32;
+        const double e_cache = meanEff(arch, cache);
+        const double e_sync = meanEff(arch, sync);
+        const double e_combined = meanEff(arch, combined);
+        EXPECT_LT(e_combined, e_cache) << archName(arch);
+        EXPECT_LT(e_combined, e_sync) << archName(arch);
+    }
+}
+
+// Section 1's headline: "register relocation can improve processor
+// utilization by a factor of two for many workloads."
+TEST(FigureShapes, FactorOfTwoExistsForManyWorkloads)
+{
+    unsigned workloads_with_2x = 0;
+    unsigned total = 0;
+    for (const unsigned c : {8u, 12u, 16u}) {
+        for (const uint64_t latency : {512ull, 1024ull}) {
+            MtConfig proto = cacheProto(64, 16.0, latency);
+            proto.workload = homogeneousWorkload(32, 20000, c);
+            const double ratio =
+                meanEff(ArchKind::Flexible, proto) /
+                meanEff(ArchKind::FixedHw, proto);
+            ++total;
+            workloads_with_2x += ratio >= 1.95 ? 1 : 0;
+        }
+    }
+    // "Many": at least half of this grid.
+    EXPECT_GE(workloads_with_2x * 2, total);
+}
+
+} // namespace
+} // namespace rr::mt

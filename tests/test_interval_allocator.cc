@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the first-fit interval allocator backing the Am29000
+ * ADD-relocation comparison (Section 4): exact sizes, coalescing,
+ * external fragmentation, and a randomized non-overlap property.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/rng.hh"
+#include "runtime/interval_allocator.hh"
+
+namespace rr::runtime {
+namespace {
+
+TEST(IntervalAllocator, ExactSizes)
+{
+    IntervalAllocator alloc(128);
+    const auto a = alloc.allocate(17); // no power-of-two rounding
+    ASSERT_TRUE(a);
+    EXPECT_EQ(a->size, 17u);
+    EXPECT_EQ(a->base, 0u);
+    EXPECT_EQ(alloc.freeRegs(), 111u);
+}
+
+TEST(IntervalAllocator, FirstFit)
+{
+    IntervalAllocator alloc(100);
+    const auto a = alloc.allocate(30);
+    const auto b = alloc.allocate(30);
+    const auto c = alloc.allocate(30);
+    ASSERT_TRUE(a && b && c);
+    alloc.release(*b); // hole [30, 60)
+    const auto d = alloc.allocate(10);
+    ASSERT_TRUE(d);
+    EXPECT_EQ(d->base, 30u); // lands in the hole
+}
+
+TEST(IntervalAllocator, CoalescingRestoresFullBlock)
+{
+    IntervalAllocator alloc(64);
+    const auto a = alloc.allocate(20);
+    const auto b = alloc.allocate(20);
+    const auto c = alloc.allocate(24);
+    ASSERT_TRUE(a && b && c);
+    EXPECT_EQ(alloc.freeRegs(), 0u);
+    // Release out of order; neighbours must coalesce.
+    alloc.release(*a);
+    alloc.release(*c);
+    EXPECT_EQ(alloc.freeBlockCount(), 2u);
+    alloc.release(*b);
+    EXPECT_EQ(alloc.freeBlockCount(), 1u);
+    EXPECT_EQ(alloc.largestFreeBlock(), 64u);
+}
+
+TEST(IntervalAllocator, ExternalFragmentation)
+{
+    IntervalAllocator alloc(60);
+    const auto a = alloc.allocate(20);
+    const auto b = alloc.allocate(20);
+    const auto c = alloc.allocate(20);
+    ASSERT_TRUE(a && b && c);
+    alloc.release(*a);
+    alloc.release(*c);
+    // 40 registers free, but the largest hole is 20.
+    EXPECT_EQ(alloc.freeRegs(), 40u);
+    EXPECT_EQ(alloc.largestFreeBlock(), 20u);
+    EXPECT_FALSE(alloc.allocate(21).has_value());
+    (void)b;
+}
+
+TEST(IntervalAllocatorDeath, DoubleFreePanics)
+{
+    IntervalAllocator alloc(32);
+    const auto a = alloc.allocate(8);
+    ASSERT_TRUE(a);
+    alloc.release(*a);
+    EXPECT_DEATH(alloc.release(*a), "double free|overlap");
+}
+
+TEST(IntervalAllocator, RandomizedNonOverlapProperty)
+{
+    IntervalAllocator alloc(256);
+    Rng rng(99);
+    std::vector<Interval> live;
+    std::vector<bool> owned(256, false);
+
+    for (int step = 0; step < 3000; ++step) {
+        if (live.empty() || rng.nextRange(0, 99) < 55) {
+            const unsigned size =
+                static_cast<unsigned>(rng.nextRange(1, 40));
+            const auto interval = alloc.allocate(size);
+            if (!interval)
+                continue;
+            ASSERT_EQ(interval->size, size);
+            for (unsigned r = interval->base;
+                 r < interval->base + interval->size; ++r) {
+                ASSERT_FALSE(owned[r]);
+                owned[r] = true;
+            }
+            live.push_back(*interval);
+        } else {
+            const size_t idx = rng.nextRange(0, live.size() - 1);
+            const Interval interval = live[idx];
+            live[idx] = live.back();
+            live.pop_back();
+            alloc.release(interval);
+            for (unsigned r = interval.base;
+                 r < interval.base + interval.size; ++r) {
+                owned[r] = false;
+            }
+        }
+        unsigned owned_count = 0;
+        for (const bool o : owned)
+            owned_count += o ? 1 : 0;
+        ASSERT_EQ(alloc.freeRegs(), 256u - owned_count);
+    }
+
+    for (const auto &interval : live)
+        alloc.release(interval);
+    EXPECT_EQ(alloc.freeRegs(), 256u);
+    EXPECT_EQ(alloc.freeBlockCount(), 1u);
+}
+
+} // namespace
+} // namespace rr::runtime

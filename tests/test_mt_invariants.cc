@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Randomized invariant sweep over the multithreading simulator: for
+ * a grid of architectures, unload policies, fault models, and
+ * register file sizes (parameterized gtest), every run must satisfy
+ * the structural invariants of the model regardless of the stochastic
+ * outcome.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "multithread/workload.hh"
+
+namespace rr::mt {
+namespace {
+
+struct SweepParam
+{
+    ArchKind arch;
+    UnloadPolicyKind unload;
+    bool sync_faults;
+    unsigned numRegs;
+    uint64_t seed;
+};
+
+std::string
+paramName(const ::testing::TestParamInfo<SweepParam> &info)
+{
+    const SweepParam &p = info.param;
+    std::string name = archName(p.arch);
+    name += p.unload == UnloadPolicyKind::TwoPhase ? "_twophase"
+                                                   : "_never";
+    name += p.sync_faults ? "_sync" : "_cache";
+    name += "_F" + std::to_string(p.numRegs);
+    name += "_s" + std::to_string(p.seed);
+    return name;
+}
+
+class MtInvariants : public ::testing::TestWithParam<SweepParam>
+{
+  protected:
+    MtConfig
+    makeConfig() const
+    {
+        const SweepParam &p = GetParam();
+        MtConfig config =
+            p.sync_faults
+                ? fig6Config(p.arch, p.numRegs, 32.0, 400.0, p.seed)
+                : fig5Config(p.arch, p.numRegs, 32.0, 400, p.seed);
+        config.unloadPolicy = p.unload;
+        config.workload.numThreads = 24;
+        config.workload.workDist = makeConstant(6000);
+        return config;
+    }
+};
+
+TEST_P(MtInvariants, StructuralInvariantsHold)
+{
+    MtConfig config = makeConfig();
+    const unsigned num_threads = config.workload.numThreads;
+    MtProcessor processor(std::move(config));
+    const MtStats stats = processor.run();
+
+    // Every thread ran to completion.
+    EXPECT_EQ(stats.threadsFinished, num_threads);
+    for (const Thread &t : processor.threads()) {
+        EXPECT_EQ(t.state, ThreadState::Finished);
+        EXPECT_EQ(t.remainingWork, 0u);
+        EXPECT_FALSE(t.context.has_value());
+    }
+
+    // Cycle accounting partitions the total exactly.
+    EXPECT_EQ(stats.accountedCycles(), stats.totalCycles);
+    // Useful work equals the configured supply.
+    EXPECT_EQ(stats.usefulCycles, num_threads * 6000u);
+
+    // Efficiency bounds.
+    EXPECT_GT(stats.efficiencyTotal, 0.0);
+    EXPECT_LE(stats.efficiencyTotal, 1.0);
+    EXPECT_GE(stats.efficiencyCentral, 0.0);
+    EXPECT_LE(stats.efficiencyCentral, 1.0);
+
+    // Load/unload bookkeeping: every thread loads at least once;
+    // every unload implies a subsequent reload before completion.
+    EXPECT_GE(stats.loads, static_cast<uint64_t>(num_threads));
+    EXPECT_EQ(stats.loads, stats.allocSuccesses);
+    EXPECT_EQ(stats.loads, stats.unloads + num_threads);
+
+    // Fault classes partition the fault count.
+    EXPECT_EQ(stats.faults, stats.cacheFaults + stats.syncFaults);
+
+    // Never-unload policy never unloads.
+    if (GetParam().unload == UnloadPolicyKind::Never) {
+        EXPECT_EQ(stats.unloads, 0u);
+    }
+
+    // Residency can never exceed the file capacity for the smallest
+    // context.
+    EXPECT_LE(stats.maxResidentContexts, GetParam().numRegs / 4);
+    EXPECT_LE(stats.avgResidentContexts,
+              static_cast<double>(stats.maxResidentContexts));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MtInvariants,
+    ::testing::ValuesIn([] {
+        std::vector<SweepParam> params;
+        for (const ArchKind arch :
+             {ArchKind::Flexible, ArchKind::FixedHw,
+              ArchKind::AddReloc}) {
+            for (const UnloadPolicyKind unload :
+                 {UnloadPolicyKind::Never,
+                  UnloadPolicyKind::TwoPhase}) {
+                for (const bool sync_faults : {false, true}) {
+                    for (const unsigned num_regs : {64u, 128u}) {
+                        for (const uint64_t seed : {1ull, 2ull}) {
+                            params.push_back({arch, unload,
+                                              sync_faults, num_regs,
+                                              seed});
+                        }
+                    }
+                }
+            }
+        }
+        return params;
+    }()),
+    paramName);
+
+// Per-thread statistics are consistent with the aggregates.
+TEST(MtPerThread, ThreadCountersSumToAggregates)
+{
+    MtConfig config = fig6Config(ArchKind::Flexible, 64, 32.0, 800.0);
+    config.workload.numThreads = 24;
+    MtProcessor processor(std::move(config));
+    const MtStats stats = processor.run();
+
+    uint64_t faults = 0, loads = 0, unloads = 0;
+    for (const Thread &t : processor.threads()) {
+        faults += t.faults;
+        loads += t.timesLoaded;
+        unloads += t.timesUnloaded;
+        EXPECT_GE(t.timesLoaded, 1u);
+        EXPECT_EQ(t.timesLoaded, t.timesUnloaded + 1);
+    }
+    EXPECT_EQ(faults, stats.faults);
+    EXPECT_EQ(loads, stats.loads);
+    EXPECT_EQ(unloads, stats.unloads);
+}
+
+} // namespace
+} // namespace rr::mt

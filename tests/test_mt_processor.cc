@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tests for the multithreaded-node simulator: cycle accounting
+ * invariants, saturation/linear-regime behaviour, the two-phase
+ * unloading policy, and flexible-vs-fixed comparisons on the paper's
+ * workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/stats.hh"
+#include "multithread/mt_processor.hh"
+#include "multithread/workload.hh"
+
+namespace rr::mt {
+namespace {
+
+TEST(MtProcessor, CompletesAllThreads)
+{
+    MtConfig config = fig5Config(ArchKind::Flexible, 128, 32.0, 100);
+    config.workload.numThreads = 16;
+    const MtStats stats = simulate(std::move(config));
+    EXPECT_EQ(stats.threadsFinished, 16u);
+    EXPECT_GT(stats.totalCycles, 0u);
+    EXPECT_GT(stats.usefulCycles, 0u);
+}
+
+TEST(MtProcessor, CycleAccountingPartitionsTotal)
+{
+    for (const ArchKind arch :
+         {ArchKind::Flexible, ArchKind::FixedHw, ArchKind::AddReloc}) {
+        MtConfig config = fig5Config(arch, 128, 16.0, 200);
+        config.workload.numThreads = 24;
+        const MtStats stats = simulate(std::move(config));
+        EXPECT_EQ(stats.accountedCycles(), stats.totalCycles)
+            << "arch = " << archName(arch);
+    }
+}
+
+TEST(MtProcessor, UsefulCyclesEqualTotalWork)
+{
+    MtConfig config = fig5Config(ArchKind::Flexible, 128, 32.0, 100);
+    config.workload.numThreads = 8;
+    config.workload.workDist = makeConstant(5000);
+    const MtStats stats = simulate(std::move(config));
+    EXPECT_EQ(stats.usefulCycles, 8u * 5000u);
+}
+
+TEST(MtProcessor, EfficiencyWithinUnitInterval)
+{
+    MtConfig config = fig6Config(ArchKind::Flexible, 128, 32.0, 500.0);
+    config.workload.numThreads = 32;
+    const MtStats stats = simulate(std::move(config));
+    EXPECT_GT(stats.efficiencyCentral, 0.0);
+    EXPECT_LE(stats.efficiencyCentral, 1.0);
+    EXPECT_GT(stats.efficiencyTotal, 0.0);
+    EXPECT_LE(stats.efficiencyTotal, 1.0);
+}
+
+// With deterministic R and L and a saturating number of contexts,
+// efficiency approaches R / (R + S) (Section 3.4).
+TEST(MtProcessor, SaturatedEfficiencyMatchesClosedForm)
+{
+    // R = 100, S = 6, L = 50: a single extra context suffices;
+    // 8 contexts of 8 registers fit easily in 128 registers.
+    MtConfig config = deterministicConfig(ArchKind::Flexible, 128,
+                                          100, 50, 8, 8);
+    const MtStats stats = simulate(std::move(config));
+    const double expected = 100.0 / (100.0 + 6.0);
+    EXPECT_NEAR(stats.efficiencyCentral, expected, 0.02);
+}
+
+// One thread alone: efficiency ~ R / (R + S + L) in the linear
+// regime with N = 1.
+TEST(MtProcessor, SingleThreadLinearRegime)
+{
+    MtConfig config = deterministicConfig(ArchKind::Flexible, 128,
+                                          100, 400, 1, 8);
+    const MtStats stats = simulate(std::move(config));
+    const double expected = 100.0 / (100.0 + 6.0 + 400.0);
+    EXPECT_NEAR(stats.efficiencyCentral, expected, 0.02);
+}
+
+TEST(MtProcessor, FlexibleBeatsFixedOnSmallContexts)
+{
+    // Homogeneous C = 8 on F = 64: flexible fits 8 contexts, fixed
+    // only 2. Short run lengths + long latency => linear regime,
+    // where residency wins (Section 3.4 discussion).
+    MtConfig flexible = fig5Config(ArchKind::Flexible, 64, 16.0, 400);
+    flexible.workload = homogeneousWorkload(48, 20000, 8);
+    MtConfig fixed = fig5Config(ArchKind::FixedHw, 64, 16.0, 400);
+    fixed.workload = homogeneousWorkload(48, 20000, 8);
+
+    const MtStats fs = simulate(std::move(flexible));
+    const MtStats xs = simulate(std::move(fixed));
+    EXPECT_GT(fs.efficiencyCentral, 1.5 * xs.efficiencyCentral);
+}
+
+TEST(MtProcessor, ResidencyTracksRegisterFileCapacity)
+{
+    MtConfig config = fig5Config(ArchKind::FixedHw, 128, 32.0, 400);
+    config.workload.numThreads = 32;
+    const MtStats stats = simulate(std::move(config));
+    // F = 128 / 32 regs per fixed context -> at most 4 resident.
+    EXPECT_LE(stats.maxResidentContexts, 4u);
+    EXPECT_GT(stats.avgResidentContexts, 0.0);
+    EXPECT_LE(stats.avgResidentContexts, 4.0);
+}
+
+TEST(MtProcessor, TwoPhaseUnloadsUnderLongLatency)
+{
+    MtConfig config = fig6Config(ArchKind::Flexible, 64, 32.0, 2000.0);
+    config.workload.numThreads = 32;
+    const MtStats stats = simulate(std::move(config));
+    EXPECT_GT(stats.unloads, 0u);
+    // Every unloaded thread must be reloaded before finishing.
+    EXPECT_GE(stats.loads, stats.unloads);
+}
+
+TEST(MtProcessor, NeverPolicyNeverUnloads)
+{
+    MtConfig config = fig5Config(ArchKind::Flexible, 64, 8.0, 2000);
+    config.workload.numThreads = 32;
+    const MtStats stats = simulate(std::move(config));
+    EXPECT_EQ(stats.unloads, 0u);
+}
+
+TEST(MtProcessor, DeterministicGivenSeed)
+{
+    MtConfig a = fig6Config(ArchKind::Flexible, 128, 32.0, 300.0, 7);
+    MtConfig b = fig6Config(ArchKind::Flexible, 128, 32.0, 300.0, 7);
+    const MtStats sa = simulate(std::move(a));
+    const MtStats sb = simulate(std::move(b));
+    EXPECT_EQ(sa.totalCycles, sb.totalCycles);
+    EXPECT_EQ(sa.faults, sb.faults);
+    EXPECT_DOUBLE_EQ(sa.efficiencyCentral, sb.efficiencyCentral);
+}
+
+TEST(MtProcessor, SeedChangesStochasticOutcome)
+{
+    MtConfig a = fig6Config(ArchKind::Flexible, 128, 32.0, 300.0, 7);
+    MtConfig b = fig6Config(ArchKind::Flexible, 128, 32.0, 300.0, 8);
+    const MtStats sa = simulate(std::move(a));
+    const MtStats sb = simulate(std::move(b));
+    EXPECT_NE(sa.totalCycles, sb.totalCycles);
+}
+
+TEST(MtProcessor, FixedArchHasZeroAllocCycles)
+{
+    MtConfig config = fig6Config(ArchKind::FixedHw, 128, 32.0, 500.0);
+    config.workload.numThreads = 32;
+    const MtStats stats = simulate(std::move(config));
+    EXPECT_EQ(stats.allocCycles, 0u);
+    EXPECT_GT(stats.loads, 0u);
+}
+
+TEST(MtProcessor, LongerLatencyLowersEfficiency)
+{
+    MtConfig lo = fig5Config(ArchKind::Flexible, 128, 32.0, 50);
+    MtConfig hi = fig5Config(ArchKind::Flexible, 128, 32.0, 1600);
+    const MtStats slo = simulate(std::move(lo));
+    const MtStats shi = simulate(std::move(hi));
+    EXPECT_GT(slo.efficiencyCentral, shi.efficiencyCentral);
+}
+
+TEST(MtProcessor, LongerRunLengthRaisesEfficiency)
+{
+    MtConfig lo = fig5Config(ArchKind::Flexible, 128, 8.0, 400);
+    MtConfig hi = fig5Config(ArchKind::Flexible, 128, 128.0, 400);
+    const MtStats slo = simulate(std::move(lo));
+    const MtStats shi = simulate(std::move(hi));
+    EXPECT_GT(shi.efficiencyCentral, slo.efficiencyCentral);
+}
+
+
+// Section 2.2: "separate linked lists of register relocation masks
+// could be maintained to implement different thread classes or
+// priorities." High-priority threads monopolize the processor
+// whenever they are runnable, so they finish far earlier.
+TEST(MtProcessor, PriorityClassesFinishInOrder)
+{
+    MtConfig config = fig5Config(ArchKind::Flexible, 128, 32.0, 200);
+    config.priorityLevels = 2;
+    // 16 threads of 8 registers fill the 128-register file exactly:
+    // everyone is resident, so dispatch order is purely the priority
+    // rings (queue refill order plays no role).
+    config.workload = homogeneousWorkload(16, 8000, 8);
+    config.workload.priorityDist = makeUniformInt(0, 1);
+    MtProcessor processor(std::move(config));
+    processor.run();
+
+    RunningStats high, low;
+    for (const Thread &t : processor.threads()) {
+        (t.priority == 0 ? high : low)
+            .add(static_cast<double>(t.finishTime));
+    }
+    ASSERT_GT(high.count(), 0u);
+    ASSERT_GT(low.count(), 0u);
+    EXPECT_LT(high.max(), low.mean());
+}
+
+TEST(MtProcessor, SinglePriorityLevelUnchangedByDistribution)
+{
+    // With one level, priorities clamp to 0 and results match the
+    // default configuration exactly.
+    MtConfig a = fig5Config(ArchKind::Flexible, 128, 32.0, 200, 3);
+    a.workload.numThreads = 12;
+    MtConfig b = fig5Config(ArchKind::Flexible, 128, 32.0, 200, 3);
+    b.workload.numThreads = 12;
+    b.workload.priorityDist = makeUniformInt(0, 5);
+    const MtStats sa = simulate(std::move(a));
+    const MtStats sb = simulate(std::move(b));
+    EXPECT_EQ(sa.totalCycles, sb.totalCycles);
+}
+
+TEST(MtProcessor, FinishTimesRecorded)
+{
+    MtConfig config = fig5Config(ArchKind::Flexible, 128, 32.0, 100);
+    config.workload.numThreads = 6;
+    MtProcessor processor(std::move(config));
+    const MtStats stats = processor.run();
+    for (const Thread &t : processor.threads()) {
+        EXPECT_GT(t.finishTime, 0u);
+        EXPECT_LE(t.finishTime, stats.totalCycles);
+    }
+}
+
+} // namespace
+} // namespace rr::mt

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the multiprocessor fixed-point model: convergence,
+ * monotone contention in the node count, the uncontended limit, and
+ * the flexible-vs-fixed comparison under endogenous latency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "multithread/workload.hh"
+#include "system/multiprocessor.hh"
+
+namespace rr::system {
+namespace {
+
+SystemConfig
+makeConfig(unsigned nodes, mt::ArchKind arch, double run_length = 16.0)
+{
+    SystemConfig config;
+    config.numNodes = nodes;
+    config.baseLatency = 50.0;
+    config.msgServiceCycles = 2.0;
+    config.nodeConfig = [arch, run_length](uint64_t latency) {
+        mt::MtConfig node =
+            mt::fig5Config(arch, 128, run_length, latency, 1);
+        node.workload.numThreads = 24;
+        node.workload.workDist = makeConstant(6000);
+        return node;
+    };
+    return config;
+}
+
+TEST(Multiprocessor, ConvergesQuickly)
+{
+    const SystemResult result =
+        simulateSystem(makeConfig(16, mt::ArchKind::Flexible));
+    EXPECT_TRUE(result.converged);
+    EXPECT_LE(result.iterations, 25u);
+    EXPECT_GT(result.effectiveLatency, 50.0);
+    EXPECT_GT(result.nodeEfficiency, 0.0);
+    EXPECT_LE(result.networkUtilization, 0.95);
+}
+
+TEST(Multiprocessor, SingleNodeNearBaseLatency)
+{
+    const SystemResult result =
+        simulateSystem(makeConfig(1, mt::ArchKind::Flexible));
+    ASSERT_TRUE(result.converged);
+    // One node barely loads the interconnect: L ~ base + service.
+    EXPECT_LT(result.effectiveLatency, 56.0);
+    EXPECT_LT(result.networkUtilization, 0.3);
+}
+
+TEST(Multiprocessor, ContentionGrowsWithNodeCount)
+{
+    const SystemResult small =
+        simulateSystem(makeConfig(2, mt::ArchKind::Flexible));
+    const SystemResult large =
+        simulateSystem(makeConfig(64, mt::ArchKind::Flexible));
+    EXPECT_GT(large.effectiveLatency, small.effectiveLatency);
+    EXPECT_GT(large.networkUtilization, small.networkUtilization);
+    // Per-node efficiency drops, aggregate still scales.
+    EXPECT_LT(large.nodeEfficiency, small.nodeEfficiency);
+    EXPECT_GT(large.aggregateThroughput, small.aggregateThroughput);
+}
+
+TEST(Multiprocessor, FlexibleSustainsHigherAggregate)
+{
+    const SystemResult fixed =
+        simulateSystem(makeConfig(64, mt::ArchKind::FixedHw, 8.0));
+    const SystemResult flex =
+        simulateSystem(makeConfig(64, mt::ArchKind::Flexible, 8.0));
+    ASSERT_TRUE(fixed.converged);
+    ASSERT_TRUE(flex.converged);
+    EXPECT_GT(flex.aggregateThroughput,
+              1.1 * fixed.aggregateThroughput);
+}
+
+TEST(Multiprocessor, UtilizationClampHolds)
+{
+    SystemConfig config = makeConfig(1024, mt::ArchKind::Flexible, 4.0);
+    config.msgServiceCycles = 8.0;
+    const SystemResult result = simulateSystem(config);
+    EXPECT_LE(result.networkUtilization, 0.95);
+    EXPECT_GT(result.effectiveLatency, config.baseLatency);
+}
+
+TEST(MultiprocessorDeath, MissingNodeBuilderPanics)
+{
+    SystemConfig config;
+    config.nodeConfig = nullptr;
+    EXPECT_DEATH(simulateSystem(config), "node builder");
+}
+
+} // namespace
+} // namespace rr::system

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the MtStats reporting helpers and an assembler
+ * robustness fuzz: arbitrary garbage input must produce diagnostics,
+ * never crashes or bogus images.
+ */
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hh"
+#include "base/rng.hh"
+#include "multithread/stats_report.hh"
+#include "multithread/workload.hh"
+
+namespace rr {
+namespace {
+
+TEST(StatsReport, BreakdownPartitionsTotal)
+{
+    mt::MtConfig config =
+        mt::fig6Config(mt::ArchKind::Flexible, 128, 32.0, 400.0);
+    config.workload.numThreads = 16;
+    const mt::MtStats stats = mt::simulate(std::move(config));
+
+    const Table table = mt::cycleBreakdownTable(stats);
+    EXPECT_EQ(table.numRows(), 9u); // 8 categories + total
+    const std::string text = table.render();
+    EXPECT_NE(text.find("useful work"), std::string::npos);
+    EXPECT_NE(text.find("context switch"), std::string::npos);
+    EXPECT_NE(text.find("total"), std::string::npos);
+}
+
+TEST(StatsReport, SummaryLineMentionsKeyNumbers)
+{
+    mt::MtConfig config =
+        mt::fig5Config(mt::ArchKind::FixedHw, 64, 32.0, 100);
+    config.workload.numThreads = 8;
+    const mt::MtStats stats = mt::simulate(std::move(config));
+    const std::string line = mt::summaryLine(stats);
+    EXPECT_NE(line.find("eff "), std::string::npos);
+    EXPECT_NE(line.find("faults"), std::string::npos);
+    EXPECT_NE(line.find("resident avg"), std::string::npos);
+}
+
+TEST(StatsReport, ZeroStatsRenderWithoutDivideByZero)
+{
+    const mt::MtStats empty;
+    const Table table = mt::cycleBreakdownTable(empty);
+    EXPECT_EQ(table.numRows(), 9u);
+    EXPECT_FALSE(mt::summaryLine(empty).empty());
+}
+
+// Robustness fuzz: random printable garbage through the assembler.
+TEST(AssemblerFuzz, GarbageNeverCrashes)
+{
+    Rng rng(2026);
+    const char charset[] =
+        "abcdefghijklmnopqrstuvwxyz0123456789 ,():.#;-rx\n\t";
+    for (int trial = 0; trial < 500; ++trial) {
+        std::string source;
+        const size_t len = 1 + rng.nextRange(0, 200);
+        for (size_t i = 0; i < len; ++i) {
+            source.push_back(
+                charset[rng.nextRange(0, sizeof(charset) - 2)]);
+        }
+        const assembler::Program prog = assembler::assemble(source);
+        // Either it assembled (tiny chance) or produced diagnostics;
+        // both must leave a consistent Program.
+        if (!prog.ok()) {
+            EXPECT_FALSE(prog.errors.empty());
+        }
+        EXPECT_EQ(prog.words.size(), prog.lines.size());
+    }
+}
+
+// Mutation fuzz: start from valid code, flip characters.
+TEST(AssemblerFuzz, MutatedValidProgramsNeverCrash)
+{
+    const std::string valid = "start: addi r1, r2, 10\n"
+                              "  ld r3, 4(r1)\n"
+                              "  bne r1, r3, start\n"
+                              "  jal r0, start\n"
+                              "  halt\n";
+    Rng rng(77);
+    for (int trial = 0; trial < 500; ++trial) {
+        std::string source = valid;
+        const int mutations = 1 + static_cast<int>(rng.nextRange(0, 4));
+        for (int m = 0; m < mutations; ++m) {
+            const size_t pos = rng.nextRange(0, source.size() - 1);
+            source[pos] =
+                static_cast<char>(32 + rng.nextRange(0, 94));
+        }
+        const assembler::Program prog = assembler::assemble(source);
+        EXPECT_EQ(prog.words.size(), prog.lines.size());
+    }
+}
+
+} // namespace
+} // namespace rr

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the statistics accumulators (RunningStats,
+ * IntervalRecorder with transient exclusion, Histogram) and the table
+ * printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/stats.hh"
+#include "base/table.hh"
+
+namespace rr {
+namespace {
+
+TEST(RunningStats, Empty)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments)
+{
+    RunningStats s;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsCombinedStream)
+{
+    RunningStats a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        const double x = i * 0.37;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(IntervalRecorder, TotalRate)
+{
+    IntervalRecorder rec;
+    rec.record(0, 0);
+    rec.record(100, 50);
+    EXPECT_DOUBLE_EQ(rec.totalRate(), 0.5);
+    EXPECT_EQ(rec.endTime(), 100u);
+    EXPECT_EQ(rec.endValue(), 50u);
+}
+
+TEST(IntervalRecorder, WindowRateInterpolates)
+{
+    IntervalRecorder rec;
+    rec.record(0, 0);
+    rec.record(100, 100); // rate 1.0
+    rec.record(200, 100); // rate 0.0
+    EXPECT_DOUBLE_EQ(rec.windowRate(0, 100), 1.0);
+    EXPECT_DOUBLE_EQ(rec.windowRate(100, 200), 0.0);
+    EXPECT_DOUBLE_EQ(rec.windowRate(50, 150), 0.5);
+}
+
+// The central window must exclude a slow startup transient: here the
+// first and last 25% of the run accrue nothing.
+TEST(IntervalRecorder, CentralRateExcludesTransients)
+{
+    IntervalRecorder rec;
+    rec.record(0, 0);
+    rec.record(250, 0);    // startup transient: idle
+    rec.record(750, 500);  // steady state: rate 1.0
+    rec.record(1000, 500); // completion transient: idle
+    EXPECT_DOUBLE_EQ(rec.centralRate(0.25, 0.75), 1.0);
+    EXPECT_DOUBLE_EQ(rec.totalRate(), 0.5);
+}
+
+TEST(IntervalRecorder, RepeatedTimestampsCollapse)
+{
+    IntervalRecorder rec;
+    rec.record(0, 0);
+    rec.record(10, 5);
+    rec.record(10, 8);
+    EXPECT_EQ(rec.size(), 2u);
+    EXPECT_EQ(rec.endValue(), 8u);
+}
+
+TEST(IntervalRecorder, EmptyIsZero)
+{
+    IntervalRecorder rec;
+    EXPECT_DOUBLE_EQ(rec.totalRate(), 0.0);
+    EXPECT_DOUBLE_EQ(rec.centralRate(), 0.0);
+    EXPECT_DOUBLE_EQ(rec.windowRate(0, 10), 0.0);
+}
+
+TEST(Histogram, BinsAndOverflow)
+{
+    Histogram h(10, 4); // bins [0,10) [10,20) [20,30) [30,40)
+    h.add(0);
+    h.add(9);
+    h.add(10);
+    h.add(35);
+    h.add(40); // overflow
+    h.add(400); // overflow
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(2), 0u);
+    EXPECT_EQ(h.binCount(3), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.total(), 6u);
+    EXPECT_FALSE(h.render().empty());
+}
+
+TEST(Table, RenderAligned)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+    EXPECT_EQ(t.numCols(), 2u);
+}
+
+TEST(Table, RenderCsv)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.renderCsv(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(0.5, 3), "0.500");
+    EXPECT_EQ(Table::num(uint64_t{42}), "42");
+    EXPECT_EQ(Table::num(-3), "-3");
+}
+
+} // namespace
+} // namespace rr

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * rrasm — the RRISC assembler as a command-line tool.
+ *
+ * Usage:
+ *   rrasm [options] input.s
+ *     -o FILE       write the image as hex words, one per line
+ *     -l            print a listing (address, word, disassembly)
+ *     --check N     statically check context boundaries against a
+ *                   context of N registers (Section 2.4)
+ *     --banks B     interpret operands as bank-selected (Section 5.3)
+ *                   when checking
+ *
+ * Exit status: 0 on success, 1 on assembly errors, 2 on boundary
+ * violations, 64 on usage errors.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "assembler/assembler.hh"
+#include "checker/boundary_checker.hh"
+#include "isa/instruction.hh"
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: rrasm [-o out.hex] [-l] [--check N] "
+                 "[--banks B] input.s\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string input;
+    std::string output;
+    bool listing = false;
+    unsigned check_size = 0;
+    unsigned banks = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-o" && i + 1 < argc) {
+            output = argv[++i];
+        } else if (arg == "-l") {
+            listing = true;
+        } else if (arg == "--check" && i + 1 < argc) {
+            check_size = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else if (arg == "--banks" && i + 1 < argc) {
+            banks = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else if (arg == "-h" || arg == "--help") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "rrasm: unknown option '%s'\n",
+                         arg.c_str());
+            usage();
+            return 64;
+        } else if (input.empty()) {
+            input = arg;
+        } else {
+            usage();
+            return 64;
+        }
+    }
+    if (input.empty()) {
+        usage();
+        return 64;
+    }
+
+    std::ifstream in(input);
+    if (!in) {
+        std::fprintf(stderr, "rrasm: cannot open '%s'\n",
+                     input.c_str());
+        return 64;
+    }
+    std::ostringstream source;
+    source << in.rdbuf();
+
+    const rr::assembler::Program program =
+        rr::assembler::assemble(source.str());
+    if (!program.ok()) {
+        for (const auto &error : program.errors) {
+            std::fprintf(stderr, "%s: %s\n", input.c_str(),
+                         error.str().c_str());
+        }
+        return 1;
+    }
+
+    if (listing) {
+        for (size_t i = 0; i < program.words.size(); ++i) {
+            const uint32_t addr =
+                program.base + static_cast<uint32_t>(i);
+            std::printf("%6u  %08x  %s\n", addr, program.words[i],
+                        rr::isa::disassemble(program.words[i])
+                            .c_str());
+        }
+        if (!program.symbols.empty()) {
+            std::printf("\nsymbols:\n");
+            for (const auto &[name, addr] : program.symbols)
+                std::printf("  %6u  %s\n", addr, name.c_str());
+        }
+    }
+
+    if (!output.empty()) {
+        std::ofstream out(output);
+        if (!out) {
+            std::fprintf(stderr, "rrasm: cannot write '%s'\n",
+                         output.c_str());
+            return 64;
+        }
+        for (const uint32_t word : program.words) {
+            char buffer[16];
+            std::snprintf(buffer, sizeof(buffer), "%08x\n", word);
+            out << buffer;
+        }
+    }
+
+    if (check_size != 0) {
+        rr::checker::CheckOptions options;
+        options.multiRrmBanks = banks;
+        const auto violations =
+            rr::checker::checkProgram(program, check_size, options);
+        for (const auto &violation : violations) {
+            std::fprintf(stderr, "%s: %s\n", input.c_str(),
+                         violation.str().c_str());
+        }
+        if (!violations.empty()) {
+            std::fprintf(stderr,
+                         "rrasm: %zu context-boundary violation(s)\n",
+                         violations.size());
+            return 2;
+        }
+    }
+    return 0;
+}

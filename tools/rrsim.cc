@@ -1,0 +1,214 @@
+/**
+ * @file
+ * rrsim — run an RRISC program on the cycle-level machine.
+ *
+ * Usage:
+ *   rrsim [options] program.s | program.hex
+ *     --regs N        register file size (default 128)
+ *     --width W       operand width w (default 6)
+ *     --banks B       RRM banks (default 1)
+ *     --mode M        relocation mode: or | mux | add (default or)
+ *     --delay D       LDRRM delay slots (default 1)
+ *     --mem WORDS     memory size in words (default 65536)
+ *     --steps S       maximum instructions (default 1000000)
+ *     --start LABEL   start at a label (default: 'entry' if present,
+ *                     else the image base)
+ *     --rrm MASK      initial relocation mask (default 0)
+ *     --trace         print every executed instruction
+ *     --dump K        dump the first K registers on exit (default 16)
+ *
+ * A '.hex' input is a plain list of 32-bit words in hex (as written
+ * by rrasm -o); anything else is assembled as source.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "assembler/assembler.hh"
+#include "machine/cpu.hh"
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(stderr, "usage: rrsim [options] program.s\n"
+                         "see the file header for options\n");
+}
+
+bool
+endsWith(const std::string &text, const std::string &suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.compare(text.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string input;
+    std::string start_label;
+    rr::machine::CpuConfig config;
+    config.memWords = 1u << 16;
+    uint64_t max_steps = 1'000'000;
+    uint32_t initial_rrm = 0;
+    bool trace = false;
+    unsigned dump = 16;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next_value = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--regs") {
+            config.numRegs = static_cast<unsigned>(
+                std::strtoul(next_value(), nullptr, 0));
+        } else if (arg == "--width") {
+            config.operandWidth = static_cast<unsigned>(
+                std::strtoul(next_value(), nullptr, 0));
+        } else if (arg == "--banks") {
+            config.rrmBanks = static_cast<unsigned>(
+                std::strtoul(next_value(), nullptr, 0));
+        } else if (arg == "--mode") {
+            const std::string mode = next_value();
+            if (mode == "or") {
+                config.relocationMode =
+                    rr::machine::RelocationMode::Or;
+            } else if (mode == "mux") {
+                config.relocationMode =
+                    rr::machine::RelocationMode::Mux;
+            } else if (mode == "add") {
+                config.relocationMode =
+                    rr::machine::RelocationMode::Add;
+            } else {
+                std::fprintf(stderr, "rrsim: bad mode '%s'\n",
+                             mode.c_str());
+                return 64;
+            }
+        } else if (arg == "--delay") {
+            config.ldrrmDelaySlots = static_cast<unsigned>(
+                std::strtoul(next_value(), nullptr, 0));
+        } else if (arg == "--mem") {
+            config.memWords = std::strtoul(next_value(), nullptr, 0);
+        } else if (arg == "--steps") {
+            max_steps = std::strtoull(next_value(), nullptr, 0);
+        } else if (arg == "--start") {
+            start_label = next_value();
+        } else if (arg == "--rrm") {
+            initial_rrm = static_cast<uint32_t>(
+                std::strtoul(next_value(), nullptr, 0));
+        } else if (arg == "--trace") {
+            trace = true;
+        } else if (arg == "--dump") {
+            dump = static_cast<unsigned>(
+                std::strtoul(next_value(), nullptr, 0));
+        } else if (arg == "-h" || arg == "--help") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "rrsim: unknown option '%s'\n",
+                         arg.c_str());
+            return 64;
+        } else if (input.empty()) {
+            input = arg;
+        } else {
+            usage();
+            return 64;
+        }
+    }
+    if (input.empty()) {
+        usage();
+        return 64;
+    }
+
+    std::ifstream in(input);
+    if (!in) {
+        std::fprintf(stderr, "rrsim: cannot open '%s'\n",
+                     input.c_str());
+        return 64;
+    }
+
+    uint32_t base = 0;
+    std::vector<uint32_t> image;
+    uint32_t start_pc = 0;
+    bool have_start = false;
+
+    if (endsWith(input, ".hex")) {
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.empty())
+                continue;
+            image.push_back(static_cast<uint32_t>(
+                std::strtoul(line.c_str(), nullptr, 16)));
+        }
+    } else {
+        std::ostringstream source;
+        source << in.rdbuf();
+        const rr::assembler::Program program =
+            rr::assembler::assemble(source.str());
+        if (!program.ok()) {
+            for (const auto &error : program.errors) {
+                std::fprintf(stderr, "%s: %s\n", input.c_str(),
+                             error.str().c_str());
+            }
+            return 1;
+        }
+        base = program.base;
+        image = program.words;
+        const std::string label =
+            start_label.empty() ? "entry" : start_label;
+        const auto it = program.symbols.find(label);
+        if (it != program.symbols.end()) {
+            start_pc = it->second;
+            have_start = true;
+        } else if (!start_label.empty()) {
+            std::fprintf(stderr, "rrsim: no label '%s'\n",
+                         start_label.c_str());
+            return 64;
+        }
+    }
+
+    rr::machine::Cpu cpu(config);
+    cpu.mem().loadImage(base, image);
+    cpu.setPc(have_start ? start_pc : base);
+    cpu.setRrmImmediate(initial_rrm);
+
+    if (trace) {
+        cpu.setTraceHook([](const rr::machine::TraceEntry &entry) {
+            std::printf("%8lu  rrm=0x%02x  %6u: %s\n",
+                        static_cast<unsigned long>(entry.cycle),
+                        entry.rrm, entry.pc, entry.text.c_str());
+        });
+    }
+
+    cpu.run(max_steps);
+
+    std::printf("\ncycles: %lu  instructions: %lu  pc: %u\n",
+                static_cast<unsigned long>(cpu.cycles()),
+                static_cast<unsigned long>(
+                    cpu.instructionsRetired()),
+                cpu.pc());
+    std::printf("state: %s%s  trap: %s  psw: 0x%x  rrm: 0x%x  "
+                "faults: %lu\n",
+                cpu.halted() ? "halted" : "running",
+                cpu.instructionsRetired() >= max_steps
+                    ? " (step limit)"
+                    : "",
+                rr::machine::trapName(cpu.trap()), cpu.psw(),
+                cpu.rrm(),
+                static_cast<unsigned long>(cpu.faultCount()));
+    for (unsigned r = 0; r < dump && r < config.numRegs; ++r) {
+        std::printf("r%-3u = 0x%08x%s", r, cpu.regs().read(r),
+                    (r % 4 == 3) ? "\n" : "  ");
+    }
+    if (dump % 4 != 0)
+        std::printf("\n");
+    return cpu.trap() == rr::machine::TrapKind::None ? 0 : 3;
+}
