@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_adaptive_contexts"
+  "../bench/bench_adaptive_contexts.pdb"
+  "CMakeFiles/bench_adaptive_contexts.dir/bench_adaptive_contexts.cpp.o"
+  "CMakeFiles/bench_adaptive_contexts.dir/bench_adaptive_contexts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptive_contexts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

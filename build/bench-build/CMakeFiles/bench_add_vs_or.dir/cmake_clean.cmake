@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_add_vs_or"
+  "../bench/bench_add_vs_or.pdb"
+  "CMakeFiles/bench_add_vs_or.dir/bench_add_vs_or.cpp.o"
+  "CMakeFiles/bench_add_vs_or.dir/bench_add_vs_or.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_add_vs_or.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

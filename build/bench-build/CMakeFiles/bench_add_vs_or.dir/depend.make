@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_add_vs_or.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_combined_faults"
+  "../bench/bench_combined_faults.pdb"
+  "CMakeFiles/bench_combined_faults.dir/bench_combined_faults.cpp.o"
+  "CMakeFiles/bench_combined_faults.dir/bench_combined_faults.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_combined_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dribbling"
+  "../bench/bench_dribbling.pdb"
+  "CMakeFiles/bench_dribbling.dir/bench_dribbling.cpp.o"
+  "CMakeFiles/bench_dribbling.dir/bench_dribbling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dribbling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

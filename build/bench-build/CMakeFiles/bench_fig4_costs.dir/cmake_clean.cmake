@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_costs"
+  "../bench/bench_fig4_costs.pdb"
+  "CMakeFiles/bench_fig4_costs.dir/bench_fig4_costs.cpp.o"
+  "CMakeFiles/bench_fig4_costs.dir/bench_fig4_costs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

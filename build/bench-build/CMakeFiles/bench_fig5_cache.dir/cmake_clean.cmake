@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_cache"
+  "../bench/bench_fig5_cache.pdb"
+  "CMakeFiles/bench_fig5_cache.dir/bench_fig5_cache.cpp.o"
+  "CMakeFiles/bench_fig5_cache.dir/bench_fig5_cache.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6a_lowcost"
+  "../bench/bench_fig6a_lowcost.pdb"
+  "CMakeFiles/bench_fig6a_lowcost.dir/bench_fig6a_lowcost.cpp.o"
+  "CMakeFiles/bench_fig6a_lowcost.dir/bench_fig6a_lowcost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6a_lowcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_file_sizing"
+  "../bench/bench_file_sizing.pdb"
+  "CMakeFiles/bench_file_sizing.dir/bench_file_sizing.cpp.o"
+  "CMakeFiles/bench_file_sizing.dir/bench_file_sizing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_file_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

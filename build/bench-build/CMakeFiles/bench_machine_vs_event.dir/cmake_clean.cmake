@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_machine_vs_event"
+  "../bench/bench_machine_vs_event.pdb"
+  "CMakeFiles/bench_machine_vs_event.dir/bench_machine_vs_event.cpp.o"
+  "CMakeFiles/bench_machine_vs_event.dir/bench_machine_vs_event.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_machine_vs_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pipeline_effects"
+  "../bench/bench_pipeline_effects.pdb"
+  "CMakeFiles/bench_pipeline_effects.dir/bench_pipeline_effects.cpp.o"
+  "CMakeFiles/bench_pipeline_effects.dir/bench_pipeline_effects.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pipeline_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_software_only"
+  "../bench/bench_software_only.pdb"
+  "CMakeFiles/bench_software_only.dir/bench_software_only.cpp.o"
+  "CMakeFiles/bench_software_only.dir/bench_software_only.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_software_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

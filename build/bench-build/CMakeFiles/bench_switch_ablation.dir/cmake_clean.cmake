@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_switch_ablation"
+  "../bench/bench_switch_ablation.pdb"
+  "CMakeFiles/bench_switch_ablation.dir/bench_switch_ablation.cpp.o"
+  "CMakeFiles/bench_switch_ablation.dir/bench_switch_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_switch_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

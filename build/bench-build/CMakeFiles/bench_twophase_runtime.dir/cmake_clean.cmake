@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_twophase_runtime"
+  "../bench/bench_twophase_runtime.pdb"
+  "CMakeFiles/bench_twophase_runtime.dir/bench_twophase_runtime.cpp.o"
+  "CMakeFiles/bench_twophase_runtime.dir/bench_twophase_runtime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_twophase_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

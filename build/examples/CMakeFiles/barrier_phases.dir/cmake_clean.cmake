@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barrier_phases.dir/barrier_phases.cpp.o"
+  "CMakeFiles/barrier_phases.dir/barrier_phases.cpp.o.d"
+  "barrier_phases"
+  "barrier_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barrier_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/rr_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/rr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ext/CMakeFiles/rr_ext.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/rr_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/checker/CMakeFiles/rr_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/system/CMakeFiles/rr_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/multithread/CMakeFiles/rr_mt.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/rr_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembler/CMakeFiles/rr_assembler.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/rr_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rr_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/rr_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/register_windows.dir/register_windows.cpp.o"
+  "CMakeFiles/register_windows.dir/register_windows.cpp.o.d"
+  "register_windows"
+  "register_windows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/register_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

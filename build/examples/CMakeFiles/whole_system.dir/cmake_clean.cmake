@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whole_system.dir/whole_system.cpp.o"
+  "CMakeFiles/whole_system.dir/whole_system.cpp.o.d"
+  "whole_system"
+  "whole_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whole_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

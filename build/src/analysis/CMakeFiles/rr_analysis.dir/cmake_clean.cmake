@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_analysis.dir/efficiency_model.cc.o"
+  "CMakeFiles/rr_analysis.dir/efficiency_model.cc.o.d"
+  "librr_analysis.a"
+  "librr_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

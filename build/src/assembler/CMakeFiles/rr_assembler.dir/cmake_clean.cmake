@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_assembler.dir/assembler.cc.o"
+  "CMakeFiles/rr_assembler.dir/assembler.cc.o.d"
+  "librr_assembler.a"
+  "librr_assembler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_assembler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_base.dir/distributions.cc.o"
+  "CMakeFiles/rr_base.dir/distributions.cc.o.d"
+  "CMakeFiles/rr_base.dir/logging.cc.o"
+  "CMakeFiles/rr_base.dir/logging.cc.o.d"
+  "CMakeFiles/rr_base.dir/rng.cc.o"
+  "CMakeFiles/rr_base.dir/rng.cc.o.d"
+  "CMakeFiles/rr_base.dir/stats.cc.o"
+  "CMakeFiles/rr_base.dir/stats.cc.o.d"
+  "CMakeFiles/rr_base.dir/table.cc.o"
+  "CMakeFiles/rr_base.dir/table.cc.o.d"
+  "librr_base.a"
+  "librr_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/checker/boundary_checker.cc" "src/checker/CMakeFiles/rr_checker.dir/boundary_checker.cc.o" "gcc" "src/checker/CMakeFiles/rr_checker.dir/boundary_checker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/assembler/CMakeFiles/rr_assembler.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rr_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/rr_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_checker.dir/boundary_checker.cc.o"
+  "CMakeFiles/rr_checker.dir/boundary_checker.cc.o.d"
+  "librr_checker.a"
+  "librr_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_exp.dir/env.cc.o"
+  "CMakeFiles/rr_exp.dir/env.cc.o.d"
+  "CMakeFiles/rr_exp.dir/sweep.cc.o"
+  "CMakeFiles/rr_exp.dir/sweep.cc.o.d"
+  "librr_exp.a"
+  "librr_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

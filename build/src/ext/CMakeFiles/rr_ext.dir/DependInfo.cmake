@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ext/adaptive.cc" "src/ext/CMakeFiles/rr_ext.dir/adaptive.cc.o" "gcc" "src/ext/CMakeFiles/rr_ext.dir/adaptive.cc.o.d"
+  "/root/repo/src/ext/context_cache.cc" "src/ext/CMakeFiles/rr_ext.dir/context_cache.cc.o" "gcc" "src/ext/CMakeFiles/rr_ext.dir/context_cache.cc.o.d"
+  "/root/repo/src/ext/multi_rrm.cc" "src/ext/CMakeFiles/rr_ext.dir/multi_rrm.cc.o" "gcc" "src/ext/CMakeFiles/rr_ext.dir/multi_rrm.cc.o.d"
+  "/root/repo/src/ext/software_only.cc" "src/ext/CMakeFiles/rr_ext.dir/software_only.cc.o" "gcc" "src/ext/CMakeFiles/rr_ext.dir/software_only.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/multithread/CMakeFiles/rr_mt.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/rr_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/rr_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/rr_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembler/CMakeFiles/rr_assembler.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rr_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

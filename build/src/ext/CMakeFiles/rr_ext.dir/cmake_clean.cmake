@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_ext.dir/adaptive.cc.o"
+  "CMakeFiles/rr_ext.dir/adaptive.cc.o.d"
+  "CMakeFiles/rr_ext.dir/context_cache.cc.o"
+  "CMakeFiles/rr_ext.dir/context_cache.cc.o.d"
+  "CMakeFiles/rr_ext.dir/multi_rrm.cc.o"
+  "CMakeFiles/rr_ext.dir/multi_rrm.cc.o.d"
+  "CMakeFiles/rr_ext.dir/software_only.cc.o"
+  "CMakeFiles/rr_ext.dir/software_only.cc.o.d"
+  "librr_ext.a"
+  "librr_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_isa.dir/disasm.cc.o"
+  "CMakeFiles/rr_isa.dir/disasm.cc.o.d"
+  "CMakeFiles/rr_isa.dir/encoding.cc.o"
+  "CMakeFiles/rr_isa.dir/encoding.cc.o.d"
+  "CMakeFiles/rr_isa.dir/opcodes.cc.o"
+  "CMakeFiles/rr_isa.dir/opcodes.cc.o.d"
+  "librr_isa.a"
+  "librr_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/machine_mt_kernel.cc" "src/kernel/CMakeFiles/rr_kernel.dir/machine_mt_kernel.cc.o" "gcc" "src/kernel/CMakeFiles/rr_kernel.dir/machine_mt_kernel.cc.o.d"
+  "/root/repo/src/kernel/rotation_kernel.cc" "src/kernel/CMakeFiles/rr_kernel.dir/rotation_kernel.cc.o" "gcc" "src/kernel/CMakeFiles/rr_kernel.dir/rotation_kernel.cc.o.d"
+  "/root/repo/src/kernel/twophase_kernel.cc" "src/kernel/CMakeFiles/rr_kernel.dir/twophase_kernel.cc.o" "gcc" "src/kernel/CMakeFiles/rr_kernel.dir/twophase_kernel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/rr_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/rr_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/rr_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembler/CMakeFiles/rr_assembler.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rr_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

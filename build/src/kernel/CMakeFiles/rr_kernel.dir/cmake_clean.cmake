@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_kernel.dir/machine_mt_kernel.cc.o"
+  "CMakeFiles/rr_kernel.dir/machine_mt_kernel.cc.o.d"
+  "CMakeFiles/rr_kernel.dir/rotation_kernel.cc.o"
+  "CMakeFiles/rr_kernel.dir/rotation_kernel.cc.o.d"
+  "CMakeFiles/rr_kernel.dir/twophase_kernel.cc.o"
+  "CMakeFiles/rr_kernel.dir/twophase_kernel.cc.o.d"
+  "librr_kernel.a"
+  "librr_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/cpu.cc" "src/machine/CMakeFiles/rr_machine.dir/cpu.cc.o" "gcc" "src/machine/CMakeFiles/rr_machine.dir/cpu.cc.o.d"
+  "/root/repo/src/machine/memory.cc" "src/machine/CMakeFiles/rr_machine.dir/memory.cc.o" "gcc" "src/machine/CMakeFiles/rr_machine.dir/memory.cc.o.d"
+  "/root/repo/src/machine/pipeline_timing.cc" "src/machine/CMakeFiles/rr_machine.dir/pipeline_timing.cc.o" "gcc" "src/machine/CMakeFiles/rr_machine.dir/pipeline_timing.cc.o.d"
+  "/root/repo/src/machine/register_file.cc" "src/machine/CMakeFiles/rr_machine.dir/register_file.cc.o" "gcc" "src/machine/CMakeFiles/rr_machine.dir/register_file.cc.o.d"
+  "/root/repo/src/machine/relocation_unit.cc" "src/machine/CMakeFiles/rr_machine.dir/relocation_unit.cc.o" "gcc" "src/machine/CMakeFiles/rr_machine.dir/relocation_unit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/rr_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/rr_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_machine.dir/cpu.cc.o"
+  "CMakeFiles/rr_machine.dir/cpu.cc.o.d"
+  "CMakeFiles/rr_machine.dir/memory.cc.o"
+  "CMakeFiles/rr_machine.dir/memory.cc.o.d"
+  "CMakeFiles/rr_machine.dir/pipeline_timing.cc.o"
+  "CMakeFiles/rr_machine.dir/pipeline_timing.cc.o.d"
+  "CMakeFiles/rr_machine.dir/register_file.cc.o"
+  "CMakeFiles/rr_machine.dir/register_file.cc.o.d"
+  "CMakeFiles/rr_machine.dir/relocation_unit.cc.o"
+  "CMakeFiles/rr_machine.dir/relocation_unit.cc.o.d"
+  "librr_machine.a"
+  "librr_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

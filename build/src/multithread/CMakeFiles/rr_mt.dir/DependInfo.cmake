@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/multithread/context_policy.cc" "src/multithread/CMakeFiles/rr_mt.dir/context_policy.cc.o" "gcc" "src/multithread/CMakeFiles/rr_mt.dir/context_policy.cc.o.d"
+  "/root/repo/src/multithread/fault_model.cc" "src/multithread/CMakeFiles/rr_mt.dir/fault_model.cc.o" "gcc" "src/multithread/CMakeFiles/rr_mt.dir/fault_model.cc.o.d"
+  "/root/repo/src/multithread/mt_processor.cc" "src/multithread/CMakeFiles/rr_mt.dir/mt_processor.cc.o" "gcc" "src/multithread/CMakeFiles/rr_mt.dir/mt_processor.cc.o.d"
+  "/root/repo/src/multithread/stats_report.cc" "src/multithread/CMakeFiles/rr_mt.dir/stats_report.cc.o" "gcc" "src/multithread/CMakeFiles/rr_mt.dir/stats_report.cc.o.d"
+  "/root/repo/src/multithread/workload.cc" "src/multithread/CMakeFiles/rr_mt.dir/workload.cc.o" "gcc" "src/multithread/CMakeFiles/rr_mt.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/rr_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/rr_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/rr_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembler/CMakeFiles/rr_assembler.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rr_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

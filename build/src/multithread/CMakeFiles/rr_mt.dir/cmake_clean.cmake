@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_mt.dir/context_policy.cc.o"
+  "CMakeFiles/rr_mt.dir/context_policy.cc.o.d"
+  "CMakeFiles/rr_mt.dir/fault_model.cc.o"
+  "CMakeFiles/rr_mt.dir/fault_model.cc.o.d"
+  "CMakeFiles/rr_mt.dir/mt_processor.cc.o"
+  "CMakeFiles/rr_mt.dir/mt_processor.cc.o.d"
+  "CMakeFiles/rr_mt.dir/stats_report.cc.o"
+  "CMakeFiles/rr_mt.dir/stats_report.cc.o.d"
+  "CMakeFiles/rr_mt.dir/workload.cc.o"
+  "CMakeFiles/rr_mt.dir/workload.cc.o.d"
+  "librr_mt.a"
+  "librr_mt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_mt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/asm_routines.cc" "src/runtime/CMakeFiles/rr_runtime.dir/asm_routines.cc.o" "gcc" "src/runtime/CMakeFiles/rr_runtime.dir/asm_routines.cc.o.d"
+  "/root/repo/src/runtime/context_allocator.cc" "src/runtime/CMakeFiles/rr_runtime.dir/context_allocator.cc.o" "gcc" "src/runtime/CMakeFiles/rr_runtime.dir/context_allocator.cc.o.d"
+  "/root/repo/src/runtime/context_loader.cc" "src/runtime/CMakeFiles/rr_runtime.dir/context_loader.cc.o" "gcc" "src/runtime/CMakeFiles/rr_runtime.dir/context_loader.cc.o.d"
+  "/root/repo/src/runtime/context_ring.cc" "src/runtime/CMakeFiles/rr_runtime.dir/context_ring.cc.o" "gcc" "src/runtime/CMakeFiles/rr_runtime.dir/context_ring.cc.o.d"
+  "/root/repo/src/runtime/cost_model.cc" "src/runtime/CMakeFiles/rr_runtime.dir/cost_model.cc.o" "gcc" "src/runtime/CMakeFiles/rr_runtime.dir/cost_model.cc.o.d"
+  "/root/repo/src/runtime/interval_allocator.cc" "src/runtime/CMakeFiles/rr_runtime.dir/interval_allocator.cc.o" "gcc" "src/runtime/CMakeFiles/rr_runtime.dir/interval_allocator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/rr_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembler/CMakeFiles/rr_assembler.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/rr_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rr_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

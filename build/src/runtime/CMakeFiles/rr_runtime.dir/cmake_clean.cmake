@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_runtime.dir/asm_routines.cc.o"
+  "CMakeFiles/rr_runtime.dir/asm_routines.cc.o.d"
+  "CMakeFiles/rr_runtime.dir/context_allocator.cc.o"
+  "CMakeFiles/rr_runtime.dir/context_allocator.cc.o.d"
+  "CMakeFiles/rr_runtime.dir/context_loader.cc.o"
+  "CMakeFiles/rr_runtime.dir/context_loader.cc.o.d"
+  "CMakeFiles/rr_runtime.dir/context_ring.cc.o"
+  "CMakeFiles/rr_runtime.dir/context_ring.cc.o.d"
+  "CMakeFiles/rr_runtime.dir/cost_model.cc.o"
+  "CMakeFiles/rr_runtime.dir/cost_model.cc.o.d"
+  "CMakeFiles/rr_runtime.dir/interval_allocator.cc.o"
+  "CMakeFiles/rr_runtime.dir/interval_allocator.cc.o.d"
+  "librr_runtime.a"
+  "librr_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_system.dir/multiprocessor.cc.o"
+  "CMakeFiles/rr_system.dir/multiprocessor.cc.o.d"
+  "librr_system.a"
+  "librr_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

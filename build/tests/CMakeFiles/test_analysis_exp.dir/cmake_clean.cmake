@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_exp.dir/test_analysis_exp.cc.o"
+  "CMakeFiles/test_analysis_exp.dir/test_analysis_exp.cc.o.d"
+  "test_analysis_exp"
+  "test_analysis_exp.pdb"
+  "test_analysis_exp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_boundary_checker.dir/test_boundary_checker.cc.o"
+  "CMakeFiles/test_boundary_checker.dir/test_boundary_checker.cc.o.d"
+  "test_boundary_checker"
+  "test_boundary_checker.pdb"
+  "test_boundary_checker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_boundary_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_context_allocator.dir/test_context_allocator.cc.o"
+  "CMakeFiles/test_context_allocator.dir/test_context_allocator.cc.o.d"
+  "test_context_allocator"
+  "test_context_allocator.pdb"
+  "test_context_allocator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_context_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

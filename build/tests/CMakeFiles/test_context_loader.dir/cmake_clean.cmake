@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_context_loader.dir/test_context_loader.cc.o"
+  "CMakeFiles/test_context_loader.dir/test_context_loader.cc.o.d"
+  "test_context_loader"
+  "test_context_loader.pdb"
+  "test_context_loader[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_context_loader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_context_ring.dir/test_context_ring.cc.o"
+  "CMakeFiles/test_context_ring.dir/test_context_ring.cc.o.d"
+  "test_context_ring"
+  "test_context_ring.pdb"
+  "test_context_ring[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_context_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cost_model_workload.dir/test_cost_model_workload.cc.o"
+  "CMakeFiles/test_cost_model_workload.dir/test_cost_model_workload.cc.o.d"
+  "test_cost_model_workload"
+  "test_cost_model_workload.pdb"
+  "test_cost_model_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cost_model_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

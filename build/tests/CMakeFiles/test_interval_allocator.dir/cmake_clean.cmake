@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interval_allocator.dir/test_interval_allocator.cc.o"
+  "CMakeFiles/test_interval_allocator.dir/test_interval_allocator.cc.o.d"
+  "test_interval_allocator"
+  "test_interval_allocator.pdb"
+  "test_interval_allocator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interval_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mt_invariants.dir/test_mt_invariants.cc.o"
+  "CMakeFiles/test_mt_invariants.dir/test_mt_invariants.cc.o.d"
+  "test_mt_invariants"
+  "test_mt_invariants.pdb"
+  "test_mt_invariants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mt_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

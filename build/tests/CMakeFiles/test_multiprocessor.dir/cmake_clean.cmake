@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiprocessor.dir/test_multiprocessor.cc.o"
+  "CMakeFiles/test_multiprocessor.dir/test_multiprocessor.cc.o.d"
+  "test_multiprocessor"
+  "test_multiprocessor.pdb"
+  "test_multiprocessor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiprocessor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_relocation_unit.dir/test_relocation_unit.cc.o"
+  "CMakeFiles/test_relocation_unit.dir/test_relocation_unit.cc.o.d"
+  "test_relocation_unit"
+  "test_relocation_unit.pdb"
+  "test_relocation_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_relocation_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

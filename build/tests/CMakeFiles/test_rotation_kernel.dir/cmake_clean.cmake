@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rotation_kernel.dir/test_rotation_kernel.cc.o"
+  "CMakeFiles/test_rotation_kernel.dir/test_rotation_kernel.cc.o.d"
+  "test_rotation_kernel"
+  "test_rotation_kernel.pdb"
+  "test_rotation_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rotation_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

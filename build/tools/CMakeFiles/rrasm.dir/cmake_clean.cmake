@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrasm.dir/rrasm.cc.o"
+  "CMakeFiles/rrasm.dir/rrasm.cc.o.d"
+  "rrasm"
+  "rrasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

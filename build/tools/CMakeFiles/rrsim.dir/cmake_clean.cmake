@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrsim.dir/rrsim.cc.o"
+  "CMakeFiles/rrsim.dir/rrsim.cc.o.d"
+  "rrsim"
+  "rrsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rrsim.
+# This may be replaced when dependencies are built.
