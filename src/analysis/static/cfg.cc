@@ -1,0 +1,228 @@
+#include "analysis/static/cfg.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace rr::lint {
+
+using isa::Instruction;
+using isa::Opcode;
+
+Transfer
+transferKind(const Instruction &inst)
+{
+    switch (inst.op) {
+      case Opcode::BEQ:
+        // The 'b' pseudo-instruction assembles to beq r0, r0: the
+        // comparison is a tautology, so treat it as an unconditional
+        // jump (no fallthrough edge).
+        if (inst.rs1 == inst.rs2)
+            return Transfer::Jump;
+        return Transfer::Branch;
+      case Opcode::BNE:
+      case Opcode::BLT:
+        if (inst.rs1 == inst.rs2)
+            return Transfer::None; // never taken
+        return Transfer::Branch;
+      case Opcode::BGE:
+        if (inst.rs1 == inst.rs2)
+            return Transfer::Jump; // always taken
+        return Transfer::Branch;
+      case Opcode::JAL:
+        return Transfer::Jump;
+      case Opcode::JALR:
+      case Opcode::JMP:
+        return Transfer::Indirect;
+      case Opcode::HALT:
+        return Transfer::Halt;
+      default:
+        return Transfer::None;
+    }
+}
+
+bool
+isControlTransfer(const Instruction &inst)
+{
+    return transferKind(inst) != Transfer::None;
+}
+
+Cfg::Cfg(const assembler::Program &program)
+    : program_(program)
+{
+    decodeAll();
+    std::vector<bool> leader(instructions_.size(), false);
+    findLeaders(leader);
+    buildBlocks(leader);
+    linkEdges();
+
+    // Resolve the entry block.
+    uint32_t entry_addr = program_.base;
+    const auto it = program_.symbols.find("entry");
+    if (it != program_.symbols.end())
+        entry_addr = it->second;
+    if (contains(entry_addr))
+        entry_ = blockAt(entry_addr);
+}
+
+const CfgInstruction &
+Cfg::at(uint32_t addr) const
+{
+    rr_assert(contains(addr), "address ", addr, " outside image");
+    return instructions_[addr - program_.base];
+}
+
+uint32_t
+Cfg::blockAt(uint32_t addr) const
+{
+    if (!contains(addr))
+        return noBlock;
+    return blockIndex_[addr - program_.base];
+}
+
+std::vector<uint32_t>
+Cfg::roots() const
+{
+    std::vector<uint32_t> out;
+    if (entry_ != noBlock)
+        out.push_back(entry_);
+    for (const BasicBlock &block : blocks_) {
+        if (block.preds.empty() && block.id != entry_)
+            out.push_back(block.id);
+    }
+    return out;
+}
+
+bool
+Cfg::directTarget(const CfgInstruction &ci, uint32_t &target) const
+{
+    if (!ci.valid)
+        return false;
+    const Transfer kind = transferKind(ci.inst);
+    if (kind != Transfer::Branch && kind != Transfer::Jump)
+        return false;
+    // Branch and JAL offsets are relative to the instruction's own
+    // address (the assembler emits target - cursor; the CPU computes
+    // pc + imm).
+    target = ci.address + static_cast<uint32_t>(ci.inst.imm);
+    return true;
+}
+
+void
+Cfg::decodeAll()
+{
+    instructions_.resize(program_.words.size());
+    for (size_t i = 0; i < program_.words.size(); ++i) {
+        CfgInstruction &ci = instructions_[i];
+        ci.address = program_.base + static_cast<uint32_t>(i);
+        ci.line = program_.lineAt(ci.address);
+        ci.word = program_.words[i];
+        ci.valid = isa::decode(ci.word, ci.inst);
+    }
+}
+
+void
+Cfg::findLeaders(std::vector<bool> &leader) const
+{
+    if (instructions_.empty())
+        return;
+    leader[0] = true;
+
+    for (const auto &[name, addr] : program_.symbols) {
+        if (contains(addr))
+            leader[addr - program_.base] = true;
+    }
+
+    for (size_t i = 0; i < instructions_.size(); ++i) {
+        const CfgInstruction &ci = instructions_[i];
+        if (!ci.valid) {
+            // Data terminates a block; the next word (if code) starts
+            // a new one.
+            if (i + 1 < instructions_.size())
+                leader[i + 1] = true;
+            continue;
+        }
+        if (!isControlTransfer(ci.inst))
+            continue;
+        if (i + 1 < instructions_.size())
+            leader[i + 1] = true;
+        uint32_t target;
+        if (directTarget(ci, target) && contains(target))
+            leader[target - program_.base] = true;
+    }
+}
+
+void
+Cfg::buildBlocks(const std::vector<bool> &leader)
+{
+    blockIndex_.assign(instructions_.size(), noBlock);
+
+    size_t i = 0;
+    while (i < instructions_.size()) {
+        if (!instructions_[i].valid) {
+            ++i; // data word: belongs to no block
+            continue;
+        }
+        BasicBlock block;
+        block.id = static_cast<uint32_t>(blocks_.size());
+        block.begin = instructions_[i].address;
+        size_t j = i;
+        while (j < instructions_.size() && instructions_[j].valid) {
+            blockIndex_[j] = block.id;
+            const bool ends = isControlTransfer(instructions_[j].inst);
+            ++j;
+            if (ends || (j < instructions_.size() && leader[j]))
+                break;
+        }
+        block.end = program_.base + static_cast<uint32_t>(j);
+        blocks_.push_back(block);
+        i = j;
+    }
+}
+
+void
+Cfg::linkEdges()
+{
+    auto link = [&](uint32_t from, uint32_t to) {
+        blocks_[from].succs.push_back(to);
+        blocks_[to].preds.push_back(from);
+    };
+
+    for (BasicBlock &block : blocks_) {
+        const CfgInstruction &last = at(block.end - 1);
+        const Transfer kind =
+            last.valid ? transferKind(last.inst) : Transfer::None;
+
+        if (kind == Transfer::Indirect) {
+            block.indirectExit = true;
+            continue; // unknown targets: no edges
+        }
+        if (kind == Transfer::Halt)
+            continue;
+
+        uint32_t target;
+        if ((kind == Transfer::Branch || kind == Transfer::Jump) &&
+            directTarget(last, target)) {
+            const uint32_t tb = blockAt(target);
+            if (tb != noBlock)
+                link(block.id, tb);
+        }
+        if (kind == Transfer::None || kind == Transfer::Branch) {
+            const uint32_t fb = blockAt(block.end);
+            if (fb != noBlock)
+                link(block.id, fb);
+        }
+    }
+
+    // Dedup edges (a branch whose target is also the fallthrough).
+    for (BasicBlock &block : blocks_) {
+        auto dedup = [](std::vector<uint32_t> &v) {
+            std::sort(v.begin(), v.end());
+            v.erase(std::unique(v.begin(), v.end()), v.end());
+        };
+        dedup(block.succs);
+        dedup(block.preds);
+    }
+}
+
+} // namespace rr::lint

@@ -1,0 +1,489 @@
+#include "analysis/static/lint.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "base/bitops.hh"
+#include "base/logging.hh"
+
+namespace rr::lint {
+
+using isa::Instruction;
+using isa::Opcode;
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Error:
+        return "error";
+      case Severity::Warning:
+        return "warning";
+      case Severity::Note:
+        return "note";
+    }
+    return "?";
+}
+
+std::string
+Finding::str() const
+{
+    std::ostringstream os;
+    if (line > 0)
+        os << "line " << line << ": ";
+    os << severityName(severity) << ": [" << code << "] " << message
+       << " (addr " << address << ")";
+    return os.str();
+}
+
+namespace {
+
+/** Offset bits of @p reg under the bank-select interpretation. */
+unsigned
+bankOffset(unsigned reg, const LintOptions &options)
+{
+    if (options.banks <= 1)
+        return reg;
+    const unsigned bank_bits = log2Ceil(options.banks);
+    const unsigned offset_bits = options.operandWidth - bank_bits;
+    return reg & static_cast<unsigned>(lowMask(offset_bits));
+}
+
+/** @return true when @p reg addresses a non-default RRM bank. */
+bool
+selectsOtherBank(unsigned reg, const LintOptions &options)
+{
+    if (options.banks <= 1)
+        return false;
+    const unsigned bank_bits = log2Ceil(options.banks);
+    return (reg >> (options.operandWidth - bank_bits)) != 0;
+}
+
+/** Register operands of @p inst with their slot names. */
+struct Operand
+{
+    const char *slot;
+    unsigned reg;
+    bool isWrite;
+};
+
+std::vector<Operand>
+operandsOf(const Instruction &inst)
+{
+    std::vector<Operand> out;
+    const isa::FormatInfo info = isa::formatInfo(isa::formatOf(inst.op));
+    if (info.hasRd) {
+        // ST's slot A is read, not written (mirrors the CPU).
+        out.push_back({"rd", inst.rd, inst.op != Opcode::ST});
+    }
+    if (info.hasRs1)
+        out.push_back({"rs1", inst.rs1, false});
+    if (info.hasRs2)
+        out.push_back({"rs2", inst.rs2, false});
+    return out;
+}
+
+class Linter
+{
+  public:
+    Linter(const assembler::Program &program,
+           const LintOptions &options)
+        : program_(program), options_(options)
+    {
+    }
+
+    LintResult run();
+
+  private:
+    void add(const std::string &code, Severity severity,
+             uint32_t address, const std::string &message)
+    {
+        Finding f;
+        f.code = code;
+        f.severity = severity;
+        f.address = address;
+        f.line = program_.lineAt(address);
+        f.message = message;
+        result_.findings.push_back(std::move(f));
+    }
+
+    void flatCheck();
+    void flowChecks(const Cfg &cfg, const RrmAnalysis &rrm,
+                    const Liveness &liveness);
+    void buildThreadReports(const Cfg &cfg, const RrmAnalysis &rrm,
+                            const Liveness &liveness);
+    void crossContextChecks(const Cfg &cfg, const RrmAnalysis &rrm);
+
+    const assembler::Program &program_;
+    const LintOptions &options_;
+    LintResult result_;
+};
+
+void
+Linter::flatCheck()
+{
+    for (size_t i = 0; i < program_.words.size(); ++i) {
+        const uint32_t addr =
+            program_.base + static_cast<uint32_t>(i);
+        Instruction inst;
+        if (!isa::decode(program_.words[i], inst)) {
+            if (options_.flagInvalidWords) {
+                add("invalid-word", Severity::Error, addr,
+                    "word does not decode to any instruction");
+            }
+            continue;
+        }
+        if (options_.declaredContext == 0)
+            continue;
+        for (const Operand &op : operandsOf(inst)) {
+            const unsigned offset = bankOffset(op.reg, options_);
+            if (offset < options_.declaredContext)
+                continue;
+            std::ostringstream os;
+            os << isa::disassemble(inst) << ": " << op.slot << " r"
+               << op.reg << " outside declared context of "
+               << options_.declaredContext << " registers";
+            add("boundary", Severity::Error, addr, os.str());
+        }
+    }
+}
+
+void
+Linter::flowChecks(const Cfg &cfg, const RrmAnalysis &rrm,
+                   const Liveness &liveness)
+{
+    (void)liveness;
+
+    // Delay-slot hazards found by the abstract interpreter.
+    for (const RrmHazard &hazard : rrm.hazards()) {
+        switch (hazard.kind) {
+          case RrmHazard::ControlInDelay:
+            add("delay-slot-control", Severity::Error, hazard.address,
+                "control transfer inside an LDRRM delay window: the "
+                "new mask takes effect at the transfer target");
+            break;
+          case RrmHazard::LdrrmInDelay:
+            add("ldrrm-in-delay-slot", Severity::Error, hazard.address,
+                "LDRRM issued while a previous LDRRM is still in its "
+                "delay slots");
+            break;
+        }
+    }
+
+    // Flow-sensitive boundary check: under OR relocation, an operand
+    // sharing bits with the known mask escapes its context window.
+    if (options_.mode != RelocMode::Or)
+        return;
+    for (const CfgInstruction &ci : cfg.instructions()) {
+        if (!ci.valid)
+            continue;
+        const AbsVal mask = rrm.rrmBefore(ci.address);
+        if (!mask.isConst() || mask.value == 0)
+            continue;
+        for (const Operand &op : operandsOf(ci.inst)) {
+            if (selectsOtherBank(op.reg, options_))
+                continue;
+            const unsigned offset = bankOffset(op.reg, options_);
+            if ((mask.value & offset) == 0)
+                continue;
+            std::ostringstream os;
+            os << isa::disassemble(ci.inst) << ": " << op.slot << " r"
+               << op.reg << " overlaps RRM 0x" << std::hex
+               << mask.value << std::dec
+               << " — the access escapes its context window (max "
+               << (1u << findFirstSet(mask.value))
+               << " registers here)";
+            add("rrm-overlap", Severity::Error, ci.address, os.str());
+        }
+    }
+}
+
+void
+Linter::buildThreadReports(const Cfg &cfg, const RrmAnalysis &rrm,
+                           const Liveness &liveness)
+{
+    std::map<uint32_t, ThreadReport> reports;
+    for (const uint32_t window : rrm.observedWindows()) {
+        ThreadReport report;
+        report.rrm = window;
+        reports.emplace(window, report);
+    }
+
+    // Footprints: registers referenced while the window is active.
+    for (const CfgInstruction &ci : cfg.instructions()) {
+        if (!ci.valid)
+            continue;
+        const AbsVal mask = rrm.rrmBefore(ci.address);
+        if (!mask.isConst())
+            continue;
+        ThreadReport &report = reports[mask.value];
+        for (const Operand &op : operandsOf(ci.inst)) {
+            if (selectsOtherBank(op.reg, options_))
+                continue;
+            report.footprint |= uint64_t{1}
+                                << (bankOffset(op.reg, options_) & 63);
+        }
+    }
+
+    // Entry requirements: the liveness barrier recorded the live set
+    // at every LDRRM effect point; attribute it to the window that
+    // takes effect there. The program entry belongs to the initial
+    // window.
+    for (const auto &[addr, live] : liveness.windowEntryLive()) {
+        const AbsVal mask = rrm.rrmBefore(addr);
+        if (mask.isConst())
+            reports[mask.value].liveIn |= live;
+    }
+    if (cfg.entryBlock() != Cfg::noBlock) {
+        const AbsVal entry_mask =
+            rrm.rrmBefore(cfg.blocks()[cfg.entryBlock()].begin);
+        if (entry_mask.isConst()) {
+            reports[entry_mask.value].liveIn |=
+                liveness.liveIn(cfg.entryBlock());
+        }
+    }
+
+    for (auto &[window, report] : reports) {
+        if (report.footprint != 0) {
+            const unsigned max_reg =
+                63 - static_cast<unsigned>(
+                         std::countl_zero(report.footprint));
+            report.registers = max_reg + 1;
+        }
+        report.minContext = static_cast<unsigned>(
+            roundUpPowerOfTwo(std::max(1u, report.registers)));
+        result_.threads.push_back(report);
+    }
+}
+
+void
+Linter::crossContextChecks(const Cfg &cfg, const RrmAnalysis &rrm)
+{
+    if (options_.mode == RelocMode::Mux)
+        return; // Mux hardware bounds-checks; nothing can escape.
+
+    // Physical span of every window, from the thread reports.
+    struct Span
+    {
+        uint32_t rrm;
+        uint32_t begin;
+        uint32_t end;
+        uint64_t liveIn;
+    };
+    std::vector<Span> spans;
+    for (const ThreadReport &report : result_.threads) {
+        if (report.registers == 0)
+            continue;
+        uint32_t begin;
+        if (!rrm.relocate(report.rrm, 0, begin))
+            continue;
+        spans.push_back({report.rrm, begin, begin + report.registers,
+                         report.liveIn});
+    }
+
+    for (const CfgInstruction &ci : cfg.instructions()) {
+        if (!ci.valid)
+            continue;
+        const AbsVal mask = rrm.rrmBefore(ci.address);
+        if (!mask.isConst())
+            continue;
+        for (const Operand &op : operandsOf(ci.inst)) {
+            if (!op.isWrite || selectsOtherBank(op.reg, options_))
+                continue;
+            uint32_t physical;
+            if (!rrm.relocate(mask.value,
+                              bankOffset(op.reg, options_), physical)) {
+                continue;
+            }
+            for (const Span &span : spans) {
+                if (span.rrm == mask.value)
+                    continue;
+                if (physical < span.begin || physical >= span.end)
+                    continue;
+                const unsigned other_reg = physical - span.begin;
+                if ((span.liveIn & (uint64_t{1} << other_reg)) == 0)
+                    continue;
+                std::ostringstream os;
+                os << isa::disassemble(ci.inst) << ": write to r"
+                   << unsigned{op.reg} << " under RRM 0x" << std::hex
+                   << mask.value << " hits physical register 0x"
+                   << physical << " = r" << std::dec << other_reg
+                   << " of context window 0x" << std::hex << span.rrm
+                   << std::dec << ", which is live when that context "
+                   << "is entered";
+                add("cross-context-write", Severity::Warning,
+                    ci.address, os.str());
+            }
+        }
+    }
+}
+
+LintResult
+Linter::run()
+{
+    flatCheck();
+
+    if (options_.flowSensitive && !program_.words.empty()) {
+        Cfg cfg(program_);
+
+        LivenessOptions live_options;
+        live_options.delaySlots = options_.delaySlots;
+        Liveness liveness(cfg, live_options);
+
+        RrmOptions rrm_options;
+        rrm_options.delaySlots = options_.delaySlots;
+        rrm_options.initialRrm = options_.initialRrm;
+        rrm_options.mode = options_.mode;
+        rrm_options.banks = options_.banks;
+        rrm_options.operandWidth = options_.operandWidth;
+        rrm_options.muxContextSize = options_.declaredContext;
+        RrmAnalysis rrm(cfg, rrm_options);
+
+        flowChecks(cfg, rrm, liveness);
+        buildThreadReports(cfg, rrm, liveness);
+        crossContextChecks(cfg, rrm);
+    }
+
+    std::sort(result_.findings.begin(), result_.findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.address != b.address)
+                      return a.address < b.address;
+                  return a.code < b.code;
+              });
+    for (const Finding &f : result_.findings) {
+        if (f.severity == Severity::Error)
+            ++result_.errors;
+        else if (f.severity == Severity::Warning)
+            ++result_.warnings;
+    }
+    return std::move(result_);
+}
+
+/** Registers in @p mask rendered as "r0 r1 r5" (or "none"). */
+std::string
+regList(uint64_t mask)
+{
+    if (mask == 0)
+        return "none";
+    std::ostringstream os;
+    bool first = true;
+    for (unsigned r = 0; r < 64; ++r) {
+        if ((mask >> r) & 1) {
+            os << (first ? "" : " ") << "r" << r;
+            first = false;
+        }
+    }
+    return os.str();
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+                out += buffer;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+LintResult
+lintProgram(const assembler::Program &program,
+            const LintOptions &options)
+{
+    rr_assert(options.operandWidth >= 1 && options.operandWidth <= 6,
+              "operand width must be in [1, 6]");
+    Linter linter(program, options);
+    return linter.run();
+}
+
+std::string
+renderText(const LintResult &result, const std::string &filename)
+{
+    std::ostringstream os;
+    for (const Finding &finding : result.findings)
+        os << filename << ": " << finding.str() << "\n";
+    for (const ThreadReport &report : result.threads) {
+        os << filename << ": context window 0x" << std::hex
+           << report.rrm << std::dec << ": " << report.registers
+           << " register(s) referenced, minimal context "
+           << report.minContext << ", live-in "
+           << regList(report.liveIn) << "\n";
+    }
+    os << filename << ": " << result.errors << " error(s), "
+       << result.warnings << " warning(s)\n";
+    return os.str();
+}
+
+std::string
+renderJson(const LintResult &result, const std::string &filename)
+{
+    std::ostringstream os;
+    os << "{\n  \"file\": \"" << jsonEscape(filename) << "\",\n";
+
+    os << "  \"findings\": [";
+    for (size_t i = 0; i < result.findings.size(); ++i) {
+        const Finding &f = result.findings[i];
+        os << (i ? "," : "") << "\n    {\"code\": \""
+           << jsonEscape(f.code) << "\", \"severity\": \""
+           << severityName(f.severity) << "\", \"address\": "
+           << f.address << ", \"line\": " << f.line
+           << ", \"message\": \"" << jsonEscape(f.message) << "\"}";
+    }
+    os << (result.findings.empty() ? "" : "\n  ") << "],\n";
+
+    os << "  \"threads\": [";
+    for (size_t i = 0; i < result.threads.size(); ++i) {
+        const ThreadReport &t = result.threads[i];
+        auto reg_array = [&os](uint64_t mask) {
+            os << "[";
+            bool first = true;
+            for (unsigned r = 0; r < 64; ++r) {
+                if ((mask >> r) & 1) {
+                    os << (first ? "" : ", ") << r;
+                    first = false;
+                }
+            }
+            os << "]";
+        };
+        os << (i ? "," : "") << "\n    {\"rrm\": " << t.rrm
+           << ", \"registers\": " << t.registers
+           << ", \"min_context\": " << t.minContext
+           << ", \"footprint\": ";
+        reg_array(t.footprint);
+        os << ", \"live_in\": ";
+        reg_array(t.liveIn);
+        os << "}";
+    }
+    os << (result.threads.empty() ? "" : "\n  ") << "],\n";
+
+    os << "  \"summary\": {\"errors\": " << result.errors
+       << ", \"warnings\": " << result.warnings << "}\n}\n";
+    return os.str();
+}
+
+} // namespace rr::lint

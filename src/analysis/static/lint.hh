@@ -1,0 +1,129 @@
+/**
+ * @file
+ * rrlint — CFG + dataflow static analysis of RRISC images.
+ *
+ * This is the Section 2.4 tool grown up: where the seed's
+ * `checker::checkProgram` did a flat per-instruction operand check
+ * against a hand-declared context size, this pass:
+ *
+ *  - builds a control-flow graph (cfg.hh);
+ *  - runs backward liveness with LDRRM window barriers (liveness.hh)
+ *    to find each context's entry requirements;
+ *  - runs a forward abstract interpretation of the RRM
+ *    (rrm_state.hh) so context-boundary checking is flow-sensitive:
+ *    no hand-declared regions needed;
+ *  - reports each discovered context window's *minimal viable
+ *    context size* (max register referenced, rounded to the next
+ *    power of two) — the number software needs to pick the smallest
+ *    context, which is the paper's whole performance argument.
+ *
+ * Findings:
+ *   boundary             operand >= the declared context size
+ *   invalid-word         undecodable word (only with flagInvalidWords)
+ *   rrm-overlap          operand bits collide with the known RRM: in
+ *                        OR relocation the access escapes its window
+ *   delay-slot-control   control transfer inside an LDRRM window
+ *   ldrrm-in-delay-slot  LDRRM while another LDRRM is pending
+ *   cross-context-write  write lands on a register live in another
+ *                        context window
+ */
+
+#ifndef RR_LINT_LINT_HH
+#define RR_LINT_LINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/static/cfg.hh"
+#include "analysis/static/liveness.hh"
+#include "analysis/static/rrm_state.hh"
+#include "assembler/assembler.hh"
+
+namespace rr::lint {
+
+/** Diagnostic severity. Errors and warnings fail the lint. */
+enum class Severity : uint8_t
+{
+    Error,
+    Warning,
+    Note,
+};
+
+/** @return printable severity name. */
+const char *severityName(Severity severity);
+
+/** One diagnostic. */
+struct Finding
+{
+    std::string code;    ///< stable kebab-case id (see file header)
+    Severity severity = Severity::Error;
+    uint32_t address = 0; ///< word address
+    int line = 0;         ///< 1-based source line (0 when unknown)
+    std::string message;  ///< human-readable description
+
+    /** Render as "line L: severity: [code] message (addr A)". */
+    std::string str() const;
+};
+
+/** Per-context-window report (one per discovered RRM value). */
+struct ThreadReport
+{
+    uint32_t rrm = 0;       ///< window base mask
+    uint64_t footprint = 0; ///< context-relative regs referenced
+    unsigned registers = 0; ///< max referenced register + 1
+    unsigned minContext = 1; ///< registers rounded up to a power of 2
+    uint64_t liveIn = 0;    ///< regs that must be live when entered
+};
+
+/** Lint configuration. */
+struct LintOptions
+{
+    /**
+     * Declared context size for the flat check (what `rrasm --check
+     * N` passes). 0 disables the flat check; the flow-sensitive
+     * analyses run regardless.
+     */
+    unsigned declaredContext = 0;
+
+    unsigned delaySlots = 1;   ///< LDRRM delay slots
+    uint32_t initialRrm = 0;   ///< RRM at the entry point
+    RelocMode mode = RelocMode::Or;
+    unsigned banks = 1;        ///< RRM banks (>1: Section 5.3)
+    unsigned operandWidth = 6; ///< operand field width w
+
+    /** Treat undecodable words as findings. */
+    bool flagInvalidWords = false;
+
+    /** Disable the CFG/dataflow passes (flat check only). */
+    bool flowSensitive = true;
+};
+
+/** The result of linting one program. */
+struct LintResult
+{
+    std::vector<Finding> findings;
+    std::vector<ThreadReport> threads;
+
+    unsigned errors = 0;
+    unsigned warnings = 0;
+
+    /** @return true when no error- or warning-level findings exist. */
+    bool clean() const { return errors == 0 && warnings == 0; }
+};
+
+/** Run every analysis over @p program. */
+LintResult lintProgram(const assembler::Program &program,
+                       const LintOptions &options = {});
+
+/** Render @p result as human-readable text (one finding per line). */
+std::string renderText(const LintResult &result,
+                       const std::string &filename);
+
+/** Render @p result as a JSON document. */
+std::string renderJson(const LintResult &result,
+                       const std::string &filename);
+
+} // namespace rr::lint
+
+#endif // RR_LINT_LINT_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Backward liveness over context-relative registers.
+ *
+ * The point of this analysis (per the ROADMAP and the compile-time
+ * specialization theme): a thread's *minimal viable context* is what
+ * lets software pick the smallest power-of-two context, which is the
+ * paper's whole performance argument — more resident contexts, more
+ * latency tolerance. Liveness tells the loader which registers a
+ * context must actually contain when it is entered.
+ *
+ * Register sets are 64-bit masks (the encoding has 6-bit operand
+ * fields, so at most 64 context-relative registers exist).
+ *
+ * LDRRM window barriers: after an LDRRM's delay slots elapse, every
+ * register name refers to a *different physical register* — liveness
+ * must not propagate uses from the new window back into the old one.
+ * When an LDRRM's effect point falls inside the same basic block, the
+ * backward sweep records the live set at that point (the new window's
+ * entry requirement, see Liveness::windowEntryLive) and restarts from
+ * the empty set. An effect point that crosses the end of its block is
+ * a hazard the lint pass reports separately; here it is conservatively
+ * ignored.
+ */
+
+#ifndef RR_LINT_LIVENESS_HH
+#define RR_LINT_LIVENESS_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "analysis/static/cfg.hh"
+
+namespace rr::lint {
+
+/** Register operands read / written by one instruction. */
+struct UseDef
+{
+    uint64_t uses = 0; ///< bit r set: context-relative r is read
+    uint64_t defs = 0; ///< bit r set: context-relative r is written
+};
+
+/** Compute the use/def sets of @p inst. */
+UseDef useDef(const isa::Instruction &inst);
+
+/** Options for the liveness fixpoint. */
+struct LivenessOptions
+{
+    /** LDRRM delay slots (mirrors CpuConfig::ldrrmDelaySlots). */
+    unsigned delaySlots = 1;
+
+    /**
+     * Honour LDRRM window barriers (see file header). Disable to get
+     * plain textbook liveness.
+     */
+    bool windowBarriers = true;
+};
+
+/** Backward may-liveness over a Cfg. */
+class Liveness
+{
+  public:
+    Liveness(const Cfg &cfg, const LivenessOptions &options = {});
+
+    /** Registers live on entry to block @p id. */
+    uint64_t liveIn(uint32_t block_id) const;
+
+    /** Registers live on exit from block @p id. */
+    uint64_t liveOut(uint32_t block_id) const;
+
+    /** Registers live immediately before the instruction at @p addr. */
+    uint64_t liveBefore(uint32_t addr) const;
+
+    /**
+     * Live sets recorded at LDRRM effect points (address where the
+     * new mask takes effect -> registers the new window must already
+     * hold). Together with the RRM analysis this yields per-context
+     * entry requirements.
+     */
+    const std::map<uint32_t, uint64_t> &windowEntryLive() const
+    {
+        return windowEntryLive_;
+    }
+
+  private:
+    /** Sweep one block backwards from @p live_out. */
+    uint64_t transferBlock(const BasicBlock &block, uint64_t live_out,
+                           bool record);
+
+    /** Addresses (within the block) where a new RRM takes effect. */
+    std::vector<bool> effectPoints(const BasicBlock &block) const;
+
+    const Cfg &cfg_;
+    LivenessOptions options_;
+    std::vector<uint64_t> liveIn_;
+    std::vector<uint64_t> liveOut_;
+    std::vector<uint64_t> liveBefore_; ///< indexed by addr - base
+    std::map<uint32_t, uint64_t> windowEntryLive_;
+};
+
+} // namespace rr::lint
+
+#endif // RR_LINT_LIVENESS_HH

@@ -1,0 +1,418 @@
+#include "analysis/static/rrm_state.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "base/bitops.hh"
+#include "base/logging.hh"
+
+namespace rr::lint {
+
+using isa::Instruction;
+using isa::Opcode;
+
+namespace {
+
+/** Physical registers above this are not worth tracking. */
+constexpr uint32_t physTrackLimit = 1u << 20;
+
+} // namespace
+
+AbsVal
+AbsVal::join(const AbsVal &a, const AbsVal &b)
+{
+    if (a.kind == Bottom)
+        return b;
+    if (b.kind == Bottom)
+        return a;
+    if (a.kind == Const && b.kind == Const && a.value == b.value)
+        return a;
+    return top();
+}
+
+RrmAnalysis::RrmAnalysis(const Cfg &cfg, const RrmOptions &options)
+    : cfg_(cfg), options_(options)
+{
+    const size_t num_blocks = cfg_.blocks().size();
+    inStates_.resize(num_blocks);
+    rrmBefore_.assign(cfg_.instructions().size(), AbsVal::bottom());
+
+    if (num_blocks == 0)
+        return;
+
+    // Seed: the entry runs under the configured initial mask; any
+    // other root (label- or indirect-jump-reachable code) runs under
+    // an unknown mask so that nothing escapes analysis.
+    std::deque<uint32_t> work;
+    std::vector<bool> queued(num_blocks, false);
+    for (const uint32_t root : cfg_.roots()) {
+        State seed;
+        seed.reachable = true;
+        seed.rrm = root == cfg_.entryBlock()
+                       ? AbsVal::constant(options_.initialRrm)
+                       : AbsVal::top();
+        inStates_[root] = joinStates(inStates_[root], seed);
+        if (!queued[root]) {
+            work.push_back(root);
+            queued[root] = true;
+        }
+    }
+
+    while (!work.empty()) {
+        const uint32_t id = work.front();
+        work.pop_front();
+        queued[id] = false;
+        const BasicBlock &block = cfg_.blocks()[id];
+
+        const State out = transferBlock(block, inStates_[id], false);
+        for (const uint32_t succ : block.succs) {
+            const State joined = joinStates(inStates_[succ], out);
+            if (joined == inStates_[succ])
+                continue;
+            inStates_[succ] = joined;
+            if (!queued[succ]) {
+                work.push_back(succ);
+                queued[succ] = true;
+            }
+        }
+    }
+
+    // Recording pass: per-instruction masks and hazards, once.
+    for (const BasicBlock &block : cfg_.blocks()) {
+        if (inStates_[block.id].reachable)
+            transferBlock(block, inStates_[block.id], true);
+    }
+
+    // Collect the distinct constant windows.
+    for (const AbsVal &v : rrmBefore_) {
+        if (v.isConst())
+            windows_.push_back(v.value);
+    }
+    std::sort(windows_.begin(), windows_.end());
+    windows_.erase(std::unique(windows_.begin(), windows_.end()),
+                   windows_.end());
+    std::sort(hazards_.begin(), hazards_.end(),
+              [](const RrmHazard &a, const RrmHazard &b) {
+                  return a.address < b.address;
+              });
+}
+
+const AbsVal &
+RrmAnalysis::rrmBefore(uint32_t addr) const
+{
+    rr_assert(cfg_.contains(addr), "address outside image");
+    return rrmBefore_[addr - cfg_.program().base];
+}
+
+bool
+RrmAnalysis::relocate(uint32_t rrm, unsigned reg,
+                      uint32_t &physical) const
+{
+    switch (options_.mode) {
+      case RelocMode::Or:
+        physical = rrm | reg;
+        return true;
+      case RelocMode::Add:
+        physical = rrm + reg;
+        return true;
+      case RelocMode::Mux:
+        if (options_.muxContextSize == 0)
+            return false;
+        physical =
+            (rrm & ~(options_.muxContextSize - 1)) |
+            (reg & (options_.muxContextSize - 1));
+        return true;
+    }
+    return false;
+}
+
+RrmAnalysis::State
+RrmAnalysis::joinStates(const State &a, const State &b)
+{
+    if (!a.reachable)
+        return b;
+    if (!b.reachable)
+        return a;
+
+    State out;
+    out.reachable = true;
+    out.rrm = AbsVal::join(a.rrm, b.rrm);
+
+    if (a.pending == b.pending) {
+        out.pending = a.pending;
+    } else if (a.pending.active && b.pending.active &&
+               a.pending.remaining == b.pending.remaining) {
+        out.pending.active = true;
+        out.pending.remaining = a.pending.remaining;
+        out.pending.value =
+            AbsVal::join(a.pending.value, b.pending.value);
+    } else {
+        // Delay windows out of phase between the two paths: the mask
+        // a few instructions from now is simply unknown.
+        out.pending = Pending{};
+        out.rrm = AbsVal::top();
+    }
+
+    for (const auto &[reg, value] : a.phys) {
+        const auto it = b.phys.find(reg);
+        if (it != b.phys.end() && it->second == value)
+            out.phys.emplace(reg, value);
+    }
+    return out;
+}
+
+AbsVal
+RrmAnalysis::readReg(const State &state, unsigned reg) const
+{
+    if (options_.banks > 1) {
+        // Operands selecting a non-default bank relocate through a
+        // mask this analysis does not track.
+        const unsigned bank_bits = log2Ceil(options_.banks);
+        if (reg >> (options_.operandWidth - bank_bits))
+            return AbsVal::top();
+    }
+    if (!state.rrm.isConst())
+        return AbsVal::top();
+    uint32_t physical;
+    if (!relocate(state.rrm.value, reg, physical))
+        return AbsVal::top();
+    const auto it = state.phys.find(physical);
+    return it != state.phys.end() ? AbsVal::constant(it->second)
+                                  : AbsVal::top();
+}
+
+void
+RrmAnalysis::writeReg(State &state, unsigned reg,
+                      const AbsVal &v) const
+{
+    if (!state.rrm.isConst()) {
+        // Unknown destination: anything may have been clobbered.
+        state.phys.clear();
+        return;
+    }
+    if (options_.banks > 1) {
+        const unsigned bank_bits = log2Ceil(options_.banks);
+        if (reg >> (options_.operandWidth - bank_bits)) {
+            state.phys.clear();
+            return;
+        }
+    }
+    uint32_t physical;
+    if (!relocate(state.rrm.value, reg, physical)) {
+        state.phys.clear();
+        return;
+    }
+    if (physical >= physTrackLimit)
+        return;
+    if (v.isConst())
+        state.phys[physical] = v.value;
+    else
+        state.phys.erase(physical);
+}
+
+void
+RrmAnalysis::transferInstruction(State &state,
+                                 const CfgInstruction &ci, bool record)
+{
+    // Mirror Cpu::step: a pending LDRRM advances before the
+    // instruction decodes.
+    if (state.pending.active) {
+        --state.pending.remaining;
+        if (state.pending.remaining == 0) {
+            state.rrm = state.pending.value.isConst()
+                            ? state.pending.value
+                            : AbsVal::top();
+            state.pending.active = false;
+        }
+    }
+
+    if (record) {
+        rrmBefore_[ci.address - cfg_.program().base] =
+            AbsVal::join(rrmBefore_[ci.address - cfg_.program().base],
+                         state.rrm);
+    }
+
+    const Instruction &inst = ci.inst;
+    auto r1 = [&] { return readReg(state, inst.rs1); };
+    auto r2 = [&] { return readReg(state, inst.rs2); };
+    auto wr = [&](const AbsVal &v) { writeReg(state, inst.rd, v); };
+    auto fold2 = [&](auto op) {
+        const AbsVal a = r1(), b = r2();
+        wr(a.isConst() && b.isConst()
+               ? AbsVal::constant(op(a.value, b.value))
+               : AbsVal::top());
+    };
+    auto fold_imm = [&](auto op) {
+        const AbsVal a = r1();
+        wr(a.isConst() ? AbsVal::constant(
+                             op(a.value,
+                                static_cast<uint32_t>(inst.imm)))
+                       : AbsVal::top());
+    };
+
+    switch (inst.op) {
+      case Opcode::ADD:
+        fold2([](uint32_t a, uint32_t b) { return a + b; });
+        break;
+      case Opcode::SUB:
+        fold2([](uint32_t a, uint32_t b) { return a - b; });
+        break;
+      case Opcode::AND:
+        fold2([](uint32_t a, uint32_t b) { return a & b; });
+        break;
+      case Opcode::OR:
+        fold2([](uint32_t a, uint32_t b) { return a | b; });
+        break;
+      case Opcode::XOR:
+        fold2([](uint32_t a, uint32_t b) { return a ^ b; });
+        break;
+      case Opcode::SLL:
+        fold2([](uint32_t a, uint32_t b) { return a << (b & 31); });
+        break;
+      case Opcode::SRL:
+        fold2([](uint32_t a, uint32_t b) { return a >> (b & 31); });
+        break;
+      case Opcode::SRA:
+        fold2([](uint32_t a, uint32_t b) {
+            return static_cast<uint32_t>(static_cast<int32_t>(a) >>
+                                         (b & 31));
+        });
+        break;
+      case Opcode::SLT:
+        fold2([](uint32_t a, uint32_t b) {
+            return static_cast<int32_t>(a) < static_cast<int32_t>(b)
+                       ? 1u
+                       : 0u;
+        });
+        break;
+      case Opcode::SLTU:
+        fold2([](uint32_t a, uint32_t b) { return a < b ? 1u : 0u; });
+        break;
+
+      case Opcode::ADDI:
+        fold_imm([](uint32_t a, uint32_t i) { return a + i; });
+        break;
+      case Opcode::ANDI:
+        fold_imm([](uint32_t a, uint32_t i) { return a & i; });
+        break;
+      case Opcode::ORI:
+        fold_imm([](uint32_t a, uint32_t i) { return a | i; });
+        break;
+      case Opcode::XORI:
+        fold_imm([](uint32_t a, uint32_t i) { return a ^ i; });
+        break;
+      case Opcode::SLTI:
+        fold_imm([&](uint32_t a, uint32_t) {
+            return static_cast<int32_t>(a) < inst.imm ? 1u : 0u;
+        });
+        break;
+      case Opcode::SLLI:
+        fold_imm([](uint32_t a, uint32_t i) { return a << (i & 31); });
+        break;
+      case Opcode::SRLI:
+        fold_imm([](uint32_t a, uint32_t i) { return a >> (i & 31); });
+        break;
+      case Opcode::SRAI:
+        fold_imm([](uint32_t a, uint32_t i) {
+            return static_cast<uint32_t>(static_cast<int32_t>(a) >>
+                                         (i & 31));
+        });
+        break;
+
+      case Opcode::LUI:
+        wr(AbsVal::constant(static_cast<uint32_t>(inst.imm) << 12));
+        break;
+
+      case Opcode::LD:
+        wr(AbsVal::top());
+        break;
+      case Opcode::ST:
+      case Opcode::MTPSW:
+      case Opcode::FAULT:
+      case Opcode::NOP:
+      case Opcode::HALT:
+        break;
+
+      case Opcode::JAL:
+      case Opcode::JALR:
+        // The link value is the static return address.
+        wr(AbsVal::constant(ci.address + 1));
+        break;
+      case Opcode::JMP:
+        break;
+
+      case Opcode::LDRRM:
+        if (state.pending.active && record) {
+            hazards_.push_back(
+                {RrmHazard::LdrrmInDelay, ci.address, ci.line});
+        }
+        state.pending.active = true;
+        state.pending.value = r1();
+        state.pending.remaining = options_.delaySlots + 1;
+        break;
+      case Opcode::LDRRMX:
+        if (inst.imm == 0) {
+            if (state.pending.active && record) {
+                hazards_.push_back(
+                    {RrmHazard::LdrrmInDelay, ci.address, ci.line});
+            }
+            state.pending.active = true;
+            state.pending.value = r1();
+            state.pending.remaining = options_.delaySlots + 1;
+        }
+        // Other banks are not tracked.
+        break;
+
+      case Opcode::RDRRM:
+        wr(state.rrm);
+        break;
+      case Opcode::MFPSW:
+        wr(AbsVal::top());
+        break;
+      case Opcode::FF1: {
+        const AbsVal a = r1();
+        wr(a.isConst() ? AbsVal::constant(static_cast<uint32_t>(
+                             findFirstSet(a.value)))
+                       : AbsVal::top());
+        break;
+      }
+
+      case Opcode::BEQ:
+      case Opcode::BNE:
+      case Opcode::BLT:
+      case Opcode::BGE:
+        break;
+
+      case Opcode::NumOpcodes:
+        break;
+    }
+
+    // A control transfer inside a still-pending delay window means
+    // the mask lands at the transfer target. HALT is exempt: the
+    // pending mask dies with the machine, it lands nowhere.
+    if (state.pending.active && isControlTransfer(inst) &&
+        transferKind(inst) != Transfer::Halt && record) {
+        hazards_.push_back(
+            {RrmHazard::ControlInDelay, ci.address, ci.line});
+    }
+}
+
+RrmAnalysis::State
+RrmAnalysis::transferBlock(const BasicBlock &block, State state,
+                           bool record)
+{
+    for (uint32_t addr = block.begin; addr < block.end; ++addr)
+        transferInstruction(state, cfg_.at(addr), record);
+
+    // A pending window surviving a control-transfer exit lands at an
+    // unknown point; successors see an unknown mask. (Plain
+    // fallthrough into a label keeps the pending state intact.)
+    const CfgInstruction &last = cfg_.at(block.end - 1);
+    if (state.pending.active && isControlTransfer(last.inst)) {
+        state.pending = Pending{};
+        state.rrm = AbsVal::top();
+    }
+    return state;
+}
+
+} // namespace rr::lint

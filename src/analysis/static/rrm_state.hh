@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Forward abstract interpretation of the register relocation mask.
+ *
+ * The seed's boundary checker required hand-declared `Region`s saying
+ * which context size governs which code. This analysis makes the
+ * check flow-sensitive instead: it tracks the RRM through `LDRRM`
+ * (including its delay slots) by propagating constants through the
+ * register file, so `li r10, 0x20; ldrrm r10` is understood to open
+ * the context window at physical register 0x20.
+ *
+ * Abstract domain, per program point:
+ *   - the RRM (bank 0): unreachable / known constant / unknown;
+ *   - a pending LDRRM (value + remaining delay slots), mirroring the
+ *     CPU's delay-slot state machine;
+ *   - known constants in *physical* registers. Keying by physical
+ *     register is what makes the two_threads.s idiom analysable: the
+ *     values written under one window survive a window switch.
+ *
+ * The pass also reports the paper-specific delay-slot hazards:
+ *   - a control transfer executing inside an LDRRM delay window (the
+ *     mask lands at the target, which rarely expects it);
+ *   - an LDRRM issued while another LDRRM is still pending.
+ */
+
+#ifndef RR_LINT_RRM_STATE_HH
+#define RR_LINT_RRM_STATE_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "analysis/static/cfg.hh"
+
+namespace rr::lint {
+
+/** Decode-stage combining operation (mirrors machine::RelocationMode
+ *  without dragging the machine library into the linter). */
+enum class RelocMode : uint8_t
+{
+    Or,  ///< physical = rrm | operand (the paper's mechanism)
+    Mux, ///< per-bit select; needs a declared context size
+    Add, ///< physical = rrm + operand (Am29000 comparison)
+};
+
+/** A three-point lattice value: bottom / constant / top. */
+struct AbsVal
+{
+    enum Kind : uint8_t { Bottom, Const, Top };
+
+    Kind kind = Bottom;
+    uint32_t value = 0;
+
+    static AbsVal bottom() { return {}; }
+    static AbsVal top() { return {Top, 0}; }
+    static AbsVal constant(uint32_t v) { return {Const, v}; }
+
+    bool isConst() const { return kind == Const; }
+    bool isTop() const { return kind == Top; }
+
+    bool operator==(const AbsVal &other) const
+    {
+        return kind == other.kind &&
+               (kind != Const || value == other.value);
+    }
+
+    /** Lattice join. */
+    static AbsVal join(const AbsVal &a, const AbsVal &b);
+};
+
+/** Options for the RRM abstract interpretation. */
+struct RrmOptions
+{
+    unsigned delaySlots = 1;   ///< LDRRM delay slots
+    uint32_t initialRrm = 0;   ///< RRM at the entry point
+    RelocMode mode = RelocMode::Or;
+    unsigned banks = 1;        ///< >1: top operand bits select a bank
+    unsigned operandWidth = 6; ///< operand field width w
+
+    /**
+     * Context size for Mux-mode relocation (0 = unknown: Mux reads
+     * become top). Ignored by Or/Add.
+     */
+    unsigned muxContextSize = 0;
+};
+
+/** One delay-slot hazard found during interpretation. */
+struct RrmHazard
+{
+    enum Kind : uint8_t
+    {
+        ControlInDelay, ///< control transfer inside an LDRRM window
+        LdrrmInDelay,   ///< LDRRM while another LDRRM is pending
+    };
+
+    Kind kind = ControlInDelay;
+    uint32_t address = 0;
+    int line = 0;
+};
+
+/** Forward RRM/constant analysis over a Cfg. */
+class RrmAnalysis
+{
+  public:
+    RrmAnalysis(const Cfg &cfg, const RrmOptions &options = {});
+
+    /**
+     * The RRM in effect when the instruction at @p addr decodes
+     * (delay slots accounted for). Bottom = unreachable.
+     */
+    const AbsVal &rrmBefore(uint32_t addr) const;
+
+    /** Delay-slot hazards, in address order. */
+    const std::vector<RrmHazard> &hazards() const { return hazards_; }
+
+    /**
+     * Distinct constant RRM values observed at reachable
+     * instructions, sorted ascending — the program's context
+     * windows.
+     */
+    const std::vector<uint32_t> &observedWindows() const
+    {
+        return windows_;
+    }
+
+    /**
+     * Relocate context-relative @p reg under constant mask @p rrm
+     * according to the configured mode.
+     * @return true and sets @p physical when the mapping is known.
+     */
+    bool relocate(uint32_t rrm, unsigned reg, uint32_t &physical) const;
+
+  private:
+    struct Pending
+    {
+        bool active = false;
+        AbsVal value;
+        unsigned remaining = 0;
+
+        bool operator==(const Pending &other) const
+        {
+            return active == other.active &&
+                   (!active || (value == other.value &&
+                                remaining == other.remaining));
+        }
+    };
+
+    struct State
+    {
+        bool reachable = false;
+        AbsVal rrm;
+        Pending pending;
+        std::map<uint32_t, uint32_t> phys; ///< known phys-reg consts
+
+        bool operator==(const State &other) const
+        {
+            return reachable == other.reachable &&
+                   rrm == other.rrm && pending == other.pending &&
+                   phys == other.phys;
+        }
+    };
+
+    static State joinStates(const State &a, const State &b);
+
+    /** Abstract read of context-relative @p reg under @p state. */
+    AbsVal readReg(const State &state, unsigned reg) const;
+
+    /** Abstract write of context-relative @p reg. */
+    void writeReg(State &state, unsigned reg, const AbsVal &v) const;
+
+    /** One instruction; returns hazards via hazards_ when @p record. */
+    void transferInstruction(State &state, const CfgInstruction &ci,
+                             bool record);
+
+    State transferBlock(const BasicBlock &block, State state,
+                        bool record);
+
+    const Cfg &cfg_;
+    RrmOptions options_;
+    std::vector<State> inStates_;
+    std::vector<AbsVal> rrmBefore_; ///< indexed by addr - base
+    std::vector<RrmHazard> hazards_;
+    std::vector<uint32_t> windows_;
+};
+
+} // namespace rr::lint
+
+#endif // RR_LINT_RRM_STATE_HH

@@ -29,6 +29,32 @@ Program::addressOf(const std::string &label) const
     return it->second;
 }
 
+bool
+Program::contains(uint32_t addr) const
+{
+    return addr >= base && addr - base < words.size();
+}
+
+int
+Program::lineAt(uint32_t addr) const
+{
+    if (!contains(addr))
+        return 0;
+    const size_t index = addr - base;
+    return index < lines.size() ? lines[index] : 0;
+}
+
+std::vector<std::string>
+Program::labelsAt(uint32_t addr) const
+{
+    std::vector<std::string> out;
+    for (const auto &[name, sym_addr] : symbols) {
+        if (sym_addr == addr)
+            out.push_back(name);
+    }
+    return out;
+}
+
 namespace {
 
 /** A parsed source statement: a mnemonic/directive plus operands. */

@@ -76,6 +76,18 @@ struct Program
 
     /** Address of @p label; panics when undefined. */
     uint32_t addressOf(const std::string &label) const;
+
+    /** @return true when @p addr falls inside the assembled image. */
+    bool contains(uint32_t addr) const;
+
+    /** Source line of the word at @p addr (0 when unknown/outside). */
+    int lineAt(uint32_t addr) const;
+
+    /**
+     * Labels defined at @p addr, in lexicographic order. Static
+     * analyses use this reverse lookup to name CFG entry points.
+     */
+    std::vector<std::string> labelsAt(uint32_t addr) const;
 };
 
 /**

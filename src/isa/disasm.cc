@@ -9,7 +9,12 @@ namespace {
 std::string
 reg(unsigned r)
 {
-    return "r" + std::to_string(r);
+    // Built via insert-free concatenation: the "literal + rvalue
+    // string" overload trips GCC 12's -Wrestrict false positive
+    // (GCC PR105651) under -O2.
+    std::string out = "r";
+    out += std::to_string(r);
+    return out;
 }
 
 } // namespace

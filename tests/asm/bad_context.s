@@ -1,0 +1,9 @@
+; Deliberately broken program — rrlint's negative-test fixture.
+;  - line 7: an LDRRM issued inside another LDRRM's delay slot
+;  - line 8: r17 addressed inside a declared 16-register context
+entry:
+    li    r8, 0x10
+    ldrrm r8
+    ldrrm r8            ; hazard: previous LDRRM still pending
+    add   r17, r1, r2   ; boundary: r17 needs a 32-register context
+    halt

@@ -102,6 +102,70 @@ TEST(BoundaryChecker, RegionsCheckIndependently)
     EXPECT_EQ(violations[0].limit, 8u);
 }
 
+TEST(BoundaryChecker, OverlappingRegionsCheckUnderEachLimit)
+{
+    // Regions may overlap (e.g. a shared library mapped into two
+    // threads' code ranges); an address inside two regions is checked
+    // under each declared size independently.
+    const auto p = prog("addi r10, r1, 0\n");
+    const std::vector<Region> regions = {{0, 1, 8}, {0, 1, 4}};
+    const auto violations = checkRegions(p, regions);
+    ASSERT_EQ(violations.size(), 2u);
+    EXPECT_EQ(violations[0].limit, 8u);
+    EXPECT_EQ(violations[1].limit, 4u);
+
+    // A permissive overlap does not excuse the strict one.
+    const std::vector<Region> mixed = {{0, 1, 16}, {0, 1, 8}};
+    EXPECT_EQ(checkRegions(p, mixed).size(), 1u);
+}
+
+TEST(BoundaryChecker, MultiRrmBankNonDefaultOperandWidth)
+{
+    // With w = 5 and two banks, only the low 4 bits are the offset:
+    // r21 = 0b1.0101 is bank 1, offset 5 (fine in a size-8 context);
+    // r29 = 0b1.1101 is bank 1, offset 13 (violates it).
+    CheckOptions options;
+    options.multiRrmBanks = 2;
+    options.operandWidth = 5;
+
+    EXPECT_TRUE(
+        checkProgram(prog("add r21, r1, r2\n"), 8, options).empty());
+
+    const auto violations =
+        checkProgram(prog("add r29, r1, r2\n"), 8, options);
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0].reg, 29u);
+
+    // Four banks on the full 6-bit field: r37 = 0b10.0101 is bank 2,
+    // offset 5.
+    options.multiRrmBanks = 4;
+    options.operandWidth = 6;
+    EXPECT_TRUE(
+        checkProgram(prog("add r37, r1, r2\n"), 8, options).empty());
+}
+
+TEST(BoundaryChecker, RegionsFlagInvalidWords)
+{
+    const auto p = prog("halt\n"
+                        ".word 0xffffffff\n"
+                        "halt\n");
+    CheckOptions options;
+    options.flagInvalidWords = true;
+
+    // The data word sits inside the region: flagged, carrying the
+    // region's declared size.
+    const std::vector<Region> covering = {{0, 3, 8}};
+    const auto violations = checkRegions(p, covering, options);
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0].address, 1u);
+    EXPECT_EQ(violations[0].limit, 8u);
+
+    // Outside every region, data words stay unexamined even with the
+    // flag on.
+    const std::vector<Region> around = {{0, 1, 8}, {2, 3, 8}};
+    EXPECT_TRUE(checkRegions(p, around, options).empty());
+}
+
 TEST(BoundaryChecker, RegionsOutsideImageSkipped)
 {
     const auto p = prog("halt\n");

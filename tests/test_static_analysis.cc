@@ -1,0 +1,454 @@
+/**
+ * @file
+ * Tests for the static-analysis subsystem behind rrlint: CFG
+ * construction, backward liveness with LDRRM window barriers, the
+ * forward RRM abstract interpretation, and the lint orchestration
+ * (findings, per-window reports, text/JSON rendering).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/static/cfg.hh"
+#include "analysis/static/lint.hh"
+#include "analysis/static/liveness.hh"
+#include "analysis/static/rrm_state.hh"
+#include "assembler/assembler.hh"
+
+namespace rr::lint {
+namespace {
+
+assembler::Program
+prog(const std::string &source)
+{
+    assembler::Program p = assembler::assemble(source);
+    EXPECT_TRUE(p.ok());
+    return p;
+}
+
+uint64_t
+bit(unsigned r)
+{
+    return uint64_t{1} << r;
+}
+
+// ---- CFG -----------------------------------------------------------------
+
+TEST(Cfg, SplitsAtBranchesAndTargets)
+{
+    // entry (2 words: li) | loop body ending in bne | halt
+    const auto p = prog("entry:\n"
+                        "    li   r4, 3\n"
+                        "loop:\n"
+                        "    addi r4, r4, -1\n"
+                        "    bne  r4, r5, loop\n"
+                        "    halt\n");
+    const Cfg cfg(p);
+    ASSERT_EQ(cfg.blocks().size(), 3u);
+
+    const uint32_t entry = cfg.entryBlock();
+    ASSERT_NE(entry, Cfg::noBlock);
+    EXPECT_EQ(cfg.blocks()[entry].begin, 0u);
+
+    // entry falls through to the loop; the loop branches to itself
+    // and falls through to halt.
+    const uint32_t loop = cfg.blockAt(p.addressOf("loop"));
+    const BasicBlock &loop_block = cfg.blocks()[loop];
+    ASSERT_EQ(loop_block.succs.size(), 2u);
+    EXPECT_EQ(cfg.blocks()[entry].succs,
+              std::vector<uint32_t>{loop});
+
+    const uint32_t halt = cfg.blockAt(loop_block.end);
+    EXPECT_TRUE(cfg.blocks()[halt].succs.empty());
+}
+
+TEST(Cfg, UnconditionalBPseudoHasNoFallthroughEdge)
+{
+    const auto p = prog("entry:\n"
+                        "    b    skip\n"
+                        "    addi r1, r1, 1\n" // unreachable
+                        "skip:\n"
+                        "    halt\n");
+    const Cfg cfg(p);
+    const uint32_t entry = cfg.entryBlock();
+    const uint32_t skip = cfg.blockAt(p.addressOf("skip"));
+    EXPECT_EQ(cfg.blocks()[entry].succs, std::vector<uint32_t>{skip});
+
+    // The unreachable addi block is a root (no predecessors).
+    const auto roots = cfg.roots();
+    EXPECT_EQ(roots.size(), 2u);
+}
+
+TEST(Cfg, IndirectJumpEndsBlockWithoutEdges)
+{
+    const auto p = prog("entry:\n"
+                        "    jmp  r0\n"
+                        "after:\n"
+                        "    halt\n");
+    const Cfg cfg(p);
+    const uint32_t entry = cfg.entryBlock();
+    EXPECT_TRUE(cfg.blocks()[entry].succs.empty());
+    EXPECT_TRUE(cfg.blocks()[entry].indirectExit);
+}
+
+TEST(Cfg, DataWordsBelongToNoBlock)
+{
+    const auto p = prog("entry:\n"
+                        "    halt\n"
+                        ".word 0xffffffff\n"
+                        "code:\n"
+                        "    nop\n"
+                        "    halt\n");
+    const Cfg cfg(p);
+    EXPECT_EQ(cfg.blockAt(1), Cfg::noBlock);
+    EXPECT_NE(cfg.blockAt(p.addressOf("code")), Cfg::noBlock);
+}
+
+TEST(Cfg, DirectTargetsAreInstructionRelative)
+{
+    const auto p = prog("entry:\n"
+                        "    nop\n"
+                        "    jal  r1, entry\n");
+    const Cfg cfg(p);
+    uint32_t target = 99;
+    ASSERT_TRUE(cfg.directTarget(cfg.at(1), target));
+    EXPECT_EQ(target, 0u);
+}
+
+// ---- liveness ------------------------------------------------------------
+
+TEST(Liveness, UseDefSlots)
+{
+    const auto p = prog("add r3, r1, r2\n"
+                        "st  r4, 0(r5)\n"
+                        "jal r6, 0\n");
+    const Cfg cfg(p);
+
+    const UseDef add = useDef(cfg.at(0).inst);
+    EXPECT_EQ(add.uses, bit(1) | bit(2));
+    EXPECT_EQ(add.defs, bit(3));
+
+    // ST's slot A is the stored value — a use, not a def.
+    const UseDef st = useDef(cfg.at(1).inst);
+    EXPECT_EQ(st.uses, bit(4) | bit(5));
+    EXPECT_EQ(st.defs, 0u);
+
+    const UseDef jal = useDef(cfg.at(2).inst);
+    EXPECT_EQ(jal.defs, bit(6));
+}
+
+TEST(Liveness, LoopLiveIn)
+{
+    const auto p = prog("entry:\n"
+                        "    li   r4, 3\n"
+                        "loop:\n"
+                        "    add  r3, r3, r4\n"
+                        "    bne  r4, r5, loop\n"
+                        "    halt\n");
+    const Cfg cfg(p);
+    const Liveness live(cfg);
+
+    // At entry, r3 and r5 are live (read before written anywhere);
+    // r4 is defined first.
+    const uint64_t in = live.liveIn(cfg.entryBlock());
+    EXPECT_TRUE(in & bit(3));
+    EXPECT_TRUE(in & bit(5));
+    EXPECT_FALSE(in & bit(4));
+}
+
+TEST(Liveness, WindowBarrierRecordsEntryLiveSet)
+{
+    // After the ldrrm+delay, the new window reads r1 before writing
+    // it: r1 is the new context's entry requirement, and must NOT
+    // propagate into the old window's live-in.
+    const auto p = prog("entry:\n"
+                        "    li    r9, 0x20\n"
+                        "    ldrrm r9\n"
+                        "    nop\n"
+                        "    add   r2, r1, r1\n"
+                        "    halt\n");
+    const Cfg cfg(p);
+    const Liveness live(cfg);
+
+    const auto &windows = live.windowEntryLive();
+    ASSERT_EQ(windows.size(), 1u);
+    const auto [addr, mask] = *windows.begin();
+    EXPECT_EQ(addr, 4u); // li is 2 words; ldrrm at 2; nop at 3
+    EXPECT_EQ(mask, bit(1));
+
+    // Old window: nothing live at entry (r9 is written first; the
+    // new window's r1 is a different physical register).
+    EXPECT_EQ(live.liveIn(cfg.entryBlock()), 0u);
+}
+
+TEST(Liveness, NoBarrierWhenDisabled)
+{
+    const auto p = prog("entry:\n"
+                        "    li    r9, 0x20\n"
+                        "    ldrrm r9\n"
+                        "    nop\n"
+                        "    add   r2, r1, r1\n"
+                        "    halt\n");
+    const Cfg cfg(p);
+    LivenessOptions options;
+    options.windowBarriers = false;
+    const Liveness live(cfg, options);
+    EXPECT_TRUE(live.windowEntryLive().empty());
+    // Textbook liveness: r1 leaks across the window switch.
+    EXPECT_EQ(live.liveIn(cfg.entryBlock()), bit(1));
+}
+
+// ---- RRM abstract interpretation -----------------------------------------
+
+TEST(RrmState, TracksLiLdrrmThroughDelaySlot)
+{
+    const auto p = prog("entry:\n"
+                        "    li    r9, 0x20\n" // addr 0, 1
+                        "    ldrrm r9\n"       // addr 2
+                        "    nop\n"            // addr 3: delay slot
+                        "    nop\n"            // addr 4: new window
+                        "    halt\n");
+    const Cfg cfg(p);
+    const RrmAnalysis rrm(cfg);
+
+    EXPECT_EQ(rrm.rrmBefore(2), AbsVal::constant(0));
+    EXPECT_EQ(rrm.rrmBefore(3), AbsVal::constant(0)); // delay slot
+    EXPECT_EQ(rrm.rrmBefore(4), AbsVal::constant(0x20));
+    EXPECT_EQ(rrm.observedWindows(),
+              (std::vector<uint32_t>{0, 0x20}));
+    EXPECT_TRUE(rrm.hazards().empty());
+}
+
+TEST(RrmState, ConstantsSurviveWindowSwitches)
+{
+    // Writes under window 0 are keyed by physical register, so the
+    // value in r9 (phys 9) is still known after switching windows
+    // and back.
+    const auto p = prog("entry:\n"
+                        "    li    r9, 0x20\n"
+                        "    li    r8, 0\n"
+                        "    ldrrm r9\n"
+                        "    nop\n"
+                        "    ldrrm r8\n" // window 0x20: phys 0x28 = ?
+                        "    nop\n"
+                        "    halt\n");
+    const Cfg cfg(p);
+    const RrmAnalysis rrm(cfg);
+    // The second ldrrm reads r8 under window 0x20 -> phys 0x28,
+    // which was never written: the final window is unknown, not a
+    // wrong constant.
+    EXPECT_TRUE(rrm.rrmBefore(8).isTop()); // halt at addr 8
+}
+
+TEST(RrmState, JoinOfDifferentMasksIsTop)
+{
+    const auto p = prog("entry:\n"
+                        "    li    r9, 0x20\n"
+                        "    beq   r1, r2, other\n"
+                        "    li    r9, 0x30\n"
+                        "other:\n"
+                        "    ldrrm r9\n"
+                        "    nop\n"
+                        "    nop\n"
+                        "    halt\n");
+    const Cfg cfg(p);
+    const RrmAnalysis rrm(cfg);
+    const uint32_t halt_addr = p.addressOf("other") + 3;
+    EXPECT_TRUE(rrm.rrmBefore(halt_addr).isTop());
+}
+
+TEST(RrmState, FlagsLdrrmInsideDelayWindow)
+{
+    const auto p = prog("entry:\n"
+                        "    li    r8, 0x10\n"
+                        "    ldrrm r8\n"
+                        "    ldrrm r8\n"
+                        "    halt\n");
+    const Cfg cfg(p);
+    const RrmAnalysis rrm(cfg);
+    ASSERT_EQ(rrm.hazards().size(), 1u);
+    EXPECT_EQ(rrm.hazards()[0].kind, RrmHazard::LdrrmInDelay);
+    EXPECT_EQ(rrm.hazards()[0].address, 3u);
+}
+
+TEST(RrmState, FlagsControlTransferInsideDelayWindow)
+{
+    const auto p = prog("entry:\n"
+                        "    li    r8, 0x10\n"
+                        "    ldrrm r8\n"
+                        "    b     entry\n");
+    const Cfg cfg(p);
+    const RrmAnalysis rrm(cfg);
+    ASSERT_EQ(rrm.hazards().size(), 1u);
+    EXPECT_EQ(rrm.hazards()[0].kind, RrmHazard::ControlInDelay);
+    EXPECT_EQ(rrm.hazards()[0].address, 3u);
+}
+
+TEST(RrmState, FigureThreeYieldIdiomIsClean)
+{
+    // The paper's Figure 3 yield: the delay slot is used for the PSW
+    // save, and the jmp executes after the window switch - no
+    // hazards.
+    const auto p = prog("yield:\n"
+                        "    ldrrm r2\n"
+                        "    mov   r1, psw\n"
+                        "    mov   psw, r1\n"
+                        "    jmp   r0\n");
+    const Cfg cfg(p);
+    const RrmAnalysis rrm(cfg);
+    EXPECT_TRUE(rrm.hazards().empty());
+}
+
+// ---- lint orchestration --------------------------------------------------
+
+TEST(Lint, FlatBoundaryFindingCarriesLine)
+{
+    const auto p = prog("entry:\n"
+                        "    nop\n"
+                        "    add r17, r1, r2\n");
+    LintOptions options;
+    options.declaredContext = 16;
+    const LintResult result = lintProgram(p, options);
+    ASSERT_EQ(result.errors, 1u);
+    const Finding &f = result.findings[0];
+    EXPECT_EQ(f.code, "boundary");
+    EXPECT_EQ(f.address, 1u);
+    EXPECT_EQ(f.line, 3);
+    EXPECT_NE(f.message.find("r17"), std::string::npos);
+}
+
+TEST(Lint, FlowSensitiveOverlapNeedsNoDeclaredRegions)
+{
+    // Under RRM 0x10, r17 shares bit 4 with the mask: the access
+    // escapes the 16-register window. No Region declarations needed.
+    const auto p = prog("entry:\n"
+                        "    li    r8, 0x10\n"
+                        "    ldrrm r8\n"
+                        "    nop\n"
+                        "    add   r17, r1, r2\n"
+                        "    halt\n");
+    const LintResult result = lintProgram(p, {});
+    ASSERT_EQ(result.errors, 1u);
+    EXPECT_EQ(result.findings[0].code, "rrm-overlap");
+    EXPECT_EQ(result.findings[0].address, 4u);
+}
+
+TEST(Lint, CrossContextWriteHitsLiveRegister)
+{
+    // Window 0x20 writes r17 -> phys 0x31, which is r1 of window
+    // 0x30 - and window 0x30 reads r1 before writing it.
+    const auto p = prog("entry:\n"
+                        "    li    r9, 0x20\n"
+                        "    ldrrm r9\n"
+                        "    nop\n"
+                        "    addi  r17, r17, 1\n" // phys 0x31
+                        "    li    r8, 0x30\n"
+                        "    ldrrm r8\n"
+                        "    nop\n"
+                        "    add   r2, r1, r1\n" // r1 live at entry
+                        "    halt\n");
+    const LintResult result = lintProgram(p, {});
+    bool found = false;
+    for (const Finding &f : result.findings) {
+        if (f.code == "cross-context-write") {
+            found = true;
+            EXPECT_EQ(f.severity, Severity::Warning);
+            EXPECT_NE(f.message.find("0x31"), std::string::npos);
+        }
+    }
+    EXPECT_TRUE(found);
+    EXPECT_GE(result.warnings, 1u);
+}
+
+TEST(Lint, ReportsPerWindowMinimalContext)
+{
+    const auto p = prog("entry:\n"
+                        "    li    r9, 0x20\n"
+                        "    ldrrm r9\n"
+                        "    nop\n"
+                        "    add   r2, r1, r4\n"
+                        "    halt\n");
+    const LintResult result = lintProgram(p, {});
+    ASSERT_EQ(result.threads.size(), 2u);
+
+    // Window 0: r9 referenced -> 10 registers -> context 16.
+    EXPECT_EQ(result.threads[0].rrm, 0u);
+    EXPECT_EQ(result.threads[0].registers, 10u);
+    EXPECT_EQ(result.threads[0].minContext, 16u);
+
+    // Window 0x20: r1, r2, r4 -> 5 registers -> context 8; r1 and
+    // r4 are read before being written: the entry requirement.
+    EXPECT_EQ(result.threads[1].rrm, 0x20u);
+    EXPECT_EQ(result.threads[1].registers, 5u);
+    EXPECT_EQ(result.threads[1].minContext, 8u);
+    EXPECT_EQ(result.threads[1].liveIn, bit(1) | bit(4));
+}
+
+TEST(Lint, MultiRrmBankOperandsExcused)
+{
+    // r37 = bank 1, offset 5: fine with 2 banks, flagged without.
+    const auto p = prog("add r37, r1, r2\nhalt\n");
+    LintOptions options;
+    options.declaredContext = 8;
+    EXPECT_EQ(lintProgram(p, options).errors, 1u);
+
+    options.banks = 2;
+    EXPECT_EQ(lintProgram(p, options).errors, 0u);
+}
+
+TEST(Lint, InvalidWordsFlaggedOnRequest)
+{
+    const auto p = prog(".word 0xffffffff\nhalt\n");
+    EXPECT_EQ(lintProgram(p, {}).errors, 0u);
+
+    LintOptions options;
+    options.flagInvalidWords = true;
+    const LintResult result = lintProgram(p, options);
+    ASSERT_EQ(result.errors, 1u);
+    EXPECT_EQ(result.findings[0].code, "invalid-word");
+}
+
+TEST(Lint, RenderTextAndJsonCarrySourceLines)
+{
+    const auto p = prog("entry:\n"
+                        "    nop\n"
+                        "    add r17, r1, r2\n");
+    LintOptions options;
+    options.declaredContext = 16;
+    const LintResult result = lintProgram(p, options);
+
+    const std::string text = renderText(result, "input.s");
+    EXPECT_NE(text.find("line 3"), std::string::npos);
+    EXPECT_NE(text.find("[boundary]"), std::string::npos);
+    EXPECT_NE(text.find("1 error(s)"), std::string::npos);
+
+    const std::string json = renderJson(result, "input.s");
+    EXPECT_NE(json.find("\"line\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"code\": \"boundary\""), std::string::npos);
+    EXPECT_NE(json.find("\"errors\": 1"), std::string::npos);
+}
+
+TEST(Lint, JsonEscapesSpecialCharacters)
+{
+    const auto p = prog("halt\n");
+    const LintResult result = lintProgram(p, {});
+    const std::string json =
+        renderJson(result, "dir\\na\"me.s");
+    EXPECT_NE(json.find("dir\\\\na\\\"me.s"), std::string::npos);
+}
+
+TEST(Lint, FlatOnlyModeSkipsFlowAnalyses)
+{
+    const auto p = prog("entry:\n"
+                        "    li    r8, 0x10\n"
+                        "    ldrrm r8\n"
+                        "    ldrrm r8\n"
+                        "    halt\n");
+    LintOptions options;
+    options.flowSensitive = false;
+    const LintResult result = lintProgram(p, options);
+    EXPECT_TRUE(result.clean());
+    EXPECT_TRUE(result.threads.empty());
+}
+
+} // namespace
+} // namespace rr::lint

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Strict numeric command-line argument parsing shared by the RRISC
+ * tools. `std::strtoul(arg, nullptr, 0)` silently maps garbage to 0
+ * ("--check foo" used to disable the check instead of failing); these
+ * helpers reject non-numeric and out-of-range values so callers can
+ * exit with the usage status (64).
+ */
+
+#ifndef RR_TOOLS_ARG_NUM_HH
+#define RR_TOOLS_ARG_NUM_HH
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace rr::tools {
+
+/**
+ * Parse @p text as an unsigned integer (decimal, 0x-hex, or 0-octal).
+ * @return true and sets @p out only when the whole string is a valid
+ *         number no greater than @p max.
+ */
+inline bool
+parseUnsigned(const char *text, uint64_t &out,
+              uint64_t max = std::numeric_limits<uint64_t>::max())
+{
+    if (text == nullptr || *text == '\0' || *text == '-')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value = std::strtoull(text, &end, 0);
+    if (errno != 0 || end == text || *end != '\0')
+        return false;
+    if (value > max)
+        return false;
+    out = value;
+    return true;
+}
+
+/**
+ * Parse the value of option @p option (typically `argv[++i]`) or
+ * complain on stderr as "<tool>: <option> expects a number...".
+ * @return true and sets @p out on success.
+ */
+inline bool
+requireUnsigned(const char *tool, const char *option, const char *text,
+                uint64_t &out,
+                uint64_t max = std::numeric_limits<uint64_t>::max())
+{
+    if (text == nullptr) {
+        std::fprintf(stderr, "%s: %s expects a value\n", tool, option);
+        return false;
+    }
+    if (!parseUnsigned(text, out, max)) {
+        std::fprintf(stderr,
+                     "%s: %s expects an unsigned number <= %llu, "
+                     "got '%s'\n",
+                     tool, option,
+                     static_cast<unsigned long long>(max), text);
+        return false;
+    }
+    return true;
+}
+
+} // namespace rr::tools
+
+#endif // RR_TOOLS_ARG_NUM_HH

@@ -7,7 +7,10 @@
  *     -o FILE       write the image as hex words, one per line
  *     -l            print a listing (address, word, disassembly)
  *     --check N     statically check context boundaries against a
- *                   context of N registers (Section 2.4)
+ *                   context of N registers (Section 2.4). This is a
+ *                   thin wrapper over the rrlint analyses; run
+ *                   `rrlint` directly for the full flow-sensitive
+ *                   report.
  *     --banks B     interpret operands as bank-selected (Section 5.3)
  *                   when checking
  *
@@ -21,9 +24,10 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/static/lint.hh"
 #include "assembler/assembler.hh"
-#include "checker/boundary_checker.hh"
 #include "isa/instruction.hh"
+#include "arg_num.hh"
 
 namespace {
 
@@ -48,16 +52,33 @@ main(int argc, char **argv)
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "-o" && i + 1 < argc) {
-            output = argv[++i];
+        auto next_value = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        uint64_t value = 0;
+        if (arg == "-o") {
+            const char *name = next_value();
+            if (name == nullptr) {
+                usage();
+                return 64;
+            }
+            output = name;
         } else if (arg == "-l") {
             listing = true;
-        } else if (arg == "--check" && i + 1 < argc) {
-            check_size = static_cast<unsigned>(
-                std::strtoul(argv[++i], nullptr, 0));
-        } else if (arg == "--banks" && i + 1 < argc) {
-            banks = static_cast<unsigned>(
-                std::strtoul(argv[++i], nullptr, 0));
+        } else if (arg == "--check") {
+            if (!rr::tools::requireUnsigned("rrasm", "--check",
+                                            next_value(), value, 64) ||
+                value == 0) {
+                std::fprintf(stderr,
+                             "rrasm: --check expects 1..64\n");
+                return 64;
+            }
+            check_size = static_cast<unsigned>(value);
+        } else if (arg == "--banks") {
+            if (!rr::tools::requireUnsigned("rrasm", "--banks",
+                                            next_value(), value, 64))
+                return 64;
+            banks = static_cast<unsigned>(value);
         } else if (arg == "-h" || arg == "--help") {
             usage();
             return 0;
@@ -127,18 +148,20 @@ main(int argc, char **argv)
     }
 
     if (check_size != 0) {
-        rr::checker::CheckOptions options;
-        options.multiRrmBanks = banks;
-        const auto violations =
-            rr::checker::checkProgram(program, check_size, options);
-        for (const auto &violation : violations) {
+        rr::lint::LintOptions options;
+        options.declaredContext = check_size;
+        options.banks = banks > 1 ? banks : 1;
+        const rr::lint::LintResult result =
+            rr::lint::lintProgram(program, options);
+        for (const auto &finding : result.findings) {
             std::fprintf(stderr, "%s: %s\n", input.c_str(),
-                         violation.str().c_str());
+                         finding.str().c_str());
         }
-        if (!violations.empty()) {
+        if (!result.clean()) {
             std::fprintf(stderr,
-                         "rrasm: %zu context-boundary violation(s)\n",
-                         violations.size());
+                         "rrasm: %u error(s), %u warning(s); run "
+                         "rrlint for the full report\n",
+                         result.errors, result.warnings);
             return 2;
         }
     }

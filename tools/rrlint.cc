@@ -1,0 +1,165 @@
+/**
+ * @file
+ * rrlint — CFG + dataflow static analysis for RRISC images (the
+ * grown-up version of the Section 2.4 checking tool).
+ *
+ * Usage:
+ *   rrlint [options] input.s [input2.s ...]
+ *     --context N   also run the flat check against a declared
+ *                   context of N registers (like rrasm --check)
+ *     --delay D     LDRRM delay slots (default 1)
+ *     --rrm MASK    initial relocation mask at entry (default 0)
+ *     --banks B     RRM banks (default 1; Section 5.3 extension)
+ *     --width W     operand field width w (default 6)
+ *     --mode M      relocation mode: or | mux | add (default or)
+ *     --flag-data   treat undecodable words as findings
+ *     --no-flow     disable the CFG/dataflow passes (flat check only)
+ *     --json        emit JSON instead of text
+ *
+ * Output reports, per discovered context window (constant RRM value),
+ * the registers referenced, the minimal viable power-of-two context
+ * size, and the registers that must be live when the context is
+ * entered — plus findings for boundary violations, RRM-overlap
+ * escapes, delay-slot hazards, and cross-context writes.
+ *
+ * Exit status: 0 clean, 1 on assembly errors, 2 on findings, 64 on
+ * usage errors.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/static/lint.hh"
+#include "assembler/assembler.hh"
+#include "arg_num.hh"
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: rrlint [--context N] [--delay D] "
+                 "[--rrm MASK] [--banks B] [--width W]\n"
+                 "              [--mode or|mux|add] [--flag-data] "
+                 "[--no-flow] [--json] input.s...\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> inputs;
+    rr::lint::LintOptions options;
+    bool json = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next_value = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        uint64_t value = 0;
+        if (arg == "--context") {
+            if (!rr::tools::requireUnsigned("rrlint", "--context",
+                                            next_value(), value, 64))
+                return 64;
+            options.declaredContext = static_cast<unsigned>(value);
+        } else if (arg == "--delay") {
+            if (!rr::tools::requireUnsigned("rrlint", "--delay",
+                                            next_value(), value, 64))
+                return 64;
+            options.delaySlots = static_cast<unsigned>(value);
+        } else if (arg == "--rrm") {
+            if (!rr::tools::requireUnsigned("rrlint", "--rrm",
+                                            next_value(), value,
+                                            0xffffffffull))
+                return 64;
+            options.initialRrm = static_cast<uint32_t>(value);
+        } else if (arg == "--banks") {
+            if (!rr::tools::requireUnsigned("rrlint", "--banks",
+                                            next_value(), value, 64))
+                return 64;
+            options.banks = static_cast<unsigned>(value);
+        } else if (arg == "--width") {
+            if (!rr::tools::requireUnsigned("rrlint", "--width",
+                                            next_value(), value, 6) ||
+                value == 0) {
+                std::fprintf(stderr,
+                             "rrlint: --width expects 1..6\n");
+                return 64;
+            }
+            options.operandWidth = static_cast<unsigned>(value);
+        } else if (arg == "--mode") {
+            const char *mode = next_value();
+            const std::string text = mode ? mode : "";
+            if (text == "or") {
+                options.mode = rr::lint::RelocMode::Or;
+            } else if (text == "mux") {
+                options.mode = rr::lint::RelocMode::Mux;
+            } else if (text == "add") {
+                options.mode = rr::lint::RelocMode::Add;
+            } else {
+                std::fprintf(stderr, "rrlint: bad mode '%s'\n",
+                             text.c_str());
+                return 64;
+            }
+        } else if (arg == "--flag-data") {
+            options.flagInvalidWords = true;
+        } else if (arg == "--no-flow") {
+            options.flowSensitive = false;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "-h" || arg == "--help") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "rrlint: unknown option '%s'\n",
+                         arg.c_str());
+            usage();
+            return 64;
+        } else {
+            inputs.push_back(arg);
+        }
+    }
+    if (inputs.empty()) {
+        usage();
+        return 64;
+    }
+
+    int status = 0;
+    for (const std::string &input : inputs) {
+        std::ifstream in(input);
+        if (!in) {
+            std::fprintf(stderr, "rrlint: cannot open '%s'\n",
+                         input.c_str());
+            return 64;
+        }
+        std::ostringstream source;
+        source << in.rdbuf();
+
+        const rr::assembler::Program program =
+            rr::assembler::assemble(source.str());
+        if (!program.ok()) {
+            for (const auto &error : program.errors) {
+                std::fprintf(stderr, "%s: %s\n", input.c_str(),
+                             error.str().c_str());
+            }
+            status = std::max(status, 1);
+            continue;
+        }
+
+        const rr::lint::LintResult result =
+            rr::lint::lintProgram(program, options);
+        const std::string rendered =
+            json ? rr::lint::renderJson(result, input)
+                 : rr::lint::renderText(result, input);
+        std::fputs(rendered.c_str(), stdout);
+        if (!result.clean())
+            status = std::max(status, 2);
+    }
+    return status;
+}

@@ -30,6 +30,7 @@
 
 #include "assembler/assembler.hh"
 #include "machine/cpu.hh"
+#include "arg_num.hh"
 
 namespace {
 
@@ -67,17 +68,27 @@ main(int argc, char **argv)
         auto next_value = [&]() -> const char * {
             return i + 1 < argc ? argv[++i] : nullptr;
         };
+        uint64_t value = 0;
+        auto parse = [&](const char *option, uint64_t max) {
+            return rr::tools::requireUnsigned("rrsim", option,
+                                              next_value(), value,
+                                              max);
+        };
         if (arg == "--regs") {
-            config.numRegs = static_cast<unsigned>(
-                std::strtoul(next_value(), nullptr, 0));
+            if (!parse("--regs", 1u << 20))
+                return 64;
+            config.numRegs = static_cast<unsigned>(value);
         } else if (arg == "--width") {
-            config.operandWidth = static_cast<unsigned>(
-                std::strtoul(next_value(), nullptr, 0));
+            if (!parse("--width", 6))
+                return 64;
+            config.operandWidth = static_cast<unsigned>(value);
         } else if (arg == "--banks") {
-            config.rrmBanks = static_cast<unsigned>(
-                std::strtoul(next_value(), nullptr, 0));
+            if (!parse("--banks", 64))
+                return 64;
+            config.rrmBanks = static_cast<unsigned>(value);
         } else if (arg == "--mode") {
-            const std::string mode = next_value();
+            const char *mode_arg = next_value();
+            const std::string mode = mode_arg ? mode_arg : "";
             if (mode == "or") {
                 config.relocationMode =
                     rr::machine::RelocationMode::Or;
@@ -93,22 +104,35 @@ main(int argc, char **argv)
                 return 64;
             }
         } else if (arg == "--delay") {
-            config.ldrrmDelaySlots = static_cast<unsigned>(
-                std::strtoul(next_value(), nullptr, 0));
+            if (!parse("--delay", 64))
+                return 64;
+            config.ldrrmDelaySlots = static_cast<unsigned>(value);
         } else if (arg == "--mem") {
-            config.memWords = std::strtoul(next_value(), nullptr, 0);
+            if (!parse("--mem", 1u << 28))
+                return 64;
+            config.memWords = static_cast<size_t>(value);
         } else if (arg == "--steps") {
-            max_steps = std::strtoull(next_value(), nullptr, 0);
+            if (!parse("--steps",
+                       std::numeric_limits<uint64_t>::max()))
+                return 64;
+            max_steps = value;
         } else if (arg == "--start") {
-            start_label = next_value();
+            const char *label = next_value();
+            if (label == nullptr) {
+                usage();
+                return 64;
+            }
+            start_label = label;
         } else if (arg == "--rrm") {
-            initial_rrm = static_cast<uint32_t>(
-                std::strtoul(next_value(), nullptr, 0));
+            if (!parse("--rrm", 0xffffffffull))
+                return 64;
+            initial_rrm = static_cast<uint32_t>(value);
         } else if (arg == "--trace") {
             trace = true;
         } else if (arg == "--dump") {
-            dump = static_cast<unsigned>(
-                std::strtoul(next_value(), nullptr, 0));
+            if (!parse("--dump", 1u << 20))
+                return 64;
+            dump = static_cast<unsigned>(value);
         } else if (arg == "-h" || arg == "--help") {
             usage();
             return 0;
