@@ -10,29 +10,27 @@
  * control the paper proposes to investigate.
  */
 
-#include <cstdio>
 #include <vector>
 
 #include "base/table.hh"
-#include "exp/env.hh"
+#include "exp/registry.hh"
 #include "ext/adaptive.hh"
 #include "multithread/workload.hh"
 
-int
-main()
+RR_BENCH_FIGURE(adaptive_contexts,
+                "Adaptive residency limiting under cache "
+                "interference (Section 5.2)")
 {
     using namespace rr;
 
-    const unsigned threads = exp::benchThreads();
+    const unsigned threads = ctx.run().threads;
     const std::vector<double> alphas =
-        exp::benchFast() ? std::vector<double>{0.4}
-                         : std::vector<double>{0.0, 0.1, 0.3, 0.6};
+        ctx.run().fast ? std::vector<double>{0.4}
+                       : std::vector<double>{0.0, 0.1, 0.3, 0.6};
 
-    std::printf("Adaptive residency limiting under cache "
-                "interference (Section 5.2)\n");
-    std::printf("(F = 256, register relocation, homogeneous C = 8, "
-                "R = 64, L = 100,\n R_eff = R / (1 + alpha (N - "
-                "1)))\n\n");
+    ctx.text("(F = 256, register relocation, homogeneous C = 8, "
+             "R = 64, L = 100,\n R_eff = R / (1 + alpha (N - "
+             "1)))");
 
     Table table({"alpha", "best cap", "best eff", "uncapped eff",
                  "gain"});
@@ -52,9 +50,8 @@ main()
                             result.uncapped.efficiency,
                         2)});
     }
-    std::printf("%s\n", table.render().c_str());
+    ctx.table("caps", "", std::move(table));
 
-    std::printf("Efficiency vs cap at alpha = 0.3:\n");
     mt::MtConfig base =
         mt::fig5Config(mt::ArchKind::Flexible, 256, 64.0, 100);
     base.workload = mt::homogeneousWorkload(threads, 20000, 8);
@@ -66,10 +63,10 @@ main()
                      Table::num(sample.effectiveRunLength, 1),
                      Table::num(sample.efficiency)});
     }
-    std::printf("%s\n", caps.render().c_str());
-    std::printf("Expected shape: with alpha = 0, the best cap is the "
-                "largest (no\ninterference penalty); as alpha grows "
-                "the optimum moves to an interior\ncap and the "
-                "adaptive limit beats the uncapped run.\n");
-    return 0;
+    ctx.table("cap_sweep", "Efficiency vs cap at alpha = 0.3",
+              std::move(caps));
+    ctx.text("Expected shape: with alpha = 0, the best cap is the "
+             "largest (no\ninterference penalty); as alpha grows "
+             "the optimum moves to an interior\ncap and the "
+             "adaptive limit beats the uncapped run.");
 }

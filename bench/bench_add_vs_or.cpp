@@ -10,38 +10,37 @@
  * scan).
  */
 
-#include <cstdio>
 #include <vector>
 
 #include "base/table.hh"
-#include "exp/env.hh"
+#include "exp/registry.hh"
 #include "exp/sweep.hh"
 #include "multithread/workload.hh"
 
-int
-main()
+RR_BENCH_FIGURE(add_vs_or,
+                "OR relocation vs ADD (Am29000) relocation "
+                "(Section 4)")
 {
     using namespace rr;
 
-    const unsigned seeds = exp::benchSeeds();
-    const unsigned threads = exp::benchThreads();
+    const unsigned seeds = ctx.run().seeds;
+    const unsigned threads = ctx.run().threads;
     const std::vector<double> latencies =
-        exp::benchFast()
+        ctx.run().fast
             ? std::vector<double>{128.0, 512.0}
             : std::vector<double>{64.0, 128.0, 256.0, 512.0, 1024.0};
+    const std::vector<double> run_lengths = {16.0, 64.0};
 
-    std::printf("OR relocation vs ADD (Am29000) relocation "
-                "(Section 4)\n");
-    std::printf("(cache faults, C ~ U[6,24], S = 6; ADD allocation "
-                "costs 40/25/10 vs OR 25/15/5)\n\n");
+    ctx.text("(cache faults, C ~ U[6,24], S = 6; ADD allocation "
+             "costs 40/25/10 vs OR 25/15/5)");
 
     for (const unsigned num_regs : {64u, 128u}) {
-        Table table({"F", "R", "L", "fixed", "or-reloc", "add-reloc",
-                     "resident or", "resident add"});
-        for (const double run_length : {16.0, 64.0}) {
+        std::vector<exp::ReplicateRequest> requests;
+        for (const double run_length : run_lengths) {
             for (const double latency : latencies) {
                 const exp::ConfigMaker maker =
-                    [&](mt::ArchKind arch, uint64_t seed) {
+                    [num_regs, run_length, latency,
+                     threads](mt::ArchKind arch, uint64_t seed) {
                         mt::MtConfig config = mt::fig5Config(
                             arch, num_regs, run_length,
                             static_cast<uint64_t>(latency), seed);
@@ -53,15 +52,23 @@ main()
                         }
                         return config;
                     };
-                const auto fixed =
-                    exp::replicate(maker, mt::ArchKind::FixedHw,
-                                   seeds);
-                const auto or_reloc =
-                    exp::replicate(maker, mt::ArchKind::Flexible,
-                                   seeds);
-                const auto add_reloc =
-                    exp::replicate(maker, mt::ArchKind::AddReloc,
-                                   seeds);
+                requests.push_back({maker, mt::ArchKind::FixedHw});
+                requests.push_back({maker, mt::ArchKind::Flexible});
+                requests.push_back({maker, mt::ArchKind::AddReloc});
+            }
+        }
+        const std::vector<exp::Replicated> results =
+            exp::replicateMany(requests, seeds);
+
+        Table table({"F", "R", "L", "fixed", "or-reloc", "add-reloc",
+                     "resident or", "resident add"});
+        std::size_t slot = 0;
+        for (const double run_length : run_lengths) {
+            for (const double latency : latencies) {
+                const exp::Replicated &fixed = results[slot];
+                const exp::Replicated &or_reloc = results[slot + 1];
+                const exp::Replicated &add_reloc = results[slot + 2];
+                slot += 3;
                 table.addRow(
                     {Table::num(static_cast<uint64_t>(num_regs)),
                      Table::num(run_length, 0),
@@ -73,15 +80,15 @@ main()
                      Table::num(add_reloc.meanResident, 1)});
             }
         }
-        std::printf("%s\n", table.render().c_str());
+        ctx.table(exp::strf("f%u", num_regs),
+                  exp::strf("F = %u", num_regs), std::move(table));
     }
-    std::printf("Expected shape: ADD packs more contexts (no "
-                "power-of-two rounding:\nC ~ U[6,24] wastes ~43%% "
-                "under OR), so it reaches higher residency and\n"
-                "often higher efficiency despite costlier allocation "
-                "— the paper's reason\nfor calling ADD 'more "
-                "general', traded against an adder on the decode\n"
-                "critical path, which our cycle-level model does not "
-                "penalize.\n");
-    return 0;
+    ctx.text("Expected shape: ADD packs more contexts (no "
+             "power-of-two rounding:\nC ~ U[6,24] wastes ~43% "
+             "under OR), so it reaches higher residency and\n"
+             "often higher efficiency despite costlier allocation "
+             "— the paper's reason\nfor calling ADD 'more "
+             "general', traded against an adder on the decode\n"
+             "critical path, which our cycle-level model does not "
+             "penalize.");
 }

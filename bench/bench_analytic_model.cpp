@@ -11,21 +11,18 @@
  * equations remain a reasonable approximation).
  */
 
-#include <cstdio>
-
 #include "analysis/efficiency_model.hh"
 #include "base/table.hh"
+#include "exp/registry.hh"
 #include "multithread/workload.hh"
 
-int
-main()
+RR_BENCH_FIGURE(analytic_model,
+                "Analytical model vs simulation (Section 3.4)")
 {
     using namespace rr;
 
-    std::printf("Analytical model vs simulation (Section 3.4)\n\n");
-
-    std::printf("Deterministic workloads (exact domain of the "
-                "equations):\n");
+    ctx.text("Deterministic workloads (exact domain of the "
+             "equations):");
     Table det({"R", "L", "N", "N*", "simulated", "model", "error"});
     for (const auto &[run, latency] :
          {std::pair<uint64_t, uint64_t>{100, 400},
@@ -47,10 +44,10 @@ main()
                         Table::num(sim - expected)});
         }
     }
-    std::printf("%s\n", det.render().c_str());
+    ctx.table("deterministic", "", std::move(det));
 
-    std::printf("Geometric run lengths (stochastic; equations are "
-                "approximate):\n");
+    ctx.text("Geometric run lengths (stochastic; equations are "
+             "approximate):");
     Table geo({"R", "L", "N", "simulated", "model", "error"});
     for (const unsigned n : {2u, 4u, 8u}) {
         const double run = 64.0;
@@ -70,9 +67,8 @@ main()
                     Table::num(sim), Table::num(expected),
                     Table::num(sim - expected)});
     }
-    std::printf("%s\n", geo.render().c_str());
-    std::printf("Expected shape: near-zero error in the deterministic "
-                "rows; small positive\nor negative deviations with "
-                "geometric run lengths.\n");
-    return 0;
+    ctx.table("geometric", "", std::move(geo));
+    ctx.text("Expected shape: near-zero error in the deterministic "
+             "rows; small positive\nor negative deviations with "
+             "geometric run lengths.");
 }

@@ -10,74 +10,89 @@
  * parameters, for both architectures.
  */
 
-#include <cstdio>
 #include <vector>
 
 #include "base/table.hh"
-#include "exp/env.hh"
+#include "exp/registry.hh"
 #include "exp/sweep.hh"
 #include "multithread/workload.hh"
 
-int
-main()
+RR_BENCH_FIGURE(combined_faults,
+                "Combined cache + synchronization faults "
+                "(Section 3)")
 {
     using namespace rr;
 
-    const unsigned seeds = exp::benchSeeds();
-    const unsigned threads = exp::benchThreads();
+    const unsigned seeds = ctx.run().seeds;
+    const unsigned threads = ctx.run().threads;
 
-    std::printf("Combined cache + synchronization faults "
-                "(Section 3)\n");
-    std::printf("(F = 128; cache: R = 64, constant L = 64; sync: "
-                "geometric R, exponential L;\n two-phase unloading, "
-                "S = 8)\n\n");
+    ctx.text("(F = 128; cache: R = 64, constant L = 64; sync: "
+             "geometric R, exponential L;\n two-phase unloading, "
+             "S = 8)");
 
-    Table table({"sync R", "sync L", "arch", "cache only",
-                 "sync only", "combined"});
+    const std::vector<double> latencies =
+        ctx.run().fast ? std::vector<double>{512.0}
+                       : std::vector<double>{256.0, 1024.0};
+
+    struct RowSpec
+    {
+        double syncRun;
+        double syncLatency;
+        mt::ArchKind arch;
+    };
+    std::vector<RowSpec> rows;
+    std::vector<exp::ReplicateRequest> requests;
     for (const double sync_run : {128.0, 512.0}) {
-        const std::vector<double> latencies =
-            exp::benchFast() ? std::vector<double>{512.0}
-                             : std::vector<double>{256.0, 1024.0};
         for (const double sync_latency : latencies) {
             for (const mt::ArchKind arch :
                  {mt::ArchKind::FixedHw, mt::ArchKind::Flexible}) {
                 const exp::ConfigMaker cache_only =
-                    [&](mt::ArchKind a, uint64_t seed) {
+                    [threads](mt::ArchKind a, uint64_t seed) {
                         mt::MtConfig config =
                             mt::fig5Config(a, 128, 64.0, 64, seed);
                         config.workload.numThreads = threads;
                         return config;
                     };
                 const exp::ConfigMaker sync_only =
-                    [&](mt::ArchKind a, uint64_t seed) {
+                    [sync_run, sync_latency,
+                     threads](mt::ArchKind a, uint64_t seed) {
                         mt::MtConfig config = mt::fig6Config(
                             a, 128, sync_run, sync_latency, seed);
                         config.workload.numThreads = threads;
                         return config;
                     };
                 const exp::ConfigMaker combined =
-                    [&](mt::ArchKind a, uint64_t seed) {
+                    [sync_run, sync_latency,
+                     threads](mt::ArchKind a, uint64_t seed) {
                         mt::MtConfig config = mt::combinedConfig(
                             a, 128, 64.0, 64, sync_run, sync_latency,
                             seed);
                         config.workload.numThreads = threads;
                         return config;
                     };
-                table.addRow(
-                    {Table::num(sync_run, 0),
-                     Table::num(sync_latency, 0), mt::archName(arch),
-                     Table::num(exp::replicate(cache_only, arch, seeds)
-                                    .meanEfficiency),
-                     Table::num(exp::replicate(sync_only, arch, seeds)
-                                    .meanEfficiency),
-                     Table::num(exp::replicate(combined, arch, seeds)
-                                    .meanEfficiency)});
+                rows.push_back({sync_run, sync_latency, arch});
+                requests.push_back({cache_only, arch});
+                requests.push_back({sync_only, arch});
+                requests.push_back({combined, arch});
             }
         }
     }
-    std::printf("%s\n", table.render().c_str());
-    std::printf("Expected shape: the combined column sits below both "
-                "single-fault columns\n(higher overall fault rate), "
-                "with the same flexible-vs-fixed ordering.\n");
-    return 0;
+    const std::vector<exp::Replicated> results =
+        exp::replicateMany(requests, seeds);
+
+    Table table({"sync R", "sync L", "arch", "cache only",
+                 "sync only", "combined"});
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        table.addRow(
+            {Table::num(rows[i].syncRun, 0),
+             Table::num(rows[i].syncLatency, 0),
+             mt::archName(rows[i].arch),
+             Table::num(results[3 * i].meanEfficiency),
+             Table::num(results[3 * i + 1].meanEfficiency),
+             Table::num(results[3 * i + 2].meanEfficiency)});
+    }
+    ctx.table("combined", "", std::move(table));
+    ctx.text("Expected shape: the combined column sits below both "
+             "single-fault columns\n(higher overall fault rate), "
+             "with the same flexible-vs-fixed ordering.");
 }

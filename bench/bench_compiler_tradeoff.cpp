@@ -17,54 +17,46 @@
  * wins whenever the register file is the bottleneck.
  */
 
-#include <cstdio>
 #include <vector>
 
 #include "base/table.hh"
-#include "exp/env.hh"
+#include "exp/registry.hh"
 #include "exp/sweep.hh"
 #include "multithread/workload.hh"
 
-int
-main()
+RR_BENCH_FIGURE(compiler_tradeoff,
+                "The 17-vs-16 register compiler tradeoff "
+                "(Section 2.4)")
 {
     using namespace rr;
 
-    const unsigned seeds = exp::benchSeeds();
+    const unsigned seeds = ctx.run().seeds;
+    const std::vector<double> latencies = {100.0, 400.0, 1600.0};
+    const std::vector<double> penalties = {0.02, 0.05, 0.10};
 
-    std::printf("The 17-vs-16 register compiler tradeoff "
-                "(Section 2.4)\n");
-    std::printf("(cache faults, register relocation, R = 64, spill "
-                "penalty = run-length\nreduction from demoting one "
-                "value to memory)\n\n");
+    ctx.text("(cache faults, register relocation, R = 64, spill "
+             "penalty = run-length\nreduction from demoting one "
+             "value to memory)");
 
     for (const unsigned num_regs : {64u, 128u}) {
-        Table table({"F", "L", "C=17 (ctx 32)", "C=16, 2% spills",
-                     "C=16, 5% spills", "C=16, 10% spills"});
-        for (const double latency : {100.0, 400.0, 1600.0}) {
-            std::vector<std::string> row = {
-                Table::num(static_cast<uint64_t>(num_regs)),
-                Table::num(latency, 0)};
+        std::vector<exp::ReplicateRequest> requests;
+        for (const double latency : latencies) {
             // Wide compilation: 17 registers, full run length.
-            {
-                const exp::ConfigMaker maker =
-                    [&](mt::ArchKind arch, uint64_t seed) {
-                        mt::MtConfig config = mt::fig5Config(
-                            arch, num_regs, 64.0,
-                            static_cast<uint64_t>(latency), seed);
-                        config.workload = mt::homogeneousWorkload(
-                            64, 20000, 17);
-                        return config;
-                    };
-                row.push_back(Table::num(
-                    exp::replicate(maker, mt::ArchKind::Flexible,
-                                   seeds)
-                        .meanEfficiency));
-            }
+            const exp::ConfigMaker wide =
+                [num_regs, latency](mt::ArchKind arch, uint64_t seed) {
+                    mt::MtConfig config = mt::fig5Config(
+                        arch, num_regs, 64.0,
+                        static_cast<uint64_t>(latency), seed);
+                    config.workload = mt::homogeneousWorkload(
+                        64, 20000, 17);
+                    return config;
+                };
+            requests.push_back({wide, mt::ArchKind::Flexible});
             // Tight compilation: 16 registers, spill-shortened runs.
-            for (const double penalty : {0.02, 0.05, 0.10}) {
-                const exp::ConfigMaker maker =
-                    [&](mt::ArchKind arch, uint64_t seed) {
+            for (const double penalty : penalties) {
+                const exp::ConfigMaker tight =
+                    [num_regs, latency,
+                     penalty](mt::ArchKind arch, uint64_t seed) {
                         mt::MtConfig config = mt::fig5Config(
                             arch, num_regs, 64.0 * (1.0 - penalty),
                             static_cast<uint64_t>(latency), seed);
@@ -72,20 +64,31 @@ main()
                             64, 20000, 16);
                         return config;
                     };
-                row.push_back(Table::num(
-                    exp::replicate(maker, mt::ArchKind::Flexible,
-                                   seeds)
-                        .meanEfficiency));
+                requests.push_back({tight, mt::ArchKind::Flexible});
             }
+        }
+        const std::vector<exp::Replicated> results =
+            exp::replicateMany(requests, seeds);
+
+        Table table({"F", "L", "C=17 (ctx 32)", "C=16, 2% spills",
+                     "C=16, 5% spills", "C=16, 10% spills"});
+        std::size_t slot = 0;
+        for (const double latency : latencies) {
+            std::vector<std::string> row = {
+                Table::num(static_cast<uint64_t>(num_regs)),
+                Table::num(latency, 0)};
+            for (std::size_t j = 0; j < 1 + penalties.size(); ++j)
+                row.push_back(
+                    Table::num(results[slot++].meanEfficiency));
             table.addRow(row);
         }
-        std::printf("%s\n", table.render().c_str());
+        ctx.table(exp::strf("f%u", num_regs),
+                  exp::strf("F = %u", num_regs), std::move(table));
     }
-    std::printf("Expected shape: whenever latency keeps the node in "
-                "the linear regime,\ndoubling the resident contexts "
-                "(16-register contexts instead of 32)\noutweighs even "
-                "a 10%% spill penalty — the paper's argument that "
-                "compilers\nshould round register budgets DOWN to "
-                "powers of two.\n");
-    return 0;
+    ctx.text("Expected shape: whenever latency keeps the node in "
+             "the linear regime,\ndoubling the resident contexts "
+             "(16-register contexts instead of 32)\noutweighs even "
+             "a 10% spill penalty — the paper's argument that "
+             "compilers\nshould round register budgets DOWN to "
+             "powers of two.");
 }

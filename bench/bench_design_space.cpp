@@ -9,10 +9,10 @@
  * shows what each step buys in processor utilization.
  */
 
-#include <cstdio>
+#include <vector>
 
 #include "base/table.hh"
-#include "exp/env.hh"
+#include "exp/registry.hh"
 #include "exp/sweep.hh"
 #include "ext/context_cache.hh"
 #include "multithread/workload.hh"
@@ -43,27 +43,26 @@ cacheEff(unsigned num_regs, double run, uint64_t latency,
 
 } // namespace
 
-int
-main()
+RR_BENCH_FIGURE(design_space,
+                "The Section 4 design space: binding granularity vs "
+                "utilization")
 {
-    using namespace rr;
-
-    const unsigned seeds = exp::benchSeeds();
+    const unsigned seeds = ctx.run().seeds;
     const unsigned threads = 32;
+    const std::vector<double> runs = {16.0, 64.0};
+    const std::vector<uint64_t> latencies = {128ull, 512ull};
 
-    std::printf("The Section 4 design space: binding granularity vs "
-                "utilization\n");
-    std::printf("(cache faults, C ~ U[6,24], S = 6; context cache: "
-                "S = 4, demand\n spill/fill at 2 cycles/register, "
-                "LRU)\n\n");
+    ctx.text("(cache faults, C ~ U[6,24], S = 6; context cache: "
+             "S = 4, demand\n spill/fill at 2 cycles/register, "
+             "LRU)");
 
     for (const unsigned num_regs : {64u, 128u}) {
-        Table table({"F", "R", "L", "fixed (coarsest)", "or-reloc",
-                     "add-reloc", "context cache (finest)"});
-        for (const double run : {16.0, 64.0}) {
-            for (const uint64_t latency : {128ull, 512ull}) {
+        std::vector<exp::ReplicateRequest> requests;
+        for (const double run : runs) {
+            for (const uint64_t latency : latencies) {
                 const exp::ConfigMaker maker =
-                    [&](mt::ArchKind arch, uint64_t seed) {
+                    [num_regs, run, latency,
+                     threads](mt::ArchKind arch, uint64_t seed) {
                         mt::MtConfig config = mt::fig5Config(
                             arch, num_regs, run, latency, seed);
                         config.workload.numThreads = threads;
@@ -74,34 +73,37 @@ main()
                         }
                         return config;
                     };
+                requests.push_back({maker, mt::ArchKind::FixedHw});
+                requests.push_back({maker, mt::ArchKind::Flexible});
+                requests.push_back({maker, mt::ArchKind::AddReloc});
+            }
+        }
+        const std::vector<exp::Replicated> results =
+            exp::replicateMany(requests, seeds);
+
+        Table table({"F", "R", "L", "fixed (coarsest)", "or-reloc",
+                     "add-reloc", "context cache (finest)"});
+        std::size_t slot = 0;
+        for (const double run : runs) {
+            for (const uint64_t latency : latencies) {
                 table.addRow(
                     {Table::num(static_cast<uint64_t>(num_regs)),
                      Table::num(run, 0), Table::num(latency),
-                     Table::num(
-                         exp::replicate(maker, mt::ArchKind::FixedHw,
-                                        seeds)
-                             .meanEfficiency),
-                     Table::num(
-                         exp::replicate(maker,
-                                        mt::ArchKind::Flexible,
-                                        seeds)
-                             .meanEfficiency),
-                     Table::num(
-                         exp::replicate(maker,
-                                        mt::ArchKind::AddReloc,
-                                        seeds)
-                             .meanEfficiency),
+                     Table::num(results[slot].meanEfficiency),
+                     Table::num(results[slot + 1].meanEfficiency),
+                     Table::num(results[slot + 2].meanEfficiency),
                      Table::num(cacheEff(num_regs, run, latency,
                                          threads, seeds))});
+                slot += 3;
             }
         }
-        std::printf("%s\n", table.render().c_str());
+        ctx.table(exp::strf("f%u", num_regs),
+                  exp::strf("F = %u", num_regs), std::move(table));
     }
-    std::printf("Expected shape: utilization rises monotonically "
-                "with binding granularity\n(fixed < OR < ADD < "
-                "context cache) — but so does decode-path hardware:\n"
-                "the paper's argument is that the OR point buys most "
-                "of the benefit for a\nsingle gate delay, which the "
-                "cycle-level numbers here cannot show.\n");
-    return 0;
+    ctx.text("Expected shape: utilization rises monotonically "
+             "with binding granularity\n(fixed < OR < ADD < "
+             "context cache) — but so does decode-path hardware:\n"
+             "the paper's argument is that the OR point buys most "
+             "of the benefit for a\nsingle gate delay, which the "
+             "cycle-level numbers here cannot show.");
 }

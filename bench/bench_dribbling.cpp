@@ -12,59 +12,61 @@
  * combination is the best of all four.
  */
 
-#include <cstdio>
 #include <vector>
 
 #include "base/table.hh"
-#include "exp/env.hh"
+#include "exp/registry.hh"
 #include "exp/sweep.hh"
 #include "multithread/workload.hh"
 
-int
-main()
+RR_BENCH_FIGURE(dribbling,
+                "Dribbling registers (orthogonal extension, "
+                "Section 3.4)")
 {
     using namespace rr;
 
-    const unsigned seeds = exp::benchSeeds();
+    const unsigned seeds = ctx.run().seeds;
     const std::vector<double> latencies =
-        exp::benchFast()
+        ctx.run().fast
             ? std::vector<double>{256.0, 2048.0}
             : std::vector<double>{128.0, 512.0, 2048.0, 8192.0};
 
-    std::printf("Dribbling registers (orthogonal extension, "
-                "Section 3.4)\n");
-    std::printf("(sync faults, F = 128, R = 32, C ~ U[6,24], "
-                "two-phase unloading)\n\n");
+    ctx.text("(sync faults, F = 128, R = 32, C ~ U[6,24], "
+             "two-phase unloading)");
 
-    Table table({"L", "fixed", "fixed+dribble", "flexible",
-                 "flex+dribble", "best combo vs fixed"});
+    std::vector<exp::ReplicateRequest> requests;
     for (const double latency : latencies) {
-        double values[4];
-        int idx = 0;
         for (const mt::ArchKind arch :
              {mt::ArchKind::FixedHw, mt::ArchKind::Flexible}) {
             for (const bool dribble : {false, true}) {
                 const exp::ConfigMaker maker =
-                    [&](mt::ArchKind a, uint64_t seed) {
+                    [latency, dribble](mt::ArchKind a, uint64_t seed) {
                         mt::MtConfig config = mt::fig6Config(
                             a, 128, 32.0, latency, seed);
                         config.costs.dribbleRegisters = dribble;
                         return config;
                     };
-                values[idx++] =
-                    exp::replicate(maker, arch, seeds)
-                        .meanEfficiency;
+                requests.push_back({maker, arch});
             }
         }
-        table.addRow({Table::num(latency, 0), Table::num(values[0]),
-                      Table::num(values[1]), Table::num(values[2]),
-                      Table::num(values[3]),
+    }
+    const std::vector<exp::Replicated> results =
+        exp::replicateMany(requests, seeds);
+
+    Table table({"L", "fixed", "fixed+dribble", "flexible",
+                 "flex+dribble", "best combo vs fixed"});
+    for (std::size_t i = 0; i < latencies.size(); ++i) {
+        double values[4];
+        for (int j = 0; j < 4; ++j)
+            values[j] = results[4 * i + j].meanEfficiency;
+        table.addRow({Table::num(latencies[i], 0),
+                      Table::num(values[0]), Table::num(values[1]),
+                      Table::num(values[2]), Table::num(values[3]),
                       Table::num(values[3] / values[0], 2)});
     }
-    std::printf("%s\n", table.render().c_str());
-    std::printf("Expected shape: dribbling lifts both architectures "
-                "(cheaper rotation at\nlong latencies); relocation's "
-                "residency advantage stacks on top — the\ntwo "
-                "mechanisms are orthogonal, as the paper asserts.\n");
-    return 0;
+    ctx.table("dribble", "", std::move(table));
+    ctx.text("Expected shape: dribbling lifts both architectures "
+             "(cheaper rotation at\nlong latencies); relocation's "
+             "residency advantage stacks on top — the\ntwo "
+             "mechanisms are orthogonal, as the paper asserts.");
 }

@@ -12,11 +12,11 @@
  * Output: measured cycles next to the paper's assumed values.
  */
 
-#include <cstdio>
 #include <string>
 
 #include "assembler/assembler.hh"
 #include "base/table.hh"
+#include "exp/registry.hh"
 #include "machine/cpu.hh"
 #include "runtime/asm_routines.hh"
 #include "runtime/context_allocator.hh"
@@ -137,13 +137,12 @@ measureUnload(unsigned k)
 
 } // namespace
 
-int
-main()
+RR_BENCH_FIGURE(fig4_costs,
+                "Figure 4 — operation costs, measured on the "
+                "cycle-level RRISC machine")
 {
-    std::printf("Figure 4 — operation costs, measured on the "
-                "cycle-level RRISC machine\n");
-    std::printf("(measured cycles include the call and return "
-                "instructions)\n\n");
+    ctx.text("(measured cycles include the call and return "
+             "instructions)");
 
     AllocatorHarness harness;
     Table table({"operation", "paper (cycles)", "measured (cycles)"});
@@ -178,10 +177,9 @@ main()
                       Table::num(measureUnload(c))});
     }
 
-    std::printf("%s\n", table.render().c_str());
-    std::printf("Thread queue insert/remove (10) and the 10-cycle\n"
-                "block/unblock overhead are software bookkeeping "
-                "charges taken\nas given in both simulated "
-                "architectures (Section 3.1).\n");
-    return 0;
+    ctx.table("costs", "", std::move(table));
+    ctx.text("Thread queue insert/remove (10) and the 10-cycle\n"
+             "block/unblock overhead are software bookkeeping "
+             "charges taken\nas given in both simulated "
+             "architectures (Section 3.1).");
 }

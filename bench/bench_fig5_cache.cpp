@@ -11,35 +11,31 @@
  * falling with L and rising with R.
  */
 
-#include <cstdio>
 #include <vector>
 
-#include "exp/env.hh"
+#include "exp/registry.hh"
 #include "exp/sweep.hh"
 #include "multithread/workload.hh"
 
-int
-main()
+RR_BENCH_FIGURE(fig5_cache,
+                "Figure 5 — cache faults: efficiency vs memory "
+                "latency")
 {
     using namespace rr;
 
-    const unsigned seeds = exp::benchSeeds();
-    const unsigned threads = exp::benchThreads();
+    const unsigned seeds = ctx.run().seeds;
+    const unsigned threads = ctx.run().threads;
     const std::vector<double> run_lengths = {8.0, 32.0, 128.0};
     const std::vector<double> latencies =
-        exp::benchFast()
+        ctx.run().fast
             ? std::vector<double>{32.0, 128.0, 512.0}
             : std::vector<double>{16.0, 32.0, 64.0, 128.0,
                                   256.0, 512.0, 1024.0};
 
-    std::printf("Figure 5 — cache faults: efficiency vs memory "
-                "latency\n");
-    std::printf("(C ~ U[6,24], S = 6, geometric run lengths, constant "
-                "latency,\n never unload; %u seeds per point, %u "
-                "threads)\n\n",
-                seeds, threads);
+    ctx.text("(C ~ U[6,24], S = 6, geometric run lengths, constant "
+             "latency, never unload)");
 
-    const char *panels[] = {"(a)", "(b)", "(c)"};
+    const char *panels[] = {"a", "b", "c"};
     const unsigned files[] = {64, 128, 256};
     for (int p = 0; p < 3; ++p) {
         const unsigned num_regs = files[p];
@@ -52,14 +48,10 @@ main()
                 config.workload.numThreads = threads;
                 return config;
             };
-        const exp::FigurePanel panel = exp::sweepPanel(
-            num_regs, maker, run_lengths, latencies, seeds);
-        std::printf("Figure 5%s: F = %u registers\n%s\n", panels[p],
-                    num_regs, panel.toTable().render().c_str());
-        if (exp::envUnsigned("RR_BENCH_CSV", 0) != 0) {
-            std::printf("csv:\n%s\n",
-                        panel.toTable().renderCsv().c_str());
-        }
+        ctx.panel(std::string("panel_") + panels[p],
+                  exp::strf("Figure 5(%s): F = %u registers",
+                            panels[p], num_regs),
+                  exp::sweepPanel(num_regs, maker, run_lengths,
+                                  latencies, seeds));
     }
-    return 0;
 }

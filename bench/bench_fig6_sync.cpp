@@ -10,39 +10,35 @@
  * in panel (a) (F = 64) the flexible advantage diminishes as L grows
  * and fixed contexts marginally win at large L — the software
  * allocation cost effect the paper attributes to continual context
- * loading and unloading (see bench_fig6a_lowcost for the ablation
- * that removes it).
+ * loading and unloading (see fig6a_lowcost for the ablation that
+ * removes it).
  */
 
-#include <cstdio>
 #include <vector>
 
-#include "exp/env.hh"
+#include "exp/registry.hh"
 #include "exp/sweep.hh"
 #include "multithread/workload.hh"
 
-int
-main()
+RR_BENCH_FIGURE(fig6_sync,
+                "Figure 6 — synchronization faults: efficiency vs "
+                "latency")
 {
     using namespace rr;
 
-    const unsigned seeds = exp::benchSeeds();
-    const unsigned threads = exp::benchThreads();
+    const unsigned seeds = ctx.run().seeds;
+    const unsigned threads = ctx.run().threads;
     const std::vector<double> run_lengths = {32.0, 128.0, 512.0};
     const std::vector<double> latencies =
-        exp::benchFast()
+        ctx.run().fast
             ? std::vector<double>{128.0, 512.0, 2048.0}
             : std::vector<double>{64.0, 128.0, 256.0, 512.0,
                                   1024.0, 2048.0, 4096.0};
 
-    std::printf("Figure 6 — synchronization faults: efficiency vs "
-                "latency\n");
-    std::printf("(C ~ U[6,24], S = 8, geometric run lengths, "
-                "exponential waits,\n two-phase unloading; %u seeds "
-                "per point, %u threads)\n\n",
-                seeds, threads);
+    ctx.text("(C ~ U[6,24], S = 8, geometric run lengths, "
+             "exponential waits, two-phase unloading)");
 
-    const char *panels[] = {"(a)", "(b)", "(c)"};
+    const char *panels[] = {"a", "b", "c"};
     const unsigned files[] = {64, 128, 256};
     for (int p = 0; p < 3; ++p) {
         const unsigned num_regs = files[p];
@@ -54,14 +50,10 @@ main()
                 config.workload.numThreads = threads;
                 return config;
             };
-        const exp::FigurePanel panel = exp::sweepPanel(
-            num_regs, maker, run_lengths, latencies, seeds);
-        std::printf("Figure 6%s: F = %u registers\n%s\n", panels[p],
-                    num_regs, panel.toTable().render().c_str());
-        if (exp::envUnsigned("RR_BENCH_CSV", 0) != 0) {
-            std::printf("csv:\n%s\n",
-                        panel.toTable().renderCsv().c_str());
-        }
+        ctx.panel(std::string("panel_") + panels[p],
+                  exp::strf("Figure 6(%s): F = %u registers",
+                            panels[p], num_regs),
+                  exp::sweepPanel(num_regs, maker, run_lengths,
+                                  latencies, seeds));
     }
-    return 0;
 }

@@ -12,58 +12,46 @@
  * indexed into a direct lookup table).
  */
 
-#include <cstdio>
 #include <vector>
 
 #include "base/table.hh"
-#include "exp/env.hh"
+#include "exp/registry.hh"
 #include "exp/sweep.hh"
 #include "multithread/workload.hh"
 
-namespace {
-
-using namespace rr;
-
-double
-meanEff(const exp::ConfigMaker &maker, mt::ArchKind arch,
-        unsigned seeds)
-{
-    return exp::replicate(maker, arch, seeds).meanEfficiency;
-}
-
-} // namespace
-
-int
-main()
+RR_BENCH_FIGURE(fig6a_lowcost,
+                "Figure 6(a) ablation — F = 64, synchronization "
+                "faults, lower allocation costs")
 {
     using namespace rr;
 
-    const unsigned seeds = exp::benchSeeds();
-    const unsigned threads = exp::benchThreads();
+    const unsigned seeds = ctx.run().seeds;
+    const unsigned threads = ctx.run().threads;
     const std::vector<double> latencies =
-        exp::benchFast()
+        ctx.run().fast
             ? std::vector<double>{256.0, 1024.0, 4096.0}
             : std::vector<double>{64.0, 128.0, 256.0, 512.0,
                                   1024.0, 2048.0, 4096.0};
 
-    std::printf("Figure 6(a) ablation — F = 64, synchronization "
-                "faults, lower allocation costs\n");
-    std::printf("(general allocator: 25/15/5 cycles; specialized "
-                "lookup-table allocator: 4/2/1)\n\n");
+    ctx.text("(general allocator: 25/15/5 cycles; specialized "
+             "lookup-table allocator: 4/2/1)");
 
     for (const double run_length : {32.0, 128.0}) {
-        Table table({"R", "L", "fixed", "flex (general)",
-                     "flex (low-cost)", "low-cost/fixed"});
+        // Three architecture measurements per latency, fanned out to
+        // the worker pool as one batch per table.
+        std::vector<exp::ReplicateRequest> requests;
         for (const double latency : latencies) {
             const exp::ConfigMaker general =
-                [&](mt::ArchKind arch, uint64_t seed) {
+                [run_length, latency,
+                 threads](mt::ArchKind arch, uint64_t seed) {
                     mt::MtConfig config = mt::fig6Config(
                         arch, 64, run_length, latency, seed);
                     config.workload.numThreads = threads;
                     return config;
                 };
             const exp::ConfigMaker lowcost =
-                [&](mt::ArchKind arch, uint64_t seed) {
+                [run_length, latency,
+                 threads](mt::ArchKind arch, uint64_t seed) {
                     mt::MtConfig config = mt::fig6Config(
                         arch, 64, run_length, latency, seed);
                     config.workload.numThreads = threads;
@@ -73,24 +61,33 @@ main()
                     }
                     return config;
                 };
-            const double fixed =
-                meanEff(general, mt::ArchKind::FixedHw, seeds);
+            requests.push_back({general, mt::ArchKind::FixedHw});
+            requests.push_back({general, mt::ArchKind::Flexible});
+            requests.push_back({lowcost, mt::ArchKind::Flexible});
+        }
+        const std::vector<exp::Replicated> results =
+            exp::replicateMany(requests, seeds);
+
+        Table table({"R", "L", "fixed", "flex (general)",
+                     "flex (low-cost)", "low-cost/fixed"});
+        for (std::size_t i = 0; i < latencies.size(); ++i) {
+            const double fixed = results[3 * i].meanEfficiency;
             const double flex_general =
-                meanEff(general, mt::ArchKind::Flexible, seeds);
-            const double flex_low =
-                meanEff(lowcost, mt::ArchKind::Flexible, seeds);
+                results[3 * i + 1].meanEfficiency;
+            const double flex_low = results[3 * i + 2].meanEfficiency;
             table.addRow({Table::num(run_length, 0),
-                          Table::num(latency, 0), Table::num(fixed),
-                          Table::num(flex_general),
+                          Table::num(latencies[i], 0),
+                          Table::num(fixed), Table::num(flex_general),
                           Table::num(flex_low),
                           Table::num(flex_low / fixed, 2)});
         }
-        std::printf("%s\n", table.render().c_str());
+        ctx.table(exp::strf("r%.0f", run_length),
+                  exp::strf("R = %.0f", run_length),
+                  std::move(table));
     }
-    std::printf("Expected shape: where 'flex (general)' dips below "
-                "'fixed' at large L,\n'flex (low-cost)' recovers the "
-                "advantage — the crossover is an allocation-\ncost "
-                "artifact, not a limit of the mechanism "
-                "(Section 3.3).\n");
-    return 0;
+    ctx.text("Expected shape: where 'flex (general)' dips below "
+             "'fixed' at large L,\n'flex (low-cost)' recovers the "
+             "advantage — the crossover is an allocation-\ncost "
+             "artifact, not a limit of the mechanism "
+             "(Section 3.3).");
 }

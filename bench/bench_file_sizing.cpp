@@ -14,12 +14,13 @@
  * (with fragmentation) are reported.
  */
 
-#include <cstdio>
+#include <string>
 
 #include "base/bitops.hh"
 #include "base/rng.hh"
 #include "base/stats.hh"
 #include "base/table.hh"
+#include "exp/registry.hh"
 #include "runtime/context_allocator.hh"
 
 namespace {
@@ -64,17 +65,14 @@ measuredFileFor(unsigned contexts, unsigned c_lo, unsigned c_hi)
 
 } // namespace
 
-int
-main()
+RR_BENCH_FIGURE(file_sizing,
+                "Register file size needed for a target number of "
+                "resident contexts")
 {
-    using namespace rr;
-
-    std::printf("Register file size needed for a target number of "
-                "resident contexts\n");
-    std::printf("(fixed: 32 registers per context; relocation: "
-                "power-of-two cover of the\nthread's requirement; "
-                "'measured' = smallest power-of-two file that packs\n"
-                "the contexts in >= 95%% of random draws)\n\n");
+    ctx.text("(fixed: 32 registers per context; relocation: "
+             "power-of-two cover of the\nthread's requirement; "
+             "'measured' = smallest power-of-two file that packs\n"
+             "the contexts in >= 95% of random draws)");
 
     for (const auto &[c_lo, c_hi] :
          {std::pair<unsigned, unsigned>{6, 24},
@@ -98,11 +96,12 @@ main()
                                 static_cast<double>(measured),
                             2)});
         }
-        std::printf("%s\n", table.render().c_str());
+        ctx.table(exp::strf("u%u_%u", c_lo, c_hi),
+                  exp::strf("C ~ U[%u,%u]", c_lo, c_hi),
+                  std::move(table));
     }
-    std::printf("Expected shape: for fine-grained threads (C = 8) "
-                "relocation supports the\nsame multithreading degree "
-                "with a 2-4x smaller register file — the area /\n"
-                "cycle-time argument of the paper's introduction.\n");
-    return 0;
+    ctx.text("Expected shape: for fine-grained threads (C = 8) "
+             "relocation supports the\nsame multithreading degree "
+             "with a 2-4x smaller register file — the area /\n"
+             "cycle-time argument of the paper's introduction.");
 }

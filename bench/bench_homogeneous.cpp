@@ -10,38 +10,36 @@
  * "factor of two" (and more) improvements live.
  */
 
-#include <cstdio>
 #include <vector>
 
 #include "base/table.hh"
-#include "exp/env.hh"
+#include "exp/registry.hh"
 #include "exp/sweep.hh"
 #include "multithread/workload.hh"
 
-int
-main()
+RR_BENCH_FIGURE(homogeneous,
+                "Homogeneous context sizes (Section 3.4) — cache "
+                "faults, S = 6, never unload")
 {
     using namespace rr;
 
-    const unsigned seeds = exp::benchSeeds();
-    const unsigned threads = exp::benchThreads();
+    const unsigned seeds = ctx.run().seeds;
+    const unsigned threads = ctx.run().threads;
     const std::vector<double> latencies =
-        exp::benchFast()
+        ctx.run().fast
             ? std::vector<double>{64.0, 256.0, 1024.0}
             : std::vector<double>{32.0, 64.0, 128.0, 256.0,
                                   512.0, 1024.0};
-
-    std::printf("Homogeneous context sizes (Section 3.4) — cache "
-                "faults, S = 6, never unload\n\n");
+    const std::vector<double> run_lengths = {16.0, 64.0};
 
     for (const unsigned c : {8u, 16u}) {
         for (const unsigned num_regs : {64u, 128u}) {
-            Table table({"C", "F", "R", "L", "fixed", "flexible",
-                         "flex/fixed"});
-            for (const double run_length : {16.0, 64.0}) {
+            std::vector<exp::ReplicateRequest> requests;
+            for (const double run_length : run_lengths) {
                 for (const double latency : latencies) {
                     const exp::ConfigMaker maker =
-                        [&](mt::ArchKind arch, uint64_t seed) {
+                        [c, num_regs, run_length, latency,
+                         threads](mt::ArchKind arch, uint64_t seed) {
                             mt::MtConfig config = mt::fig5Config(
                                 arch, num_regs, run_length,
                                 static_cast<uint64_t>(latency), seed);
@@ -51,14 +49,23 @@ main()
                                 c);
                             return config;
                         };
+                    requests.push_back({maker, mt::ArchKind::FixedHw});
+                    requests.push_back({maker, mt::ArchKind::Flexible});
+                }
+            }
+            const std::vector<exp::Replicated> results =
+                exp::replicateMany(requests, seeds);
+
+            Table table({"C", "F", "R", "L", "fixed", "flexible",
+                         "flex/fixed"});
+            std::size_t slot = 0;
+            for (const double run_length : run_lengths) {
+                for (const double latency : latencies) {
                     const double fixed =
-                        exp::replicate(maker, mt::ArchKind::FixedHw,
-                                       seeds)
-                            .meanEfficiency;
+                        results[slot].meanEfficiency;
                     const double flex =
-                        exp::replicate(maker, mt::ArchKind::Flexible,
-                                       seeds)
-                            .meanEfficiency;
+                        results[slot + 1].meanEfficiency;
+                    slot += 2;
                     table.addRow(
                         {Table::num(static_cast<uint64_t>(c)),
                          Table::num(static_cast<uint64_t>(num_regs)),
@@ -68,12 +75,13 @@ main()
                          Table::num(flex / fixed, 2)});
                 }
             }
-            std::printf("%s\n", table.render().c_str());
+            ctx.table(exp::strf("c%u_f%u", c, num_regs),
+                      exp::strf("C = %u, F = %u", c, num_regs),
+                      std::move(table));
         }
     }
-    std::printf("Expected shape: much larger flexible/fixed ratios "
-                "than the C ~ U[6,24]\nworkloads — with C = 8, "
-                "relocation fits 4x as many contexts as fixed\n32-"
-                "register hardware contexts (Section 3.4).\n");
-    return 0;
+    ctx.text("Expected shape: much larger flexible/fixed ratios "
+             "than the C ~ U[6,24]\nworkloads — with C = 8, "
+             "relocation fits 4x as many contexts as fixed\n32-"
+             "register hardware contexts (Section 3.4).");
 }

@@ -12,24 +12,22 @@
  * the deterministic setting; this bench prints them side by side.
  */
 
-#include <cstdio>
-
 #include "analysis/efficiency_model.hh"
 #include "base/table.hh"
+#include "exp/registry.hh"
 #include "kernel/machine_mt_kernel.hh"
 #include "multithread/workload.hh"
 
-int
-main()
+RR_BENCH_FIGURE(machine_vs_event,
+                "Machine execution vs event simulator vs analytical "
+                "model")
 {
     using namespace rr;
 
-    std::printf("Machine execution vs event simulator vs analytical "
-                "model\n");
-    std::printf("(deterministic segments of U work units (2 cycles "
-                "each), constant latency,\n never unload, 128 "
-                "registers, 16-register contexts; effective switch "
-                "cost 11)\n\n");
+    ctx.text("(deterministic segments of U work units (2 cycles "
+             "each), constant latency,\n never unload, 128 "
+             "registers, 16-register contexts; effective switch "
+             "cost 11)");
 
     Table table({"N", "U", "L", "machine", "event sim", "model",
                  "mach/sim"});
@@ -74,11 +72,10 @@ main()
             }
         }
     }
-    std::printf("%s\n", table.render().c_str());
-    std::printf("Expected shape: the three columns agree to within a "
-                "few percent in the\nlinear regime and at saturation "
-                "— the event-driven simulator's cost\naccounting is "
-                "validated against real instruction-by-instruction "
-                "execution.\n");
-    return 0;
+    ctx.table("crosscheck", "", std::move(table));
+    ctx.text("Expected shape: the three columns agree to within a "
+             "few percent in the\nlinear regime and at saturation "
+             "— the event-driven simulator's cost\naccounting is "
+             "validated against real instruction-by-instruction "
+             "execution.");
 }

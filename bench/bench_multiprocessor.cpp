@@ -8,25 +8,22 @@
  * survives its own success.
  */
 
-#include <cstdio>
-
 #include "base/table.hh"
-#include "exp/env.hh"
+#include "exp/registry.hh"
 #include "multithread/workload.hh"
 #include "system/multiprocessor.hh"
 
-int
-main()
+RR_BENCH_FIGURE(multiprocessor,
+                "Multiprocessor fixed point: endogenous remote-miss "
+                "latency")
 {
     using namespace rr;
 
-    const unsigned threads = exp::benchThreads();
+    const unsigned threads = ctx.run().threads;
 
-    std::printf("Multiprocessor fixed point: endogenous remote-miss "
-                "latency\n");
-    std::printf("(per node: F = 128, R = 8, C ~ U[6,24], cache "
-                "faults; base latency 50,\n 2 service cycles per "
-                "miss on the shared interconnect)\n\n");
+    ctx.text("(per node: F = 128, R = 8, C ~ U[6,24], cache "
+             "faults; base latency 50,\n 2 service cycles per "
+             "miss on the shared interconnect)");
 
     Table table({"K", "arch", "L_eff", "net util", "node eff",
                  "aggregate", "flex gain"});
@@ -58,12 +55,11 @@ main()
                  idx == 2 ? Table::num(agg[1] / agg[0], 2) : ""});
         }
     }
-    std::printf("%s\n", table.render().c_str());
-    std::printf("Expected shape: contention raises the effective "
-                "latency with K, pushing\nboth architectures deeper "
-                "into the linear regime — where residency matters\n"
-                "most, so the flexible advantage persists (and "
-                "grows) under load until\nthe interconnect itself "
-                "saturates.\n");
-    return 0;
+    ctx.table("fixed_point", "", std::move(table));
+    ctx.text("Expected shape: contention raises the effective "
+             "latency with K, pushing\nboth architectures deeper "
+             "into the linear regime — where residency matters\n"
+             "most, so the flexible advantage persists (and "
+             "grows) under load until\nthe interconnect itself "
+             "saturates.");
 }

@@ -8,10 +8,9 @@
  * E_sat = R/(R+S).
  */
 
-#include <cstdio>
-
 #include "assembler/assembler.hh"
 #include "base/table.hh"
+#include "exp/registry.hh"
 #include "kernel/rotation_kernel.hh"
 #include "machine/cpu.hh"
 #include "multithread/workload.hh"
@@ -66,12 +65,10 @@ switchCost(const machine::PipelineTimingConfig &timing)
 
 } // namespace
 
-int
-main()
+RR_BENCH_FIGURE(pipeline_effects,
+                "Pipeline effects on the software context switch")
 {
     using namespace rr;
-
-    std::printf("Pipeline effects on the software context switch\n\n");
 
     const machine::PipelineTimingConfig ideal;
     const machine::PipelineTimingConfig five_stage =
@@ -85,11 +82,9 @@ main()
                   "paper: 4-6 (Section 2.2)"});
     table.addRow({"classic 5-stage", Table::num(s_real, 1),
                   "APRIL measured: 11 (Section 3.2)"});
-    std::printf("%s\n", table.render().c_str());
+    ctx.table("switch_cost", "", std::move(table));
 
     // Downstream: what the extra bubbles cost a multithreaded node.
-    std::printf("Efficiency impact (cache faults, F = 128, L = 200, "
-                "flexible contexts):\n");
     Table eff({"R", "S=6 (ideal switch)", "S=11 (pipelined switch)",
                "loss"});
     for (const double run_length : {8.0, 32.0, 128.0}) {
@@ -106,10 +101,11 @@ main()
                     Table::num(values[1]),
                     Table::num(1.0 - values[1] / values[0], 3)});
     }
-    std::printf("%s\n", eff.render().c_str());
+    ctx.table("efficiency",
+              "Efficiency impact (cache faults, F = 128, L = 200, "
+              "flexible contexts)",
+              std::move(eff));
 
-    std::printf("And the full rotation runtime path under both "
-                "machines:\n");
     Table rot({"machine", "overhead/rotation (cycles)"});
     // The rotation kernel runs on the default ideal machine; the
     // 5-stage number is derived from its instruction mix measured
@@ -125,11 +121,13 @@ main()
                             ideal_rot.usefulCycles) /
         static_cast<double>(4 * 8);
     rot.addRow({"ideal 1 CPI", Table::num(ideal_overhead, 1)});
-    std::printf("%s\n", rot.render().c_str());
-    std::printf("Takeaway: pipeline bubbles roughly double the "
-                "switch cost (5 -> 11),\nreproducing the ideal-vs-"
-                "APRIL gap the paper cites; the efficiency loss\nis "
-                "worst exactly where multithreading is needed most "
-                "(short run lengths\nnear saturation).\n");
-    return 0;
+    ctx.table("rotation",
+              "And the full rotation runtime path under both "
+              "machines",
+              std::move(rot));
+    ctx.text("Takeaway: pipeline bubbles roughly double the "
+             "switch cost (5 -> 11),\nreproducing the ideal-vs-"
+             "APRIL gap the paper cites; the efficiency loss\nis "
+             "worst exactly where multithreading is needed most "
+             "(short run lengths\nnear saturation).");
 }

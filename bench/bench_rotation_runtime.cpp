@@ -8,20 +8,18 @@
  * executed cycles.
  */
 
-#include <cstdio>
-
 #include "base/table.hh"
+#include "exp/registry.hh"
 #include "kernel/rotation_kernel.hh"
 
-int
-main()
+RR_BENCH_FIGURE(rotation_runtime,
+                "The complete software runtime path, measured "
+                "(all-assembly rotation scheduler)")
 {
     using namespace rr;
 
-    std::printf("The complete software runtime path, measured "
-                "(all-assembly rotation\nscheduler: fault -> unload "
-                "-> dealloc -> dequeue -> alloc -> reload ->\n"
-                "resume)\n\n");
+    ctx.text("(fault -> unload -> dealloc -> dequeue -> alloc -> "
+             "reload -> resume)");
 
     Table table({"threads", "units/segment", "useful cycles",
                  "total cycles", "overhead/rotation", "efficiency"});
@@ -46,12 +44,11 @@ main()
                  Table::num(result.efficiency())});
         }
     }
-    std::printf("%s\n", table.render().c_str());
-    std::printf("~75 cycles buys a full dynamic context rotation "
-                "with zero scheduling\nhardware — the sum of the "
-                "Figure 4 entries (unload C+10, queue 2x10,\nalloc "
-                "~15 with FF1, dealloc 5, load C+10) measured as real "
-                "code. For\ncomparison, a single remote miss in the "
-                "paper's regime costs 100-1000\ncycles.\n");
-    return 0;
+    ctx.table("rotation", "", std::move(table));
+    ctx.text("~75 cycles buys a full dynamic context rotation "
+             "with zero scheduling\nhardware — the sum of the "
+             "Figure 4 entries (unload C+10, queue 2x10,\nalloc "
+             "~15 with FF1, dealloc 5, load C+10) measured as real "
+             "code. For\ncomparison, a single remote miss in the "
+             "paper's regime costs 100-1000\ncycles.");
 }

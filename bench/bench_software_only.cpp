@@ -11,27 +11,25 @@
  * 32- and 64-register files.
  */
 
-#include <cstdio>
 #include <vector>
 
 #include "base/table.hh"
-#include "exp/env.hh"
+#include "exp/registry.hh"
 #include "ext/software_only.hh"
 
-int
-main()
+RR_BENCH_FIGURE(software_only,
+                "Software-only register relocation (Section 5.1)")
 {
     using namespace rr;
 
-    const unsigned threads = exp::benchThreads();
+    const unsigned threads = ctx.run().threads;
     const std::vector<uint64_t> latencies =
-        exp::benchFast() ? std::vector<uint64_t>{400}
-                         : std::vector<uint64_t>{100, 400, 1600};
+        ctx.run().fast ? std::vector<uint64_t>{400}
+                       : std::vector<uint64_t>{100, 400, 1600};
 
-    std::printf("Software-only register relocation (Section 5.1)\n");
-    std::printf("(cache faults, R = 64 before code expansion, C = 7 "
-                "per thread,\n 5%% run-length penalty per doubling of "
-                "code versions)\n\n");
+    ctx.text("(cache faults, R = 64 before code expansion, C = 7 "
+             "per thread,\n 5% run-length penalty per doubling of "
+             "code versions)");
 
     for (const unsigned num_regs : {32u, 64u}) {
         Table table({"F", "L", "K=1", "K=2", "K=4"});
@@ -53,13 +51,13 @@ main()
             }
             table.addRow(row);
         }
-        std::printf("%s\n", table.render().c_str());
+        ctx.table(exp::strf("f%u", num_regs),
+                  exp::strf("F = %u", num_regs), std::move(table));
     }
-    std::printf("Expected shape: more versions tolerate more latency "
-                "(K = 2 or 4 beats\nK = 1 whenever latency dominates "
-                "the expansion penalty); on a small file\nthe gains "
-                "per extra version shrink — consistent with the "
-                "paper's finding\nthat the technique was impractical "
-                "beyond two contexts on the MIPS.\n");
-    return 0;
+    ctx.text("Expected shape: more versions tolerate more latency "
+             "(K = 2 or 4 beats\nK = 1 whenever latency dominates "
+             "the expansion penalty); on a small file\nthe gains "
+             "per extra version shrink — consistent with the "
+             "paper's finding\nthat the technique was impractical "
+             "beyond two contexts on the MIPS.");
 }

@@ -13,101 +13,121 @@
  *     registers; smaller minima only matter for tiny threads.
  */
 
-#include <cstdio>
 #include <vector>
 
 #include "base/table.hh"
-#include "exp/env.hh"
+#include "exp/registry.hh"
 #include "exp/sweep.hh"
 #include "multithread/workload.hh"
 
-int
-main()
+RR_BENCH_FIGURE(switch_ablation,
+                "Design-choice ablations: switch cost, thread "
+                "supply, minimum context size")
 {
     using namespace rr;
 
-    const unsigned seeds = exp::benchSeeds();
+    const unsigned seeds = ctx.run().seeds;
 
     // ---- 1. Switch cost sweep. -------------------------------------
-    std::printf("Ablation 1 — context switch cost (cache faults, "
-                "F = 128, L = 200,\nflexible contexts, C ~ U[6,24])\n\n");
+    ctx.text("Ablation 1 — context switch cost (cache faults, "
+             "F = 128, L = 200,\nflexible contexts, C ~ U[6,24])");
+    const std::vector<double> run_lengths = {8.0, 32.0, 128.0};
+    const std::vector<uint64_t> switch_costs = {2, 6, 11, 30};
+    std::vector<exp::ReplicateRequest> s_requests;
+    for (const double run_length : run_lengths) {
+        for (const uint64_t s : switch_costs) {
+            const exp::ConfigMaker maker =
+                [run_length, s](mt::ArchKind arch, uint64_t seed) {
+                    mt::MtConfig config = mt::fig5Config(
+                        arch, 128, run_length, 200, seed);
+                    config.costs.contextSwitch = s;
+                    return config;
+                };
+            s_requests.push_back({maker, mt::ArchKind::Flexible});
+        }
+    }
+    const std::vector<exp::Replicated> s_results =
+        exp::replicateMany(s_requests, seeds);
     Table s_table({"R", "S=2", "S=6 (paper)", "S=11 (APRIL)", "S=30",
                    "E_sat @ S=6"});
-    for (const double run_length : {8.0, 32.0, 128.0}) {
+    std::size_t slot = 0;
+    for (const double run_length : run_lengths) {
         std::vector<std::string> row = {Table::num(run_length, 0)};
-        for (const uint64_t s : {2ull, 6ull, 11ull, 30ull}) {
-            const exp::ConfigMaker maker = [&](mt::ArchKind arch,
-                                               uint64_t seed) {
-                mt::MtConfig config = mt::fig5Config(
-                    arch, 128, run_length, 200, seed);
-                config.costs.contextSwitch = s;
-                return config;
-            };
-            row.push_back(Table::num(
-                exp::replicate(maker, mt::ArchKind::Flexible, seeds)
-                    .meanEfficiency));
-        }
+        for (std::size_t j = 0; j < switch_costs.size(); ++j)
+            row.push_back(
+                Table::num(s_results[slot++].meanEfficiency));
         row.push_back(Table::num(run_length / (run_length + 6.0)));
         s_table.addRow(row);
     }
-    std::printf("%s\n", s_table.render().c_str());
-    std::printf("In the latency-bound linear regime S barely "
-                "matters, but once the node\napproaches saturation "
-                "(R = 32 here) a 30-cycle switch forfeits a quarter\n"
-                "of the throughput (E_sat = R/(R+S)) — the case for "
-                "the paper's 4-6 cycle\nsoftware switch over heavier "
-                "mechanisms.\n\n");
+    ctx.table("switch_cost", "", std::move(s_table));
+    ctx.text("In the latency-bound linear regime S barely "
+             "matters, but once the node\napproaches saturation "
+             "(R = 32 here) a 30-cycle switch forfeits a quarter\n"
+             "of the throughput (E_sat = R/(R+S)) — the case for "
+             "the paper's 4-6 cycle\nsoftware switch over heavier "
+             "mechanisms.");
 
     // ---- 2. Thread-supply sweep. -----------------------------------
-    std::printf("Ablation 2 — thread supply (sync faults, F = 128, "
-                "R = 32, L = 512)\n\n");
-    Table t_table({"threads", "fixed", "flexible", "flex/fixed"});
-    for (const unsigned threads : {8u, 16u, 32u, 64u, 128u}) {
-        const exp::ConfigMaker maker = [&](mt::ArchKind arch,
-                                           uint64_t seed) {
-            mt::MtConfig config =
-                mt::fig6Config(arch, 128, 32.0, 512.0, seed);
-            config.workload.numThreads = threads;
-            return config;
-        };
-        const double fixed =
-            exp::replicate(maker, mt::ArchKind::FixedHw, seeds)
-                .meanEfficiency;
-        const double flex =
-            exp::replicate(maker, mt::ArchKind::Flexible, seeds)
-                .meanEfficiency;
-        t_table.addRow({Table::num(static_cast<uint64_t>(threads)),
-                        Table::num(fixed), Table::num(flex),
-                        Table::num(flex / fixed, 2)});
+    ctx.text("Ablation 2 — thread supply (sync faults, F = 128, "
+             "R = 32, L = 512)");
+    const std::vector<unsigned> supplies = {8, 16, 32, 64, 128};
+    std::vector<exp::ReplicateRequest> t_requests;
+    for (const unsigned threads : supplies) {
+        const exp::ConfigMaker maker =
+            [threads](mt::ArchKind arch, uint64_t seed) {
+                mt::MtConfig config =
+                    mt::fig6Config(arch, 128, 32.0, 512.0, seed);
+                config.workload.numThreads = threads;
+                return config;
+            };
+        t_requests.push_back({maker, mt::ArchKind::FixedHw});
+        t_requests.push_back({maker, mt::ArchKind::Flexible});
     }
-    std::printf("%s\n", t_table.render().c_str());
-    std::printf("The flexible advantage is stable once the supply "
-                "exceeds the register\nfile's capacity — the paper's "
-                "unspecified 'supply of synthetic threads'\nis not a "
-                "sensitive parameter.\n\n");
+    const std::vector<exp::Replicated> t_results =
+        exp::replicateMany(t_requests, seeds);
+    Table t_table({"threads", "fixed", "flexible", "flex/fixed"});
+    for (std::size_t i = 0; i < supplies.size(); ++i) {
+        const double fixed = t_results[2 * i].meanEfficiency;
+        const double flex = t_results[2 * i + 1].meanEfficiency;
+        t_table.addRow(
+            {Table::num(static_cast<uint64_t>(supplies[i])),
+             Table::num(fixed), Table::num(flex),
+             Table::num(flex / fixed, 2)});
+    }
+    ctx.table("thread_supply", "", std::move(t_table));
+    ctx.text("The flexible advantage is stable once the supply "
+             "exceeds the register\nfile's capacity — the paper's "
+             "unspecified 'supply of synthetic threads'\nis not a "
+             "sensitive parameter.");
 
     // ---- 3. Minimum context size. ----------------------------------
-    std::printf("Ablation 3 — minimum context size (cache faults, "
-                "F = 64, R = 16,\nL = 400, homogeneous C = 3)\n\n");
-    Table m_table({"min context", "efficiency", "resident avg"});
-    for (const unsigned min_size : {4u, 8u, 16u}) {
-        const exp::ConfigMaker maker = [&](mt::ArchKind arch,
-                                           uint64_t seed) {
-            mt::MtConfig config =
-                mt::fig5Config(arch, 64, 16.0, 400, seed);
-            config.workload = mt::homogeneousWorkload(64, 20000, 3);
-            config.minContextSize = min_size;
-            return config;
-        };
-        const auto rep =
-            exp::replicate(maker, mt::ArchKind::Flexible, seeds);
-        m_table.addRow({Table::num(static_cast<uint64_t>(min_size)),
-                        Table::num(rep.meanEfficiency),
-                        Table::num(rep.meanResident, 1)});
+    ctx.text("Ablation 3 — minimum context size (cache faults, "
+             "F = 64, R = 16,\nL = 400, homogeneous C = 3)");
+    const std::vector<unsigned> minima = {4, 8, 16};
+    std::vector<exp::ReplicateRequest> m_requests;
+    for (const unsigned min_size : minima) {
+        const exp::ConfigMaker maker =
+            [min_size](mt::ArchKind arch, uint64_t seed) {
+                mt::MtConfig config =
+                    mt::fig5Config(arch, 64, 16.0, 400, seed);
+                config.workload = mt::homogeneousWorkload(64, 20000,
+                                                          3);
+                config.minContextSize = min_size;
+                return config;
+            };
+        m_requests.push_back({maker, mt::ArchKind::Flexible});
     }
-    std::printf("%s\n", m_table.render().c_str());
-    std::printf("Tiny threads benefit from the paper's 4-register "
-                "minimum: a 16-register\nminimum quarters the "
-                "residency of 3-register threads.\n");
-    return 0;
+    const std::vector<exp::Replicated> m_results =
+        exp::replicateMany(m_requests, seeds);
+    Table m_table({"min context", "efficiency", "resident avg"});
+    for (std::size_t i = 0; i < minima.size(); ++i) {
+        m_table.addRow(
+            {Table::num(static_cast<uint64_t>(minima[i])),
+             Table::num(m_results[i].meanEfficiency),
+             Table::num(m_results[i].meanResident, 1)});
+    }
+    ctx.table("min_context", "", std::move(m_table));
+    ctx.text("Tiny threads benefit from the paper's 4-register "
+             "minimum: a 16-register\nminimum quarters the "
+             "residency of 3-register threads.");
 }

@@ -7,20 +7,18 @@
  * every cycle below coming from executed RRISC instructions.
  */
 
-#include <cstdio>
-
 #include "base/table.hh"
+#include "exp/registry.hh"
 #include "kernel/twophase_kernel.hh"
 
-int
-main()
+RR_BENCH_FIGURE(twophase_runtime,
+                "Two-phase unloading, measured as executed code")
 {
     using namespace rr;
 
-    std::printf("Two-phase unloading, measured as executed code\n");
-    std::printf("(12 threads over 4 slots of 8 registers; 50-unit "
-                "segments; poll budget 3;\n constant fault "
-                "latency)\n\n");
+    ctx.text("(12 threads over 4 slots of 8 registers; 50-unit "
+             "segments; poll budget 3;\n constant fault "
+             "latency)");
 
     Table table({"latency", "swap-outs / faults", "dequeues",
                  "cycles", "efficiency"});
@@ -42,10 +40,8 @@ main()
              Table::num(result.totalCycles),
              Table::num(result.efficiency())});
     }
-    std::printf("%s\n", table.render().c_str());
+    ctx.table("latency_sweep", "", std::move(table));
 
-    std::printf("Oversubscription pays exactly when the second phase "
-                "engages:\n");
     Table over({"threads", "slots", "latency", "efficiency"});
     for (const unsigned threads : {4u, 8u, 16u}) {
         kernel::TwoPhaseConfig config;
@@ -61,11 +57,13 @@ main()
                      Table::num(static_cast<uint64_t>(4000)),
                      Table::num(result.efficiency())});
     }
-    std::printf("%s\n", over.render().c_str());
-    std::printf("Expected shape: short faults complete in the spin "
-                "phase (0 swap-outs);\nas latency crosses the "
-                "competitive budget, every fault rotates its slot\n"
-                "to a queued thread and the extra threads keep the "
-                "processor busy.\n");
-    return 0;
+    ctx.table("oversubscription",
+              "Oversubscription pays exactly when the second phase "
+              "engages",
+              std::move(over));
+    ctx.text("Expected shape: short faults complete in the spin "
+             "phase (0 swap-outs);\nas latency crosses the "
+             "competitive budget, every fault rotates its slot\n"
+             "to a queued thread and the extra threads keep the "
+             "processor busy.");
 }

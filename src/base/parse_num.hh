@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Strict unsigned-integer parsing shared by the CLI tools
+ * (tools/arg_num.hh) and the benchmark harness's environment knobs
+ * (exp/env.hh). `std::strtoul(text, nullptr, 0)` silently maps
+ * garbage to 0 and ignores trailing junk ("--check foo" used to
+ * disable the check instead of failing; "RR_BENCH_SEEDS=3x" used to
+ * run with 3 seeds); this helper accepts a string only when the
+ * whole of it is a valid number within range.
+ */
+
+#ifndef RR_BASE_PARSE_NUM_HH
+#define RR_BASE_PARSE_NUM_HH
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+
+namespace rr {
+
+/**
+ * Parse @p text as an unsigned integer (decimal, 0x-hex, or 0-octal).
+ * @return true and sets @p out only when the whole string is a valid
+ *         number no greater than @p max. Rejects empty strings,
+ *         leading '-', trailing junk, and out-of-range values.
+ */
+inline bool
+parseUnsigned(const char *text, uint64_t &out,
+              uint64_t max = std::numeric_limits<uint64_t>::max())
+{
+    if (text == nullptr || *text == '\0' || *text == '-')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value = std::strtoull(text, &end, 0);
+    if (errno != 0 || end == text || *end != '\0')
+        return false;
+    if (value > max)
+        return false;
+    out = value;
+    return true;
+}
+
+} // namespace rr
+
+#endif // RR_BASE_PARSE_NUM_HH

@@ -46,6 +46,15 @@ class Table
     size_t numRows() const { return rows_.size(); }
     size_t numCols() const { return headers_.size(); }
 
+    /** Column headers (for structured serialization). */
+    const std::vector<std::string> &headers() const { return headers_; }
+
+    /** Row cells (for structured serialization). */
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+
   private:
     std::vector<std::string> headers_;
     std::vector<std::vector<std::string>> rows_;

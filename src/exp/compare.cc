@@ -1,0 +1,254 @@
+#include "exp/compare.hh"
+
+#include <charconv>
+#include <cmath>
+
+#include "exp/report.hh"
+
+namespace rr::exp {
+
+namespace {
+
+/** Relative drift of @p cur against @p base. */
+double
+relDrift(double cur, double base)
+{
+    const double denom = std::max(std::fabs(base), 1e-12);
+    return std::fabs(cur - base) / denom;
+}
+
+/** Whole-string numeric parse (so "n/a" and "8 / 84" are skipped). */
+bool
+parseCell(const std::string &cell, double &out)
+{
+    if (cell.empty())
+        return false;
+    const auto result = std::from_chars(
+        cell.data(), cell.data() + cell.size(), out);
+    return result.ec == std::errc() &&
+           result.ptr == cell.data() + cell.size();
+}
+
+const JsonValue *
+findSection(const JsonValue &doc, const std::string &id)
+{
+    const JsonValue *sections = doc.find("sections");
+    if (sections == nullptr || !sections->isArray())
+        return nullptr;
+    for (const JsonValue &section : sections->elements) {
+        if (section.stringOr("id", "") == id)
+            return &section;
+    }
+    return nullptr;
+}
+
+const JsonValue *
+findPoint(const JsonValue &section, double r, double l)
+{
+    const JsonValue *points = section.find("points");
+    if (points == nullptr || !points->isArray())
+        return nullptr;
+    for (const JsonValue &point : points->elements) {
+        if (point.numberOr("R", -1.0) == r &&
+            point.numberOr("L", -1.0) == l)
+            return &point;
+    }
+    return nullptr;
+}
+
+void
+comparePanel(const std::string &where, const JsonValue &current,
+             const JsonValue &baseline, const CompareOptions &options,
+             CompareResult &result)
+{
+    const JsonValue *base_points = baseline.find("points");
+    if (base_points == nullptr || !base_points->isArray())
+        return;
+    for (const JsonValue &base_point : base_points->elements) {
+        const double r = base_point.numberOr("R", 0.0);
+        const double l = base_point.numberOr("L", 0.0);
+        const std::string pwhere =
+            where + " R=" + strf("%g", r) + " L=" + strf("%g", l);
+        const JsonValue *cur_point = findPoint(current, r, l);
+        if (cur_point == nullptr) {
+            result.issues.push_back(pwhere +
+                                    ": point missing from current");
+            continue;
+        }
+        for (const char *arm : {"fixed", "flexible"}) {
+            const JsonValue *base_stats = base_point.find(arm);
+            const JsonValue *cur_stats = cur_point->find(arm);
+            if (base_stats == nullptr || cur_stats == nullptr)
+                continue;
+            const double base_mean =
+                base_stats->numberOr("mean", 0.0);
+            const double cur_mean = cur_stats->numberOr("mean", 0.0);
+            const double drift = relDrift(cur_mean, base_mean);
+            if (drift > options.tolerance) {
+                result.issues.push_back(strf(
+                    "%s: %s efficiency drifted %.1f%% "
+                    "(baseline %.4f, current %.4f)",
+                    pwhere.c_str(), arm, 100.0 * drift, base_mean,
+                    cur_mean));
+            }
+        }
+        const double base_ratio = base_point.numberOr("ratio", 0.0);
+        const double cur_ratio = cur_point->numberOr("ratio", 0.0);
+        const double ratio_drift = relDrift(cur_ratio, base_ratio);
+        if (ratio_drift > options.tolerance) {
+            result.issues.push_back(strf(
+                "%s: flexible/fixed ratio drifted %.1f%% "
+                "(baseline %.3f, current %.3f)",
+                pwhere.c_str(), 100.0 * ratio_drift, base_ratio,
+                cur_ratio));
+        }
+        // Crossover movement: the point switched sides of ratio = 1
+        // by more than noise — the shape the figures are about.
+        if ((base_ratio - 1.0) * (cur_ratio - 1.0) < 0.0 &&
+            std::fabs(cur_ratio - base_ratio) > 0.02) {
+            result.issues.push_back(strf(
+                "%s: fixed-vs-flexible crossover moved "
+                "(ratio %.3f -> %.3f)",
+                pwhere.c_str(), base_ratio, cur_ratio));
+        }
+    }
+}
+
+void
+compareTable(const std::string &where, const JsonValue &current,
+             const JsonValue &baseline, const CompareOptions &options,
+             CompareResult &result)
+{
+    const JsonValue *base_cols = baseline.find("columns");
+    const JsonValue *cur_cols = current.find("columns");
+    const JsonValue *base_rows = baseline.find("rows");
+    const JsonValue *cur_rows = current.find("rows");
+    if (base_cols == nullptr || cur_cols == nullptr ||
+        base_rows == nullptr || cur_rows == nullptr)
+        return;
+    if (base_cols->elements.size() != cur_cols->elements.size()) {
+        result.issues.push_back(where + ": column count changed");
+        return;
+    }
+    if (base_rows->elements.size() != cur_rows->elements.size()) {
+        result.issues.push_back(strf(
+            "%s: row count changed (baseline %zu, current %zu)",
+            where.c_str(), base_rows->elements.size(),
+            cur_rows->elements.size()));
+        return;
+    }
+    for (size_t r = 0; r < base_rows->elements.size(); ++r) {
+        const JsonValue &base_row = base_rows->elements[r];
+        const JsonValue &cur_row = cur_rows->elements[r];
+        if (!base_row.isArray() || !cur_row.isArray() ||
+            base_row.elements.size() != cur_row.elements.size())
+            continue;
+        for (size_t c = 0; c < base_row.elements.size(); ++c) {
+            if (!base_row.elements[c].isString() ||
+                !cur_row.elements[c].isString())
+                continue;
+            const std::string &base_cell =
+                base_row.elements[c].string;
+            const std::string &cur_cell = cur_row.elements[c].string;
+            double base_num = 0.0;
+            double cur_num = 0.0;
+            const bool base_is_num = parseCell(base_cell, base_num);
+            const bool cur_is_num = parseCell(cur_cell, cur_num);
+            if (base_is_num != cur_is_num) {
+                result.issues.push_back(strf(
+                    "%s row %zu col %zu: cell changed kind "
+                    "('%s' -> '%s')",
+                    where.c_str(), r, c, base_cell.c_str(),
+                    cur_cell.c_str()));
+                continue;
+            }
+            if (!base_is_num)
+                continue;
+            const double drift = relDrift(cur_num, base_num);
+            if (drift > options.tolerance) {
+                result.issues.push_back(strf(
+                    "%s row %zu col %zu: value drifted %.1f%% "
+                    "(baseline %s, current %s)",
+                    where.c_str(), r, c, 100.0 * drift,
+                    base_cell.c_str(), cur_cell.c_str()));
+            }
+        }
+    }
+}
+
+} // namespace
+
+CompareResult
+compareReports(const JsonValue &current, const JsonValue &baseline,
+               const CompareOptions &options)
+{
+    CompareResult result;
+
+    const std::string base_schema = baseline.stringOr("schema", "");
+    if (base_schema != current.stringOr("schema", "")) {
+        result.issues.push_back("schema version mismatch");
+        return result;
+    }
+    const std::string figure = baseline.stringOr("figure", "");
+    if (figure != current.stringOr("figure", "")) {
+        result.issues.push_back(
+            "figure mismatch: baseline '" + figure + "' vs '" +
+            current.stringOr("figure", "") + "'");
+        return result;
+    }
+
+    const JsonValue *base_run = baseline.find("run");
+    const JsonValue *cur_run = current.find("run");
+    if (base_run != nullptr && cur_run != nullptr) {
+        for (const char *field : {"seeds", "threads"}) {
+            if (base_run->numberOr(field, -1.0) !=
+                cur_run->numberOr(field, -1.0)) {
+                result.issues.push_back(
+                    std::string("run config mismatch on '") + field +
+                    "' — results are not comparable");
+            }
+        }
+        const JsonValue *base_fast = base_run->find("fast");
+        const JsonValue *cur_fast = cur_run->find("fast");
+        if (base_fast != nullptr && cur_fast != nullptr &&
+            base_fast->boolean != cur_fast->boolean) {
+            result.issues.push_back(
+                "run config mismatch on 'fast' — results are not "
+                "comparable");
+        }
+    }
+    if (!result.issues.empty())
+        return result;
+
+    const JsonValue *base_sections = baseline.find("sections");
+    if (base_sections == nullptr || !base_sections->isArray()) {
+        result.issues.push_back("baseline has no sections");
+        return result;
+    }
+    for (const JsonValue &base_section : base_sections->elements) {
+        const std::string id = base_section.stringOr("id", "");
+        const std::string kind = base_section.stringOr("kind", "");
+        if (kind == "note")
+            continue; // commentary may change freely
+        const std::string where = figure + "/" + id;
+        const JsonValue *cur_section = findSection(current, id);
+        if (cur_section == nullptr) {
+            result.issues.push_back(where +
+                                    ": section missing from current");
+            continue;
+        }
+        if (cur_section->stringOr("kind", "") != kind) {
+            result.issues.push_back(where + ": section kind changed");
+            continue;
+        }
+        if (kind == "panel")
+            comparePanel(where, *cur_section, base_section, options,
+                         result);
+        else if (kind == "table")
+            compareTable(where, *cur_section, base_section, options,
+                         result);
+    }
+    return result;
+}
+
+} // namespace rr::exp

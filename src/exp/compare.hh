@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Baseline comparison for benchmark results (rrbench --compare):
+ * detects *shape* regressions between two "rr.bench.v1" documents of
+ * the same figure — efficiency or flexible/fixed-ratio drift beyond
+ * a relative tolerance, movement of a fixed-vs-flexible crossover to
+ * the other side of 1.0, and structural changes (missing sections,
+ * points, or table rows).
+ *
+ * Free-form note sections and non-numeric table cells are ignored:
+ * commentary may be reworded freely without failing a baseline
+ * check. Run configurations (seeds/threads/fast) must match, since
+ * numbers from different sweep configurations are not comparable.
+ */
+
+#ifndef RR_EXP_COMPARE_HH
+#define RR_EXP_COMPARE_HH
+
+#include <string>
+#include <vector>
+
+#include "exp/json_in.hh"
+
+namespace rr::exp {
+
+/** Comparison knobs. */
+struct CompareOptions
+{
+    /**
+     * Maximum relative drift |cur - base| / max(|base|, eps) allowed
+     * for efficiencies, ratios, and numeric table cells.
+     */
+    double tolerance = 0.05;
+};
+
+/** The outcome of one figure comparison. */
+struct CompareResult
+{
+    std::vector<std::string> issues; ///< regressions (fail the run)
+    std::vector<std::string> notes;  ///< informational only
+
+    bool ok() const { return issues.empty(); }
+};
+
+/**
+ * Compare @p current against @p baseline (both parsed "rr.bench.v1"
+ * documents for the same figure) under @p options.
+ */
+CompareResult compareReports(const JsonValue &current,
+                             const JsonValue &baseline,
+                             const CompareOptions &options);
+
+} // namespace rr::exp
+
+#endif // RR_EXP_COMPARE_HH

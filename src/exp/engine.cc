@@ -1,0 +1,91 @@
+#include "exp/engine.hh"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exp/env.hh"
+
+namespace rr::exp {
+
+namespace {
+
+/// -1 = not overridden, fall back to RR_BENCH_JOBS.
+std::atomic<int> g_jobs{-1};
+
+unsigned
+resolveHardware(unsigned jobs)
+{
+    if (jobs != 0)
+        return jobs;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+} // namespace
+
+void
+setDefaultJobs(unsigned jobs)
+{
+    g_jobs.store(static_cast<int>(jobs), std::memory_order_relaxed);
+}
+
+unsigned
+defaultJobs()
+{
+    const int overridden = g_jobs.load(std::memory_order_relaxed);
+    const unsigned jobs = overridden >= 0
+                              ? static_cast<unsigned>(overridden)
+                              : benchJobs();
+    return resolveHardware(jobs);
+}
+
+void
+runParallel(std::size_t count,
+            const std::function<void(std::size_t)> &fn, unsigned jobs)
+{
+    const unsigned effective =
+        jobs == 0 ? defaultJobs() : resolveHardware(jobs);
+    if (effective <= 1 || count <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+
+    const auto worker = [&]() {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(error_mutex);
+                if (!error)
+                    error = std::current_exception();
+            }
+        }
+    };
+
+    const std::size_t num_threads =
+        std::min<std::size_t>(effective, count);
+    std::vector<std::thread> pool;
+    pool.reserve(num_threads - 1);
+    for (std::size_t t = 1; t < num_threads; ++t)
+        pool.emplace_back(worker);
+    worker(); // the caller is worker 0
+    for (std::thread &thread : pool)
+        thread.join();
+
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace rr::exp

@@ -1,7 +1,10 @@
 #include "exp/env.hh"
 
+#include <cstdio>
 #include <cstdlib>
-#include <string>
+#include <limits>
+
+#include "base/parse_num.hh"
 
 namespace rr::exp {
 
@@ -11,10 +14,14 @@ envUnsigned(const char *name, unsigned fallback)
     const char *value = std::getenv(name);
     if (value == nullptr || *value == '\0')
         return fallback;
-    char *end = nullptr;
-    const unsigned long parsed = std::strtoul(value, &end, 10);
-    if (end == value)
-        return fallback;
+    uint64_t parsed = 0;
+    if (!parseUnsigned(value, parsed,
+                       std::numeric_limits<unsigned>::max())) {
+        std::fprintf(stderr,
+                     "%s: expected an unsigned integer, got '%s'\n",
+                     name, value);
+        std::exit(64);
+    }
     return static_cast<unsigned>(parsed);
 }
 
@@ -34,6 +41,12 @@ bool
 benchFast()
 {
     return envUnsigned("RR_BENCH_FAST", 0) != 0;
+}
+
+unsigned
+benchJobs()
+{
+    return envUnsigned("RR_BENCH_JOBS", 1);
 }
 
 } // namespace rr::exp

@@ -1,0 +1,278 @@
+#include "exp/json_in.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cstring>
+
+namespace rr::exp {
+
+const JsonValue *
+JsonValue::find(const std::string &name) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[key, value] : members) {
+        if (key == name)
+            return &value;
+    }
+    return nullptr;
+}
+
+double
+JsonValue::numberOr(const std::string &name, double fallback) const
+{
+    const JsonValue *member = find(name);
+    return member != nullptr && member->isNumber() ? member->number
+                                                   : fallback;
+}
+
+std::string
+JsonValue::stringOr(const std::string &name,
+                    const std::string &fallback) const
+{
+    const JsonValue *member = find(name);
+    return member != nullptr && member->isString() ? member->string
+                                                   : fallback;
+}
+
+namespace {
+
+/** Recursive-descent parser state over the input buffer. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {}
+
+    std::optional<JsonValue>
+    run()
+    {
+        JsonValue value;
+        if (!parseValue(value, 0))
+            return std::nullopt;
+        skipSpace();
+        if (pos_ != text_.size()) {
+            fail("trailing garbage after document");
+            return std::nullopt;
+        }
+        return value;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    bool
+    fail(const std::string &message)
+    {
+        if (error_ != nullptr && error_->empty())
+            *error_ = message + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word, JsonValue &out, JsonValue::Kind kind,
+            bool boolean)
+    {
+        const size_t len = std::strlen(word);
+        if (text_.compare(pos_, len, word) != 0)
+            return fail("invalid literal");
+        pos_ += len;
+        out.kind = kind;
+        out.boolean = boolean;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return fail("expected string");
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("invalid \\u escape");
+                }
+                // Encode the code point as UTF-8 (BMP only; the
+                // writer never emits surrogate pairs).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                return fail("invalid escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const size_t start = pos_;
+        if (consume('-')) {}
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        double value = 0.0;
+        const auto result = std::from_chars(
+            text_.data() + start, text_.data() + pos_, value);
+        if (result.ec != std::errc() ||
+            result.ptr != text_.data() + pos_) {
+            pos_ = start;
+            return fail("invalid number");
+        }
+        out.kind = JsonValue::Kind::Number;
+        out.number = value;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipSpace();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        const char c = text_[pos_];
+        switch (c) {
+          case '{': {
+            ++pos_;
+            out.kind = JsonValue::Kind::Object;
+            skipSpace();
+            if (consume('}'))
+                return true;
+            for (;;) {
+                skipSpace();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipSpace();
+                if (!consume(':'))
+                    return fail("expected ':'");
+                JsonValue value;
+                if (!parseValue(value, depth + 1))
+                    return false;
+                out.members.emplace_back(std::move(key),
+                                         std::move(value));
+                skipSpace();
+                if (consume(','))
+                    continue;
+                if (consume('}'))
+                    return true;
+                return fail("expected ',' or '}'");
+            }
+          }
+          case '[': {
+            ++pos_;
+            out.kind = JsonValue::Kind::Array;
+            skipSpace();
+            if (consume(']'))
+                return true;
+            for (;;) {
+                JsonValue value;
+                if (!parseValue(value, depth + 1))
+                    return false;
+                out.elements.push_back(std::move(value));
+                skipSpace();
+                if (consume(','))
+                    continue;
+                if (consume(']'))
+                    return true;
+                return fail("expected ',' or ']'");
+            }
+          }
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.string);
+          case 't':
+            return literal("true", out, JsonValue::Kind::Bool, true);
+          case 'f':
+            return literal("false", out, JsonValue::Kind::Bool,
+                           false);
+          case 'n':
+            return literal("null", out, JsonValue::Kind::Null, false);
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    const std::string &text_;
+    std::string *error_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+std::optional<JsonValue>
+parseJson(const std::string &text, std::string *error)
+{
+    if (error != nullptr)
+        error->clear();
+    return Parser(text, error).run();
+}
+
+} // namespace rr::exp

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser for reading benchmark
+ * baselines back in (rrbench --compare / --validate). Parses the
+ * full JSON grammar into a JsonValue tree; no external dependencies.
+ * Object member order is preserved so a parse/re-emit round trip is
+ * stable.
+ */
+
+#ifndef RR_EXP_JSON_IN_HH
+#define RR_EXP_JSON_IN_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rr::exp {
+
+/** A parsed JSON document node. */
+struct JsonValue
+{
+    enum class Kind : uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> elements;                     ///< Array
+    std::vector<std::pair<std::string, JsonValue>> members; ///< Object
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Member lookup (objects only); nullptr when absent. */
+    const JsonValue *find(const std::string &name) const;
+
+    /** Member's number, or @p fallback when absent/not a number. */
+    double numberOr(const std::string &name, double fallback) const;
+
+    /** Member's string, or @p fallback when absent/not a string. */
+    std::string stringOr(const std::string &name,
+                         const std::string &fallback) const;
+};
+
+/**
+ * Parse @p text as one JSON document (trailing whitespace allowed,
+ * trailing garbage rejected). On failure returns std::nullopt and,
+ * when @p error is non-null, stores a message with the byte offset.
+ */
+std::optional<JsonValue> parseJson(const std::string &text,
+                                   std::string *error = nullptr);
+
+} // namespace rr::exp
+
+#endif // RR_EXP_JSON_IN_HH

@@ -1,0 +1,39 @@
+#include "exp/registry.hh"
+
+#include <algorithm>
+
+namespace rr::exp {
+
+Registry &
+Registry::instance()
+{
+    static Registry registry;
+    return registry;
+}
+
+void
+Registry::add(FigureInfo info)
+{
+    figures_.push_back(std::move(info));
+}
+
+std::vector<FigureInfo>
+Registry::figures() const
+{
+    std::vector<FigureInfo> sorted = figures_;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const FigureInfo &a, const FigureInfo &b) {
+                  return a.name < b.name;
+              });
+    return sorted;
+}
+
+Report
+Registry::run(const FigureInfo &figure, const RunMeta &run)
+{
+    ReportBuilder builder(figure.name, figure.title, run);
+    figure.fn(builder);
+    return builder.takeReport();
+}
+
+} // namespace rr::exp

@@ -1,0 +1,350 @@
+#include "exp/report.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "exp/json_in.hh"
+#include "exp/json_out.hh"
+
+namespace rr::exp {
+
+std::string
+strf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    const int size = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    std::string out;
+    if (size > 0) {
+        out.resize(static_cast<size_t>(size));
+        std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+    }
+    va_end(args);
+    return out;
+}
+
+namespace {
+
+void
+writeReplicated(JsonWriter &w, const Replicated &rep)
+{
+    w.beginObject();
+    w.key("mean");
+    w.value(rep.meanEfficiency);
+    w.key("stddev");
+    w.value(rep.stddev);
+    w.key("ci95");
+    w.value(rep.ci95);
+    w.key("resident");
+    w.value(rep.meanResident);
+    w.key("seeds");
+    w.value(rep.seeds);
+    w.endObject();
+}
+
+void
+writePanel(JsonWriter &w, const FigurePanel &panel)
+{
+    w.key("numRegs");
+    w.value(panel.numRegs);
+    w.key("points");
+    w.beginArray();
+    for (const ComparisonPoint &point : panel.points) {
+        w.beginObject();
+        w.key("R");
+        w.value(point.runLength);
+        w.key("L");
+        w.value(point.latency);
+        w.key("fixed");
+        writeReplicated(w, point.fixed);
+        w.key("flexible");
+        writeReplicated(w, point.flexible);
+        w.key("ratio");
+        w.value(point.fixed.meanEfficiency > 0.0
+                    ? point.flexible.meanEfficiency /
+                          point.fixed.meanEfficiency
+                    : 0.0);
+        w.endObject();
+    }
+    w.endArray();
+}
+
+void
+writeTable(JsonWriter &w, const Table &table)
+{
+    w.key("columns");
+    w.beginArray();
+    for (const std::string &header : table.headers())
+        w.value(header);
+    w.endArray();
+    w.key("rows");
+    w.beginArray();
+    for (const auto &row : table.rows()) {
+        w.beginArray();
+        for (const std::string &cell : row)
+            w.value(cell);
+        w.endArray();
+    }
+    w.endArray();
+}
+
+const char *
+kindName(ReportSection::Kind kind)
+{
+    switch (kind) {
+      case ReportSection::Kind::Note: return "note";
+      case ReportSection::Kind::Table: return "table";
+      case ReportSection::Kind::Panel: return "panel";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+Report::renderText() const
+{
+    std::string out = title + "\n";
+    out += strf("(seeds %u, threads %u%s)\n\n", run.seeds,
+                run.threads, run.fast ? ", fast sweep" : "");
+    for (const ReportSection &section : sections) {
+        if (!section.caption.empty()) {
+            out += section.caption;
+            out += '\n';
+        }
+        switch (section.kind) {
+          case ReportSection::Kind::Note:
+            out += section.note;
+            out += '\n';
+            break;
+          case ReportSection::Kind::Table:
+            out += section.table->render();
+            out += '\n';
+            break;
+          case ReportSection::Kind::Panel:
+            out += section.panel->toTable().render();
+            out += '\n';
+            break;
+        }
+    }
+    return out;
+}
+
+std::string
+Report::toJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema");
+    w.value("rr.bench.v1");
+    w.key("figure");
+    w.value(figure);
+    w.key("title");
+    w.value(title);
+    w.key("run");
+    w.beginObject();
+    w.key("seeds");
+    w.value(run.seeds);
+    w.key("threads");
+    w.value(run.threads);
+    w.key("fast");
+    w.value(run.fast);
+    w.endObject();
+    w.key("sections");
+    w.beginArray();
+    for (const ReportSection &section : sections) {
+        w.beginObject();
+        w.key("id");
+        w.value(section.id);
+        w.key("kind");
+        w.value(kindName(section.kind));
+        if (!section.caption.empty()) {
+            w.key("caption");
+            w.value(section.caption);
+        }
+        switch (section.kind) {
+          case ReportSection::Kind::Note:
+            w.key("text");
+            w.value(section.note);
+            break;
+          case ReportSection::Kind::Table:
+            writeTable(w, *section.table);
+            break;
+          case ReportSection::Kind::Panel:
+            writePanel(w, *section.panel);
+            break;
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str() + "\n";
+}
+
+ReportBuilder::ReportBuilder(std::string figure, std::string title,
+                             RunMeta run)
+{
+    report_.figure = std::move(figure);
+    report_.title = std::move(title);
+    report_.run = run;
+}
+
+void
+ReportBuilder::text(std::string note)
+{
+    ReportSection section;
+    section.kind = ReportSection::Kind::Note;
+    section.id = "note" + std::to_string(num_notes_++);
+    section.note = std::move(note);
+    report_.sections.push_back(std::move(section));
+}
+
+void
+ReportBuilder::table(std::string id, std::string caption, Table table)
+{
+    ReportSection section;
+    section.kind = ReportSection::Kind::Table;
+    section.id = std::move(id);
+    section.caption = std::move(caption);
+    section.table = std::move(table);
+    report_.sections.push_back(std::move(section));
+}
+
+void
+ReportBuilder::panel(std::string id, std::string caption,
+                     FigurePanel panel)
+{
+    ReportSection section;
+    section.kind = ReportSection::Kind::Panel;
+    section.id = std::move(id);
+    section.caption = std::move(caption);
+    section.panel = std::move(panel);
+    report_.sections.push_back(std::move(section));
+}
+
+namespace {
+
+void
+validateStats(const JsonValue &point, const char *arm,
+              const std::string &where,
+              std::vector<std::string> &issues)
+{
+    const JsonValue *stats = point.find(arm);
+    if (stats == nullptr || !stats->isObject()) {
+        issues.push_back(where + ": missing '" + arm + "' object");
+        return;
+    }
+    for (const char *field :
+         {"mean", "stddev", "ci95", "resident", "seeds"}) {
+        const JsonValue *value = stats->find(field);
+        if (value == nullptr || !value->isNumber())
+            issues.push_back(where + "." + arm + ": missing number '" +
+                             field + "'");
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+validateReportJson(const JsonValue &doc)
+{
+    std::vector<std::string> issues;
+    if (!doc.isObject()) {
+        issues.push_back("document is not a JSON object");
+        return issues;
+    }
+    if (doc.stringOr("schema", "") != "rr.bench.v1")
+        issues.push_back("schema is not 'rr.bench.v1'");
+    if (doc.stringOr("figure", "").empty())
+        issues.push_back("missing 'figure' string");
+    if (doc.stringOr("title", "").empty())
+        issues.push_back("missing 'title' string");
+
+    const JsonValue *run = doc.find("run");
+    if (run == nullptr || !run->isObject()) {
+        issues.push_back("missing 'run' object");
+    } else {
+        for (const char *field : {"seeds", "threads"}) {
+            const JsonValue *value = run->find(field);
+            if (value == nullptr || !value->isNumber())
+                issues.push_back(std::string("run: missing number '") +
+                                 field + "'");
+        }
+        const JsonValue *fast = run->find("fast");
+        if (fast == nullptr || !fast->isBool())
+            issues.push_back("run: missing bool 'fast'");
+    }
+
+    const JsonValue *sections = doc.find("sections");
+    if (sections == nullptr || !sections->isArray()) {
+        issues.push_back("missing 'sections' array");
+        return issues;
+    }
+    for (size_t i = 0; i < sections->elements.size(); ++i) {
+        const JsonValue &section = sections->elements[i];
+        const std::string where =
+            "sections[" + std::to_string(i) + "]";
+        if (!section.isObject()) {
+            issues.push_back(where + ": not an object");
+            continue;
+        }
+        if (section.stringOr("id", "").empty())
+            issues.push_back(where + ": missing 'id'");
+        const std::string kind = section.stringOr("kind", "");
+        if (kind == "note") {
+            const JsonValue *text = section.find("text");
+            if (text == nullptr || !text->isString())
+                issues.push_back(where + ": note without 'text'");
+        } else if (kind == "table") {
+            const JsonValue *columns = section.find("columns");
+            const JsonValue *rows = section.find("rows");
+            if (columns == nullptr || !columns->isArray()) {
+                issues.push_back(where + ": table without 'columns'");
+            } else if (rows == nullptr || !rows->isArray()) {
+                issues.push_back(where + ": table without 'rows'");
+            } else {
+                for (const JsonValue &row : rows->elements) {
+                    if (!row.isArray() ||
+                        row.elements.size() !=
+                            columns->elements.size()) {
+                        issues.push_back(where +
+                                         ": row arity != columns");
+                        break;
+                    }
+                }
+            }
+        } else if (kind == "panel") {
+            const JsonValue *points = section.find("points");
+            if (points == nullptr || !points->isArray()) {
+                issues.push_back(where + ": panel without 'points'");
+                continue;
+            }
+            for (size_t p = 0; p < points->elements.size(); ++p) {
+                const JsonValue &point = points->elements[p];
+                const std::string pwhere =
+                    where + ".points[" + std::to_string(p) + "]";
+                if (!point.isObject()) {
+                    issues.push_back(pwhere + ": not an object");
+                    continue;
+                }
+                for (const char *axis : {"R", "L", "ratio"}) {
+                    const JsonValue *value = point.find(axis);
+                    if (value == nullptr || !value->isNumber())
+                        issues.push_back(pwhere +
+                                         ": missing number '" +
+                                         axis + "'");
+                }
+                validateStats(point, "fixed", pwhere, issues);
+                validateStats(point, "flexible", pwhere, issues);
+            }
+        } else {
+            issues.push_back(where + ": unknown kind '" + kind + "'");
+        }
+    }
+    return issues;
+}
+
+} // namespace rr::exp

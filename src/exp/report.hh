@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Structured benchmark reports: what every registered figure
+ * produces instead of printing free-form text.
+ *
+ * A Report is an ordered list of sections — commentary notes,
+ * generic tables (base/table.hh), and fixed-vs-flexible sweep panels
+ * (sweep.hh) with full per-point statistics. The same report renders
+ * both ways:
+ *
+ *  - renderText(): the human-readable form rrbench prints, matching
+ *    the style of the original standalone bench binaries;
+ *  - toJson(): the machine-readable "rr.bench.v1" document written
+ *    to BENCH_<figure>.json and consumed by rrbench --compare
+ *    (schema reference in docs/BENCH.md).
+ *
+ * Figure functions receive a ReportBuilder (registry.hh) and call
+ * text()/table()/panel(); section ids are the stable keys baseline
+ * comparison matches on, so keep them unchanged across runs.
+ */
+
+#ifndef RR_EXP_REPORT_HH
+#define RR_EXP_REPORT_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/table.hh"
+#include "exp/sweep.hh"
+
+namespace rr::exp {
+
+struct JsonValue;
+
+/** printf-style formatting into a std::string (for report notes). */
+std::string strf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** The harness configuration a report was produced under. */
+struct RunMeta
+{
+    unsigned seeds = 0;   ///< replications per data point
+    unsigned threads = 0; ///< synthetic thread supply
+    bool fast = false;    ///< trimmed sweeps (RR_BENCH_FAST / --fast)
+};
+
+/** One report section: a note, a table, or a sweep panel. */
+struct ReportSection
+{
+    enum class Kind : uint8_t
+    {
+        Note,  ///< free-form commentary (ignored by --compare)
+        Table, ///< generic table; numeric cells are compared
+        Panel, ///< fixed-vs-flexible sweep with per-point statistics
+    };
+
+    Kind kind = Kind::Note;
+    std::string id;      ///< stable key for baseline comparison
+    std::string caption; ///< printed above the content (may be empty)
+    std::string note;    ///< Kind::Note payload
+    std::optional<Table> table;       ///< Kind::Table payload
+    std::optional<FigurePanel> panel; ///< Kind::Panel payload
+};
+
+/** A complete figure report. */
+struct Report
+{
+    std::string figure; ///< registry name (e.g. "fig5_cache")
+    std::string title;  ///< one-line description
+    RunMeta run;
+    std::vector<ReportSection> sections;
+
+    /** Human-readable rendering (what rrbench prints). */
+    std::string renderText() const;
+
+    /** The versioned "rr.bench.v1" JSON document. */
+    std::string toJson() const;
+};
+
+/** The interface figure functions build their report through. */
+class ReportBuilder
+{
+  public:
+    ReportBuilder(std::string figure, std::string title, RunMeta run);
+
+    /** Append a commentary note (auto-assigned id "note<N>"). */
+    void text(std::string note);
+
+    /** Append a generic table under the stable id @p id. */
+    void table(std::string id, std::string caption, Table table);
+
+    /** Append a sweep panel under the stable id @p id. */
+    void panel(std::string id, std::string caption,
+               FigurePanel panel);
+
+    const RunMeta &run() const { return report_.run; }
+    const Report &report() const { return report_; }
+    Report takeReport() { return std::move(report_); }
+
+  private:
+    Report report_;
+    unsigned num_notes_ = 0;
+};
+
+/**
+ * Shape-check a parsed results document against the "rr.bench.v1"
+ * schema (rrbench --validate, and CI's artifact validation).
+ * @return a list of problems; empty means the document is valid.
+ */
+std::vector<std::string> validateReportJson(const JsonValue &doc);
+
+} // namespace rr::exp
+
+#endif // RR_EXP_REPORT_HH

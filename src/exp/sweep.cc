@@ -3,25 +3,94 @@
 #include <cmath>
 
 #include "base/stats.hh"
+#include "exp/engine.hh"
 
 namespace rr::exp {
+
+namespace {
+
+/** Outcome of one (maker, arch, seed) simulation. */
+struct SeedSample
+{
+    double efficiency = 0.0;
+    double resident = 0.0;
+};
+
+/**
+ * Fold per-seed samples (in seed order) into the replicated
+ * statistics. Reduction order is fixed, so the result is identical
+ * however the samples were produced.
+ */
+Replicated
+reduceSeeds(const SeedSample *samples, unsigned num_seeds)
+{
+    RunningStats eff;
+    RunningStats resident;
+    for (unsigned i = 0; i < num_seeds; ++i) {
+        eff.add(samples[i].efficiency);
+        resident.add(samples[i].resident);
+    }
+    Replicated out;
+    out.meanEfficiency = eff.mean();
+    out.stddev = eff.stddev();
+    out.ci95 = ci95HalfWidth(out.stddev, num_seeds);
+    out.meanResident = resident.mean();
+    out.seeds = num_seeds;
+    return out;
+}
+
+SeedSample
+runOne(const ConfigMaker &maker, mt::ArchKind arch, uint64_t seed)
+{
+    const mt::MtStats stats = mt::simulate(maker(arch, seed));
+    return {stats.efficiencyCentral, stats.avgResidentContexts};
+}
+
+} // namespace
+
+double
+ci95HalfWidth(double stddev, unsigned count)
+{
+    if (count < 2)
+        return 0.0;
+    // Two-sided 97.5% Student's t critical values for df = 1..30;
+    // beyond that the normal approximation is within half a percent.
+    static const double kT975[] = {
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+        2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+        2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060,  2.056, 2.052, 2.048, 2.045, 2.042};
+    const unsigned df = count - 1;
+    const double t = df <= 30 ? kT975[df - 1] : 1.960;
+    return t * stddev / std::sqrt(static_cast<double>(count));
+}
 
 Replicated
 replicate(const ConfigMaker &maker, mt::ArchKind arch,
           unsigned num_seeds)
 {
-    RunningStats eff;
-    RunningStats resident;
-    for (unsigned seed = 1; seed <= num_seeds; ++seed) {
-        const mt::MtStats stats = mt::simulate(maker(arch, seed));
-        eff.add(stats.efficiencyCentral);
-        resident.add(stats.avgResidentContexts);
-    }
-    Replicated out;
-    out.meanEfficiency = eff.mean();
-    out.stddev = eff.stddev();
-    out.meanResident = resident.mean();
-    out.seeds = num_seeds;
+    std::vector<SeedSample> samples(num_seeds);
+    runParallel(num_seeds, [&](std::size_t i) {
+        samples[i] =
+            runOne(maker, arch, static_cast<uint64_t>(i) + 1);
+    });
+    return reduceSeeds(samples.data(), num_seeds);
+}
+
+std::vector<Replicated>
+replicateMany(const std::vector<ReplicateRequest> &requests,
+              unsigned num_seeds)
+{
+    std::vector<SeedSample> samples(requests.size() * num_seeds);
+    runParallel(samples.size(), [&](std::size_t i) {
+        const std::size_t request = i / num_seeds;
+        const uint64_t seed = i % num_seeds + 1;
+        samples[i] = runOne(requests[request].maker,
+                            requests[request].arch, seed);
+    });
+    std::vector<Replicated> out(requests.size());
+    for (std::size_t r = 0; r < requests.size(); ++r)
+        out[r] = reduceSeeds(&samples[r * num_seeds], num_seeds);
     return out;
 }
 
@@ -53,16 +122,33 @@ sweepPanel(unsigned num_regs, const PanelMaker &maker,
             ComparisonPoint point;
             point.runLength = run_length;
             point.latency = latency;
-            const ConfigMaker bound =
-                [&](mt::ArchKind arch, uint64_t seed) {
-                    return maker(arch, run_length, latency, seed);
-                };
-            point.fixed =
-                replicate(bound, mt::ArchKind::FixedHw, num_seeds);
-            point.flexible =
-                replicate(bound, mt::ArchKind::Flexible, num_seeds);
             panel.points.push_back(point);
         }
+    }
+
+    // Flatten to (point, arch, seed) tasks; each writes its own slot.
+    const std::size_t per_point = 2 * num_seeds;
+    std::vector<SeedSample> samples(panel.points.size() * per_point);
+    runParallel(samples.size(), [&](std::size_t i) {
+        const std::size_t p = i / per_point;
+        const std::size_t rest = i % per_point;
+        const mt::ArchKind arch = rest < num_seeds
+                                      ? mt::ArchKind::FixedHw
+                                      : mt::ArchKind::Flexible;
+        const uint64_t seed = rest % num_seeds + 1;
+        const ComparisonPoint &point = panel.points[p];
+        samples[i] = runOne(
+            [&](mt::ArchKind a, uint64_t s) {
+                return maker(a, point.runLength, point.latency, s);
+            },
+            arch, seed);
+    });
+
+    for (std::size_t p = 0; p < panel.points.size(); ++p) {
+        panel.points[p].fixed =
+            reduceSeeds(&samples[p * per_point], num_seeds);
+        panel.points[p].flexible = reduceSeeds(
+            &samples[p * per_point + num_seeds], num_seeds);
     }
     return panel;
 }

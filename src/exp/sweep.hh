@@ -5,6 +5,11 @@
  * efficiency, and assembles fixed-vs-flexible comparison series in
  * the shape of the paper's figures (efficiency vs latency, one curve
  * per run length, one panel per register file size).
+ *
+ * All fan-out goes through the deterministic worker pool in
+ * engine.hh: every (point, architecture, seed) simulation is an
+ * independent task, and results are reduced in fixed index order, so
+ * the configured job count never changes a result digit.
  */
 
 #ifndef RR_EXP_SWEEP_HH
@@ -23,21 +28,53 @@ namespace rr::exp {
 using ConfigMaker =
     std::function<mt::MtConfig(mt::ArchKind arch, uint64_t seed)>;
 
-/** Replicated measurement of one configuration. */
+/**
+ * Replicated measurement of one configuration: per-point statistics
+ * over the seed replications (mean, sample stddev, and the
+ * half-width of the 95% confidence interval of the mean, from
+ * Student's t for the small seed counts the harness uses).
+ */
 struct Replicated
 {
     double meanEfficiency = 0.0;
     double stddev = 0.0;
+    double ci95 = 0.0; ///< 95% CI half-width of the mean (0 if n < 2)
     double meanResident = 0.0;
     unsigned seeds = 0;
 };
 
 /**
+ * Half-width of the two-sided 95% confidence interval of the mean
+ * for @p count samples with sample standard deviation @p stddev
+ * (Student's t critical value; 0 when count < 2).
+ */
+double ci95HalfWidth(double stddev, unsigned count);
+
+/**
  * Run @p maker for @p num_seeds seeds (1, 2, ...) with the given
- * architecture and aggregate the central-window efficiency.
+ * architecture and aggregate the central-window efficiency. The
+ * seed simulations run on the worker pool (engine.hh).
  */
 Replicated replicate(const ConfigMaker &maker, mt::ArchKind arch,
                      unsigned num_seeds);
+
+/** One architecture measurement requested from replicateMany(). */
+struct ReplicateRequest
+{
+    ConfigMaker maker;
+    mt::ArchKind arch = mt::ArchKind::Flexible;
+};
+
+/**
+ * Measure many (maker, arch) configurations at once, each over
+ * @p num_seeds seeds, fanning every individual simulation out to the
+ * worker pool. Returns one Replicated per request, in request order
+ * — the parallel equivalent of calling replicate() in a loop, for
+ * figures whose tables are not plain fixed-vs-flexible panels.
+ */
+std::vector<Replicated>
+replicateMany(const std::vector<ReplicateRequest> &requests,
+              unsigned num_seeds);
 
 /** One (x, curve) data point comparing the two architectures. */
 struct ComparisonPoint
@@ -72,7 +109,9 @@ using PanelMaker = std::function<mt::MtConfig(
 /**
  * Sweep a panel: for every run length in @p run_lengths and latency
  * in @p latencies, measure both architectures over @p num_seeds
- * seeds.
+ * seeds. All (point, arch, seed) simulations run concurrently on
+ * the worker pool; the assembled panel is identical for any job
+ * count.
  */
 FigurePanel sweepPanel(unsigned num_regs, const PanelMaker &maker,
                        const std::vector<double> &run_lengths,

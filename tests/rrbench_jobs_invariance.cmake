@@ -1,0 +1,32 @@
+# Runs one figure at --jobs 1 and --jobs 8 and fails unless the two
+# JSON result files are byte-identical — the rrbench determinism
+# contract (docs/BENCH.md). Invoked by ctest; see tests/CMakeLists.txt.
+
+foreach(var RRBENCH WORK_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "${var} is required")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+
+foreach(jobs 1 8)
+    execute_process(
+        COMMAND ${RRBENCH} --filter fig5_cache --fast --quiet
+            --jobs ${jobs} --out-dir ${WORK_DIR}/jobs${jobs}
+        RESULT_VARIABLE status)
+    if(NOT status EQUAL 0)
+        message(FATAL_ERROR
+            "rrbench --jobs ${jobs} failed with status ${status}")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+        ${WORK_DIR}/jobs1/BENCH_fig5_cache.json
+        ${WORK_DIR}/jobs8/BENCH_fig5_cache.json
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+        "BENCH_fig5_cache.json differs between --jobs 1 and --jobs 8")
+endif()

@@ -116,8 +116,23 @@ TEST(Env, UnsignedParsingAndDefaults)
     EXPECT_EQ(exp::envUnsigned("RR_TEST_ENV_VALUE", 3), 17u);
     ::unsetenv("RR_TEST_ENV_VALUE");
     EXPECT_EQ(exp::envUnsigned("RR_TEST_ENV_VALUE", 3), 3u);
-    ::setenv("RR_TEST_ENV_VALUE", "junk", 1);
+    // An empty value counts as unset, not as garbage.
+    ::setenv("RR_TEST_ENV_VALUE", "", 1);
     EXPECT_EQ(exp::envUnsigned("RR_TEST_ENV_VALUE", 3), 3u);
+    ::unsetenv("RR_TEST_ENV_VALUE");
+}
+
+// A set-but-unparseable value must abort the run (exit 64), not be
+// silently replaced by the default: a typo in RR_BENCH_SEEDS would
+// otherwise change every result without a trace.
+TEST(EnvDeath, GarbageValueDies)
+{
+    ::setenv("RR_TEST_ENV_VALUE", "junk", 1);
+    EXPECT_EXIT(exp::envUnsigned("RR_TEST_ENV_VALUE", 3),
+                ::testing::ExitedWithCode(64), "RR_TEST_ENV_VALUE");
+    ::setenv("RR_TEST_ENV_VALUE", "17x", 1);
+    EXPECT_EXIT(exp::envUnsigned("RR_TEST_ENV_VALUE", 3),
+                ::testing::ExitedWithCode(64), "17x");
     ::unsetenv("RR_TEST_ENV_VALUE");
 }
 

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Tests for the rrbench infrastructure: the deterministic worker
+ * pool (engine.hh), jobs-invariance of sweep results, the JSON
+ * writer/parser round trip, report schema validation, and baseline
+ * comparison (drift and crossover detection).
+ */
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/compare.hh"
+#include "exp/engine.hh"
+#include "exp/json_in.hh"
+#include "exp/json_out.hh"
+#include "exp/registry.hh"
+#include "exp/report.hh"
+#include "exp/sweep.hh"
+#include "multithread/workload.hh"
+
+namespace rr {
+namespace {
+
+/** A small, cheap panel used for the determinism tests. */
+exp::FigurePanel
+cheapPanel(unsigned jobs)
+{
+    exp::setDefaultJobs(jobs);
+    const exp::PanelMaker maker = [](mt::ArchKind arch, double r,
+                                     double l, uint64_t seed) {
+        mt::MtConfig config = mt::fig5Config(
+            arch, 128, r, static_cast<uint64_t>(l), seed);
+        config.workload.numThreads = 10;
+        config.workload.workDist = makeConstant(3000);
+        return config;
+    };
+    exp::FigurePanel panel =
+        exp::sweepPanel(128, maker, {16.0, 64.0}, {100.0, 400.0}, 2);
+    exp::setDefaultJobs(1);
+    return panel;
+}
+
+/** Serialize a panel through the report layer for byte comparison. */
+std::string
+panelJson(const exp::FigurePanel &panel)
+{
+    exp::ReportBuilder builder("test", "test", {2, 10, true});
+    builder.panel("p", "", panel);
+    return builder.takeReport().toJson();
+}
+
+TEST(Engine, RunParallelVisitsEveryIndexOnce)
+{
+    for (const unsigned jobs : {1u, 4u}) {
+        std::vector<std::atomic<int>> visits(100);
+        exp::runParallel(
+            visits.size(), [&](std::size_t i) { visits[i]++; }, jobs);
+        for (const auto &count : visits)
+            EXPECT_EQ(count.load(), 1);
+    }
+}
+
+TEST(Engine, RunParallelHandlesEmptyAndSingle)
+{
+    int calls = 0;
+    exp::runParallel(0, [&](std::size_t) { ++calls; }, 4);
+    EXPECT_EQ(calls, 0);
+    exp::runParallel(1, [&](std::size_t) { ++calls; }, 4);
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(Engine, RunParallelPropagatesExceptions)
+{
+    EXPECT_THROW(exp::runParallel(
+                     8,
+                     [](std::size_t i) {
+                         if (i == 3)
+                             throw std::runtime_error("boom");
+                     },
+                     4),
+                 std::runtime_error);
+}
+
+// The acceptance contract: the job count changes wall-clock time
+// only, never a single result digit.
+TEST(Sweep, PanelIsByteIdenticalAcrossJobCounts)
+{
+    const std::string serial = panelJson(cheapPanel(1));
+    const std::string parallel = panelJson(cheapPanel(8));
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(Sweep, ReplicateManyMatchesReplicate)
+{
+    const exp::ConfigMaker maker = [](mt::ArchKind arch,
+                                      uint64_t seed) {
+        mt::MtConfig config = mt::fig5Config(arch, 128, 32.0, 200,
+                                             seed);
+        config.workload.numThreads = 8;
+        config.workload.workDist = makeConstant(3000);
+        return config;
+    };
+    const std::vector<exp::Replicated> many = exp::replicateMany(
+        {{maker, mt::ArchKind::FixedHw},
+         {maker, mt::ArchKind::Flexible}},
+        2);
+    ASSERT_EQ(many.size(), 2u);
+    const exp::Replicated fixed =
+        exp::replicate(maker, mt::ArchKind::FixedHw, 2);
+    const exp::Replicated flex =
+        exp::replicate(maker, mt::ArchKind::Flexible, 2);
+    EXPECT_DOUBLE_EQ(many[0].meanEfficiency, fixed.meanEfficiency);
+    EXPECT_DOUBLE_EQ(many[1].meanEfficiency, flex.meanEfficiency);
+    EXPECT_DOUBLE_EQ(many[0].stddev, fixed.stddev);
+}
+
+TEST(Sweep, Ci95HalfWidth)
+{
+    EXPECT_DOUBLE_EQ(exp::ci95HalfWidth(1.0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(exp::ci95HalfWidth(1.0, 1), 0.0);
+    // n = 2, df = 1: t = 12.706, / sqrt(2).
+    EXPECT_NEAR(exp::ci95HalfWidth(1.0, 2), 12.706 / std::sqrt(2.0),
+                1e-9);
+    // Large n: normal approximation.
+    EXPECT_NEAR(exp::ci95HalfWidth(1.0, 100), 1.96 / 10.0, 1e-9);
+}
+
+TEST(Json, WriterProducesParseableDocument)
+{
+    exp::JsonWriter w;
+    w.beginObject();
+    w.key("name");
+    w.value("a \"quoted\" string\nwith control \x01 bytes");
+    w.key("pi");
+    w.value(3.25);
+    w.key("list");
+    w.beginArray();
+    w.value(uint64_t{42});
+    w.value(true);
+    w.value(-1);
+    w.endArray();
+    w.endObject();
+
+    std::string error;
+    const auto doc = exp::parseJson(w.str(), &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    ASSERT_TRUE(doc->isObject());
+    EXPECT_EQ(doc->stringOr("name", ""),
+              "a \"quoted\" string\nwith control \x01 bytes");
+    EXPECT_DOUBLE_EQ(doc->numberOr("pi", 0.0), 3.25);
+    const exp::JsonValue *list = doc->find("list");
+    ASSERT_NE(list, nullptr);
+    ASSERT_EQ(list->elements.size(), 3u);
+    EXPECT_DOUBLE_EQ(list->elements[0].number, 42.0);
+    EXPECT_TRUE(list->elements[1].boolean);
+    EXPECT_DOUBLE_EQ(list->elements[2].number, -1.0);
+}
+
+TEST(Json, NumberFormattingRoundTrips)
+{
+    for (const double v : {0.0, 1.0, -0.5, 0.1, 1e-12, 123456.789}) {
+        const std::string text = exp::jsonNumber(v);
+        const auto parsed = exp::parseJson(text);
+        ASSERT_TRUE(parsed.has_value()) << text;
+        EXPECT_DOUBLE_EQ(parsed->number, v) << text;
+    }
+    // JSON cannot represent non-finite values.
+    EXPECT_EQ(exp::jsonNumber(std::nan("")), "null");
+}
+
+TEST(Json, ParserRejectsMalformedInput)
+{
+    for (const char *bad :
+         {"", "{", "[1,]", "{\"a\":}", "tru", "1 2", "{\"a\" 1}",
+          "\"unterminated", "[1] trailing"}) {
+        std::string error;
+        EXPECT_FALSE(exp::parseJson(bad, &error).has_value()) << bad;
+        EXPECT_FALSE(error.empty()) << bad;
+    }
+}
+
+TEST(Json, ParserRejectsExcessiveNesting)
+{
+    std::string deep;
+    for (int i = 0; i < 100; ++i)
+        deep += "[";
+    EXPECT_FALSE(exp::parseJson(deep).has_value());
+}
+
+/** Build a tiny but complete report for schema/compare tests. */
+exp::Report
+sampleReport()
+{
+    exp::setDefaultJobs(1);
+    exp::ReportBuilder builder("sample", "a sample figure",
+                               {2, 10, true});
+    builder.text("a note");
+    Table table({"R", "value"});
+    table.addRow({"8", "0.5"});
+    table.addRow({"32", "0.75"});
+    builder.table("tbl", "numbers", std::move(table));
+    builder.panel("p", "panel", cheapPanel(1));
+    return builder.takeReport();
+}
+
+TEST(Report, JsonValidatesAgainstSchema)
+{
+    const std::string json = sampleReport().toJson();
+    std::string error;
+    const auto doc = exp::parseJson(json, &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    const std::vector<std::string> issues =
+        exp::validateReportJson(*doc);
+    EXPECT_TRUE(issues.empty())
+        << "first issue: " << (issues.empty() ? "" : issues[0]);
+}
+
+TEST(Report, ValidatorFlagsBrokenDocuments)
+{
+    // Wrong schema string.
+    auto doc = exp::parseJson(
+        "{\"schema\":\"other.v9\",\"figure\":\"f\",\"title\":\"t\","
+        "\"run\":{\"seeds\":1,\"threads\":1,\"fast\":false},"
+        "\"sections\":[]}");
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_FALSE(exp::validateReportJson(*doc).empty());
+
+    // Missing sections array.
+    doc = exp::parseJson(
+        "{\"schema\":\"rr.bench.v1\",\"figure\":\"f\","
+        "\"title\":\"t\","
+        "\"run\":{\"seeds\":1,\"threads\":1,\"fast\":false}}");
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_FALSE(exp::validateReportJson(*doc).empty());
+}
+
+TEST(Report, RenderTextMentionsEverySection)
+{
+    const exp::Report report = sampleReport();
+    const std::string text = report.renderText();
+    EXPECT_NE(text.find("a sample figure"), std::string::npos);
+    EXPECT_NE(text.find("a note"), std::string::npos);
+    EXPECT_NE(text.find("numbers"), std::string::npos);
+    EXPECT_NE(text.find("flex/fixed"), std::string::npos);
+}
+
+TEST(Compare, SelfComparisonIsClean)
+{
+    const auto doc = exp::parseJson(sampleReport().toJson());
+    ASSERT_TRUE(doc.has_value());
+    const exp::CompareResult result =
+        exp::compareReports(*doc, *doc, {});
+    EXPECT_TRUE(result.ok())
+        << (result.issues.empty() ? "" : result.issues[0]);
+}
+
+/** Scale every flexible mean in the report's panel by @p factor. */
+exp::Report
+scaledFlexible(double factor)
+{
+    exp::Report report = sampleReport();
+    for (auto &section : report.sections) {
+        if (!section.panel)
+            continue;
+        for (auto &point : section.panel->points)
+            point.flexible.meanEfficiency *= factor;
+    }
+    return report;
+}
+
+TEST(Compare, DetectsInjectedEfficiencyRegression)
+{
+    const auto baseline = exp::parseJson(sampleReport().toJson());
+    // A 10% flexible-efficiency drop must fail at 5% tolerance...
+    const auto degraded = exp::parseJson(scaledFlexible(0.9).toJson());
+    ASSERT_TRUE(baseline.has_value() && degraded.has_value());
+    exp::CompareOptions options;
+    options.tolerance = 0.05;
+    EXPECT_FALSE(
+        exp::compareReports(*degraded, *baseline, options).ok());
+    // ... while a 1% perturbation passes.
+    const auto wiggled = exp::parseJson(scaledFlexible(0.99).toJson());
+    ASSERT_TRUE(wiggled.has_value());
+    EXPECT_TRUE(
+        exp::compareReports(*wiggled, *baseline, options).ok());
+}
+
+TEST(Compare, DetectsStructuralChanges)
+{
+    const auto baseline = exp::parseJson(sampleReport().toJson());
+    exp::Report trimmed = sampleReport();
+    trimmed.sections.pop_back(); // drop the panel
+    const auto current = exp::parseJson(trimmed.toJson());
+    ASSERT_TRUE(baseline.has_value() && current.has_value());
+    EXPECT_FALSE(exp::compareReports(*current, *baseline, {}).ok());
+}
+
+TEST(Compare, RejectsMismatchedRunConfig)
+{
+    const auto baseline = exp::parseJson(sampleReport().toJson());
+    exp::Report other = sampleReport();
+    other.run.seeds = 7;
+    const auto current = exp::parseJson(other.toJson());
+    ASSERT_TRUE(baseline.has_value() && current.has_value());
+    EXPECT_FALSE(exp::compareReports(*current, *baseline, {}).ok());
+}
+
+TEST(Registry, FiguresAreRegisteredAndSorted)
+{
+    // The test binary does not link the figure objects; register two
+    // locally and check ordering plus run().
+    exp::Registry &registry = exp::Registry::instance();
+    registry.add({"zz_test_figure", "z", [](exp::ReportBuilder &b) {
+                      b.text("ran");
+                  }});
+    registry.add({"aa_test_figure", "a", [](exp::ReportBuilder &) {}});
+    const std::vector<exp::FigureInfo> figures = registry.figures();
+    ASSERT_GE(figures.size(), 2u);
+    for (std::size_t i = 1; i < figures.size(); ++i)
+        EXPECT_LT(figures[i - 1].name, figures[i].name);
+
+    for (const exp::FigureInfo &figure : figures) {
+        if (figure.name != "zz_test_figure")
+            continue;
+        const exp::Report report =
+            exp::Registry::run(figure, {1, 2, true});
+        EXPECT_EQ(report.figure, "zz_test_figure");
+        ASSERT_EQ(report.sections.size(), 1u);
+        EXPECT_EQ(report.sections[0].note, "ran");
+    }
+}
+
+} // namespace
+} // namespace rr

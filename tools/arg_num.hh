@@ -4,17 +4,19 @@
  * tools. `std::strtoul(arg, nullptr, 0)` silently maps garbage to 0
  * ("--check foo" used to disable the check instead of failing); these
  * helpers reject non-numeric and out-of-range values so callers can
- * exit with the usage status (64).
+ * exit with the usage status (64). The underlying whole-string parse
+ * lives in base/parse_num.hh, where the benchmark harness's
+ * environment knobs (exp/env.hh) reuse it.
  */
 
 #ifndef RR_TOOLS_ARG_NUM_HH
 #define RR_TOOLS_ARG_NUM_HH
 
-#include <cerrno>
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
 #include <limits>
+
+#include "base/parse_num.hh"
 
 namespace rr::tools {
 
@@ -27,17 +29,7 @@ inline bool
 parseUnsigned(const char *text, uint64_t &out,
               uint64_t max = std::numeric_limits<uint64_t>::max())
 {
-    if (text == nullptr || *text == '\0' || *text == '-')
-        return false;
-    errno = 0;
-    char *end = nullptr;
-    const unsigned long long value = std::strtoull(text, &end, 0);
-    if (errno != 0 || end == text || *end != '\0')
-        return false;
-    if (value > max)
-        return false;
-    out = value;
-    return true;
+    return rr::parseUnsigned(text, out, max);
 }
 
 /**

@@ -1,0 +1,406 @@
+/**
+ * @file
+ * rrbench — the single driver for every paper figure and table
+ * reproduction (docs/BENCH.md is the full reference).
+ *
+ * Figures register themselves with RR_BENCH_FIGURE (exp/registry.hh);
+ * rrbench lists, filters, and runs them, prints the human-readable
+ * report, and writes one machine-readable BENCH_<figure>.json per
+ * figure (schema "rr.bench.v1"). Sweeps fan out over a fixed-size
+ * worker pool; --jobs changes wall-clock time only, never a result
+ * digit.
+ *
+ * Usage:
+ *   rrbench [--list] [--filter SUBSTR]... [--fast] [--jobs N]
+ *           [--seeds N] [--threads N] [--out-dir DIR] [--quiet]
+ *           [--compare PATH] [--tolerance X]
+ *   rrbench --validate FILE...
+ *
+ * Exit status: 0 on success, 1 when --compare detects a shape
+ * regression, 2 on I/O or validation failure, 64 on usage errors.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/compare.hh"
+#include "exp/engine.hh"
+#include "exp/env.hh"
+#include "exp/json_in.hh"
+#include "exp/registry.hh"
+#include "exp/report.hh"
+#include "arg_num.hh"
+
+namespace {
+
+using namespace rr;
+
+constexpr int kExitOk = 0;
+constexpr int kExitRegression = 1;
+constexpr int kExitError = 2;
+constexpr int kExitUsage = 64;
+
+void
+usage(std::FILE *out)
+{
+    std::fprintf(
+        out,
+        "usage: rrbench [options]\n"
+        "       rrbench --validate FILE...\n"
+        "\n"
+        "  --list           list registered figures and exit\n"
+        "  --filter SUBSTR  run only figures whose name contains\n"
+        "                   SUBSTR (repeatable)\n"
+        "  --fast           trimmed sweeps (same as RR_BENCH_FAST=1)\n"
+        "  --seeds N        replications per point "
+        "(RR_BENCH_SEEDS)\n"
+        "  --threads N      thread supply per simulation "
+        "(RR_BENCH_THREADS)\n"
+        "  --jobs N         worker threads; results are identical\n"
+        "                   for every N (0 = all cores)\n"
+        "  --out-dir DIR    write BENCH_<figure>.json here "
+        "(default .)\n"
+        "  --quiet          suppress the text reports\n"
+        "  --compare PATH   baseline BENCH_<figure>.json file, or a\n"
+        "                   directory of them; exit 1 on shape\n"
+        "                   regressions\n"
+        "  --tolerance X    relative drift allowed by --compare\n"
+        "                   (default 0.05)\n"
+        "  --validate       treat remaining arguments as result\n"
+        "                   files; check them against the schema\n");
+}
+
+std::optional<std::string>
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/** Parse a results document or explain why it failed. */
+std::optional<exp::JsonValue>
+loadDocument(const std::string &path)
+{
+    const auto text = readFile(path);
+    if (!text) {
+        std::fprintf(stderr, "rrbench: cannot read %s\n",
+                     path.c_str());
+        return std::nullopt;
+    }
+    std::string error;
+    auto doc = exp::parseJson(*text, &error);
+    if (!doc) {
+        std::fprintf(stderr, "rrbench: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return std::nullopt;
+    }
+    return doc;
+}
+
+int
+validateFiles(const std::vector<std::string> &paths)
+{
+    int status = kExitOk;
+    for (const std::string &path : paths) {
+        const auto doc = loadDocument(path);
+        if (!doc) {
+            status = kExitError;
+            continue;
+        }
+        const auto issues = exp::validateReportJson(*doc);
+        if (issues.empty()) {
+            std::printf("%s: ok (%s)\n", path.c_str(),
+                        doc->stringOr("figure", "?").c_str());
+            continue;
+        }
+        status = kExitError;
+        for (const std::string &issue : issues)
+            std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                         issue.c_str());
+    }
+    return status;
+}
+
+/** Locate the baseline document for @p figure under --compare PATH. */
+std::optional<std::string>
+baselinePath(const std::string &compare_path,
+             const std::string &figure)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    if (fs::is_directory(compare_path, ec)) {
+        const fs::path candidate =
+            fs::path(compare_path) / ("BENCH_" + figure + ".json");
+        if (fs::exists(candidate, ec))
+            return candidate.string();
+        return std::nullopt;
+    }
+    return compare_path;
+}
+
+struct Options
+{
+    bool list = false;
+    bool fast = false;
+    bool quiet = false;
+    std::vector<std::string> filters;
+    std::optional<unsigned> seeds;
+    std::optional<unsigned> threads;
+    std::optional<unsigned> jobs;
+    std::string out_dir = ".";
+    std::optional<std::string> compare;
+    double tolerance = 0.05;
+    std::vector<std::string> validate_files;
+    bool validate = false;
+};
+
+bool
+matchesFilters(const std::string &name, const Options &options)
+{
+    if (options.filters.empty())
+        return true;
+    for (const std::string &filter : options.filters) {
+        if (name.find(filter) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+int
+parseArgs(int argc, char **argv, Options &options)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        uint64_t value = 0;
+        if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            std::exit(kExitOk);
+        } else if (arg == "--list") {
+            options.list = true;
+        } else if (arg == "--fast") {
+            options.fast = true;
+        } else if (arg == "--quiet") {
+            options.quiet = true;
+        } else if (arg == "--validate") {
+            options.validate = true;
+        } else if (arg == "--filter") {
+            const char *filter = next();
+            if (filter == nullptr) {
+                std::fprintf(stderr,
+                             "rrbench: --filter expects a value\n");
+                return kExitUsage;
+            }
+            options.filters.emplace_back(filter);
+        } else if (arg == "--seeds") {
+            if (!tools::requireUnsigned("rrbench", "--seeds", next(),
+                                        value, 1u << 20))
+                return kExitUsage;
+            options.seeds = static_cast<unsigned>(value);
+        } else if (arg == "--threads") {
+            if (!tools::requireUnsigned("rrbench", "--threads",
+                                        next(), value, 1u << 20))
+                return kExitUsage;
+            options.threads = static_cast<unsigned>(value);
+        } else if (arg == "--jobs") {
+            if (!tools::requireUnsigned("rrbench", "--jobs", next(),
+                                        value, 4096))
+                return kExitUsage;
+            options.jobs = static_cast<unsigned>(value);
+        } else if (arg == "--out-dir") {
+            const char *dir = next();
+            if (dir == nullptr) {
+                std::fprintf(stderr,
+                             "rrbench: --out-dir expects a value\n");
+                return kExitUsage;
+            }
+            options.out_dir = dir;
+        } else if (arg == "--compare") {
+            const char *path = next();
+            if (path == nullptr) {
+                std::fprintf(stderr,
+                             "rrbench: --compare expects a value\n");
+                return kExitUsage;
+            }
+            options.compare = path;
+        } else if (arg == "--tolerance") {
+            const char *text = next();
+            char *end = nullptr;
+            const double tolerance =
+                text != nullptr ? std::strtod(text, &end) : 0.0;
+            if (text == nullptr || end == text || *end != '\0' ||
+                tolerance < 0.0) {
+                std::fprintf(
+                    stderr,
+                    "rrbench: --tolerance expects a non-negative "
+                    "number\n");
+                return kExitUsage;
+            }
+            options.tolerance = tolerance;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "rrbench: unknown option '%s'\n",
+                         arg.c_str());
+            usage(stderr);
+            return kExitUsage;
+        } else {
+            options.validate_files.push_back(arg);
+        }
+    }
+    if (!options.validate && !options.validate_files.empty()) {
+        std::fprintf(stderr,
+                     "rrbench: unexpected argument '%s' (use "
+                     "--validate for files)\n",
+                     options.validate_files.front().c_str());
+        return kExitUsage;
+    }
+    if (options.validate && options.validate_files.empty()) {
+        std::fprintf(stderr,
+                     "rrbench: --validate expects result files\n");
+        return kExitUsage;
+    }
+    return -1; // continue
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options options;
+    const int parse_status = parseArgs(argc, argv, options);
+    if (parse_status >= 0)
+        return parse_status;
+
+    if (options.validate)
+        return validateFiles(options.validate_files);
+
+    const auto figures = exp::Registry::instance().figures();
+    if (options.list) {
+        for (const auto &figure : figures)
+            std::printf("%-22s %s\n", figure.name.c_str(),
+                        figure.title.c_str());
+        return kExitOk;
+    }
+
+    // CLI flags override the RR_BENCH_* environment; the figures read
+    // their sweep configuration through exp/env.hh either way.
+    if (options.seeds)
+        ::setenv("RR_BENCH_SEEDS",
+                 std::to_string(*options.seeds).c_str(), 1);
+    if (options.threads)
+        ::setenv("RR_BENCH_THREADS",
+                 std::to_string(*options.threads).c_str(), 1);
+    if (options.fast)
+        ::setenv("RR_BENCH_FAST", "1", 1);
+    if (options.jobs)
+        exp::setDefaultJobs(*options.jobs);
+
+    exp::RunMeta run;
+    run.seeds = exp::benchSeeds();
+    run.threads = exp::benchThreads();
+    run.fast = exp::benchFast();
+
+    std::error_code ec;
+    std::filesystem::create_directories(options.out_dir, ec);
+    if (ec) {
+        std::fprintf(stderr, "rrbench: cannot create %s: %s\n",
+                     options.out_dir.c_str(),
+                     ec.message().c_str());
+        return kExitError;
+    }
+
+    unsigned ran = 0;
+    unsigned regressions = 0;
+    for (const auto &figure : figures) {
+        if (!matchesFilters(figure.name, options))
+            continue;
+        ++ran;
+        const exp::Report report = exp::Registry::run(figure, run);
+        if (!options.quiet) {
+            std::fputs(report.renderText().c_str(), stdout);
+            std::fputc('\n', stdout);
+        }
+
+        const std::string json = report.toJson();
+        const std::string out_path =
+            (std::filesystem::path(options.out_dir) /
+             ("BENCH_" + figure.name + ".json"))
+                .string();
+        {
+            std::ofstream out(out_path, std::ios::binary);
+            if (!out) {
+                std::fprintf(stderr, "rrbench: cannot write %s\n",
+                             out_path.c_str());
+                return kExitError;
+            }
+            out << json;
+        }
+        // Sanity: what we wrote must parse and satisfy the schema.
+        std::string parse_error;
+        const auto reparsed = exp::parseJson(json, &parse_error);
+        const auto schema_issues =
+            reparsed ? exp::validateReportJson(*reparsed)
+                     : std::vector<std::string>{parse_error};
+        if (!schema_issues.empty()) {
+            for (const std::string &issue : schema_issues)
+                std::fprintf(stderr, "rrbench: %s: %s\n",
+                             out_path.c_str(), issue.c_str());
+            return kExitError;
+        }
+
+        if (options.compare) {
+            const auto base_path =
+                baselinePath(*options.compare, figure.name);
+            if (!base_path) {
+                std::printf("compare: no baseline for %s, skipped\n",
+                            figure.name.c_str());
+                continue;
+            }
+            const auto baseline = loadDocument(*base_path);
+            if (!baseline)
+                return kExitError;
+            exp::CompareOptions copts;
+            copts.tolerance = options.tolerance;
+            const exp::CompareResult result =
+                exp::compareReports(*reparsed, *baseline, copts);
+            for (const std::string &note : result.notes)
+                std::printf("compare: %s\n", note.c_str());
+            if (result.ok()) {
+                std::printf("compare: %s matches %s "
+                            "(tolerance %.2f)\n",
+                            figure.name.c_str(), base_path->c_str(),
+                            options.tolerance);
+            } else {
+                ++regressions;
+                for (const std::string &issue : result.issues)
+                    std::fprintf(stderr, "REGRESSION: %s\n",
+                                 issue.c_str());
+            }
+        }
+    }
+
+    if (ran == 0) {
+        std::fprintf(stderr, "rrbench: no figures match the filter\n");
+        return kExitUsage;
+    }
+    if (regressions > 0) {
+        std::fprintf(stderr,
+                     "rrbench: %u figure(s) regressed against the "
+                     "baseline\n",
+                     regressions);
+        return kExitRegression;
+    }
+    return kExitOk;
+}
