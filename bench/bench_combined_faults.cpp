@@ -15,7 +15,7 @@
 #include "base/table.hh"
 #include "exp/registry.hh"
 #include "exp/sweep.hh"
-#include "multithread/workload.hh"
+#include "multithread/simulation_spec.hh"
 
 RR_BENCH_FIGURE(combined_faults,
                 "Combined cache + synchronization faults "
@@ -48,27 +48,36 @@ RR_BENCH_FIGURE(combined_faults,
                  {mt::ArchKind::FixedHw, mt::ArchKind::Flexible}) {
                 const exp::ConfigMaker cache_only =
                     [threads](mt::ArchKind a, uint64_t seed) {
-                        mt::MtConfig config =
-                            mt::fig5Config(a, 128, 64.0, 64, seed);
-                        config.workload.numThreads = threads;
-                        return config;
+                        return mt::SimulationSpec()
+                            .cacheFaults(64.0, 64)
+                            .arch(a)
+                            .numRegs(128)
+                            .threads(threads)
+                            .seed(seed)
+                            .build();
                     };
                 const exp::ConfigMaker sync_only =
                     [sync_run, sync_latency,
                      threads](mt::ArchKind a, uint64_t seed) {
-                        mt::MtConfig config = mt::fig6Config(
-                            a, 128, sync_run, sync_latency, seed);
-                        config.workload.numThreads = threads;
-                        return config;
+                        return mt::SimulationSpec()
+                            .syncFaults(sync_run, sync_latency)
+                            .arch(a)
+                            .numRegs(128)
+                            .threads(threads)
+                            .seed(seed)
+                            .build();
                     };
                 const exp::ConfigMaker combined =
                     [sync_run, sync_latency,
                      threads](mt::ArchKind a, uint64_t seed) {
-                        mt::MtConfig config = mt::combinedConfig(
-                            a, 128, 64.0, 64, sync_run, sync_latency,
-                            seed);
-                        config.workload.numThreads = threads;
-                        return config;
+                        return mt::SimulationSpec()
+                            .combinedFaults(64.0, 64, sync_run,
+                                            sync_latency)
+                            .arch(a)
+                            .numRegs(128)
+                            .threads(threads)
+                            .seed(seed)
+                            .build();
                     };
                 rows.push_back({sync_run, sync_latency, arch});
                 requests.push_back({cache_only, arch});

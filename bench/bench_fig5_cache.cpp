@@ -15,7 +15,7 @@
 
 #include "exp/registry.hh"
 #include "exp/sweep.hh"
-#include "multithread/workload.hh"
+#include "multithread/simulation_spec.hh"
 
 RR_BENCH_FIGURE(fig5_cache,
                 "Figure 5 — cache faults: efficiency vs memory "
@@ -42,11 +42,13 @@ RR_BENCH_FIGURE(fig5_cache,
         const exp::PanelMaker maker =
             [num_regs, threads](mt::ArchKind arch, double r, double l,
                                 uint64_t seed) {
-                mt::MtConfig config = mt::fig5Config(
-                    arch, num_regs, r,
-                    static_cast<uint64_t>(l), seed);
-                config.workload.numThreads = threads;
-                return config;
+                return mt::SimulationSpec()
+                    .cacheFaults(r, static_cast<uint64_t>(l))
+                    .arch(arch)
+                    .numRegs(num_regs)
+                    .threads(threads)
+                    .seed(seed)
+                    .build();
             };
         ctx.panel(std::string("panel_") + panels[p],
                   exp::strf("Figure 5(%s): F = %u registers",

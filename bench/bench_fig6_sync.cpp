@@ -18,7 +18,7 @@
 
 #include "exp/registry.hh"
 #include "exp/sweep.hh"
-#include "multithread/workload.hh"
+#include "multithread/simulation_spec.hh"
 
 RR_BENCH_FIGURE(fig6_sync,
                 "Figure 6 — synchronization faults: efficiency vs "
@@ -45,10 +45,13 @@ RR_BENCH_FIGURE(fig6_sync,
         const exp::PanelMaker maker =
             [num_regs, threads](mt::ArchKind arch, double r, double l,
                                 uint64_t seed) {
-                mt::MtConfig config =
-                    mt::fig6Config(arch, num_regs, r, l, seed);
-                config.workload.numThreads = threads;
-                return config;
+                return mt::SimulationSpec()
+                    .syncFaults(r, l)
+                    .arch(arch)
+                    .numRegs(num_regs)
+                    .threads(threads)
+                    .seed(seed)
+                    .build();
             };
         ctx.panel(std::string("panel_") + panels[p],
                   exp::strf("Figure 6(%s): F = %u registers",

@@ -17,7 +17,7 @@
 #include "base/table.hh"
 #include "exp/registry.hh"
 #include "exp/sweep.hh"
-#include "multithread/workload.hh"
+#include "multithread/simulation_spec.hh"
 
 RR_BENCH_FIGURE(fig6a_lowcost,
                 "Figure 6(a) ablation — F = 64, synchronization "
@@ -44,22 +44,27 @@ RR_BENCH_FIGURE(fig6a_lowcost,
             const exp::ConfigMaker general =
                 [run_length, latency,
                  threads](mt::ArchKind arch, uint64_t seed) {
-                    mt::MtConfig config = mt::fig6Config(
-                        arch, 64, run_length, latency, seed);
-                    config.workload.numThreads = threads;
-                    return config;
+                    return mt::SimulationSpec()
+                        .syncFaults(run_length, latency)
+                        .arch(arch)
+                        .numRegs(64)
+                        .threads(threads)
+                        .seed(seed)
+                        .build();
                 };
             const exp::ConfigMaker lowcost =
                 [run_length, latency,
                  threads](mt::ArchKind arch, uint64_t seed) {
-                    mt::MtConfig config = mt::fig6Config(
-                        arch, 64, run_length, latency, seed);
-                    config.workload.numThreads = threads;
-                    if (arch == mt::ArchKind::Flexible) {
-                        config.costs =
-                            runtime::CostModel::lowCostFlexible(8);
-                    }
-                    return config;
+                    mt::SimulationSpec spec;
+                    spec.syncFaults(run_length, latency)
+                        .arch(arch)
+                        .numRegs(64)
+                        .threads(threads)
+                        .seed(seed);
+                    if (arch == mt::ArchKind::Flexible)
+                        spec.costs(
+                            runtime::CostModel::lowCostFlexible(8));
+                    return spec.build();
                 };
             requests.push_back({general, mt::ArchKind::FixedHw});
             requests.push_back({general, mt::ArchKind::Flexible});

@@ -15,7 +15,7 @@
 #include "base/table.hh"
 #include "exp/registry.hh"
 #include "exp/sweep.hh"
-#include "multithread/workload.hh"
+#include "multithread/simulation_spec.hh"
 
 RR_BENCH_FIGURE(homogeneous,
                 "Homogeneous context sizes (Section 3.4) — cache "
@@ -40,14 +40,16 @@ RR_BENCH_FIGURE(homogeneous,
                     const exp::ConfigMaker maker =
                         [c, num_regs, run_length, latency,
                          threads](mt::ArchKind arch, uint64_t seed) {
-                            mt::MtConfig config = mt::fig5Config(
-                                arch, num_regs, run_length,
-                                static_cast<uint64_t>(latency), seed);
-                            config.workload = mt::homogeneousWorkload(
-                                threads,
-                                mt::defaultWorkPerThread(run_length),
-                                c);
-                            return config;
+                            return mt::SimulationSpec()
+                                .cacheFaults(
+                                    run_length,
+                                    static_cast<uint64_t>(latency))
+                                .arch(arch)
+                                .numRegs(num_regs)
+                                .threads(threads)
+                                .registerDemand(c)
+                                .seed(seed)
+                                .build();
                         };
                     requests.push_back({maker, mt::ArchKind::FixedHw});
                     requests.push_back({maker, mt::ArchKind::Flexible});

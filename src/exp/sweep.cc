@@ -4,6 +4,7 @@
 
 #include "base/stats.hh"
 #include "exp/engine.hh"
+#include "exp/tracectl.hh"
 
 namespace rr::exp {
 
@@ -39,11 +40,39 @@ reduceSeeds(const SeedSample *samples, unsigned num_seeds)
     return out;
 }
 
+/**
+ * Run one (maker, arch, seed) simulation, routed through the active
+ * TraceController (audit / capture) when one is installed. @p unit
+ * is the simulation's stable index within the current fan-out batch
+ * (sweep point or request index) — part of the deterministic capture
+ * identity.
+ */
 SeedSample
-runOne(const ConfigMaker &maker, mt::ArchKind arch, uint64_t seed)
+runOne(const ConfigMaker &maker, mt::ArchKind arch, uint64_t seed,
+       uint32_t unit = 0)
 {
-    const mt::MtStats stats = mt::simulate(maker(arch, seed));
+    mt::MtConfig config = maker(arch, seed);
+    TraceController *controller = TraceController::active();
+    if (controller == nullptr) {
+        const mt::MtStats stats = mt::simulate(config);
+        return {stats.efficiencyCentral, stats.avgResidentContexts};
+    }
+
+    const SimTag tag{unit, static_cast<uint32_t>(seed),
+                     static_cast<uint8_t>(arch)};
+    TraceController::Session session(*controller, tag, config.costs);
+    config.traceSink = session.wrap(config.traceSink);
+    const mt::MtStats stats = mt::simulate(config);
+    session.finish(stats);
     return {stats.efficiencyCentral, stats.avgResidentContexts};
+}
+
+/** Tell the active controller (if any) a fan-out batch starts. */
+void
+noteBatch()
+{
+    if (TraceController *controller = TraceController::active())
+        controller->beginBatch();
 }
 
 } // namespace
@@ -69,6 +98,7 @@ Replicated
 replicate(const ConfigMaker &maker, mt::ArchKind arch,
           unsigned num_seeds)
 {
+    noteBatch();
     std::vector<SeedSample> samples(num_seeds);
     runParallel(num_seeds, [&](std::size_t i) {
         samples[i] =
@@ -81,12 +111,14 @@ std::vector<Replicated>
 replicateMany(const std::vector<ReplicateRequest> &requests,
               unsigned num_seeds)
 {
+    noteBatch();
     std::vector<SeedSample> samples(requests.size() * num_seeds);
     runParallel(samples.size(), [&](std::size_t i) {
         const std::size_t request = i / num_seeds;
         const uint64_t seed = i % num_seeds + 1;
         samples[i] = runOne(requests[request].maker,
-                            requests[request].arch, seed);
+                            requests[request].arch, seed,
+                            static_cast<uint32_t>(request));
     });
     std::vector<Replicated> out(requests.size());
     for (std::size_t r = 0; r < requests.size(); ++r)
@@ -127,6 +159,7 @@ sweepPanel(unsigned num_regs, const PanelMaker &maker,
     }
 
     // Flatten to (point, arch, seed) tasks; each writes its own slot.
+    noteBatch();
     const std::size_t per_point = 2 * num_seeds;
     std::vector<SeedSample> samples(panel.points.size() * per_point);
     runParallel(samples.size(), [&](std::size_t i) {
@@ -141,7 +174,7 @@ sweepPanel(unsigned num_regs, const PanelMaker &maker,
             [&](mt::ArchKind a, uint64_t s) {
                 return maker(a, point.runLength, point.latency, s);
             },
-            arch, seed);
+            arch, seed, static_cast<uint32_t>(p));
     });
 
     for (std::size_t p = 0; p < panel.points.size(); ++p) {

@@ -1,0 +1,153 @@
+#include "exp/tracectl.hh"
+
+#include <atomic>
+
+#include "exp/report.hh"
+
+namespace rr::exp {
+
+namespace {
+
+std::atomic<TraceController *> g_active{nullptr};
+
+/** Render a simulation identity for problem messages. */
+std::string
+tagLabel(uint32_t batch, uint32_t unit, uint8_t arch, uint32_t seed)
+{
+    return strf("batch %u unit %u %s seed %u", batch, unit,
+                mt::archName(static_cast<mt::ArchKind>(arch)), seed);
+}
+
+} // namespace
+
+TraceController *
+TraceController::active()
+{
+    return g_active.load(std::memory_order_acquire);
+}
+
+void
+TraceController::activate(TraceController *controller)
+{
+    g_active.store(controller, std::memory_order_release);
+}
+
+void
+TraceController::beginBatch()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++batch_;
+    if (captureBatch_ == 0)
+        captureBatch_ = batch_;
+}
+
+TraceController::Session::Session(TraceController &owner,
+                                  const SimTag &tag,
+                                  const runtime::CostModel &costs)
+    : owner_(owner), tag_(tag)
+{
+    if (owner_.options_.audit)
+        auditor_.emplace(costs);
+
+    {
+        std::lock_guard<std::mutex> lock(owner_.mutex_);
+        batch_ = owner_.batch_;
+        // The capture predicate is a pure function of the simulation
+        // identity (first batch, point 0, seed 1), so the captured
+        // traces are the same for any worker-pool size.
+        const std::size_t arch_slot =
+            tag_.arch < 4 ? tag_.arch : std::size_t{3};
+        if (owner_.options_.capture &&
+            batch_ == owner_.captureBatch_ && tag_.unit == 0 &&
+            tag_.seed == 1 && !owner_.captureReserved_[arch_slot]) {
+            owner_.captureReserved_[arch_slot] = true;
+            capture_.emplace(owner_.options_.maxCaptureEvents);
+        }
+    }
+
+    if (auditor_ && capture_)
+        tee_.emplace(&*auditor_, &*capture_);
+}
+
+trace::TraceSink *
+TraceController::Session::wrap(trace::TraceSink *upstream)
+{
+    trace::TraceSink *own = nullptr;
+    if (tee_)
+        own = &*tee_;
+    else if (auditor_)
+        own = &*auditor_;
+    else if (capture_)
+        own = &*capture_;
+
+    if (own == nullptr)
+        return upstream;
+    if (upstream == nullptr)
+        return own;
+    upstreamTee_.emplace(upstream, own);
+    return &*upstreamTee_;
+}
+
+void
+TraceController::Session::finish(const mt::MtStats &stats)
+{
+    std::vector<std::string> problems;
+    uint64_t events = 0;
+    if (auditor_) {
+        problems = auditor_->reconcile(mt::auditTotals(stats));
+        events = auditor_->eventsSeen();
+    }
+
+    std::lock_guard<std::mutex> lock(owner_.mutex_);
+    ++owner_.simulations_;
+    owner_.events_ += events;
+    if (!problems.empty()) {
+        ++owner_.problemSims_;
+        owner_.problemsTotal_ += problems.size();
+        owner_.problems_.emplace(
+            ProblemKey{batch_, tag_.unit, tag_.arch, tag_.seed},
+            std::move(problems));
+    }
+    if (capture_) {
+        trace::ChromeStream stream;
+        stream.process =
+            mt::archName(static_cast<mt::ArchKind>(tag_.arch));
+        stream.dropped = capture_->dropped();
+        stream.events = capture_->takeEvents();
+        owner_.captures_[tag_.arch] = std::move(stream);
+    }
+}
+
+TraceSummary
+TraceController::summary() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    TraceSummary out;
+    out.simulations = simulations_;
+    out.events = events_;
+    out.problemSims = problemSims_;
+    out.problemsTotal = problemsTotal_;
+    for (const auto &[key, lines] : problems_) {
+        const auto &[batch, unit, arch, seed] = key;
+        for (const std::string &line : lines) {
+            if (out.problems.size() >= kMaxProblemLines) {
+                out.problems.push_back(
+                    strf("... and %llu more violation(s)",
+                         static_cast<unsigned long long>(
+                             problemsTotal_ - kMaxProblemLines)));
+                break;
+            }
+            out.problems.push_back(
+                strf("[%s] %s",
+                     tagLabel(batch, unit, arch, seed).c_str(),
+                     line.c_str()));
+        }
+        if (out.problems.size() > kMaxProblemLines)
+            break;
+    }
+    for (const auto &[arch, stream] : captures_)
+        out.captures.push_back(stream);
+    return out;
+}
+
+} // namespace rr::exp

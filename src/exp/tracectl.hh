@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Sweep-wide trace control (rr::exp): the bridge between the trace
+ * subsystem (src/trace/) and the parameter-sweep harness.
+ *
+ * A TraceController, when activated, observes every simulation the
+ * sweep functions (sweep.hh) run:
+ *
+ *  - **audit**: each simulation gets its own streaming TraceAuditor
+ *    (audit.hh); after the run, the auditor reconciles against the
+ *    reported MtStats, and violations are aggregated under a mutex.
+ *    This is how `rrbench --audit` proves cycle conservation for
+ *    every point of a full figure sweep.
+ *  - **capture**: a deterministic representative subset of the
+ *    simulations — point 0, seed 1, both architectures of the first
+ *    fan-out batch — records its full event stream (up to a cap,
+ *    with explicit truncation counts) for the Chrome trace_event
+ *    exporter. The capture predicate depends only on the simulation's
+ *    identity, never on scheduling, so `--jobs` cannot change a byte
+ *    of the exported trace (the determinism contract of
+ *    docs/BENCH.md, extended to traces).
+ *
+ * Aggregated problems are keyed by (batch, unit, arch, seed) and
+ * rendered in sorted key order, so audit output is also identical
+ * for every job count.
+ */
+
+#ifndef RR_EXP_TRACECTL_HH
+#define RR_EXP_TRACECTL_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "multithread/mt_processor.hh"
+#include "trace/audit.hh"
+#include "trace/chrome_export.hh"
+#include "trace/sink.hh"
+
+namespace rr::exp {
+
+/** Stable identity of one simulation inside a fan-out batch. */
+struct SimTag
+{
+    uint32_t unit = 0;  ///< point / request index within the batch
+    uint32_t seed = 0;  ///< replication seed (1-based)
+    uint8_t arch = 0;   ///< mt::ArchKind value
+};
+
+/** Capture sink: keeps the FIRST @p cap events, counts the rest. */
+class CappedSink : public trace::TraceSink
+{
+  public:
+    explicit CappedSink(std::size_t cap) : cap_(cap) {}
+
+    void
+    emit(const trace::TraceEvent &event) override
+    {
+        if (events_.size() < cap_)
+            events_.push_back(event);
+        else
+            ++dropped_;
+    }
+
+    std::vector<trace::TraceEvent> takeEvents()
+    {
+        return std::move(events_);
+    }
+    uint64_t dropped() const { return dropped_; }
+
+  private:
+    std::size_t cap_;
+    uint64_t dropped_ = 0;
+    std::vector<trace::TraceEvent> events_;
+};
+
+/** What a controller observed, for reporting (rrbench --audit). */
+struct TraceSummary
+{
+    uint64_t simulations = 0;   ///< sessions observed
+    uint64_t events = 0;        ///< trace events audited
+    uint64_t problemSims = 0;   ///< simulations with >= 1 violation
+    uint64_t problemsTotal = 0; ///< violations found (before capping)
+
+    /** Violation lines in deterministic order (capped, with note). */
+    std::vector<std::string> problems;
+
+    /** Captured streams in architecture-id order (empty without
+     *  capture). */
+    std::vector<trace::ChromeStream> captures;
+};
+
+/**
+ * Observes every simulation run by the sweep harness while active.
+ * Activate with TraceController::activate(&controller) before running
+ * figures, deactivate with activate(nullptr) after; the sweep
+ * functions consult active() per simulation.
+ */
+class TraceController
+{
+  public:
+    struct Options
+    {
+        bool audit = true;    ///< audit every simulation
+        bool capture = false; ///< capture the representative traces
+        std::size_t maxCaptureEvents = 50000; ///< per-sim capture cap
+    };
+
+    explicit TraceController(const Options &options)
+        : options_(options)
+    {
+    }
+
+    /** The controller observing the sweeps, or null when off. */
+    static TraceController *active();
+
+    /** Install (or with null, remove) the active controller. */
+    static void activate(TraceController *controller);
+
+    /**
+     * Mark the start of one fan-out batch (one replicate /
+     * replicateMany / sweepPanel call). The first batch is the
+     * capture batch. Called by the sweep harness.
+     */
+    void beginBatch();
+
+    /**
+     * Per-simulation observer, stack-allocated around mt::simulate()
+     * by the sweep harness. Owns the simulation's private sinks, so
+     * the emit path never takes the controller mutex.
+     */
+    class Session
+    {
+      public:
+        Session(TraceController &owner, const SimTag &tag,
+                const runtime::CostModel &costs);
+
+        /**
+         * The sink the simulation should emit into, chained in front
+         * of @p upstream (a sink the figure itself configured, may be
+         * null). Null when this session observes nothing.
+         */
+        trace::TraceSink *wrap(trace::TraceSink *upstream);
+
+        /** Reconcile and hand the results to the controller. */
+        void finish(const mt::MtStats &stats);
+
+      private:
+        TraceController &owner_;
+        SimTag tag_;
+        uint32_t batch_ = 0;
+        std::optional<trace::TraceAuditor> auditor_;
+        std::optional<CappedSink> capture_;
+        std::optional<trace::TeeSink> tee_;
+        std::optional<trace::TeeSink> upstreamTee_;
+    };
+
+    /** Snapshot of everything observed so far. */
+    TraceSummary summary() const;
+
+  private:
+    friend class Session;
+
+    /** Sort key for deterministic problem ordering. */
+    using ProblemKey = std::tuple<uint32_t, uint32_t, uint8_t,
+                                  uint32_t>; // batch, unit, arch, seed
+
+    Options options_;
+
+    mutable std::mutex mutex_;
+    uint32_t batch_ = 0;
+    uint32_t captureBatch_ = 0;
+    bool captureReserved_[4] = {};
+    uint64_t simulations_ = 0;
+    uint64_t events_ = 0;
+    uint64_t problemSims_ = 0;
+    uint64_t problemsTotal_ = 0;
+    std::map<ProblemKey, std::vector<std::string>> problems_;
+    std::map<uint8_t, trace::ChromeStream> captures_;
+
+    static constexpr std::size_t kMaxProblemLines = 64;
+};
+
+} // namespace rr::exp
+
+#endif // RR_EXP_TRACECTL_HH

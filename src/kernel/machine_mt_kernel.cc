@@ -18,6 +18,19 @@ constexpr uint64_t liveCounterAddr = 0x4000;
 constexpr uint64_t flagBase = 0x4010;
 constexpr uint64_t tableBase = 0x4100;
 
+/** Machine-kernel event stamped at @p cycle for thread @p tid. */
+trace::TraceEvent
+kernelEvent(trace::EventKind kind, uint64_t cycle, unsigned tid,
+            uint32_t rrm)
+{
+    trace::TraceEvent event;
+    event.kind = kind;
+    event.cycle = cycle;
+    event.tid = tid;
+    event.ctx = rrm;
+    return event;
+}
+
 } // namespace
 
 MachineMtKernel::MachineMtKernel(KernelConfig config)
@@ -31,6 +44,7 @@ MachineMtKernel::MachineMtKernel(KernelConfig config)
     rr_assert(config_.numThreads >= 1, "no threads");
     rr_assert(config_.regsUsed >= 12,
               "the kernel body uses context-relative r0..r11");
+    tracer_.attach(config_.traceSink);
 
     machine::CpuConfig cpu_config;
     cpu_config.numRegs = config_.numRegs;
@@ -178,12 +192,23 @@ MachineMtKernel::onFault(uint32_t)
             arrived_[tid] = true;
             ++arrivalCount_;
         }
+        if (tracer_.enabled()) {
+            tracer_.emit(kernelEvent(trace::EventKind::FaultIssue,
+                                     cpu_->cycles(), tid,
+                                     threads_[tid].rrm));
+        }
         return; // released in onStep when everyone has arrived
     }
 
     const uint64_t latency =
         std::max<uint64_t>(1, config_.latency->sample(rng_));
     pending_.push({cpu_->cycles() + latency, tid});
+    if (tracer_.enabled()) {
+        auto e = kernelEvent(trace::EventKind::FaultIssue,
+                             cpu_->cycles(), tid, threads_[tid].rrm);
+        e.aux = latency;
+        tracer_.emit(e);
+    }
 }
 
 void
@@ -195,6 +220,11 @@ MachineMtKernel::onStep(uint64_t cycle, uint32_t pc)
         const PendingFault fault = pending_.top();
         pending_.pop();
         cpu_->mem().write(threads_[fault.tid].flagAddr, 1);
+        if (tracer_.enabled()) {
+            tracer_.emit(kernelEvent(trace::EventKind::FaultComplete,
+                                     cycle, fault.tid,
+                                     threads_[fault.tid].rrm));
+        }
     }
 
     // Barrier release: every still-running thread has arrived. The
@@ -204,14 +234,28 @@ MachineMtKernel::onStep(uint64_t cycle, uint32_t pc)
         arrivalCount_ > 0 &&
         arrivalCount_ >=
             cpu_->mem().read(liveCounterAddr)) {
+        unsigned released = 0;
         for (unsigned tid = 0; tid < threads_.size(); ++tid) {
             if (arrived_[tid]) {
                 cpu_->mem().write(threads_[tid].flagAddr, 1);
                 arrived_[tid] = false;
+                ++released;
+                if (tracer_.enabled()) {
+                    tracer_.emit(
+                        kernelEvent(trace::EventKind::FaultComplete,
+                                    cycle, tid, threads_[tid].rrm));
+                }
             }
         }
         arrivalCount_ = 0;
         ++result_.barriers;
+        if (tracer_.enabled()) {
+            trace::TraceEvent e;
+            e.kind = trace::EventKind::Barrier;
+            e.cycle = cycle;
+            e.aux = released;
+            tracer_.emit(e);
+        }
     }
 
     if (pc == workAddr_) {
@@ -219,6 +263,16 @@ MachineMtKernel::onStep(uint64_t cycle, uint32_t pc)
         recorder_.record(cycle, result_.workUnits);
     } else if (pc == pollFailAddr_) {
         ++result_.failedPolls;
+        if (tracer_.enabled()) {
+            const auto it = rrmToThread_.find(cpu_->rrm());
+            if (it != rrmToThread_.end()) {
+                auto e = kernelEvent(trace::EventKind::SchedulerPoll,
+                                     cycle, it->second,
+                                     threads_[it->second].rrm);
+                e.aux = 1;
+                tracer_.emit(e);
+            }
+        }
     }
 }
 

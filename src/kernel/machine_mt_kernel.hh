@@ -36,6 +36,7 @@
 #include "base/stats.hh"
 #include "machine/cpu.hh"
 #include "runtime/context_allocator.hh"
+#include "trace/tracer.hh"
 
 namespace rr::kernel {
 
@@ -91,6 +92,13 @@ struct KernelConfig
 
     /** Step cap (safety against runaway programs). */
     uint64_t maxSteps = 50'000'000;
+
+    /**
+     * Optional structured-event sink (not owned): fault issue and
+     * completion, failed resume polls, and barrier releases are
+     * emitted with machine-cycle stamps.
+     */
+    trace::TraceSink *traceSink = nullptr;
 };
 
 /** Results of one run. */
@@ -160,6 +168,7 @@ class MachineMtKernel
 
     KernelConfig config_;
     Rng rng_;
+    trace::Tracer tracer_;
     std::unique_ptr<machine::Cpu> cpu_;
     std::unique_ptr<runtime::ContextAllocator> allocator_;
     std::vector<ThreadInfo> threads_;

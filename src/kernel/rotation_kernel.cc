@@ -26,6 +26,7 @@ RotationKernel::RotationKernel(RotationConfig config)
     rr_assert(config_.numThreads >= 1 && config_.numThreads <= 100,
               "1..100 threads supported");
     rr_assert(config_.segmentsPerThread >= 1, "no segments");
+    tracer_.attach(config_.traceSink);
 
     machine::CpuConfig cpu_config;
     cpu_config.numRegs = 128;
@@ -93,16 +94,34 @@ RotationResult
 RotationKernel::run()
 {
     cpu_->setFaultHook([this](machine::Cpu &, uint32_t fault_class) {
-        if (fault_class == 63)
+        if (fault_class == 63) {
             result_.allocPanic = true;
-        else
+        } else {
             ++result_.faults;
+            if (tracer_.enabled()) {
+                trace::TraceEvent e;
+                e.kind = trace::EventKind::FaultIssue;
+                e.cycle = cpu_->cycles();
+                e.ctx = cpu_->rrm();
+                tracer_.emit(e);
+            }
+        }
     });
     cpu_->setTraceHook([this](const machine::TraceEntry &entry) {
-        if (entry.pc == workAddr_)
+        if (entry.pc == workAddr_) {
             ++result_.workUnits;
-        else if (entry.pc == rotateAddr_)
+        } else if (entry.pc == rotateAddr_) {
             ++result_.rotations;
+            if (tracer_.enabled()) {
+                // One rotation = unload the visited context and
+                // reload the next queued thread into its registers.
+                trace::TraceEvent e;
+                e.kind = trace::EventKind::Unload;
+                e.cycle = entry.cycle;
+                e.ctx = cpu_->rrm();
+                tracer_.emit(e);
+            }
+        }
     });
 
     cpu_->run(config_.maxSteps);

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "machine/cpu.hh"
+#include "trace/tracer.hh"
 
 namespace rr::kernel {
 
@@ -30,6 +31,12 @@ struct RotationConfig
     unsigned segmentsPerThread = 8; ///< run segments before finishing
     unsigned workUnits = 50;        ///< loop passes per segment
     uint64_t maxSteps = 20'000'000; ///< safety cap
+
+    /**
+     * Optional structured-event sink (not owned): fault issues and
+     * unload/reload rotations are emitted with cycle stamps.
+     */
+    trace::TraceSink *traceSink = nullptr;
 };
 
 /** Results of a rotation-runtime run. */
@@ -69,6 +76,7 @@ class RotationKernel
 
   private:
     RotationConfig config_;
+    trace::Tracer tracer_;
     std::unique_ptr<machine::Cpu> cpu_;
     uint32_t workAddr_ = 0;
     uint32_t rotateAddr_ = 0;

@@ -35,6 +35,7 @@ TwoPhaseKernel::TwoPhaseKernel(TwoPhaseConfig config)
               "1..16 slots supported");
     rr_assert(config_.numSlots <= config_.numThreads,
               "more slots than threads");
+    tracer_.attach(config_.traceSink);
 
     machine::CpuConfig cpu_config;
     cpu_config.numRegs = 128;
@@ -117,6 +118,15 @@ TwoPhaseKernel::onFault()
     cpu_->mem().write(area + flagWord, 0);
     pending_.push({cpu_->cycles() + latency, tid});
     ++result_.faults;
+    if (tracer_.enabled()) {
+        trace::TraceEvent e;
+        e.kind = trace::EventKind::FaultIssue;
+        e.cycle = cpu_->cycles();
+        e.tid = tid;
+        e.ctx = cpu_->rrm();
+        e.aux = latency;
+        tracer_.emit(e);
+    }
 }
 
 void
@@ -130,6 +140,13 @@ TwoPhaseKernel::onStep(uint64_t cycle, uint32_t pc)
         pending_.pop();
         const uint64_t area = saveAreaOf(tid);
         cpu_->mem().write(area + flagWord, 1);
+        if (tracer_.enabled()) {
+            trace::TraceEvent e;
+            e.kind = trace::EventKind::FaultComplete;
+            e.cycle = cycle;
+            e.tid = tid;
+            tracer_.emit(e);
+        }
         if (cpu_->mem().read(area + unloadedWord) == 1) {
             const uint32_t tail = cpu_->mem().read(qtailAddr);
             cpu_->mem().write(queueAddr + (tail & queueMask),
@@ -139,12 +156,33 @@ TwoPhaseKernel::onStep(uint64_t cycle, uint32_t pc)
         }
     }
 
-    if (pc == workAddr_)
+    if (pc == workAddr_) {
         ++result_.workUnits;
-    else if (pc == swapOutAddr_)
+    } else if (pc == swapOutAddr_) {
         ++result_.swapOuts;
-    else if (pc == swapInAddr_)
+        if (tracer_.enabled()) {
+            // The slot's r4 still points at the outgoing thread's
+            // save area when the swap-out path is entered.
+            trace::TraceEvent e;
+            e.kind = trace::EventKind::Unload;
+            e.cycle = cycle;
+            e.ctx = cpu_->rrm();
+            const uint32_t area = cpu_->readContextReg(4);
+            if (area >= saveAreaBase)
+                e.tid = static_cast<unsigned>(
+                    (area - saveAreaBase) / saveAreaWords);
+            tracer_.emit(e);
+        }
+    } else if (pc == swapInAddr_) {
         ++result_.dequeues;
+        if (tracer_.enabled()) {
+            trace::TraceEvent e;
+            e.kind = trace::EventKind::Load;
+            e.cycle = cycle;
+            e.ctx = cpu_->rrm();
+            tracer_.emit(e);
+        }
+    }
 }
 
 TwoPhaseResult

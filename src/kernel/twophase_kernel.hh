@@ -22,6 +22,7 @@
 #include "base/distributions.hh"
 #include "base/rng.hh"
 #include "machine/cpu.hh"
+#include "trace/tracer.hh"
 
 namespace rr::kernel {
 
@@ -39,6 +40,12 @@ struct TwoPhaseConfig
 
     uint64_t seed = 1;
     uint64_t maxSteps = 50'000'000;
+
+    /**
+     * Optional structured-event sink (not owned): fault issue and
+     * completion plus swap-out (Unload) / swap-in (Load) markers.
+     */
+    trace::TraceSink *traceSink = nullptr;
 };
 
 /** Results of a two-phase slot-scheduler run. */
@@ -104,6 +111,7 @@ class TwoPhaseKernel
 
     TwoPhaseConfig config_;
     Rng rng_;
+    trace::Tracer tracer_;
     std::unique_ptr<machine::Cpu> cpu_;
     uint32_t workAddr_ = 0;
     uint32_t swapOutAddr_ = 0;

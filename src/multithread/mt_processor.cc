@@ -25,6 +25,28 @@ MtStats::accountedCycles() const
            deallocCycles + loadCycles + unloadCycles + queueCycles;
 }
 
+trace::AuditTotals
+auditTotals(const MtStats &stats)
+{
+    trace::AuditTotals totals;
+    totals.totalCycles = stats.totalCycles;
+    totals.usefulCycles = stats.usefulCycles;
+    totals.idleCycles = stats.idleCycles;
+    totals.switchCycles = stats.switchCycles;
+    totals.allocCycles = stats.allocCycles;
+    totals.deallocCycles = stats.deallocCycles;
+    totals.loadCycles = stats.loadCycles;
+    totals.unloadCycles = stats.unloadCycles;
+    totals.queueCycles = stats.queueCycles;
+    totals.faults = stats.faults;
+    totals.loads = stats.loads;
+    totals.unloads = stats.unloads;
+    totals.allocSuccesses = stats.allocSuccesses;
+    totals.allocFailures = stats.allocFailures;
+    totals.threadsFinished = stats.threadsFinished;
+    return totals;
+}
+
 MtProcessor::MtProcessor(MtConfig config)
     : config_(std::move(config)), ring_(std::max(1u, config_.priorityLevels))
 {
@@ -35,6 +57,18 @@ MtProcessor::MtProcessor(MtConfig config)
     rr_assert(config_.faultModel != nullptr, "fault model missing");
     rr_assert(config_.workload.numThreads > 0, "no threads");
     policy_ = makePolicy();
+    tracer_.attach(config_.traceSink);
+}
+
+trace::TraceEvent
+MtProcessor::traceEvent(trace::EventKind kind, uint64_t cycles) const
+{
+    trace::TraceEvent event;
+    event.kind = kind;
+    event.arch = static_cast<uint8_t>(config_.arch);
+    event.cycle = now_;
+    event.cycles = cycles;
+    return event;
 }
 
 std::unique_ptr<ContextPolicy>
@@ -127,6 +161,15 @@ MtProcessor::processCompletions()
         Thread &t = threads_[event.tid];
         ++t.blockEpoch; // invalidate any pending unload deadline
 
+        if (tracer_.enabled()) {
+            auto e = traceEvent(trace::EventKind::FaultComplete, 0);
+            e.tid = t.id;
+            if (t.context)
+                e.ctx = t.context->rrm;
+            e.aux = now_ - t.blockedAt;
+            tracer_.emit(e);
+        }
+
         if (t.state == ThreadState::BlockedLoaded) {
             // The context is still resident: it simply becomes
             // runnable again in the ring.
@@ -137,6 +180,12 @@ MtProcessor::processCompletions()
             // re-enters the software thread queue (10-cycle insert)
             // and must be re-allocated + re-loaded before running.
             charge(config_.costs.queueOp, stats_.queueCycles);
+            if (tracer_.enabled()) {
+                auto e = traceEvent(trace::EventKind::Queue,
+                                    config_.costs.queueOp);
+                e.tid = t.id;
+                tracer_.emit(e);
+            }
             t.state = ThreadState::UnloadedReady;
             threadQueue_.push_back(t.id);
             refill();
@@ -168,8 +217,24 @@ MtProcessor::evict(unsigned tid)
     // Two-phase second phase: the accrued cost of failed resume
     // attempts has reached the cost of unloading — give up the
     // registers.
+    const uint32_t rrm = t.context->rrm;
     charge(config_.costs.unloadCost(t.regsUsed), stats_.unloadCycles);
+    if (tracer_.enabled()) {
+        auto e = traceEvent(trace::EventKind::Unload,
+                            config_.costs.unloadCost(t.regsUsed));
+        e.tid = t.id;
+        e.ctx = rrm;
+        e.regs = t.regsUsed;
+        tracer_.emit(e);
+    }
     charge(config_.costs.dealloc, stats_.deallocCycles);
+    if (tracer_.enabled()) {
+        auto e = traceEvent(trace::EventKind::Free, config_.costs.dealloc);
+        e.tid = t.id;
+        e.ctx = rrm;
+        e.aux = trace::TraceEvent::kFreeEvicted;
+        tracer_.emit(e);
+    }
     policy_->release(*t.context);
     rrmToThread_.erase(t.context->rrm);
     t.context.reset();
@@ -213,18 +278,48 @@ MtProcessor::refill()
         if (context) {
             charge(config_.costs.allocSucceed, stats_.allocCycles);
             ++stats_.allocSuccesses;
+            if (tracer_.enabled()) {
+                auto e = traceEvent(trace::EventKind::Alloc,
+                                    config_.costs.allocSucceed);
+                e.tid = tid;
+                e.ctx = context->rrm;
+                e.regs = t.regsUsed;
+                tracer_.emit(e);
+            }
         } else {
             // A genuine search defeated by fragmentation.
             charge(config_.costs.allocFail, stats_.allocCycles);
             ++stats_.allocFailures;
+            if (tracer_.enabled()) {
+                auto e = traceEvent(trace::EventKind::Alloc,
+                                    config_.costs.allocFail);
+                e.ok = false;
+                e.tid = tid;
+                e.regs = t.regsUsed;
+                tracer_.emit(e);
+            }
             ++it;
             continue;
         }
 
         charge(config_.costs.queueOp, stats_.queueCycles);
+        if (tracer_.enabled()) {
+            auto e = traceEvent(trace::EventKind::Queue,
+                                config_.costs.queueOp);
+            e.tid = tid;
+            tracer_.emit(e);
+        }
         charge(config_.costs.loadCost(t.regsUsed), stats_.loadCycles);
         ++stats_.loads;
         ++t.timesLoaded;
+        if (tracer_.enabled()) {
+            auto e = traceEvent(trace::EventKind::Load,
+                                config_.costs.loadCost(t.regsUsed));
+            e.tid = tid;
+            e.ctx = context->rrm;
+            e.regs = t.regsUsed;
+            tracer_.emit(e);
+        }
 
         it = threadQueue_.erase(it);
         t.context = context;
@@ -255,6 +350,13 @@ MtProcessor::runNext()
     stats_.usefulCycles += segment;
     t.remainingWork -= segment;
 
+    if (tracer_.enabled()) {
+        auto e = traceEvent(trace::EventKind::RunSegment, segment);
+        e.tid = t.id;
+        e.ctx = rrm;
+        tracer_.emit(e);
+    }
+
     if (t.remainingWork == 0) {
         // Thread completes: its context is deallocated and the freed
         // registers may admit a queued thread.
@@ -264,6 +366,14 @@ MtProcessor::runNext()
         ring_.remove(rrm);
         rrmToThread_.erase(rrm);
         charge(config_.costs.dealloc, stats_.deallocCycles);
+        if (tracer_.enabled()) {
+            auto e = traceEvent(trace::EventKind::Free,
+                                config_.costs.dealloc);
+            e.tid = t.id;
+            e.ctx = rrm;
+            e.aux = trace::TraceEvent::kFreeFinished;
+            tracer_.emit(e);
+        }
         policy_->release(*t.context);
         t.context.reset();
         noteResidencyChange(-1);
@@ -287,10 +397,24 @@ MtProcessor::runNext()
     completions_.push({t.faultCompletion, t.blockEpoch, t.id});
     ring_.remove(rrm);
 
+    if (tracer_.enabled()) {
+        auto e = traceEvent(trace::EventKind::FaultIssue, 0);
+        e.tid = t.id;
+        e.ctx = rrm;
+        e.aux = fault.latency;
+        tracer_.emit(e);
+    }
+
     // Two-phase accounting starts afresh for this blocking episode.
     t.spinAccrued = 0;
 
     charge(config_.costs.contextSwitch, stats_.switchCycles);
+    if (tracer_.enabled()) {
+        auto e = traceEvent(trace::EventKind::Switch,
+                            config_.costs.contextSwitch);
+        e.tid = t.id;
+        tracer_.emit(e);
+    }
 }
 
 bool
@@ -375,7 +499,19 @@ MtProcessor::idleOrEvict()
     stats_.idleCycles += interval;
     now_ = until;
 
+    if (tracer_.enabled() && interval > 0) {
+        auto e = traceEvent(trace::EventKind::SchedulerPoll, interval);
+        e.aux = num_blocked_loaded;
+        tracer_.emit(e);
+    }
+
     if (have_evict && until == evict_time) {
+        if (tracer_.enabled()) {
+            auto e = traceEvent(trace::EventKind::UnloadDecision, 0);
+            e.tid = evict_tid;
+            e.aux = threads_[evict_tid].spinAccrued;
+            tracer_.emit(e);
+        }
         evict(evict_tid);
         refill();
     }
@@ -416,6 +552,7 @@ MtProcessor::run()
         recorder_.centralRate(config_.statsLoFrac, config_.statsHiFrac);
     stats_.avgResidentContexts =
         now_ == 0 ? 0.0 : residencyIntegral_ / static_cast<double>(now_);
+    tracer_.flush();
     return stats_;
 }
 

@@ -51,6 +51,8 @@
 #include "multithread/thread.hh"
 #include "runtime/context_ring.hh"
 #include "runtime/cost_model.hh"
+#include "trace/audit.hh"
+#include "trace/tracer.hh"
 
 namespace rr::mt {
 
@@ -130,6 +132,13 @@ struct MtConfig
     /** Scheduler priority levels (Section 2.2 thread classes). */
     unsigned priorityLevels = 1;
 
+    /**
+     * Optional structured-event sink (not owned). Every charged
+     * cycle is emitted as a typed trace::TraceEvent; null (the
+     * default) reduces each emission site to one branch.
+     */
+    trace::TraceSink *traceSink = nullptr;
+
     /** Central measurement window (transient exclusion). */
     double statsLoFrac = 0.2;
     double statsHiFrac = 0.8;
@@ -169,6 +178,12 @@ struct MtStats
     uint64_t accountedCycles() const;
 };
 
+/**
+ * The reconciliation targets a simulation's trace must conserve
+ * against (feed to trace::TraceAuditor::reconcile()).
+ */
+trace::AuditTotals auditTotals(const MtStats &stats);
+
 /** Single-node multithreaded processor simulator. */
 class MtProcessor
 {
@@ -203,6 +218,10 @@ class MtProcessor
 
     void createThreads();
     std::unique_ptr<ContextPolicy> makePolicy() const;
+
+    /** Event template stamped with the architecture and current time. */
+    trace::TraceEvent traceEvent(trace::EventKind kind,
+                                 uint64_t cycles) const;
 
     /** Charge @p cycles of overhead to @p bucket and advance time. */
     void charge(uint64_t cycles, uint64_t &bucket);
@@ -239,6 +258,7 @@ class MtProcessor
     MtConfig config_;
     std::unique_ptr<ContextPolicy> policy_;
     std::vector<Thread> threads_;
+    trace::Tracer tracer_;
 
     uint64_t now_ = 0;
     uint64_t useful_ = 0;

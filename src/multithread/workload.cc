@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "multithread/simulation_spec.hh"
+
 namespace rr::mt {
 
 WorkloadSpec
@@ -35,42 +37,32 @@ defaultWorkPerThread(double mean_run)
                               static_cast<uint64_t>(mean_run * 250.0));
 }
 
+// The helpers below are deprecated shims over SimulationSpec (see
+// simulation_spec.hh); they are kept so existing callers continue to
+// compile and produce value-identical configurations.
+
 MtConfig
 fig5Config(ArchKind arch, unsigned num_regs, double mean_run,
            uint64_t latency, uint64_t seed)
 {
-    MtConfig config;
-    config.workload = paperWorkload(defaultThreadCount,
-                                    defaultWorkPerThread(mean_run));
-    config.faultModel =
-        std::make_shared<CacheFaultModel>(mean_run, latency);
-    config.costs = arch == ArchKind::FixedHw
-                       ? runtime::CostModel::paperFixed(6)
-                       : runtime::CostModel::paperFlexible(6);
-    config.arch = arch;
-    config.numRegs = num_regs;
-    config.unloadPolicy = UnloadPolicyKind::Never;
-    config.seed = seed;
-    return config;
+    return SimulationSpec()
+        .cacheFaults(mean_run, latency)
+        .arch(arch)
+        .numRegs(num_regs)
+        .seed(seed)
+        .build();
 }
 
 MtConfig
 fig6Config(ArchKind arch, unsigned num_regs, double mean_run,
            double mean_latency, uint64_t seed)
 {
-    MtConfig config;
-    config.workload = paperWorkload(defaultThreadCount,
-                                    defaultWorkPerThread(mean_run));
-    config.faultModel =
-        std::make_shared<SyncFaultModel>(mean_run, mean_latency);
-    config.costs = arch == ArchKind::FixedHw
-                       ? runtime::CostModel::paperFixed(8)
-                       : runtime::CostModel::paperFlexible(8);
-    config.arch = arch;
-    config.numRegs = num_regs;
-    config.unloadPolicy = UnloadPolicyKind::TwoPhase;
-    config.seed = seed;
-    return config;
+    return SimulationSpec()
+        .syncFaults(mean_run, mean_latency)
+        .arch(arch)
+        .numRegs(num_regs)
+        .seed(seed)
+        .build();
 }
 
 MtConfig
@@ -78,21 +70,13 @@ combinedConfig(ArchKind arch, unsigned num_regs, double cache_run,
                uint64_t cache_latency, double sync_run,
                double sync_latency, uint64_t seed)
 {
-    MtConfig config;
-    const double combined_run =
-        1.0 / (1.0 / cache_run + 1.0 / sync_run);
-    config.workload = paperWorkload(
-        defaultThreadCount, defaultWorkPerThread(combined_run));
-    config.faultModel = std::make_shared<CombinedFaultModel>(
-        cache_run, cache_latency, sync_run, sync_latency);
-    config.costs = arch == ArchKind::FixedHw
-                       ? runtime::CostModel::paperFixed(8)
-                       : runtime::CostModel::paperFlexible(8);
-    config.arch = arch;
-    config.numRegs = num_regs;
-    config.unloadPolicy = UnloadPolicyKind::TwoPhase;
-    config.seed = seed;
-    return config;
+    return SimulationSpec()
+        .combinedFaults(cache_run, cache_latency, sync_run,
+                        sync_latency)
+        .arch(arch)
+        .numRegs(num_regs)
+        .seed(seed)
+        .build();
 }
 
 MtConfig
@@ -100,20 +84,14 @@ deterministicConfig(ArchKind arch, unsigned num_regs, uint64_t run,
                     uint64_t latency, unsigned num_threads,
                     unsigned regs_used, uint64_t seed)
 {
-    MtConfig config;
-    config.workload = homogeneousWorkload(
-        num_threads, defaultWorkPerThread(static_cast<double>(run)),
-        regs_used);
-    config.faultModel =
-        std::make_shared<DeterministicFaultModel>(run, latency);
-    config.costs = arch == ArchKind::FixedHw
-                       ? runtime::CostModel::paperFixed(6)
-                       : runtime::CostModel::paperFlexible(6);
-    config.arch = arch;
-    config.numRegs = num_regs;
-    config.unloadPolicy = UnloadPolicyKind::Never;
-    config.seed = seed;
-    return config;
+    return SimulationSpec()
+        .deterministicFaults(run, latency)
+        .threads(num_threads)
+        .registerDemand(regs_used)
+        .arch(arch)
+        .numRegs(num_regs)
+        .seed(seed)
+        .build();
 }
 
 } // namespace rr::mt

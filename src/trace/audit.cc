@@ -1,0 +1,253 @@
+#include "trace/audit.hh"
+
+#include <utility>
+
+namespace rr::trace {
+
+namespace {
+
+/** Kinds the per-component reconciliation maps onto stats buckets. */
+constexpr std::size_t
+idx(EventKind kind)
+{
+    return static_cast<std::size_t>(kind);
+}
+
+std::string
+mismatch(const char *what, uint64_t trace_value, uint64_t stat_value)
+{
+    std::string out = what;
+    out += ": trace ";
+    out += std::to_string(trace_value);
+    out += " != stats ";
+    out += std::to_string(stat_value);
+    return out;
+}
+
+} // namespace
+
+TraceAuditor::TraceAuditor(const runtime::CostModel &costs)
+    : costs_(costs)
+{
+}
+
+uint64_t
+TraceAuditor::kindCycles(EventKind kind) const
+{
+    return sumCycles_[idx(kind)];
+}
+
+uint64_t
+TraceAuditor::kindCount(EventKind kind) const
+{
+    return countByKind_[idx(kind)];
+}
+
+void
+TraceAuditor::problem(std::string text)
+{
+    if (problems_.size() >= kMaxProblems) {
+        ++suppressed_;
+        return;
+    }
+    problems_.push_back(std::move(text));
+}
+
+void
+TraceAuditor::checkCharge(const TraceEvent &event, uint64_t expect,
+                          const char *what)
+{
+    if (event.cycles == expect)
+        return;
+    std::string text = what;
+    text += " charged ";
+    text += std::to_string(event.cycles);
+    text += " cycles, cost model says ";
+    text += std::to_string(expect);
+    text += " (cycle ";
+    text += std::to_string(event.cycle);
+    if (event.tid != TraceEvent::kNoThread) {
+        text += ", tid ";
+        text += std::to_string(event.tid);
+    }
+    text += ")";
+    problem(std::move(text));
+}
+
+void
+TraceAuditor::emit(const TraceEvent &event)
+{
+    ++eventsSeen_;
+    sumCycles_[idx(event.kind)] += event.cycles;
+    ++countByKind_[idx(event.kind)];
+
+    // Traces replay in simulation order: each event ends no earlier
+    // than the previous one, and never spans back past time zero.
+    if (event.cycle < lastCycle_) {
+        problem("time went backwards: event '" +
+                std::string(eventKindName(event.kind)) + "' ends at " +
+                std::to_string(event.cycle) + " after an event ending at " +
+                std::to_string(lastCycle_));
+    }
+    lastCycle_ = event.cycle;
+    if (event.cycles > event.cycle) {
+        problem("event '" + std::string(eventKindName(event.kind)) +
+                "' spans " + std::to_string(event.cycles) +
+                " cycles but ends at " + std::to_string(event.cycle));
+    }
+
+    TidState *tid = nullptr;
+    if (event.tid != TraceEvent::kNoThread)
+        tid = &tids_[event.tid];
+    const std::string who =
+        tid != nullptr ? "tid " + std::to_string(event.tid) : "scheduler";
+
+    switch (event.kind) {
+      case EventKind::Alloc:
+        if (event.ok) {
+            ++allocOk_;
+            checkCharge(event, costs_.allocSucceed, "successful alloc");
+            if (tid == nullptr) {
+                problem("alloc with no thread at cycle " +
+                        std::to_string(event.cycle));
+            } else if (tid->allocated) {
+                problem(who + " allocated twice without a free (cycle " +
+                        std::to_string(event.cycle) + ")");
+            } else {
+                tid->allocated = true;
+            }
+        } else {
+            ++allocFailed_;
+            checkCharge(event, costs_.allocFail, "failed alloc");
+        }
+        break;
+
+      case EventKind::Load:
+        checkCharge(event, costs_.loadCost(event.regs), "load");
+        if (tid != nullptr) {
+            if (!tid->allocated)
+                problem(who + " loaded without an allocation (cycle " +
+                        std::to_string(event.cycle) + ")");
+            if (tid->loaded)
+                problem(who + " loaded twice without an unload (cycle " +
+                        std::to_string(event.cycle) + ")");
+            tid->loaded = true;
+        }
+        break;
+
+      case EventKind::Unload:
+        checkCharge(event, costs_.unloadCost(event.regs), "unload");
+        if (tid != nullptr) {
+            if (!tid->loaded)
+                problem(who + " unloaded while not loaded (cycle " +
+                        std::to_string(event.cycle) + ")");
+            tid->loaded = false;
+        }
+        break;
+
+      case EventKind::Free:
+        checkCharge(event, costs_.dealloc, "free");
+        if (event.aux == TraceEvent::kFreeFinished)
+            ++finishFrees_;
+        if (tid != nullptr) {
+            if (!tid->allocated)
+                problem(who + " freed while not allocated (cycle " +
+                        std::to_string(event.cycle) + ")");
+            // A finishing thread frees its loaded context directly; an
+            // evicted context must already have paid its unload.
+            if (event.aux == TraceEvent::kFreeFinished && !tid->loaded)
+                problem(who + " finished without a loaded context (cycle " +
+                        std::to_string(event.cycle) + ")");
+            if (event.aux == TraceEvent::kFreeEvicted && tid->loaded)
+                problem(who + " evicted without paying an unload (cycle " +
+                        std::to_string(event.cycle) + ")");
+            tid->allocated = false;
+            tid->loaded = false;
+        }
+        break;
+
+      case EventKind::Switch:
+        checkCharge(event, costs_.contextSwitch, "context switch");
+        break;
+
+      case EventKind::Queue:
+        checkCharge(event, costs_.queueOp, "queue operation");
+        break;
+
+      case EventKind::RunSegment:
+        if (tid != nullptr && !tid->loaded)
+            problem(who + " ran without a loaded context (cycle " +
+                    std::to_string(event.cycle) + ")");
+        break;
+
+      case EventKind::FaultIssue:
+      case EventKind::FaultComplete:
+      case EventKind::SchedulerPoll:
+      case EventKind::UnloadDecision:
+      case EventKind::Instruction:
+      case EventKind::Barrier:
+        break;
+    }
+}
+
+std::vector<std::string>
+TraceAuditor::reconcile(const AuditTotals &totals) const
+{
+    std::vector<std::string> out = problems_;
+    if (suppressed_ > 0)
+        out.push_back("... and " + std::to_string(suppressed_) +
+                      " more streaming problems");
+
+    const auto check = [&](const char *what, uint64_t trace_value,
+                           uint64_t stat_value) {
+        if (trace_value != stat_value)
+            out.push_back(mismatch(what, trace_value, stat_value));
+    };
+
+    // 1. Per-component cycle conservation.
+    check("useful cycles", kindCycles(EventKind::RunSegment),
+          totals.usefulCycles);
+    check("idle cycles", kindCycles(EventKind::SchedulerPoll),
+          totals.idleCycles);
+    check("switch cycles", kindCycles(EventKind::Switch),
+          totals.switchCycles);
+    check("alloc cycles", kindCycles(EventKind::Alloc),
+          totals.allocCycles);
+    check("dealloc cycles", kindCycles(EventKind::Free),
+          totals.deallocCycles);
+    check("load cycles", kindCycles(EventKind::Load), totals.loadCycles);
+    check("unload cycles", kindCycles(EventKind::Unload),
+          totals.unloadCycles);
+    check("queue cycles", kindCycles(EventKind::Queue),
+          totals.queueCycles);
+
+    uint64_t all = 0;
+    for (const uint64_t cycles : sumCycles_)
+        all += cycles;
+    check("total charged cycles", all, totals.totalCycles);
+
+    // 2. Figure 4 actions appear exactly once each.
+    check("faults issued", kindCount(EventKind::FaultIssue),
+          totals.faults);
+    check("faults completed", kindCount(EventKind::FaultComplete),
+          totals.faults);
+    check("loads", kindCount(EventKind::Load), totals.loads);
+    check("unloads", kindCount(EventKind::Unload), totals.unloads);
+    check("successful allocs", allocOk_, totals.allocSuccesses);
+    check("failed allocs", allocFailed_, totals.allocFailures);
+    check("threads finished", finishFrees_, totals.threadsFinished);
+    check("frees", kindCount(EventKind::Free),
+          totals.allocSuccesses); // every granted context is freed once
+
+    // 3. No context is left mid-lifecycle at end of run.
+    for (const auto &[id, state] : tids_) {
+        if (state.allocated)
+            out.push_back("tid " + std::to_string(id) +
+                          " still holds an allocated context at end of "
+                          "trace");
+    }
+
+    return out;
+}
+
+} // namespace rr::trace

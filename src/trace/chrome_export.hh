@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Chrome trace_event exporter (rr::trace): renders recorded event
+ * streams as the JSON Array Format understood by Perfetto
+ * (https://ui.perfetto.dev) and chrome://tracing, so a simulation
+ * run opens directly in a timeline viewer.
+ *
+ * Mapping (docs/TRACE.md):
+ *  - one pid per stream — the MT harness passes one stream per
+ *    architecture, so fixed and flexible runs sit side by side;
+ *  - one tid per simulated thread (tid 0 is the scheduler track,
+ *    used for events with no attributable thread);
+ *  - charged events (run segments, switches, Figure 4 costs, idle
+ *    intervals) become complete ("X") slices spanning their charged
+ *    cycles; instantaneous events (fault issue/completion, unload
+ *    decisions) become instant ("i") marks;
+ *  - `ts`/`dur` are simulated cycles, displayed as microseconds —
+ *    1 us on screen = 1 cycle.
+ *
+ * Output is deterministic: streams are emitted in the order given
+ * and events in emission order, so identical event streams produce
+ * byte-identical files (the property the --jobs invariance test
+ * checks for traces).
+ */
+
+#ifndef RR_TRACE_CHROME_EXPORT_HH
+#define RR_TRACE_CHROME_EXPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/event.hh"
+
+namespace rr::trace {
+
+/** One timeline process: a labelled event stream. */
+struct ChromeStream
+{
+    /** Process label shown by the viewer (e.g. "flexible"). */
+    std::string process;
+
+    std::vector<TraceEvent> events;
+
+    /**
+     * Events dropped before capture (ring overwrite or capture cap);
+     * > 0 adds a visible truncation note to the process metadata.
+     */
+    uint64_t dropped = 0;
+};
+
+/** Render @p streams as a Chrome trace_event JSON document. */
+std::string exportChromeTrace(const std::vector<ChromeStream> &streams);
+
+} // namespace rr::trace
+
+#endif // RR_TRACE_CHROME_EXPORT_HH

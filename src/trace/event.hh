@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Typed trace events for the multithreading simulators (rr::trace).
+ *
+ * Every cycle a simulator reports in its end-of-run statistics is
+ * first *charged* as a discrete event — a run segment, a context
+ * switch, a Figure 4 allocation/load/unload cost, an idle spin
+ * interval — and the trace is the complete charged-event record of a
+ * run. Conservation is the design contract: the per-kind cycle sums
+ * of a trace must reconcile exactly with the aggregate statistics
+ * (audit.hh proves this per run), so a divergence between two
+ * architectures or between the event simulator and the RRISC
+ * interpreter can be localized to the event that caused it.
+ *
+ * Events are plain data and carry no behaviour; this header has no
+ * dependency on the simulators, so the machine, runtime, and
+ * multithread layers can all emit events without layering cycles.
+ */
+
+#ifndef RR_TRACE_EVENT_HH
+#define RR_TRACE_EVENT_HH
+
+#include <cstdint>
+
+namespace rr::trace {
+
+/** What a trace event records. */
+enum class EventKind : uint8_t
+{
+    RunSegment,     ///< useful execution between faults
+    Switch,         ///< context switch (S cycles)
+    FaultIssue,     ///< long-latency fault raised; aux = latency
+    FaultComplete,  ///< outstanding fault serviced
+    Alloc,          ///< context allocation attempt; ok = success
+    Free,           ///< context deallocation; aux: 1 = thread
+                    ///< finished, 0 = evicted while blocked
+    Load,           ///< context load (C + overhead cycles)
+    Unload,         ///< context unload (C + overhead cycles)
+    Queue,          ///< software thread-queue insert or remove
+    SchedulerPoll,  ///< idle spin interval; aux = blocked residents
+    UnloadDecision, ///< two-phase budget exhausted; aux = accrued
+    Instruction,    ///< one machine instruction (rrsim --trace=FILE)
+    Barrier,        ///< barrier release (machine kernels)
+};
+
+/** @return stable printable name of @p kind (used in JSON output). */
+const char *eventKindName(EventKind kind);
+
+/** Number of distinct event kinds (for per-kind accumulators). */
+constexpr unsigned numEventKinds = 13;
+
+/**
+ * One structured trace event.
+ *
+ * `cycle` stamps the simulation time at which the event *ended*;
+ * `cycles` is the duration / charged cost, so the event spans
+ * [cycle - cycles, cycle]. Zero-duration events (fault issue and
+ * completion, unload decisions) are instants.
+ */
+struct TraceEvent
+{
+    EventKind kind = EventKind::RunSegment;
+
+    /** Architecture id (mt::ArchKind value for the MT simulators). */
+    uint8_t arch = 0;
+
+    /** True for successful allocation attempts; unused otherwise. */
+    bool ok = true;
+
+    /** Thread id; kNoThread when no thread is attributable. */
+    uint32_t tid = kNoThread;
+
+    /** Context id (relocation mask base); kNoContext when absent. */
+    uint32_t ctx = kNoContext;
+
+    /** Registers the thread actually uses (C) for Load/Unload. */
+    uint32_t regs = 0;
+
+    /** End-of-event simulation time. */
+    uint64_t cycle = 0;
+
+    /** Charged cycles (duration); 0 for instantaneous events. */
+    uint64_t cycles = 0;
+
+    /** Kind-specific payload (latency, spin accrual, counts). */
+    uint64_t aux = 0;
+
+    static constexpr uint32_t kNoThread = 0xffffffffu;
+    static constexpr uint32_t kNoContext = 0xffffffffu;
+
+    /** Free.aux: the thread ran to completion and freed its context. */
+    static constexpr uint64_t kFreeFinished = 1;
+    /** Free.aux: the context was reclaimed from a blocked thread. */
+    static constexpr uint64_t kFreeEvicted = 0;
+};
+
+} // namespace rr::trace
+
+#endif // RR_TRACE_EVENT_HH

@@ -1,0 +1,143 @@
+#include "trace/sink.hh"
+
+#include <string>
+
+#include "base/logging.hh"
+
+namespace rr::trace {
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::RunSegment:
+        return "run";
+      case EventKind::Switch:
+        return "switch";
+      case EventKind::FaultIssue:
+        return "fault_issue";
+      case EventKind::FaultComplete:
+        return "fault_complete";
+      case EventKind::Alloc:
+        return "alloc";
+      case EventKind::Free:
+        return "free";
+      case EventKind::Load:
+        return "load";
+      case EventKind::Unload:
+        return "unload";
+      case EventKind::Queue:
+        return "queue";
+      case EventKind::SchedulerPoll:
+        return "poll";
+      case EventKind::UnloadDecision:
+        return "unload_decision";
+      case EventKind::Instruction:
+        return "instr";
+      case EventKind::Barrier:
+        return "barrier";
+    }
+    return "unknown";
+}
+
+RingBufferSink::RingBufferSink(std::size_t capacity)
+    : capacity_(capacity)
+{
+    rr_assert(capacity_ > 0, "ring sink needs capacity >= 1");
+    ring_.reserve(capacity_);
+}
+
+void
+RingBufferSink::emit(const TraceEvent &event)
+{
+    if (ring_.size() < capacity_) {
+        ring_.push_back(event);
+    } else {
+        ring_[next_] = event;
+        ++dropped_;
+    }
+    next_ = (next_ + 1) % capacity_;
+    ++emitted_;
+}
+
+std::vector<TraceEvent>
+RingBufferSink::snapshot() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(ring_.size());
+    if (ring_.size() < capacity_) {
+        out = ring_;
+        return out;
+    }
+    // Full ring: next_ points at the oldest retained event.
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(ring_[(next_ + i) % capacity_]);
+    return out;
+}
+
+std::string
+eventToJsonLine(const TraceEvent &event)
+{
+    // Hand-rolled: every field is a name, small integer, or bool, so
+    // no escaping is ever needed and the hot path stays allocation-
+    // light. Field order is fixed — byte-identical traces for
+    // identical event streams is part of the determinism contract.
+    std::string line;
+    line.reserve(160);
+    line += "{\"ev\":\"";
+    line += eventKindName(event.kind);
+    line += "\",\"cycle\":";
+    line += std::to_string(event.cycle);
+    line += ",\"cycles\":";
+    line += std::to_string(event.cycles);
+    line += ",\"arch\":";
+    line += std::to_string(event.arch);
+    if (event.tid != TraceEvent::kNoThread) {
+        line += ",\"tid\":";
+        line += std::to_string(event.tid);
+    }
+    if (event.ctx != TraceEvent::kNoContext) {
+        line += ",\"ctx\":";
+        line += std::to_string(event.ctx);
+    }
+    if (event.regs != 0) {
+        line += ",\"regs\":";
+        line += std::to_string(event.regs);
+    }
+    if (event.aux != 0) {
+        line += ",\"aux\":";
+        line += std::to_string(event.aux);
+    }
+    if (event.kind == EventKind::Alloc) {
+        line += ",\"ok\":";
+        line += event.ok ? "true" : "false";
+    }
+    line += "}";
+    return line;
+}
+
+std::string
+traceJsonHeaderLine()
+{
+    return "{\"schema\":\"rr.trace.v1\"}";
+}
+
+StreamJsonSink::StreamJsonSink(std::ostream &out) : out_(out)
+{
+    out_ << traceJsonHeaderLine() << '\n';
+}
+
+void
+StreamJsonSink::emit(const TraceEvent &event)
+{
+    out_ << eventToJsonLine(event) << '\n';
+    ++emitted_;
+}
+
+void
+StreamJsonSink::flush()
+{
+    out_.flush();
+}
+
+} // namespace rr::trace

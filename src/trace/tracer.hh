@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The emission handle the simulators hold (rr::trace).
+ *
+ * A Tracer wraps an optional, non-owning TraceSink pointer. With no
+ * sink attached every emission site reduces to one predictable
+ * branch on a member pointer — the event struct is not even
+ * constructed, so an untraced simulation pays (and measures) nothing.
+ * Emission sites therefore follow the pattern:
+ *
+ *   if (tracer_.enabled())
+ *       tracer_.emit({...});
+ */
+
+#ifndef RR_TRACE_TRACER_HH
+#define RR_TRACE_TRACER_HH
+
+#include "trace/sink.hh"
+
+namespace rr::trace {
+
+/** Lightweight, copyable emission handle. */
+class Tracer
+{
+  public:
+    Tracer() = default;
+    explicit Tracer(TraceSink *sink) : sink_(sink) {}
+
+    /** Attach (or detach with nullptr) the sink. Not owned. */
+    void attach(TraceSink *sink) { sink_ = sink; }
+
+    /** Whether emission sites should build and emit events. */
+    bool enabled() const { return sink_ != nullptr; }
+
+    /** Forward @p event to the sink; no-op when none is attached. */
+    void
+    emit(const TraceEvent &event)
+    {
+        if (sink_ != nullptr)
+            sink_->emit(event);
+    }
+
+    void
+    flush()
+    {
+        if (sink_ != nullptr)
+            sink_->flush();
+    }
+
+  private:
+    TraceSink *sink_ = nullptr;
+};
+
+} // namespace rr::trace
+
+#endif // RR_TRACE_TRACER_HH

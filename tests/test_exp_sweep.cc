@@ -21,7 +21,9 @@
 #include "exp/registry.hh"
 #include "exp/report.hh"
 #include "exp/sweep.hh"
+#include "exp/tracectl.hh"
 #include "multithread/workload.hh"
+#include "trace/chrome_export.hh"
 
 namespace rr {
 namespace {
@@ -308,6 +310,75 @@ TEST(Compare, RejectsMismatchedRunConfig)
     const auto current = exp::parseJson(other.toJson());
     ASSERT_TRUE(baseline.has_value() && current.has_value());
     EXPECT_FALSE(exp::compareReports(*current, *baseline, {}).ok());
+}
+
+/** Deactivate the global controller even if a test fails. */
+struct ControllerGuard
+{
+    explicit ControllerGuard(exp::TraceController &controller)
+    {
+        exp::TraceController::activate(&controller);
+    }
+    ~ControllerGuard() { exp::TraceController::activate(nullptr); }
+};
+
+/** cheapPanel() under a trace controller; returns its summary. */
+exp::TraceSummary
+tracedCheapPanel(unsigned jobs)
+{
+    exp::TraceController::Options options;
+    options.audit = true;
+    options.capture = true;
+    exp::TraceController controller(options);
+    ControllerGuard guard(controller);
+    cheapPanel(jobs);
+    return controller.summary();
+}
+
+// Auditing an entire sweep: every (point, arch, seed) simulation is
+// independently reconciled, and the capture grabs exactly the
+// representative pair (point 0, seed 1, both architectures).
+TEST(TraceControl, SweepAuditsEverySimulationCleanly)
+{
+    const exp::TraceSummary summary = tracedCheapPanel(2);
+    // cheapPanel: 2 run lengths x 2 latencies x 2 archs x 2 seeds.
+    EXPECT_EQ(summary.simulations, 16u);
+    EXPECT_GT(summary.events, 0u);
+    EXPECT_EQ(summary.problemsTotal, 0u)
+        << (summary.problems.empty() ? "" : summary.problems[0]);
+    ASSERT_EQ(summary.captures.size(), 2u);
+    for (const trace::ChromeStream &stream : summary.captures)
+        EXPECT_FALSE(stream.events.empty()) << stream.process;
+}
+
+// The determinism contract extended to traces: the captured event
+// streams — and therefore the exported Chrome trace bytes — are
+// identical for every job count.
+TEST(TraceControl, CapturedTraceIsByteIdenticalAcrossJobCounts)
+{
+    const exp::TraceSummary serial = tracedCheapPanel(1);
+    const exp::TraceSummary parallel = tracedCheapPanel(8);
+    EXPECT_EQ(trace::exportChromeTrace(serial.captures),
+              trace::exportChromeTrace(parallel.captures));
+    EXPECT_EQ(serial.events, parallel.events);
+    EXPECT_EQ(serial.simulations, parallel.simulations);
+}
+
+// Without a controller the sweep path must not trace at all (the
+// null-sink fast path), and results must match the traced run.
+TEST(TraceControl, ControllerIsResultNeutral)
+{
+    const std::string plain = panelJson(cheapPanel(2));
+
+    exp::TraceController::Options options;
+    options.audit = true;
+    exp::TraceController controller(options);
+    std::string traced;
+    {
+        ControllerGuard guard(controller);
+        traced = panelJson(cheapPanel(2));
+    }
+    EXPECT_EQ(plain, traced);
 }
 
 TEST(Registry, FiguresAreRegisteredAndSorted)

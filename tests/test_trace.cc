@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Tests for the structured event-trace subsystem (src/trace/): the
+ * sinks, the JSONL serialization, the Chrome trace_event exporter,
+ * the cycle-conservation auditor (including a deliberately
+ * mis-charged cost model it must catch), and the event emission of
+ * both the event-driven MT simulator and the machine-level kernels.
+ */
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/json_in.hh"
+#include "kernel/machine_mt_kernel.hh"
+#include "multithread/simulation_spec.hh"
+#include "multithread/workload.hh"
+#include "trace/audit.hh"
+#include "trace/chrome_export.hh"
+#include "trace/sink.hh"
+
+namespace rr {
+namespace {
+
+trace::TraceEvent
+makeEvent(trace::EventKind kind, uint64_t cycle, uint64_t cycles = 0)
+{
+    trace::TraceEvent event;
+    event.kind = kind;
+    event.cycle = cycle;
+    event.cycles = cycles;
+    return event;
+}
+
+/** A small, fast Figure 5 style configuration. */
+mt::MtConfig
+smallConfig(mt::ArchKind arch, bool sync)
+{
+    mt::SimulationSpec spec;
+    if (sync)
+        spec.syncFaults(32.0, 400.0);
+    else
+        spec.cacheFaults(16.0, 200);
+    return spec.arch(arch)
+        .numRegs(128)
+        .threads(12)
+        .workPerThread(4000)
+        .seed(7)
+        .build();
+}
+
+TEST(RingBufferSink, KeepsMostRecentAndCountsDropped)
+{
+    trace::RingBufferSink ring(4);
+    for (uint64_t i = 0; i < 10; ++i)
+        ring.emit(makeEvent(trace::EventKind::RunSegment, i));
+    EXPECT_EQ(ring.emitted(), 10u);
+    EXPECT_EQ(ring.dropped(), 6u);
+    const std::vector<trace::TraceEvent> kept = ring.snapshot();
+    ASSERT_EQ(kept.size(), 4u);
+    // Oldest first: cycles 6, 7, 8, 9.
+    for (std::size_t i = 0; i < kept.size(); ++i)
+        EXPECT_EQ(kept[i].cycle, 6u + i);
+}
+
+TEST(RingBufferSink, PartiallyFilledSnapshotIsInOrder)
+{
+    trace::RingBufferSink ring(8);
+    for (uint64_t i = 0; i < 3; ++i)
+        ring.emit(makeEvent(trace::EventKind::Switch, i, 6));
+    EXPECT_EQ(ring.dropped(), 0u);
+    const auto kept = ring.snapshot();
+    ASSERT_EQ(kept.size(), 3u);
+    EXPECT_EQ(kept[0].cycle, 0u);
+    EXPECT_EQ(kept[2].cycle, 2u);
+}
+
+TEST(StreamJsonSink, EmitsHeaderAndParseableLines)
+{
+    std::ostringstream out;
+    trace::StreamJsonSink sink(out);
+
+    trace::TraceEvent alloc = makeEvent(trace::EventKind::Alloc, 25,
+                                        25);
+    alloc.tid = 3;
+    alloc.ctx = 16;
+    alloc.ok = true;
+    sink.emit(alloc);
+
+    trace::TraceEvent fault =
+        makeEvent(trace::EventKind::FaultIssue, 100);
+    fault.tid = 3;
+    fault.aux = 250;
+    sink.emit(fault);
+    sink.flush();
+    EXPECT_EQ(sink.emitted(), 2u);
+
+    std::istringstream lines(out.str());
+    std::string line;
+    std::vector<std::string> all;
+    while (std::getline(lines, line))
+        all.push_back(line);
+    ASSERT_EQ(all.size(), 3u);
+
+    // Header carries the schema id; every line is valid JSON.
+    std::string error;
+    const auto header = exp::parseJson(all[0], &error);
+    ASSERT_TRUE(header.has_value()) << error;
+    EXPECT_EQ(header->stringOr("schema", ""), "rr.trace.v1");
+
+    const auto first = exp::parseJson(all[1], &error);
+    ASSERT_TRUE(first.has_value()) << error;
+    EXPECT_EQ(first->stringOr("ev", ""), "alloc");
+    EXPECT_DOUBLE_EQ(first->numberOr("cycle", -1), 25.0);
+    EXPECT_DOUBLE_EQ(first->numberOr("tid", -1), 3.0);
+
+    const auto second = exp::parseJson(all[2], &error);
+    ASSERT_TRUE(second.has_value()) << error;
+    EXPECT_EQ(second->stringOr("ev", ""), "fault_issue");
+    EXPECT_DOUBLE_EQ(second->numberOr("aux", -1), 250.0);
+}
+
+TEST(TeeSink, ToleratesNullBranchesAndDuplicates)
+{
+    trace::VectorSink a;
+    trace::VectorSink b;
+    trace::TeeSink both(&a, &b);
+    both.emit(makeEvent(trace::EventKind::Queue, 10, 10));
+    EXPECT_EQ(a.events().size(), 1u);
+    EXPECT_EQ(b.events().size(), 1u);
+
+    trace::TeeSink half(nullptr, &a);
+    half.emit(makeEvent(trace::EventKind::Queue, 20, 10));
+    half.flush();
+    EXPECT_EQ(a.events().size(), 2u);
+}
+
+// The conservation contract, end to end: for both fault processes
+// and all architectures, the trace the simulator emits reconciles
+// exactly with the statistics it reports.
+TEST(Audit, EventSimulatorConservesCycles)
+{
+    for (const bool sync : {false, true}) {
+        for (const mt::ArchKind arch :
+             {mt::ArchKind::Flexible, mt::ArchKind::FixedHw,
+              mt::ArchKind::AddReloc}) {
+            mt::MtConfig config = smallConfig(arch, sync);
+            trace::TraceAuditor auditor(config.costs);
+            config.traceSink = &auditor;
+            const mt::MtStats stats = mt::simulate(config);
+            EXPECT_GT(auditor.eventsSeen(), 0u);
+            const std::vector<std::string> problems =
+                auditor.reconcile(mt::auditTotals(stats));
+            EXPECT_TRUE(problems.empty())
+                << "arch " << mt::archName(arch) << " sync " << sync
+                << ": " << problems.front();
+        }
+    }
+}
+
+TEST(Audit, TwoPhaseUnloadingConservesCycles)
+{
+    mt::MtConfig config = mt::SimulationSpec()
+                              .syncFaults(24.0, 600.0)
+                              .arch(mt::ArchKind::Flexible)
+                              .numRegs(64)
+                              .threads(16)
+                              .workPerThread(3000)
+                              .seed(3)
+                              .build();
+    ASSERT_EQ(config.unloadPolicy, mt::UnloadPolicyKind::TwoPhase);
+    trace::TraceAuditor auditor(config.costs);
+    config.traceSink = &auditor;
+    const mt::MtStats stats = mt::simulate(config);
+    EXPECT_GT(stats.unloads, 0u);
+    const auto problems = auditor.reconcile(mt::auditTotals(stats));
+    EXPECT_TRUE(problems.empty())
+        << (problems.empty() ? "" : problems.front());
+}
+
+// An auditor built on the WRONG cost model must report the
+// mis-charge: every Figure 4 charge is checked against the model,
+// not just summed.
+TEST(Audit, CatchesMischargedCosts)
+{
+    mt::MtConfig config =
+        smallConfig(mt::ArchKind::Flexible, false);
+    runtime::CostModel wrong = config.costs;
+    wrong.allocSucceed += 3;
+    trace::TraceAuditor auditor(wrong);
+    config.traceSink = &auditor;
+    const mt::MtStats stats = mt::simulate(config);
+    ASSERT_GT(stats.allocSuccesses, 0u);
+    const auto problems = auditor.reconcile(mt::auditTotals(stats));
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems.front().find("alloc"), std::string::npos);
+}
+
+// Tracing must not change a single digit of any result: the sink
+// observes charges that are made regardless.
+TEST(Trace, AttachingASinkIsBehaviorNeutral)
+{
+    mt::MtConfig plain = smallConfig(mt::ArchKind::Flexible, true);
+    const mt::MtStats expected = mt::simulate(plain);
+
+    mt::MtConfig traced = smallConfig(mt::ArchKind::Flexible, true);
+    trace::VectorSink sink;
+    traced.traceSink = &sink;
+    const mt::MtStats observed = mt::simulate(traced);
+
+    EXPECT_GT(sink.events().size(), 0u);
+    EXPECT_EQ(observed.totalCycles, expected.totalCycles);
+    EXPECT_EQ(observed.usefulCycles, expected.usefulCycles);
+    EXPECT_EQ(observed.idleCycles, expected.idleCycles);
+    EXPECT_EQ(observed.faults, expected.faults);
+    EXPECT_DOUBLE_EQ(observed.efficiencyCentral,
+                     expected.efficiencyCentral);
+}
+
+TEST(Trace, EventsArriveInSimulationOrder)
+{
+    mt::MtConfig config = smallConfig(mt::ArchKind::Flexible, false);
+    trace::VectorSink sink;
+    config.traceSink = &sink;
+    mt::simulate(config);
+    ASSERT_GT(sink.events().size(), 2u);
+    uint64_t last = 0;
+    for (const trace::TraceEvent &event : sink.events()) {
+        EXPECT_GE(event.cycle, last);
+        EXPECT_LE(event.cycles, event.cycle);
+        last = event.cycle;
+    }
+}
+
+TEST(ChromeExport, ProducesValidViewerDocument)
+{
+    mt::MtConfig config = smallConfig(mt::ArchKind::Flexible, false);
+    trace::VectorSink sink;
+    config.traceSink = &sink;
+    mt::simulate(config);
+
+    trace::ChromeStream stream;
+    stream.process = "flexible";
+    stream.events = sink.events();
+    const std::string doc = trace::exportChromeTrace({stream});
+
+    std::string error;
+    const auto parsed = exp::parseJson(doc, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    const exp::JsonValue *events = parsed->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_GT(events->elements.size(), 2u);
+
+    // First records are process/thread metadata; the body must
+    // contain both complete slices and instants on pid 1.
+    EXPECT_EQ(events->elements[0].stringOr("ph", ""), "M");
+    bool slices = false;
+    bool instants = false;
+    for (const exp::JsonValue &event : events->elements) {
+        const std::string ph = event.stringOr("ph", "");
+        slices = slices || ph == "X";
+        instants = instants || ph == "i";
+        if (ph == "X") {
+            EXPECT_GE(event.numberOr("dur", -1.0), 0.0);
+        }
+    }
+    EXPECT_TRUE(slices);
+    EXPECT_TRUE(instants);
+}
+
+TEST(ChromeExport, TruncationIsVisible)
+{
+    trace::ChromeStream stream;
+    stream.process = "flexible";
+    stream.dropped = 123;
+    stream.events = {makeEvent(trace::EventKind::RunSegment, 5, 5)};
+    const std::string doc = trace::exportChromeTrace({stream});
+    EXPECT_NE(doc.find("truncated"), std::string::npos);
+    EXPECT_NE(doc.find("123"), std::string::npos);
+}
+
+// The machine-level kernel emits matching issue/completion pairs
+// with machine-cycle stamps.
+TEST(KernelTrace, MachineKernelEmitsFaultPairs)
+{
+    kernel::KernelConfig config;
+    config.numThreads = 4;
+    config.segmentUnits = makeConstant(40);
+    config.latency = makeConstant(300);
+    config.segmentsPerThread = 8;
+    trace::VectorSink sink;
+    config.traceSink = &sink;
+    const kernel::KernelResult result =
+        kernel::runMachineKernel(config);
+    ASSERT_TRUE(result.halted);
+
+    uint64_t issued = 0;
+    uint64_t completed = 0;
+    uint64_t polls = 0;
+    for (const trace::TraceEvent &event : sink.events()) {
+        if (event.kind == trace::EventKind::FaultIssue)
+            ++issued;
+        else if (event.kind == trace::EventKind::FaultComplete)
+            ++completed;
+        else if (event.kind == trace::EventKind::SchedulerPoll)
+            ++polls;
+    }
+    EXPECT_EQ(issued, result.faults);
+    EXPECT_EQ(completed, result.faults);
+    EXPECT_EQ(polls, result.failedPolls);
+}
+
+TEST(KernelTrace, BarrierModeEmitsBarrierReleases)
+{
+    kernel::KernelConfig config;
+    config.numThreads = 4;
+    config.segmentUnits = makeGeometric(24.0);
+    config.service = kernel::FaultService::Barrier;
+    config.segmentsPerThread = 6;
+    trace::VectorSink sink;
+    config.traceSink = &sink;
+    const kernel::KernelResult result =
+        kernel::runMachineKernel(config);
+    ASSERT_TRUE(result.halted);
+    uint64_t barriers = 0;
+    for (const trace::TraceEvent &event : sink.events())
+        if (event.kind == trace::EventKind::Barrier)
+            ++barriers;
+    EXPECT_EQ(barriers, result.barriers);
+    EXPECT_GT(barriers, 0u);
+}
+
+} // namespace
+} // namespace rr

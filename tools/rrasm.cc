@@ -13,13 +13,15 @@
  *                   report.
  *     --banks B     interpret operands as bank-selected (Section 5.3)
  *                   when checking
+ *     --json        emit a machine-readable summary on stdout
+ *     --quiet       suppress the listing and symbol output
  *
- * Exit status: 0 on success, 1 on assembly errors, 2 on boundary
- * violations, 64 on usage errors.
+ * Exit status (docs/TOOLS.md): 0 on success, 1 on assembly errors or
+ * boundary violations, 2 when files cannot be read or written, 64 on
+ * usage errors.
  */
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -27,83 +29,51 @@
 #include "analysis/static/lint.hh"
 #include "assembler/assembler.hh"
 #include "isa/instruction.hh"
-#include "arg_num.hh"
+#include "cli.hh"
 
 namespace {
 
-void
-usage()
-{
-    std::fprintf(stderr,
-                 "usage: rrasm [-o out.hex] [-l] [--check N] "
-                 "[--banks B] input.s\n");
-}
+const char *const kUsage =
+    "usage: rrasm [-o out.hex] [-l] [--check N] [--banks B]\n"
+    "             [--json] [--quiet] input.s\n";
 
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    std::string input;
+    using namespace rr::tools;
+
     std::string output;
     bool listing = false;
-    unsigned check_size = 0;
-    unsigned banks = 0;
+    uint64_t check_size = 0;
+    uint64_t banks = 0;
+    bool json = false;
+    bool quiet = false;
 
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next_value = [&]() -> const char * {
-            return i + 1 < argc ? argv[++i] : nullptr;
-        };
-        uint64_t value = 0;
-        if (arg == "-o") {
-            const char *name = next_value();
-            if (name == nullptr) {
-                usage();
-                return 64;
-            }
-            output = name;
-        } else if (arg == "-l") {
-            listing = true;
-        } else if (arg == "--check") {
-            if (!rr::tools::requireUnsigned("rrasm", "--check",
-                                            next_value(), value, 64) ||
-                value == 0) {
-                std::fprintf(stderr,
-                             "rrasm: --check expects 1..64\n");
-                return 64;
-            }
-            check_size = static_cast<unsigned>(value);
-        } else if (arg == "--banks") {
-            if (!rr::tools::requireUnsigned("rrasm", "--banks",
-                                            next_value(), value, 64))
-                return 64;
-            banks = static_cast<unsigned>(value);
-        } else if (arg == "-h" || arg == "--help") {
-            usage();
-            return 0;
-        } else if (!arg.empty() && arg[0] == '-') {
-            std::fprintf(stderr, "rrasm: unknown option '%s'\n",
-                         arg.c_str());
-            usage();
-            return 64;
-        } else if (input.empty()) {
-            input = arg;
-        } else {
-            usage();
-            return 64;
-        }
+    OptionParser parser("rrasm", kUsage);
+    parser.value("-o", &output);
+    parser.flag("-l", &listing);
+    parser.number("--check", &check_size, 1, 64);
+    parser.number("--banks", &banks, 0, 64);
+    parser.flag("--json", &json);
+    parser.flag("--quiet", &quiet);
+    const int parse_status = parser.parse(argc, argv);
+    if (parse_status >= 0)
+        return parse_status;
+    if (parser.positionals().size() != 1) {
+        return parser.positionals().empty()
+                   ? parser.fail("expects one input file")
+                   : parser.fail("unexpected argument '%s'",
+                                 parser.positionals()[1].c_str());
     }
-    if (input.empty()) {
-        usage();
-        return 64;
-    }
+    const std::string input = parser.positionals().front();
 
     std::ifstream in(input);
     if (!in) {
         std::fprintf(stderr, "rrasm: cannot open '%s'\n",
                      input.c_str());
-        return 64;
+        return kExitFailure;
     }
     std::ostringstream source;
     source << in.rdbuf();
@@ -111,14 +81,24 @@ main(int argc, char **argv)
     const rr::assembler::Program program =
         rr::assembler::assemble(source.str());
     if (!program.ok()) {
+        if (json) {
+            std::printf("{\"schema\":\"rr.rrasm.v1\",\"input\":\"%s\","
+                        "\"ok\":false,\"errors\":[",
+                        jsonEscape(input).c_str());
+            for (size_t i = 0; i < program.errors.size(); ++i)
+                std::printf("%s\"%s\"", i != 0 ? "," : "",
+                            jsonEscape(program.errors[i].str())
+                                .c_str());
+            std::printf("]}\n");
+        }
         for (const auto &error : program.errors) {
             std::fprintf(stderr, "%s: %s\n", input.c_str(),
                          error.str().c_str());
         }
-        return 1;
+        return kExitProblems;
     }
 
-    if (listing) {
+    if (listing && !quiet) {
         for (size_t i = 0; i < program.words.size(); ++i) {
             const uint32_t addr =
                 program.base + static_cast<uint32_t>(i);
@@ -138,7 +118,7 @@ main(int argc, char **argv)
         if (!out) {
             std::fprintf(stderr, "rrasm: cannot write '%s'\n",
                          output.c_str());
-            return 64;
+            return kExitFailure;
         }
         for (const uint32_t word : program.words) {
             char buffer[16];
@@ -147,23 +127,34 @@ main(int argc, char **argv)
         }
     }
 
+    rr::lint::LintResult check;
     if (check_size != 0) {
         rr::lint::LintOptions options;
-        options.declaredContext = check_size;
-        options.banks = banks > 1 ? banks : 1;
-        const rr::lint::LintResult result =
-            rr::lint::lintProgram(program, options);
-        for (const auto &finding : result.findings) {
+        options.declaredContext = static_cast<unsigned>(check_size);
+        options.banks = banks > 1 ? static_cast<unsigned>(banks) : 1;
+        check = rr::lint::lintProgram(program, options);
+        for (const auto &finding : check.findings) {
             std::fprintf(stderr, "%s: %s\n", input.c_str(),
                          finding.str().c_str());
         }
-        if (!result.clean()) {
+        if (!check.clean()) {
             std::fprintf(stderr,
                          "rrasm: %u error(s), %u warning(s); run "
                          "rrlint for the full report\n",
-                         result.errors, result.warnings);
-            return 2;
+                         check.errors, check.warnings);
         }
     }
-    return 0;
+
+    if (json) {
+        std::printf("{\"schema\":\"rr.rrasm.v1\",\"input\":\"%s\","
+                    "\"ok\":%s,\"words\":%zu,\"base\":%u",
+                    jsonEscape(input).c_str(),
+                    check.clean() ? "true" : "false",
+                    program.words.size(), program.base);
+        if (check_size != 0)
+            std::printf(",\"checkErrors\":%u,\"checkWarnings\":%u",
+                        check.errors, check.warnings);
+        std::printf("}\n");
+    }
+    return check.clean() ? kExitOk : kExitProblems;
 }

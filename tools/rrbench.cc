@@ -8,16 +8,24 @@
  * report, and writes one machine-readable BENCH_<figure>.json per
  * figure (schema "rr.bench.v1"). Sweeps fan out over a fixed-size
  * worker pool; --jobs changes wall-clock time only, never a result
- * digit.
+ * digit — including the bytes of --trace-figure output.
  *
  * Usage:
  *   rrbench [--list] [--filter SUBSTR]... [--fast] [--jobs N]
  *           [--seeds N] [--threads N] [--out-dir DIR] [--quiet]
- *           [--compare PATH] [--tolerance X]
+ *           [--compare PATH] [--tolerance X] [--audit]
+ *           [--trace-figure NAME]... [--json]
  *   rrbench --validate FILE...
  *
- * Exit status: 0 on success, 1 when --compare detects a shape
- * regression, 2 on I/O or validation failure, 64 on usage errors.
+ * --audit attaches a streaming cycle-conservation auditor
+ * (docs/TRACE.md) to every simulation of every sweep; any violation
+ * fails the run. --trace-figure NAME captures a representative event
+ * trace of that figure and writes TRACE_<NAME>.json (Chrome
+ * trace_event format, opens in Perfetto).
+ *
+ * Exit status (docs/TOOLS.md): 0 on success, 1 when --compare
+ * detects a shape regression, 2 on I/O, validation, or audit
+ * failure, 64 on usage errors.
  */
 
 #include <cstdio>
@@ -35,46 +43,42 @@
 #include "exp/json_in.hh"
 #include "exp/registry.hh"
 #include "exp/report.hh"
-#include "arg_num.hh"
+#include "exp/tracectl.hh"
+#include "trace/chrome_export.hh"
+#include "cli.hh"
 
 namespace {
 
 using namespace rr;
+using namespace rr::tools;
 
-constexpr int kExitOk = 0;
-constexpr int kExitRegression = 1;
-constexpr int kExitError = 2;
-constexpr int kExitUsage = 64;
-
-void
-usage(std::FILE *out)
-{
-    std::fprintf(
-        out,
-        "usage: rrbench [options]\n"
-        "       rrbench --validate FILE...\n"
-        "\n"
-        "  --list           list registered figures and exit\n"
-        "  --filter SUBSTR  run only figures whose name contains\n"
-        "                   SUBSTR (repeatable)\n"
-        "  --fast           trimmed sweeps (same as RR_BENCH_FAST=1)\n"
-        "  --seeds N        replications per point "
-        "(RR_BENCH_SEEDS)\n"
-        "  --threads N      thread supply per simulation "
-        "(RR_BENCH_THREADS)\n"
-        "  --jobs N         worker threads; results are identical\n"
-        "                   for every N (0 = all cores)\n"
-        "  --out-dir DIR    write BENCH_<figure>.json here "
-        "(default .)\n"
-        "  --quiet          suppress the text reports\n"
-        "  --compare PATH   baseline BENCH_<figure>.json file, or a\n"
-        "                   directory of them; exit 1 on shape\n"
-        "                   regressions\n"
-        "  --tolerance X    relative drift allowed by --compare\n"
-        "                   (default 0.05)\n"
-        "  --validate       treat remaining arguments as result\n"
-        "                   files; check them against the schema\n");
-}
+const char *const kUsage =
+    "usage: rrbench [options]\n"
+    "       rrbench --validate FILE...\n"
+    "\n"
+    "  --list             list registered figures and exit\n"
+    "  --filter SUBSTR    run only figures whose name contains\n"
+    "                     SUBSTR (repeatable)\n"
+    "  --fast             trimmed sweeps (same as RR_BENCH_FAST=1)\n"
+    "  --seeds N          replications per point (RR_BENCH_SEEDS)\n"
+    "  --threads N        thread supply per simulation "
+    "(RR_BENCH_THREADS)\n"
+    "  --jobs N           worker threads; results are identical\n"
+    "                     for every N (0 = all cores)\n"
+    "  --out-dir DIR      write BENCH_<figure>.json here (default .)\n"
+    "  --quiet            suppress the text reports\n"
+    "  --compare PATH     baseline BENCH_<figure>.json file, or a\n"
+    "                     directory of them; exit 1 on shape\n"
+    "                     regressions\n"
+    "  --tolerance X      relative drift allowed by --compare\n"
+    "                     (default 0.05)\n"
+    "  --audit            audit cycle conservation of every\n"
+    "                     simulation; violations exit 2\n"
+    "  --trace-figure N   capture a representative trace of figure N\n"
+    "                     and write TRACE_<N>.json (repeatable)\n"
+    "  --json             print a machine-readable run summary\n"
+    "  --validate         treat remaining arguments as result\n"
+    "                     files; check them against the schema\n";
 
 std::optional<std::string>
 readFile(const std::string &path)
@@ -114,7 +118,7 @@ validateFiles(const std::vector<std::string> &paths)
     for (const std::string &path : paths) {
         const auto doc = loadDocument(path);
         if (!doc) {
-            status = kExitError;
+            status = kExitFailure;
             continue;
         }
         const auto issues = exp::validateReportJson(*doc);
@@ -123,7 +127,7 @@ validateFiles(const std::vector<std::string> &paths)
                         doc->stringOr("figure", "?").c_str());
             continue;
         }
-        status = kExitError;
+        status = kExitFailure;
         for (const std::string &issue : issues)
             std::fprintf(stderr, "%s: %s\n", path.c_str(),
                          issue.c_str());
@@ -148,129 +152,71 @@ baselinePath(const std::string &compare_path,
     return compare_path;
 }
 
-struct Options
-{
-    bool list = false;
-    bool fast = false;
-    bool quiet = false;
-    std::vector<std::string> filters;
-    std::optional<unsigned> seeds;
-    std::optional<unsigned> threads;
-    std::optional<unsigned> jobs;
-    std::string out_dir = ".";
-    std::optional<std::string> compare;
-    double tolerance = 0.05;
-    std::vector<std::string> validate_files;
-    bool validate = false;
-};
-
 bool
-matchesFilters(const std::string &name, const Options &options)
+matchesFilters(const std::string &name,
+               const std::vector<std::string> &filters)
 {
-    if (options.filters.empty())
+    if (filters.empty())
         return true;
-    for (const std::string &filter : options.filters) {
+    for (const std::string &filter : filters) {
         if (name.find(filter) != std::string::npos)
             return true;
     }
     return false;
 }
 
-int
-parseArgs(int argc, char **argv, Options &options)
+bool
+contains(const std::vector<std::string> &names,
+         const std::string &name)
 {
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        const auto next = [&]() -> const char * {
-            return i + 1 < argc ? argv[++i] : nullptr;
-        };
-        uint64_t value = 0;
-        if (arg == "--help" || arg == "-h") {
-            usage(stdout);
-            std::exit(kExitOk);
-        } else if (arg == "--list") {
-            options.list = true;
-        } else if (arg == "--fast") {
-            options.fast = true;
-        } else if (arg == "--quiet") {
-            options.quiet = true;
-        } else if (arg == "--validate") {
-            options.validate = true;
-        } else if (arg == "--filter") {
-            const char *filter = next();
-            if (filter == nullptr) {
-                std::fprintf(stderr,
-                             "rrbench: --filter expects a value\n");
-                return kExitUsage;
-            }
-            options.filters.emplace_back(filter);
-        } else if (arg == "--seeds") {
-            if (!tools::requireUnsigned("rrbench", "--seeds", next(),
-                                        value, 1u << 20))
-                return kExitUsage;
-            options.seeds = static_cast<unsigned>(value);
-        } else if (arg == "--threads") {
-            if (!tools::requireUnsigned("rrbench", "--threads",
-                                        next(), value, 1u << 20))
-                return kExitUsage;
-            options.threads = static_cast<unsigned>(value);
-        } else if (arg == "--jobs") {
-            if (!tools::requireUnsigned("rrbench", "--jobs", next(),
-                                        value, 4096))
-                return kExitUsage;
-            options.jobs = static_cast<unsigned>(value);
-        } else if (arg == "--out-dir") {
-            const char *dir = next();
-            if (dir == nullptr) {
-                std::fprintf(stderr,
-                             "rrbench: --out-dir expects a value\n");
-                return kExitUsage;
-            }
-            options.out_dir = dir;
-        } else if (arg == "--compare") {
-            const char *path = next();
-            if (path == nullptr) {
-                std::fprintf(stderr,
-                             "rrbench: --compare expects a value\n");
-                return kExitUsage;
-            }
-            options.compare = path;
-        } else if (arg == "--tolerance") {
-            const char *text = next();
-            char *end = nullptr;
-            const double tolerance =
-                text != nullptr ? std::strtod(text, &end) : 0.0;
-            if (text == nullptr || end == text || *end != '\0' ||
-                tolerance < 0.0) {
-                std::fprintf(
-                    stderr,
-                    "rrbench: --tolerance expects a non-negative "
-                    "number\n");
-                return kExitUsage;
-            }
-            options.tolerance = tolerance;
-        } else if (!arg.empty() && arg[0] == '-') {
-            std::fprintf(stderr, "rrbench: unknown option '%s'\n",
-                         arg.c_str());
-            usage(stderr);
-            return kExitUsage;
-        } else {
-            options.validate_files.push_back(arg);
+    for (const std::string &candidate : names) {
+        if (candidate == name)
+            return true;
+    }
+    return false;
+}
+
+/** Per-figure record for the --json run summary. */
+struct FigureOutcome
+{
+    std::string name;
+    std::string out;
+    std::string compare; ///< "ok" | "regression" | "skipped" | ""
+    std::string trace;   ///< TRACE_<name>.json path when captured
+    bool audited = false;
+    uint64_t simulations = 0;
+    uint64_t events = 0;
+    uint64_t problems = 0;
+};
+
+void
+printRunSummaryJson(const std::vector<FigureOutcome> &outcomes,
+                    unsigned regressions, uint64_t audit_problems)
+{
+    std::printf("{\"schema\":\"rr.rrbench.v1\",\"figures\":[");
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const FigureOutcome &o = outcomes[i];
+        std::printf("%s{\"name\":\"%s\",\"out\":\"%s\"",
+                    i != 0 ? "," : "", jsonEscape(o.name).c_str(),
+                    jsonEscape(o.out).c_str());
+        if (!o.compare.empty())
+            std::printf(",\"compare\":\"%s\"", o.compare.c_str());
+        if (o.audited) {
+            std::printf(",\"audit\":{\"simulations\":%llu,"
+                        "\"events\":%llu,\"problems\":%llu}",
+                        static_cast<unsigned long long>(
+                            o.simulations),
+                        static_cast<unsigned long long>(o.events),
+                        static_cast<unsigned long long>(o.problems));
         }
+        if (!o.trace.empty())
+            std::printf(",\"trace\":\"%s\"",
+                        jsonEscape(o.trace).c_str());
+        std::printf("}");
     }
-    if (!options.validate && !options.validate_files.empty()) {
-        std::fprintf(stderr,
-                     "rrbench: unexpected argument '%s' (use "
-                     "--validate for files)\n",
-                     options.validate_files.front().c_str());
-        return kExitUsage;
-    }
-    if (options.validate && options.validate_files.empty()) {
-        std::fprintf(stderr,
-                     "rrbench: --validate expects result files\n");
-        return kExitUsage;
-    }
-    return -1; // continue
+    std::printf("],\"regressions\":%u,\"auditProblems\":%llu}\n",
+                regressions,
+                static_cast<unsigned long long>(audit_problems));
 }
 
 } // namespace
@@ -278,16 +224,66 @@ parseArgs(int argc, char **argv, Options &options)
 int
 main(int argc, char **argv)
 {
-    Options options;
-    const int parse_status = parseArgs(argc, argv, options);
+    bool list = false;
+    bool fast = false;
+    bool quiet = false;
+    bool validate = false;
+    bool audit = false;
+    bool json = false;
+    std::vector<std::string> filters;
+    std::vector<std::string> trace_figures;
+    uint64_t seeds = 0;
+    bool seeds_seen = false;
+    uint64_t threads = 0;
+    bool threads_seen = false;
+    uint64_t jobs = 0;
+    bool jobs_seen = false;
+    std::string out_dir = ".";
+    std::string compare;
+    bool compare_seen = false;
+    double tolerance = 0.05;
+
+    OptionParser parser("rrbench", kUsage);
+    parser.flag("--list", &list);
+    parser.flag("--fast", &fast);
+    parser.flag("--quiet", &quiet);
+    parser.flag("--validate", &validate);
+    parser.flag("--audit", &audit);
+    parser.flag("--json", &json);
+    parser.repeated("--filter", &filters);
+    parser.repeated("--trace-figure", &trace_figures);
+    parser.number("--seeds", &seeds, 1, 1u << 20, &seeds_seen);
+    parser.number("--threads", &threads, 1, 1u << 20, &threads_seen);
+    parser.number("--jobs", &jobs, 0, 4096, &jobs_seen);
+    parser.value("--out-dir", &out_dir);
+    parser.value("--compare", &compare, &compare_seen);
+    parser.real("--tolerance", &tolerance);
+    const int parse_status = parser.parse(argc, argv);
     if (parse_status >= 0)
         return parse_status;
 
-    if (options.validate)
-        return validateFiles(options.validate_files);
+    if (!validate && !parser.positionals().empty()) {
+        return parser.fail("unexpected argument '%s' (use --validate "
+                           "for files)",
+                           parser.positionals().front().c_str());
+    }
+    if (validate && parser.positionals().empty())
+        return parser.fail("--validate expects result files");
+    if (validate)
+        return validateFiles(parser.positionals());
 
     const auto figures = exp::Registry::instance().figures();
-    if (options.list) {
+    for (const std::string &name : trace_figures) {
+        bool known = false;
+        for (const auto &figure : figures)
+            known = known || figure.name == name;
+        if (!known)
+            return parser.fail("--trace-figure: no figure named "
+                               "'%s' (see --list)",
+                               name.c_str());
+    }
+
+    if (list) {
         for (const auto &figure : figures)
             std::printf("%-22s %s\n", figure.name.c_str(),
                         figure.title.c_str());
@@ -296,16 +292,16 @@ main(int argc, char **argv)
 
     // CLI flags override the RR_BENCH_* environment; the figures read
     // their sweep configuration through exp/env.hh either way.
-    if (options.seeds)
+    if (seeds_seen)
         ::setenv("RR_BENCH_SEEDS",
-                 std::to_string(*options.seeds).c_str(), 1);
-    if (options.threads)
+                 std::to_string(seeds).c_str(), 1);
+    if (threads_seen)
         ::setenv("RR_BENCH_THREADS",
-                 std::to_string(*options.threads).c_str(), 1);
-    if (options.fast)
+                 std::to_string(threads).c_str(), 1);
+    if (fast)
         ::setenv("RR_BENCH_FAST", "1", 1);
-    if (options.jobs)
-        exp::setDefaultJobs(*options.jobs);
+    if (jobs_seen)
+        exp::setDefaultJobs(static_cast<unsigned>(jobs));
 
     exp::RunMeta run;
     run.seeds = exp::benchSeeds();
@@ -313,43 +309,106 @@ main(int argc, char **argv)
     run.fast = exp::benchFast();
 
     std::error_code ec;
-    std::filesystem::create_directories(options.out_dir, ec);
+    std::filesystem::create_directories(out_dir, ec);
     if (ec) {
         std::fprintf(stderr, "rrbench: cannot create %s: %s\n",
-                     options.out_dir.c_str(),
-                     ec.message().c_str());
-        return kExitError;
+                     out_dir.c_str(), ec.message().c_str());
+        return kExitFailure;
     }
 
     unsigned ran = 0;
     unsigned regressions = 0;
+    uint64_t audit_problems = 0;
+    std::vector<FigureOutcome> outcomes;
     for (const auto &figure : figures) {
-        if (!matchesFilters(figure.name, options))
+        if (!matchesFilters(figure.name, filters))
             continue;
         ++ran;
+        FigureOutcome outcome;
+        outcome.name = figure.name;
+
+        const bool capture = contains(trace_figures, figure.name);
+        std::optional<exp::TraceController> controller;
+        if (audit || capture) {
+            exp::TraceController::Options topts;
+            topts.audit = audit;
+            topts.capture = capture;
+            controller.emplace(topts);
+            exp::TraceController::activate(&*controller);
+        }
         const exp::Report report = exp::Registry::run(figure, run);
-        if (!options.quiet) {
+        exp::TraceController::activate(nullptr);
+
+        if (!quiet) {
             std::fputs(report.renderText().c_str(), stdout);
             std::fputc('\n', stdout);
         }
 
-        const std::string json = report.toJson();
+        if (controller) {
+            const exp::TraceSummary summary = controller->summary();
+            outcome.audited = audit;
+            outcome.simulations = summary.simulations;
+            outcome.events = summary.events;
+            outcome.problems = summary.problemsTotal;
+            if (audit) {
+                audit_problems += summary.problemsTotal;
+                for (const std::string &problem : summary.problems)
+                    std::fprintf(stderr, "AUDIT: %s: %s\n",
+                                 figure.name.c_str(),
+                                 problem.c_str());
+                if (!quiet) {
+                    std::printf(
+                        "audit: %s: %llu simulation(s), %llu "
+                        "event(s), %llu violation(s)\n",
+                        figure.name.c_str(),
+                        static_cast<unsigned long long>(
+                            summary.simulations),
+                        static_cast<unsigned long long>(
+                            summary.events),
+                        static_cast<unsigned long long>(
+                            summary.problemsTotal));
+                }
+            }
+            if (capture) {
+                const std::string trace_path =
+                    (std::filesystem::path(out_dir) /
+                     ("TRACE_" + figure.name + ".json"))
+                        .string();
+                std::ofstream out(trace_path, std::ios::binary);
+                if (!out) {
+                    std::fprintf(stderr,
+                                 "rrbench: cannot write %s\n",
+                                 trace_path.c_str());
+                    return kExitFailure;
+                }
+                out << trace::exportChromeTrace(summary.captures);
+                outcome.trace = trace_path;
+                if (!quiet)
+                    std::printf("trace: %s: %s (%zu stream(s))\n",
+                                figure.name.c_str(),
+                                trace_path.c_str(),
+                                summary.captures.size());
+            }
+        }
+
+        const std::string report_json = report.toJson();
         const std::string out_path =
-            (std::filesystem::path(options.out_dir) /
+            (std::filesystem::path(out_dir) /
              ("BENCH_" + figure.name + ".json"))
                 .string();
+        outcome.out = out_path;
         {
             std::ofstream out(out_path, std::ios::binary);
             if (!out) {
                 std::fprintf(stderr, "rrbench: cannot write %s\n",
                              out_path.c_str());
-                return kExitError;
+                return kExitFailure;
             }
-            out << json;
+            out << report_json;
         }
         // Sanity: what we wrote must parse and satisfy the schema.
         std::string parse_error;
-        const auto reparsed = exp::parseJson(json, &parse_error);
+        const auto reparsed = exp::parseJson(report_json, &parse_error);
         const auto schema_issues =
             reparsed ? exp::validateReportJson(*reparsed)
                      : std::vector<std::string>{parse_error};
@@ -357,22 +416,23 @@ main(int argc, char **argv)
             for (const std::string &issue : schema_issues)
                 std::fprintf(stderr, "rrbench: %s: %s\n",
                              out_path.c_str(), issue.c_str());
-            return kExitError;
+            return kExitFailure;
         }
 
-        if (options.compare) {
-            const auto base_path =
-                baselinePath(*options.compare, figure.name);
+        if (compare_seen) {
+            const auto base_path = baselinePath(compare, figure.name);
             if (!base_path) {
                 std::printf("compare: no baseline for %s, skipped\n",
                             figure.name.c_str());
+                outcome.compare = "skipped";
+                outcomes.push_back(outcome);
                 continue;
             }
             const auto baseline = loadDocument(*base_path);
             if (!baseline)
-                return kExitError;
+                return kExitFailure;
             exp::CompareOptions copts;
-            copts.tolerance = options.tolerance;
+            copts.tolerance = tolerance;
             const exp::CompareResult result =
                 exp::compareReports(*reparsed, *baseline, copts);
             for (const std::string &note : result.notes)
@@ -381,26 +441,38 @@ main(int argc, char **argv)
                 std::printf("compare: %s matches %s "
                             "(tolerance %.2f)\n",
                             figure.name.c_str(), base_path->c_str(),
-                            options.tolerance);
+                            tolerance);
+                outcome.compare = "ok";
             } else {
                 ++regressions;
+                outcome.compare = "regression";
                 for (const std::string &issue : result.issues)
                     std::fprintf(stderr, "REGRESSION: %s\n",
                                  issue.c_str());
             }
         }
+        outcomes.push_back(outcome);
     }
 
     if (ran == 0) {
         std::fprintf(stderr, "rrbench: no figures match the filter\n");
         return kExitUsage;
     }
+    if (json)
+        printRunSummaryJson(outcomes, regressions, audit_problems);
+    if (audit_problems > 0) {
+        std::fprintf(stderr,
+                     "rrbench: cycle-conservation audit failed "
+                     "(%llu violation(s))\n",
+                     static_cast<unsigned long long>(audit_problems));
+        return kExitFailure;
+    }
     if (regressions > 0) {
         std::fprintf(stderr,
                      "rrbench: %u figure(s) regressed against the "
                      "baseline\n",
                      regressions);
-        return kExitRegression;
+        return kExitProblems;
     }
     return kExitOk;
 }

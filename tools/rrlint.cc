@@ -15,6 +15,7 @@
  *     --flag-data   treat undecodable words as findings
  *     --no-flow     disable the CFG/dataflow passes (flat check only)
  *     --json        emit JSON instead of text
+ *     --quiet       suppress the reports (exit status only)
  *
  * Output reports, per discovered context window (constant RRM value),
  * the registers referenced, the minimal viable power-of-two context
@@ -22,10 +23,11 @@
  * entered — plus findings for boundary violations, RRM-overlap
  * escapes, delay-slot hazards, and cross-context writes.
  *
- * Exit status: 0 clean, 1 on assembly errors, 2 on findings, 64 on
- * usage errors.
+ * Exit status (docs/TOOLS.md): 0 clean, 1 on assembly errors or
+ * findings, 2 when an input cannot be read, 64 on usage errors.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -34,109 +36,83 @@
 
 #include "analysis/static/lint.hh"
 #include "assembler/assembler.hh"
-#include "arg_num.hh"
+#include "cli.hh"
 
 namespace {
 
-void
-usage()
-{
-    std::fprintf(stderr,
-                 "usage: rrlint [--context N] [--delay D] "
-                 "[--rrm MASK] [--banks B] [--width W]\n"
-                 "              [--mode or|mux|add] [--flag-data] "
-                 "[--no-flow] [--json] input.s...\n");
-}
+const char *const kUsage =
+    "usage: rrlint [--context N] [--delay D] [--rrm MASK] [--banks B]"
+    " [--width W]\n"
+    "              [--mode or|mux|add] [--flag-data] [--no-flow]"
+    " [--json] [--quiet]\n"
+    "              input.s...\n";
 
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    std::vector<std::string> inputs;
+    using namespace rr::tools;
+
     rr::lint::LintOptions options;
+    uint64_t context = 0;
+    uint64_t delay = 0;
+    bool delay_seen = false;
+    uint64_t rrm = 0;
+    uint64_t banks = 0;
+    bool banks_seen = false;
+    uint64_t width = 0;
+    bool width_seen = false;
+    std::string mode;
+    bool flag_data = false;
+    bool no_flow = false;
     bool json = false;
+    bool quiet = false;
 
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next_value = [&]() -> const char * {
-            return i + 1 < argc ? argv[++i] : nullptr;
-        };
-        uint64_t value = 0;
-        if (arg == "--context") {
-            if (!rr::tools::requireUnsigned("rrlint", "--context",
-                                            next_value(), value, 64))
-                return 64;
-            options.declaredContext = static_cast<unsigned>(value);
-        } else if (arg == "--delay") {
-            if (!rr::tools::requireUnsigned("rrlint", "--delay",
-                                            next_value(), value, 64))
-                return 64;
-            options.delaySlots = static_cast<unsigned>(value);
-        } else if (arg == "--rrm") {
-            if (!rr::tools::requireUnsigned("rrlint", "--rrm",
-                                            next_value(), value,
-                                            0xffffffffull))
-                return 64;
-            options.initialRrm = static_cast<uint32_t>(value);
-        } else if (arg == "--banks") {
-            if (!rr::tools::requireUnsigned("rrlint", "--banks",
-                                            next_value(), value, 64))
-                return 64;
-            options.banks = static_cast<unsigned>(value);
-        } else if (arg == "--width") {
-            if (!rr::tools::requireUnsigned("rrlint", "--width",
-                                            next_value(), value, 6) ||
-                value == 0) {
-                std::fprintf(stderr,
-                             "rrlint: --width expects 1..6\n");
-                return 64;
-            }
-            options.operandWidth = static_cast<unsigned>(value);
-        } else if (arg == "--mode") {
-            const char *mode = next_value();
-            const std::string text = mode ? mode : "";
-            if (text == "or") {
-                options.mode = rr::lint::RelocMode::Or;
-            } else if (text == "mux") {
-                options.mode = rr::lint::RelocMode::Mux;
-            } else if (text == "add") {
-                options.mode = rr::lint::RelocMode::Add;
-            } else {
-                std::fprintf(stderr, "rrlint: bad mode '%s'\n",
-                             text.c_str());
-                return 64;
-            }
-        } else if (arg == "--flag-data") {
-            options.flagInvalidWords = true;
-        } else if (arg == "--no-flow") {
-            options.flowSensitive = false;
-        } else if (arg == "--json") {
-            json = true;
-        } else if (arg == "-h" || arg == "--help") {
-            usage();
-            return 0;
-        } else if (!arg.empty() && arg[0] == '-') {
-            std::fprintf(stderr, "rrlint: unknown option '%s'\n",
-                         arg.c_str());
-            usage();
-            return 64;
-        } else {
-            inputs.push_back(arg);
-        }
-    }
-    if (inputs.empty()) {
-        usage();
-        return 64;
-    }
+    OptionParser parser("rrlint", kUsage);
+    parser.number("--context", &context, 0, 64);
+    parser.number("--delay", &delay, 0, 64, &delay_seen);
+    parser.number("--rrm", &rrm, 0, 0xffffffffull);
+    parser.number("--banks", &banks, 0, 64, &banks_seen);
+    parser.number("--width", &width, 1, 6, &width_seen);
+    parser.choice("--mode", &mode, {"or", "mux", "add"});
+    parser.flag("--flag-data", &flag_data);
+    parser.flag("--no-flow", &no_flow);
+    parser.flag("--json", &json);
+    parser.flag("--quiet", &quiet);
+    const int parse_status = parser.parse(argc, argv);
+    if (parse_status >= 0)
+        return parse_status;
+    const std::vector<std::string> &inputs = parser.positionals();
+    if (inputs.empty())
+        return parser.fail("expects at least one input file");
 
-    int status = 0;
+    options.declaredContext = static_cast<unsigned>(context);
+    if (delay_seen)
+        options.delaySlots = static_cast<unsigned>(delay);
+    options.initialRrm = static_cast<uint32_t>(rrm);
+    if (banks_seen)
+        options.banks = static_cast<unsigned>(banks);
+    if (width_seen)
+        options.operandWidth = static_cast<unsigned>(width);
+    if (mode == "mux")
+        options.mode = rr::lint::RelocMode::Mux;
+    else if (mode == "add")
+        options.mode = rr::lint::RelocMode::Add;
+    else if (mode == "or" || mode.empty())
+        options.mode = rr::lint::RelocMode::Or;
+    if (flag_data)
+        options.flagInvalidWords = true;
+    if (no_flow)
+        options.flowSensitive = false;
+
+    int status = kExitOk;
     for (const std::string &input : inputs) {
         std::ifstream in(input);
         if (!in) {
             std::fprintf(stderr, "rrlint: cannot open '%s'\n",
                          input.c_str());
-            return 64;
+            return kExitFailure;
         }
         std::ostringstream source;
         source << in.rdbuf();
@@ -148,18 +124,20 @@ main(int argc, char **argv)
                 std::fprintf(stderr, "%s: %s\n", input.c_str(),
                              error.str().c_str());
             }
-            status = std::max(status, 1);
+            status = std::max(status, kExitProblems);
             continue;
         }
 
         const rr::lint::LintResult result =
             rr::lint::lintProgram(program, options);
-        const std::string rendered =
-            json ? rr::lint::renderJson(result, input)
-                 : rr::lint::renderText(result, input);
-        std::fputs(rendered.c_str(), stdout);
+        if (!quiet) {
+            const std::string rendered =
+                json ? rr::lint::renderJson(result, input)
+                     : rr::lint::renderText(result, input);
+            std::fputs(rendered.c_str(), stdout);
+        }
         if (!result.clean())
-            status = std::max(status, 2);
+            status = std::max(status, kExitProblems);
     }
     return status;
 }

@@ -15,31 +15,53 @@
  *                     else the image base)
  *     --rrm MASK      initial relocation mask (default 0)
  *     --trace         print every executed instruction
+ *     --trace=FILE    write a structured "rr.trace.v1" JSONL trace
+ *                     (one Instruction event per executed
+ *                     instruction; docs/TRACE.md)
  *     --dump K        dump the first K registers on exit (default 16)
+ *     --json          print the final machine state as JSON
+ *     --quiet         suppress the state and register dump
  *
  * A '.hex' input is a plain list of 32-bit words in hex (as written
  * by rrasm -o); anything else is assembled as source.
+ *
+ * Exit status (docs/TOOLS.md): 0 on a clean halt, 1 on assembly
+ * errors or a machine trap, 2 when files cannot be read or written,
+ * 64 on usage errors (including unknown trailing arguments).
  */
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "assembler/assembler.hh"
 #include "machine/cpu.hh"
-#include "arg_num.hh"
+#include "trace/sink.hh"
+#include "cli.hh"
 
 namespace {
 
-void
-usage()
-{
-    std::fprintf(stderr, "usage: rrsim [options] program.s\n"
-                         "see the file header for options\n");
-}
+const char *const kUsage =
+    "usage: rrsim [options] program.s | program.hex\n"
+    "  --regs N      register file size (default 128)\n"
+    "  --width W     operand width w (default 6)\n"
+    "  --banks B     RRM banks (default 1)\n"
+    "  --mode M      relocation mode: or | mux | add (default or)\n"
+    "  --delay D     LDRRM delay slots (default 1)\n"
+    "  --mem WORDS   memory size in words (default 65536)\n"
+    "  --steps S     maximum instructions (default 1000000)\n"
+    "  --start LABEL start at a label (default 'entry' or base)\n"
+    "  --rrm MASK    initial relocation mask (default 0)\n"
+    "  --trace       print every executed instruction\n"
+    "  --trace=FILE  write a structured JSONL trace to FILE\n"
+    "  --dump K      dump the first K registers on exit\n"
+    "  --json        print the final machine state as JSON\n"
+    "  --quiet       suppress the state and register dump\n";
 
 bool
 endsWith(const std::string &text, const std::string &suffix)
@@ -54,109 +76,78 @@ endsWith(const std::string &text, const std::string &suffix)
 int
 main(int argc, char **argv)
 {
-    std::string input;
-    std::string start_label;
+    using namespace rr::tools;
+
     rr::machine::CpuConfig config;
     config.memWords = 1u << 16;
+    uint64_t regs = 0;
+    bool regs_seen = false;
+    uint64_t width = 0;
+    bool width_seen = false;
+    uint64_t banks = 0;
+    bool banks_seen = false;
+    std::string mode;
+    uint64_t delay = 0;
+    bool delay_seen = false;
+    uint64_t mem = 0;
+    bool mem_seen = false;
     uint64_t max_steps = 1'000'000;
-    uint32_t initial_rrm = 0;
+    std::string start_label;
+    uint64_t initial_rrm = 0;
     bool trace = false;
-    unsigned dump = 16;
+    std::string trace_file;
+    uint64_t dump = 16;
+    bool json = false;
+    bool quiet = false;
 
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next_value = [&]() -> const char * {
-            return i + 1 < argc ? argv[++i] : nullptr;
-        };
-        uint64_t value = 0;
-        auto parse = [&](const char *option, uint64_t max) {
-            return rr::tools::requireUnsigned("rrsim", option,
-                                              next_value(), value,
-                                              max);
-        };
-        if (arg == "--regs") {
-            if (!parse("--regs", 1u << 20))
-                return 64;
-            config.numRegs = static_cast<unsigned>(value);
-        } else if (arg == "--width") {
-            if (!parse("--width", 6))
-                return 64;
-            config.operandWidth = static_cast<unsigned>(value);
-        } else if (arg == "--banks") {
-            if (!parse("--banks", 64))
-                return 64;
-            config.rrmBanks = static_cast<unsigned>(value);
-        } else if (arg == "--mode") {
-            const char *mode_arg = next_value();
-            const std::string mode = mode_arg ? mode_arg : "";
-            if (mode == "or") {
-                config.relocationMode =
-                    rr::machine::RelocationMode::Or;
-            } else if (mode == "mux") {
-                config.relocationMode =
-                    rr::machine::RelocationMode::Mux;
-            } else if (mode == "add") {
-                config.relocationMode =
-                    rr::machine::RelocationMode::Add;
-            } else {
-                std::fprintf(stderr, "rrsim: bad mode '%s'\n",
-                             mode.c_str());
-                return 64;
-            }
-        } else if (arg == "--delay") {
-            if (!parse("--delay", 64))
-                return 64;
-            config.ldrrmDelaySlots = static_cast<unsigned>(value);
-        } else if (arg == "--mem") {
-            if (!parse("--mem", 1u << 28))
-                return 64;
-            config.memWords = static_cast<size_t>(value);
-        } else if (arg == "--steps") {
-            if (!parse("--steps",
-                       std::numeric_limits<uint64_t>::max()))
-                return 64;
-            max_steps = value;
-        } else if (arg == "--start") {
-            const char *label = next_value();
-            if (label == nullptr) {
-                usage();
-                return 64;
-            }
-            start_label = label;
-        } else if (arg == "--rrm") {
-            if (!parse("--rrm", 0xffffffffull))
-                return 64;
-            initial_rrm = static_cast<uint32_t>(value);
-        } else if (arg == "--trace") {
-            trace = true;
-        } else if (arg == "--dump") {
-            if (!parse("--dump", 1u << 20))
-                return 64;
-            dump = static_cast<unsigned>(value);
-        } else if (arg == "-h" || arg == "--help") {
-            usage();
-            return 0;
-        } else if (!arg.empty() && arg[0] == '-') {
-            std::fprintf(stderr, "rrsim: unknown option '%s'\n",
-                         arg.c_str());
-            return 64;
-        } else if (input.empty()) {
-            input = arg;
-        } else {
-            usage();
-            return 64;
-        }
+    OptionParser parser("rrsim", kUsage);
+    parser.number("--regs", &regs, 1, 1u << 20, &regs_seen);
+    parser.number("--width", &width, 1, 6, &width_seen);
+    parser.number("--banks", &banks, 1, 64, &banks_seen);
+    parser.choice("--mode", &mode, {"or", "mux", "add"});
+    parser.number("--delay", &delay, 0, 64, &delay_seen);
+    parser.number("--mem", &mem, 1, 1u << 28, &mem_seen);
+    parser.number("--steps", &max_steps, 0,
+                  std::numeric_limits<uint64_t>::max());
+    parser.value("--start", &start_label);
+    parser.number("--rrm", &initial_rrm, 0, 0xffffffffull);
+    parser.flagOrValue("--trace", &trace, &trace_file);
+    parser.number("--dump", &dump, 0, 1u << 20);
+    parser.flag("--json", &json);
+    parser.flag("--quiet", &quiet);
+    const int parse_status = parser.parse(argc, argv);
+    if (parse_status >= 0)
+        return parse_status;
+    if (parser.positionals().size() != 1) {
+        return parser.positionals().empty()
+                   ? parser.fail("expects one program file")
+                   : parser.fail("unexpected argument '%s'",
+                                 parser.positionals()[1].c_str());
     }
-    if (input.empty()) {
-        usage();
-        return 64;
-    }
+    const std::string input = parser.positionals().front();
+
+    if (regs_seen)
+        config.numRegs = static_cast<unsigned>(regs);
+    if (width_seen)
+        config.operandWidth = static_cast<unsigned>(width);
+    if (banks_seen)
+        config.rrmBanks = static_cast<unsigned>(banks);
+    if (mode == "mux")
+        config.relocationMode = rr::machine::RelocationMode::Mux;
+    else if (mode == "add")
+        config.relocationMode = rr::machine::RelocationMode::Add;
+    else if (mode == "or" || mode.empty())
+        config.relocationMode = rr::machine::RelocationMode::Or;
+    if (delay_seen)
+        config.ldrrmDelaySlots = static_cast<unsigned>(delay);
+    if (mem_seen)
+        config.memWords = static_cast<size_t>(mem);
 
     std::ifstream in(input);
     if (!in) {
         std::fprintf(stderr, "rrsim: cannot open '%s'\n",
                      input.c_str());
-        return 64;
+        return kExitFailure;
     }
 
     uint32_t base = 0;
@@ -182,7 +173,7 @@ main(int argc, char **argv)
                 std::fprintf(stderr, "%s: %s\n", input.c_str(),
                              error.str().c_str());
             }
-            return 1;
+            return kExitProblems;
         }
         base = program.base;
         image = program.words;
@@ -193,18 +184,38 @@ main(int argc, char **argv)
             start_pc = it->second;
             have_start = true;
         } else if (!start_label.empty()) {
-            std::fprintf(stderr, "rrsim: no label '%s'\n",
-                         start_label.c_str());
-            return 64;
+            std::fprintf(stderr, "rrsim: no label '%s' in '%s'\n",
+                         start_label.c_str(), input.c_str());
+            return kExitProblems;
         }
     }
 
     rr::machine::Cpu cpu(config);
     cpu.mem().loadImage(base, image);
     cpu.setPc(have_start ? start_pc : base);
-    cpu.setRrmImmediate(initial_rrm);
+    cpu.setRrmImmediate(static_cast<uint32_t>(initial_rrm));
 
-    if (trace) {
+    std::ofstream trace_out;
+    std::unique_ptr<rr::trace::StreamJsonSink> trace_sink;
+    if (!trace_file.empty()) {
+        trace_out.open(trace_file, std::ios::binary);
+        if (!trace_out) {
+            std::fprintf(stderr, "rrsim: cannot write '%s'\n",
+                         trace_file.c_str());
+            return kExitFailure;
+        }
+        trace_sink =
+            std::make_unique<rr::trace::StreamJsonSink>(trace_out);
+        cpu.setTraceHook(
+            [&](const rr::machine::TraceEntry &entry) {
+                rr::trace::TraceEvent event;
+                event.kind = rr::trace::EventKind::Instruction;
+                event.ctx = entry.rrm;
+                event.cycle = entry.cycle;
+                event.aux = entry.pc;
+                trace_sink->emit(event);
+            });
+    } else if (trace) {
         cpu.setTraceHook([](const rr::machine::TraceEntry &entry) {
             std::printf("%8lu  rrm=0x%02x  %6u: %s\n",
                         static_cast<unsigned long>(entry.cycle),
@@ -213,26 +224,50 @@ main(int argc, char **argv)
     }
 
     cpu.run(max_steps);
+    if (trace_sink != nullptr)
+        trace_sink->flush();
 
-    std::printf("\ncycles: %lu  instructions: %lu  pc: %u\n",
-                static_cast<unsigned long>(cpu.cycles()),
-                static_cast<unsigned long>(
-                    cpu.instructionsRetired()),
-                cpu.pc());
-    std::printf("state: %s%s  trap: %s  psw: 0x%x  rrm: 0x%x  "
-                "faults: %lu\n",
-                cpu.halted() ? "halted" : "running",
-                cpu.instructionsRetired() >= max_steps
-                    ? " (step limit)"
-                    : "",
-                rr::machine::trapName(cpu.trap()), cpu.psw(),
-                cpu.rrm(),
-                static_cast<unsigned long>(cpu.faultCount()));
-    for (unsigned r = 0; r < dump && r < config.numRegs; ++r) {
-        std::printf("r%-3u = 0x%08x%s", r, cpu.regs().read(r),
-                    (r % 4 == 3) ? "\n" : "  ");
+    const bool step_limit = cpu.instructionsRetired() >= max_steps;
+    if (json) {
+        std::printf(
+            "{\"schema\":\"rr.rrsim.v1\",\"input\":\"%s\","
+            "\"cycles\":%llu,\"instructions\":%llu,\"pc\":%u,"
+            "\"halted\":%s,\"stepLimit\":%s,\"trap\":\"%s\","
+            "\"psw\":%u,\"rrm\":%u,\"faults\":%llu",
+            jsonEscape(input).c_str(),
+            static_cast<unsigned long long>(cpu.cycles()),
+            static_cast<unsigned long long>(
+                cpu.instructionsRetired()),
+            cpu.pc(), cpu.halted() ? "true" : "false",
+            step_limit ? "true" : "false",
+            rr::machine::trapName(cpu.trap()), cpu.psw(), cpu.rrm(),
+            static_cast<unsigned long long>(cpu.faultCount()));
+        if (trace_sink != nullptr)
+            std::printf(",\"traceEvents\":%llu",
+                        static_cast<unsigned long long>(
+                            trace_sink->emitted()));
+        std::printf("}\n");
+    } else if (!quiet) {
+        std::printf("\ncycles: %lu  instructions: %lu  pc: %u\n",
+                    static_cast<unsigned long>(cpu.cycles()),
+                    static_cast<unsigned long>(
+                        cpu.instructionsRetired()),
+                    cpu.pc());
+        std::printf("state: %s%s  trap: %s  psw: 0x%x  rrm: 0x%x  "
+                    "faults: %lu\n",
+                    cpu.halted() ? "halted" : "running",
+                    step_limit ? " (step limit)" : "",
+                    rr::machine::trapName(cpu.trap()), cpu.psw(),
+                    cpu.rrm(),
+                    static_cast<unsigned long>(cpu.faultCount()));
+        for (unsigned r = 0;
+             r < dump && r < config.numRegs; ++r) {
+            std::printf("r%-3u = 0x%08x%s", r, cpu.regs().read(r),
+                        (r % 4 == 3) ? "\n" : "  ");
+        }
+        if (dump % 4 != 0)
+            std::printf("\n");
     }
-    if (dump % 4 != 0)
-        std::printf("\n");
-    return cpu.trap() == rr::machine::TrapKind::None ? 0 : 3;
+    return cpu.trap() == rr::machine::TrapKind::None ? kExitOk
+                                                     : kExitProblems;
 }
