@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Interpreter-throughput microbenchmark (rrbench --perf): measures
+ * Cpu::step() speed in Minstr/s with the predecoded instruction cache
+ * on vs off, over the examples/asm corpus plus synthetic hot loops
+ * (pure ALU, load/store, and LDRRM context ping-pong — the last
+ * stressing the relocation-table rebuild on every mask switch).
+ *
+ * Only deterministic counters (instret/cycles per repetition) go into
+ * the compared table; wall-clock throughput is reported in notes,
+ * which --compare ignores, so the committed baseline is stable across
+ * machines. Each program additionally asserts that both cache modes
+ * retire the identical instruction and cycle counts — the perf figure
+ * doubles as a behaviour-neutrality check.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "assembler/assembler.hh"
+#include "base/logging.hh"
+#include "base/table.hh"
+#include "exp/registry.hh"
+#include "machine/cpu.hh"
+
+namespace {
+
+using namespace rr;
+
+struct PerfProgram
+{
+    std::string name;
+    assembler::Program program;
+    bool example = false; ///< loaded from examples/asm, not embedded
+};
+
+// Tight ALU kernel: ten instructions per iteration, no memory.
+constexpr const char *kAluLoop = R"(
+entry:
+    li   r1, 1500
+    li   r2, 0
+    li   r3, 0
+    li   r4, 1
+loop:
+    add  r2, r2, r4
+    xor  r3, r3, r2
+    sll  r5, r2, r4
+    srl  r6, r5, r4
+    sub  r7, r6, r3
+    and  r8, r7, r2
+    or   r9, r8, r3
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    halt
+)";
+
+// Load/store kernel: every store invalidates a (data) cache line.
+constexpr const char *kMemLoop = R"(
+entry:
+    li   r1, 1500
+    li   r2, 256
+    li   r3, 0
+loop:
+    st   r3, 0(r2)
+    ld   r4, 0(r2)
+    addi r3, r4, 1
+    st   r3, 1(r2)
+    ld   r5, 1(r2)
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    halt
+)";
+
+// Context ping-pong: a mask switch every four instructions — the
+// adversarial case for cached relocation, which must rebuild its
+// operand table at each LDRRM retirement.
+constexpr const char *kSwitchLoop = R"(
+.equ CTX_A, 0x20
+.equ CTX_B, 0x40
+entry:
+    li    r10, CTX_A
+    ldrrm r10
+    nop
+    li    r1, 1500
+    li    r2, CTX_B
+    li    r10, 0
+    ldrrm r10
+    nop
+    li    r10, CTX_B
+    ldrrm r10
+    nop
+    li    r1, 1500
+    li    r2, CTX_A
+loop:
+    addi  r1, r1, -1
+    ldrrm r2
+    nop
+    bne   r1, r0, loop
+    halt
+)";
+
+void
+addProgram(std::vector<PerfProgram> &corpus, const std::string &name,
+           const std::string &source, bool example = false)
+{
+    assembler::Program program = assembler::assemble(source);
+    rr_assert(program.errors.empty(), "perf program '", name,
+              "' failed to assemble");
+    corpus.push_back({name, std::move(program), example});
+}
+
+/** The .s files under examples/asm in name order, plus hot loops. */
+std::vector<PerfProgram>
+buildCorpus(exp::ReportBuilder &ctx)
+{
+    namespace fs = std::filesystem;
+    std::vector<PerfProgram> corpus;
+
+    std::vector<fs::path> files;
+    std::error_code ec;
+    for (const auto &it : fs::directory_iterator(
+             RR_EXAMPLES_ASM_DIR, ec)) {
+        if (it.path().extension() == ".s")
+            files.push_back(it.path());
+    }
+    if (ec) {
+        ctx.text(exp::strf("note: examples corpus unavailable (%s); "
+                           "running synthetic programs only",
+                           RR_EXAMPLES_ASM_DIR));
+    }
+    std::sort(files.begin(), files.end());
+    for (const fs::path &path : files) {
+        std::ifstream in(path);
+        std::ostringstream source;
+        source << in.rdbuf();
+        addProgram(corpus, path.stem().string(), source.str(),
+                   /*example=*/true);
+    }
+
+    addProgram(corpus, "alu_loop", kAluLoop);
+    addProgram(corpus, "mem_loop", kMemLoop);
+    addProgram(corpus, "switch_loop", kSwitchLoop);
+    return corpus;
+}
+
+struct Measurement
+{
+    uint64_t instret = 0; ///< total across repetitions
+    uint64_t cycles = 0;
+    double seconds = 0.0;
+};
+
+constexpr uint64_t kStepCap = 1u << 22;
+
+Measurement
+runMode(const assembler::Program &program, bool predecode,
+        unsigned reps)
+{
+    machine::CpuConfig config;
+    // Small image: keeps the per-repetition memory reset negligible
+    // next to stepping, so short programs measure the interpreter.
+    config.memWords = 1u << 10;
+    config.predecode = predecode;
+    machine::Cpu cpu(config);
+
+    const auto entry_sym = program.symbols.find("entry");
+    const uint32_t entry = entry_sym != program.symbols.end()
+                               ? entry_sym->second
+                               : program.base;
+
+    const auto start = std::chrono::steady_clock::now();
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        cpu.mem().clear();
+        cpu.mem().loadImage(program.base, program.words);
+        cpu.regs().clear();
+        cpu.setRrmImmediate(0);
+        cpu.setPc(entry);
+        cpu.resume();
+        cpu.run(kStepCap);
+        rr_assert(cpu.halted(), "perf program did not halt (trap: ",
+                  machine::trapName(cpu.trap()), ")");
+    }
+    const auto stop = std::chrono::steady_clock::now();
+
+    Measurement m;
+    m.instret = cpu.instructionsRetired();
+    m.cycles = cpu.cycles();
+    m.seconds = std::max(
+        std::chrono::duration<double>(stop - start).count(), 1e-9);
+    return m;
+}
+
+/**
+ * Best of @p trials timed runs per mode, interleaving the modes so
+ * slow drift (frequency scaling, co-tenants) hits both equally. The
+ * counters are deterministic — identical on every trial — so keeping
+ * the fastest wall clock discards scheduler noise, not data.
+ */
+std::pair<Measurement, Measurement>
+measureBoth(const assembler::Program &program, unsigned reps,
+            unsigned trials)
+{
+    Measurement off, on;
+    for (unsigned trial = 0; trial < trials; ++trial) {
+        const Measurement off_t = runMode(program, false, reps);
+        const Measurement on_t = runMode(program, true, reps);
+        if (trial == 0 || off_t.seconds < off.seconds)
+            off = off_t;
+        if (trial == 0 || on_t.seconds < on.seconds)
+            on = on_t;
+    }
+    return {off, on};
+}
+
+double
+minstrPerSec(const Measurement &m)
+{
+    return static_cast<double>(m.instret) / m.seconds / 1e6;
+}
+
+} // namespace
+
+RR_PERF_FIGURE(perf_interp,
+               "Interpreter throughput: predecoded instruction cache "
+               "on vs off (Minstr/s)")
+{
+    using namespace rr;
+
+    ctx.text("Each program runs to HALT repeatedly in both cache "
+             "modes; repetition\ncounts are derived from "
+             "deterministic instruction counts, never from\nwall "
+             "time. The table holds per-repetition counters "
+             "(machine-independent);\nthroughput and speedup are "
+             "notes.");
+
+    std::vector<PerfProgram> corpus = buildCorpus(ctx);
+
+    // Size every program to a common instruction budget so small
+    // examples are repeated enough to time meaningfully.
+    const uint64_t target_instr =
+        ctx.run().fast ? 150'000 : 2'000'000;
+
+    Table table({"program", "instr/rep", "cycles/rep", "reps"});
+    struct Totals
+    {
+        double instr_on = 0.0, secs_on = 0.0;
+        double instr_off = 0.0, secs_off = 0.0;
+    };
+    Totals all, examples;
+
+    for (const PerfProgram &p : corpus) {
+        const Measurement probe = runMode(p.program, true, 1);
+        const uint64_t per_rep = std::max<uint64_t>(1, probe.instret);
+        const unsigned reps = static_cast<unsigned>(std::min<uint64_t>(
+            std::max<uint64_t>(target_instr / per_rep, 1), 100'000));
+
+        const auto [off, on] =
+            measureBoth(p.program, reps, ctx.run().fast ? 4 : 5);
+
+        // The predecode cache must be invisible to the architecture:
+        // identical retirement and cycle counts in both modes.
+        rr_assert(on.instret == off.instret &&
+                      on.cycles == off.cycles,
+                  "cache-on/off divergence in perf program ", p.name);
+
+        table.addRow({p.name, Table::num(on.instret / reps),
+                      Table::num(on.cycles / reps),
+                      Table::num(static_cast<uint64_t>(reps))});
+
+        ctx.text(exp::strf("%s: off %.1f Minstr/s, on %.1f Minstr/s, "
+                           "speedup %.2fx",
+                           p.name.c_str(), minstrPerSec(off),
+                           minstrPerSec(on),
+                           minstrPerSec(on) / minstrPerSec(off)));
+
+        all.instr_on += static_cast<double>(on.instret);
+        all.secs_on += on.seconds;
+        all.instr_off += static_cast<double>(off.instret);
+        all.secs_off += off.seconds;
+        if (p.example) {
+            examples.instr_on += static_cast<double>(on.instret);
+            examples.secs_on += on.seconds;
+            examples.instr_off += static_cast<double>(off.instret);
+            examples.secs_off += off.seconds;
+        }
+    }
+    ctx.table("corpus", "per-repetition architectural counters "
+                        "(identical in both cache modes)",
+              std::move(table));
+
+    const auto aggregate = [&ctx](const char *label, const Totals &t) {
+        if (t.secs_on <= 0.0 || t.secs_off <= 0.0)
+            return;
+        const double on = t.instr_on / t.secs_on / 1e6;
+        const double off = t.instr_off / t.secs_off / 1e6;
+        ctx.text(exp::strf("%s aggregate: predecode off %.1f "
+                           "Minstr/s, on %.1f Minstr/s, speedup "
+                           "%.2fx",
+                           label, off, on, on / off));
+    };
+    aggregate("examples corpus", examples);
+    aggregate("full corpus", all);
+}

@@ -1,5 +1,8 @@
 #include "machine/cpu.hh"
 
+#include <cstdlib>
+#include <string_view>
+
 #include "base/bitops.hh"
 #include "base/logging.hh"
 
@@ -28,13 +31,34 @@ trapName(TrapKind kind)
     return "unknown";
 }
 
+bool
+defaultPredecode()
+{
+    static const bool value = [] {
+        const char *env = std::getenv("RR_CPU_PREDECODE");
+        return env == nullptr || std::string_view(env) != "0";
+    }();
+    return value;
+}
+
 Cpu::Cpu(const CpuConfig &config)
     : config_(config),
       regs_(config.numRegs),
       mem_(config.memWords),
       relocation_(config.numRegs, config.operandWidth,
-                  config.relocationMode, config.rrmBanks)
+                  config.relocationMode, config.rrmBanks),
+      predecode_(config.predecode &&
+                 config.memWords <= kPredecodeMaxWords),
+      memData_(mem_.data()),
+      regsData_(regs_.data()),
+      memWords_(config.memWords),
+      timingEnabled_(config.timing.enabled()),
+      relocTableSize_(relocation_.tableSize())
 {
+    if (predecode_) {
+        icache_.resize(config.memWords);
+        refreshRelocTable();
+    }
 }
 
 void
@@ -60,15 +84,81 @@ uint32_t
 Cpu::readOperand(unsigned operand) const
 {
     const unsigned physical = relocateOrTrap(operand);
-    if (config_.timing.enabled() && stepReadCount_ < 4)
+    if (config_.timing.enabled()) {
+        rr_assert(stepReadCount_ < kMaxOperandReads,
+                  "instruction performs more than ", kMaxOperandReads,
+                  " register reads; widen Cpu::stepReads_");
         stepReads_[stepReadCount_++] = physical;
+    }
     return regs_.read(physical);
 }
 
 void
 Cpu::writeOperand(unsigned operand, uint32_t value)
 {
-    regs_.write(relocateOrTrap(operand), value);
+    const unsigned physical = relocateOrTrap(operand);
+    regs_.write(physical, value);
+    if (config_.timing.enabled()) {
+        stepWrote_ = true;
+        stepWrotePhys_ = physical;
+    }
+}
+
+// Out-of-line trap construction keeps readOperandFast/writeOperandFast
+// small enough to inline into the executeImpl dispatch — the EH setup
+// code otherwise pushes them past the inlining threshold and every ALU
+// operand costs a real call.
+[[noreturn, gnu::noinline]] void
+Cpu::throwTrap(TrapKind kind)
+{
+    throw TrapSignal{kind};
+}
+
+[[gnu::noinline]] void
+Cpu::recordOperandRead(unsigned physical) const
+{
+    rr_assert(stepReadCount_ < kMaxOperandReads,
+              "instruction performs more than ", kMaxOperandReads,
+              " register reads; widen Cpu::stepReads_");
+    stepReads_[stepReadCount_++] = physical;
+}
+
+inline uint32_t
+Cpu::readOperandFast(unsigned operand) const
+{
+    if (operand >= relocTableSize_) [[unlikely]]
+        throwTrap(TrapKind::OperandTooWide);
+    const RelocationResult &result = relocTable_[operand];
+    if (!result.ok) [[unlikely]]
+        throwTrap(TrapKind::ContextBounds);
+    if (timingEnabled_)
+        recordOperandRead(result.physical);
+    return regsData_[result.physical];
+}
+
+inline void
+Cpu::writeOperandFast(unsigned operand, uint32_t value)
+{
+    if (operand >= relocTableSize_) [[unlikely]]
+        throwTrap(TrapKind::OperandTooWide);
+    const RelocationResult &result = relocTable_[operand];
+    if (!result.ok) [[unlikely]]
+        throwTrap(TrapKind::ContextBounds);
+    regsData_[result.physical] = value;
+    if (timingEnabled_) {
+        stepWrote_ = true;
+        stepWrotePhys_ = result.physical;
+    }
+}
+
+void
+Cpu::refreshRelocTable()
+{
+    // The table replaces the per-access RegOutOfRange check; the unit
+    // asserts the range invariant once when it builds each table, so
+    // refreshing after a mask switch is just two loads.
+    relocTable_ = relocation_.table();
+    relocEpoch_ = relocation_.epoch();
 }
 
 uint32_t
@@ -104,6 +194,12 @@ Cpu::advancePendingRrm()
 bool
 Cpu::step()
 {
+    return predecode_ ? stepFast() : stepSlow();
+}
+
+bool
+Cpu::stepSlow()
+{
     if (halted_ || trap_ != TrapKind::None)
         return false;
 
@@ -129,9 +225,10 @@ Cpu::step()
 
     const uint32_t pc_before = pc_;
     stepReadCount_ = 0;
+    stepWrote_ = false;
 
     try {
-        execute(inst);
+        executeImpl<false>(inst);
     } catch (const TrapSignal &signal) {
         trap_ = signal.kind;
         return false;
@@ -140,45 +237,111 @@ Cpu::step()
     ++cycles_;
     ++instret_;
 
-    if (config_.timing.enabled()) {
-        // Load-use: this instruction read the destination of the
-        // immediately preceding load.
-        if (prevWasLoad_ && prevWroteReg_) {
-            for (unsigned i = 0; i < stepReadCount_; ++i) {
-                if (stepReads_[i] == prevDestPhys_) {
-                    cycles_ += config_.timing.loadUsePenalty;
-                    timingStats_.loadUseStalls +=
-                        config_.timing.loadUsePenalty;
-                    break;
-                }
-            }
-        }
-        // Redirection: any non-sequential next PC flushes the front
-        // of the pipeline (taken branches, jumps, fault vectors).
-        if (pc_ != pc_before + 1 && !halted_) {
-            cycles_ += config_.timing.takenBranchPenalty;
-            timingStats_.branchStalls +=
-                config_.timing.takenBranchPenalty;
-        }
-        if (inst.op == isa::Opcode::LDRRM ||
-            inst.op == isa::Opcode::LDRRMX) {
-            cycles_ += config_.timing.ldrrmPenalty;
-            timingStats_.ldrrmStalls += config_.timing.ldrrmPenalty;
-        }
-        // Track this instruction's write for the next step's hazard
-        // check.
-        prevWasLoad_ = inst.op == isa::Opcode::LD;
-        const isa::FormatInfo info = isa::formatInfo(inst.format());
-        prevWroteReg_ =
-            info.hasRd && inst.op != isa::Opcode::ST;
-        if (prevWroteReg_) {
-            const RelocationResult dest =
-                relocation_.relocate(inst.rd);
-            prevDestPhys_ = dest.physical;
-        }
-    }
+    if (config_.timing.enabled())
+        applyTiming(inst, pc_before);
 
     return trap_ == TrapKind::None && !halted_;
+}
+
+bool
+Cpu::stepFast()
+{
+    if (halted_ || trap_ != TrapKind::None)
+        return false;
+
+    advancePendingRrm();
+
+    if (pc_ >= memWords_) {
+        trap_ = TrapKind::MemOutOfRange;
+        return false;
+    }
+
+    // The tag compare against the live memory word makes the entry
+    // self-invalidating: stores through any path (simulated ST, host
+    // writes via mem()) change the word, miss the tag, and force a
+    // re-decode. Undecodable words are never cached; execution stops
+    // on them anyway.
+    const uint32_t word = memData_[pc_];
+    ICacheEntry &entry = icache_[pc_];
+    if (!entry.valid || entry.word != word) {
+        Instruction inst;
+        if (!isa::decode(word, inst)) {
+            trap_ = TrapKind::InvalidOpcode;
+            return false;
+        }
+        entry.word = word;
+        entry.inst = inst;
+        entry.valid = true;
+    }
+    const Instruction inst = entry.inst;
+
+    // Relocation fast path: the operand->physical table is rebuilt
+    // only when a mask or the context size changed (LDRRM retirement,
+    // bank switches, host pokes) — never per operand.
+    if (relocEpoch_ != relocation_.epoch())
+        refreshRelocTable();
+
+    if (traceHook_) {
+        traceHook_(TraceEntry{cycles_, pc_, inst, relocation_.mask(0),
+                              isa::disassemble(inst)});
+    }
+
+    const uint32_t pc_before = pc_;
+    if (timingEnabled_) {
+        stepReadCount_ = 0;
+        stepWrote_ = false;
+    }
+
+    try {
+        executeImpl<true>(inst);
+    } catch (const TrapSignal &signal) {
+        trap_ = signal.kind;
+        return false;
+    }
+
+    ++cycles_;
+    ++instret_;
+
+    if (timingEnabled_)
+        applyTiming(inst, pc_before);
+
+    return trap_ == TrapKind::None && !halted_;
+}
+
+void
+Cpu::applyTiming(const Instruction &inst, uint32_t pc_before)
+{
+    // Load-use: this instruction read the destination of the
+    // immediately preceding load.
+    if (prevWasLoad_ && prevWroteReg_) {
+        for (unsigned i = 0; i < stepReadCount_; ++i) {
+            if (stepReads_[i] == prevDestPhys_) {
+                cycles_ += config_.timing.loadUsePenalty;
+                timingStats_.loadUseStalls +=
+                    config_.timing.loadUsePenalty;
+                break;
+            }
+        }
+    }
+    // Redirection: any non-sequential next PC flushes the front of
+    // the pipeline (taken branches, jumps, fault vectors).
+    if (pc_ != pc_before + 1 && !halted_) {
+        cycles_ += config_.timing.takenBranchPenalty;
+        timingStats_.branchStalls += config_.timing.takenBranchPenalty;
+    }
+    if (inst.op == Opcode::LDRRM || inst.op == Opcode::LDRRMX) {
+        cycles_ += config_.timing.ldrrmPenalty;
+        timingStats_.ldrrmStalls += config_.timing.ldrrmPenalty;
+    }
+    // Track this instruction's write for the next step's hazard
+    // check. The physical destination was captured by writeOperand at
+    // write time, under the mask that was actually active — not
+    // recomputed afterwards, when an LDRRM with zero delay slots (or
+    // a fault hook) may already have switched the mask.
+    prevWasLoad_ = inst.op == Opcode::LD;
+    prevWroteReg_ = stepWrote_;
+    if (stepWrote_)
+        prevDestPhys_ = stepWrotePhys_;
 }
 
 uint64_t
@@ -202,20 +365,48 @@ Cpu::resume()
     trap_ = TrapKind::None;
 }
 
+template <bool Fast>
 void
-Cpu::execute(const Instruction &inst)
+Cpu::executeImpl(const Instruction &inst)
 {
     uint32_t next = pc_ + 1;
 
-    auto mem_read = [&](uint64_t addr) {
-        if (!mem_.inRange(addr))
-            throw TrapSignal{TrapKind::MemOutOfRange};
-        return mem_.read(addr);
+    auto read_op = [&](unsigned operand) {
+        if constexpr (Fast)
+            return readOperandFast(operand);
+        else
+            return readOperand(operand);
+    };
+    auto write_op = [&](unsigned operand, uint32_t value) {
+        if constexpr (Fast)
+            writeOperandFast(operand, value);
+        else
+            writeOperand(operand, value);
+    };
+    auto mem_read = [&](uint64_t addr) -> uint32_t {
+        if constexpr (Fast) {
+            if (addr >= memWords_)
+                throw TrapSignal{TrapKind::MemOutOfRange};
+            return memData_[addr];
+        } else {
+            if (!mem_.inRange(addr))
+                throw TrapSignal{TrapKind::MemOutOfRange};
+            return mem_.read(addr);
+        }
     };
     auto mem_write = [&](uint64_t addr, uint32_t value) {
-        if (!mem_.inRange(addr))
-            throw TrapSignal{TrapKind::MemOutOfRange};
-        mem_.write(addr, value);
+        if constexpr (Fast) {
+            if (addr >= memWords_)
+                throw TrapSignal{TrapKind::MemOutOfRange};
+            memData_[addr] = value;
+            // Store invalidation: drop any predecode of the stored
+            // word (self-modifying code).
+            icache_[addr].valid = false;
+        } else {
+            if (!mem_.inRange(addr))
+                throw TrapSignal{TrapKind::MemOutOfRange};
+            mem_.write(addr, value);
+        }
     };
 
     switch (inst.op) {
@@ -226,154 +417,145 @@ Cpu::execute(const Instruction &inst)
         break;
 
       case Opcode::ADD:
-        writeOperand(inst.rd,
-                     readOperand(inst.rs1) + readOperand(inst.rs2));
+        write_op(inst.rd, read_op(inst.rs1) + read_op(inst.rs2));
         break;
       case Opcode::SUB:
-        writeOperand(inst.rd,
-                     readOperand(inst.rs1) - readOperand(inst.rs2));
+        write_op(inst.rd, read_op(inst.rs1) - read_op(inst.rs2));
         break;
       case Opcode::AND:
-        writeOperand(inst.rd,
-                     readOperand(inst.rs1) & readOperand(inst.rs2));
+        write_op(inst.rd, read_op(inst.rs1) & read_op(inst.rs2));
         break;
       case Opcode::OR:
-        writeOperand(inst.rd,
-                     readOperand(inst.rs1) | readOperand(inst.rs2));
+        write_op(inst.rd, read_op(inst.rs1) | read_op(inst.rs2));
         break;
       case Opcode::XOR:
-        writeOperand(inst.rd,
-                     readOperand(inst.rs1) ^ readOperand(inst.rs2));
+        write_op(inst.rd, read_op(inst.rs1) ^ read_op(inst.rs2));
         break;
       case Opcode::SLL:
-        writeOperand(inst.rd, readOperand(inst.rs1)
-                                  << (readOperand(inst.rs2) & 31));
+        write_op(inst.rd, read_op(inst.rs1)
+                              << (read_op(inst.rs2) & 31));
         break;
       case Opcode::SRL:
-        writeOperand(inst.rd, readOperand(inst.rs1) >>
-                                  (readOperand(inst.rs2) & 31));
+        write_op(inst.rd, read_op(inst.rs1) >>
+                              (read_op(inst.rs2) & 31));
         break;
       case Opcode::SRA:
-        writeOperand(inst.rd,
-                     static_cast<uint32_t>(
-                         static_cast<int32_t>(readOperand(inst.rs1)) >>
-                         (readOperand(inst.rs2) & 31)));
+        write_op(inst.rd,
+                 static_cast<uint32_t>(
+                     static_cast<int32_t>(read_op(inst.rs1)) >>
+                     (read_op(inst.rs2) & 31)));
         break;
       case Opcode::SLT:
-        writeOperand(inst.rd,
-                     static_cast<int32_t>(readOperand(inst.rs1)) <
-                             static_cast<int32_t>(readOperand(inst.rs2))
-                         ? 1
-                         : 0);
+        write_op(inst.rd,
+                 static_cast<int32_t>(read_op(inst.rs1)) <
+                         static_cast<int32_t>(read_op(inst.rs2))
+                     ? 1
+                     : 0);
         break;
       case Opcode::SLTU:
-        writeOperand(inst.rd,
-                     readOperand(inst.rs1) < readOperand(inst.rs2) ? 1
-                                                                   : 0);
+        write_op(inst.rd,
+                 read_op(inst.rs1) < read_op(inst.rs2) ? 1 : 0);
         break;
 
       case Opcode::ADDI:
-        writeOperand(inst.rd,
-                     readOperand(inst.rs1) +
-                         static_cast<uint32_t>(inst.imm));
+        write_op(inst.rd,
+                 read_op(inst.rs1) + static_cast<uint32_t>(inst.imm));
         break;
       case Opcode::ANDI:
-        writeOperand(inst.rd, readOperand(inst.rs1) &
-                                  static_cast<uint32_t>(inst.imm));
+        write_op(inst.rd,
+                 read_op(inst.rs1) & static_cast<uint32_t>(inst.imm));
         break;
       case Opcode::ORI:
-        writeOperand(inst.rd, readOperand(inst.rs1) |
-                                  static_cast<uint32_t>(inst.imm));
+        write_op(inst.rd,
+                 read_op(inst.rs1) | static_cast<uint32_t>(inst.imm));
         break;
       case Opcode::XORI:
-        writeOperand(inst.rd, readOperand(inst.rs1) ^
-                                  static_cast<uint32_t>(inst.imm));
+        write_op(inst.rd,
+                 read_op(inst.rs1) ^ static_cast<uint32_t>(inst.imm));
         break;
       case Opcode::SLTI:
-        writeOperand(inst.rd,
-                     static_cast<int32_t>(readOperand(inst.rs1)) <
-                             inst.imm
-                         ? 1
-                         : 0);
+        write_op(inst.rd,
+                 static_cast<int32_t>(read_op(inst.rs1)) < inst.imm
+                     ? 1
+                     : 0);
         break;
       case Opcode::SLLI:
-        writeOperand(inst.rd, readOperand(inst.rs1)
-                                  << (static_cast<uint32_t>(inst.imm) &
-                                      31));
+        write_op(inst.rd, read_op(inst.rs1)
+                              << (static_cast<uint32_t>(inst.imm) &
+                                  31));
         break;
       case Opcode::SRLI:
-        writeOperand(inst.rd,
-                     readOperand(inst.rs1) >>
-                         (static_cast<uint32_t>(inst.imm) & 31));
+        write_op(inst.rd, read_op(inst.rs1) >>
+                              (static_cast<uint32_t>(inst.imm) & 31));
         break;
       case Opcode::SRAI:
-        writeOperand(inst.rd,
-                     static_cast<uint32_t>(
-                         static_cast<int32_t>(readOperand(inst.rs1)) >>
-                         (static_cast<uint32_t>(inst.imm) & 31)));
+        write_op(inst.rd,
+                 static_cast<uint32_t>(
+                     static_cast<int32_t>(read_op(inst.rs1)) >>
+                     (static_cast<uint32_t>(inst.imm) & 31)));
         break;
 
       case Opcode::LUI:
-        writeOperand(inst.rd, static_cast<uint32_t>(inst.imm) << 12);
+        write_op(inst.rd, static_cast<uint32_t>(inst.imm) << 12);
         break;
 
       case Opcode::LD: {
         const uint64_t addr =
-            readOperand(inst.rs1) + static_cast<uint32_t>(inst.imm);
-        writeOperand(inst.rd, mem_read(addr));
+            read_op(inst.rs1) + static_cast<uint32_t>(inst.imm);
+        write_op(inst.rd, mem_read(addr));
         break;
       }
       case Opcode::ST: {
         const uint64_t addr =
-            readOperand(inst.rs1) + static_cast<uint32_t>(inst.imm);
-        mem_write(addr, readOperand(inst.rd));
+            read_op(inst.rs1) + static_cast<uint32_t>(inst.imm);
+        mem_write(addr, read_op(inst.rd));
         break;
       }
 
       case Opcode::BEQ:
-        if (readOperand(inst.rs1) == readOperand(inst.rs2))
+        if (read_op(inst.rs1) == read_op(inst.rs2))
             next = pc_ + static_cast<uint32_t>(inst.imm);
         break;
       case Opcode::BNE:
-        if (readOperand(inst.rs1) != readOperand(inst.rs2))
+        if (read_op(inst.rs1) != read_op(inst.rs2))
             next = pc_ + static_cast<uint32_t>(inst.imm);
         break;
       case Opcode::BLT:
-        if (static_cast<int32_t>(readOperand(inst.rs1)) <
-            static_cast<int32_t>(readOperand(inst.rs2))) {
+        if (static_cast<int32_t>(read_op(inst.rs1)) <
+            static_cast<int32_t>(read_op(inst.rs2))) {
             next = pc_ + static_cast<uint32_t>(inst.imm);
         }
         break;
       case Opcode::BGE:
-        if (static_cast<int32_t>(readOperand(inst.rs1)) >=
-            static_cast<int32_t>(readOperand(inst.rs2))) {
+        if (static_cast<int32_t>(read_op(inst.rs1)) >=
+            static_cast<int32_t>(read_op(inst.rs2))) {
             next = pc_ + static_cast<uint32_t>(inst.imm);
         }
         break;
 
       case Opcode::JAL:
-        writeOperand(inst.rd, pc_ + 1);
+        write_op(inst.rd, pc_ + 1);
         next = pc_ + static_cast<uint32_t>(inst.imm);
         break;
       case Opcode::JALR: {
         const uint32_t target =
-            readOperand(inst.rs1) + static_cast<uint32_t>(inst.imm);
-        writeOperand(inst.rd, pc_ + 1);
+            read_op(inst.rs1) + static_cast<uint32_t>(inst.imm);
+        write_op(inst.rd, pc_ + 1);
         next = target;
         break;
       }
       case Opcode::JMP:
-        next = readOperand(inst.rs1);
+        next = read_op(inst.rs1);
         break;
 
       case Opcode::LDRRM:
-        rrmPendingValue_ = readOperand(inst.rs1);
+        rrmPendingValue_ = read_op(inst.rs1);
         rrmPendingBank_ = 0;
         rrmPendingRemaining_ = config_.ldrrmDelaySlots + 1;
         rrmPending_ = true;
         break;
       case Opcode::RDRRM:
-        writeOperand(inst.rd, relocation_.mask(0));
+        write_op(inst.rd, relocation_.mask(0));
         break;
       case Opcode::LDRRMX: {
         const auto bank = static_cast<unsigned>(inst.imm);
@@ -381,7 +563,7 @@ Cpu::execute(const Instruction &inst)
             throw TrapSignal{TrapKind::InvalidOpcode};
         // Extension masks are loaded without delay slots for
         // simplicity; bank 0 keeps the architected delay behaviour.
-        const uint32_t value = readOperand(inst.rs1);
+        const uint32_t value = read_op(inst.rs1);
         if (bank == 0) {
             rrmPendingValue_ = value;
             rrmPendingBank_ = 0;
@@ -394,15 +576,15 @@ Cpu::execute(const Instruction &inst)
       }
 
       case Opcode::MFPSW:
-        writeOperand(inst.rd, psw_);
+        write_op(inst.rd, psw_);
         break;
       case Opcode::MTPSW:
-        psw_ = readOperand(inst.rs1);
+        psw_ = read_op(inst.rs1);
         break;
 
       case Opcode::FF1: {
-        const int bit = findFirstSet(readOperand(inst.rs1));
-        writeOperand(inst.rd, static_cast<uint32_t>(bit));
+        const int bit = findFirstSet(read_op(inst.rs1));
+        write_op(inst.rd, static_cast<uint32_t>(bit));
         break;
       }
 
@@ -420,5 +602,8 @@ Cpu::execute(const Instruction &inst)
 
     pc_ = next;
 }
+
+template void Cpu::executeImpl<false>(const Instruction &inst);
+template void Cpu::executeImpl<true>(const Instruction &inst);
 
 } // namespace rr::machine

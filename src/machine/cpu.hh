@@ -18,9 +18,11 @@
 #ifndef RR_MACHINE_CPU_HH
 #define RR_MACHINE_CPU_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "isa/instruction.hh"
 #include "machine/memory.hh"
@@ -43,6 +45,13 @@ enum class TrapKind : uint8_t
 
 /** @return a printable name for @p kind. */
 const char *trapName(TrapKind kind);
+
+/**
+ * Default for CpuConfig::predecode: true unless the environment
+ * variable RR_CPU_PREDECODE is set to "0". Read once per process, so
+ * tests can run the same binary in both modes.
+ */
+bool defaultPredecode();
 
 /** Static machine configuration. */
 struct CpuConfig
@@ -71,6 +80,17 @@ struct CpuConfig
 
     /** Pipeline hazard penalties (all zero = ideal 1 CPI). */
     PipelineTimingConfig timing;
+
+    /**
+     * Use the predecoded instruction cache: each memory word is
+     * decoded once into a side table validated by raw-word tag and
+     * invalidated on stores, so step() skips isa::decode and the
+     * per-operand relocation arithmetic on the hot path. Architectural
+     * behaviour (registers, memory, traps, cycles, instret, timing
+     * stats, traces) is identical with the cache on or off; only
+     * wall-clock speed changes. Defaults from RR_CPU_PREDECODE.
+     */
+    bool predecode = defaultPredecode();
 };
 
 /** One line of execution trace. */
@@ -174,11 +194,46 @@ class Cpu
     /** Total FAULT instructions executed. */
     uint64_t faultCount() const { return faultCount_; }
 
+    /**
+     * True when the predecoded instruction cache is in use (config
+     * requested it and the memory is small enough to shadow).
+     */
+    bool predecodeActive() const { return predecode_; }
+
   private:
     struct TrapSignal
     {
         TrapKind kind;
     };
+
+    /**
+     * One predecoded instruction. @c word is the raw memory word the
+     * entry was decoded from: a mismatch against current memory (a
+     * store through any path, including host writes via mem()) makes
+     * the entry self-invalidating, so the cache can never execute a
+     * stale decode.
+     */
+    struct ICacheEntry
+    {
+        uint32_t word = 0;
+        bool valid = false;
+        isa::Instruction inst{};
+    };
+
+    /**
+     * Memories larger than this are not shadowed (the side table costs
+     * 16 bytes/word); such CPUs fall back to the decode-per-step path.
+     */
+    static constexpr size_t kPredecodeMaxWords = size_t{1} << 22;
+
+    /**
+     * Most register reads any instruction performs. Audit over
+     * isa::FormatInfo: R3 and B read rs1+rs2, ST (Format::I with a
+     * source rd) reads rs1+rd, every other format reads at most one
+     * register. readOperand asserts this bound instead of silently
+     * dropping reads from the load-use hazard window.
+     */
+    static constexpr unsigned kMaxOperandReads = 2;
 
     /** Relocate a context-relative operand or raise a trap. */
     unsigned relocateOrTrap(unsigned operand) const;
@@ -186,7 +241,23 @@ class Cpu
     uint32_t readOperand(unsigned operand) const;
     void writeOperand(unsigned operand, uint32_t value);
 
-    void execute(const isa::Instruction &inst);
+    /** Table-driven operand access for the predecode fast path. */
+    [[noreturn]] static void throwTrap(TrapKind kind);
+    void recordOperandRead(unsigned physical) const;
+    uint32_t readOperandFast(unsigned operand) const;
+    void writeOperandFast(unsigned operand, uint32_t value);
+
+    /** Re-cache the relocation table after a mask/context change. */
+    void refreshRelocTable();
+
+    bool stepSlow();
+    bool stepFast();
+
+    template <bool Fast>
+    void executeImpl(const isa::Instruction &inst);
+
+    /** Shared end-of-step hazard accounting (timing enabled only). */
+    void applyTiming(const isa::Instruction &inst, uint32_t pc_before);
 
     /** Apply/advance the pending LDRRM delay-slot state machine. */
     void advancePendingRrm();
@@ -195,6 +266,19 @@ class Cpu
     RegisterFile regs_;
     Memory mem_;
     RelocationUnit relocation_;
+
+    // Predecode fast path: instruction side table plus cached raw
+    // pointers (Memory and RegisterFile never reallocate) and the
+    // epoch-validated relocation table.
+    bool predecode_ = false;
+    std::vector<ICacheEntry> icache_;
+    uint32_t *memData_ = nullptr;
+    uint32_t *regsData_ = nullptr;
+    uint64_t memWords_ = 0;
+    bool timingEnabled_ = false;
+    const RelocationResult *relocTable_ = nullptr;
+    unsigned relocTableSize_ = 0;
+    uint64_t relocEpoch_ = 0;
 
     uint32_t pc_ = 0;
     uint32_t psw_ = 0;
@@ -217,10 +301,15 @@ class Cpu
     uint64_t faultCount_ = 0;
 
     // Pipeline hazard tracking (only maintained when timing is
-    // enabled).
+    // enabled). stepWrote_/stepWrotePhys_ capture the physical
+    // destination at write time, so a mask change later in the same
+    // step (or between steps) cannot mis-attribute the next load-use
+    // stall.
     PipelineTimingStats timingStats_;
-    mutable unsigned stepReads_[4] = {0, 0, 0, 0};
+    mutable unsigned stepReads_[kMaxOperandReads] = {0, 0};
     mutable unsigned stepReadCount_ = 0;
+    bool stepWrote_ = false;
+    unsigned stepWrotePhys_ = 0;
     bool prevWasLoad_ = false;
     bool prevWroteReg_ = false;
     unsigned prevDestPhys_ = 0;

@@ -38,6 +38,15 @@ class Memory
     /** Zero all of memory. */
     void clear();
 
+    /**
+     * Raw word storage for pre-validated fast paths (the Cpu predecode
+     * core). Callers must bounds-check addresses themselves; the
+     * pointer stays valid for the Memory's lifetime (the size is fixed
+     * at construction).
+     */
+    const uint32_t *data() const { return words_.data(); }
+    uint32_t *data() { return words_.data(); }
+
   private:
     std::vector<uint32_t> words_;
 };

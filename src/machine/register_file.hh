@@ -34,6 +34,16 @@ class RegisterFile
     /** Copy of the full register state (tests / debugging). */
     std::vector<uint32_t> snapshot() const { return regs_; }
 
+    /**
+     * Raw register storage for pre-validated fast paths (the Cpu
+     * predecode core). Indices must come from a relocation table whose
+     * entries were range-checked at build time; the pointer stays
+     * valid for the file's lifetime (the size is fixed at
+     * construction).
+     */
+    const uint32_t *data() const { return regs_.data(); }
+    uint32_t *data() { return regs_.data(); }
+
   private:
     std::vector<uint32_t> regs_;
 };

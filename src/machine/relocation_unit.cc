@@ -1,5 +1,7 @@
 #include "machine/relocation_unit.hh"
 
+#include <algorithm>
+
 #include "base/bitops.hh"
 #include "base/logging.hh"
 
@@ -32,6 +34,7 @@ RelocationUnit::setMask(uint32_t mask, unsigned bank)
     rr_assert(bank < masks_.size(), "bad RRM bank ", bank);
     // The hardware RRM register holds only ceil(lg n) bits.
     masks_[bank] = mask & static_cast<uint32_t>(lowMask(maskBits_));
+    ++epoch_;
 }
 
 uint32_t
@@ -49,10 +52,100 @@ RelocationUnit::setContextSize(unsigned size)
     rr_assert(size <= (1u << operandWidth_),
               "context size ", size, " exceeds 2^w");
     contextSize_ = size;
+    ++epoch_;
 }
 
 RelocationResult
 RelocationUnit::relocate(unsigned operand) const
+{
+    return compute(operand);
+}
+
+const RelocationResult *
+RelocationUnit::table() const
+{
+    if (tableEpoch_ == epoch_)
+        return tablePtr_;
+
+    // A context switch usually returns to a mask state seen before
+    // (threads ping-pong between a handful of contexts), so memoize
+    // built tables per mask state and make the common switch a lookup
+    // instead of a rebuild. For the ubiquitous single-bank machine the
+    // lookup is direct-mapped on the mask value itself.
+    const bool single_bank = masks_.size() == 1;
+    if (single_bank && contextSize_ == memoContextSize_ &&
+        !maskMemo_.empty()) {
+        if (const RelocationResult *hit = maskMemo_[masks_[0]]) {
+            tablePtr_ = hit;
+            tableEpoch_ = epoch_;
+            return hit;
+        }
+    }
+
+    for (const CachedTable &slot : tableCache_) {
+        if (slot.contextSize == contextSize_ && slot.masks == masks_) {
+            rememberInMemo(slot.table.data());
+            tablePtr_ = slot.table.data();
+            tableEpoch_ = epoch_;
+            return tablePtr_;
+        }
+    }
+
+    // Build once per never-before-seen mask state. The table has one
+    // entry per operand value (<= 64), so even a rebuild costs about
+    // as much as relocating one basic block the slow way. Slots are
+    // recycled round-robin past kMaxCachedTables; reserve() up front
+    // keeps every cached table's data pointer stable.
+    CachedTable *slot;
+    if (tableCache_.size() < kMaxCachedTables) {
+        tableCache_.reserve(kMaxCachedTables);
+        tableCache_.emplace_back();
+        slot = &tableCache_.back();
+    } else {
+        slot = &tableCache_[nextEvict_];
+        nextEvict_ = (nextEvict_ + 1) % kMaxCachedTables;
+        // The recycled slot's table may be referenced by the memo;
+        // never leave a dangling fast-lookup entry behind.
+        if (slot->masks.size() == 1 && !maskMemo_.empty() &&
+            maskMemo_[slot->masks[0]] == slot->table.data()) {
+            maskMemo_[slot->masks[0]] = nullptr;
+        }
+    }
+    slot->masks = masks_;
+    slot->contextSize = contextSize_;
+    slot->table.resize(tableSize());
+    for (unsigned operand = 0; operand < tableSize(); ++operand) {
+        slot->table[operand] = compute(operand);
+        // Every mode masks the physical number down to maskBits_, so
+        // table entries can be consumed without per-access range
+        // checks; pin that invariant here, once per build.
+        rr_assert(slot->table[operand].physical < numRegs_,
+                  "relocated register out of range at build time");
+    }
+    rememberInMemo(slot->table.data());
+    tablePtr_ = slot->table.data();
+    tableEpoch_ = epoch_;
+    return tablePtr_;
+}
+
+void
+RelocationUnit::rememberInMemo(const RelocationResult *ptr) const
+{
+    if (masks_.size() != 1)
+        return;
+    if (maskMemo_.empty())
+        maskMemo_.assign(std::size_t{1} << maskBits_, nullptr);
+    if (contextSize_ != memoContextSize_) {
+        // Tables are keyed by (mask, context size); a size change
+        // invalidates every direct-mapped entry at once.
+        std::fill(maskMemo_.begin(), maskMemo_.end(), nullptr);
+        memoContextSize_ = contextSize_;
+    }
+    maskMemo_[masks_[0]] = ptr;
+}
+
+RelocationResult
+RelocationUnit::compute(unsigned operand) const
 {
     // Select the bank from the operand's top bits when the bank count
     // exceeds one (Section 5.3 extension).

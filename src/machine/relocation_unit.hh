@@ -29,6 +29,7 @@
 #ifndef RR_MACHINE_RELOCATION_UNIT_HH
 #define RR_MACHINE_RELOCATION_UNIT_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -113,13 +114,70 @@ class RelocationUnit
     /** Width in bits of the RRM register: ceil(lg n). */
     unsigned maskBits() const { return maskBits_; }
 
+    /**
+     * Monotonic counter bumped whenever the operand->physical mapping
+     * can change (setMask, setContextSize). Fast paths compare it to
+     * decide whether a cached mapping is still valid.
+     */
+    uint64_t epoch() const { return epoch_; }
+
+    /** Number of entries in table(): one per operand value, 2^w. */
+    unsigned tableSize() const { return 1u << operandWidth_; }
+
+    /**
+     * The cached operand->physical mapping for the current masks: one
+     * precomputed RelocationResult per operand value in [0, 2^w),
+     * every entry range-checked against the file size at build time.
+     *
+     * Tables are looked up (and built at most once) per mask state,
+     * so relocation work happens only on LDRRM/LDRRMX/bank switches
+     * to a never-before-seen mask — never per operand, and not even
+     * per switch once a context's mask has been seen. This keeps
+     * relocation off the per-instruction critical path exactly as the
+     * paper argues the hardware does (Section 2.2: relocation happens
+     * once, at decode, in a fixed stage). The returned pointer stays
+     * valid until the next mask/context-size change.
+     */
+    const RelocationResult *table() const;
+
   private:
+    /** One memoized table: the mask state it was built under. */
+    struct CachedTable
+    {
+        std::vector<uint32_t> masks;
+        unsigned contextSize = 0;
+        std::vector<RelocationResult> table;
+    };
+
+    /** Memoized mask states; round-robin recycled beyond this. */
+    static constexpr unsigned kMaxCachedTables = 16;
+
+    /** Combine @p operand with the current masks (uncached). */
+    RelocationResult compute(unsigned operand) const;
+
+    /** Install @p ptr in the single-bank direct-mapped memo. */
+    void rememberInMemo(const RelocationResult *ptr) const;
+
     unsigned numRegs_;
     unsigned operandWidth_;
     RelocationMode mode_;
     unsigned maskBits_;
     unsigned contextSize_;
     std::vector<uint32_t> masks_;
+
+    uint64_t epoch_ = 1;
+    mutable uint64_t tableEpoch_ = 0; ///< epoch tablePtr_ is valid at
+    mutable const RelocationResult *tablePtr_ = nullptr;
+    mutable std::vector<CachedTable> tableCache_;
+    mutable unsigned nextEvict_ = 0;
+
+    /**
+     * Single-bank fast lookup: mask value -> cached table, valid only
+     * while the context size matches memoContextSize_. A ping-pong of
+     * LDRRMs between known masks resolves in a couple of loads.
+     */
+    mutable std::vector<const RelocationResult *> maskMemo_;
+    mutable unsigned memoContextSize_ = 0;
 };
 
 } // namespace rr::machine

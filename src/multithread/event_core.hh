@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Zero-allocation completion-event core for the event-driven
+ * multithreaded simulator (MtProcessor).
+ *
+ * The simulator's inner loop pushes one fault-completion event per
+ * blocking episode and pops the earliest one. Epoch-mismatched
+ * ("stale") events — left behind when a blocking episode ends through
+ * another path — were previously discarded only when they reached the
+ * top of a std::priority_queue, so a workload whose threads re-fault
+ * faster than stale entries drain could grow the heap without bound
+ * within one run. EventCore keeps the exact pop discipline of the old
+ * priority_queue (std::push_heap / std::pop_heap over a vector with
+ * the same earliest-time-first comparator, so equal-time ties resolve
+ * identically) and adds:
+ *
+ *  - O(1) stale/live accounting: the owner calls invalidateThread()
+ *    whenever a thread's block epoch advances, so the core always
+ *    knows how many heap entries are dead.
+ *  - bounded growth: when stale entries outnumber live ones the heap
+ *    is compacted in place (erase + make_heap), bounding the heap at
+ *    2x the live event count. Compaction only ever removes events the
+ *    owner has already invalidated, so it cannot change which events
+ *    are delivered — only reclaim memory earlier than lazy deletion
+ *    would. (Current workloads never strand events, so compaction is
+ *    exercised by unit tests and by re-faulting extensions.)
+ *  - up-front reservation (reserve()) so steady-state operation
+ *    performs no allocation: the live set is bounded by one event per
+ *    thread.
+ */
+
+#ifndef RR_MULTITHREAD_EVENT_CORE_HH
+#define RR_MULTITHREAD_EVENT_CORE_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace rr::mt {
+
+/** One pending fault completion; earliest time pops first. */
+struct CompletionEvent
+{
+    uint64_t time = 0;   ///< absolute completion cycle
+    uint64_t epoch = 0;  ///< thread block epoch the event belongs to
+    unsigned tid = 0;    ///< thread id
+};
+
+/** Min-heap of completion events with stale-entry compaction. */
+class EventCore
+{
+  public:
+    /** Pre-size all storage for @p threads concurrent threads. */
+    void
+    reserve(std::size_t threads)
+    {
+        heap_.reserve(threads);
+        liveCount_.reserve(threads);
+        lastEpoch_.reserve(threads);
+        staleBelow_.reserve(threads);
+    }
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    /** Earliest pending event (live or stale). */
+    const CompletionEvent &
+    top() const
+    {
+        rr_assert(!heap_.empty(), "top() on empty event core");
+        return heap_.front();
+    }
+
+    /** Add a pending completion for its thread's current epoch. */
+    void
+    push(const CompletionEvent &event)
+    {
+        ensureThread(event.tid);
+        heap_.push_back(event);
+        std::push_heap(heap_.begin(), heap_.end(), Later{});
+        ++liveCount_[event.tid];
+        lastEpoch_[event.tid] = event.epoch;
+        maxSize_ = std::max(maxSize_, heap_.size());
+    }
+
+    /** Pop the top event, which the owner matched as live. */
+    void
+    pop()
+    {
+        const unsigned tid = top().tid;
+        rr_assert(liveCount_[tid] > 0, "live pop without live event");
+        --liveCount_[tid];
+        popRaw();
+    }
+
+    /** Pop the top event, which the owner found stale. */
+    void
+    popStale()
+    {
+        rr_assert(stale_ > 0, "stale pop without stale events");
+        --stale_;
+        popRaw();
+    }
+
+    /**
+     * Note that @p tid's block epoch advanced: all its pending events
+     * are now stale. Compacts the heap when stale entries outnumber
+     * live ones.
+     */
+    void
+    invalidateThread(unsigned tid)
+    {
+        if (tid >= liveCount_.size() || liveCount_[tid] == 0)
+            return;
+        stale_ += liveCount_[tid];
+        liveCount_[tid] = 0;
+        staleBelow_[tid] = lastEpoch_[tid];
+        if (stale_ > heap_.size() - stale_)
+            compact();
+    }
+
+    /** Live (deliverable) events currently pending. */
+    std::size_t live() const { return heap_.size() - stale_; }
+
+    /** Stale (invalidated, undelivered) events currently pending. */
+    std::size_t stale() const { return stale_; }
+
+    /** High-water mark of the heap across the core's lifetime. */
+    std::size_t maxSize() const { return maxSize_; }
+
+    /** Number of compaction passes performed. */
+    uint64_t compactions() const { return compactions_; }
+
+  private:
+    /** Same ordering as the old priority_queue: min-heap on time. */
+    struct Later
+    {
+        bool
+        operator()(const CompletionEvent &a,
+                   const CompletionEvent &b) const
+        {
+            return a.time > b.time;
+        }
+    };
+
+    void
+    popRaw()
+    {
+        std::pop_heap(heap_.begin(), heap_.end(), Later{});
+        heap_.pop_back();
+    }
+
+    void
+    ensureThread(unsigned tid)
+    {
+        if (tid >= liveCount_.size()) {
+            liveCount_.resize(tid + 1, 0);
+            lastEpoch_.resize(tid + 1, 0);
+            staleBelow_.resize(tid + 1, 0);
+        }
+    }
+
+    /** Drop every stale event and re-heapify the survivors. */
+    void
+    compact()
+    {
+        std::erase_if(heap_, [this](const CompletionEvent &event) {
+            return event.epoch <= staleBelow_[event.tid];
+        });
+        std::make_heap(heap_.begin(), heap_.end(), Later{});
+        stale_ = 0;
+        ++compactions_;
+    }
+
+    std::vector<CompletionEvent> heap_;
+
+    // Per-thread bookkeeping. Block epochs are strictly increasing
+    // and every push carries the thread's current epoch, so an event
+    // is stale exactly when its epoch is at or below the epoch that
+    // was current at the thread's last invalidation.
+    std::vector<uint32_t> liveCount_;
+    std::vector<uint64_t> lastEpoch_;
+    std::vector<uint64_t> staleBelow_;
+
+    std::size_t stale_ = 0;
+    std::size_t maxSize_ = 0;
+    uint64_t compactions_ = 0;
+};
+
+} // namespace rr::mt
+
+#endif // RR_MULTITHREAD_EVENT_CORE_HH

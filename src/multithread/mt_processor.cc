@@ -90,9 +90,41 @@ MtProcessor::makePolicy() const
     rr_panic("unknown architecture");
 }
 
+unsigned
+MtProcessor::rrmLookup(uint32_t rrm) const
+{
+    rr_assert(rrm < rrmIndex_.size() && rrmIndex_[rrm] != kNoThread,
+              "ring rrm without thread");
+    return rrmIndex_[rrm];
+}
+
+void
+MtProcessor::rrmInsert(uint32_t rrm, unsigned tid)
+{
+    // Built-in policies hand out rrm values below the file size; a
+    // custom policy may exceed it, so grow on demand (rare, not on
+    // the steady-state path).
+    if (rrm >= rrmIndex_.size())
+        rrmIndex_.resize(rrm + 1, kNoThread);
+    rrmIndex_[rrm] = tid;
+}
+
+void
+MtProcessor::rrmErase(uint32_t rrm)
+{
+    rr_assert(rrm < rrmIndex_.size(), "erasing unknown rrm");
+    rrmIndex_[rrm] = kNoThread;
+}
+
 void
 MtProcessor::createThreads()
 {
+    // Reserve all steady-state storage up front: at most one pending
+    // completion and one queue slot per thread.
+    threadQueue_.reserve(config_.workload.numThreads);
+    completions_.reserve(config_.workload.numThreads);
+    rrmIndex_.assign(config_.numRegs, kNoThread);
+
     Rng master(config_.seed);
     // Priorities draw from their own stream so that enabling them
     // does not perturb the workload's run-length/latency draws.
@@ -144,22 +176,23 @@ MtProcessor::processCompletions()
     for (;;) {
         // Completions apply to both blocked states; prune manually.
         while (!completions_.empty()) {
-            const Event &top = completions_.top();
+            const CompletionEvent &top = completions_.top();
             const Thread &t = threads_[top.tid];
             if (t.blockEpoch == top.epoch &&
                 (t.state == ThreadState::BlockedLoaded ||
                  t.state == ThreadState::BlockedUnloaded)) {
                 break;
             }
-            completions_.pop();
+            completions_.popStale();
         }
         if (completions_.empty() || completions_.top().time > now_)
             return;
 
-        const Event event = completions_.top();
+        const CompletionEvent event = completions_.top();
         completions_.pop();
         Thread &t = threads_[event.tid];
         ++t.blockEpoch; // invalidate any pending unload deadline
+        completions_.invalidateThread(t.id);
 
         if (tracer_.enabled()) {
             auto e = traceEvent(trace::EventKind::FaultComplete, 0);
@@ -236,7 +269,7 @@ MtProcessor::evict(unsigned tid)
         tracer_.emit(e);
     }
     policy_->release(*t.context);
-    rrmToThread_.erase(t.context->rrm);
+    rrmErase(t.context->rrm);
     t.context.reset();
     t.state = ThreadState::BlockedUnloaded;
     ++t.timesUnloaded;
@@ -325,7 +358,7 @@ MtProcessor::refill()
         t.context = context;
         t.state = ThreadState::LoadedReady;
         ring_.insert(context->rrm, t.priority);
-        rrmToThread_[context->rrm] = tid;
+        rrmInsert(context->rrm, tid);
         noteResidencyChange(+1);
     }
 }
@@ -334,9 +367,7 @@ void
 MtProcessor::runNext()
 {
     const uint32_t rrm = ring_.current();
-    const auto it = rrmToThread_.find(rrm);
-    rr_assert(it != rrmToThread_.end(), "ring rrm without thread");
-    Thread &t = threads_[it->second];
+    Thread &t = threads_[rrmLookup(rrm)];
     rr_assert(t.state == ThreadState::LoadedReady,
               "scheduled thread in state ", threadStateName(t.state));
 
@@ -364,7 +395,7 @@ MtProcessor::runNext()
         t.finishTime = now_;
         ++finished_;
         ring_.remove(rrm);
-        rrmToThread_.erase(rrm);
+        rrmErase(rrm);
         charge(config_.costs.dealloc, stats_.deallocCycles);
         if (tracer_.enabled()) {
             auto e = traceEvent(trace::EventKind::Free,
@@ -393,6 +424,7 @@ MtProcessor::runNext()
     t.state = ThreadState::BlockedLoaded;
     t.blockedAt = now_;
     ++t.blockEpoch;
+    completions_.invalidateThread(t.id);
     t.faultCompletion = now_ + fault.latency;
     completions_.push({t.faultCompletion, t.blockEpoch, t.id});
     ring_.remove(rrm);
@@ -421,7 +453,7 @@ bool
 MtProcessor::nextCompletionTime(uint64_t &out)
 {
     while (!completions_.empty()) {
-        const Event &top = completions_.top();
+        const CompletionEvent &top = completions_.top();
         const Thread &t = threads_[top.tid];
         if (t.blockEpoch == top.epoch &&
             (t.state == ThreadState::BlockedLoaded ||
@@ -429,7 +461,7 @@ MtProcessor::nextCompletionTime(uint64_t &out)
             out = top.time;
             return true;
         }
-        completions_.pop();
+        completions_.popStale();
     }
     return false;
 }

@@ -38,15 +38,13 @@
 #ifndef RR_MULTITHREAD_MT_PROCESSOR_HH
 #define RR_MULTITHREAD_MT_PROCESSOR_HH
 
-#include <deque>
 #include <functional>
 #include <memory>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "base/stats.hh"
 #include "multithread/context_policy.hh"
+#include "multithread/event_core.hh"
 #include "multithread/fault_model.hh"
 #include "multithread/thread.hh"
 #include "runtime/context_ring.hh"
@@ -199,22 +197,15 @@ class MtProcessor
     /** The configuration in use. */
     const MtConfig &config() const { return config_; }
 
-  private:
-    /** Heap entry: (time, epoch, thread id), earliest time first. */
-    struct Event
-    {
-        uint64_t time;
-        uint64_t epoch;
-        unsigned tid;
+    /**
+     * The completion-event core (heap statistics survive run(); used
+     * by tests and the perf benchmarks to assert bounded growth).
+     */
+    const EventCore &completionCore() const { return completions_; }
 
-        bool operator>(const Event &other) const
-        {
-            return time > other.time;
-        }
-    };
-    using EventHeap =
-        std::priority_queue<Event, std::vector<Event>,
-                            std::greater<Event>>;
+  private:
+    /** Sentinel for rrmIndex_ slots with no resident thread. */
+    static constexpr unsigned kNoThread = ~0u;
 
     void createThreads();
     std::unique_ptr<ContextPolicy> makePolicy() const;
@@ -255,6 +246,11 @@ class MtProcessor
     /** Earliest pending fault completion; false when none. */
     bool nextCompletionTime(uint64_t &out);
 
+    /** Resident-context index: rrm -> thread id (kNoThread = free). */
+    unsigned rrmLookup(uint32_t rrm) const;
+    void rrmInsert(uint32_t rrm, unsigned tid);
+    void rrmErase(uint32_t rrm);
+
     MtConfig config_;
     std::unique_ptr<ContextPolicy> policy_;
     std::vector<Thread> threads_;
@@ -264,11 +260,15 @@ class MtProcessor
     uint64_t useful_ = 0;
     unsigned finished_ = 0;
 
+    // Zero-allocation steady state: the rrm index is a flat array
+    // over register numbers, the software thread queue a reserved
+    // vector, and the completion heap an EventCore — all sized up
+    // front in createThreads(), so the event loop never allocates.
     runtime::PriorityRing ring_{1};
-    std::unordered_map<uint32_t, unsigned> rrmToThread_;
-    std::deque<unsigned> threadQueue_;
+    std::vector<unsigned> rrmIndex_;
+    std::vector<unsigned> threadQueue_;
 
-    EventHeap completions_;
+    EventCore completions_;
 
     IntervalRecorder recorder_;
     MtStats stats_;

@@ -1,0 +1,47 @@
+# Runs rrsim over the example programs with the predecoded
+# instruction cache forced on (RR_CPU_PREDECODE=1) and off (=0) and
+# fails unless the structured traces and final-state JSON dumps are
+# byte-identical — the cache must be architecturally invisible
+# (docs/PERF.md). Invoked by ctest; see tests/CMakeLists.txt.
+
+foreach(var RRSIM ASM_DIR WORK_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "${var} is required")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+file(GLOB programs ${ASM_DIR}/*.s)
+list(SORT programs)
+if(programs STREQUAL "")
+    message(FATAL_ERROR "no example programs under ${ASM_DIR}")
+endif()
+
+foreach(program ${programs})
+    get_filename_component(name ${program} NAME_WE)
+    foreach(mode 0 1)
+        execute_process(
+            COMMAND ${CMAKE_COMMAND} -E env RR_CPU_PREDECODE=${mode}
+                ${RRSIM} --trace=${WORK_DIR}/${name}.${mode}.jsonl
+                --json ${program}
+            OUTPUT_FILE ${WORK_DIR}/${name}.${mode}.json
+            RESULT_VARIABLE status)
+        if(NOT status EQUAL 0)
+            message(FATAL_ERROR
+                "rrsim failed on ${name} with RR_CPU_PREDECODE=${mode}")
+        endif()
+    endforeach()
+    foreach(ext jsonl json)
+        execute_process(
+            COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORK_DIR}/${name}.0.${ext}
+                ${WORK_DIR}/${name}.1.${ext}
+            RESULT_VARIABLE diff)
+        if(NOT diff EQUAL 0)
+            message(FATAL_ERROR
+                "${name}: ${ext} output differs between cache modes")
+        endif()
+    endforeach()
+endforeach()

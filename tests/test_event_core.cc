@@ -1,0 +1,266 @@
+/**
+ * @file
+ * EventCore: the zero-allocation completion heap behind MtProcessor.
+ *
+ * Three contracts matter:
+ *  1. Pop order is bit-for-bit the order a std::priority_queue with
+ *     the same comparator would produce — including tie-breaking among
+ *     equal completion times — because the event simulator's outputs
+ *     are compared byte-for-byte against committed baselines.
+ *  2. Lazy deletion stays bounded: once stale (epoch-superseded)
+ *     entries outnumber live ones the heap compacts, so a thread that
+ *     re-faults forever cannot grow the heap without limit.
+ *  3. The staleness bookkeeping (invalidateThread / popStale) agrees
+ *     with the epochs the producer actually pushed.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "multithread/event_core.hh"
+
+namespace {
+
+using rr::mt::CompletionEvent;
+using rr::mt::EventCore;
+
+/** Reference: the container EventCore replaced. */
+struct RefEvent
+{
+    uint64_t time;
+    uint64_t epoch;
+    unsigned tid;
+
+    bool operator>(const RefEvent &other) const
+    {
+        return time > other.time;
+    }
+};
+
+using RefHeap = std::priority_queue<RefEvent, std::vector<RefEvent>,
+                                    std::greater<RefEvent>>;
+
+TEST(EventCore, StartsEmpty)
+{
+    EventCore core;
+    core.reserve(8);
+    EXPECT_TRUE(core.empty());
+    EXPECT_EQ(core.size(), 0u);
+    EXPECT_EQ(core.live(), 0u);
+    EXPECT_EQ(core.stale(), 0u);
+    EXPECT_EQ(core.maxSize(), 0u);
+    EXPECT_EQ(core.compactions(), 0u);
+}
+
+TEST(EventCore, PopsInTimeOrder)
+{
+    EventCore core;
+    core.reserve(4);
+    core.push({30, 1, 0});
+    core.push({10, 1, 1});
+    core.push({20, 1, 2});
+
+    EXPECT_EQ(core.top().time, 10u);
+    EXPECT_EQ(core.top().tid, 1u);
+    core.pop();
+    EXPECT_EQ(core.top().time, 20u);
+    core.pop();
+    EXPECT_EQ(core.top().time, 30u);
+    core.pop();
+    EXPECT_TRUE(core.empty());
+}
+
+// The heap must replicate std::priority_queue's exact mechanics
+// (push_back + push_heap / pop_heap + pop_back), so ties among equal
+// times resolve identically. Exercise a deterministic pseudo-random
+// sequence heavy in duplicate times and interleaved pops.
+TEST(EventCore, PopOrderMatchesPriorityQueueIncludingTies)
+{
+    EventCore core;
+    core.reserve(8);
+    RefHeap ref;
+
+    uint32_t state = 12345;
+    const auto next = [&state]() {
+        // xorshift32: deterministic, no <random> needed.
+        state ^= state << 13;
+        state ^= state >> 17;
+        state ^= state << 5;
+        return state;
+    };
+
+    uint64_t epoch = 0;
+    for (int round = 0; round < 2000; ++round) {
+        const bool push = ref.empty() || next() % 3 != 0;
+        if (push) {
+            // Only 8 distinct times: collisions everywhere.
+            const uint64_t time = next() % 8;
+            const unsigned tid = next() % 5;
+            core.push({time, ++epoch, tid});
+            ref.push({time, epoch, tid});
+        } else {
+            ASSERT_FALSE(core.empty());
+            EXPECT_EQ(core.top().time, ref.top().time);
+            EXPECT_EQ(core.top().epoch, ref.top().epoch);
+            EXPECT_EQ(core.top().tid, ref.top().tid);
+            core.pop();
+            ref.pop();
+        }
+    }
+    while (!ref.empty()) {
+        ASSERT_FALSE(core.empty());
+        EXPECT_EQ(core.top().epoch, ref.top().epoch);
+        core.pop();
+        ref.pop();
+    }
+    EXPECT_TRUE(core.empty());
+}
+
+TEST(EventCore, TracksLiveCountAndMaxSize)
+{
+    EventCore core;
+    core.reserve(2);
+    core.push({5, 1, 0});
+    core.push({7, 1, 1});
+    core.push({9, 2, 0});
+    EXPECT_EQ(core.live(), 3u);
+    EXPECT_EQ(core.maxSize(), 3u);
+    core.pop();
+    core.pop();
+    core.pop();
+    EXPECT_EQ(core.live(), 0u);
+    EXPECT_EQ(core.maxSize(), 3u); // high-water mark persists
+}
+
+TEST(EventCore, InvalidateThreadMarksOnlyThatThreadStale)
+{
+    EventCore core;
+    core.reserve(2);
+    core.push({5, 1, 0});
+    core.push({7, 1, 1});
+    core.invalidateThread(0);
+    EXPECT_EQ(core.stale(), 1u);
+    EXPECT_EQ(core.live(), 1u);
+
+    // tid 0's entry is stale (epoch 1 <= invalidated epoch 1); the
+    // consumer's prune loop drops it with popStale.
+    EXPECT_EQ(core.top().tid, 0u);
+    core.popStale();
+    EXPECT_EQ(core.stale(), 0u);
+    EXPECT_EQ(core.top().tid, 1u);
+    core.pop();
+    EXPECT_TRUE(core.empty());
+}
+
+TEST(EventCore, NewerEpochSurvivesInvalidationOfOlder)
+{
+    EventCore core;
+    core.reserve(2);
+    core.push({5, 1, 0});
+    core.push({7, 2, 1}); // keeps live > stale: no compaction yet
+    core.invalidateThread(0); // kills tid 0's epoch <= 1
+    core.push({9, 3, 0});     // the re-issued completion
+    EXPECT_EQ(core.stale(), 1u);
+    EXPECT_EQ(core.live(), 2u);
+    core.popStale(); // time 5, epoch 1
+    EXPECT_EQ(core.top().epoch, 2u);
+    core.pop(); // time 7, tid 1
+    EXPECT_EQ(core.top().epoch, 3u);
+    EXPECT_EQ(core.top().time, 9u);
+}
+
+// When a thread's only events are stale, invalidation compacts at
+// once (stale > live) and the heap returns to empty.
+TEST(EventCore, LoneStaleEventCompactsImmediately)
+{
+    EventCore core;
+    core.reserve(1);
+    core.push({5, 1, 0});
+    core.invalidateThread(0);
+    EXPECT_TRUE(core.empty());
+    EXPECT_EQ(core.compactions(), 1u);
+    core.push({9, 2, 0});
+    EXPECT_EQ(core.live(), 1u);
+    EXPECT_EQ(core.top().epoch, 2u);
+}
+
+// The lazy-deletion bugfix: a thread that re-faults forever (push,
+// invalidate, push, invalidate, ...) must not grow the heap without
+// bound. Before compaction existed, every superseded completion
+// lingered until its time arrived, so N re-faults meant N dead heap
+// entries.
+TEST(EventCore, ReFaultingThreadKeepsHeapBounded)
+{
+    EventCore core;
+    core.reserve(4);
+
+    uint64_t epoch = 0;
+    for (int i = 0; i < 10'000; ++i) {
+        // Completion far in the future, superseded before it fires.
+        core.push({1'000'000 + static_cast<uint64_t>(i), ++epoch, 0});
+        core.invalidateThread(0);
+    }
+    EXPECT_GT(core.compactions(), 0u);
+    // Stale entries never exceed live ones after an invalidation, so
+    // the heap holds at most one dead entry per live event (plus the
+    // single in-flight push).
+    EXPECT_LE(core.size(), 3u);
+    EXPECT_LE(core.maxSize(), 4u);
+}
+
+// Same pattern across many threads: the bound scales with the thread
+// count, not with the number of superseded completions.
+TEST(EventCore, ManyReFaultingThreadsStayBounded)
+{
+    constexpr unsigned kThreads = 32;
+    EventCore core;
+    core.reserve(kThreads);
+
+    uint64_t epoch = 0;
+    for (unsigned tid = 0; tid < kThreads; ++tid)
+        core.push({100 + tid, ++epoch, tid});
+    for (int round = 0; round < 1'000; ++round) {
+        const unsigned tid = static_cast<unsigned>(round) % kThreads;
+        core.invalidateThread(tid);
+        core.push({10'000 + static_cast<uint64_t>(round), ++epoch,
+                   tid});
+    }
+    EXPECT_LE(core.size(), 2 * kThreads + 1);
+    EXPECT_EQ(core.live(), kThreads);
+}
+
+// Compaction must preserve pop order for the surviving events.
+TEST(EventCore, CompactionPreservesOrderOfLiveEvents)
+{
+    EventCore core;
+    core.reserve(8);
+
+    uint64_t epoch = 0;
+    // Live events for tids 1..4 at descending times.
+    for (unsigned tid = 1; tid <= 4; ++tid)
+        core.push({100 - tid, ++epoch, tid});
+    // Flood tid 0 with superseded completions until compaction runs.
+    const uint64_t before = core.compactions();
+    for (int i = 0; i < 64; ++i) {
+        core.push({500 + static_cast<uint64_t>(i), ++epoch, 0});
+        core.invalidateThread(0);
+    }
+    EXPECT_GT(core.compactions(), before);
+
+    std::vector<unsigned> order;
+    while (!core.empty()) {
+        if (core.top().tid == 0) { // superseded, never delivered
+            core.popStale();
+            continue;
+        }
+        order.push_back(core.top().tid);
+        core.pop();
+    }
+    EXPECT_EQ(order, (std::vector<unsigned>{4, 3, 2, 1}));
+}
+
+} // namespace

@@ -225,5 +225,37 @@ TEST(MtProcessor, FinishTimesRecorded)
     }
 }
 
+// The completion heap must stay bounded by the thread count: at most
+// one live event per thread, and every superseded event is either
+// pruned at the top or compacted away. On the paper's workloads no
+// event is ever stranded (pushes and pops pair exactly), so the heap
+// never needs a compaction pass at all — which is itself worth
+// pinning, because a compaction on these workloads would mean the
+// epoch bookkeeping disagrees with the scheduler.
+TEST(MtProcessor, CompletionHeapBoundedByThreadCount)
+{
+    for (const unsigned threads : {8u, 64u}) {
+        MtConfig config =
+            fig5Config(ArchKind::Flexible, 128, 32.0, 100);
+        config.workload.numThreads = threads;
+        MtProcessor processor(std::move(config));
+        processor.run();
+        EXPECT_LE(processor.completionCore().maxSize(), threads);
+        EXPECT_EQ(processor.completionCore().compactions(), 0u);
+        EXPECT_TRUE(processor.completionCore().empty());
+    }
+}
+
+TEST(MtProcessor, CompletionHeapBoundedUnderSyncFaults)
+{
+    MtConfig config = fig6Config(ArchKind::Flexible, 128, 32.0, 500.0);
+    config.workload.numThreads = 48;
+    MtProcessor processor(std::move(config));
+    processor.run();
+    EXPECT_LE(processor.completionCore().maxSize(), 48u);
+    EXPECT_EQ(processor.completionCore().compactions(), 0u);
+    EXPECT_TRUE(processor.completionCore().empty());
+}
+
 } // namespace
 } // namespace rr::mt

@@ -14,8 +14,13 @@
  *   rrbench [--list] [--filter SUBSTR]... [--fast] [--jobs N]
  *           [--seeds N] [--threads N] [--out-dir DIR] [--quiet]
  *           [--compare PATH] [--tolerance X] [--audit]
- *           [--trace-figure NAME]... [--json]
+ *           [--trace-figure NAME]... [--json] [--perf]
  *   rrbench --validate FILE...
+ *
+ * --perf switches to the performance microbenchmarks (RR_PERF_FIGURE,
+ * docs/PERF.md): simulator throughput in Minstr/s / Mevents/s. Perf
+ * figures are excluded from normal runs and vice versa; all other
+ * options (filters, baselines, output) work unchanged.
  *
  * --audit attaches a streaming cycle-conservation auditor
  * (docs/TRACE.md) to every simulation of every sweep; any violation
@@ -77,6 +82,9 @@ const char *const kUsage =
     "  --trace-figure N   capture a representative trace of figure N\n"
     "                     and write TRACE_<N>.json (repeatable)\n"
     "  --json             print a machine-readable run summary\n"
+    "  --perf             run the performance microbenchmarks\n"
+    "                     (simulator throughput) instead of the\n"
+    "                     paper figures\n"
     "  --validate         treat remaining arguments as result\n"
     "                     files; check them against the schema\n";
 
@@ -230,6 +238,7 @@ main(int argc, char **argv)
     bool validate = false;
     bool audit = false;
     bool json = false;
+    bool perf = false;
     std::vector<std::string> filters;
     std::vector<std::string> trace_figures;
     uint64_t seeds = 0;
@@ -250,6 +259,7 @@ main(int argc, char **argv)
     parser.flag("--validate", &validate);
     parser.flag("--audit", &audit);
     parser.flag("--json", &json);
+    parser.flag("--perf", &perf);
     parser.repeated("--filter", &filters);
     parser.repeated("--trace-figure", &trace_figures);
     parser.number("--seeds", &seeds, 1, 1u << 20, &seeds_seen);
@@ -285,7 +295,8 @@ main(int argc, char **argv)
 
     if (list) {
         for (const auto &figure : figures)
-            std::printf("%-22s %s\n", figure.name.c_str(),
+            std::printf("%-22s %s%s\n", figure.name.c_str(),
+                        figure.perf ? "[perf] " : "",
                         figure.title.c_str());
         return kExitOk;
     }
@@ -321,6 +332,11 @@ main(int argc, char **argv)
     uint64_t audit_problems = 0;
     std::vector<FigureOutcome> outcomes;
     for (const auto &figure : figures) {
+        // --perf selects exactly the microbenchmark set; paper runs
+        // never pay for timing loops and perf baselines never mix
+        // with figure baselines.
+        if (figure.perf != perf)
+            continue;
         if (!matchesFilters(figure.name, filters))
             continue;
         ++ran;
