@@ -5,37 +5,65 @@
  * (exp/env.hh). `std::strtoul(text, nullptr, 0)` silently maps
  * garbage to 0 and ignores trailing junk ("--check foo" used to
  * disable the check instead of failing; "RR_BENCH_SEEDS=3x" used to
- * run with 3 seeds); this helper accepts a string only when the
- * whole of it is a valid number within range.
+ * run with 3 seeds); strtoull also quietly honours locale whitespace,
+ * a leading '+', and C octal ("010" meant 8), none of which the
+ * documented grammar admits. This parser accepts exactly
+ *
+ *     [0-9]+  |  0[xX][0-9a-fA-F]+
+ *
+ * with no sign, no whitespace, and no octal: "010" is the decimal
+ * number ten.
  */
 
 #ifndef RR_BASE_PARSE_NUM_HH
 #define RR_BASE_PARSE_NUM_HH
 
-#include <cerrno>
 #include <cstdint>
-#include <cstdlib>
 #include <limits>
 
 namespace rr {
 
 /**
- * Parse @p text as an unsigned integer (decimal, 0x-hex, or 0-octal).
- * @return true and sets @p out only when the whole string is a valid
- *         number no greater than @p max. Rejects empty strings,
- *         leading '-', trailing junk, and out-of-range values.
+ * Parse @p text as an unsigned integer: decimal digits, or 0x/0X
+ * followed by hex digits. Leading zeros are decimal, never octal.
+ * @return true and sets @p out only when the whole string matches
+ *         the grammar and the value is no greater than @p max.
+ *         Rejects empty strings, signs, whitespace, trailing junk,
+ *         and out-of-range values.
  */
 inline bool
 parseUnsigned(const char *text, uint64_t &out,
               uint64_t max = std::numeric_limits<uint64_t>::max())
 {
-    if (text == nullptr || *text == '\0' || *text == '-')
+    if (text == nullptr || *text == '\0')
         return false;
-    errno = 0;
-    char *end = nullptr;
-    const unsigned long long value = std::strtoull(text, &end, 0);
-    if (errno != 0 || end == text || *end != '\0')
-        return false;
+
+    const char *p = text;
+    unsigned base = 10;
+    if (p[0] == '0' && (p[1] == 'x' || p[1] == 'X')) {
+        base = 16;
+        p += 2;
+        if (*p == '\0')
+            return false; // "0x" alone is not a number
+    }
+
+    uint64_t value = 0;
+    for (; *p != '\0'; ++p) {
+        unsigned digit;
+        if (*p >= '0' && *p <= '9')
+            digit = static_cast<unsigned>(*p - '0');
+        else if (base == 16 && *p >= 'a' && *p <= 'f')
+            digit = static_cast<unsigned>(*p - 'a') + 10;
+        else if (base == 16 && *p >= 'A' && *p <= 'F')
+            digit = static_cast<unsigned>(*p - 'A') + 10;
+        else
+            return false;
+        // Overflow check: value * base + digit must fit in 64 bits.
+        if (value > (std::numeric_limits<uint64_t>::max() - digit) /
+                        base)
+            return false;
+        value = value * base + digit;
+    }
     if (value > max)
         return false;
     out = value;

@@ -102,6 +102,28 @@ class Parser
         return true;
     }
 
+    /** Read four hex digits of a \\u escape into @p code. */
+    bool
+    readHex4(unsigned &code)
+    {
+        if (pos_ + 4 > text_.size())
+            return fail("truncated \\u escape");
+        code = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+                code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+                code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+                code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+                return fail("invalid \\u escape");
+        }
+        return true;
+    }
+
     bool
     parseString(std::string &out)
     {
@@ -128,30 +150,43 @@ class Parser
               case 'r': out += '\r'; break;
               case 't': out += '\t'; break;
               case 'u': {
-                if (pos_ + 4 > text_.size())
-                    return fail("truncated \\u escape");
                 unsigned code = 0;
-                for (int i = 0; i < 4; ++i) {
-                    const char h = text_[pos_++];
-                    code <<= 4;
-                    if (h >= '0' && h <= '9')
-                        code |= static_cast<unsigned>(h - '0');
-                    else if (h >= 'a' && h <= 'f')
-                        code |= static_cast<unsigned>(h - 'a' + 10);
-                    else if (h >= 'A' && h <= 'F')
-                        code |= static_cast<unsigned>(h - 'A' + 10);
-                    else
-                        return fail("invalid \\u escape");
+                if (!readHex4(code))
+                    return false;
+                // A high surrogate must be followed by a low one;
+                // together they denote one astral code point.
+                // Decoding each half separately would emit CESU-8,
+                // which is not valid UTF-8.
+                if (code >= 0xd800 && code <= 0xdbff) {
+                    if (pos_ + 1 >= text_.size() ||
+                        text_[pos_] != '\\' || text_[pos_ + 1] != 'u')
+                        return fail("unpaired surrogate");
+                    pos_ += 2;
+                    unsigned low = 0;
+                    if (!readHex4(low))
+                        return false;
+                    if (low < 0xdc00 || low > 0xdfff)
+                        return fail("unpaired surrogate");
+                    code = 0x10000 + ((code - 0xd800) << 10) +
+                           (low - 0xdc00);
+                } else if (code >= 0xdc00 && code <= 0xdfff) {
+                    return fail("unpaired surrogate");
                 }
-                // Encode the code point as UTF-8 (BMP only; the
-                // writer never emits surrogate pairs).
+                // Encode the code point as UTF-8.
                 if (code < 0x80) {
                     out += static_cast<char>(code);
                 } else if (code < 0x800) {
                     out += static_cast<char>(0xc0 | (code >> 6));
                     out += static_cast<char>(0x80 | (code & 0x3f));
-                } else {
+                } else if (code < 0x10000) {
                     out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xf0 | (code >> 18));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 12) & 0x3f));
                     out += static_cast<char>(0x80 |
                                              ((code >> 6) & 0x3f));
                     out += static_cast<char>(0x80 | (code & 0x3f));

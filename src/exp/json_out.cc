@@ -15,6 +15,8 @@ jsonQuote(const std::string &text)
         switch (c) {
           case '"': out += "\\\""; break;
           case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
           case '\n': out += "\\n"; break;
           case '\r': out += "\\r"; break;
           case '\t': out += "\\t"; break;

@@ -19,6 +19,7 @@ struct CacheThread
     bool resident = false;    ///< footprint currently cached
     bool blocked = false;
     uint64_t completion = 0;
+    uint64_t faultSeq = 0;    ///< fault draws made (sequence index)
     Rng rng{0};
 };
 
@@ -135,7 +136,10 @@ simulateContextCache(const ContextCacheConfig &config)
         stats.switchCycles += config.switchCost;
         touch(tid);
 
-        const mt::FaultSample fault = config.faultModel->next(t.rng);
+        // Sequence-indexed draw: phase-structured models advance
+        // through their schedule as the thread faults.
+        const mt::FaultSample fault =
+            config.faultModel->next(t.rng, t.faultSeq++);
         const uint64_t segment =
             std::min<uint64_t>(fault.runLength, t.remaining);
         now += segment;

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * rr::fuzz — seeded, deterministic property testing and differential
+ * fuzzing across the repo's redundant implementations.
+ *
+ * The subsystem is four orthogonal pieces, all pure functions of
+ * their inputs so the whole pipeline is replayable from a seed:
+ *
+ *   generate   (gen.cc)     seed -> sample, per SampleKind
+ *   check      (check.cc)   sample -> Problems (empty = pass)
+ *   shrink     (shrink.cc)  failing sample -> minimal failing sample
+ *   repro      (repro.cc)   sample <-> self-contained text file
+ *
+ * runFuzz() ties them together: draw per-sample seeds from a master
+ * xoshiro stream, round-robin over the enabled kinds, check every
+ * sample, and on failure shrink + serialize a repro. The same
+ * (seed, samples, kinds) always yields the same samples, the same
+ * verdicts, and byte-identical repro files; see docs/FUZZ.md.
+ */
+
+#ifndef RR_FUZZ_FUZZ_HH
+#define RR_FUZZ_FUZZ_HH
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "base/rng.hh"
+#include "fuzz/samples.hh"
+
+namespace rr::fuzz {
+
+/** Draw one sample of @p kind from @p rng. Deterministic. */
+AnySample generateSample(SampleKind kind, Rng &rng);
+
+/**
+ * Run every applicable oracle on @p sample.
+ *
+ * @return problem descriptions; empty means the sample passed (or
+ * was vacuous, e.g. a json sample whose text does not parse).
+ */
+Problems checkSample(const AnySample &sample);
+
+/**
+ * Delta-debug @p sample (which must fail checkSample) to a smaller
+ * sample that still fails. Spends at most @p maxSteps oracle
+ * evaluations; @p stepsUsed reports how many were spent. If the
+ * sample does not actually fail, it is returned unchanged.
+ */
+AnySample shrinkSample(const AnySample &sample, unsigned maxSteps,
+                       unsigned &stepsUsed);
+
+/**
+ * Serialize @p sample as a self-contained repro file (format
+ * `rrfuzz.repro.v1`, line oriented, byte-stable). parseRepro() is
+ * the exact inverse: parse(serialize(s)) == s for every sample.
+ */
+std::string serializeRepro(const AnySample &sample);
+
+/** Parse a repro file. @return false and set @p error on failure. */
+bool parseRepro(const std::string &text, AnySample &out,
+                std::string &error);
+
+/** Configuration for one fuzzing run. */
+struct FuzzOptions
+{
+    uint64_t seed = 1;
+    uint64_t samples = 100;
+
+    /** Kinds to draw from (round-robin). Empty = all kinds. */
+    std::vector<SampleKind> kinds;
+
+    /** Directory for repro files; empty = do not write files. */
+    std::string outDir;
+
+    bool shrink = true;
+    unsigned maxShrinkSteps = 400;
+
+    /** Stop after this many failures (0 = no limit). */
+    uint64_t maxFailures = 0;
+};
+
+/** One oracle violation, minimized and ready to pin. */
+struct Failure
+{
+    SampleKind kind = SampleKind::Reloc;
+    uint64_t index = 0;      ///< sample index within the run
+    uint64_t sampleSeed = 0; ///< per-sample generator seed
+    Problems problems;       ///< oracle output for the final sample
+    unsigned shrinkSteps = 0;
+    AnySample sample;        ///< minimized failing sample
+    std::string repro;       ///< serializeRepro(sample)
+    std::string reproPath;   ///< file written, empty if none
+};
+
+/** Result of a fuzzing run. */
+struct FuzzReport
+{
+    uint64_t samplesRun = 0;
+    std::array<uint64_t, numSampleKinds> perKind{};
+    std::vector<Failure> failures;
+
+    bool clean() const { return failures.empty(); }
+};
+
+/**
+ * Run the pipeline. @p log, when non-null, receives one line per
+ * failure and occasional progress notes (the lines are part of no
+ * contract; the report is).
+ */
+FuzzReport runFuzz(const FuzzOptions &options,
+                   std::ostream *log = nullptr);
+
+} // namespace rr::fuzz
+
+#endif // RR_FUZZ_FUZZ_HH

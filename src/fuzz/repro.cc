@@ -1,0 +1,911 @@
+/**
+ * @file
+ * Self-contained repro files (`rrfuzz.repro.v1`): the pinning format
+ * committed under tests/fuzz/corpus/ and replayed by ctest.
+ *
+ * Line oriented and byte stable:
+ *
+ *     rrfuzz.repro.v1
+ *     kind <name>
+ *     <key> <value>...        # fixed order per kind
+ *     end
+ *
+ * Arbitrary byte strings (json/num samples) are written with a
+ * deterministic escape (\\, \n, \r, \t, \xHH for other bytes outside
+ * printable ASCII), so serialize/parse are exact inverses and
+ * serializing twice yields identical bytes. Doubles use %.17g, which
+ * round-trips IEEE doubles exactly.
+ */
+
+#include "fuzz/fuzz.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "base/parse_num.hh"
+
+namespace rr::fuzz {
+
+namespace {
+
+constexpr const char *kMagic = "rrfuzz.repro.v1";
+
+std::string
+escapeText(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        const auto u = static_cast<unsigned char>(c);
+        switch (c) {
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (u >= 0x20 && u < 0x7f) {
+                out += c;
+            } else {
+                char buf[5];
+                std::snprintf(buf, sizeof buf, "\\x%02x", u);
+                out += buf;
+            }
+        }
+    }
+    return out;
+}
+
+bool
+unescapeText(const std::string &in, std::string &out)
+{
+    out.clear();
+    out.reserve(in.size());
+    for (size_t i = 0; i < in.size(); ++i) {
+        if (in[i] != '\\') {
+            out += in[i];
+            continue;
+        }
+        if (i + 1 >= in.size())
+            return false;
+        const char e = in[++i];
+        switch (e) {
+          case '\\':
+            out += '\\';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'x': {
+            if (i + 2 >= in.size())
+                return false;
+            const auto hex = [](char c) -> int {
+                if (c >= '0' && c <= '9')
+                    return c - '0';
+                if (c >= 'a' && c <= 'f')
+                    return c - 'a' + 10;
+                return -1;
+            };
+            const int hi = hex(in[i + 1]);
+            const int lo = hex(in[i + 2]);
+            if (hi < 0 || lo < 0)
+                return false;
+            out += static_cast<char>(hi * 16 + lo);
+            i += 2;
+            break;
+          }
+          default:
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+// ---------------------------------------------------------------------
+// writers
+
+void
+writeReloc(const RelocSample &s, std::ostringstream &out)
+{
+    out << "numRegs " << s.numRegs << '\n';
+    out << "operandWidth " << s.operandWidth << '\n';
+    out << "banks " << s.banks << '\n';
+    out << "mode " << unsigned{s.mode} << '\n';
+    for (const RelocOp &op : s.ops) {
+        if (op.kind == RelocOp::SetMask)
+            out << "op mask " << op.value << ' '
+                << unsigned{op.bank} << '\n';
+        else
+            out << "op size " << op.value << '\n';
+    }
+}
+
+void
+writeHeap(const HeapSample &s, std::ostringstream &out)
+{
+    out << "numThreads " << s.numThreads << '\n';
+    for (const HeapOp &op : s.ops) {
+        switch (op.kind) {
+          case HeapOp::Push:
+            out << "op push " << op.time << ' ' << op.tid << '\n';
+            break;
+          case HeapOp::Pop:
+            out << "op pop\n";
+            break;
+          case HeapOp::Invalidate:
+            out << "op inval " << op.tid << '\n';
+            break;
+        }
+    }
+}
+
+void
+writeJson(const JsonSample &s, std::ostringstream &out)
+{
+    out << "text " << escapeText(s.text) << '\n';
+}
+
+void
+writeNum(const NumSample &s, std::ostringstream &out)
+{
+    out << "text " << escapeText(s.text) << '\n';
+    out << "max " << s.max << '\n';
+}
+
+void
+writePhase(const PhaseSample &s, std::ostringstream &out)
+{
+    out << "threads " << s.threads << '\n';
+    out << "workPerThread " << s.workPerThread << '\n';
+    out << "phase0Faults " << s.phase0Faults << '\n';
+    out << "meanRun " << fmtDouble(s.meanRun) << '\n';
+    out << "latency0 " << s.latency0 << '\n';
+    out << "latency1 " << s.latency1 << '\n';
+    out << "numRegs " << s.numRegs << '\n';
+    out << "seed " << s.seed << '\n';
+}
+
+void
+writeProgram(const ProgramSample &s, std::ostringstream &out)
+{
+    out << "numRegs " << s.numRegs << '\n';
+    out << "operandWidth " << s.operandWidth << '\n';
+    out << "delaySlots " << s.delaySlots << '\n';
+    out << "banks " << s.banks << '\n';
+    out << "mode " << unsigned{s.mode} << '\n';
+    out << "memWords " << s.memWords << '\n';
+    out << "maxSteps " << s.maxSteps << '\n';
+    out << "takenBranchPenalty " << s.takenBranchPenalty << '\n';
+    out << "loadUsePenalty " << s.loadUsePenalty << '\n';
+    out << "ldrrmPenalty " << s.ldrrmPenalty << '\n';
+    out << "lintChecked " << (s.lintChecked ? 1 : 0) << '\n';
+    for (const uint32_t word : s.words) {
+        char buf[16];
+        std::snprintf(buf, sizeof buf, "%08x", word);
+        out << "word " << buf << '\n';
+    }
+}
+
+void
+writeMt(const MtSample &s, std::ostringstream &out)
+{
+    out << "threads " << s.threads << '\n';
+    out << "regsLo " << s.regsLo << '\n';
+    out << "regsHi " << s.regsHi << '\n';
+    out << "work " << s.work << '\n';
+    out << "family " << unsigned{s.family} << '\n';
+    out << "param0 " << fmtDouble(s.param0) << '\n';
+    out << "param1 " << fmtDouble(s.param1) << '\n';
+    out << "param2 " << fmtDouble(s.param2) << '\n';
+    out << "param3 " << fmtDouble(s.param3) << '\n';
+    out << "phase0Faults " << s.phase0Faults << '\n';
+    out << "phase1Faults " << s.phase1Faults << '\n';
+    out << "arch " << unsigned{s.arch} << '\n';
+    out << "numRegs " << s.numRegs << '\n';
+    out << "operandWidth " << s.operandWidth << '\n';
+    out << "minContextSize " << s.minContextSize << '\n';
+    out << "fixedContextRegs " << s.fixedContextRegs << '\n';
+    out << "unload " << unsigned{s.unload} << '\n';
+    out << "residencyCap " << s.residencyCap << '\n';
+    out << "priorityLevels " << s.priorityLevels << '\n';
+    out << "seed " << s.seed << '\n';
+}
+
+void
+writeXsim(const XsimSample &s, std::ostringstream &out)
+{
+    out << "threads " << s.threads << '\n';
+    out << "regsUsed " << s.regsUsed << '\n';
+    out << "latency " << s.latency << '\n';
+    out << "segments " << s.segments << '\n';
+    out << "seed " << s.seed << '\n';
+    out << "tolerance " << fmtDouble(s.tolerance) << '\n';
+    out << "script";
+    for (const uint64_t v : s.script)
+        out << ' ' << v;
+    out << '\n';
+}
+
+// ---------------------------------------------------------------------
+// parsing
+
+/** One key-value line, already split at the first space. */
+struct Field
+{
+    std::string key;
+    std::string rest;
+};
+
+bool
+parseU64(const std::string &text, uint64_t &out)
+{
+    // The strict shared grammar: digits only, no sign/whitespace.
+    return parseUnsigned(text.c_str(), out);
+}
+
+bool
+parseDouble(const std::string &text, double &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size())
+        return false;
+    out = v;
+    return true;
+}
+
+std::vector<std::string>
+splitWords(const std::string &text)
+{
+    std::vector<std::string> words;
+    std::istringstream in(text);
+    std::string w;
+    while (in >> w)
+        words.push_back(w);
+    return words;
+}
+
+/** Field dispatcher: returns false (setting @p error) on bad input. */
+template <typename Setter>
+bool
+applyFields(const std::vector<Field> &fields, std::string &error,
+            const Setter &set)
+{
+    for (const Field &f : fields) {
+        if (!set(f)) {
+            error = "bad or unknown field: " + f.key;
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Helpers binding one key to one destination. */
+template <typename T>
+bool
+bindU(const Field &f, const char *key, T &dst)
+{
+    if (f.key != key)
+        return false;
+    uint64_t v = 0;
+    if (!parseU64(f.rest, v))
+        return false;
+    dst = static_cast<T>(v);
+    return true;
+}
+
+bool
+bindD(const Field &f, const char *key, double &dst)
+{
+    if (f.key != key)
+        return false;
+    return parseDouble(f.rest, dst);
+}
+
+bool
+parseRelocFields(const std::vector<Field> &fields, RelocSample &s,
+                 std::string &error)
+{
+    return applyFields(fields, error, [&](const Field &f) {
+        if (bindU(f, "numRegs", s.numRegs) ||
+            bindU(f, "operandWidth", s.operandWidth) ||
+            bindU(f, "banks", s.banks) || bindU(f, "mode", s.mode))
+            return true;
+        if (f.key == "op") {
+            const std::vector<std::string> w = splitWords(f.rest);
+            RelocOp op;
+            uint64_t value = 0;
+            if (w.size() == 3 && w[0] == "mask") {
+                uint64_t bank = 0;
+                if (!parseU64(w[1], value) || !parseU64(w[2], bank))
+                    return false;
+                op.kind = RelocOp::SetMask;
+                op.value = static_cast<uint32_t>(value);
+                op.bank = static_cast<uint8_t>(bank);
+            } else if (w.size() == 2 && w[0] == "size") {
+                if (!parseU64(w[1], value))
+                    return false;
+                op.kind = RelocOp::SetSize;
+                op.value = static_cast<uint32_t>(value);
+            } else {
+                return false;
+            }
+            s.ops.push_back(op);
+            return true;
+        }
+        return false;
+    });
+}
+
+bool
+parseHeapFields(const std::vector<Field> &fields, HeapSample &s,
+                std::string &error)
+{
+    return applyFields(fields, error, [&](const Field &f) {
+        if (bindU(f, "numThreads", s.numThreads))
+            return true;
+        if (f.key == "op") {
+            const std::vector<std::string> w = splitWords(f.rest);
+            HeapOp op;
+            if (w.size() == 3 && w[0] == "push") {
+                uint64_t tid = 0;
+                if (!parseU64(w[1], op.time) || !parseU64(w[2], tid))
+                    return false;
+                op.kind = HeapOp::Push;
+                op.tid = static_cast<uint32_t>(tid);
+            } else if (w.size() == 1 && w[0] == "pop") {
+                op.kind = HeapOp::Pop;
+            } else if (w.size() == 2 && w[0] == "inval") {
+                uint64_t tid = 0;
+                if (!parseU64(w[1], tid))
+                    return false;
+                op.kind = HeapOp::Invalidate;
+                op.tid = static_cast<uint32_t>(tid);
+            } else {
+                return false;
+            }
+            s.ops.push_back(op);
+            return true;
+        }
+        return false;
+    });
+}
+
+bool
+parseJsonFields(const std::vector<Field> &fields, JsonSample &s,
+                std::string &error)
+{
+    return applyFields(fields, error, [&](const Field &f) {
+        if (f.key == "text")
+            return unescapeText(f.rest, s.text);
+        return false;
+    });
+}
+
+bool
+parseNumFields(const std::vector<Field> &fields, NumSample &s,
+               std::string &error)
+{
+    return applyFields(fields, error, [&](const Field &f) {
+        if (f.key == "text")
+            return unescapeText(f.rest, s.text);
+        return bindU(f, "max", s.max);
+    });
+}
+
+bool
+parsePhaseFields(const std::vector<Field> &fields, PhaseSample &s,
+                 std::string &error)
+{
+    return applyFields(fields, error, [&](const Field &f) {
+        return bindU(f, "threads", s.threads) ||
+               bindU(f, "workPerThread", s.workPerThread) ||
+               bindU(f, "phase0Faults", s.phase0Faults) ||
+               bindD(f, "meanRun", s.meanRun) ||
+               bindU(f, "latency0", s.latency0) ||
+               bindU(f, "latency1", s.latency1) ||
+               bindU(f, "numRegs", s.numRegs) ||
+               bindU(f, "seed", s.seed);
+    });
+}
+
+bool
+parseProgramFields(const std::vector<Field> &fields, ProgramSample &s,
+                   std::string &error)
+{
+    return applyFields(fields, error, [&](const Field &f) {
+        if (bindU(f, "numRegs", s.numRegs) ||
+            bindU(f, "operandWidth", s.operandWidth) ||
+            bindU(f, "delaySlots", s.delaySlots) ||
+            bindU(f, "banks", s.banks) || bindU(f, "mode", s.mode) ||
+            bindU(f, "memWords", s.memWords) ||
+            bindU(f, "maxSteps", s.maxSteps) ||
+            bindU(f, "takenBranchPenalty", s.takenBranchPenalty) ||
+            bindU(f, "loadUsePenalty", s.loadUsePenalty) ||
+            bindU(f, "ldrrmPenalty", s.ldrrmPenalty))
+            return true;
+        if (f.key == "lintChecked") {
+            uint64_t v = 0;
+            if (!parseU64(f.rest, v) || v > 1)
+                return false;
+            s.lintChecked = v != 0;
+            return true;
+        }
+        if (f.key == "word") {
+            if (f.rest.size() != 8)
+                return false;
+            uint32_t word = 0;
+            for (const char c : f.rest) {
+                unsigned digit;
+                if (c >= '0' && c <= '9')
+                    digit = static_cast<unsigned>(c - '0');
+                else if (c >= 'a' && c <= 'f')
+                    digit = static_cast<unsigned>(c - 'a') + 10;
+                else
+                    return false;
+                word = word << 4 | digit;
+            }
+            s.words.push_back(word);
+            return true;
+        }
+        return false;
+    });
+}
+
+bool
+parseMtFields(const std::vector<Field> &fields, MtSample &s,
+              std::string &error)
+{
+    return applyFields(fields, error, [&](const Field &f) {
+        return bindU(f, "threads", s.threads) ||
+               bindU(f, "regsLo", s.regsLo) ||
+               bindU(f, "regsHi", s.regsHi) ||
+               bindU(f, "work", s.work) ||
+               bindU(f, "family", s.family) ||
+               bindD(f, "param0", s.param0) ||
+               bindD(f, "param1", s.param1) ||
+               bindD(f, "param2", s.param2) ||
+               bindD(f, "param3", s.param3) ||
+               bindU(f, "phase0Faults", s.phase0Faults) ||
+               bindU(f, "phase1Faults", s.phase1Faults) ||
+               bindU(f, "arch", s.arch) ||
+               bindU(f, "numRegs", s.numRegs) ||
+               bindU(f, "operandWidth", s.operandWidth) ||
+               bindU(f, "minContextSize", s.minContextSize) ||
+               bindU(f, "fixedContextRegs", s.fixedContextRegs) ||
+               bindU(f, "unload", s.unload) ||
+               bindU(f, "residencyCap", s.residencyCap) ||
+               bindU(f, "priorityLevels", s.priorityLevels) ||
+               bindU(f, "seed", s.seed);
+    });
+}
+
+bool
+parseXsimFields(const std::vector<Field> &fields, XsimSample &s,
+                std::string &error)
+{
+    return applyFields(fields, error, [&](const Field &f) {
+        if (bindU(f, "threads", s.threads) ||
+            bindU(f, "regsUsed", s.regsUsed) ||
+            bindU(f, "latency", s.latency) ||
+            bindU(f, "segments", s.segments) ||
+            bindU(f, "seed", s.seed) ||
+            bindD(f, "tolerance", s.tolerance))
+            return true;
+        if (f.key == "script") {
+            s.script.clear();
+            for (const std::string &w : splitWords(f.rest)) {
+                uint64_t v = 0;
+                if (!parseU64(w, v))
+                    return false;
+                s.script.push_back(v);
+            }
+            return !s.script.empty();
+        }
+        return false;
+    });
+}
+
+} // namespace
+
+std::string
+serializeRepro(const AnySample &sample)
+{
+    std::ostringstream out;
+    out << kMagic << '\n';
+    out << "kind " << kindName(kindOf(sample)) << '\n';
+    std::visit(
+        [&](const auto &s) {
+            using T = std::decay_t<decltype(s)>;
+            if constexpr (std::is_same_v<T, RelocSample>)
+                writeReloc(s, out);
+            else if constexpr (std::is_same_v<T, HeapSample>)
+                writeHeap(s, out);
+            else if constexpr (std::is_same_v<T, JsonSample>)
+                writeJson(s, out);
+            else if constexpr (std::is_same_v<T, NumSample>)
+                writeNum(s, out);
+            else if constexpr (std::is_same_v<T, PhaseSample>)
+                writePhase(s, out);
+            else if constexpr (std::is_same_v<T, ProgramSample>)
+                writeProgram(s, out);
+            else if constexpr (std::is_same_v<T, MtSample>)
+                writeMt(s, out);
+            else
+                writeXsim(s, out);
+        },
+        sample);
+    out << "end\n";
+    return out.str();
+}
+
+
+// ---------------------------------------------------------------------
+// Domain validation. Repro files come from disk and may be
+// hand-edited (or hostile); a value outside the generator's domain
+// must be a parse error (replay exit 2), not an rr_assert abort or a
+// multi-hour simulation deep inside the checked subsystem.
+
+bool
+inRange(uint64_t v, uint64_t lo, uint64_t hi, const char *what,
+        std::string &error)
+{
+    if (v >= lo && v <= hi)
+        return true;
+    error = std::string(what) + " out of range";
+    return false;
+}
+
+bool
+finiteIn(double v, double lo, double hi, const char *what,
+         std::string &error)
+{
+    if (std::isfinite(v) && v >= lo && v <= hi)
+        return true;
+    error = std::string(what) + " out of range";
+    return false;
+}
+
+bool
+pow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+bool
+validateReloc(const RelocSample &s, std::string &error)
+{
+    if (!inRange(s.numRegs, 2, 1024, "numRegs", error) ||
+        !inRange(s.operandWidth, 1, 6, "operandWidth", error) ||
+        !inRange(s.banks, 1, 8, "banks", error) ||
+        !inRange(s.mode, 0, 2, "mode", error) ||
+        !inRange(s.ops.size(), 0, 100000, "op count", error))
+        return false;
+    if (!pow2(s.numRegs) || !pow2(s.banks) ||
+        (1u << s.operandWidth) > s.numRegs) {
+        error = "inconsistent relocation geometry";
+        return false;
+    }
+    unsigned bank_bits = 0;
+    while ((1u << bank_bits) < s.banks)
+        ++bank_bits;
+    if (bank_bits >= s.operandWidth) {
+        error = "banks do not fit the operand width";
+        return false;
+    }
+    for (const RelocOp &op : s.ops) {
+        if (op.kind == RelocOp::SetMask) {
+            if (op.bank >= s.banks) {
+                error = "op bank out of range";
+                return false;
+            }
+        } else if (!pow2(op.value) ||
+                   op.value > (1u << s.operandWidth)) {
+            error = "context size not a power of two within 2^w";
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+validateHeap(const HeapSample &s, std::string &error)
+{
+    if (!inRange(s.numThreads, 1, 1024, "numThreads", error) ||
+        !inRange(s.ops.size(), 0, 1000000, "op count", error))
+        return false;
+    for (const HeapOp &op : s.ops) {
+        if (op.kind != HeapOp::Pop && op.tid >= s.numThreads) {
+            error = "op tid out of range";
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+validatePhase(const PhaseSample &s, std::string &error)
+{
+    return inRange(s.threads, 1, 1024, "threads", error) &&
+           inRange(s.workPerThread, 1, 100000000, "workPerThread",
+                   error) &&
+           inRange(s.phase0Faults, 1, 1000000, "phase0Faults",
+                   error) &&
+           finiteIn(s.meanRun, 1.0, 1e6, "meanRun", error) &&
+           inRange(s.latency0, 0, 10000000, "latency0", error) &&
+           inRange(s.latency1, 0, 10000000, "latency1", error) &&
+           inRange(s.numRegs, 12, 65536, "numRegs", error);
+}
+
+bool
+validateProgram(const ProgramSample &s, std::string &error)
+{
+    if (!inRange(s.numRegs, 16, 1024, "numRegs", error) ||
+        !inRange(s.operandWidth, 1, 6, "operandWidth", error) ||
+        !inRange(s.banks, 1, 8, "banks", error) ||
+        !inRange(s.mode, 0, 2, "mode", error) ||
+        !inRange(s.delaySlots, 0, 4, "delaySlots", error) ||
+        !inRange(s.memWords, 64, 1u << 20, "memWords", error) ||
+        !inRange(s.maxSteps, 1, 100000000, "maxSteps", error) ||
+        !inRange(s.takenBranchPenalty, 0, 100, "takenBranchPenalty",
+                 error) ||
+        !inRange(s.loadUsePenalty, 0, 100, "loadUsePenalty", error) ||
+        !inRange(s.ldrrmPenalty, 0, 100, "ldrrmPenalty", error) ||
+        !inRange(s.words.size(), 0, s.memWords, "program size",
+                 error))
+        return false;
+    if (!pow2(s.numRegs) || !pow2(s.banks) ||
+        (1u << s.operandWidth) > s.numRegs) {
+        error = "inconsistent relocation geometry";
+        return false;
+    }
+    unsigned bank_bits = 0;
+    while ((1u << bank_bits) < s.banks)
+        ++bank_bits;
+    if (bank_bits >= s.operandWidth) {
+        error = "banks do not fit the operand width";
+        return false;
+    }
+    return true;
+}
+
+bool
+validateMt(const MtSample &s, std::string &error)
+{
+    return inRange(s.threads, 1, 4096, "threads", error) &&
+           inRange(s.regsLo, 0, 65536, "regsLo", error) &&
+           inRange(s.regsHi, 0, 65536, "regsHi", error) &&
+           inRange(s.work, 0, 100000000, "work", error) &&
+           inRange(s.family, 0, 4, "family", error) &&
+           finiteIn(s.param0, -1e12, 1e12, "param0", error) &&
+           finiteIn(s.param1, -1e12, 1e12, "param1", error) &&
+           finiteIn(s.param2, -1e12, 1e12, "param2", error) &&
+           finiteIn(s.param3, -1e12, 1e12, "param3", error) &&
+           inRange(s.phase0Faults, 0, 1000000, "phase0Faults",
+                   error) &&
+           inRange(s.phase1Faults, 0, 1000000, "phase1Faults",
+                   error) &&
+           inRange(s.arch, 0, 2, "arch", error) &&
+           inRange(s.numRegs, 1, 65536, "numRegs", error) &&
+           inRange(s.operandWidth, 1, 16, "operandWidth", error) &&
+           inRange(s.minContextSize, 0, 65536, "minContextSize",
+                   error) &&
+           inRange(s.fixedContextRegs, 0, 65536, "fixedContextRegs",
+                   error) &&
+           inRange(s.unload, 0, 1, "unload", error) &&
+           inRange(s.residencyCap, 0, 1000000, "residencyCap",
+                   error) &&
+           inRange(s.priorityLevels, 1, 64, "priorityLevels", error);
+}
+
+bool
+validateXsim(const XsimSample &s, std::string &error)
+{
+    if (!inRange(s.threads, 1, 8, "threads", error) ||
+        !inRange(s.regsUsed, 12, 16, "regsUsed", error) ||
+        !inRange(s.segments, 1, 512, "segments", error) ||
+        !inRange(s.latency, 1, 10000000, "latency", error) ||
+        !inRange(s.script.size(), 1, 1024, "script length", error) ||
+        !finiteIn(s.tolerance, 0.0, 10.0, "tolerance", error))
+        return false;
+    for (const uint64_t units : s.script) {
+        if (!inRange(units, 1, 1000000, "script entry", error))
+            return false;
+    }
+    // All contexts (power-of-two covering regsUsed, at least 16 for
+    // the r0..r11 body plus headroom) must fit the 128-register file
+    // the oracle configures, or the kernel refuses to start.
+    unsigned context = 16;
+    while (context < s.regsUsed)
+        context <<= 1;
+    if (static_cast<uint64_t>(s.threads) * context > 128) {
+        error = "threads do not fit the register file";
+        return false;
+    }
+    return true;
+}
+
+bool
+validateText(const std::string &text, std::string &error)
+{
+    if (text.size() <= 1u << 20)
+        return true;
+    error = "text too long";
+    return false;
+}
+
+bool
+parseRepro(const std::string &text, AnySample &out, std::string &error)
+{
+    std::vector<std::string> lines;
+    {
+        std::string cur;
+        for (const char c : text) {
+            if (c == '\n') {
+                lines.push_back(cur);
+                cur.clear();
+            } else {
+                cur += c;
+            }
+        }
+        if (!cur.empty())
+            lines.push_back(cur);
+    }
+
+    size_t at = 0;
+    // Skip blank / comment lines before the magic (hand-edited files).
+    while (at < lines.size() &&
+           (lines[at].empty() || lines[at][0] == '#'))
+        ++at;
+    if (at >= lines.size() || lines[at] != kMagic) {
+        error = "missing rrfuzz.repro.v1 header";
+        return false;
+    }
+    ++at;
+
+    SampleKind kind = SampleKind::Reloc;
+    bool haveKind = false;
+    std::vector<Field> fields;
+    bool ended = false;
+    for (; at < lines.size(); ++at) {
+        const std::string &line = lines[at];
+        if (line.empty() || line[0] == '#')
+            continue;
+        if (line == "end") {
+            ended = true;
+            ++at;
+            break;
+        }
+        const size_t space = line.find(' ');
+        Field f;
+        f.key = line.substr(0, space);
+        f.rest = space == std::string::npos ? std::string()
+                                            : line.substr(space + 1);
+        if (f.key == "kind") {
+            if (haveKind || !kindFromName(f.rest, kind)) {
+                error = "bad kind line";
+                return false;
+            }
+            haveKind = true;
+            continue;
+        }
+        if (!haveKind) {
+            error = "field before kind line";
+            return false;
+        }
+        fields.push_back(std::move(f));
+    }
+    if (!ended) {
+        error = "missing end line";
+        return false;
+    }
+    for (; at < lines.size(); ++at) {
+        if (!lines[at].empty() && lines[at][0] != '#') {
+            error = "trailing garbage after end";
+            return false;
+        }
+    }
+    if (!haveKind) {
+        error = "missing kind line";
+        return false;
+    }
+
+    switch (kind) {
+      case SampleKind::Reloc: {
+        RelocSample s;
+        if (!parseRelocFields(fields, s, error) ||
+            !validateReloc(s, error))
+            return false;
+        out = s;
+        return true;
+      }
+      case SampleKind::Heap: {
+        HeapSample s;
+        if (!parseHeapFields(fields, s, error) ||
+            !validateHeap(s, error))
+            return false;
+        out = s;
+        return true;
+      }
+      case SampleKind::Json: {
+        JsonSample s;
+        if (!parseJsonFields(fields, s, error) ||
+            !validateText(s.text, error))
+            return false;
+        out = s;
+        return true;
+      }
+      case SampleKind::Num: {
+        NumSample s;
+        if (!parseNumFields(fields, s, error) ||
+            !validateText(s.text, error))
+            return false;
+        out = s;
+        return true;
+      }
+      case SampleKind::Phase: {
+        PhaseSample s;
+        if (!parsePhaseFields(fields, s, error) ||
+            !validatePhase(s, error))
+            return false;
+        out = s;
+        return true;
+      }
+      case SampleKind::Program: {
+        ProgramSample s;
+        if (!parseProgramFields(fields, s, error) ||
+            !validateProgram(s, error))
+            return false;
+        out = s;
+        return true;
+      }
+      case SampleKind::Mt: {
+        MtSample s;
+        if (!parseMtFields(fields, s, error) ||
+            !validateMt(s, error))
+            return false;
+        out = s;
+        return true;
+      }
+      case SampleKind::Xsim: {
+        XsimSample s;
+        if (!parseXsimFields(fields, s, error) ||
+            !validateXsim(s, error))
+            return false;
+        out = s;
+        return true;
+      }
+    }
+    error = "unreachable kind";
+    return false;
+}
+
+} // namespace rr::fuzz

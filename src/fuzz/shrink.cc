@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Delta-debugging shrinker. Every accepted mutation must keep the
+ * oracle failing, so the final sample fails for the same class of
+ * reason as the original while being as small as the step budget
+ * allows. Two mutation families:
+ *
+ *  - list reduction (ddmin-style): remove progressively smaller
+ *    chunks of an op/byte/word list; for programs, first overwrite
+ *    chunks with NOP (layout-preserving, keeps branch targets
+ *    meaningful) and only then truncate the tail;
+ *  - scalar ladders: walk each numeric field of a spec-like sample
+ *    down through a fixed sequence of simpler values.
+ *
+ * The shrinker is deterministic (no randomness), so a repro file
+ * shrunk twice yields byte-identical output — part of the rrfuzz
+ * determinism contract.
+ */
+
+#include "fuzz/fuzz.hh"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "isa/instruction.hh"
+
+namespace rr::fuzz {
+
+namespace {
+
+/** Oracle budget shared across one shrinkSample call. */
+struct Budget
+{
+    unsigned used = 0;
+    unsigned max = 0;
+
+    bool spent() const { return used >= max; }
+};
+
+/** @return true when @p candidate still fails (and budget allows). */
+bool
+fails(const AnySample &candidate, Budget &budget)
+{
+    if (budget.spent())
+        return false;
+    ++budget.used;
+    return !checkSample(candidate).empty();
+}
+
+/**
+ * Greedy ddmin over a list: for chunk sizes n/2, n/4, ..., 1, try
+ * deleting each chunk; keep deletions that preserve the failure.
+ * @p apply installs a candidate list into a sample copy.
+ */
+template <typename Elem, typename Apply>
+void
+shrinkList(std::vector<Elem> &list, Budget &budget,
+           const Apply &apply)
+{
+    for (size_t chunk = std::max<size_t>(list.size() / 2, 1);
+         chunk >= 1; chunk /= 2) {
+        bool any = true;
+        while (any && !budget.spent()) {
+            any = false;
+            for (size_t at = 0; at + chunk <= list.size();
+                 at += chunk) {
+                std::vector<Elem> candidate;
+                candidate.reserve(list.size() - chunk);
+                candidate.insert(candidate.end(), list.begin(),
+                                 list.begin() +
+                                     static_cast<std::ptrdiff_t>(at));
+                candidate.insert(
+                    candidate.end(),
+                    list.begin() +
+                        static_cast<std::ptrdiff_t>(at + chunk),
+                    list.end());
+                if (fails(apply(candidate), budget)) {
+                    list = std::move(candidate);
+                    any = true;
+                    break;
+                }
+                if (budget.spent())
+                    break;
+            }
+        }
+        if (chunk == 1)
+            break;
+    }
+}
+
+/**
+ * Scalar ladder: try each of @p values (simplest first) for a field;
+ * keep the first one that preserves the failure.
+ */
+template <typename T, typename Sample>
+void
+shrinkScalar(Sample &sample, T Sample::*field,
+             std::initializer_list<T> values, Budget &budget)
+{
+    for (const T v : values) {
+        if (sample.*field == v)
+            continue;
+        Sample candidate = sample;
+        candidate.*field = v;
+        if (fails(AnySample{candidate}, budget)) {
+            sample = candidate;
+            return;
+        }
+        if (budget.spent())
+            return;
+    }
+}
+
+// ---------------------------------------------------------------------
+
+AnySample
+shrinkReloc(RelocSample s, Budget &budget)
+{
+    shrinkList(s.ops, budget, [&](const std::vector<RelocOp> &ops) {
+        RelocSample candidate = s;
+        candidate.ops = ops;
+        return AnySample{candidate};
+    });
+    return s;
+}
+
+AnySample
+shrinkHeap(HeapSample s, Budget &budget)
+{
+    shrinkList(s.ops, budget, [&](const std::vector<HeapOp> &ops) {
+        HeapSample candidate = s;
+        candidate.ops = ops;
+        return AnySample{candidate};
+    });
+    return s;
+}
+
+AnySample
+shrinkJson(JsonSample s, Budget &budget)
+{
+    std::vector<char> bytes(s.text.begin(), s.text.end());
+    shrinkList(bytes, budget, [&](const std::vector<char> &b) {
+        return AnySample{JsonSample{std::string(b.begin(), b.end())}};
+    });
+    s.text.assign(bytes.begin(), bytes.end());
+    return s;
+}
+
+AnySample
+shrinkNum(NumSample s, Budget &budget)
+{
+    std::vector<char> bytes(s.text.begin(), s.text.end());
+    shrinkList(bytes, budget, [&](const std::vector<char> &b) {
+        NumSample candidate = s;
+        candidate.text.assign(b.begin(), b.end());
+        return AnySample{candidate};
+    });
+    s.text.assign(bytes.begin(), bytes.end());
+    shrinkScalar(s, &NumSample::max, {uint64_t{0} - 1}, budget);
+    return s;
+}
+
+AnySample
+shrinkPhase(PhaseSample s, Budget &budget)
+{
+    shrinkScalar(s, &PhaseSample::threads, {1u, 2u, 4u}, budget);
+    shrinkScalar(s, &PhaseSample::phase0Faults,
+                 {uint64_t{1}, uint64_t{2}}, budget);
+    shrinkScalar(s, &PhaseSample::workPerThread,
+                 {uint64_t{64}, uint64_t{256}, uint64_t{1024}},
+                 budget);
+    shrinkScalar(s, &PhaseSample::meanRun, {8.0, 16.0}, budget);
+    shrinkScalar(s, &PhaseSample::latency1,
+                 {uint64_t{100}, uint64_t{1000}}, budget);
+    shrinkScalar(s, &PhaseSample::latency0, {uint64_t{10}}, budget);
+    shrinkScalar(s, &PhaseSample::seed, {uint64_t{1}}, budget);
+    return s;
+}
+
+AnySample
+shrinkProgram(ProgramSample s, Budget &budget)
+{
+    const uint32_t nop = isa::encode(isa::Instruction{});
+
+    // Pass 1: layout-preserving chunk NOP-out.
+    for (size_t chunk = std::max<size_t>(s.words.size() / 2, 1);
+         chunk >= 1; chunk /= 2) {
+        bool any = true;
+        while (any && !budget.spent()) {
+            any = false;
+            for (size_t at = 0; at + chunk <= s.words.size();
+                 at += chunk) {
+                ProgramSample candidate = s;
+                bool changed = false;
+                for (size_t i = at; i < at + chunk; ++i) {
+                    if (candidate.words[i] != nop) {
+                        candidate.words[i] = nop;
+                        changed = true;
+                    }
+                }
+                if (!changed)
+                    continue;
+                if (fails(AnySample{candidate}, budget)) {
+                    s = candidate;
+                    any = true;
+                    break;
+                }
+                if (budget.spent())
+                    break;
+            }
+        }
+        if (chunk == 1)
+            break;
+    }
+
+    // Pass 2: drop the (now mostly NOP) tail.
+    while (!s.words.empty() && !budget.spent()) {
+        ProgramSample candidate = s;
+        const size_t cut = std::max<size_t>(candidate.words.size() / 8,
+                                            1);
+        candidate.words.resize(candidate.words.size() - cut);
+        if (fails(AnySample{candidate}, budget))
+            s = candidate;
+        else if (cut == 1)
+            break;
+        else {
+            // Fine-grained retry at the smallest cut before giving up.
+            ProgramSample one = s;
+            one.words.pop_back();
+            if (!one.words.empty() &&
+                fails(AnySample{one}, budget))
+                s = one;
+            else
+                break;
+        }
+    }
+
+    // Pass 3: simplify timing knobs (often irrelevant to a failure).
+    shrinkScalar(s, &ProgramSample::takenBranchPenalty, {0u}, budget);
+    shrinkScalar(s, &ProgramSample::loadUsePenalty, {0u}, budget);
+    shrinkScalar(s, &ProgramSample::ldrrmPenalty, {0u}, budget);
+    shrinkScalar(s, &ProgramSample::maxSteps,
+                 {uint64_t{200}, uint64_t{1000}}, budget);
+    return s;
+}
+
+AnySample
+shrinkMt(MtSample s, Budget &budget)
+{
+    shrinkScalar(s, &MtSample::threads, {1u, 2u, 4u, 16u}, budget);
+    shrinkScalar(s, &MtSample::work,
+                 {uint64_t{100}, uint64_t{400}}, budget);
+    shrinkScalar(s, &MtSample::priorityLevels, {1u}, budget);
+    shrinkScalar(s, &MtSample::residencyCap, {0u}, budget);
+    shrinkScalar(s, &MtSample::unload, {uint8_t{0}}, budget);
+    shrinkScalar(s, &MtSample::regsLo, {6u}, budget);
+    shrinkScalar(s, &MtSample::regsHi, {6u, 24u}, budget);
+    shrinkScalar(s, &MtSample::param0, {8.0, 32.0}, budget);
+    shrinkScalar(s, &MtSample::param1, {10.0, 100.0}, budget);
+    shrinkScalar(s, &MtSample::seed, {uint64_t{1}}, budget);
+    return s;
+}
+
+AnySample
+shrinkXsim(XsimSample s, Budget &budget)
+{
+    if (s.script.size() > 1) {
+        shrinkList(s.script, budget,
+                   [&](const std::vector<uint64_t> &script) {
+                       XsimSample candidate = s;
+                       candidate.script = script;
+                       if (candidate.script.empty())
+                           candidate.script.push_back(1);
+                       return AnySample{candidate};
+                   });
+        if (s.script.empty())
+            s.script.push_back(1);
+    }
+    shrinkScalar(s, &XsimSample::threads, {1u, 2u}, budget);
+    shrinkScalar(s, &XsimSample::segments, {4u, 8u}, budget);
+    shrinkScalar(s, &XsimSample::latency,
+                 {uint64_t{50}, uint64_t{200}}, budget);
+    shrinkScalar(s, &XsimSample::seed, {uint64_t{1}}, budget);
+    return s;
+}
+
+} // namespace
+
+AnySample
+shrinkSample(const AnySample &sample, unsigned maxSteps,
+             unsigned &stepsUsed)
+{
+    Budget budget{0, maxSteps};
+    stepsUsed = 0;
+    // Only shrink genuine failures; a passing sample is returned
+    // unchanged (the caller should not have asked).
+    if (!fails(sample, budget)) {
+        stepsUsed = budget.used;
+        return sample;
+    }
+
+    AnySample result = std::visit(
+        [&](const auto &s) -> AnySample {
+            using T = std::decay_t<decltype(s)>;
+            if constexpr (std::is_same_v<T, RelocSample>)
+                return shrinkReloc(s, budget);
+            else if constexpr (std::is_same_v<T, HeapSample>)
+                return shrinkHeap(s, budget);
+            else if constexpr (std::is_same_v<T, JsonSample>)
+                return shrinkJson(s, budget);
+            else if constexpr (std::is_same_v<T, NumSample>)
+                return shrinkNum(s, budget);
+            else if constexpr (std::is_same_v<T, PhaseSample>)
+                return shrinkPhase(s, budget);
+            else if constexpr (std::is_same_v<T, ProgramSample>)
+                return shrinkProgram(s, budget);
+            else if constexpr (std::is_same_v<T, MtSample>)
+                return shrinkMt(s, budget);
+            else
+                return shrinkXsim(s, budget);
+        },
+        sample);
+    stepsUsed = budget.used;
+    return result;
+}
+
+} // namespace rr::fuzz

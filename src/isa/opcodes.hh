@@ -57,7 +57,7 @@ enum class Opcode : uint8_t
     // ALU register-immediate.
     ADDI, ANDI, ORI, XORI, SLTI, SLLI, SRLI, SRAI,
 
-    // Upper immediate: rd = imm18 << 14.
+    // Upper immediate: rd = imm18 << 12.
     LUI,
 
     // Memory (word-addressed): LD rd, imm(rs1); ST rd, imm(rs1).

@@ -12,7 +12,7 @@ CacheFaultModel::CacheFaultModel(double mean_run, uint64_t latency)
 }
 
 FaultSample
-CacheFaultModel::next(Rng &rng) const
+CacheFaultModel::next(Rng &rng, uint64_t /* sequence */) const
 {
     return {run_.sample(rng), latency_, FaultClass::Cache};
 }
@@ -43,7 +43,7 @@ SyncFaultModel::SyncFaultModel(double mean_run, double mean_latency)
 }
 
 FaultSample
-SyncFaultModel::next(Rng &rng) const
+SyncFaultModel::next(Rng &rng, uint64_t /* sequence */) const
 {
     return {run_.sample(rng), latency_.sample(rng),
             FaultClass::Synchronization};
@@ -81,7 +81,7 @@ CombinedFaultModel::CombinedFaultModel(double cache_run,
 }
 
 FaultSample
-CombinedFaultModel::next(Rng &rng) const
+CombinedFaultModel::next(Rng &rng, uint64_t /* sequence */) const
 {
     const uint64_t cache_at = cacheRun_.sample(rng);
     const uint64_t sync_at = syncRun_.sample(rng);
@@ -146,12 +146,6 @@ PhasedFaultModel::phaseFor(uint64_t sequence) const
 }
 
 FaultSample
-PhasedFaultModel::next(Rng &rng) const
-{
-    return next(rng, 0);
-}
-
-FaultSample
 PhasedFaultModel::next(Rng &rng, uint64_t sequence) const
 {
     const Phase &phase = phaseFor(sequence);
@@ -203,7 +197,7 @@ DeterministicFaultModel::DeterministicFaultModel(uint64_t run,
 }
 
 FaultSample
-DeterministicFaultModel::next(Rng &) const
+DeterministicFaultModel::next(Rng &, uint64_t /* sequence */) const
 {
     return {run_, latency_, FaultClass::Cache};
 }

@@ -50,20 +50,18 @@ class FaultModel
   public:
     virtual ~FaultModel() = default;
 
-    /** Draw the next (run length, latency) pair. */
-    virtual FaultSample next(Rng &rng) const = 0;
-
     /**
-     * Draw the @p sequence-th fault of a thread (0-based). The
-     * default ignores the sequence number; phase-structured models
-     * override this to vary parameters over a thread's lifetime.
+     * Draw the (run length, latency) pair for the @p sequence-th
+     * fault of a thread (0-based). Stateless models ignore the
+     * sequence number (their draw stream depends only on @p rng);
+     * phase-structured models use it to vary parameters over a
+     * thread's lifetime. This is the only draw entry point: every
+     * caller must track its per-thread fault count, so a model
+     * cannot silently be pinned to the first phase by a caller
+     * using a sequence-blind overload (which is exactly the bug the
+     * old two-overload API permitted).
      */
-    virtual FaultSample
-    next(Rng &rng, uint64_t sequence) const
-    {
-        (void)sequence;
-        return next(rng);
-    }
+    virtual FaultSample next(Rng &rng, uint64_t sequence) const = 0;
 
     /** Mean run length R (for analytical comparison). */
     virtual double meanRunLength() const = 0;
@@ -81,7 +79,7 @@ class CacheFaultModel : public FaultModel
   public:
     CacheFaultModel(double mean_run, uint64_t latency);
 
-    FaultSample next(Rng &rng) const override;
+    FaultSample next(Rng &rng, uint64_t sequence) const override;
     double meanRunLength() const override;
     double meanLatency() const override;
     std::string describe() const override;
@@ -97,7 +95,7 @@ class SyncFaultModel : public FaultModel
   public:
     SyncFaultModel(double mean_run, double mean_latency);
 
-    FaultSample next(Rng &rng) const override;
+    FaultSample next(Rng &rng, uint64_t sequence) const override;
     double meanRunLength() const override;
     double meanLatency() const override;
     std::string describe() const override;
@@ -118,7 +116,7 @@ class CombinedFaultModel : public FaultModel
     CombinedFaultModel(double cache_run, uint64_t cache_latency,
                        double sync_run, double sync_latency);
 
-    FaultSample next(Rng &rng) const override;
+    FaultSample next(Rng &rng, uint64_t sequence) const override;
     double meanRunLength() const override;
     double meanLatency() const override;
     std::string describe() const override;
@@ -157,7 +155,6 @@ class PhasedFaultModel : public FaultModel
     /** The phase governing the @p sequence-th fault. */
     const Phase &phaseFor(uint64_t sequence) const;
 
-    FaultSample next(Rng &rng) const override;
     FaultSample next(Rng &rng, uint64_t sequence) const override;
     double meanRunLength() const override;
     double meanLatency() const override;
@@ -178,7 +175,7 @@ class DeterministicFaultModel : public FaultModel
   public:
     DeterministicFaultModel(uint64_t run, uint64_t latency);
 
-    FaultSample next(Rng &rng) const override;
+    FaultSample next(Rng &rng, uint64_t sequence) const override;
     double meanRunLength() const override;
     double meanLatency() const override;
     std::string describe() const override;

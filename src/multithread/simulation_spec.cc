@@ -2,7 +2,9 @@
 
 #include <utility>
 
+#include "base/bitops.hh"
 #include "multithread/workload.hh"
+#include "runtime/context_allocator.hh"
 
 namespace rr::mt {
 
@@ -260,11 +262,22 @@ SimulationSpec::build() const
                      " exceeds the largest context (2^" +
                      std::to_string(operandWidth_) + " = " +
                      std::to_string(max_context) + " registers)");
-            if (minContextSize_ == 0 || minContextSize_ > max_context)
+            // The chunked allocator behind the flexible policy only
+            // deals in power-of-two contexts over a power-of-two
+            // file; reject here rather than panic at run time.
+            if (minContextSize_ < runtime::ContextAllocator::chunkRegs ||
+                minContextSize_ > max_context ||
+                !isPowerOfTwo(minContextSize_))
                 fail("minimum context size " +
                      std::to_string(minContextSize_) +
-                     " must be in 1..2^w = " +
-                     std::to_string(max_context));
+                     " must be a power of two in " +
+                     std::to_string(
+                         runtime::ContextAllocator::chunkRegs) +
+                     "..2^w = " + std::to_string(max_context));
+            if (numRegs_ < 16 || !isPowerOfTwo(numRegs_))
+                fail("register file size " + std::to_string(numRegs_) +
+                     " must be a power of two >= 16 for flexible "
+                     "contexts");
             // The largest context any thread will actually need: the
             // power-of-two covering the top of the demand range.
             unsigned needed = minContextSize_;
@@ -288,6 +301,10 @@ SimulationSpec::build() const
             if (numRegs_ < fixedContextRegs_)
                 fail("register file of " + std::to_string(numRegs_) +
                      " cannot hold one fixed context of " +
+                     std::to_string(fixedContextRegs_));
+            if (numRegs_ % fixedContextRegs_ != 0)
+                fail("register file of " + std::to_string(numRegs_) +
+                     " is not a whole number of fixed contexts of " +
                      std::to_string(fixedContextRegs_));
             break;
           case ArchKind::AddReloc:

@@ -1,0 +1,32 @@
+# Runs the same fixed-seed rrfuzz invocation twice and fails unless
+# the two --json reports are byte-identical — the rrfuzz determinism
+# contract (docs/FUZZ.md). Invoked by ctest; see tests/CMakeLists.txt.
+
+foreach(var RRFUZZ WORK_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "${var} is required")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+foreach(run 1 2)
+    execute_process(
+        COMMAND ${RRFUZZ} --seed 7 --samples 32 --quiet --json
+        OUTPUT_FILE ${WORK_DIR}/run${run}.json
+        RESULT_VARIABLE status)
+    if(NOT status EQUAL 0)
+        message(FATAL_ERROR
+            "rrfuzz run ${run} failed with status ${status}")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+        ${WORK_DIR}/run1.json ${WORK_DIR}/run2.json
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+        "rrfuzz --json output differs between identical runs")
+endif()

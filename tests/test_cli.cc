@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the shared tools-layer CLI contract (tools/cli.hh,
+ * tools/arg_num.hh): the strict numeric grammar at its edges —
+ * INT64/UINT64 boundaries, signs, whitespace, 0x prefixes, leading
+ * zeros — and the option parser's exit-status behaviour
+ * (docs/TOOLS.md documents the accepted forms).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "cli.hh"
+#include "exp/json_in.hh"
+
+namespace rr::tools {
+namespace {
+
+/** Run @p parser over synthetic arguments; returns parse()'s code. */
+int
+parseArgs(OptionParser &parser, std::vector<std::string> args)
+{
+    std::vector<char *> argv;
+    static char tool[] = "testtool";
+    argv.push_back(tool);
+    for (std::string &arg : args)
+        argv.push_back(arg.data());
+    return parser.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+/** Typed pair so EXPECT_EQ compares against uint64_t exactly. */
+std::pair<int, uint64_t>
+P(int code, uint64_t value)
+{
+    return {code, value};
+}
+
+/** Parse `--n <text>` with bounds; returns {code, value}. */
+std::pair<int, uint64_t>
+parseNumber(const std::string &text, uint64_t min = 0,
+            uint64_t max = std::numeric_limits<uint64_t>::max())
+{
+    OptionParser parser("testtool", "usage\n");
+    uint64_t value = 0;
+    parser.number("--n", &value, min, max);
+    const int code = parseArgs(parser, {"--n", text});
+    return {code, value};
+}
+
+TEST(CliNumber, AcceptsPlainDecimal)
+{
+    EXPECT_EQ(parseNumber("0"), P(-1, 0ull));
+    EXPECT_EQ(parseNumber("5"), P(-1, 5ull));
+    EXPECT_EQ(parseNumber("123456789"),
+              P(-1, 123456789ull));
+}
+
+TEST(CliNumber, Int64AndUint64Boundaries)
+{
+    // INT64_MAX and its neighbours: an implementation detouring
+    // through a signed type breaks exactly here.
+    EXPECT_EQ(parseNumber("9223372036854775807"),
+              P(-1, 9223372036854775807ull));
+    EXPECT_EQ(parseNumber("9223372036854775808"),
+              P(-1, 9223372036854775808ull));
+    // UINT64_MAX is the last representable value...
+    EXPECT_EQ(parseNumber("18446744073709551615"),
+              P(-1, 18446744073709551615ull));
+    // ... and one past it must be an overflow error, not a wrap.
+    EXPECT_EQ(parseNumber("18446744073709551616").first, kExitUsage);
+    EXPECT_EQ(parseNumber("99999999999999999999999").first,
+              kExitUsage);
+}
+
+TEST(CliNumber, RejectsSignsAndWhitespace)
+{
+    // The grammar admits digits only: no '+' (strtoull would accept
+    // it), no '-', no locale whitespace, no trailing junk.
+    EXPECT_EQ(parseNumber("+5").first, kExitUsage);
+    EXPECT_EQ(parseNumber("-5").first, kExitUsage);
+    EXPECT_EQ(parseNumber(" 5").first, kExitUsage);
+    EXPECT_EQ(parseNumber("5 ").first, kExitUsage);
+    EXPECT_EQ(parseNumber("\t5").first, kExitUsage);
+    EXPECT_EQ(parseNumber("5\n").first, kExitUsage);
+    EXPECT_EQ(parseNumber("").first, kExitUsage);
+    EXPECT_EQ(parseNumber("banana").first, kExitUsage);
+    EXPECT_EQ(parseNumber("5x").first, kExitUsage);
+    EXPECT_EQ(parseNumber("12 34").first, kExitUsage);
+}
+
+TEST(CliNumber, HexPrefixes)
+{
+    EXPECT_EQ(parseNumber("0x10"), P(-1, 16ull));
+    EXPECT_EQ(parseNumber("0XfF"), P(-1, 255ull));
+    EXPECT_EQ(parseNumber("0xffffffffffffffff"),
+              P(-1, 18446744073709551615ull));
+    // "0x" with no digits is not a number.
+    EXPECT_EQ(parseNumber("0x").first, kExitUsage);
+    EXPECT_EQ(parseNumber("0xg").first, kExitUsage);
+    // Hex overflow must be caught too.
+    EXPECT_EQ(parseNumber("0x10000000000000000").first, kExitUsage);
+}
+
+TEST(CliNumber, LeadingZerosAreDecimalNotOctal)
+{
+    // strtoull(text, nullptr, 0) would read these as C octal; the
+    // documented grammar says leading zeros are plain decimal.
+    EXPECT_EQ(parseNumber("010"), P(-1, 10ull));
+    EXPECT_EQ(parseNumber("0010"), P(-1, 10ull));
+    EXPECT_EQ(parseNumber("08"), P(-1, 8ull));
+    EXPECT_EQ(parseNumber("00"), P(-1, 0ull));
+}
+
+TEST(CliNumber, EnforcesRange)
+{
+    EXPECT_EQ(parseNumber("8", 2, 8), P(-1, 8ull));
+    EXPECT_EQ(parseNumber("2", 2, 8), P(-1, 2ull));
+    EXPECT_EQ(parseNumber("1", 2, 8).first, kExitUsage);
+    EXPECT_EQ(parseNumber("9", 2, 8).first, kExitUsage);
+}
+
+TEST(CliNumber, InlineEqualsForm)
+{
+    OptionParser parser("testtool", "usage\n");
+    uint64_t value = 0;
+    parser.number("--n", &value, 0, 100);
+    EXPECT_EQ(parseArgs(parser, {"--n=17"}), -1);
+    EXPECT_EQ(value, 17u);
+
+    OptionParser bad("testtool", "usage\n");
+    bad.number("--n", &value, 0, 100);
+    EXPECT_EQ(parseArgs(bad, {"--n=+17"}), kExitUsage);
+}
+
+TEST(CliParser, UnknownOptionIsUsageError)
+{
+    OptionParser parser("testtool", "usage\n");
+    EXPECT_EQ(parseArgs(parser, {"--frobnicate"}), kExitUsage);
+}
+
+TEST(CliParser, MissingValueIsUsageError)
+{
+    OptionParser parser("testtool", "usage\n");
+    uint64_t value = 0;
+    parser.number("--n", &value, 0, 100);
+    EXPECT_EQ(parseArgs(parser, {"--n"}), kExitUsage);
+}
+
+TEST(CliParser, PositionalsCollected)
+{
+    OptionParser parser("testtool", "usage\n");
+    bool quiet = false;
+    parser.flag("--quiet", &quiet);
+    EXPECT_EQ(parseArgs(parser, {"a.s", "--quiet", "b.s"}), -1);
+    EXPECT_TRUE(quiet);
+    ASSERT_EQ(parser.positionals().size(), 2u);
+    EXPECT_EQ(parser.positionals()[0], "a.s");
+    EXPECT_EQ(parser.positionals()[1], "b.s");
+}
+
+TEST(CliParser, RequireUnsignedReportsGarbage)
+{
+    uint64_t value = 0;
+    EXPECT_TRUE(requireUnsigned("t", "--n", "12", value));
+    EXPECT_EQ(value, 12u);
+    EXPECT_FALSE(requireUnsigned("t", "--n", "12x", value));
+    EXPECT_FALSE(requireUnsigned("t", "--n", nullptr, value));
+    EXPECT_FALSE(requireUnsigned("t", "--n", "300", value, 255));
+}
+
+TEST(CliJsonEscape, ControlCharsSurviveTheParser)
+{
+    // Every byte the tools may interpolate into --json output must
+    // come back unchanged through the strict exp:: JSON parser.
+    std::string all;
+    for (unsigned c = 1; c < 0x20; ++c)
+        all += static_cast<char>(c);
+    all += "plain \"quoted\" back\\slash";
+    const std::string doc = "\"" + jsonEscape(all) + "\"";
+    const auto parsed = exp::parseJson(doc);
+    ASSERT_TRUE(parsed.has_value()) << doc;
+    ASSERT_TRUE(parsed->isString());
+    EXPECT_EQ(parsed->string, all);
+}
+
+} // namespace
+} // namespace rr::tools

@@ -86,6 +86,79 @@ TEST(ContextRing, InterleavedInsertRemoveKeepsRingClosed)
     EXPECT_EQ(steps, ring.size());
 }
 
+TEST(ContextRing, SingleMemberSurvivesChurn)
+{
+    // The degenerate one-context ring: every link points at itself,
+    // and insert/remove churn must keep that invariant.
+    ContextRing ring;
+    ring.insert(16);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(ring.advance(), 16u);
+    ring.remove(16);
+    EXPECT_TRUE(ring.empty());
+    ring.insert(24);
+    EXPECT_EQ(ring.current(), 24u);
+    EXPECT_EQ(ring.nextOf(24), 24u);
+    EXPECT_EQ(ring.members(), std::vector<uint32_t>{24});
+}
+
+TEST(ContextRing, UnlinkHeadWhileIterating)
+{
+    // Removing the current (head) member mid-iteration promotes its
+    // successor without consuming an advance() — a scheduler that
+    // calls advance() after removing the running context would
+    // otherwise skip a ready thread.
+    ContextRing ring;
+    ring.insert(1);
+    ring.insert(2);
+    ring.insert(3);
+    const uint32_t head = ring.current();
+    const uint32_t succ = ring.nextOf(head);
+    const uint32_t last = ring.nextOf(succ);
+    ring.remove(head);
+    EXPECT_EQ(ring.current(), succ);
+    // The two survivors still form a closed 2-cycle.
+    EXPECT_EQ(ring.advance(), last);
+    EXPECT_EQ(ring.advance(), succ);
+    EXPECT_EQ(ring.advance(), last);
+    EXPECT_EQ(ring.nextOf(last), succ);
+}
+
+TEST(ContextRing, UnlinkPredecessorOfCurrent)
+{
+    ContextRing ring;
+    ring.insert(1);
+    ring.insert(2);
+    ring.insert(3);
+    const uint32_t head = ring.current();
+    // tail is the member whose NextRRM is the head.
+    uint32_t tail = head;
+    while (ring.nextOf(tail) != head)
+        tail = ring.nextOf(tail);
+    ring.remove(tail);
+    EXPECT_EQ(ring.current(), head);
+    EXPECT_EQ(ring.size(), 2u);
+    // The splice re-closed the ring around the removal.
+    const uint32_t other = ring.nextOf(head);
+    EXPECT_EQ(ring.nextOf(other), head);
+}
+
+TEST(ContextRing, RemoveDownToSingleThenIterate)
+{
+    ContextRing ring;
+    ring.insert(10);
+    ring.insert(20);
+    ring.insert(30);
+    ring.remove(20);
+    ring.remove(30);
+    // Exactly the single-member degenerate case again, reached by
+    // removal instead of construction.
+    EXPECT_EQ(ring.size(), 1u);
+    EXPECT_EQ(ring.current(), 10u);
+    EXPECT_EQ(ring.advance(), 10u);
+    EXPECT_EQ(ring.nextOf(10), 10u);
+}
+
 TEST(ContextRingDeath, DuplicateInsertPanics)
 {
     ContextRing ring;
@@ -132,6 +205,51 @@ TEST(PriorityRing, LevelOf)
     EXPECT_EQ(rings.levelOf(8), -1);
     rings.remove(7);
     EXPECT_TRUE(rings.empty());
+}
+
+TEST(PriorityRing, SingleMemberSelfLoops)
+{
+    PriorityRing rings(4);
+    rings.insert(48, 3);
+    EXPECT_EQ(rings.current(), 48u);
+    EXPECT_EQ(rings.advance(), 48u);
+    EXPECT_EQ(rings.advance(), 48u);
+    rings.remove(48);
+    EXPECT_TRUE(rings.empty());
+}
+
+TEST(PriorityRing, RemovingHeadOfHighestLevelFallsThrough)
+{
+    // Unlink the head of the active (highest) level while a lower
+    // level holds members: dispatch must fall through immediately.
+    PriorityRing rings(2);
+    rings.insert(100, 1);
+    rings.insert(200, 0);
+    EXPECT_EQ(rings.current(), 200u);
+    rings.remove(200);
+    EXPECT_EQ(rings.current(), 100u);
+    EXPECT_EQ(rings.advance(), 100u);
+    // And promotion back: a new high-priority member preempts.
+    rings.insert(201, 0);
+    EXPECT_EQ(rings.current(), 201u);
+}
+
+TEST(PriorityRing, DirectLevelAccessSeesSameRing)
+{
+    PriorityRing rings(2);
+    rings.insert(7, 1);
+    EXPECT_TRUE(rings.level(0).empty());
+    EXPECT_EQ(rings.level(1).current(), 7u);
+    rings.level(1).remove(7);
+    EXPECT_TRUE(rings.empty());
+    EXPECT_EQ(rings.levelOf(7), -1);
+}
+
+TEST(PriorityRingDeath, EmptyAccessPanics)
+{
+    PriorityRing rings(2);
+    EXPECT_DEATH(rings.current(), "empty");
+    EXPECT_DEATH(rings.advance(), "empty");
 }
 
 TEST(PriorityRingDeath, DoubleQueuePanics)

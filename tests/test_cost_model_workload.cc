@@ -120,7 +120,7 @@ TEST(Workload, DeterministicConfigIsDeterministic)
     Rng rng(9);
     for (int i = 0; i < 5; ++i) {
         const mt::FaultSample sample =
-            config.faultModel->next(rng);
+            config.faultModel->next(rng, static_cast<uint64_t>(i));
         EXPECT_EQ(sample.runLength, 100u);
         EXPECT_EQ(sample.latency, 300u);
     }

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "base/stats.hh"
+#include "ext/context_cache.hh"
 #include "multithread/fault_model.hh"
 #include "multithread/mt_processor.hh"
 
@@ -19,7 +20,7 @@ TEST(CacheFaultModel, ConstantLatencyGeometricRuns)
     Rng rng(5);
     RunningStats runs;
     for (int i = 0; i < 100000; ++i) {
-        const FaultSample sample = model.next(rng);
+        const FaultSample sample = model.next(rng, static_cast<uint64_t>(i));
         EXPECT_EQ(sample.latency, 100u);
         EXPECT_EQ(sample.kind, FaultClass::Cache);
         EXPECT_GE(sample.runLength, 1u);
@@ -36,7 +37,7 @@ TEST(SyncFaultModel, ExponentialLatency)
     Rng rng(6);
     RunningStats runs, lats;
     for (int i = 0; i < 100000; ++i) {
-        const FaultSample sample = model.next(rng);
+        const FaultSample sample = model.next(rng, static_cast<uint64_t>(i));
         EXPECT_EQ(sample.kind, FaultClass::Synchronization);
         runs.add(static_cast<double>(sample.runLength));
         lats.add(static_cast<double>(sample.latency));
@@ -54,7 +55,7 @@ TEST(CombinedFaultModel, MixesBothClasses)
     uint64_t cache = 0, sync = 0;
     RunningStats runs;
     for (int i = 0; i < 50000; ++i) {
-        const FaultSample sample = model.next(rng);
+        const FaultSample sample = model.next(rng, static_cast<uint64_t>(i));
         (sample.kind == FaultClass::Cache ? cache : sync) += 1;
         runs.add(static_cast<double>(sample.runLength));
     }
@@ -74,7 +75,7 @@ TEST(CombinedFaultModel, DegenerateRatesFavourFasterProcess)
     Rng rng(8);
     uint64_t cache = 0, sync = 0;
     for (int i = 0; i < 20000; ++i) {
-        (model.next(rng).kind == FaultClass::Cache ? cache : sync) +=
+        (model.next(rng, static_cast<uint64_t>(i)).kind == FaultClass::Cache ? cache : sync) +=
             1;
     }
     EXPECT_GT(cache, 19500u);
@@ -86,7 +87,7 @@ TEST(DeterministicFaultModel, ExactValues)
     DeterministicFaultModel model(100, 300);
     Rng rng(9);
     for (int i = 0; i < 10; ++i) {
-        const FaultSample sample = model.next(rng);
+        const FaultSample sample = model.next(rng, static_cast<uint64_t>(i));
         EXPECT_EQ(sample.runLength, 100u);
         EXPECT_EQ(sample.latency, 300u);
     }
@@ -173,6 +174,130 @@ TEST(PhasedFaultModel, DrivesSimulatorThroughPhases)
     EXPECT_EQ(stats.accountedCycles(), stats.totalCycles);
     EXPECT_GT(stats.cacheFaults, 0u);
     EXPECT_GT(stats.syncFaults, 0u);
+}
+
+// ---------------------------------------------------------------------
+// The single-entry-point draw contract: FaultModel::next(rng, seq)
+// is the only way to draw, stateless models must ignore the sequence
+// index entirely (same rng stream => same samples regardless of the
+// sequence values a caller passes), and every caller that tracks
+// sequences correctly gets phase-structured behaviour for free.
+
+bool
+sameSample(const FaultSample &a, const FaultSample &b)
+{
+    return a.runLength == b.runLength && a.latency == b.latency &&
+           a.kind == b.kind;
+}
+
+TEST(FaultModelContract, StatelessModelsIgnoreSequenceIndex)
+{
+    const CacheFaultModel cache(32.0, 100);
+    const SyncFaultModel sync(64.0, 500.0);
+    const CombinedFaultModel combined(64.0, 100, 128.0, 400.0);
+    const DeterministicFaultModel det(100, 300);
+    const FaultModel *models[] = {&cache, &sync, &combined, &det};
+
+    for (const FaultModel *model : models) {
+        Rng a(11), b(11);
+        for (uint64_t i = 0; i < 500; ++i) {
+            // Wildly different sequence values, identical streams:
+            // the draws must match sample for sample.
+            const FaultSample x = model->next(a, i);
+            const FaultSample y = model->next(b, 1000003 * i + 17);
+            EXPECT_TRUE(sameSample(x, y)) << model->describe();
+        }
+    }
+}
+
+TEST(FaultModelContract, PhasedModelDependsOnlyOnSequence)
+{
+    PhasedFaultModel model({
+        {2, 300.0, 10.0, false, FaultClass::Cache},
+        {2, 8.0, 700.0, false, FaultClass::Synchronization},
+    });
+    Rng a(13), b(13);
+    for (uint64_t i = 0; i < 200; ++i) {
+        EXPECT_TRUE(sameSample(model.next(a, i), model.next(b, i)));
+    }
+}
+
+/** Run the context-cache simulator under @p model twice. */
+void
+expectContextCacheDeterministic(
+    std::shared_ptr<const FaultModel> model)
+{
+    ext::ContextCacheConfig config;
+    config.numThreads = 8;
+    config.workDist = makeConstant(4000);
+    config.regsDist = makeUniformInt(8, 16);
+    config.faultModel = std::move(model);
+    config.numRegs = 96;
+    config.seed = 77;
+
+    const ext::ContextCacheStats a = simulateContextCache(config);
+    const ext::ContextCacheStats b = simulateContextCache(config);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.usefulCycles, b.usefulCycles);
+    EXPECT_EQ(a.idleCycles, b.idleCycles);
+    EXPECT_EQ(a.switchCycles, b.switchCycles);
+    EXPECT_EQ(a.spillFillCycles, b.spillFillCycles);
+    EXPECT_EQ(a.faults, b.faults);
+    EXPECT_EQ(a.refills, b.refills);
+    EXPECT_DOUBLE_EQ(a.efficiencyTotal, b.efficiencyTotal);
+    EXPECT_DOUBLE_EQ(a.efficiencyCentral, b.efficiencyCentral);
+}
+
+TEST(FaultModelContract, SimulationRepeatsExactlyForEveryFamily)
+{
+    // The jobs-invariance pin: identical configuration => identical
+    // statistics, for every fault-model family. This is what makes
+    // parallel benchmark sweeps byte-identical to serial ones.
+    expectContextCacheDeterministic(
+        std::make_shared<CacheFaultModel>(32.0, 100));
+    expectContextCacheDeterministic(
+        std::make_shared<SyncFaultModel>(64.0, 300.0));
+    expectContextCacheDeterministic(
+        std::make_shared<CombinedFaultModel>(64.0, 100, 128.0,
+                                             400.0));
+    expectContextCacheDeterministic(
+        std::make_shared<DeterministicFaultModel>(50, 200));
+    expectContextCacheDeterministic(std::make_shared<PhasedFaultModel>(
+        std::vector<PhasedFaultModel::Phase>{
+            {2, 128.0, 40.0, false, FaultClass::Cache},
+            {2, 16.0, 600.0, true, FaultClass::Synchronization},
+        }));
+}
+
+TEST(FaultModelContract, ContextCacheAdvancesThroughPhases)
+{
+    // Unit version of the rrfuzz phase oracle: raising only the
+    // phase-1 latency must slow the clock without changing the work,
+    // which can only happen if the simulator passes a per-thread
+    // fault sequence index into the model.
+    const auto makeModel = [](uint64_t phase1_latency) {
+        return std::make_shared<PhasedFaultModel>(
+            std::vector<PhasedFaultModel::Phase>{
+                {2, 32.0, 20.0, false, FaultClass::Cache},
+                {1ull << 60, 32.0,
+                 static_cast<double>(phase1_latency), false,
+                 FaultClass::Cache},
+            });
+    };
+    ext::ContextCacheConfig config;
+    config.numThreads = 4;
+    config.workDist = makeConstant(4096);
+    config.regsDist = makeConstant(12);
+    config.numRegs = 128;
+    config.seed = 5;
+
+    config.faultModel = makeModel(20);
+    const ext::ContextCacheStats fast = simulateContextCache(config);
+    config.faultModel = makeModel(2000);
+    const ext::ContextCacheStats slow = simulateContextCache(config);
+
+    EXPECT_EQ(fast.usefulCycles, slow.usefulCycles);
+    EXPECT_NE(fast.totalCycles, slow.totalCycles);
 }
 
 } // namespace

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests for the rr::fuzz subsystem itself: generator determinism,
+ * repro round-trip exactness, parse-time validation of hostile repro
+ * files, shrinker contracts, and end-to-end runFuzz determinism.
+ * The *oracles* are exercised continuously by tool_rrfuzz_smoke and
+ * the pinned corpus (tests/fuzz/corpus/); this file pins the
+ * machinery those runs depend on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fuzz/fuzz.hh"
+
+namespace rr::fuzz {
+namespace {
+
+const SampleKind kAllKinds[] = {
+    SampleKind::Reloc,   SampleKind::Heap, SampleKind::Json,
+    SampleKind::Num,     SampleKind::Phase, SampleKind::Program,
+    SampleKind::Mt,      SampleKind::Xsim,
+};
+
+TEST(FuzzGen, SameSeedSameSample)
+{
+    for (const SampleKind kind : kAllKinds) {
+        const uint64_t seed =
+            1234 + static_cast<uint64_t>(kind) * 17;
+        Rng a(seed), b(seed);
+        const std::string first =
+            serializeRepro(generateSample(kind, a));
+        const std::string second =
+            serializeRepro(generateSample(kind, b));
+        EXPECT_EQ(first, second) << kindName(kind);
+    }
+}
+
+TEST(FuzzGen, DifferentSeedsDiffer)
+{
+    // Not a hard guarantee for every kind/seed pair, but these seeds
+    // must not collide — a generator ignoring its rng would pass
+    // SameSeedSameSample trivially.
+    Rng a(1), b(2);
+    EXPECT_NE(serializeRepro(generateSample(SampleKind::Program, a)),
+              serializeRepro(generateSample(SampleKind::Program, b)));
+}
+
+TEST(FuzzRepro, RoundTripIsByteExact)
+{
+    for (const SampleKind kind : kAllKinds) {
+        for (uint64_t seed = 1; seed <= 3; ++seed) {
+            Rng rng(seed * 1000 + static_cast<uint64_t>(kind));
+            const AnySample sample = generateSample(kind, rng);
+            const std::string text = serializeRepro(sample);
+
+            AnySample parsed;
+            std::string error;
+            ASSERT_TRUE(parseRepro(text, parsed, error))
+                << kindName(kind) << ": " << error;
+            EXPECT_EQ(kindOf(parsed), kind);
+            EXPECT_EQ(serializeRepro(parsed), text)
+                << kindName(kind);
+        }
+    }
+}
+
+TEST(FuzzRepro, RejectsGarbage)
+{
+    AnySample out;
+    std::string error;
+    EXPECT_FALSE(parseRepro("", out, error));
+    EXPECT_FALSE(parseRepro("not a repro", out, error));
+    EXPECT_FALSE(parseRepro("rrfuzz.repro.v1\n", out, error));
+    EXPECT_FALSE(
+        parseRepro("rrfuzz.repro.v1\nkind nope\nend\n", out, error));
+    // Missing terminator: a truncated file must not parse.
+    EXPECT_FALSE(parseRepro(
+        "rrfuzz.repro.v1\nkind num\ntext 5\nmax 10\n", out, error));
+}
+
+TEST(FuzzRepro, RejectsOutOfDomainValues)
+{
+    // Hand-edited repro files are parsed before any simulator runs;
+    // values outside the generator domains must be parse errors, not
+    // assertion failures or multi-hour simulations.
+    AnySample out;
+    std::string error;
+    EXPECT_FALSE(parseRepro("rrfuzz.repro.v1\nkind xsim\n"
+                            "threads 9\nregsUsed 16\nlatency 100\n"
+                            "segments 4\nseed 1\ntolerance 0.15\n"
+                            "script 10\nend\n",
+                            out, error));
+    EXPECT_NE(error.find("threads"), std::string::npos) << error;
+
+    EXPECT_FALSE(parseRepro("rrfuzz.repro.v1\nkind reloc\n"
+                            "numRegs 33\noperandWidth 5\nbanks 1\n"
+                            "mode 0\nend\n",
+                            out, error));
+
+    EXPECT_FALSE(parseRepro("rrfuzz.repro.v1\nkind phase\n"
+                            "threads 1\nworkPerThread 0\n"
+                            "phase0Faults 1\nmeanRun 8\nlatency0 10\n"
+                            "latency1 100\nnumRegs 128\nseed 1\n"
+                            "end\n",
+                            out, error));
+}
+
+/** A sample that fails checkSample deterministically: the phase
+ * oracle demands that raising only the phase-1 latency changes the
+ * clock, which is impossible when both latencies are equal. */
+PhaseSample
+degeneratePhaseSample()
+{
+    PhaseSample s;
+    s.threads = 6;
+    s.workPerThread = 2048;
+    s.phase0Faults = 2;
+    s.meanRun = 32.0;
+    s.latency0 = 50;
+    s.latency1 = 50;
+    s.numRegs = 128;
+    s.seed = 3;
+    return s;
+}
+
+TEST(FuzzShrink, PassingSampleReturnedUnchanged)
+{
+    NumSample s;
+    s.text = "42";
+    const AnySample sample = s;
+    ASSERT_TRUE(checkSample(sample).empty());
+    unsigned steps = 0;
+    const AnySample shrunk = shrinkSample(sample, 100, steps);
+    EXPECT_EQ(serializeRepro(shrunk), serializeRepro(sample));
+}
+
+TEST(FuzzShrink, FailingSampleStaysFailingAndShrinks)
+{
+    const AnySample sample = degeneratePhaseSample();
+    ASSERT_FALSE(checkSample(sample).empty());
+
+    unsigned steps = 0;
+    const AnySample shrunk = shrinkSample(sample, 200, steps);
+    EXPECT_FALSE(checkSample(shrunk).empty());
+    EXPECT_GT(steps, 0u);
+    EXPECT_LE(serializeRepro(shrunk).size(),
+              serializeRepro(sample).size());
+}
+
+TEST(FuzzShrink, IsDeterministic)
+{
+    const AnySample sample = degeneratePhaseSample();
+    unsigned steps1 = 0, steps2 = 0;
+    const AnySample a = shrinkSample(sample, 200, steps1);
+    const AnySample b = shrinkSample(sample, 200, steps2);
+    EXPECT_EQ(serializeRepro(a), serializeRepro(b));
+    EXPECT_EQ(steps1, steps2);
+}
+
+TEST(FuzzCheck, GeneratedSamplesPassAllOracles)
+{
+    // Spot check; the CI smoke run covers far more samples.
+    for (const SampleKind kind : kAllKinds) {
+        Rng rng(77 + static_cast<uint64_t>(kind));
+        const AnySample sample = generateSample(kind, rng);
+        const Problems problems = checkSample(sample);
+        EXPECT_TRUE(problems.empty())
+            << kindName(kind) << ": "
+            << (problems.empty() ? "" : problems.front());
+    }
+}
+
+TEST(FuzzRun, SameOptionsSameReport)
+{
+    FuzzOptions options;
+    options.seed = 42;
+    options.samples = 16;
+
+    const FuzzReport a = runFuzz(options);
+    const FuzzReport b = runFuzz(options);
+    EXPECT_EQ(a.samplesRun, 16u);
+    EXPECT_EQ(a.samplesRun, b.samplesRun);
+    EXPECT_EQ(a.perKind, b.perKind);
+    EXPECT_EQ(a.failures.size(), b.failures.size());
+    EXPECT_TRUE(a.clean());
+}
+
+TEST(FuzzRun, KindFilterRestrictsSamples)
+{
+    FuzzOptions options;
+    options.seed = 7;
+    options.samples = 8;
+    options.kinds = {SampleKind::Num, SampleKind::Json};
+
+    const FuzzReport report = runFuzz(options);
+    EXPECT_EQ(report.samplesRun, 8u);
+    EXPECT_EQ(report.perKind[static_cast<unsigned>(SampleKind::Num)],
+              4u);
+    EXPECT_EQ(report.perKind[static_cast<unsigned>(SampleKind::Json)],
+              4u);
+    EXPECT_EQ(
+        report.perKind[static_cast<unsigned>(SampleKind::Reloc)], 0u);
+}
+
+TEST(FuzzKinds, NamesRoundTrip)
+{
+    for (const SampleKind kind : kAllKinds) {
+        SampleKind back = SampleKind::Reloc;
+        ASSERT_TRUE(kindFromName(kindName(kind), back));
+        EXPECT_EQ(back, kind);
+    }
+    SampleKind ignored;
+    EXPECT_FALSE(kindFromName("frobnicate", ignored));
+}
+
+} // namespace
+} // namespace rr::fuzz

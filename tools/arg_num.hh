@@ -21,7 +21,8 @@
 namespace rr::tools {
 
 /**
- * Parse @p text as an unsigned integer (decimal, 0x-hex, or 0-octal).
+ * Parse @p text as an unsigned integer (decimal, or 0x/0X hex;
+ * leading zeros are decimal, never octal).
  * @return true and sets @p out only when the whole string is a valid
  *         number no greater than @p max.
  */
