@@ -1,0 +1,59 @@
+; Spinlock-protected shared counter across two declared threads.
+;
+; Demonstrates the concurrency annotations understood by
+; rrlint --races (see docs/LINT.md):
+;
+;   .thread LABEL        declares a thread entry point
+;   .lockdef NAME, A, R  declares a lock with its acquire/release
+;                        procedures
+;
+; Both threads bracket the COUNTER increment with the declared lock,
+; so the static lockset analysis proves every shared access is
+; protected: `rrlint --all examples/asm/spinlock_counter.s` is clean.
+; Delete one jal to lock_acquire and rrlint reports the race.
+
+        .equ COUNTER, 0x80      ; shared word both threads bump
+        .equ LOCKWORD, 0x81     ; the spinlock's own state word
+
+        .thread worker_a
+        .thread worker_b
+        .lockdef counter_lock, lock_acquire, lock_release
+
+entry:
+        halt
+
+worker_a:
+        jal   r8, lock_acquire
+        li    r4, COUNTER
+        ld    r1, 0(r4)
+        addi  r1, r1, 1
+        st    r1, 0(r4)
+        jal   r8, lock_release
+        halt
+
+worker_b:
+        jal   r8, lock_acquire
+        li    r4, COUNTER
+        ld    r1, 0(r4)
+        addi  r1, r1, 1
+        st    r1, 0(r4)
+        jal   r8, lock_release
+        halt
+
+; Lock implementation. Its raw accesses to LOCKWORD are exempt from
+; race reporting: the .lockdef annotation is a trust contract that
+; these two procedures implement mutual exclusion correctly.
+lock_acquire:
+        li    r5, LOCKWORD
+        li    r6, 1
+spin:
+        ld    r7, 0(r5)
+        beq   r7, r6, spin      ; lock word already 1: spin
+        st    r6, 0(r5)         ; claim it
+        jmp   r8
+
+lock_release:
+        li    r5, LOCKWORD
+        li    r6, 0
+        st    r6, 0(r5)
+        jmp   r8

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Call graph and per-procedure summaries over an assembled RRISC
+ * image.
+ *
+ * The Cfg treats JAL as an ordinary jump: the callee's blocks become
+ * plain successors, and the instruction after the call is a pred-less
+ * root. That is sound for straight dataflow but blind to structure:
+ * it cannot say *which* procedure a hazard hides in, it cannot carry
+ * state from a callee's `jmp link` back to the call site, and it has
+ * no notion of thread entry points. This pass recovers the structure:
+ *
+ *  - procedure entries are the program entry, every `.thread` label,
+ *    every direct JAL target, every address-taken label (the
+ *    conservative JALR target set), and every `.lockdef`
+ *    acquire/release procedure;
+ *  - bodies are discovered by walking CFG successors from each entry,
+ *    treating JAL edges as calls (resume at the return address) and
+ *    `jmp` as return-by-convention;
+ *  - each procedure gets a summary: registers read/written directly,
+ *    the transitive context-relative footprint of its call subtree,
+ *    the minimal context that subtree needs, and whether the subtree
+ *    switches the RRM;
+ *  - call sites carry their return address, so the RRM analysis can
+ *    add return edges (callee exit state flows back to the caller)
+ *    and the lockset pass can model acquire/release effects;
+ *  - callPath() reconstructs a shortest entry→procedure call chain,
+ *    the witness attached to interprocedural findings.
+ *
+ * JALR over-approximation: an indirect call may target any
+ * address-taken procedure, so summaries treat it as clobbering
+ * everything (`callsIndirect`); see docs/LINT.md for the contract.
+ */
+
+#ifndef RR_LINT_CALLGRAPH_HH
+#define RR_LINT_CALLGRAPH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/static/cfg.hh"
+
+namespace rr::lint {
+
+/** One call instruction (JAL direct, JALR indirect). */
+struct CallSite
+{
+    uint32_t address = 0;       ///< word address of the call
+    int line = 0;               ///< 1-based source line (0 unknown)
+    uint32_t caller = 0;        ///< procedure index issuing the call
+    uint32_t callee = 0;        ///< callee index; noProc when indirect
+    bool indirect = false;      ///< JALR: callee unknown
+    uint32_t returnAddress = 0; ///< the word after the call
+};
+
+/** One discovered procedure with its interprocedural summary. */
+struct Procedure
+{
+    uint32_t entry = 0; ///< entry word address
+    std::string name;   ///< best label at the entry, else "@addr"
+
+    bool isEntry = false;      ///< the program entry point
+    bool isThread = false;     ///< declared via .thread
+    bool addressTaken = false; ///< potential JALR target
+    bool hasThreadRrm = false; ///< .thread gave an explicit mask
+    uint32_t threadRrm = 0;    ///< entry RRM when hasThreadRrm
+
+    int lockAcquire = -1; ///< lock index this proc acquires (-1 none)
+    int lockRelease = -1; ///< lock index this proc releases (-1 none)
+
+    std::vector<uint32_t> blocks;       ///< body block ids (discovery order)
+    std::vector<uint32_t> returnBlocks; ///< body blocks ending in `jmp`
+    std::vector<uint32_t> callSites;    ///< call-site indices issued here
+    std::vector<uint32_t> callers;      ///< call-site indices targeting me
+
+    uint64_t regsRead = 0;    ///< context-relative regs read directly
+    uint64_t regsWritten = 0; ///< context-relative regs written directly
+    uint64_t footprint = 0;   ///< transitive regs referenced (subtree)
+    unsigned registers = 0;   ///< transitive max register + 1
+    unsigned minContext = 1;  ///< registers rounded to a power of two
+    bool switchesRrm = false; ///< subtree executes LDRRM/LDRRMX
+    bool callsIndirect = false; ///< subtree contains a JALR
+    bool returns = false;       ///< has at least one return block
+};
+
+/** Call graph of one Cfg. */
+class CallGraph
+{
+  public:
+    static constexpr uint32_t noProc = ~uint32_t{0};
+
+    /** Build the call graph (and summaries) of @p cfg. */
+    explicit CallGraph(const Cfg &cfg);
+
+    const Cfg &cfg() const { return cfg_; }
+
+    const std::vector<Procedure> &procedures() const { return procs_; }
+
+    const std::vector<CallSite> &callSites() const { return sites_; }
+
+    /** Lock names (lockdef order, capped at 32). */
+    const std::vector<std::string> &lockNames() const { return locks_; }
+
+    /** Procedure whose entry is @p addr, or noProc. */
+    uint32_t procByEntry(uint32_t addr) const;
+
+    /** Primary owner of block @p blockId, or noProc. */
+    uint32_t procOfBlock(uint32_t blockId) const;
+
+    /** Primary owner of the instruction at @p addr, or noProc. */
+    uint32_t procOfAddress(uint32_t addr) const;
+
+    /**
+     * Shortest call chain from a root procedure to @p proc, as
+     * procedure names ("entry" -> ... -> proc). A lone name when the
+     * procedure is itself a root; empty when unreachable via calls.
+     */
+    std::vector<std::string> callPath(uint32_t proc) const;
+
+  private:
+    void collectEntries();
+    void discoverBodies();
+    void summarize();
+    void buildPaths();
+
+    const Cfg &cfg_;
+    std::vector<Procedure> procs_;
+    std::vector<CallSite> sites_;
+    std::vector<std::string> locks_;
+    std::vector<uint32_t> blockOwner_; ///< block id -> primary proc
+    std::vector<uint32_t> pathParent_; ///< proc -> call site (or noProc)
+};
+
+} // namespace rr::lint
+
+#endif // RR_LINT_CALLGRAPH_HH

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <sstream>
 
+#include "analysis/static/callgraph.hh"
+#include "analysis/static/lockset.hh"
 #include "base/bitops.hh"
 #include "base/logging.hh"
 
@@ -34,6 +37,12 @@ Finding::str() const
         os << "line " << line << ": ";
     os << severityName(severity) << ": [" << code << "] " << message
        << " (addr " << address << ")";
+    if (!path.empty()) {
+        os << " [via ";
+        for (size_t i = 0; i < path.size(); ++i)
+            os << (i ? " -> " : "") << path[i];
+        os << "]";
+    }
     return os.str();
 }
 
@@ -114,6 +123,10 @@ class Linter
     void buildThreadReports(const Cfg &cfg, const RrmAnalysis &rrm,
                             const Liveness &liveness);
     void crossContextChecks(const Cfg &cfg, const RrmAnalysis &rrm);
+    void interprocChecks(const CallGraph &cg, const RrmAnalysis &rrm);
+    void locksetChecks(const Cfg &cfg, const CallGraph &cg,
+                       const RrmAnalysis &rrm);
+    void attachPaths(const CallGraph &cg);
 
     const assembler::Program &program_;
     const LintOptions &options_;
@@ -167,6 +180,12 @@ Linter::flowChecks(const Cfg &cfg, const RrmAnalysis &rrm,
             add("ldrrm-in-delay-slot", Severity::Error, hazard.address,
                 "LDRRM issued while a previous LDRRM is still in its "
                 "delay slots");
+            break;
+          case RrmHazard::PendingAcrossReturn:
+            add("ldrrm-across-call", Severity::Error, hazard.address,
+                "LDRRM delay window still open at procedure return: "
+                "the new mask lands in the caller, which continues "
+                "under an unexpected context window");
             break;
         }
     }
@@ -319,6 +338,131 @@ Linter::crossContextChecks(const Cfg &cfg, const RrmAnalysis &rrm)
     }
 }
 
+void
+Linter::interprocChecks(const CallGraph &cg, const RrmAnalysis &rrm)
+{
+    for (uint32_t pi = 0; pi < cg.procedures().size(); ++pi) {
+        const Procedure &proc = cg.procedures()[pi];
+        ProcedureReport report;
+        report.name = proc.name;
+        report.entry = proc.entry;
+        report.registers = proc.registers;
+        report.minContext = proc.minContext;
+        report.regsRead = proc.regsRead;
+        report.regsWritten = proc.regsWritten;
+        report.switchesRrm = proc.switchesRrm;
+        report.returns = proc.returns;
+        report.callPath = cg.callPath(pi);
+        result_.procedures.push_back(std::move(report));
+    }
+
+    // Summary-level undersized-context check: the per-instruction
+    // rrm-overlap findings show *where* a callee escapes its window;
+    // this one indicts the call site that entered the callee with too
+    // small a window, with the call path as witness.
+    if (options_.mode != RelocMode::Or)
+        return;
+    for (const CallSite &site : cg.callSites()) {
+        if (site.indirect || site.callee == CallGraph::noProc)
+            continue;
+        const AbsVal mask = rrm.rrmBefore(site.address);
+        if (!mask.isConst() || mask.value == 0)
+            continue;
+        const Procedure &callee = cg.procedures()[site.callee];
+        if (callee.switchesRrm || callee.callsIndirect)
+            continue; // the subtree picks its own windows
+        const unsigned capacity =
+            1u << findFirstSet(mask.value);
+        if (callee.registers <= capacity)
+            continue;
+        std::ostringstream os;
+        os << "call to '" << callee.name << "' needs "
+           << callee.registers << " register(s) (minimal context "
+           << callee.minContext << ") but the window open here (RRM "
+           << "0x" << std::hex << mask.value << std::dec
+           << ") holds only " << capacity;
+        add("call-undersized-context", Severity::Error, site.address,
+            os.str());
+        result_.findings.back().path = cg.callPath(site.callee);
+    }
+}
+
+void
+Linter::locksetChecks(const Cfg &cfg, const CallGraph &cg,
+                      const RrmAnalysis &rrm)
+{
+    const LocksetAnalysis lockset(cfg, cg, rrm);
+
+    auto lock_names = [&](uint32_t held) {
+        std::vector<std::string> names;
+        for (unsigned i = 0; i < lockset.lockNames().size(); ++i) {
+            if ((held >> i) & 1)
+                names.push_back(lockset.lockNames()[i]);
+        }
+        return names;
+    };
+    auto lock_text = [&](uint32_t held) {
+        const std::vector<std::string> names = lock_names(held);
+        if (names.empty())
+            return std::string("none");
+        std::string out;
+        for (const std::string &name : names)
+            out += (out.empty() ? "" : "+") + name;
+        return out;
+    };
+    auto site_of = [&](const Access &access) {
+        RaceSite site;
+        site.address = access.address;
+        site.line = access.line;
+        site.write = access.write;
+        site.thread = lockset.roots()[access.root].name;
+        site.locks = lock_names(access.held);
+        return site;
+    };
+
+    for (const Race &race : lockset.races()) {
+        RaceReport report;
+        report.mem = race.mem;
+        const std::vector<std::string> labels =
+            program_.labelsAt(race.mem);
+        if (!labels.empty())
+            report.symbol = labels.front();
+        report.first = site_of(race.first);
+        report.second = site_of(race.second);
+
+        std::ostringstream os;
+        os << "shared word 0x" << std::hex << race.mem << std::dec;
+        if (!report.symbol.empty())
+            os << " ('" << report.symbol << "')";
+        os << ": " << (race.first.write ? "write" : "read")
+           << " at addr " << race.first.address << " (thread '"
+           << report.first.thread << "', locks "
+           << lock_text(race.first.held) << ") races with "
+           << (race.second.write ? "write" : "read") << " at addr "
+           << race.second.address << " (thread '"
+           << report.second.thread << "', locks "
+           << lock_text(race.second.held) << ")";
+        add("race", Severity::Error, race.first.address, os.str());
+
+        result_.races.push_back(std::move(report));
+    }
+}
+
+void
+Linter::attachPaths(const CallGraph &cg)
+{
+    for (Finding &f : result_.findings) {
+        if (!f.path.empty())
+            continue;
+        const uint32_t proc = cg.procOfAddress(f.address);
+        if (proc == CallGraph::noProc)
+            continue;
+        std::vector<std::string> path = cg.callPath(proc);
+        if (path.size() >= 2)
+            f.path = std::move(path);
+    }
+}
+
 LintResult
 Linter::run()
 {
@@ -331,6 +475,10 @@ Linter::run()
         live_options.delaySlots = options_.delaySlots;
         Liveness liveness(cfg, live_options);
 
+        std::optional<CallGraph> cg;
+        if (options_.interprocedural || options_.lockset)
+            cg.emplace(cfg);
+
         RrmOptions rrm_options;
         rrm_options.delaySlots = options_.delaySlots;
         rrm_options.initialRrm = options_.initialRrm;
@@ -338,11 +486,17 @@ Linter::run()
         rrm_options.banks = options_.banks;
         rrm_options.operandWidth = options_.operandWidth;
         rrm_options.muxContextSize = options_.declaredContext;
-        RrmAnalysis rrm(cfg, rrm_options);
+        RrmAnalysis rrm(cfg, rrm_options, cg ? &*cg : nullptr);
 
         flowChecks(cfg, rrm, liveness);
         buildThreadReports(cfg, rrm, liveness);
         crossContextChecks(cfg, rrm);
+        if (cg && options_.interprocedural)
+            interprocChecks(*cg, rrm);
+        if (cg && options_.lockset)
+            locksetChecks(cfg, *cg, rrm);
+        if (cg && options_.interprocedural)
+            attachPaths(*cg);
     }
 
     std::sort(result_.findings.begin(), result_.findings.end(),
@@ -356,6 +510,8 @@ Linter::run()
             ++result_.errors;
         else if (f.severity == Severity::Warning)
             ++result_.warnings;
+        else
+            ++result_.notes;
     }
     return std::move(result_);
 }
@@ -434,6 +590,14 @@ renderText(const LintResult &result, const std::string &filename)
            << report.minContext << ", live-in "
            << regList(report.liveIn) << "\n";
     }
+    for (const ProcedureReport &proc : result.procedures) {
+        os << filename << ": procedure '" << proc.name << "' @"
+           << proc.entry << ": " << proc.registers
+           << " register(s) in its call subtree, minimal context "
+           << proc.minContext
+           << (proc.switchesRrm ? ", switches rrm" : "")
+           << (proc.returns ? ", returns" : "") << "\n";
+    }
     os << filename << ": " << result.errors << " error(s), "
        << result.warnings << " warning(s)\n";
     return os.str();
@@ -452,7 +616,16 @@ renderJson(const LintResult &result, const std::string &filename)
            << jsonEscape(f.code) << "\", \"severity\": \""
            << severityName(f.severity) << "\", \"address\": "
            << f.address << ", \"line\": " << f.line
-           << ", \"message\": \"" << jsonEscape(f.message) << "\"}";
+           << ", \"message\": \"" << jsonEscape(f.message) << "\"";
+        if (!f.path.empty()) {
+            os << ", \"path\": [";
+            for (size_t j = 0; j < f.path.size(); ++j) {
+                os << (j ? ", " : "") << "\"" << jsonEscape(f.path[j])
+                   << "\"";
+            }
+            os << "]";
+        }
+        os << "}";
     }
     os << (result.findings.empty() ? "" : "\n  ") << "],\n";
 
@@ -483,6 +656,164 @@ renderJson(const LintResult &result, const std::string &filename)
 
     os << "  \"summary\": {\"errors\": " << result.errors
        << ", \"warnings\": " << result.warnings << "}\n}\n";
+    return os.str();
+}
+
+namespace {
+
+/** Write a JSON string array inline: ["a", "b"]. */
+void
+writeStringArray(std::ostringstream &os,
+                 const std::vector<std::string> &items)
+{
+    os << "[";
+    for (size_t i = 0; i < items.size(); ++i)
+        os << (i ? ", " : "") << "\"" << jsonEscape(items[i]) << "\"";
+    os << "]";
+}
+
+/** Write a register bitmask as an index array: [0, 1, 5]. */
+void
+writeRegArray(std::ostringstream &os, uint64_t mask)
+{
+    os << "[";
+    bool first = true;
+    for (unsigned r = 0; r < 64; ++r) {
+        if ((mask >> r) & 1) {
+            os << (first ? "" : ", ") << r;
+            first = false;
+        }
+    }
+    os << "]";
+}
+
+void
+writeFinding(std::ostringstream &os, const Finding &f)
+{
+    os << "{\"code\": \"" << jsonEscape(f.code)
+       << "\", \"severity\": \"" << severityName(f.severity)
+       << "\", \"address\": " << f.address << ", \"line\": " << f.line
+       << ", \"message\": \"" << jsonEscape(f.message) << "\"";
+    if (!f.path.empty()) {
+        os << ", \"path\": ";
+        writeStringArray(os, f.path);
+    }
+    os << "}";
+}
+
+void
+writeRaceSite(std::ostringstream &os, const RaceSite &site)
+{
+    os << "{\"address\": " << site.address << ", \"line\": "
+       << site.line << ", \"write\": "
+       << (site.write ? "true" : "false") << ", \"thread\": \""
+       << jsonEscape(site.thread) << "\", \"locks\": ";
+    writeStringArray(os, site.locks);
+    os << "}";
+}
+
+} // namespace
+
+std::string
+renderJsonDocument(const std::vector<FileReport> &files,
+                   const std::string &toolVersion, int exitCode)
+{
+    std::ostringstream os;
+    unsigned errors = 0, warnings = 0, notes = 0;
+
+    os << "{\n  \"schema\": \"rr.lint.v1\",\n";
+    os << "  \"tool\": {\"name\": \"rrlint\", \"version\": \""
+       << jsonEscape(toolVersion) << "\"},\n";
+    os << "  \"files\": [";
+    for (size_t fi = 0; fi < files.size(); ++fi) {
+        const FileReport &file = files[fi];
+        os << (fi ? "," : "") << "\n    {\n      \"file\": \""
+           << jsonEscape(file.file) << "\",\n      \"readable\": "
+           << (file.readable ? "true" : "false") << ",\n";
+
+        unsigned file_errors = file.result.errors;
+        os << "      \"findings\": [";
+        bool first = true;
+        for (const assembler::Diagnostic &diag : file.assemblyErrors) {
+            Finding f;
+            f.code = "assembly-error";
+            f.severity = Severity::Error;
+            f.line = diag.line;
+            f.message = diag.message;
+            os << (first ? "" : ",") << "\n        ";
+            writeFinding(os, f);
+            first = false;
+            ++file_errors;
+        }
+        for (const Finding &f : file.result.findings) {
+            os << (first ? "" : ",") << "\n        ";
+            writeFinding(os, f);
+            first = false;
+        }
+        os << (first ? "" : "\n      ") << "],\n";
+
+        os << "      \"threads\": [";
+        for (size_t i = 0; i < file.result.threads.size(); ++i) {
+            const ThreadReport &t = file.result.threads[i];
+            os << (i ? "," : "") << "\n        {\"rrm\": " << t.rrm
+               << ", \"registers\": " << t.registers
+               << ", \"min_context\": " << t.minContext
+               << ", \"footprint\": ";
+            writeRegArray(os, t.footprint);
+            os << ", \"live_in\": ";
+            writeRegArray(os, t.liveIn);
+            os << "}";
+        }
+        os << (file.result.threads.empty() ? "" : "\n      ")
+           << "],\n";
+
+        os << "      \"procedures\": [";
+        for (size_t i = 0; i < file.result.procedures.size(); ++i) {
+            const ProcedureReport &p = file.result.procedures[i];
+            os << (i ? "," : "") << "\n        {\"name\": \""
+               << jsonEscape(p.name) << "\", \"entry\": " << p.entry
+               << ", \"registers\": " << p.registers
+               << ", \"min_context\": " << p.minContext
+               << ", \"reads\": ";
+            writeRegArray(os, p.regsRead);
+            os << ", \"writes\": ";
+            writeRegArray(os, p.regsWritten);
+            os << ", \"switches_rrm\": "
+               << (p.switchesRrm ? "true" : "false")
+               << ", \"returns\": " << (p.returns ? "true" : "false")
+               << ", \"call_path\": ";
+            writeStringArray(os, p.callPath);
+            os << "}";
+        }
+        os << (file.result.procedures.empty() ? "" : "\n      ")
+           << "],\n";
+
+        os << "      \"races\": [";
+        for (size_t i = 0; i < file.result.races.size(); ++i) {
+            const RaceReport &race = file.result.races[i];
+            os << (i ? "," : "") << "\n        {\"mem\": " << race.mem
+               << ", \"symbol\": \"" << jsonEscape(race.symbol)
+               << "\", \"sites\": [";
+            writeRaceSite(os, race.first);
+            os << ", ";
+            writeRaceSite(os, race.second);
+            os << "]}";
+        }
+        os << (file.result.races.empty() ? "" : "\n      ") << "],\n";
+
+        os << "      \"summary\": {\"errors\": " << file_errors
+           << ", \"warnings\": " << file.result.warnings
+           << ", \"notes\": " << file.result.notes << "}\n    }";
+        errors += file_errors;
+        warnings += file.result.warnings;
+        notes += file.result.notes;
+    }
+    os << (files.empty() ? "" : "\n  ") << "],\n";
+
+    os << "  \"summary\": {\"files\": " << files.size()
+       << ", \"errors\": " << errors << ", \"warnings\": " << warnings
+       << ", \"notes\": " << notes << ", \"exit\": " << exitCode
+       << "}\n}\n";
     return os.str();
 }
 

@@ -17,6 +17,12 @@
  *    power of two) — the number software needs to pick the smallest
  *    context, which is the paper's whole performance argument.
  *
+ * With the interprocedural option it additionally builds a call
+ * graph (callgraph.hh), propagates RRM state across call boundaries,
+ * and attaches call-path witnesses to findings inside callees; with
+ * the lockset option it runs the Eraser-style race detector
+ * (lockset.hh) over every `.thread` entry point.
+ *
  * Findings:
  *   boundary             operand >= the declared context size
  *   invalid-word         undecodable word (only with flagInvalidWords)
@@ -26,6 +32,15 @@
  *   ldrrm-in-delay-slot  LDRRM while another LDRRM is pending
  *   cross-context-write  write lands on a register live in another
  *                        context window
+ *   ldrrm-across-call    (interprocedural) LDRRM delay window still
+ *                        open when a procedure returns: the mask
+ *                        lands in the caller
+ *   call-undersized-context
+ *                        (interprocedural) the callee subtree needs
+ *                        more registers than the window open at the
+ *                        call site provides
+ *   race                 (lockset) two thread roots access a shared
+ *                        word with no common lock held
  */
 
 #ifndef RR_LINT_LINT_HH
@@ -62,6 +77,12 @@ struct Finding
     int line = 0;         ///< 1-based source line (0 when unknown)
     std::string message;  ///< human-readable description
 
+    /**
+     * Call-path witness (procedure names, root first) when the
+     * finding sits inside a called procedure; empty otherwise.
+     */
+    std::vector<std::string> path;
+
     /** Render as "line L: severity: [code] message (addr A)". */
     std::string str() const;
 };
@@ -74,6 +95,39 @@ struct ThreadReport
     unsigned registers = 0; ///< max referenced register + 1
     unsigned minContext = 1; ///< registers rounded up to a power of 2
     uint64_t liveIn = 0;    ///< regs that must be live when entered
+};
+
+/** Per-procedure summary report (interprocedural mode). */
+struct ProcedureReport
+{
+    std::string name;     ///< best label at the entry
+    uint32_t entry = 0;   ///< entry word address
+    unsigned registers = 0; ///< transitive max register + 1
+    unsigned minContext = 1; ///< registers rounded to a power of 2
+    uint64_t regsRead = 0;   ///< directly read (context-relative)
+    uint64_t regsWritten = 0; ///< directly written
+    bool switchesRrm = false; ///< subtree executes LDRRM
+    bool returns = false;     ///< has a `jmp` return
+    std::vector<std::string> callPath; ///< root -> ... -> this
+};
+
+/** One racing access site (lockset mode). */
+struct RaceSite
+{
+    uint32_t address = 0; ///< word address of the LD/ST
+    int line = 0;         ///< 1-based source line
+    bool write = false;   ///< ST (LD otherwise)
+    std::string thread;   ///< thread root name
+    std::vector<std::string> locks; ///< lock names held
+};
+
+/** One reported race (lockset mode). */
+struct RaceReport
+{
+    uint32_t mem = 0;   ///< the contended word address
+    std::string symbol; ///< a label at that address, when any
+    RaceSite first;
+    RaceSite second;
 };
 
 /** Lint configuration. */
@@ -97,6 +151,16 @@ struct LintOptions
 
     /** Disable the CFG/dataflow passes (flat check only). */
     bool flowSensitive = true;
+
+    /**
+     * Build the call graph: procedure summaries, return-edge RRM
+     * propagation, call-path witnesses, ldrrm-across-call and
+     * call-undersized-context findings (rrlint --calls).
+     */
+    bool interprocedural = false;
+
+    /** Run the lockset race detector (rrlint --races). */
+    bool lockset = false;
 };
 
 /** The result of linting one program. */
@@ -104,9 +168,12 @@ struct LintResult
 {
     std::vector<Finding> findings;
     std::vector<ThreadReport> threads;
+    std::vector<ProcedureReport> procedures; ///< interprocedural mode
+    std::vector<RaceReport> races;           ///< lockset mode
 
     unsigned errors = 0;
     unsigned warnings = 0;
+    unsigned notes = 0;
 
     /** @return true when no error- or warning-level findings exist. */
     bool clean() const { return errors == 0 && warnings == 0; }
@@ -123,6 +190,30 @@ std::string renderText(const LintResult &result,
 /** Render @p result as a JSON document. */
 std::string renderJson(const LintResult &result,
                        const std::string &filename);
+
+/**
+ * One input file's contribution to an `rr.lint.v1` document.
+ * Exactly one of three shapes: unreadable (readable == false),
+ * unassembled (assemblyErrors non-empty), or linted (result valid).
+ */
+struct FileReport
+{
+    std::string file;
+    bool readable = true;
+    std::vector<assembler::Diagnostic> assemblyErrors;
+    LintResult result;
+};
+
+/**
+ * Render one versioned `rr.lint.v1` JSON document covering all
+ * @p files (the multi-image `--json` output; docs/LINT.md documents
+ * the schema). Assembly errors appear as `assembly-error` findings.
+ * @param exitCode the exit status the tool will return, recorded in
+ *                 the document's summary.
+ */
+std::string renderJsonDocument(const std::vector<FileReport> &files,
+                               const std::string &toolVersion,
+                               int exitCode);
 
 } // namespace rr::lint
 

@@ -1,0 +1,219 @@
+#include "analysis/static/lockset.hh"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "base/logging.hh"
+
+namespace rr::lint {
+
+using isa::Opcode;
+
+namespace {
+
+/** Sentinel lockset for not-yet-reached blocks (top of the meet). */
+constexpr uint32_t lockTop = ~uint32_t{0};
+
+} // namespace
+
+LocksetAnalysis::LocksetAnalysis(const Cfg &cfg,
+                                 const CallGraph &callgraph,
+                                 const RrmAnalysis &rrm)
+    : cfg_(cfg), callgraph_(callgraph), rrm_(rrm)
+{
+    lockBody_.assign(cfg_.blocks().size(), false);
+    for (const Procedure &proc : callgraph_.procedures()) {
+        if (proc.lockAcquire < 0 && proc.lockRelease < 0)
+            continue;
+        for (const uint32_t id : proc.blocks)
+            lockBody_[id] = true;
+    }
+
+    const std::vector<Procedure> &procs = callgraph_.procedures();
+    for (uint32_t pi = 0; pi < procs.size(); ++pi) {
+        if (procs[pi].isEntry || procs[pi].isThread)
+            roots_.push_back({pi, procs[pi].name});
+    }
+    for (uint32_t ri = 0; ri < roots_.size(); ++ri)
+        runRoot(ri);
+    findRaces();
+}
+
+void
+LocksetAnalysis::runRoot(uint32_t rootIndex)
+{
+    const size_t num_blocks = cfg_.blocks().size();
+    if (num_blocks == 0)
+        return;
+
+    // Return edges with the callee they return from (so the edge can
+    // apply the callee's acquire/release effect) and the block that
+    // issued the call. A shared callee has return edges to *every*
+    // caller, but this walk is per root: an edge only fires once its
+    // calling block is reached from this root, otherwise state would
+    // leak between threads through common procedures.
+    struct ReturnEdge
+    {
+        uint32_t to;
+        uint32_t callee;
+        uint32_t callBlock;
+    };
+    std::vector<std::vector<ReturnEdge>> return_edges(num_blocks);
+    std::vector<uint32_t> callee_of_block(num_blocks,
+                                          CallGraph::noProc);
+    for (const CallSite &site : callgraph_.callSites()) {
+        if (site.indirect || site.callee == CallGraph::noProc)
+            continue;
+        const uint32_t point = cfg_.blockAt(site.returnAddress);
+        const uint32_t call_block = cfg_.blockAt(site.address);
+        if (point == Cfg::noBlock || call_block == Cfg::noBlock)
+            continue;
+        callee_of_block[call_block] = site.callee;
+        const Procedure &callee =
+            callgraph_.procedures()[site.callee];
+        for (const uint32_t from : callee.returnBlocks)
+            return_edges[from].push_back(
+                {point, site.callee, call_block});
+    }
+
+    std::vector<uint32_t> held(num_blocks, lockTop);
+    const uint32_t entry_block = cfg_.blockAt(
+        callgraph_.procedures()[roots_[rootIndex].proc].entry);
+    rr_assert(entry_block != Cfg::noBlock,
+              "thread root has no block");
+    held[entry_block] = 0;
+
+    std::deque<uint32_t> work{entry_block};
+    std::vector<bool> queued(num_blocks, false);
+    queued[entry_block] = true;
+    while (!work.empty()) {
+        const uint32_t id = work.front();
+        work.pop_front();
+        queued[id] = false;
+        const BasicBlock &block = cfg_.blocks()[id];
+        const uint32_t in = held[id];
+
+        auto propagate = [&](uint32_t succ, uint32_t locks) {
+            const uint32_t met =
+                held[succ] == lockTop ? locks : (held[succ] & locks);
+            if (met == held[succ])
+                return;
+            held[succ] = met;
+            if (!queued[succ]) {
+                work.push_back(succ);
+                queued[succ] = true;
+            }
+        };
+
+        // Locksets change only at procedure boundaries, and a call
+        // can only be a block's last instruction, so `in` holds for
+        // the whole block.
+        const CfgInstruction &last = cfg_.at(block.end - 1);
+        if (last.valid && last.inst.op == Opcode::JALR) {
+            // Indirect call: any address-taken procedure may run;
+            // conservatively assume every lock is dropped.
+            const uint32_t point = cfg_.blockAt(last.address + 1);
+            if (point != Cfg::noBlock)
+                propagate(point, 0);
+            continue;
+        }
+        for (const uint32_t succ : block.succs)
+            propagate(succ, in); // includes the JAL edge into callees
+        for (const ReturnEdge &edge : return_edges[id]) {
+            if (held[edge.callBlock] == lockTop)
+                continue; // caller not reached from this root
+            const Procedure &callee =
+                callgraph_.procedures()[edge.callee];
+            uint32_t out = in;
+            if (callee.lockAcquire >= 0)
+                out |= uint32_t{1} << callee.lockAcquire;
+            if (callee.lockRelease >= 0)
+                out &= ~(uint32_t{1} << callee.lockRelease);
+            propagate(edge.to, out);
+        }
+
+        // This block just became (or stayed) reached; if it calls a
+        // procedure whose return blocks already converged, their
+        // return edges were evaluated before this caller was reached
+        // — requeue them so the edge to our return point fires.
+        if (callee_of_block[id] != CallGraph::noProc) {
+            const Procedure &callee =
+                callgraph_.procedures()[callee_of_block[id]];
+            for (const uint32_t rb : callee.returnBlocks) {
+                if (held[rb] != lockTop && !queued[rb]) {
+                    work.push_back(rb);
+                    queued[rb] = true;
+                }
+            }
+        }
+    }
+
+    // Recording pass: classify every constant-address LD/ST reached
+    // from this root, outside lock procedure bodies.
+    for (const BasicBlock &block : cfg_.blocks()) {
+        if (held[block.id] == lockTop || lockBody_[block.id])
+            continue;
+        for (uint32_t addr = block.begin; addr < block.end; ++addr) {
+            const CfgInstruction &ci = cfg_.at(addr);
+            if (!ci.valid || (ci.inst.op != Opcode::LD &&
+                              ci.inst.op != Opcode::ST)) {
+                continue;
+            }
+            const AbsVal mem = rrm_.memAddrBefore(addr);
+            if (!mem.isConst())
+                continue;
+            Access access;
+            access.address = addr;
+            access.line = ci.line;
+            access.mem = mem.value;
+            access.write = ci.inst.op == Opcode::ST;
+            access.held = held[block.id];
+            access.root = rootIndex;
+            accesses_.push_back(access);
+        }
+    }
+}
+
+void
+LocksetAnalysis::findRaces()
+{
+    std::sort(accesses_.begin(), accesses_.end(),
+              [](const Access &a, const Access &b) {
+                  if (a.root != b.root)
+                      return a.root < b.root;
+                  return a.address < b.address;
+              });
+
+    std::map<uint32_t, std::vector<const Access *>> by_mem;
+    for (const Access &access : accesses_)
+        by_mem[access.mem].push_back(&access);
+
+    for (auto &[mem, sites] : by_mem) {
+        // Stable site pair: the first conflicting pair in
+        // (address, root) order.
+        std::sort(sites.begin(), sites.end(),
+                  [](const Access *a, const Access *b) {
+                      if (a->address != b->address)
+                          return a->address < b->address;
+                      return a->root < b->root;
+                  });
+        bool found = false;
+        for (size_t i = 0; i < sites.size() && !found; ++i) {
+            for (size_t j = i + 1; j < sites.size() && !found; ++j) {
+                const Access &a = *sites[i];
+                const Access &b = *sites[j];
+                if (a.root == b.root)
+                    continue;
+                if (!a.write && !b.write)
+                    continue;
+                if ((a.held & b.held) != 0)
+                    continue;
+                races_.push_back({mem, a, b});
+                found = true;
+            }
+        }
+    }
+}
+
+} // namespace rr::lint

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Eraser-style static lockset analysis over an assembled RRISC image.
+ *
+ * The paper's contexts make *registers* thread-private by
+ * construction — the RRM relocates every operand into the thread's
+ * own window — but memory stays shared, and the OS workloads
+ * (spinlocks, semaphores, rings) the roadmap calls for synchronise
+ * through it. This pass checks that discipline statically:
+ *
+ *  - thread roots are the program entry plus every `.thread` label;
+ *  - lock acquire/release procedures are declared with `.lockdef
+ *    NAME, ACQUIRE, RELEASE` (an annotation contract: the analysis
+ *    trusts that calling ACQUIRE takes the lock and RELEASE drops
+ *    it, and does not interpret the spin loop inside);
+ *  - a forward must-hold dataflow runs per root over the call graph:
+ *    the lockset is a bitmask, meet is intersection, a direct call's
+ *    return edge applies the callee's acquire/release effect, and an
+ *    indirect call (JALR) conservatively clears every lock;
+ *  - memory accesses with a constant effective address (from the RRM
+ *    analysis' constant propagation) are classified per root with
+ *    the lockset held; accesses inside lock procedure bodies are
+ *    exempt (they implement the lock itself);
+ *  - a race is a pair of accesses to the same word from different
+ *    roots, at least one a write, whose locksets do not intersect.
+ *
+ * Soundness caveats (see docs/LINT.md): accesses whose address never
+ * folds to a constant are not classified, and the `.lockdef`
+ * annotation is trusted, not verified.
+ */
+
+#ifndef RR_LINT_LOCKSET_HH
+#define RR_LINT_LOCKSET_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/static/callgraph.hh"
+#include "analysis/static/cfg.hh"
+#include "analysis/static/rrm_state.hh"
+
+namespace rr::lint {
+
+/** One thread root the dataflow ran from. */
+struct ThreadRoot
+{
+    uint32_t proc = 0; ///< procedure index in the call graph
+    std::string name;  ///< procedure name ("entry", thread label)
+};
+
+/** One classified shared-memory access. */
+struct Access
+{
+    uint32_t address = 0; ///< word address of the LD/ST
+    int line = 0;         ///< 1-based source line (0 unknown)
+    uint32_t mem = 0;     ///< constant effective address accessed
+    bool write = false;   ///< ST (LD otherwise)
+    uint32_t held = 0;    ///< must-hold lockset (bit i = lock i)
+    uint32_t root = 0;    ///< index into roots()
+};
+
+/** A racing pair: same word, different roots, empty lock overlap. */
+struct Race
+{
+    uint32_t mem = 0; ///< the contended word address
+    Access first;
+    Access second;
+};
+
+/** The per-root must-hold lockset dataflow and race detector. */
+class LocksetAnalysis
+{
+  public:
+    LocksetAnalysis(const Cfg &cfg, const CallGraph &callgraph,
+                    const RrmAnalysis &rrm);
+
+    const std::vector<ThreadRoot> &roots() const { return roots_; }
+
+    /** All classified accesses, ordered by (root, address). */
+    const std::vector<Access> &accesses() const { return accesses_; }
+
+    /** One race per contended word, ascending by address. */
+    const std::vector<Race> &races() const { return races_; }
+
+    /** Lock names (bit i of a lockset = lockNames()[i]). */
+    const std::vector<std::string> &lockNames() const
+    {
+        return callgraph_.lockNames();
+    }
+
+  private:
+    void runRoot(uint32_t rootIndex);
+    void findRaces();
+
+    const Cfg &cfg_;
+    const CallGraph &callgraph_;
+    const RrmAnalysis &rrm_;
+    std::vector<ThreadRoot> roots_;
+    std::vector<Access> accesses_;
+    std::vector<Race> races_;
+    std::vector<bool> lockBody_; ///< block id -> inside a lock proc
+};
+
+} // namespace rr::lint
+
+#endif // RR_LINT_LOCKSET_HH

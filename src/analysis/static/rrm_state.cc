@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "analysis/static/callgraph.hh"
 #include "base/bitops.hh"
 #include "base/logging.hh"
 
@@ -30,27 +31,80 @@ AbsVal::join(const AbsVal &a, const AbsVal &b)
     return top();
 }
 
-RrmAnalysis::RrmAnalysis(const Cfg &cfg, const RrmOptions &options)
-    : cfg_(cfg), options_(options)
+RrmAnalysis::RrmAnalysis(const Cfg &cfg, const RrmOptions &options,
+                         const CallGraph *callgraph)
+    : cfg_(cfg), options_(options), callgraph_(callgraph)
 {
     const size_t num_blocks = cfg_.blocks().size();
     inStates_.resize(num_blocks);
     rrmBefore_.assign(cfg_.instructions().size(), AbsVal::bottom());
+    memAddrBefore_.assign(cfg_.instructions().size(),
+                          AbsVal::bottom());
 
     if (num_blocks == 0)
         return;
 
-    // Seed: the entry runs under the configured initial mask; any
-    // other root (label- or indirect-jump-reachable code) runs under
-    // an unknown mask so that nothing escapes analysis.
+    // Interprocedural return edges: a callee's `jmp` exit state flows
+    // to every direct call site's return point — pending LDRRM
+    // included, since the hardware keeps ticking across the jump.
+    // Those return points then need no conservative Top seed.
+    std::vector<std::vector<uint32_t>> return_succs(num_blocks);
+    std::vector<bool> return_point(num_blocks, false);
+    if (callgraph_ != nullptr) {
+        for (const CallSite &site : callgraph_->callSites()) {
+            if (site.indirect || site.callee == CallGraph::noProc)
+                continue;
+            const uint32_t point = cfg_.blockAt(site.returnAddress);
+            if (point == Cfg::noBlock)
+                continue;
+            return_point[point] = true;
+            const Procedure &callee =
+                callgraph_->procedures()[site.callee];
+            for (const uint32_t from : callee.returnBlocks)
+                return_succs[from].push_back(point);
+        }
+        for (std::vector<uint32_t> &succs : return_succs) {
+            std::sort(succs.begin(), succs.end());
+            succs.erase(std::unique(succs.begin(), succs.end()),
+                        succs.end());
+        }
+    }
+
+    // Seed: the entry runs under the configured initial mask; with a
+    // call graph, `.thread` entries run under their declared mask
+    // (default: the initial one) and direct-call return points wait
+    // for their return edge; any other root (label- or indirect-
+    // jump-reachable code) runs under an unknown mask so that nothing
+    // escapes analysis.
     std::deque<uint32_t> work;
     std::vector<bool> queued(num_blocks, false);
     for (const uint32_t root : cfg_.roots()) {
         State seed;
         seed.reachable = true;
-        seed.rrm = root == cfg_.entryBlock()
-                       ? AbsVal::constant(options_.initialRrm)
-                       : AbsVal::top();
+        bool seeded = false;
+        if (root == cfg_.entryBlock()) {
+            seed.rrm = AbsVal::constant(options_.initialRrm);
+            seeded = true;
+        }
+        if (callgraph_ != nullptr) {
+            const uint32_t proc = callgraph_->procByEntry(
+                cfg_.blocks()[root].begin);
+            if (proc != CallGraph::noProc &&
+                callgraph_->procedures()[proc].isThread) {
+                const Procedure &p = callgraph_->procedures()[proc];
+                seed.rrm = AbsVal::join(
+                    seed.rrm,
+                    AbsVal::constant(p.hasThreadRrm
+                                         ? p.threadRrm
+                                         : options_.initialRrm));
+                seeded = true;
+            }
+        }
+        if (!seeded) {
+            if (callgraph_ != nullptr && return_point[root])
+                continue; // fed by its return edge instead
+            seed.rrm = AbsVal::top();
+        }
         inStates_[root] = joinStates(inStates_[root], seed);
         if (!queued[root]) {
             work.push_back(root);
@@ -65,22 +119,37 @@ RrmAnalysis::RrmAnalysis(const Cfg &cfg, const RrmOptions &options)
         const BasicBlock &block = cfg_.blocks()[id];
 
         const State out = transferBlock(block, inStates_[id], false);
-        for (const uint32_t succ : block.succs) {
-            const State joined = joinStates(inStates_[succ], out);
+        auto propagate = [&](uint32_t succ, const State &state) {
+            const State joined = joinStates(inStates_[succ], state);
             if (joined == inStates_[succ])
-                continue;
+                return;
             inStates_[succ] = joined;
             if (!queued[succ]) {
                 work.push_back(succ);
                 queued[succ] = true;
             }
-        }
+        };
+        State cleared = out;
+        clearPendingAtExit(block, cleared);
+        for (const uint32_t succ : block.succs)
+            propagate(succ, cleared);
+        // Return edges carry the raw state: the delay-slot machinery
+        // keeps ticking across a `jmp`.
+        for (const uint32_t succ : return_succs[id])
+            propagate(succ, out);
     }
 
     // Recording pass: per-instruction masks and hazards, once.
     for (const BasicBlock &block : cfg_.blocks()) {
-        if (inStates_[block.id].reachable)
+        if (!inStates_[block.id].reachable)
+            continue;
+        const State out =
             transferBlock(block, inStates_[block.id], true);
+        if (!return_succs[block.id].empty() && out.pending.active) {
+            const CfgInstruction &last = cfg_.at(block.end - 1);
+            hazards_.push_back({RrmHazard::PendingAcrossReturn,
+                                last.address, last.line});
+        }
     }
 
     // Collect the distinct constant windows.
@@ -102,6 +171,13 @@ RrmAnalysis::rrmBefore(uint32_t addr) const
 {
     rr_assert(cfg_.contains(addr), "address outside image");
     return rrmBefore_[addr - cfg_.program().base];
+}
+
+const AbsVal &
+RrmAnalysis::memAddrBefore(uint32_t addr) const
+{
+    rr_assert(cfg_.contains(addr), "address outside image");
+    return memAddrBefore_[addr - cfg_.program().base];
 }
 
 bool
@@ -230,6 +306,18 @@ RrmAnalysis::transferInstruction(State &state,
         rrmBefore_[ci.address - cfg_.program().base] =
             AbsVal::join(rrmBefore_[ci.address - cfg_.program().base],
                          state.rrm);
+        if (ci.inst.op == Opcode::LD || ci.inst.op == Opcode::ST) {
+            const AbsVal base = readReg(state, ci.inst.rs1);
+            const AbsVal eff =
+                base.isConst()
+                    ? AbsVal::constant(
+                          base.value +
+                          static_cast<uint32_t>(ci.inst.imm))
+                    : AbsVal::top();
+            AbsVal &slot =
+                memAddrBefore_[ci.address - cfg_.program().base];
+            slot = AbsVal::join(slot, eff);
+        }
     }
 
     const Instruction &inst = ci.inst;
@@ -403,16 +491,23 @@ RrmAnalysis::transferBlock(const BasicBlock &block, State state,
 {
     for (uint32_t addr = block.begin; addr < block.end; ++addr)
         transferInstruction(state, cfg_.at(addr), record);
+    return state;
+}
 
+void
+RrmAnalysis::clearPendingAtExit(const BasicBlock &block,
+                                State &state) const
+{
     // A pending window surviving a control-transfer exit lands at an
-    // unknown point; successors see an unknown mask. (Plain
-    // fallthrough into a label keeps the pending state intact.)
+    // unknown point; CFG successors see an unknown mask. (Plain
+    // fallthrough into a label keeps the pending state intact, and
+    // return edges bypass this entirely: the call-site side knows
+    // exactly where the mask lands.)
     const CfgInstruction &last = cfg_.at(block.end - 1);
     if (state.pending.active && isControlTransfer(last.inst)) {
         state.pending = Pending{};
         state.rrm = AbsVal::top();
     }
-    return state;
 }
 
 } // namespace rr::lint

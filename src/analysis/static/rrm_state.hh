@@ -20,7 +20,20 @@
  * The pass also reports the paper-specific delay-slot hazards:
  *   - a control transfer executing inside an LDRRM delay window (the
  *     mask lands at the target, which rarely expects it);
- *   - an LDRRM issued while another LDRRM is still pending.
+ *   - an LDRRM issued while another LDRRM is still pending;
+ *   - with a call graph: an LDRRM whose delay window is still open
+ *     when a procedure returns, so the mask lands in the caller.
+ *
+ * When constructed with a CallGraph the analysis additionally:
+ *   - adds return edges (a callee's `jmp` exit state flows to every
+ *     direct call site's return point, pending LDRRM included), so
+ *     the instruction after a call is no longer a conservative Top
+ *     root but sees the mask the callee actually left behind;
+ *   - seeds `.thread` entry points with their declared entry mask
+ *     (default: the initial RRM) instead of Top, which keeps constant
+ *     tracking alive inside thread bodies;
+ *   - records the abstract effective address of every LD/ST, the
+ *     input the lockset race detector classifies accesses with.
  */
 
 #ifndef RR_LINT_RRM_STATE_HH
@@ -91,6 +104,8 @@ struct RrmHazard
     {
         ControlInDelay, ///< control transfer inside an LDRRM window
         LdrrmInDelay,   ///< LDRRM while another LDRRM is pending
+        PendingAcrossReturn, ///< LDRRM window still open at a `jmp`
+                             ///< return: the mask lands in the caller
     };
 
     Kind kind = ControlInDelay;
@@ -98,17 +113,33 @@ struct RrmHazard
     int line = 0;
 };
 
+class CallGraph;
+
 /** Forward RRM/constant analysis over a Cfg. */
 class RrmAnalysis
 {
   public:
-    RrmAnalysis(const Cfg &cfg, const RrmOptions &options = {});
+    /**
+     * @param callgraph optional: enables interprocedural return-edge
+     *                  propagation, `.thread` seeding, and the
+     *                  PendingAcrossReturn hazard. Must outlive the
+     *                  analysis.
+     */
+    RrmAnalysis(const Cfg &cfg, const RrmOptions &options = {},
+                const CallGraph *callgraph = nullptr);
 
     /**
      * The RRM in effect when the instruction at @p addr decodes
      * (delay slots accounted for). Bottom = unreachable.
      */
     const AbsVal &rrmBefore(uint32_t addr) const;
+
+    /**
+     * Abstract effective address of the LD/ST at @p addr: constant
+     * when base register + displacement fold, Top when unknown,
+     * Bottom when unreachable or not a memory access.
+     */
+    const AbsVal &memAddrBefore(uint32_t addr) const;
 
     /** Delay-slot hazards, in address order. */
     const std::vector<RrmHazard> &hazards() const { return hazards_; }
@@ -172,13 +203,23 @@ class RrmAnalysis
     void transferInstruction(State &state, const CfgInstruction &ci,
                              bool record);
 
+    /**
+     * Run @p block; returns the raw exit state (no exit adjustment),
+     * so callers choose per-edge what survives a control transfer.
+     */
     State transferBlock(const BasicBlock &block, State state,
                         bool record);
 
+    /** Kill a pending LDRRM surviving a control-transfer exit. */
+    void clearPendingAtExit(const BasicBlock &block,
+                            State &state) const;
+
     const Cfg &cfg_;
     RrmOptions options_;
+    const CallGraph *callgraph_ = nullptr;
     std::vector<State> inStates_;
-    std::vector<AbsVal> rrmBefore_; ///< indexed by addr - base
+    std::vector<AbsVal> rrmBefore_;     ///< indexed by addr - base
+    std::vector<AbsVal> memAddrBefore_; ///< indexed by addr - base
     std::vector<RrmHazard> hazards_;
     std::vector<uint32_t> windows_;
 };

@@ -1,5 +1,6 @@
 #include "assembler/assembler.hh"
 
+#include <algorithm>
 #include <cctype>
 #include <optional>
 #include <sstream>
@@ -212,6 +213,20 @@ class AsmContext
         return std::nullopt;
     }
 
+    /**
+     * Record @p tok in Program::addressTaken when it resolves through
+     * the symbol table (its address escapes into a register or data
+     * word, making it a potential indirect-jump target).
+     */
+    void noteAddressTaken(const std::string &tok)
+    {
+        if (parseIntLiteral(tok) || constants_.count(tok))
+            return;
+        const auto sym = program_.symbols.find(tok);
+        if (sym != program_.symbols.end())
+            program_.addressTaken.push_back(sym->second);
+    }
+
     // ---- passes ---------------------------------------------------------
 
     /** Parse lines into statements, recording labels (pass 1). */
@@ -365,6 +380,8 @@ AsmContext::statementSize(const Statement &stmt, int line)
 {
     if (stmt.head == ".word")
         return 1;
+    if (stmt.head == ".thread" || stmt.head == ".lockdef")
+        return 0; // annotations: resolved in pass 2, emit nothing
     if (stmt.head == "li" || stmt.head == "la")
         return 2;
     if (stmt.head == "mov" || stmt.head == "b")
@@ -414,7 +431,57 @@ AsmContext::emitStatement(const Statement &stmt)
             emitWord(0, line);
             return;
         }
+        noteAddressTaken(stmt.operands[0]);
         emitWord(static_cast<uint32_t>(*v), line);
+        return;
+    }
+    if (stmt.head == ".thread") {
+        if (stmt.operands.empty() || stmt.operands.size() > 2) {
+            error(line, ".thread expects LABEL[, RRM]");
+            return;
+        }
+        const auto entry = resolveValue(stmt.operands[0]);
+        if (!entry || *entry < 0) {
+            error(line, "cannot resolve '" + stmt.operands[0] + "'");
+            return;
+        }
+        ThreadDecl decl;
+        decl.address = static_cast<uint32_t>(*entry);
+        decl.line = line;
+        if (stmt.operands.size() == 2) {
+            const auto rrm = resolveValue(stmt.operands[1]);
+            if (!rrm || *rrm < 0) {
+                error(line,
+                      "cannot resolve '" + stmt.operands[1] + "'");
+                return;
+            }
+            decl.hasRrm = true;
+            decl.rrm = static_cast<uint32_t>(*rrm);
+        }
+        program_.threads.push_back(decl);
+        return;
+    }
+    if (stmt.head == ".lockdef") {
+        if (stmt.operands.size() != 3) {
+            error(line, ".lockdef expects NAME, ACQUIRE, RELEASE");
+            return;
+        }
+        LockDef def;
+        def.name = stmt.operands[0];
+        def.line = line;
+        const auto acquire = resolveValue(stmt.operands[1]);
+        const auto release = resolveValue(stmt.operands[2]);
+        if (!acquire || *acquire < 0) {
+            error(line, "cannot resolve '" + stmt.operands[1] + "'");
+            return;
+        }
+        if (!release || *release < 0) {
+            error(line, "cannot resolve '" + stmt.operands[2] + "'");
+            return;
+        }
+        def.acquire = static_cast<uint32_t>(*acquire);
+        def.release = static_cast<uint32_t>(*release);
+        program_.lockdefs.push_back(def);
         return;
     }
 
@@ -501,6 +568,7 @@ AsmContext::emitPseudo(const Statement &stmt)
             error(line, "li/la value out of 30-bit range");
             return;
         }
+        noteAddressTaken(ops[1]);
         const auto value = static_cast<uint32_t>(*v);
         emitInst(isa::makeJ(Opcode::LUI, *rd,
                             static_cast<int32_t>(value >> 12)),
@@ -748,6 +816,12 @@ AsmContext::run()
     parseAndLayout();
     if (program_.errors.empty())
         emitAll();
+    std::sort(program_.addressTaken.begin(),
+              program_.addressTaken.end());
+    program_.addressTaken.erase(
+        std::unique(program_.addressTaken.begin(),
+                    program_.addressTaken.end()),
+        program_.addressTaken.end());
     return std::move(program_);
 }
 

@@ -18,6 +18,14 @@
  *   .word VALUE      emit a literal 32-bit word
  *   .align N         pad with zeros to an N-word boundary
  *   .equ  NAME, VAL  define an assembly-time constant
+ *   .thread LABEL[, RRM]
+ *                    declare LABEL as a static thread entry point,
+ *                    optionally with its entry relocation mask
+ *                    (annotation only: emits nothing; consumed by the
+ *                    static analyses, docs/LINT.md)
+ *   .lockdef NAME, ACQUIRE, RELEASE
+ *                    declare a lock: calls to ACQUIRE take NAME,
+ *                    calls to RELEASE drop it (annotation only)
  *
  * Pseudo-instructions:
  *   mov rd, rs       -> addi rd, rs, 0
@@ -53,6 +61,24 @@ struct Diagnostic
     std::string str() const;
 };
 
+/** A `.lockdef NAME, ACQUIRE, RELEASE` annotation. */
+struct LockDef
+{
+    std::string name;     ///< lock name used in lint reports
+    uint32_t acquire = 0; ///< entry address of the acquire procedure
+    uint32_t release = 0; ///< entry address of the release procedure
+    int line = 0;         ///< 1-based source line of the directive
+};
+
+/** A `.thread LABEL[, RRM]` annotation: a static thread entry. */
+struct ThreadDecl
+{
+    uint32_t address = 0; ///< entry word address
+    bool hasRrm = false;  ///< an explicit entry mask was given
+    uint32_t rrm = 0;     ///< entry RRM when hasRrm
+    int line = 0;         ///< 1-based source line of the directive
+};
+
 /** The result of assembling a source string. */
 struct Program
 {
@@ -67,6 +93,19 @@ struct Program
 
     /** Word index -> source line (for traces and diagnostics). */
     std::vector<int> lines;
+
+    /** Declared locks, in source order (.lockdef). */
+    std::vector<LockDef> lockdefs;
+
+    /** Declared thread entry points, in source order (.thread). */
+    std::vector<ThreadDecl> threads;
+
+    /**
+     * Addresses of labels whose value is taken as data (by li/la or
+     * .word), sorted ascending. The conservative indirect-call target
+     * set: a JALR can only reach code whose address was materialised.
+     */
+    std::vector<uint32_t> addressTaken;
 
     /** Errors; assembly succeeded iff empty. */
     std::vector<Diagnostic> errors;

@@ -23,10 +23,13 @@
 #include <optional>
 #include <queue>
 #include <set>
+#include <sstream>
 
+#include "analysis/static/callgraph.hh"
 #include "analysis/static/cfg.hh"
 #include "analysis/static/lint.hh"
 #include "analysis/static/liveness.hh"
+#include "analysis/static/lockset.hh"
 #include "analysis/static/rrm_state.hh"
 #include "assembler/assembler.hh"
 #include "base/distributions.hh"
@@ -1259,7 +1262,491 @@ checkXsim(const XsimSample &s)
     return problems;
 }
 
+// ---------------------------------------------------------------------
+// callgraph
+
+/** Forest depth of every procedure (tree roots at depth 1). */
+std::vector<unsigned>
+cgDepths(const CallgraphSample &s)
+{
+    std::vector<unsigned> depth(s.procs.size(), 1);
+    for (size_t p = 0; p < s.procs.size(); ++p) {
+        for (const uint32_t child : s.procs[p].calls)
+            depth[child] = depth[p] + 1;
+    }
+    return depth;
+}
+
+/** One ground-truth shared-cell access site. */
+struct CgSite
+{
+    uint32_t proc = 0; ///< sample procedure index
+    uint32_t mem = 0;  ///< effective word address (kCgCellBase + cell)
+    bool write = false;
+    uint32_t held = 0; ///< lockset bitmask along the unique call path
+};
+
+/** What the construction itself implies the analyses must report. */
+struct CgTruth
+{
+    std::vector<std::vector<CgSite>> byRoot; ///< per sample root
+    std::set<uint32_t> racyMems;             ///< expected race words
+};
+
+CgTruth
+truthOf(const CallgraphSample &s)
+{
+    // Mirror the analysis' per-root must-hold dataflow, including its
+    // one deliberate imprecision: the lock procedures are shared, so
+    // their entry state is the meet (intersection) over every call
+    // site reached from the root, and the acquire/release return
+    // edges carry *that* meet back to each caller — not the caller's
+    // own lockset. Within a root every regular procedure still has a
+    // unique call site (the sample graph is a forest and a root's
+    // calls are distinct), so only the lock procedures merge context.
+    constexpr uint32_t top = ~uint32_t{0};
+    CgTruth truth;
+    truth.byRoot.resize(s.roots.size());
+    for (size_t r = 0; r < s.roots.size(); ++r) {
+        // A[l] / R[l]: converged entry state of lk{l}_acq / lk{l}_rel.
+        std::vector<uint32_t> acq_in(s.numLocks, top);
+        std::vector<uint32_t> rel_in(s.numLocks, top);
+        const auto meet = [](uint32_t a, uint32_t b) {
+            return a == top ? b : (b == top ? a : (a & b));
+        };
+
+        // One descending Kleene pass: walk the root's call sequence
+        // (a later tree starts in the previous tree's exit state),
+        // recording each procedure's body lockset and gathering the
+        // lock procedures' next entry states; repeat to fixpoint.
+        std::vector<uint32_t> next_acq, next_rel;
+        const std::function<uint32_t(uint32_t, uint32_t)> walk =
+            [&](uint32_t p, uint32_t entry) -> uint32_t {
+            const CgProc &proc = s.procs[p];
+            uint32_t body = entry;
+            if (proc.lock >= 0) {
+                next_acq[proc.lock] =
+                    meet(next_acq[proc.lock], entry);
+                body = acq_in[proc.lock] == top
+                           ? top
+                           : acq_in[proc.lock] |
+                                 (uint32_t{1} << proc.lock);
+            }
+            if (proc.cell >= 0) {
+                truth.byRoot[r].push_back(
+                    {p, kCgCellBase + static_cast<uint32_t>(proc.cell),
+                     proc.write, body});
+            }
+            uint32_t cur = body;
+            for (const uint32_t child : proc.calls)
+                cur = walk(child, cur);
+            if (proc.lock >= 0) {
+                next_rel[proc.lock] = meet(next_rel[proc.lock], cur);
+                return rel_in[proc.lock] == top
+                           ? top
+                           : rel_in[proc.lock] &
+                                 ~(uint32_t{1} << proc.lock);
+            }
+            return cur;
+        };
+        for (unsigned iter = 0; iter < 64; ++iter) {
+            truth.byRoot[r].clear();
+            next_acq.assign(s.numLocks, top);
+            next_rel.assign(s.numLocks, top);
+            uint32_t cur = 0;
+            for (const uint32_t p : s.roots[r].calls)
+                cur = walk(p, cur);
+            if (next_acq == acq_in && next_rel == rel_in)
+                break;
+            acq_in = next_acq;
+            rel_in = next_rel;
+        }
+    }
+
+    // Mirror LocksetAnalysis::findRaces: a word races when any two
+    // accesses from different roots conflict (>= 1 write, disjoint
+    // locksets).
+    for (size_t r1 = 0; r1 < truth.byRoot.size(); ++r1) {
+        for (size_t r2 = r1 + 1; r2 < truth.byRoot.size(); ++r2) {
+            for (const CgSite &a : truth.byRoot[r1]) {
+                for (const CgSite &b : truth.byRoot[r2]) {
+                    if (a.mem == b.mem && (a.write || b.write) &&
+                        (a.held & b.held) == 0)
+                        truth.racyMems.insert(a.mem);
+                }
+            }
+        }
+    }
+    return truth;
+}
+
+/** Parse a generated procedure label ("p7" -> 7). */
+bool
+cgProcIndex(const std::string &name, uint32_t &out)
+{
+    if (name.size() < 2 || name[0] != 'p')
+        return false;
+    uint64_t v = 0;
+    if (!parseUnsigned(name.c_str() + 1, v))
+        return false;
+    out = static_cast<uint32_t>(v);
+    return true;
+}
+
+Problems
+checkCallgraph(const CallgraphSample &s)
+{
+    Problems problems;
+    const std::string source = callgraphSource(s);
+    const assembler::Program program = assembler::assemble(source);
+    if (!program.ok()) {
+        problems.push_back(strf(
+            "callgraph: generated source does not assemble: %s",
+            program.errors.front().str().c_str()));
+        return problems;
+    }
+
+    lint::Cfg cfg(program);
+    const lint::CallGraph graph(cfg);
+    // The callgraph-aware dataflow propagates constants across call
+    // return edges; without it no address inside a procedure folds.
+    const lint::RrmAnalysis rrm(cfg, {}, &graph);
+    const lint::LocksetAnalysis lockset(cfg, graph, rrm);
+    const CgTruth truth = truthOf(s);
+
+    // Thread roots and lock names must match the construction.
+    std::map<std::string, uint32_t> root_by_name;
+    for (uint32_t ri = 0; ri < lockset.roots().size(); ++ri)
+        root_by_name[lockset.roots()[ri].name] = ri;
+    if (lockset.roots().size() != s.roots.size()) {
+        problems.push_back(strf(
+            "callgraph: %zu thread roots constructed but the "
+            "analysis found %zu",
+            s.roots.size(), lockset.roots().size()));
+        return problems;
+    }
+    std::vector<uint32_t> ls_root(s.roots.size(), 0);
+    for (size_t r = 0; r < s.roots.size(); ++r) {
+        const std::string name =
+            r == 0 ? "entry" : strf("t%zu", r);
+        const auto it = root_by_name.find(name);
+        if (it == root_by_name.end()) {
+            problems.push_back(strf(
+                "callgraph: thread root '%s' not found by the "
+                "analysis", name.c_str()));
+            return problems;
+        }
+        ls_root[r] = it->second;
+    }
+    for (unsigned l = 0; l < s.numLocks; ++l) {
+        const std::string expect = strf("lk%u", l);
+        if (l >= graph.lockNames().size() ||
+            graph.lockNames()[l] != expect) {
+            problems.push_back(strf(
+                "callgraph: lock %u is not '%s' in lockdef order",
+                l, expect.c_str()));
+            return problems;
+        }
+    }
+
+    // Oracle 1a: the classified shared accesses are exactly the
+    // construction's, site by site, lockset included.
+    std::map<std::pair<uint32_t, uint32_t>, const CgSite *> expected;
+    for (size_t r = 0; r < truth.byRoot.size(); ++r) {
+        for (const CgSite &site : truth.byRoot[r])
+            expected[{ls_root[r], site.proc}] = &site;
+    }
+    std::set<std::pair<uint32_t, uint32_t>> seen;
+    for (const lint::Access &access : lockset.accesses()) {
+        if (problems.size() >= 4)
+            return problems;
+        const uint32_t owner = graph.procOfAddress(access.address);
+        uint32_t proc_idx = 0;
+        if (owner == lint::CallGraph::noProc ||
+            !cgProcIndex(graph.procedures()[owner].name, proc_idx)) {
+            problems.push_back(strf(
+                "callgraph: classified access at addr %u is not "
+                "inside a generated procedure", access.address));
+            continue;
+        }
+        const auto it = expected.find({access.root, proc_idx});
+        if (it == expected.end()) {
+            problems.push_back(strf(
+                "callgraph: access at addr %u (root %u, proc p%u) "
+                "has no constructed counterpart",
+                access.address, access.root, proc_idx));
+            continue;
+        }
+        if (!seen.insert({access.root, proc_idx}).second) {
+            problems.push_back(strf(
+                "callgraph: proc p%u classified twice for root %u",
+                proc_idx, access.root));
+            continue;
+        }
+        const CgSite &site = *it->second;
+        if (access.mem != site.mem || access.write != site.write ||
+            access.held != site.held) {
+            problems.push_back(strf(
+                "callgraph: access at addr %u (root %u, proc p%u): "
+                "analysis says mem=0x%x write=%d held=0x%x, "
+                "construction says mem=0x%x write=%d held=0x%x",
+                access.address, access.root, proc_idx, access.mem,
+                access.write ? 1 : 0, access.held, site.mem,
+                site.write ? 1 : 0, site.held));
+        }
+    }
+    if (problems.empty() && seen.size() != expected.size()) {
+        problems.push_back(strf(
+            "callgraph: %zu constructed shared accesses but the "
+            "analysis classified %zu",
+            expected.size(), seen.size()));
+    }
+
+    // Oracle 1b: reported races are exactly the constructed ones.
+    std::set<uint32_t> reported;
+    for (const lint::Race &race : lockset.races())
+        reported.insert(race.mem);
+    if (reported != truth.racyMems) {
+        std::string got, want;
+        for (const uint32_t mem : reported)
+            got += strf(" 0x%x", mem);
+        for (const uint32_t mem : truth.racyMems)
+            want += strf(" 0x%x", mem);
+        problems.push_back(strf(
+            "callgraph: race set mismatch: analysis reports {%s }, "
+            "construction implies {%s }",
+            got.c_str(), want.c_str()));
+    }
+
+    // Oracle 1c: the full lint pipeline must agree — and find
+    // nothing else in this clean-by-construction program.
+    lint::LintOptions lint_options;
+    lint_options.interprocedural = true;
+    lint_options.lockset = true;
+    const lint::LintResult lint_result =
+        lint::lintProgram(program, lint_options);
+    for (const lint::Finding &finding : lint_result.findings) {
+        if (finding.code != "race") {
+            problems.push_back(strf(
+                "callgraph: unexpected finding [%s] at addr %u: %s",
+                finding.code.c_str(), finding.address,
+                finding.message.c_str()));
+            break;
+        }
+    }
+    if (lint_result.races.size() != truth.racyMems.size()) {
+        problems.push_back(strf(
+            "callgraph: lintProgram reports %zu races, construction "
+            "implies %zu",
+            lint_result.races.size(), truth.racyMems.size()));
+    }
+    if (!problems.empty())
+        return problems;
+
+    // Oracle 2: run every thread root on the machine; execution must
+    // stay inside the interprocedural summary claims, and every
+    // runtime shared-cell touch must have been classified.
+    for (size_t r = 0; r < s.roots.size(); ++r) {
+        machine::CpuConfig config;
+        config.numRegs = kCgNumRegs;
+        config.operandWidth = 6;
+        config.memWords = kCgMemWords;
+        machine::Cpu cpu(config);
+        for (size_t i = 0; i < program.words.size(); ++i)
+            cpu.mem().write(static_cast<uint32_t>(i),
+                            program.words[i]);
+
+        const uint32_t root_entry =
+            graph.procedures()[lockset.roots()[ls_root[r]].proc]
+                .entry;
+        cpu.setPc(root_entry);
+
+        struct Step
+        {
+            uint32_t pc;
+            isa::Instruction inst;
+            uint32_t ea; ///< LD/ST only
+        };
+        std::vector<Step> steps;
+        cpu.setTraceHook([&](const machine::TraceEntry &entry) {
+            // The hook fires before execution and the program never
+            // relocates (RRM stays 0), so rs1 reads the architected
+            // register directly and the effective address is exact.
+            uint32_t ea = 0;
+            if (entry.inst.op == isa::Opcode::LD ||
+                entry.inst.op == isa::Opcode::ST) {
+                ea = cpu.regs().data()[entry.inst.rs1] +
+                     static_cast<uint32_t>(entry.inst.imm);
+            }
+            steps.push_back({entry.pc, entry.inst, ea});
+        });
+        cpu.run(s.maxSteps);
+        if (!cpu.halted()) {
+            problems.push_back(strf(
+                "callgraph: root %zu did not halt within %llu steps "
+                "(trap %d)",
+                r, static_cast<unsigned long long>(s.maxSteps),
+                static_cast<int>(cpu.trap())));
+            return problems;
+        }
+
+        std::set<std::pair<uint32_t, uint32_t>> touched_sites;
+        for (const Step &step : steps) {
+            if (problems.size() >= 4)
+                return problems;
+            const uint32_t owner = graph.procOfAddress(step.pc);
+            if (owner == lint::CallGraph::noProc) {
+                problems.push_back(strf(
+                    "callgraph: root %zu executed addr %u, which "
+                    "belongs to no discovered procedure",
+                    r, step.pc));
+                continue;
+            }
+            const lint::Procedure &proc =
+                graph.procedures()[owner];
+            const lint::UseDef ud = lint::useDef(step.inst);
+            const uint64_t used = ud.uses | ud.defs;
+            if (used & ~proc.footprint) {
+                problems.push_back(strf(
+                    "callgraph: root %zu at addr %u touches regs "
+                    "0x%llx outside procedure '%s' footprint 0x%llx",
+                    r, step.pc,
+                    static_cast<unsigned long long>(used),
+                    proc.name.c_str(),
+                    static_cast<unsigned long long>(
+                        proc.footprint)));
+                continue;
+            }
+            const bool is_mem = step.inst.op == isa::Opcode::LD ||
+                                step.inst.op == isa::Opcode::ST;
+            if (is_mem && step.ea >= kCgCellBase &&
+                step.ea < kCgCellBase + s.numCells) {
+                touched_sites.insert({step.pc, step.ea});
+            }
+        }
+
+        // Every runtime cell touch must be a classified access of
+        // this root, at the same site and address.
+        std::set<std::pair<uint32_t, uint32_t>> classified;
+        for (const lint::Access &access : lockset.accesses()) {
+            if (access.root == ls_root[r])
+                classified.insert({access.address, access.mem});
+        }
+        for (const auto &[pc, ea] : touched_sites) {
+            if (!classified.count({pc, ea})) {
+                problems.push_back(strf(
+                    "callgraph: root %zu touched shared word 0x%x "
+                    "at addr %u but the lockset pass did not "
+                    "classify that access",
+                    r, ea, pc));
+                return problems;
+            }
+        }
+    }
+    return problems;
+}
+
 } // namespace
+
+std::string
+callgraphSource(const CallgraphSample &s)
+{
+    std::ostringstream out;
+    out << "; generated by the rrfuzz callgraph domain\n";
+    for (unsigned c = 0; c < s.numCells; ++c)
+        out << "        .equ CELL" << c << ", "
+            << (kCgCellBase + c) << '\n';
+    for (unsigned l = 0; l < s.numLocks; ++l)
+        out << "        .equ LOCKW" << l << ", "
+            << (kCgLockBase + l) << '\n';
+    out << '\n';
+    for (size_t r = 1; r < s.roots.size(); ++r)
+        out << "        .thread t" << r << '\n';
+    for (unsigned l = 0; l < s.numLocks; ++l)
+        out << "        .lockdef lk" << l << ", lk" << l
+            << "_acq, lk" << l << "_rel\n";
+    out << '\n';
+
+    // Thread roots: entry first (address 0), then the .thread labels.
+    for (size_t r = 0; r < s.roots.size(); ++r) {
+        out << (r == 0 ? std::string("entry")
+                       : "t" + std::to_string(r))
+            << ":\n";
+        for (const uint32_t callee : s.roots[r].calls)
+            out << "        jal   r12, p" << callee << '\n';
+        out << "        halt\n\n";
+    }
+
+    // Procedures, in index order — but only those reachable from a
+    // root. Dead code with a call into a lock procedure would poison
+    // the RRM analysis' constant propagation (unreachable labels are
+    // conservatively seeded with an unknown mask), and the sample's
+    // ground truth deliberately models only the reachable forest.
+    std::vector<bool> emitted(s.procs.size(), false);
+    {
+        const std::function<void(uint32_t)> mark = [&](uint32_t p) {
+            if (emitted[p])
+                return;
+            emitted[p] = true;
+            for (const uint32_t child : s.procs[p].calls)
+                mark(child);
+        };
+        for (const CgRoot &root : s.roots) {
+            for (const uint32_t callee : root.calls)
+                mark(callee);
+        }
+    }
+
+    // A procedure at forest depth d is entered with its return
+    // address in r(11+d) and calls its children through r(12+d);
+    // lock procedures always link via r15.
+    const std::vector<unsigned> depth = cgDepths(s);
+    for (size_t p = 0; p < s.procs.size(); ++p) {
+        const CgProc &proc = s.procs[p];
+        if (!emitted[p])
+            continue;
+        const unsigned link = 11 + depth[p];
+        out << 'p' << p << ":\n";
+        if (proc.lock >= 0)
+            out << "        jal   r15, lk" << proc.lock << "_acq\n";
+        for (unsigned reg = 1; reg <= 11; ++reg) {
+            if (proc.touch & (1u << reg))
+                out << "        addi  r" << reg << ", r" << reg
+                    << ", 1\n";
+        }
+        if (proc.cell >= 0) {
+            out << "        li    r11, CELL" << proc.cell << '\n';
+            out << "        " << (proc.write ? "st" : "ld")
+                << "    r10, 0(r11)\n";
+        }
+        for (const uint32_t callee : proc.calls)
+            out << "        jal   r" << (link + 1) << ", p" << callee
+                << '\n';
+        if (proc.lock >= 0)
+            out << "        jal   r15, lk" << proc.lock << "_rel\n";
+        out << "        jmp   r" << link << "\n\n";
+    }
+
+    // Spinlock idioms, one acquire/release pair per declared lock
+    // (the .lockdef contract: the analyses trust these, so keep them
+    // the canonical shape from docs/LINT.md).
+    for (unsigned l = 0; l < s.numLocks; ++l) {
+        out << "lk" << l << "_acq:\n"
+            << "        li    r5, LOCKW" << l << '\n'
+            << "        li    r6, 1\n"
+            << "lk" << l << "_spin:\n"
+            << "        ld    r7, 0(r5)\n"
+            << "        beq   r7, r6, lk" << l << "_spin\n"
+            << "        st    r6, 0(r5)\n"
+            << "        jmp   r15\n\n";
+        out << "lk" << l << "_rel:\n"
+            << "        li    r5, LOCKW" << l << '\n'
+            << "        li    r6, 0\n"
+            << "        st    r6, 0(r5)\n"
+            << "        jmp   r15\n\n";
+    }
+    return out.str();
+}
 
 Problems
 checkSample(const AnySample &sample)
@@ -1281,8 +1768,10 @@ checkSample(const AnySample &sample)
                 return checkProgram(s);
             else if constexpr (std::is_same_v<T, MtSample>)
                 return checkMt(s);
-            else
+            else if constexpr (std::is_same_v<T, XsimSample>)
                 return checkXsim(s);
+            else
+                return checkCallgraph(s);
         },
         sample);
 }

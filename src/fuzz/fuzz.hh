@@ -43,6 +43,20 @@ AnySample generateSample(SampleKind kind, Rng &rng);
  */
 Problems checkSample(const AnySample &sample);
 
+/** Callgraph-sample geometry (fixed; the sample varies structure). */
+constexpr unsigned kCgNumRegs = 64;   ///< register file size
+constexpr unsigned kCgMemWords = 1024; ///< memory size (words)
+constexpr uint32_t kCgCellBase = 0x200; ///< first shared cell
+constexpr uint32_t kCgLockBase = 0x240; ///< first lock word
+
+/**
+ * Expand @p sample into RRISC assembly (pure and deterministic: the
+ * same sample always yields byte-identical source). The layout is
+ * roots first (entry at address 0), then procedures in index order,
+ * then one spinlock acquire/release pair per declared lock.
+ */
+std::string callgraphSource(const CallgraphSample &sample);
+
 /**
  * Delta-debug @p sample (which must fail checkSample) to a smaller
  * sample that still fails. Spends at most @p maxSteps oracle

@@ -747,6 +747,78 @@ genXsim(Rng &rng)
     return s;
 }
 
+// ---------------------------------------------------------------------
+// callgraph
+
+CallgraphSample
+genCallgraph(Rng &rng)
+{
+    CallgraphSample s;
+    s.numCells = static_cast<unsigned>(rng.nextRange(1, 3));
+    s.numLocks = static_cast<unsigned>(rng.nextRange(0, 2));
+    s.maxSteps = 20000;
+
+    const unsigned num_procs =
+        static_cast<unsigned>(rng.nextRange(1, 10));
+    s.procs.resize(num_procs);
+
+    // Forest shape first: each procedure either starts a new tree or
+    // attaches under an earlier one (single parent, depth <= 3, at
+    // most 4 children), so every per-root call path is unique and
+    // the ground-truth locksets below are exact.
+    std::vector<unsigned> depth(num_procs, 1);
+    std::vector<int> parent(num_procs, -1);
+    for (unsigned i = 1; i < num_procs; ++i) {
+        if (!chance(rng, 55))
+            continue;
+        const auto candidate = static_cast<uint32_t>(
+            rng.nextRange(0, i - 1));
+        if (depth[candidate] >= 3 ||
+            s.procs[candidate].calls.size() >= 4)
+            continue;
+        parent[i] = static_cast<int>(candidate);
+        depth[i] = depth[candidate] + 1;
+        s.procs[candidate].calls.push_back(i);
+    }
+
+    for (unsigned i = 0; i < num_procs; ++i) {
+        CgProc &proc = s.procs[i];
+        const unsigned touches =
+            static_cast<unsigned>(rng.nextRange(0, 3));
+        for (unsigned t = 0; t < touches; ++t)
+            proc.touch |= 1u << rng.nextRange(1, 11);
+        if (chance(rng, 65)) {
+            proc.cell = static_cast<int>(
+                rng.nextRange(0, s.numCells - 1));
+            proc.write = chance(rng, 60);
+        }
+        if (s.numLocks > 0 && chance(rng, 50)) {
+            const int lock = static_cast<int>(
+                rng.nextRange(0, s.numLocks - 1));
+            // A spinlock re-acquired while held never returns.
+            bool on_path = false;
+            for (int a = parent[i]; a >= 0; a = parent[a])
+                on_path = on_path || s.procs[a].lock == lock;
+            if (!on_path)
+                proc.lock = lock;
+        }
+    }
+
+    // Roots call parentless procedures only; independent draws per
+    // root make shared trees (the cross-thread case) common.
+    const unsigned num_roots =
+        static_cast<unsigned>(rng.nextRange(1, 4));
+    s.roots.resize(num_roots);
+    for (CgRoot &root : s.roots) {
+        for (unsigned i = 0; i < num_procs; ++i) {
+            if (parent[i] < 0 && root.calls.size() < 4 &&
+                chance(rng, 60))
+                root.calls.push_back(i);
+        }
+    }
+    return s;
+}
+
 } // namespace
 
 const char *
@@ -761,6 +833,7 @@ kindName(SampleKind kind)
       case SampleKind::Program: return "program";
       case SampleKind::Mt: return "mt";
       case SampleKind::Xsim: return "xsim";
+      case SampleKind::Callgraph: return "callgraph";
     }
     return "?";
 }
@@ -796,6 +869,7 @@ generateSample(SampleKind kind, Rng &rng)
       case SampleKind::Program: return genProgram(rng);
       case SampleKind::Mt: return genMt(rng);
       case SampleKind::Xsim: return genXsim(rng);
+      case SampleKind::Callgraph: return genCallgraph(rng);
     }
     rr_panic("bad sample kind");
 }

@@ -238,6 +238,29 @@ writeMt(const MtSample &s, std::ostringstream &out)
 }
 
 void
+writeCallgraph(const CallgraphSample &s, std::ostringstream &out)
+{
+    out << "numCells " << s.numCells << '\n';
+    out << "numLocks " << s.numLocks << '\n';
+    out << "maxSteps " << s.maxSteps << '\n';
+    // One line per procedure: touch mask, cell+1 (0 = none), write
+    // flag, lock+1 (0 = none), then the child indices.
+    for (const CgProc &proc : s.procs) {
+        out << "proc " << proc.touch << ' ' << proc.cell + 1 << ' '
+            << (proc.write ? 1 : 0) << ' ' << proc.lock + 1;
+        for (const uint32_t callee : proc.calls)
+            out << ' ' << callee;
+        out << '\n';
+    }
+    for (const CgRoot &root : s.roots) {
+        out << "root";
+        for (const uint32_t callee : root.calls)
+            out << ' ' << callee;
+        out << '\n';
+    }
+}
+
+void
 writeXsim(const XsimSample &s, std::ostringstream &out)
 {
     out << "threads " << s.threads << '\n';
@@ -534,6 +557,61 @@ parseXsimFields(const std::vector<Field> &fields, XsimSample &s,
     });
 }
 
+bool
+parseCallgraphFields(const std::vector<Field> &fields,
+                     CallgraphSample &s, std::string &error)
+{
+    return applyFields(fields, error, [&](const Field &f) {
+        if (bindU(f, "numCells", s.numCells) ||
+            bindU(f, "numLocks", s.numLocks) ||
+            bindU(f, "maxSteps", s.maxSteps))
+            return true;
+        if (f.key == "proc") {
+            const std::vector<std::string> words =
+                splitWords(f.rest);
+            if (words.size() < 4)
+                return false;
+            uint64_t v[4];
+            for (size_t i = 0; i < 4; ++i) {
+                // Narrow-cast guard: validation happens later, but
+                // the cast below must not wrap a huge value into a
+                // plausible one.
+                if (!parseU64(words[i], v[i]) || v[i] > 100000)
+                    return false;
+            }
+            CgProc proc;
+            proc.touch = static_cast<uint32_t>(v[0]);
+            proc.cell = static_cast<int>(v[1]) - 1;
+            if (v[2] > 1)
+                return false;
+            proc.write = v[2] != 0;
+            proc.lock = static_cast<int>(v[3]) - 1;
+            for (size_t i = 4; i < words.size(); ++i) {
+                uint64_t callee = 0;
+                if (!parseU64(words[i], callee) || callee > 100000)
+                    return false;
+                proc.calls.push_back(
+                    static_cast<uint32_t>(callee));
+            }
+            s.procs.push_back(std::move(proc));
+            return true;
+        }
+        if (f.key == "root") {
+            CgRoot root;
+            for (const std::string &w : splitWords(f.rest)) {
+                uint64_t callee = 0;
+                if (!parseU64(w, callee) || callee > 100000)
+                    return false;
+                root.calls.push_back(
+                    static_cast<uint32_t>(callee));
+            }
+            s.roots.push_back(std::move(root));
+            return true;
+        }
+        return false;
+    });
+}
+
 } // namespace
 
 std::string
@@ -559,8 +637,10 @@ serializeRepro(const AnySample &sample)
                 writeProgram(s, out);
             else if constexpr (std::is_same_v<T, MtSample>)
                 writeMt(s, out);
-            else
+            else if constexpr (std::is_same_v<T, XsimSample>)
                 writeXsim(s, out);
+            else
+                writeCallgraph(s, out);
         },
         sample);
     out << "end\n";
@@ -754,6 +834,103 @@ validateXsim(const XsimSample &s, std::string &error)
 }
 
 bool
+validateCallgraph(const CallgraphSample &s, std::string &error)
+{
+    if (!inRange(s.procs.size(), 1, 16, "procs", error) ||
+        !inRange(s.roots.size(), 1, 6, "roots", error) ||
+        !inRange(s.numCells, 1, 8, "numCells", error) ||
+        !inRange(s.numLocks, 0, 4, "numLocks", error) ||
+        !inRange(s.maxSteps, 1, 10000000, "maxSteps", error))
+        return false;
+
+    // Establish the forest shape first (at most one parent each),
+    // then check depth and lock nesting along parent chains.
+    const uint32_t none = ~0u;
+    std::vector<uint32_t> parent(s.procs.size(), none);
+    for (size_t i = 0; i < s.procs.size(); ++i) {
+        const CgProc &p = s.procs[i];
+        if ((p.touch & ~0xFFEu) != 0) {
+            error = "proc touch outside r1..r11";
+            return false;
+        }
+        if (p.cell < -1 || p.cell >= static_cast<int>(s.numCells)) {
+            error = "proc cell out of range";
+            return false;
+        }
+        if (p.cell < 0 && p.write) {
+            error = "write without a cell";
+            return false;
+        }
+        if (p.lock < -1 || p.lock >= static_cast<int>(s.numLocks)) {
+            error = "proc lock out of range";
+            return false;
+        }
+        if (p.calls.size() > 4) {
+            error = "proc calls too many children";
+            return false;
+        }
+        uint32_t prev = 0;
+        bool first = true;
+        for (const uint32_t callee : p.calls) {
+            if (callee <= i || callee >= s.procs.size()) {
+                error = "proc call target out of range";
+                return false;
+            }
+            if (!first && callee <= prev) {
+                error = "proc calls not strictly increasing";
+                return false;
+            }
+            first = false;
+            prev = callee;
+            if (parent[callee] != none) {
+                error = "procedure has two callers";
+                return false;
+            }
+            parent[callee] = static_cast<uint32_t>(i);
+        }
+    }
+    for (size_t i = 0; i < s.procs.size(); ++i) {
+        unsigned depth = 1;
+        for (uint32_t a = parent[i]; a != none; a = parent[a]) {
+            ++depth;
+            if (depth > 3) {
+                error = "call forest deeper than three";
+                return false;
+            }
+            if (s.procs[i].lock >= 0 &&
+                s.procs[a].lock == s.procs[i].lock) {
+                error = "lock repeated along an ancestor path";
+                return false;
+            }
+        }
+    }
+    for (const CgRoot &r : s.roots) {
+        if (r.calls.size() > 4) {
+            error = "root calls too many procedures";
+            return false;
+        }
+        for (size_t i = 0; i < r.calls.size(); ++i) {
+            const uint32_t callee = r.calls[i];
+            if (callee >= s.procs.size()) {
+                error = "root call target out of range";
+                return false;
+            }
+            if (parent[callee] != none) {
+                error = "root calls a non-root procedure";
+                return false;
+            }
+            for (size_t j = 0; j < i; ++j) {
+                if (r.calls[j] == callee) {
+                    error = "root calls a procedure twice";
+                    return false;
+                }
+            }
+        }
+    }
+    return true;
+}
+
+bool
 validateText(const std::string &text, std::string &error)
 {
     if (text.size() <= 1u << 20)
@@ -899,6 +1076,14 @@ parseRepro(const std::string &text, AnySample &out, std::string &error)
         XsimSample s;
         if (!parseXsimFields(fields, s, error) ||
             !validateXsim(s, error))
+            return false;
+        out = s;
+        return true;
+      }
+      case SampleKind::Callgraph: {
+        CallgraphSample s;
+        if (!parseCallgraphFields(fields, s, error) ||
+            !validateCallgraph(s, error))
             return false;
         out = s;
         return true;

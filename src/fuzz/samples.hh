@@ -22,6 +22,12 @@
  *            for determinism
  *   xsim     machine-MT kernel cycle accounting vs the rr::mt model
  *            under a matched scripted fault schedule
+ *   callgraph
+ *            rrlint's interprocedural summaries and lockset race
+ *            detector vs a constructed call forest with lock idioms:
+ *            claims checked against both the construction's ground
+ *            truth and the registers/memory the machine actually
+ *            touches when each thread root runs
  */
 
 #ifndef RR_FUZZ_SAMPLES_HH
@@ -45,10 +51,11 @@ enum class SampleKind : uint8_t
     Program,
     Mt,
     Xsim,
+    Callgraph,
 };
 
 /** Number of distinct sample kinds. */
-constexpr unsigned numSampleKinds = 8;
+constexpr unsigned numSampleKinds = 9;
 
 /** @return stable printable name of @p kind (used in repro files). */
 const char *kindName(SampleKind kind);
@@ -257,10 +264,77 @@ struct XsimSample
     double tolerance = 0.15;
 };
 
+// ---------------------------------------------------------------------
+// callgraph: rrlint interprocedural + lockset vs construction/runtime
+
+/** One generated procedure in a callgraph sample. */
+struct CgProc
+{
+    /**
+     * Extra registers this body touches directly (bitmask over
+     * r1..r11; the emitter turns each bit into an `addi rX, rX, 1`).
+     */
+    uint32_t touch = 0;
+
+    int cell = -1;      ///< shared cell index accessed (-1: none)
+    bool write = false; ///< the access is a ST (LD otherwise)
+
+    /**
+     * Lock held around the whole body (-1: none): acquire is called
+     * before the first touch, release after the last child call, so
+     * the access and every callee inherit it. Must differ from every
+     * forest ancestor's lock or the spinlock self-deadlocks.
+     */
+    int lock = -1;
+
+    /**
+     * Child procedures called, in order. Indices are strictly greater
+     * than this procedure's own (the call graph is a forest: acyclic,
+     * and every procedure has at most one caller), and the forest is
+     * at most three procedures deep.
+     */
+    std::vector<uint32_t> calls;
+};
+
+/** One thread root (roots[0] is `entry`, the rest `.thread` labels). */
+struct CgRoot
+{
+    /**
+     * Top-level procedures called in sequence before HALT. Distinct,
+     * and only parentless procedures — so within one root every
+     * procedure is reachable along exactly one call path and the
+     * constructed must-hold lockset is exact, while two roots sharing
+     * a tree still exercise cross-thread access classification.
+     */
+    std::vector<uint32_t> calls;
+};
+
+/**
+ * A whole-program concurrency sample: a procedure forest with lock
+ * idioms and shared-cell accesses, expanded deterministically into
+ * assembly by callgraphSource(). Only procedures reachable from a
+ * root are emitted (dead code calling a lock procedure would poison
+ * the RRM analysis' conservative unknown-mask seed for unreachable
+ * labels, which the ground-truth model deliberately excludes). Oracles: (1) the program assembles
+ * and rrlint --all reports *exactly* the races the construction
+ * implies (site locksets included); (2) running each thread root on
+ * machine::Cpu stays inside the per-procedure summary footprints and
+ * every runtime shared-cell touch is classified by the lockset pass.
+ */
+struct CallgraphSample
+{
+    unsigned numCells = 1; ///< shared `.equ` cells (kCgCellBase + i)
+    unsigned numLocks = 0; ///< declared locks (`.lockdef`)
+    std::vector<CgProc> procs;
+    std::vector<CgRoot> roots;
+    uint64_t maxSteps = 20000;
+};
+
 /** Any sample, tagged by domain. */
 using AnySample =
     std::variant<RelocSample, HeapSample, JsonSample, NumSample,
-                 PhaseSample, ProgramSample, MtSample, XsimSample>;
+                 PhaseSample, ProgramSample, MtSample, XsimSample,
+                 CallgraphSample>;
 
 /** @return the domain tag of @p sample. */
 SampleKind kindOf(const AnySample &sample);

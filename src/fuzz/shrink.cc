@@ -284,6 +284,114 @@ shrinkXsim(XsimSample s, Budget &budget)
     return s;
 }
 
+/** @return true when procedure @p index has a caller or a root call. */
+bool
+cgReferenced(const CallgraphSample &s, uint32_t index)
+{
+    for (const CgProc &p : s.procs) {
+        for (const uint32_t callee : p.calls) {
+            if (callee == index)
+                return true;
+        }
+    }
+    for (const CgRoot &r : s.roots) {
+        for (const uint32_t callee : r.calls) {
+            if (callee == index)
+                return true;
+        }
+    }
+    return false;
+}
+
+AnySample
+shrinkCallgraph(CallgraphSample s, Budget &budget)
+{
+    // Fewer roots first: each root costs a full Cpu run per check.
+    if (s.roots.size() > 1) {
+        shrinkList(s.roots, budget,
+                   [&](const std::vector<CgRoot> &roots) {
+                       CallgraphSample candidate = s;
+                       candidate.roots = roots;
+                       if (candidate.roots.empty())
+                           candidate.roots.push_back(CgRoot{});
+                       return AnySample{candidate};
+                   });
+        if (s.roots.empty())
+            s.roots.push_back(CgRoot{});
+    }
+    for (size_t r = 0; r < s.roots.size(); ++r) {
+        shrinkList(s.roots[r].calls, budget,
+                   [&](const std::vector<uint32_t> &calls) {
+                       CallgraphSample candidate = s;
+                       candidate.roots[r].calls = calls;
+                       return AnySample{candidate};
+                   });
+    }
+    for (size_t i = 0; i < s.procs.size(); ++i) {
+        shrinkList(s.procs[i].calls, budget,
+                   [&](const std::vector<uint32_t> &calls) {
+                       CallgraphSample candidate = s;
+                       candidate.procs[i].calls = calls;
+                       return AnySample{candidate};
+                   });
+    }
+
+    // Drop now-unreferenced trailing procedures (indices of earlier
+    // procedures are unaffected, so the candidate stays well formed).
+    while (s.procs.size() > 1 && !budget.spent() &&
+           !cgReferenced(s, static_cast<uint32_t>(s.procs.size() - 1))) {
+        CallgraphSample candidate = s;
+        candidate.procs.pop_back();
+        if (!fails(AnySample{candidate}, budget))
+            break;
+        s = candidate;
+    }
+
+    // Simplify per-procedure bodies, one aspect at a time.
+    for (size_t i = 0; i < s.procs.size() && !budget.spent(); ++i) {
+        if (s.procs[i].touch != 0) {
+            CallgraphSample candidate = s;
+            candidate.procs[i].touch = 0;
+            if (fails(AnySample{candidate}, budget))
+                s = candidate;
+        }
+        if (s.procs[i].lock >= 0 && !budget.spent()) {
+            CallgraphSample candidate = s;
+            candidate.procs[i].lock = -1;
+            if (fails(AnySample{candidate}, budget))
+                s = candidate;
+        }
+        if (s.procs[i].cell >= 0 && !budget.spent()) {
+            CallgraphSample candidate = s;
+            candidate.procs[i].cell = -1;
+            candidate.procs[i].write = false;
+            if (fails(AnySample{candidate}, budget))
+                s = candidate;
+        }
+    }
+
+    // Shed unused cell/lock declarations (keeps repro files small and
+    // the emitted data segment honest about what the sample needs).
+    if (!budget.spent()) {
+        CallgraphSample candidate = s;
+        int maxCell = 0, maxLock = -1;
+        for (const CgProc &p : candidate.procs) {
+            maxCell = std::max(maxCell, p.cell);
+            maxLock = std::max(maxLock, p.lock);
+        }
+        candidate.numCells = static_cast<unsigned>(maxCell + 1);
+        candidate.numLocks = static_cast<unsigned>(maxLock + 1);
+        if ((candidate.numCells != s.numCells ||
+             candidate.numLocks != s.numLocks) &&
+            fails(AnySample{candidate}, budget))
+            s = candidate;
+    }
+
+    shrinkScalar(s, &CallgraphSample::maxSteps,
+                 {uint64_t{2000}, uint64_t{20000}}, budget);
+    return s;
+}
+
 } // namespace
 
 AnySample
@@ -316,8 +424,10 @@ shrinkSample(const AnySample &sample, unsigned maxSteps,
                 return shrinkProgram(s, budget);
             else if constexpr (std::is_same_v<T, MtSample>)
                 return shrinkMt(s, budget);
-            else
+            else if constexpr (std::is_same_v<T, XsimSample>)
                 return shrinkXsim(s, budget);
+            else
+                return shrinkCallgraph(s, budget);
         },
         sample);
     stepsUsed = budget.used;

@@ -1,0 +1,18 @@
+; Seeded cross-call LDRRM delay-slot hazard (docs/LINT.md).
+;
+; The callee loads a new relocation mask and returns while the delay
+; window is still open, so the mask lands in the *caller*, which
+; continues under a context window it never asked for. Single-image
+; analysis sees a hazard at the jmp; the interprocedural pass
+; (rrlint --calls) names it ldrrm-across-call and attaches the
+; entry -> open_window call path as witness.
+
+entry:
+        jal   r8, open_window
+        add   r1, r1, r1        ; decodes under the surprise mask
+        halt
+
+open_window:
+        li    r4, 0x10
+        ldrrm r4
+        jmp   r8                ; returns inside the delay window

@@ -1,0 +1,52 @@
+; Correct lock-protected shared counter (docs/LINT.md).
+;
+; Two declared threads increment the shared word COUNTER, both
+; bracketing the access with the declared lock's acquire/release
+; procedures. The lockset analysis (rrlint --races) finds no shared
+; access with an empty lockset: this fixture lints clean.
+
+        .equ COUNTER, 0x80
+        .equ LOCKWORD, 0x81
+
+        .thread t0
+        .thread t1
+        .lockdef m, lock_acquire, lock_release
+
+entry:
+        halt
+
+t0:
+        jal   r8, lock_acquire
+        li    r4, COUNTER
+        ld    r1, 0(r4)
+        addi  r1, r1, 1
+        st    r1, 0(r4)
+        jal   r8, lock_release
+        halt
+
+t1:
+        jal   r8, lock_acquire
+        li    r4, COUNTER
+        ld    r1, 0(r4)
+        addi  r1, r1, 1
+        st    r1, 0(r4)
+        jal   r8, lock_release
+        halt
+
+; The lock implementation itself touches LOCKWORD unprotected, which
+; is its job: accesses inside .lockdef procedure bodies are exempt
+; (the annotation contract, docs/LINT.md).
+lock_acquire:
+        li    r5, LOCKWORD
+        li    r6, 1
+spin:
+        ld    r7, 0(r5)
+        beq   r7, r6, spin      ; held by someone else: spin
+        st    r6, 0(r5)         ; take it
+        jmp   r8
+
+lock_release:
+        li    r5, LOCKWORD
+        li    r6, 0
+        st    r6, 0(r5)
+        jmp   r8

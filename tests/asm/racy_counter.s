@@ -1,0 +1,47 @@
+; Racy unprotected shared counter (docs/LINT.md).
+;
+; Thread t0 takes the declared lock around the COUNTER increment;
+; thread t1 skips it. The lockset analysis (rrlint --races) reports
+; exactly one empty-lockset race on COUNTER, with a stable site pair:
+; t0's locked load races with t1's unlocked store.
+
+        .equ COUNTER, 0x80
+        .equ LOCKWORD, 0x81
+
+        .thread t0
+        .thread t1
+        .lockdef m, lock_acquire, lock_release
+
+entry:
+        halt
+
+t0:
+        jal   r8, lock_acquire
+        li    r4, COUNTER
+        ld    r1, 0(r4)
+        addi  r1, r1, 1
+        st    r1, 0(r4)
+        jal   r8, lock_release
+        halt
+
+t1:                             ; no lock: races with t0
+        li    r4, COUNTER
+        ld    r1, 0(r4)
+        addi  r1, r1, 1
+        st    r1, 0(r4)
+        halt
+
+lock_acquire:
+        li    r5, LOCKWORD
+        li    r6, 1
+spin:
+        ld    r7, 0(r5)
+        beq   r7, r6, spin
+        st    r6, 0(r5)
+        jmp   r8
+
+lock_release:
+        li    r5, LOCKWORD
+        li    r6, 0
+        st    r6, 0(r5)
+        jmp   r8

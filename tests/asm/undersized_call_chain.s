@@ -1,0 +1,24 @@
+; Undersized-context call chain (docs/LINT.md).
+;
+; entry opens a 16-register window (RRM 0x10) and calls through
+; a -> b. b references r20, so the subtree reachable from each call
+; needs 21 registers — more than the open window holds. The
+; interprocedural pass (rrlint --calls) reports
+; call-undersized-context at both call sites with the
+; entry -> a -> b call path, alongside the per-instruction
+; rrm-overlap findings inside b.
+
+entry:
+        li    r4, 0x10
+        ldrrm r4
+        nop                     ; delay slot
+        jal   r8, a
+        halt
+
+a:
+        jal   r9, b
+        jmp   r8
+
+b:
+        add   r20, r20, r20     ; r20 escapes the 0x10 window
+        jmp   r9

@@ -1,0 +1,41 @@
+# Runs rrlint --all --json over the analysis fixtures and the example
+# corpus, then feeds the report back through rrlint --validate: the
+# emitted document must always be a structurally valid rr.lint.v1
+# document, findings or not (docs/LINT.md). Invoked by ctest; see
+# tests/CMakeLists.txt.
+
+foreach(var RRLINT WORK_DIR SOURCE_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "${var} is required")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+file(GLOB LINT_INPUTS
+    ${SOURCE_DIR}/examples/asm/*.s
+    ${SOURCE_DIR}/tests/asm/*.s)
+if(NOT LINT_INPUTS)
+    message(FATAL_ERROR "no assembly inputs found")
+endif()
+
+# Findings in the fixtures make this exit 1; only exit 2 (unreadable
+# input) or 64 (usage) would mean the report itself is missing.
+execute_process(
+    COMMAND ${RRLINT} --all --json ${LINT_INPUTS}
+    OUTPUT_FILE ${WORK_DIR}/report.json
+    RESULT_VARIABLE lint_status)
+if(lint_status GREATER 1)
+    message(FATAL_ERROR
+        "rrlint --all --json failed with status ${lint_status}")
+endif()
+
+execute_process(
+    COMMAND ${RRLINT} --validate ${WORK_DIR}/report.json
+    RESULT_VARIABLE validate_status)
+if(NOT validate_status EQUAL 0)
+    message(FATAL_ERROR
+        "rrlint --json emitted an invalid rr.lint.v1 document "
+        "(validate exit ${validate_status})")
+endif()

@@ -238,6 +238,71 @@ TEST(Assembler, LineMappingTracksSource)
     EXPECT_EQ(prog.lines[2], 3);
 }
 
+TEST(Assembler, ThreadDirectiveRecordsEntryPoints)
+{
+    const Program prog = assemble(".thread worker\n"
+                                  ".thread other, 0x20\n"
+                                  "entry:\n"
+                                  "    halt\n"
+                                  "worker:\n"
+                                  "    halt\n"
+                                  "other:\n"
+                                  "    halt\n");
+    ASSERT_TRUE(prog.ok());
+    ASSERT_EQ(prog.threads.size(), 2u);
+    EXPECT_EQ(prog.threads[0].address, prog.addressOf("worker"));
+    EXPECT_FALSE(prog.threads[0].hasRrm);
+    EXPECT_EQ(prog.threads[1].address, prog.addressOf("other"));
+    EXPECT_TRUE(prog.threads[1].hasRrm);
+    EXPECT_EQ(prog.threads[1].rrm, 0x20u);
+    // Directives emit no words.
+    EXPECT_EQ(prog.words.size(), 3u);
+}
+
+TEST(Assembler, LockdefDirectiveRecordsLockProcedures)
+{
+    const Program prog = assemble(".lockdef m, take, drop\n"
+                                  "take:\n"
+                                  "    jmp r8\n"
+                                  "drop:\n"
+                                  "    jmp r8\n");
+    ASSERT_TRUE(prog.ok());
+    ASSERT_EQ(prog.lockdefs.size(), 1u);
+    EXPECT_EQ(prog.lockdefs[0].name, "m");
+    EXPECT_EQ(prog.lockdefs[0].acquire, prog.addressOf("take"));
+    EXPECT_EQ(prog.lockdefs[0].release, prog.addressOf("drop"));
+}
+
+TEST(Assembler, AddressTakenTracksLabelMaterialisations)
+{
+    // Labels materialised via la/li or .word are potential JALR
+    // targets; plain numbers and .equ constants are not.
+    const Program prog = assemble("    .equ K, 0x40\n"
+                                  "entry:\n"
+                                  "    la r4, helper\n"
+                                  "    li r5, K\n"
+                                  "    li r6, 7\n"
+                                  "    halt\n"
+                                  "helper:\n"
+                                  "    jmp r8\n"
+                                  "    .word tail\n"
+                                  "tail:\n"
+                                  "    halt\n");
+    ASSERT_TRUE(prog.ok());
+    const std::vector<uint32_t> expect = {prog.addressOf("helper"),
+                                          prog.addressOf("tail")};
+    EXPECT_EQ(prog.addressTaken, expect);
+}
+
+TEST(AssemblerErrors, MalformedConcurrencyDirectives)
+{
+    EXPECT_FALSE(assemble(".thread\nhalt\n").ok());
+    EXPECT_FALSE(assemble(".thread nowhere\nhalt\n").ok());
+    EXPECT_FALSE(assemble(".lockdef m, onlyone\nhalt\n").ok());
+    EXPECT_FALSE(
+        assemble(".lockdef m, a, nowhere\na:\n jmp r8\n").ok());
+}
+
 
 /**
  * Property: disassembly is valid assembler input, and re-assembling

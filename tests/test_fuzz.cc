@@ -18,7 +18,7 @@ namespace {
 const SampleKind kAllKinds[] = {
     SampleKind::Reloc,   SampleKind::Heap, SampleKind::Json,
     SampleKind::Num,     SampleKind::Phase, SampleKind::Program,
-    SampleKind::Mt,      SampleKind::Xsim,
+    SampleKind::Mt,      SampleKind::Xsim, SampleKind::Callgraph,
 };
 
 TEST(FuzzGen, SameSeedSameSample)
@@ -103,6 +103,84 @@ TEST(FuzzRepro, RejectsOutOfDomainValues)
                             "latency1 100\nnumRegs 128\nseed 1\n"
                             "end\n",
                             out, error));
+}
+
+TEST(FuzzRepro, RejectsMalformedCallgraphs)
+{
+    AnySample out;
+    std::string error;
+    // A procedure with two callers breaks the forest invariant the
+    // ground-truth locksets depend on.
+    EXPECT_FALSE(parseRepro("rrfuzz.repro.v1\nkind callgraph\n"
+                            "numCells 1\nnumLocks 0\nmaxSteps 100\n"
+                            "proc 0 0 0 0 2\nproc 0 0 0 0 2\n"
+                            "proc 0 0 0 0\nroot 0 1\nend\n",
+                            out, error));
+    EXPECT_NE(error.find("two callers"), std::string::npos) << error;
+
+    // A lock held by both a procedure and its forest ancestor would
+    // make the generated spinlock deadlock at runtime.
+    EXPECT_FALSE(parseRepro("rrfuzz.repro.v1\nkind callgraph\n"
+                            "numCells 1\nnumLocks 1\nmaxSteps 100\n"
+                            "proc 0 0 0 1 1\nproc 0 0 0 1\n"
+                            "root 0\nend\n",
+                            out, error));
+    EXPECT_NE(error.find("ancestor"), std::string::npos) << error;
+
+    // Roots may only call parentless procedures (unique call paths).
+    EXPECT_FALSE(parseRepro("rrfuzz.repro.v1\nkind callgraph\n"
+                            "numCells 1\nnumLocks 0\nmaxSteps 100\n"
+                            "proc 0 0 0 0 1\nproc 0 0 0 0\n"
+                            "root 1\nend\n",
+                            out, error));
+
+    // Back or self call targets would make the graph cyclic.
+    EXPECT_FALSE(parseRepro("rrfuzz.repro.v1\nkind callgraph\n"
+                            "numCells 1\nnumLocks 0\nmaxSteps 100\n"
+                            "proc 0 0 0 0 0\nroot 0\nend\n",
+                            out, error));
+}
+
+/** A two-thread unlocked write/write conflict on one shared cell. */
+CallgraphSample
+racyCallgraphSample()
+{
+    CallgraphSample s;
+    s.numCells = 1;
+    s.numLocks = 1;
+    s.maxSteps = 20000;
+    CgProc writer;
+    writer.cell = 0;
+    writer.write = true;
+    CgProc locked_writer;
+    locked_writer.cell = 0;
+    locked_writer.write = true;
+    locked_writer.lock = 0;
+    s.procs = {writer, locked_writer};
+    s.roots.resize(3);
+    s.roots[1].calls = {0}; // t1: unlocked write
+    s.roots[2].calls = {1}; // t2: write under lk0
+    return s;
+}
+
+TEST(FuzzCheck, CallgraphOracleAcceptsARacyConstruction)
+{
+    // The oracle demands the lint race set *equal* the construction's
+    // — a sample with a genuine race passes only if the analysis
+    // reports exactly that race.
+    const AnySample sample = racyCallgraphSample();
+    const Problems problems = checkSample(sample);
+    EXPECT_TRUE(problems.empty())
+        << (problems.empty() ? "" : problems.front());
+}
+
+TEST(FuzzCheck, CallgraphSourceIsDeterministic)
+{
+    const CallgraphSample s = racyCallgraphSample();
+    const std::string a = callgraphSource(s);
+    EXPECT_EQ(a, callgraphSource(s));
+    EXPECT_NE(a.find(".lockdef lk0"), std::string::npos);
+    EXPECT_NE(a.find(".thread t2"), std::string::npos);
 }
 
 /** A sample that fails checkSample deterministically: the phase

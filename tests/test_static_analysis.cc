@@ -8,9 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/static/callgraph.hh"
 #include "analysis/static/cfg.hh"
 #include "analysis/static/lint.hh"
 #include "analysis/static/liveness.hh"
+#include "analysis/static/lockset.hh"
 #include "analysis/static/rrm_state.hh"
 #include "assembler/assembler.hh"
 
@@ -448,6 +450,336 @@ TEST(Lint, FlatOnlyModeSkipsFlowAnalyses)
     const LintResult result = lintProgram(p, options);
     EXPECT_TRUE(result.clean());
     EXPECT_TRUE(result.threads.empty());
+}
+
+// ---- Call graph ----------------------------------------------------------
+
+// The tests/asm/ fixture sources, pinned inline so behavior changes
+// show up here before they show up in the tool-integration tests.
+
+const char *kCrossCallHazard = "entry:\n"
+                               "    jal   r8, open_window\n"
+                               "    add   r1, r1, r1\n"
+                               "    halt\n"
+                               "open_window:\n"
+                               "    li    r4, 0x10\n"
+                               "    ldrrm r4\n"
+                               "    jmp   r8\n";
+
+const char *kUndersizedChain = "entry:\n"
+                               "    li    r4, 0x10\n"
+                               "    ldrrm r4\n"
+                               "    nop\n"
+                               "    jal   r8, a\n"
+                               "    halt\n"
+                               "a:\n"
+                               "    jal   r9, b\n"
+                               "    jmp   r8\n"
+                               "b:\n"
+                               "    add   r20, r20, r20\n"
+                               "    jmp   r9\n";
+
+std::string
+counterSource(bool t1Locked)
+{
+    std::string body = "    li    r4, 0x80\n"
+                       "    ld    r1, 0(r4)\n"
+                       "    addi  r1, r1, 1\n"
+                       "    st    r1, 0(r4)\n";
+    std::string locked = "    jal   r8, lock_acquire\n" + body +
+                         "    jal   r8, lock_release\n";
+    return "    .thread t0\n"
+           "    .thread t1\n"
+           "    .lockdef m, lock_acquire, lock_release\n"
+           "entry:\n"
+           "    halt\n"
+           "t0:\n" +
+           locked + "    halt\n" + "t1:\n" +
+           (t1Locked ? locked : body) + "    halt\n" +
+           "lock_acquire:\n"
+           "    li    r5, 0x81\n"
+           "    li    r6, 1\n"
+           "spin:\n"
+           "    ld    r7, 0(r5)\n"
+           "    beq   r7, r6, spin\n"
+           "    st    r6, 0(r5)\n"
+           "    jmp   r8\n"
+           "lock_release:\n"
+           "    li    r5, 0x81\n"
+           "    li    r6, 0\n"
+           "    st    r6, 0(r5)\n"
+           "    jmp   r8\n";
+}
+
+const Procedure *
+procNamed(const CallGraph &cg, const std::string &name)
+{
+    for (const Procedure &p : cg.procedures())
+        if (p.name == name)
+            return &p;
+    return nullptr;
+}
+
+std::vector<const Finding *>
+findingsByCode(const LintResult &result, const std::string &code)
+{
+    std::vector<const Finding *> out;
+    for (const Finding &f : result.findings)
+        if (f.code == code)
+            out.push_back(&f);
+    return out;
+}
+
+TEST(CallGraph, DiscoversProceduresAndTransitiveSummaries)
+{
+    const auto p = prog(kUndersizedChain);
+    const Cfg cfg(p);
+    const CallGraph cg(cfg);
+
+    const Procedure *entry = procNamed(cg, "entry");
+    const Procedure *a = procNamed(cg, "a");
+    const Procedure *b = procNamed(cg, "b");
+    ASSERT_TRUE(entry && a && b);
+
+    EXPECT_TRUE(entry->isEntry);
+    EXPECT_FALSE(entry->returns);
+    EXPECT_TRUE(a->returns);
+    EXPECT_TRUE(b->returns);
+
+    // b's direct footprint covers r20 and its link register r9; a's
+    // transitive footprint includes the whole subtree.
+    EXPECT_EQ(b->regsRead & bit(20), bit(20));
+    EXPECT_EQ(b->registers, 21u);
+    EXPECT_EQ(b->minContext, 32u);
+    EXPECT_EQ(a->footprint & (bit(8) | bit(9) | bit(20)),
+              bit(8) | bit(9) | bit(20));
+    EXPECT_EQ(a->registers, 21u);
+
+    // The LDRRM is in entry itself, not in a's subtree.
+    EXPECT_TRUE(entry->switchesRrm);
+    EXPECT_FALSE(a->switchesRrm);
+
+    const uint32_t bIndex =
+        cg.procByEntry(p.addressOf("b"));
+    ASSERT_NE(bIndex, CallGraph::noProc);
+    const auto path = cg.callPath(bIndex);
+    const std::vector<std::string> expect = {"entry", "a", "b"};
+    EXPECT_EQ(path, expect);
+}
+
+TEST(CallGraph, ThreadAndLockDirectivesMakeEntries)
+{
+    const auto p = prog(counterSource(true));
+    const Cfg cfg(p);
+    const CallGraph cg(cfg);
+
+    const Procedure *t0 = procNamed(cg, "t0");
+    const Procedure *acquire = procNamed(cg, "lock_acquire");
+    const Procedure *release = procNamed(cg, "lock_release");
+    ASSERT_TRUE(t0 && acquire && release);
+
+    EXPECT_TRUE(t0->isThread);
+    EXPECT_EQ(acquire->lockAcquire, 0);
+    EXPECT_EQ(acquire->lockRelease, -1);
+    EXPECT_EQ(release->lockRelease, 0);
+    ASSERT_EQ(cg.lockNames().size(), 1u);
+    EXPECT_EQ(cg.lockNames()[0], "m");
+}
+
+TEST(CallGraph, AddressTakenLabelsBecomeJalrTargets)
+{
+    const auto p = prog("entry:\n"
+                        "    la    r4, helper\n"
+                        "    jalr  r8, r4\n"
+                        "    halt\n"
+                        "helper:\n"
+                        "    jmp   r8\n");
+    const Cfg cfg(p);
+    const CallGraph cg(cfg);
+
+    const Procedure *helper = procNamed(cg, "helper");
+    ASSERT_TRUE(helper);
+    EXPECT_TRUE(helper->addressTaken);
+
+    const Procedure *entry = procNamed(cg, "entry");
+    ASSERT_TRUE(entry);
+    EXPECT_TRUE(entry->callsIndirect);
+}
+
+// ---- Interprocedural lint ------------------------------------------------
+
+TEST(Lint, CrossCallLdrrmHazardWithCallPathWitness)
+{
+    const auto p = prog(kCrossCallHazard);
+    LintOptions options;
+    options.interprocedural = true;
+    const LintResult result = lintProgram(p, options);
+
+    const auto across = findingsByCode(result, "ldrrm-across-call");
+    ASSERT_EQ(across.size(), 1u);
+    EXPECT_EQ(across[0]->address, 6u);
+    const std::vector<std::string> expect = {"entry", "open_window"};
+    EXPECT_EQ(across[0]->path, expect);
+
+    // Without the call graph the return edge does not exist, so the
+    // interprocedural hazard cannot be seen (the in-window control
+    // transfer still is).
+    const LintResult flat = lintProgram(p, {});
+    EXPECT_TRUE(findingsByCode(flat, "ldrrm-across-call").empty());
+    EXPECT_EQ(findingsByCode(flat, "delay-slot-control").size(), 1u);
+}
+
+TEST(Lint, UndersizedContextHiddenBehindCalls)
+{
+    const auto p = prog(kUndersizedChain);
+    LintOptions options;
+    options.interprocedural = true;
+    const LintResult result = lintProgram(p, options);
+
+    const auto undersized =
+        findingsByCode(result, "call-undersized-context");
+    ASSERT_EQ(undersized.size(), 2u);
+    // Both call sites sit under the 16-register window 0x10 while
+    // the callee subtree needs 21 registers; the deeper finding
+    // carries the full chain.
+    const std::vector<std::string> chain = {"entry", "a", "b"};
+    EXPECT_EQ(undersized[1]->path, chain);
+    EXPECT_NE(undersized[0]->message.find("21 register(s)"),
+              std::string::npos);
+
+    ASSERT_EQ(result.procedures.size(), 3u);
+    EXPECT_EQ(result.procedures[0].name, "entry");
+    EXPECT_EQ(result.procedures[0].minContext, 32u);
+}
+
+// ---- Lockset race detection ----------------------------------------------
+
+TEST(Lockset, LockedCounterIsClean)
+{
+    const auto p = prog(counterSource(true));
+    LintOptions options;
+    options.interprocedural = true;
+    options.lockset = true;
+    const LintResult result = lintProgram(p, options);
+
+    EXPECT_TRUE(result.clean());
+    EXPECT_TRUE(result.races.empty());
+    EXPECT_TRUE(findingsByCode(result, "race").empty());
+}
+
+TEST(Lockset, UnlockedThreadRacesWithStableSitePair)
+{
+    const auto p = prog(counterSource(false));
+    LintOptions options;
+    options.interprocedural = true;
+    options.lockset = true;
+    const LintResult result = lintProgram(p, options);
+
+    ASSERT_EQ(result.races.size(), 1u);
+    const RaceReport &race = result.races[0];
+    EXPECT_EQ(race.mem, 0x80u);
+
+    // Stable witness pair: t0's locked read vs t1's unlocked write.
+    EXPECT_EQ(race.first.thread, "t0");
+    EXPECT_FALSE(race.first.write);
+    ASSERT_EQ(race.first.locks.size(), 1u);
+    EXPECT_EQ(race.first.locks[0], "m");
+    EXPECT_EQ(race.second.thread, "t1");
+    EXPECT_TRUE(race.second.write);
+    EXPECT_TRUE(race.second.locks.empty());
+
+    const auto findings = findingsByCode(result, "race");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0]->severity, Severity::Error);
+    EXPECT_NE(findings[0]->message.find("locks none"),
+              std::string::npos);
+}
+
+TEST(Lockset, PostIndirectCallAccessesAreUnclassified)
+{
+    // t0 holds the lock for its first store, then makes an indirect
+    // call and stores again. The indirect callee may switch the RRM,
+    // so constant propagation (and with it access classification)
+    // stops at the JALR: the second store is neither reported clean
+    // nor racy — the documented soundness caveat (docs/LINT.md).
+    const auto p = prog("    .thread t0\n"
+                        "    .thread t1\n"
+                        "    .lockdef m, lock_acquire, lock_release\n"
+                        "entry:\n"
+                        "    halt\n"
+                        "t0:\n"
+                        "    jal   r8, lock_acquire\n"
+                        "    li    r4, 0x80\n"
+                        "    st    r1, 0(r4)\n"
+                        "    la    r9, helper\n"
+                        "    jalr  r10, r9\n"
+                        "    li    r4, 0x80\n"
+                        "    st    r1, 0(r4)\n"
+                        "    halt\n"
+                        "t1:\n"
+                        "    jal   r8, lock_acquire\n"
+                        "    li    r4, 0x80\n"
+                        "    ld    r1, 0(r4)\n"
+                        "    jal   r8, lock_release\n"
+                        "    halt\n"
+                        "helper:\n"
+                        "    jmp   r10\n"
+                        "lock_acquire:\n"
+                        "    jmp   r8\n"
+                        "lock_release:\n"
+                        "    jmp   r8\n");
+    const Cfg cfg(p);
+    const CallGraph cg(cfg);
+    const RrmAnalysis rrm(cfg, {}, &cg);
+    const LocksetAnalysis lockset(cfg, cg, rrm);
+
+    EXPECT_TRUE(lockset.races().empty());
+    unsigned counted = 0;
+    for (const Access &access : lockset.accesses())
+        if (access.mem == 0x80) {
+            ++counted;
+            EXPECT_NE(access.held, 0u);
+        }
+    // Only the lock-held store and load fold to a constant address;
+    // the post-JALR store drops out of classification entirely.
+    EXPECT_EQ(counted, 2u);
+}
+
+// ---- rr.lint.v1 document -------------------------------------------------
+
+TEST(Lint, JsonDocumentCoversAllFileShapes)
+{
+    FileReport linted;
+    linted.file = "racy.s";
+    {
+        LintOptions options;
+        options.interprocedural = true;
+        options.lockset = true;
+        linted.result =
+            lintProgram(prog(counterSource(false)), options);
+    }
+
+    FileReport unreadable;
+    unreadable.file = "missing.s";
+    unreadable.readable = false;
+
+    FileReport broken;
+    broken.file = "broken.s";
+    broken.assemblyErrors.push_back({3, "unknown mnemonic 'frob'"});
+
+    const std::string doc = renderJsonDocument(
+        {linted, unreadable, broken}, "1.2.3", 2);
+
+    EXPECT_NE(doc.find("\"schema\": \"rr.lint.v1\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"version\": \"1.2.3\""), std::string::npos);
+    EXPECT_NE(doc.find("\"readable\": false"), std::string::npos);
+    EXPECT_NE(doc.find("\"code\": \"assembly-error\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"code\": \"race\""), std::string::npos);
+    EXPECT_NE(doc.find("\"races\""), std::string::npos);
+    EXPECT_NE(doc.find("\"files\": 3"), std::string::npos);
+    EXPECT_NE(doc.find("\"exit\": 2"), std::string::npos);
 }
 
 } // namespace
