@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Admission control for rrserve (docs/SERVE.md): a bounded queue
+ * between the acceptor and the scheduler.
+ *
+ * The acceptor calls tryPush() for every admissible request; when
+ * the queue is at capacity the push fails immediately and the server
+ * answers 429 (over-capacity) instead of buffering — memory use is
+ * bounded by `capacity` queued requests no matter the offered load.
+ * The scheduler drains with popBatch(), which blocks until work or
+ * shutdown and then takes everything available up to the batch cap,
+ * which is what gives the coalescer cross-request batches to merge.
+ *
+ * close() wakes the scheduler for graceful drain: pushes are refused
+ * from then on, but popBatch() keeps returning queued work until the
+ * queue is empty — SIGTERM never drops an accepted request.
+ */
+
+#ifndef RR_SERVE_ADMISSION_HH
+#define RR_SERVE_ADMISSION_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace rr::serve {
+
+/** Monotonic admission counters, snapshotted for /v1/stats. */
+struct AdmissionCounters
+{
+    uint64_t accepted = 0;
+    uint64_t rejected = 0;
+    uint64_t maxDepth = 0; ///< high-water queue depth
+};
+
+/** Bounded MPSC work queue with reject-on-full admission. */
+template <typename T>
+class AdmissionQueue
+{
+  public:
+    /** @param capacity maximum queued items (>= 1). */
+    explicit AdmissionQueue(std::size_t capacity)
+        : capacity_(capacity)
+    {
+    }
+
+    /**
+     * Admit @p item unless the queue is full or closed.
+     * @return true when queued; false means answer 429 now.
+     */
+    bool
+    tryPush(T item)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_ || items_.size() >= capacity_) {
+                ++counters_.rejected;
+                return false;
+            }
+            items_.push_back(std::move(item));
+            ++counters_.accepted;
+            if (items_.size() > counters_.maxDepth)
+                counters_.maxDepth = items_.size();
+        }
+        ready_.notify_one();
+        return true;
+    }
+
+    /**
+     * Block until items are queued or the queue is closed, then
+     * take up to @p max items. An empty result means closed-and-
+     * drained: the scheduler should exit.
+     */
+    std::vector<T>
+    popBatch(std::size_t max)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ready_.wait(lock,
+                    [this] { return closed_ || !items_.empty(); });
+        std::vector<T> batch;
+        while (!items_.empty() && batch.size() < max) {
+            batch.push_back(std::move(items_.front()));
+            items_.pop_front();
+        }
+        return batch;
+    }
+
+    /** Refuse new work and wake the scheduler (graceful drain). */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        ready_.notify_all();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+    std::size_t
+    depth() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    AdmissionCounters
+    counters() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return counters_;
+    }
+
+  private:
+    std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable ready_;
+    std::deque<T> items_;
+    bool closed_ = false;
+    AdmissionCounters counters_;
+};
+
+} // namespace rr::serve
+
+#endif // RR_SERVE_ADMISSION_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Content-addressed result cache for rrserve (docs/SERVE.md).
+ *
+ * Entries are keyed by the canonical spec key (protocol.hh): the
+ * server hashes the canonical string (64-bit FNV-1a) to find the
+ * bucket and compares the full key on lookup, so a hash collision is
+ * a miss, never a wrong answer. Because every simulation is
+ * deterministic, a hit can return the stored response bytes
+ * verbatim — byte-identical to a fresh run, which is the property
+ * tests/test_serve.cc and the serve-smoke run both assert.
+ *
+ * Eviction is strict LRU over a fixed entry budget; hit, miss,
+ * insertion, and eviction counters feed the /v1/stats endpoint.
+ * The cache is internally locked — the acceptor and scheduler
+ * threads share one instance.
+ */
+
+#ifndef RR_SERVE_CACHE_HH
+#define RR_SERVE_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace rr::serve {
+
+/** 64-bit FNV-1a over @p text (the canonical-key hash). */
+inline uint64_t
+fnv1a64(const std::string &text)
+{
+    uint64_t hash = 14695981039346656037ull;
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+/** Monotonic counters, snapshotted for /v1/stats. */
+struct CacheCounters
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    uint64_t entries = 0; ///< current size (not monotonic)
+};
+
+/** LRU result cache keyed by canonical spec key. */
+class ResultCache
+{
+  public:
+    /** @param capacity maximum resident entries (0 disables). */
+    explicit ResultCache(std::size_t capacity)
+        : capacity_(capacity)
+    {
+    }
+
+    /**
+     * Look @p key up; a hit refreshes recency and returns the stored
+     * bytes. Counts a hit or a miss either way.
+     */
+    std::optional<std::string>
+    get(const std::string &key)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = index_.find(fnv1a64(key));
+        if (it == index_.end() || it->second->key != key) {
+            ++counters_.misses;
+            return std::nullopt;
+        }
+        ++counters_.hits;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return it->second->bytes;
+    }
+
+    /**
+     * Insert @p bytes under @p key (replacing any entry with the
+     * same hash), evicting the least-recently-used entry when the
+     * budget is exceeded.
+     */
+    void
+    put(const std::string &key, std::string bytes)
+    {
+        if (capacity_ == 0)
+            return;
+        std::lock_guard<std::mutex> lock(mutex_);
+        const uint64_t hash = fnv1a64(key);
+        const auto it = index_.find(hash);
+        if (it != index_.end()) {
+            lru_.erase(it->second);
+            index_.erase(it);
+        }
+        lru_.push_front(Entry{key, std::move(bytes)});
+        index_[hash] = lru_.begin();
+        ++counters_.insertions;
+        while (lru_.size() > capacity_) {
+            index_.erase(fnv1a64(lru_.back().key));
+            lru_.pop_back();
+            ++counters_.evictions;
+        }
+    }
+
+    CacheCounters
+    counters() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        CacheCounters out = counters_;
+        out.entries = lru_.size();
+        return out;
+    }
+
+  private:
+    struct Entry
+    {
+        std::string key;
+        std::string bytes;
+    };
+
+    std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::list<Entry> lru_; ///< front = most recently used
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+    CacheCounters counters_;
+};
+
+} // namespace rr::serve
+
+#endif // RR_SERVE_CACHE_HH

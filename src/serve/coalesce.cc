@@ -1,0 +1,40 @@
+#include "serve/coalesce.hh"
+
+#include <string>
+#include <unordered_map>
+
+namespace rr::serve {
+
+BatchPlan
+planBatch(const std::vector<ServeRequest> &requests)
+{
+    BatchPlan plan;
+    std::unordered_map<std::string, std::size_t> seen;
+    for (const ServeRequest &request : requests) {
+        std::vector<std::size_t> assignment;
+        for (const SimUnit &unit : expandUnits(request)) {
+            const std::string key = unitKey(unit);
+            const auto [it, inserted] =
+                seen.emplace(key, plan.unique.size());
+            if (inserted)
+                plan.unique.push_back(unit);
+            assignment.push_back(it->second);
+            ++plan.totalUnits;
+        }
+        plan.assignments.push_back(std::move(assignment));
+    }
+    return plan;
+}
+
+std::vector<UnitResult>
+gatherResults(const BatchPlan &plan, std::size_t index,
+              const std::vector<UnitResult> &unit_results)
+{
+    std::vector<UnitResult> out;
+    out.reserve(plan.assignments[index].size());
+    for (const std::size_t unit : plan.assignments[index])
+        out.push_back(unit_results[unit]);
+    return out;
+}
+
+} // namespace rr::serve

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Request coalescing for rrserve (docs/SERVE.md).
+ *
+ * The scheduler drains the admission queue in batches; planBatch()
+ * expands every request in the batch into its simulation units
+ * (protocol.hh) and deduplicates them by canonical unit key, so
+ * overlapping sweeps — two clients asking for intersecting latency
+ * grids, or the same spec at different sweep shapes — are simulated
+ * once and the results shared.
+ *
+ * Coalescing is invisible in the output: a unit's result depends
+ * only on its spec (the simulations are deterministic), and each
+ * request's document is assembled from its own unit list in
+ * canonical order, so a coalesced batch produces byte-identical
+ * documents to the same requests served one at a time — the oracle
+ * tests/test_serve.cc checks.
+ */
+
+#ifndef RR_SERVE_COALESCE_HH
+#define RR_SERVE_COALESCE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "serve/protocol.hh"
+
+namespace rr::serve {
+
+/** The deduplicated execution plan for one batch of requests. */
+struct BatchPlan
+{
+    /** Units to simulate, in first-appearance order. */
+    std::vector<SimUnit> unique;
+
+    /**
+     * Per request, the index into `unique` of each of its units, in
+     * expandUnits() order — the order resultDocument() consumes.
+     */
+    std::vector<std::vector<std::size_t>> assignments;
+
+    std::size_t totalUnits = 0; ///< before deduplication
+
+    /** Simulations saved by coalescing. */
+    std::size_t saved() const { return totalUnits - unique.size(); }
+};
+
+/** Expand and deduplicate @p requests into one execution plan. */
+BatchPlan planBatch(const std::vector<ServeRequest> &requests);
+
+/**
+ * Gather request @p index's results from the batch-wide unit
+ * results (parallel to BatchPlan::unique).
+ */
+std::vector<UnitResult>
+gatherResults(const BatchPlan &plan, std::size_t index,
+              const std::vector<UnitResult> &unit_results);
+
+} // namespace rr::serve
+
+#endif // RR_SERVE_COALESCE_HH

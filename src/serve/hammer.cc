@@ -1,0 +1,252 @@
+#include "serve/hammer.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/json_out.hh"
+#include "serve/server.hh"
+
+namespace rr::serve {
+
+namespace {
+
+/** A small, fast request body; @p index selects a distinct spec. */
+std::string
+hammerBody(unsigned index)
+{
+    return "{\"spec\": {\"family\": \"cache\", \"runLength\": " +
+           std::to_string(8 + 4 * index) +
+           ", \"threads\": 8, \"seeds\": 2}}";
+}
+
+uint64_t
+percentileUs(std::vector<uint64_t> &sorted_us, unsigned percent)
+{
+    if (sorted_us.empty())
+        return 0;
+    std::size_t rank = sorted_us.size() * percent / 100;
+    if (rank >= sorted_us.size())
+        rank = sorted_us.size() - 1;
+    return sorted_us[rank];
+}
+
+/** An in-process server plus the thread running it. */
+class ServerFixture
+{
+  public:
+    explicit ServerFixture(const ServeOptions &options)
+        : server_(options)
+    {
+        ok_ = server_.start();
+        if (ok_)
+            thread_ = std::thread([this] { server_.run(); });
+    }
+
+    ~ServerFixture()
+    {
+        if (thread_.joinable()) {
+            server_.stop();
+            thread_.join();
+        }
+    }
+
+    bool ok() const { return ok_; }
+    uint16_t port() const { return server_.port(); }
+    Server &server() { return server_; }
+
+  private:
+    Server server_;
+    std::thread thread_;
+    bool ok_ = false;
+};
+
+} // namespace
+
+int
+runHammer(const HammerOptions &options, std::ostream &out)
+{
+    using Clock = std::chrono::steady_clock;
+    bool pass = true;
+    const unsigned specs = options.specs == 0 ? 1 : options.specs;
+    const unsigned clients =
+        options.clients == 0 ? 1 : options.clients;
+
+    ServeOptions serve;
+    serve.port = 0;
+    serve.cacheEntries = options.cacheEntries;
+    serve.jobs = options.jobs;
+    ServerFixture fixture(serve);
+    if (!fixture.ok()) {
+        out << "hammer: cannot start server: "
+            << fixture.server().error() << "\n";
+        return 1;
+    }
+    const uint16_t port = fixture.port();
+
+    // Phase 1: identity. Cold run misses; the identical request
+    // replayed from the cache must return byte-identical bytes.
+    const std::string identity_body = hammerBody(0);
+    const HttpResponse cold =
+        httpPost(port, "/v1/simulate", identity_body);
+    const HttpResponse hot =
+        httpPost(port, "/v1/simulate", identity_body);
+    const bool identity_ok =
+        cold.status == 200 && hot.status == 200 &&
+        cold.header("X-Cache") == "miss" &&
+        hot.header("X-Cache") == "hit" && cold.body == hot.body;
+    pass = pass && identity_ok;
+
+    const HttpResponse health = httpGet(port, "/healthz");
+    pass = pass && health.status == 200;
+
+    // Phase 2: throughput. Client threads cycle over a small spec
+    // set so the cache and the coalescer both see repeats.
+    std::vector<std::vector<uint64_t>> latencies(clients);
+    std::atomic<uint64_t> issued{0};
+    std::atomic<uint64_t> ok_responses{0};
+    std::atomic<uint64_t> failures{0};
+    std::vector<std::thread> workers;
+    for (unsigned c = 0; c < clients; ++c) {
+        workers.emplace_back([&, c] {
+            for (;;) {
+                const uint64_t n = issued.fetch_add(1);
+                if (n >= options.requests)
+                    return;
+                const std::string body =
+                    hammerBody(static_cast<unsigned>(n % specs));
+                const auto start = Clock::now();
+                const HttpResponse reply =
+                    httpPost(port, "/v1/simulate", body);
+                const auto micros =
+                    std::chrono::duration_cast<
+                        std::chrono::microseconds>(Clock::now() -
+                                                   start)
+                        .count();
+                latencies[c].push_back(
+                    static_cast<uint64_t>(micros));
+                if (reply.status == 200)
+                    ok_responses.fetch_add(1);
+                else
+                    failures.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread &worker : workers)
+        worker.join();
+
+    std::vector<uint64_t> all_us;
+    for (const std::vector<uint64_t> &mine : latencies)
+        all_us.insert(all_us.end(), mine.begin(), mine.end());
+    std::sort(all_us.begin(), all_us.end());
+    const uint64_t p50 = percentileUs(all_us, 50);
+    const uint64_t p99 = percentileUs(all_us, 99);
+    const bool throughput_ok =
+        ok_responses.load() == options.requests &&
+        failures.load() == 0;
+    pass = pass && throughput_ok;
+
+    const std::string stats = fixture.server().statsDocument();
+    pass = pass && stats.find("rr.serve.stats.v1") !=
+                       std::string::npos;
+
+    // Phase 3: backpressure, against a dedicated server with a tiny
+    // queue, single-unit batches, and the cache off so every request
+    // really simulates. Flooding it with concurrent unique requests
+    // must produce 429s while every response stays well-formed.
+    uint64_t rejected = 0;
+    uint64_t flood_ok = 0;
+    uint64_t flood_bad = 0;
+    {
+        ServeOptions tiny;
+        tiny.port = 0;
+        tiny.queueDepth = 2;
+        tiny.batchMax = 1;
+        tiny.cacheEntries = 0;
+        tiny.jobs = 1;
+        ServerFixture small(tiny);
+        if (!small.ok()) {
+            out << "hammer: cannot start backpressure server: "
+                << small.server().error() << "\n";
+            return 1;
+        }
+        const uint16_t small_port = small.port();
+        constexpr unsigned kFlood = 32;
+        std::atomic<uint64_t> flood_rejected{0};
+        std::atomic<uint64_t> flood_served{0};
+        std::atomic<uint64_t> flood_failed{0};
+        std::vector<std::thread> flooders;
+        for (unsigned f = 0; f < kFlood; ++f) {
+            flooders.emplace_back([&, f] {
+                // Unique spec per flooder: no two coalesce away.
+                const std::string body =
+                    "{\"spec\": {\"family\": \"sync\", "
+                    "\"runLength\": " +
+                    std::to_string(8 + f) +
+                    ", \"threads\": 16, \"seeds\": 2}}";
+                const HttpResponse reply =
+                    httpPost(small_port, "/v1/simulate", body);
+                if (reply.status == 429)
+                    flood_rejected.fetch_add(1);
+                else if (reply.status == 200)
+                    flood_served.fetch_add(1);
+                else
+                    flood_failed.fetch_add(1);
+            });
+        }
+        for (std::thread &flooder : flooders)
+            flooder.join();
+        rejected = flood_rejected.load();
+        flood_ok = flood_served.load();
+        flood_bad = flood_failed.load();
+    }
+    const bool backpressure_ok = rejected > 0 && flood_bad == 0;
+    pass = pass && backpressure_ok;
+
+    if (options.json) {
+        exp::JsonWriter w;
+        w.beginObject();
+        w.key("schema");
+        w.value("rr.serve.hammer.v1");
+        w.key("requests");
+        w.value(options.requests);
+        w.key("clients");
+        w.value(clients);
+        w.key("identityOk");
+        w.value(identity_ok);
+        w.key("throughputOk");
+        w.value(throughput_ok);
+        w.key("p50Us");
+        w.value(p50);
+        w.key("p99Us");
+        w.value(p99);
+        w.key("rejected429");
+        w.value(rejected);
+        w.key("backpressureOk");
+        w.value(backpressure_ok);
+        w.key("pass");
+        w.value(pass);
+        w.endObject();
+        out << w.str() << "\n";
+    } else if (!options.quiet) {
+        out << "rrserve --hammer: " << options.requests
+            << " requests, " << clients << " clients\n";
+        out << "  identity: cold miss + hot hit byte-identical: "
+            << (identity_ok ? "ok" : "FAIL") << "\n";
+        out << "  throughput: " << ok_responses.load() << " ok, "
+            << failures.load() << " errors, p50 " << p50
+            << " us, p99 " << p99 << " us\n";
+        out << "  backpressure: " << (flood_ok + rejected + flood_bad)
+            << " offered, " << rejected << " rejected (429), "
+            << flood_ok << " served: "
+            << (backpressure_ok ? "ok" : "FAIL") << "\n";
+    }
+    out << (pass ? "hammer: PASS" : "hammer: FAIL") << "\n";
+    return pass ? 0 : 1;
+}
+
+} // namespace rr::serve

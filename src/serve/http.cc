@@ -1,0 +1,371 @@
+#include "serve/http.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include "base/parse_num.hh"
+
+namespace rr::serve {
+
+namespace {
+
+/** Read with a per-call timeout; 0 on EOF, -1 on error/timeout. */
+ssize_t
+readSome(int fd, char *buffer, std::size_t size, int timeout_ms)
+{
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready <= 0)
+        return -1;
+    return ::read(fd, buffer, size);
+}
+
+bool
+writeAll(int fd, const char *data, std::size_t size)
+{
+    while (size > 0) {
+        // MSG_NOSIGNAL: a peer that hung up means a failed write,
+        // never a SIGPIPE process kill.
+        const ssize_t wrote =
+            ::send(fd, data, size, MSG_NOSIGNAL);
+        if (wrote <= 0) {
+            if (wrote < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        data += wrote;
+        size -= static_cast<std::size_t>(wrote);
+    }
+    return true;
+}
+
+bool
+equalsIgnoreCase(const std::string &a, const std::string &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i])))
+            return false;
+    }
+    return true;
+}
+
+std::string
+trimmed(const std::string &text)
+{
+    std::size_t lo = 0;
+    std::size_t hi = text.size();
+    while (lo < hi &&
+           std::isspace(static_cast<unsigned char>(text[lo])))
+        ++lo;
+    while (hi > lo &&
+           std::isspace(static_cast<unsigned char>(text[hi - 1])))
+        --hi;
+    return text.substr(lo, hi - lo);
+}
+
+HttpRequest
+requestError(int status, std::string reason)
+{
+    HttpRequest out;
+    out.errorStatus = status;
+    out.errorReason = std::move(reason);
+    return out;
+}
+
+constexpr int kReadTimeoutMs = 5000;
+
+} // namespace
+
+HttpRequest
+readHttpRequest(int fd, std::size_t max_body)
+{
+    // Accumulate until the blank line ending the header block.
+    std::string data;
+    std::size_t header_end = std::string::npos;
+    while (header_end == std::string::npos) {
+        if (data.size() > kMaxHeaderBytes)
+            return requestError(431, "header block too large");
+        char buffer[2048];
+        const ssize_t got =
+            readSome(fd, buffer, sizeof buffer, kReadTimeoutMs);
+        if (got < 0)
+            return requestError(408, "timed out reading request");
+        if (got == 0)
+            return requestError(400, "connection closed mid-request");
+        data.append(buffer, static_cast<std::size_t>(got));
+        header_end = data.find("\r\n\r\n");
+    }
+
+    // Request line: METHOD SP target SP HTTP/1.x
+    const std::size_t line_end = data.find("\r\n");
+    const std::string line = data.substr(0, line_end);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? sp1 : line.find(' ', sp1 + 1);
+    if (sp2 == std::string::npos ||
+        line.compare(sp2 + 1, 7, "HTTP/1.") != 0)
+        return requestError(400, "malformed request line");
+
+    HttpRequest request;
+    request.method = line.substr(0, sp1);
+    request.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+
+    // Headers: only the framing ones matter, but reject transfer
+    // encodings this subset does not implement.
+    uint64_t content_length = 0;
+    bool have_length = false;
+    std::size_t pos = line_end + 2;
+    while (pos < header_end) {
+        std::size_t eol = data.find("\r\n", pos);
+        const std::string header = data.substr(pos, eol - pos);
+        pos = eol + 2;
+        const std::size_t colon = header.find(':');
+        if (colon == std::string::npos)
+            return requestError(400, "malformed header line");
+        const std::string name = header.substr(0, colon);
+        const std::string value = trimmed(header.substr(colon + 1));
+        if (equalsIgnoreCase(name, "content-length")) {
+            if (!parseUnsigned(value.c_str(), content_length))
+                return requestError(400, "bad Content-Length");
+            have_length = true;
+        } else if (equalsIgnoreCase(name, "transfer-encoding")) {
+            return requestError(501,
+                                "transfer encodings not supported");
+        }
+    }
+
+    if (request.method == "POST" && !have_length)
+        return requestError(411, "POST requires Content-Length");
+    if (content_length > max_body)
+        return requestError(413, "request body exceeds the limit");
+
+    request.body = data.substr(header_end + 4);
+    if (request.body.size() > content_length)
+        return requestError(400, "body longer than Content-Length");
+    while (request.body.size() < content_length) {
+        char buffer[4096];
+        const ssize_t got =
+            readSome(fd, buffer, sizeof buffer, kReadTimeoutMs);
+        if (got < 0)
+            return requestError(408, "timed out reading body");
+        if (got == 0)
+            return requestError(400, "connection closed mid-body");
+        request.body.append(buffer, static_cast<std::size_t>(got));
+        if (request.body.size() > content_length)
+            return requestError(400,
+                                "body longer than Content-Length");
+    }
+    return request;
+}
+
+const char *
+httpReason(int status)
+{
+    switch (status) {
+      case 200: return "OK";
+      case 400: return "Bad Request";
+      case 404: return "Not Found";
+      case 405: return "Method Not Allowed";
+      case 408: return "Request Timeout";
+      case 411: return "Length Required";
+      case 413: return "Payload Too Large";
+      case 429: return "Too Many Requests";
+      case 431: return "Request Header Fields Too Large";
+      case 500: return "Internal Server Error";
+      case 501: return "Not Implemented";
+    }
+    return "Unknown";
+}
+
+bool
+writeHttpResponse(int fd, int status, const std::string &body,
+                  const std::vector<std::string> &extra_headers)
+{
+    std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                      httpReason(status) + "\r\n";
+    out += "Content-Type: application/json\r\n";
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    for (const std::string &header : extra_headers)
+        out += header + "\r\n";
+    out += "Connection: close\r\n\r\n";
+    out += body;
+    return writeAll(fd, out.data(), out.size());
+}
+
+std::string
+HttpResponse::header(const std::string &name) const
+{
+    for (const auto &[key, value] : headers) {
+        if (equalsIgnoreCase(key, name))
+            return value;
+    }
+    return "";
+}
+
+namespace {
+
+int
+connectLoopback(uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return fd;
+}
+
+/** Issue one request and parse the whole reply (until EOF). */
+HttpResponse
+roundTrip(uint16_t port, const std::string &wire)
+{
+    HttpResponse response;
+    const int fd = connectLoopback(port);
+    if (fd < 0)
+        return response;
+    if (!writeAll(fd, wire.data(), wire.size())) {
+        ::close(fd);
+        return response;
+    }
+    std::string data;
+    for (;;) {
+        char buffer[4096];
+        const ssize_t got =
+            readSome(fd, buffer, sizeof buffer, kReadTimeoutMs);
+        if (got < 0) {
+            ::close(fd);
+            return response; // timeout: report transport failure
+        }
+        if (got == 0)
+            break;
+        data.append(buffer, static_cast<std::size_t>(got));
+    }
+    ::close(fd);
+
+    const std::size_t header_end = data.find("\r\n\r\n");
+    if (header_end == std::string::npos ||
+        data.compare(0, 9, "HTTP/1.1 ") != 0)
+        return response;
+    uint64_t status = 0;
+    if (!parseUnsigned(data.substr(9, 3).c_str(), status, 599))
+        return response;
+    response.status = static_cast<int>(status);
+    std::size_t pos = data.find("\r\n") + 2;
+    while (pos < header_end) {
+        const std::size_t eol = data.find("\r\n", pos);
+        const std::string header = data.substr(pos, eol - pos);
+        pos = eol + 2;
+        const std::size_t colon = header.find(':');
+        if (colon != std::string::npos)
+            response.headers.emplace_back(
+                header.substr(0, colon),
+                trimmed(header.substr(colon + 1)));
+    }
+    response.body = data.substr(header_end + 4);
+    return response;
+}
+
+} // namespace
+
+HttpResponse
+httpPost(uint16_t port, const std::string &target,
+         const std::string &body)
+{
+    const std::string wire =
+        "POST " + target + " HTTP/1.1\r\n" +
+        "Host: 127.0.0.1\r\n" +
+        "Content-Type: application/json\r\n" +
+        "Content-Length: " + std::to_string(body.size()) +
+        "\r\n\r\n" + body;
+    return roundTrip(port, wire);
+}
+
+HttpResponse
+httpGet(uint16_t port, const std::string &target)
+{
+    const std::string wire = "GET " + target + " HTTP/1.1\r\n" +
+                             "Host: 127.0.0.1\r\n\r\n";
+    return roundTrip(port, wire);
+}
+
+bool
+Listener::open(uint16_t port, int backlog)
+{
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        error_ = std::strerror(errno);
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(fd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(fd_, backlog) != 0) {
+        error_ = std::strerror(errno);
+        close();
+        return false;
+    }
+    socklen_t len = sizeof addr;
+    if (::getsockname(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0) {
+        error_ = std::strerror(errno);
+        close();
+        return false;
+    }
+    port_ = ntohs(addr.sin_port);
+    return true;
+}
+
+int
+Listener::acceptOnce(int timeout_ms)
+{
+    if (fd_ < 0)
+        return -1;
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready <= 0)
+        return -1;
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    }
+    return fd;
+}
+
+void
+Listener::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    port_ = 0;
+}
+
+} // namespace rr::serve

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Minimal HTTP/1.1 transport for rrserve: plain POSIX sockets, no
+ * dependencies, in the spirit of the repo's own JSON layer
+ * (src/exp/json_out.hh) — exactly the subset the protocol needs,
+ * parsed strictly.
+ *
+ * Supported: one request per connection (`Connection: close`
+ * semantics), request line + headers + Content-Length body, with
+ * hard caps on header and body size. Unsupported constructs
+ * (chunked transfer, upgrades) are answered with clean HTTP errors,
+ * never ignored. Responses carry no Date header and a fixed header
+ * order, so a response's bytes are a pure function of its content —
+ * part of the cache byte-identity contract (docs/SERVE.md).
+ *
+ * The client half (httpPost/httpGet) exists for the built-in load
+ * generator (hammer.hh) and the tests; it speaks to any HTTP/1.1
+ * server on the loopback.
+ */
+
+#ifndef RR_SERVE_HTTP_HH
+#define RR_SERVE_HTTP_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rr::serve {
+
+inline constexpr std::size_t kMaxHeaderBytes = 8192;
+
+/** A parsed request (or the error to answer instead). */
+struct HttpRequest
+{
+    std::string method; ///< "GET" | "POST" | ...
+    std::string target; ///< path, query string included
+    std::string body;
+
+    /** 0 when parsing succeeded; otherwise the status to answer. */
+    int errorStatus = 0;
+    std::string errorReason;
+
+    bool ok() const { return errorStatus == 0; }
+};
+
+/**
+ * Read and parse one request from @p fd. Bodies larger than
+ * @p max_body yield errorStatus 413 (the connection is not drained);
+ * malformed framing yields 400, missing length on POST 411, chunked
+ * transfer 501, and a read timeout 408.
+ */
+HttpRequest readHttpRequest(int fd, std::size_t max_body);
+
+/** The standard reason phrase for @p status. */
+const char *httpReason(int status);
+
+/**
+ * Write a complete response: status line, fixed headers
+ * (Content-Type: application/json, Content-Length, Connection:
+ * close), @p extra_headers verbatim ("Name: value" lines, no CRLF),
+ * then @p body.
+ * @return false when the peer went away mid-write.
+ */
+bool writeHttpResponse(int fd, int status, const std::string &body,
+                       const std::vector<std::string> &extra_headers =
+                           {});
+
+/** A client-side response (hammer and tests). */
+struct HttpResponse
+{
+    int status = 0; ///< 0 = transport failure (connect/read error)
+    std::string body;
+    std::vector<std::pair<std::string, std::string>> headers;
+
+    /** Header value by case-insensitive name; "" when absent. */
+    std::string header(const std::string &name) const;
+};
+
+/** POST @p body to 127.0.0.1:@p port @p target; blocks for reply. */
+HttpResponse httpPost(uint16_t port, const std::string &target,
+                      const std::string &body);
+
+/** GET @p target from 127.0.0.1:@p port. */
+HttpResponse httpGet(uint16_t port, const std::string &target);
+
+/** Loopback listener with a poll-based, interruptible accept. */
+class Listener
+{
+  public:
+    Listener() = default;
+    ~Listener() { close(); }
+    Listener(const Listener &) = delete;
+    Listener &operator=(const Listener &) = delete;
+
+    /**
+     * Bind and listen on 127.0.0.1:@p port (0 = ephemeral).
+     * @return false with a message in error() on failure.
+     */
+    bool open(uint16_t port, int backlog = 128);
+
+    /** The bound port (after open(); resolves port 0). */
+    uint16_t port() const { return port_; }
+
+    /**
+     * Accept one connection, waiting at most @p timeout_ms.
+     * @return the connection fd, or -1 on timeout/closed listener.
+     */
+    int acceptOnce(int timeout_ms);
+
+    void close();
+
+    const std::string &error() const { return error_; }
+
+  private:
+    int fd_ = -1;
+    uint16_t port_ = 0;
+    std::string error_;
+};
+
+} // namespace rr::serve
+
+#endif // RR_SERVE_HTTP_HH

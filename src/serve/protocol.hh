@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The rrserve wire protocol (docs/SERVE.md is the full reference):
+ * strict parsing of simulation requests, canonical spec keys, and
+ * deterministic result-document assembly.
+ *
+ * A request is one JSON object selecting a fault family, a sweep of
+ * (run length, latency) points, the architectures to compare, and
+ * the replication count. Parsing is strict in the same spirit as the
+ * tools' numeric grammar (base/parse_num.hh): unknown fields, wrong
+ * types, out-of-range values, and oversized sweeps are protocol
+ * errors with stable machine-readable codes — never aborts, never
+ * silent defaults for junk.
+ *
+ * Canonicalization is the contract the result cache and the
+ * coalescer both build on: parseRequest() normalizes every request
+ * (defaults filled in, sweep lists sorted and deduplicated, numbers
+ * reformatted in shortest round-trip form), so two requests that
+ * mean the same simulation — whatever their key order, whitespace,
+ * or list order — produce the same canonicalKey(), the same unit
+ * keys, and byte-identical result documents.
+ */
+
+#ifndef RR_SERVE_PROTOCOL_HH
+#define RR_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "multithread/mt_processor.hh"
+#include "multithread/simulation_spec.hh"
+
+namespace rr::serve {
+
+/** Protocol limits (documented in docs/SERVE.md). */
+inline constexpr std::size_t kMaxSweepValues = 16; ///< per sweep list
+inline constexpr unsigned kMaxSeeds = 16;
+inline constexpr unsigned kMaxThreads = 4096;
+inline constexpr std::size_t kMaxUnits = 1024; ///< sims per request
+
+/** Machine-readable protocol error codes (docs/SERVE.md). */
+enum class ErrorCode : uint8_t
+{
+    BadJson,      ///< body is not a valid JSON document
+    BadRequest,   ///< wrong shape: missing/mistyped/unknown fields
+    BadSpec,      ///< SimulationSpec validation rejected the values
+    Limit,        ///< a protocol limit exceeded (sweep size, seeds)
+    TooLarge,     ///< body exceeds the configured size cap
+    NotFound,     ///< unknown endpoint
+    MethodNotAllowed,
+    OverCapacity, ///< admission queue full — retry later
+    AuditFailure, ///< a served simulation failed the trace audit
+};
+
+/** Stable wire name of @p code ("bad-json", "over-capacity", ...). */
+const char *errorCodeName(ErrorCode code);
+
+/** The HTTP status conventionally paired with @p code. */
+int errorHttpStatus(ErrorCode code);
+
+/** A protocol-level rejection (thrown by parseRequest). */
+struct ProtocolError
+{
+    ErrorCode code = ErrorCode::BadRequest;
+    std::string message;
+};
+
+/** Render @p error as an "rr.serve.error.v1" JSON document. */
+std::string errorDocument(const ProtocolError &error);
+
+/** The stochastic fault family a request selects. */
+enum class Family : uint8_t
+{
+    Cache,         ///< Figure 5 conventions (S = 6, never unload)
+    Sync,          ///< Figure 6 conventions (S = 8, two-phase)
+    Deterministic, ///< Section 3.4 analytic setting
+};
+
+const char *familyName(Family family);
+
+/**
+ * One fully-resolved simulation configuration, before the
+ * architecture and seed are chosen. Every field is populated after
+ * parsing (defaults applied), so canonical keys never depend on
+ * which fields the client spelled out.
+ */
+struct PointSpec
+{
+    Family family = Family::Cache;
+    double runLength = 32.0; ///< mean run length R
+    double latency = 200.0;  ///< fault latency L
+    unsigned threads = 64;
+    unsigned numRegs = 128;
+    unsigned minContextSize = 4;
+    unsigned regsLo = 6;  ///< register demand C ~ U[lo, hi]
+    unsigned regsHi = 24;
+    unsigned fixedContextRegs = 32;
+};
+
+/** A parsed, normalized simulation request. */
+struct ServeRequest
+{
+    PointSpec base;                   ///< shared non-sweep settings
+    std::vector<double> runLengths;   ///< sorted, unique, non-empty
+    std::vector<double> latencies;    ///< sorted, unique, non-empty
+    std::vector<mt::ArchKind> archs;  ///< sorted, unique, non-empty
+    unsigned seeds = 3;               ///< replications (seeds 1..N)
+
+    /** Simulations this request expands to (points * archs * seeds). */
+    std::size_t units() const
+    {
+        return runLengths.size() * latencies.size() * archs.size() *
+               seeds;
+    }
+};
+
+/** One concrete simulation a request expands into. */
+struct SimUnit
+{
+    PointSpec point; ///< runLength/latency resolved to this unit's
+    mt::ArchKind arch = mt::ArchKind::Flexible;
+    uint64_t seed = 1;
+};
+
+/** What one simulation produced (the coalescer's exchange type). */
+struct UnitResult
+{
+    double efficiency = 0.0; ///< central-window efficiency
+    double resident = 0.0;   ///< time-weighted mean residency
+    bool auditOk = true;
+    std::string auditProblem; ///< first violation when !auditOk
+};
+
+/**
+ * Parse and normalize @p body as one simulation request.
+ * @throws ProtocolError naming the first problem (strict: unknown
+ *         fields, wrong types, limit violations, and values the
+ *         SimulationSpec validator rejects are all errors).
+ */
+ServeRequest parseRequest(const std::string &body);
+
+/**
+ * The canonical form of @p request: a fixed field order rendered
+ * with shortest round-trip numbers. Equal for every spelling of the
+ * same request; the result cache hashes this string (cache.hh).
+ */
+std::string canonicalKey(const ServeRequest &request);
+
+/** The canonical identity of one simulation unit. */
+std::string unitKey(const SimUnit &unit);
+
+/** Expand @p request into its units, in canonical (output) order. */
+std::vector<SimUnit> expandUnits(const ServeRequest &request);
+
+/**
+ * Build the validated SimulationSpec for @p unit (throws
+ * mt::SpecError for combinations the builder rejects; parseRequest
+ * already probes this once so served units do not throw).
+ */
+mt::SimulationSpec makeSpec(const SimUnit &unit);
+
+/**
+ * Assemble the "rr.bench.v1" result document for @p request from
+ * its unit results, given in expandUnits() order. The document is a
+ * pure function of (request, results): the bytes are identical
+ * whether the units ran fresh, coalesced with another request's, or
+ * were replayed from the cache.
+ */
+std::string resultDocument(const ServeRequest &request,
+                           const std::vector<UnitResult> &results);
+
+} // namespace rr::serve
+
+#endif // RR_SERVE_PROTOCOL_HH

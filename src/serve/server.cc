@@ -1,0 +1,231 @@
+#include "serve/server.hh"
+
+#include <unistd.h>
+
+#include <thread>
+
+#include "exp/json_out.hh"
+
+namespace rr::serve {
+
+namespace {
+
+/**
+ * An "rr.serve.error.v1" document for HTTP-layer failures, where the
+ * status comes from request framing rather than an ErrorCode.
+ */
+std::string
+transportErrorDocument(int status, const std::string &message)
+{
+    ErrorCode code = ErrorCode::BadRequest;
+    switch (status) {
+      case 404: code = ErrorCode::NotFound; break;
+      case 405: code = ErrorCode::MethodNotAllowed; break;
+      case 413: code = ErrorCode::TooLarge; break;
+      case 429: code = ErrorCode::OverCapacity; break;
+      default: break;
+    }
+    return errorDocument({code, message});
+}
+
+} // namespace
+
+Server::Server(const ServeOptions &options)
+    : options_(options),
+      broker_(options.cacheEntries, options.jobs),
+      queue_(options.queueDepth == 0 ? 1 : options.queueDepth)
+{
+}
+
+bool
+Server::start()
+{
+    if (!listener_.open(options_.port)) {
+        error_ = "cannot listen on 127.0.0.1:" +
+                 std::to_string(options_.port) + ": " +
+                 listener_.error();
+        return false;
+    }
+    return true;
+}
+
+void
+Server::run()
+{
+    std::thread scheduler([this] { schedulerLoop(); });
+
+    while (!stopped_.load()) {
+        if (options_.stopFlag != nullptr && *options_.stopFlag != 0)
+            break;
+        const int fd = listener_.acceptOnce(100);
+        if (fd < 0)
+            continue;
+        handleConnection(fd);
+    }
+
+    // Graceful drain: stop accepting, then let the scheduler finish
+    // every admitted request before returning.
+    listener_.close();
+    queue_.close();
+    scheduler.join();
+}
+
+void
+Server::handleConnection(int fd)
+{
+    HttpRequest request = readHttpRequest(fd, options_.maxBody);
+    if (!request.ok()) {
+        writeHttpResponse(fd, request.errorStatus,
+                          transportErrorDocument(
+                              request.errorStatus,
+                              request.errorReason));
+        ::close(fd);
+        return;
+    }
+
+    if (request.method == "GET" && request.target == "/healthz") {
+        writeHttpResponse(fd, 200, "{\"ok\": true}\n");
+        ::close(fd);
+        return;
+    }
+    if (request.method == "GET" && request.target == "/v1/stats") {
+        writeHttpResponse(fd, 200, statsDocument());
+        ::close(fd);
+        return;
+    }
+    if (request.target != "/v1/simulate") {
+        writeHttpResponse(fd, 404,
+                          transportErrorDocument(
+                              404, "no such endpoint: " +
+                                       request.target));
+        ::close(fd);
+        return;
+    }
+    if (request.method != "POST") {
+        writeHttpResponse(fd, 405,
+                          transportErrorDocument(
+                              405, "/v1/simulate requires POST"),
+                          {"Allow: POST"});
+        ::close(fd);
+        return;
+    }
+
+    Pending pending;
+    pending.fd = fd;
+    try {
+        pending.request = parseRequest(request.body);
+    } catch (const ProtocolError &error) {
+        writeHttpResponse(fd, errorHttpStatus(error.code),
+                          errorDocument(error));
+        ::close(fd);
+        return;
+    }
+
+    // Admission control: a full queue answers 429 immediately rather
+    // than buffering — memory stays bounded under any offered load.
+    if (!queue_.tryPush(std::move(pending))) {
+        writeHttpResponse(
+            fd, 429,
+            transportErrorDocument(
+                429, "admission queue full; retry later"),
+            {"Retry-After: 1"});
+        ::close(fd);
+    }
+}
+
+void
+Server::schedulerLoop()
+{
+    for (;;) {
+        std::vector<Pending> batch =
+            queue_.popBatch(options_.batchMax == 0
+                                ? 1
+                                : options_.batchMax);
+        if (batch.empty())
+            return; // closed and drained
+
+        std::vector<ServeRequest> requests;
+        requests.reserve(batch.size());
+        for (const Pending &pending : batch)
+            requests.push_back(pending.request);
+
+        std::vector<ServeResult> results;
+        try {
+            results = broker_.serveBatch(requests);
+        } catch (const std::exception &failure) {
+            const std::string body = errorDocument(
+                {ErrorCode::AuditFailure,
+                 std::string("internal error: ") + failure.what()});
+            for (const Pending &pending : batch) {
+                writeHttpResponse(pending.fd, 500, body);
+                ::close(pending.fd);
+            }
+            continue;
+        }
+
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            writeHttpResponse(batch[i].fd, results[i].status,
+                              results[i].body,
+                              {results[i].cacheHit
+                                   ? "X-Cache: hit"
+                                   : "X-Cache: miss"});
+            ::close(batch[i].fd);
+        }
+    }
+}
+
+std::string
+Server::statsDocument() const
+{
+    const CacheCounters cache = broker_.cacheCounters();
+    const AdmissionCounters admission = queue_.counters();
+    const BrokerCounters broker = broker_.counters();
+
+    exp::JsonWriter w;
+    w.beginObject();
+    w.key("schema");
+    w.value("rr.serve.stats.v1");
+    w.key("cache");
+    w.beginObject();
+    w.key("hits");
+    w.value(cache.hits);
+    w.key("misses");
+    w.value(cache.misses);
+    w.key("insertions");
+    w.value(cache.insertions);
+    w.key("evictions");
+    w.value(cache.evictions);
+    w.key("entries");
+    w.value(cache.entries);
+    w.endObject();
+    w.key("admission");
+    w.beginObject();
+    w.key("accepted");
+    w.value(admission.accepted);
+    w.key("rejected");
+    w.value(admission.rejected);
+    w.key("maxDepth");
+    w.value(admission.maxDepth);
+    w.key("queueDepth");
+    w.value(static_cast<uint64_t>(queue_.depth()));
+    w.endObject();
+    w.key("broker");
+    w.beginObject();
+    w.key("requests");
+    w.value(broker.requests);
+    w.key("batches");
+    w.value(broker.batches);
+    w.key("unitsTotal");
+    w.value(broker.unitsTotal);
+    w.key("unitsUnique");
+    w.value(broker.unitsUnique);
+    w.key("simulations");
+    w.value(broker.simulations);
+    w.key("auditViolations");
+    w.value(broker.auditViolations);
+    w.endObject();
+    w.endObject();
+    return w.str() + "\n";
+}
+
+} // namespace rr::serve

@@ -1,0 +1,65 @@
+# Documentation link checker (the doc_links_resolve ctest, also run
+# as a CI step): every relative markdown link and every backticked
+# *.md path referenced from README.md or docs/*.md must resolve to a
+# real file in the repository. External (http/mailto) and in-page
+# (#anchor) targets are out of scope.
+#
+# Usage: cmake -DSOURCE_DIR=<repo root> -P tests/doc_links.cmake
+
+if(NOT DEFINED SOURCE_DIR)
+    message(FATAL_ERROR "doc_links.cmake requires -DSOURCE_DIR=...")
+endif()
+
+file(GLOB DOC_FILES "${SOURCE_DIR}/docs/*.md")
+list(APPEND DOC_FILES "${SOURCE_DIR}/README.md")
+list(SORT DOC_FILES)
+
+set(BROKEN "")
+set(CHECKED 0)
+
+foreach(doc IN LISTS DOC_FILES)
+    get_filename_component(doc_dir "${doc}" DIRECTORY)
+    file(READ "${doc}" text)
+    file(RELATIVE_PATH doc_name "${SOURCE_DIR}" "${doc}")
+    # CMake cannot hold list elements with unbalanced square
+    # brackets (every "](x)" match has one), so rewrite the link
+    # anchor to a bracket-free sentinel before matching. Backslashes
+    # (ASCII diagrams) corrupt lists the same way; links never
+    # legitimately contain either.
+    string(REPLACE "\\" "" text "${text}")
+    string(REPLACE "](" "@link@(" text "${text}")
+
+    # [label](target) markdown links, via the sentinel.
+    string(REGEX MATCHALL "@link@\\(([^)]+)\\)" links "${text}")
+    # `path/to/file.md` backticked path references.
+    string(REGEX MATCHALL "`[^`\r\n ]+\\.md`" refs "${text}")
+
+    foreach(match IN LISTS links refs)
+        string(REGEX REPLACE "^@link@\\((.*)\\)$" "\\1" target
+            "${match}")
+        string(REGEX REPLACE "^`(.*)`$" "\\1" target "${target}")
+        if(target MATCHES "^(https?|mailto):" OR
+           target MATCHES "^#" OR target MATCHES "[*]")
+            continue()
+        endif()
+        string(REGEX REPLACE "#[^#]*$" "" target "${target}")
+        if(target STREQUAL "")
+            continue()
+        endif()
+        math(EXPR CHECKED "${CHECKED} + 1")
+        # A target may be spelled relative to the document or to the
+        # repository root; either resolution counts.
+        if(NOT EXISTS "${doc_dir}/${target}" AND
+           NOT EXISTS "${SOURCE_DIR}/${target}")
+            list(APPEND BROKEN "${doc_name}: ${target}")
+        endif()
+    endforeach()
+endforeach()
+
+if(BROKEN)
+    list(JOIN BROKEN "\n  " listing)
+    message(FATAL_ERROR "dead documentation links:\n  ${listing}")
+endif()
+message(STATUS
+    "doc links: ${CHECKED} references resolved across README.md "
+    "and docs/")
