@@ -15,6 +15,7 @@
 #include "base/table.hh"
 #include "exp/registry.hh"
 #include "ext/adaptive.hh"
+#include "multithread/simulation_spec.hh"
 #include "multithread/workload.hh"
 
 RR_BENCH_FIGURE(adaptive_contexts,
@@ -35,8 +36,10 @@ RR_BENCH_FIGURE(adaptive_contexts,
     Table table({"alpha", "best cap", "best eff", "uncapped eff",
                  "gain"});
     for (const double alpha : alphas) {
-        mt::MtConfig base =
-            mt::fig5Config(mt::ArchKind::Flexible, 256, 64.0, 100);
+        mt::MtConfig base = mt::SimulationSpec()
+                                .cacheFaults(64.0, 100)
+                                .numRegs(256)
+                                .build();
         base.workload =
             mt::homogeneousWorkload(threads, 20000, 8);
         const ext::AdaptiveResult result =
@@ -52,8 +55,10 @@ RR_BENCH_FIGURE(adaptive_contexts,
     }
     ctx.table("caps", "", std::move(table));
 
-    mt::MtConfig base =
-        mt::fig5Config(mt::ArchKind::Flexible, 256, 64.0, 100);
+    mt::MtConfig base = mt::SimulationSpec()
+                            .cacheFaults(64.0, 100)
+                            .numRegs(256)
+                            .build();
     base.workload = mt::homogeneousWorkload(threads, 20000, 8);
     const ext::AdaptiveResult sweep =
         ext::adaptiveSearch(base, 64.0, 100, 0.3, 12);

@@ -15,6 +15,7 @@
 #include "base/table.hh"
 #include "exp/registry.hh"
 #include "exp/sweep.hh"
+#include "multithread/simulation_spec.hh"
 #include "multithread/workload.hh"
 
 RR_BENCH_FIGURE(add_vs_or,
@@ -41,10 +42,16 @@ RR_BENCH_FIGURE(add_vs_or,
                 const exp::ConfigMaker maker =
                     [num_regs, run_length, latency,
                      threads](mt::ArchKind arch, uint64_t seed) {
-                        mt::MtConfig config = mt::fig5Config(
-                            arch, num_regs, run_length,
-                            static_cast<uint64_t>(latency), seed);
-                        config.workload.numThreads = threads;
+                        mt::MtConfig config =
+                            mt::SimulationSpec()
+                                .cacheFaults(
+                                    run_length,
+                                    static_cast<uint64_t>(latency))
+                                .arch(arch)
+                                .numRegs(num_regs)
+                                .threads(threads)
+                                .seed(seed)
+                                .build();
                         if (arch == mt::ArchKind::AddReloc) {
                             config.costs.allocSucceed = 40;
                             config.costs.allocFail = 25;

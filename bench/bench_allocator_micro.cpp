@@ -15,6 +15,7 @@
 #include "base/distributions.hh"
 #include "base/rng.hh"
 #include "machine/relocation_unit.hh"
+#include "multithread/simulation_spec.hh"
 #include "multithread/workload.hh"
 #include "runtime/context_allocator.hh"
 #include "runtime/context_ring.hh"
@@ -109,10 +110,14 @@ BM_MtSimulation(benchmark::State &state)
                                           : mt::ArchKind::Flexible;
     uint64_t seed = 1;
     for (auto _ : state) {
-        mt::MtConfig config = mt::fig5Config(arch, 128, 32.0, 200,
-                                             seed++);
-        config.workload.numThreads = 16;
-        config.workload.workDist = makeConstant(4000);
+        mt::MtConfig config = mt::SimulationSpec()
+                                  .cacheFaults(32.0, 200)
+                                  .arch(arch)
+                                  .numRegs(128)
+                                  .threads(16)
+                                  .workPerThread(4000)
+                                  .seed(seed++)
+                                  .build();
         benchmark::DoNotOptimize(
             mt::simulate(std::move(config)).efficiencyCentral);
     }

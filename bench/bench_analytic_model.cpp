@@ -14,6 +14,7 @@
 #include "analysis/efficiency_model.hh"
 #include "base/table.hh"
 #include "exp/registry.hh"
+#include "multithread/simulation_spec.hh"
 #include "multithread/workload.hh"
 
 RR_BENCH_FIGURE(analytic_model,
@@ -32,8 +33,12 @@ RR_BENCH_FIGURE(analytic_model,
             static_cast<double>(run), static_cast<double>(latency),
             6.0);
         for (const unsigned n : {1u, 2u, 4u, 8u, 16u}) {
-            mt::MtConfig config = mt::deterministicConfig(
-                mt::ArchKind::Flexible, 256, run, latency, n, 8);
+            mt::MtConfig config = mt::SimulationSpec()
+                                      .deterministicFaults(run, latency)
+                                      .threads(n)
+                                      .registerDemand(8)
+                                      .numRegs(256)
+                                      .build();
             const double sim =
                 mt::simulate(std::move(config)).efficiencyCentral;
             const double expected = model.efficiency(n);
@@ -54,8 +59,10 @@ RR_BENCH_FIGURE(analytic_model,
         const uint64_t latency = 512;
         const analysis::EfficiencyModel model(
             run, static_cast<double>(latency), 6.0);
-        mt::MtConfig config = mt::fig5Config(mt::ArchKind::Flexible,
-                                             256, run, latency);
+        mt::MtConfig config = mt::SimulationSpec()
+                                  .cacheFaults(run, latency)
+                                  .numRegs(256)
+                                  .build();
         config.workload =
             mt::homogeneousWorkload(n, mt::defaultWorkPerThread(run),
                                     8);

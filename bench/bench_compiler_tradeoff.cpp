@@ -22,6 +22,7 @@
 #include "base/table.hh"
 #include "exp/registry.hh"
 #include "exp/sweep.hh"
+#include "multithread/simulation_spec.hh"
 #include "multithread/workload.hh"
 
 RR_BENCH_FIGURE(compiler_tradeoff,
@@ -44,9 +45,14 @@ RR_BENCH_FIGURE(compiler_tradeoff,
             // Wide compilation: 17 registers, full run length.
             const exp::ConfigMaker wide =
                 [num_regs, latency](mt::ArchKind arch, uint64_t seed) {
-                    mt::MtConfig config = mt::fig5Config(
-                        arch, num_regs, 64.0,
-                        static_cast<uint64_t>(latency), seed);
+                    mt::MtConfig config =
+                        mt::SimulationSpec()
+                            .cacheFaults(
+                                64.0, static_cast<uint64_t>(latency))
+                            .arch(arch)
+                            .numRegs(num_regs)
+                            .seed(seed)
+                            .build();
                     config.workload = mt::homogeneousWorkload(
                         64, 20000, 17);
                     return config;
@@ -57,9 +63,15 @@ RR_BENCH_FIGURE(compiler_tradeoff,
                 const exp::ConfigMaker tight =
                     [num_regs, latency,
                      penalty](mt::ArchKind arch, uint64_t seed) {
-                        mt::MtConfig config = mt::fig5Config(
-                            arch, num_regs, 64.0 * (1.0 - penalty),
-                            static_cast<uint64_t>(latency), seed);
+                        mt::MtConfig config =
+                            mt::SimulationSpec()
+                                .cacheFaults(
+                                    64.0 * (1.0 - penalty),
+                                    static_cast<uint64_t>(latency))
+                                .arch(arch)
+                                .numRegs(num_regs)
+                                .seed(seed)
+                                .build();
                         config.workload = mt::homogeneousWorkload(
                             64, 20000, 16);
                         return config;

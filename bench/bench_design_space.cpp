@@ -15,6 +15,7 @@
 #include "exp/registry.hh"
 #include "exp/sweep.hh"
 #include "ext/context_cache.hh"
+#include "multithread/simulation_spec.hh"
 #include "multithread/workload.hh"
 
 namespace {
@@ -63,9 +64,14 @@ RR_BENCH_FIGURE(design_space,
                 const exp::ConfigMaker maker =
                     [num_regs, run, latency,
                      threads](mt::ArchKind arch, uint64_t seed) {
-                        mt::MtConfig config = mt::fig5Config(
-                            arch, num_regs, run, latency, seed);
-                        config.workload.numThreads = threads;
+                        mt::MtConfig config =
+                            mt::SimulationSpec()
+                                .cacheFaults(run, latency)
+                                .arch(arch)
+                                .numRegs(num_regs)
+                                .threads(threads)
+                                .seed(seed)
+                                .build();
                         if (arch == mt::ArchKind::AddReloc) {
                             config.costs.allocSucceed = 40;
                             config.costs.allocFail = 25;

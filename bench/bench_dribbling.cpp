@@ -17,6 +17,7 @@
 #include "base/table.hh"
 #include "exp/registry.hh"
 #include "exp/sweep.hh"
+#include "multithread/simulation_spec.hh"
 #include "multithread/workload.hh"
 
 RR_BENCH_FIGURE(dribbling,
@@ -41,8 +42,13 @@ RR_BENCH_FIGURE(dribbling,
             for (const bool dribble : {false, true}) {
                 const exp::ConfigMaker maker =
                     [latency, dribble](mt::ArchKind a, uint64_t seed) {
-                        mt::MtConfig config = mt::fig6Config(
-                            a, 128, 32.0, latency, seed);
+                        mt::MtConfig config =
+                            mt::SimulationSpec()
+                                .syncFaults(32.0, latency)
+                                .arch(a)
+                                .numRegs(128)
+                                .seed(seed)
+                                .build();
                         config.costs.dribbleRegisters = dribble;
                         return config;
                     };

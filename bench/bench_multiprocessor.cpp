@@ -10,6 +10,7 @@
 
 #include "base/table.hh"
 #include "exp/registry.hh"
+#include "multithread/simulation_spec.hh"
 #include "multithread/workload.hh"
 #include "system/multiprocessor.hh"
 
@@ -37,9 +38,12 @@ RR_BENCH_FIGURE(multiprocessor,
             config.baseLatency = 50.0;
             config.msgServiceCycles = 2.0;
             config.nodeConfig = [&](uint64_t latency) {
-                mt::MtConfig node =
-                    mt::fig5Config(arch, 128, 8.0, latency, 1);
-                node.workload.numThreads = threads;
+                mt::MtConfig node = mt::SimulationSpec()
+                                        .cacheFaults(8.0, latency)
+                                        .arch(arch)
+                                        .numRegs(128)
+                                        .threads(threads)
+                                        .build();
                 return node;
             };
             const system::SystemResult result =

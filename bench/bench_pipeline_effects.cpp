@@ -13,6 +13,7 @@
 #include "exp/registry.hh"
 #include "kernel/rotation_kernel.hh"
 #include "machine/cpu.hh"
+#include "multithread/simulation_spec.hh"
 #include "multithread/workload.hh"
 #include "runtime/asm_routines.hh"
 #include "runtime/context_allocator.hh"
@@ -91,8 +92,9 @@ RR_BENCH_FIGURE(pipeline_effects,
         double values[2];
         int idx = 0;
         for (const uint64_t s : {6ull, 11ull}) {
-            mt::MtConfig config = mt::fig5Config(
-                mt::ArchKind::Flexible, 128, run_length, 200);
+            mt::MtConfig config = mt::SimulationSpec()
+                                      .cacheFaults(run_length, 200)
+                                      .build();
             config.costs.contextSwitch = s;
             values[idx++] =
                 mt::simulate(std::move(config)).efficiencyCentral;

@@ -18,6 +18,7 @@
 #include "base/table.hh"
 #include "exp/registry.hh"
 #include "exp/sweep.hh"
+#include "multithread/simulation_spec.hh"
 #include "multithread/workload.hh"
 
 RR_BENCH_FIGURE(switch_ablation,
@@ -38,8 +39,13 @@ RR_BENCH_FIGURE(switch_ablation,
         for (const uint64_t s : switch_costs) {
             const exp::ConfigMaker maker =
                 [run_length, s](mt::ArchKind arch, uint64_t seed) {
-                    mt::MtConfig config = mt::fig5Config(
-                        arch, 128, run_length, 200, seed);
+                    mt::MtConfig config =
+                        mt::SimulationSpec()
+                            .cacheFaults(run_length, 200)
+                            .arch(arch)
+                            .numRegs(128)
+                            .seed(seed)
+                            .build();
                     config.costs.contextSwitch = s;
                     return config;
                 };
@@ -75,9 +81,13 @@ RR_BENCH_FIGURE(switch_ablation,
     for (const unsigned threads : supplies) {
         const exp::ConfigMaker maker =
             [threads](mt::ArchKind arch, uint64_t seed) {
-                mt::MtConfig config =
-                    mt::fig6Config(arch, 128, 32.0, 512.0, seed);
-                config.workload.numThreads = threads;
+                mt::MtConfig config = mt::SimulationSpec()
+                                          .syncFaults(32.0, 512.0)
+                                          .arch(arch)
+                                          .numRegs(128)
+                                          .threads(threads)
+                                          .seed(seed)
+                                          .build();
                 return config;
             };
         t_requests.push_back({maker, mt::ArchKind::FixedHw});
@@ -108,8 +118,12 @@ RR_BENCH_FIGURE(switch_ablation,
     for (const unsigned min_size : minima) {
         const exp::ConfigMaker maker =
             [min_size](mt::ArchKind arch, uint64_t seed) {
-                mt::MtConfig config =
-                    mt::fig5Config(arch, 64, 16.0, 400, seed);
+                mt::MtConfig config = mt::SimulationSpec()
+                                          .cacheFaults(16.0, 400)
+                                          .arch(arch)
+                                          .numRegs(64)
+                                          .seed(seed)
+                                          .build();
                 config.workload = mt::homogeneousWorkload(64, 20000,
                                                           3);
                 config.minContextSize = min_size;

@@ -14,6 +14,7 @@
 
 #include "analysis/efficiency_model.hh"
 #include "base/table.hh"
+#include "multithread/simulation_spec.hh"
 #include "multithread/workload.hh"
 
 int
@@ -39,8 +40,13 @@ main()
                 "workload, C = 8):\n");
     Table table({"N", "simulated", "model", "regime"});
     for (unsigned n = 1; n <= 10; ++n) {
-        mt::MtConfig config = mt::deterministicConfig(
-            mt::ArchKind::Flexible, 256, run_length, latency, n, 8);
+        mt::MtConfig config =
+            mt::SimulationSpec()
+                .deterministicFaults(run_length, latency)
+                .threads(n)
+                .registerDemand(8)
+                .numRegs(256)
+                .build();
         const mt::MtStats stats = mt::simulate(std::move(config));
         table.addRow({Table::num(static_cast<uint64_t>(n)),
                       Table::num(stats.efficiencyCentral),
@@ -56,8 +62,12 @@ main()
     Table cap({"architecture", "resident contexts", "efficiency"});
     for (const mt::ArchKind arch :
          {mt::ArchKind::FixedHw, mt::ArchKind::Flexible}) {
-        mt::MtConfig config = mt::fig5Config(
-            arch, 64, static_cast<double>(run_length), latency);
+        mt::MtConfig config =
+            mt::SimulationSpec()
+                .cacheFaults(static_cast<double>(run_length), latency)
+                .arch(arch)
+                .numRegs(64)
+                .build();
         config.workload = mt::homogeneousWorkload(48, 20000, 8);
         const mt::MtStats stats = mt::simulate(std::move(config));
         cap.addRow({mt::archName(arch),

@@ -17,6 +17,7 @@
 
 #include "base/table.hh"
 #include "machine/relocation_unit.hh"
+#include "multithread/simulation_spec.hh"
 #include "multithread/workload.hh"
 #include "runtime/context_allocator.hh"
 
@@ -57,10 +58,16 @@ main()
     Table table({"R", "L", "fixed", "flexible", "speedup"});
     for (const double run_length : {16.0, 64.0}) {
         for (const uint64_t latency : {100ull, 400ull}) {
-            mt::MtConfig fixed = mt::fig5Config(
-                mt::ArchKind::FixedHw, 128, run_length, latency);
-            mt::MtConfig flexible = mt::fig5Config(
-                mt::ArchKind::Flexible, 128, run_length, latency);
+            mt::MtConfig fixed =
+                mt::SimulationSpec()
+                    .cacheFaults(run_length, latency)
+                    .arch(mt::ArchKind::FixedHw)
+                    .build();
+            mt::MtConfig flexible =
+                mt::SimulationSpec()
+                    .cacheFaults(run_length, latency)
+                    .arch(mt::ArchKind::Flexible)
+                    .build();
             const double ef =
                 mt::simulate(std::move(fixed)).efficiencyCentral;
             const double el =

@@ -81,4 +81,18 @@ Rng::split()
     return Rng(next() ^ 0xd1b54a32d192ed03ull);
 }
 
+void
+Rng::state(uint64_t out[4]) const
+{
+    for (int i = 0; i < 4; ++i)
+        out[i] = s_[i];
+}
+
+void
+Rng::setState(const uint64_t in[4])
+{
+    for (int i = 0; i < 4; ++i)
+        s_[i] = in[i];
+}
+
 } // namespace rr

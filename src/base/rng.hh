@@ -56,6 +56,16 @@ class Rng
      */
     Rng split();
 
+    /**
+     * Copy the raw xoshiro256** state into @p out. Together with
+     * setState() this lets checkpoints capture a stream mid-sequence
+     * without perturbing it.
+     */
+    void state(uint64_t out[4]) const;
+
+    /** Restore a state previously captured with state(). */
+    void setState(const uint64_t in[4]);
+
   private:
     uint64_t s_[4];
 };

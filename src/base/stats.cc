@@ -95,6 +95,16 @@ IntervalRecorder::record(uint64_t time, uint64_t cumulative)
     values_.push_back(cumulative);
 }
 
+void
+IntervalRecorder::restore(std::vector<uint64_t> times,
+                          std::vector<uint64_t> values)
+{
+    rr_assert(times.size() == values.size(),
+              "restore: mismatched series lengths");
+    times_ = std::move(times);
+    values_ = std::move(values);
+}
+
 uint64_t
 IntervalRecorder::endTime() const
 {

@@ -95,6 +95,20 @@ class IntervalRecorder
     /** Number of recorded points. */
     size_t size() const { return times_.size(); }
 
+    /** Recorded times, for checkpointing. */
+    const std::vector<uint64_t> &times() const { return times_; }
+
+    /** Recorded cumulative values, for checkpointing. */
+    const std::vector<uint64_t> &values() const { return values_; }
+
+    /**
+     * Replace the series wholesale (checkpoint restore). The two
+     * vectors must be equally long and non-decreasing, exactly as if
+     * produced by record() calls.
+     */
+    void restore(std::vector<uint64_t> times,
+                 std::vector<uint64_t> values);
+
   private:
     /** Interpolated cumulative value at time @p t. */
     double valueAt(double t) const;

@@ -1,0 +1,82 @@
+#include "ckpt/snapshot.hh"
+
+#include <cstdio>
+
+namespace rr::ckpt {
+
+void
+writeMeta(Writer &writer, const std::string &kind,
+          const std::string &fingerprint)
+{
+    writer.beginSection(kSectionMeta);
+    writer.u64(kMetaVersion, kVersion);
+    writer.str(kMetaKind, kind);
+    writer.str(kMetaFingerprint, fingerprint);
+    writer.endSection();
+}
+
+void
+checkMeta(const Reader &reader, const std::string &kind,
+          const std::string &fingerprint)
+{
+    const uint64_t version = reader.u64(kSectionMeta, kMetaVersion);
+    if (version != kVersion)
+        throw Error("unsupported checkpoint version " +
+                    std::to_string(version) + " (this build reads " +
+                    std::to_string(kVersion) + ")");
+    const std::string gotKind = reader.str(kSectionMeta, kMetaKind);
+    if (gotKind != kind)
+        throw Error("checkpoint kind is \"" + gotKind +
+                    "\", expected \"" + kind + "\"");
+    const std::string gotFp =
+        reader.str(kSectionMeta, kMetaFingerprint);
+    if (gotFp != fingerprint)
+        throw Error(
+            "cross-spec restore: checkpoint was taken under a "
+            "different configuration\n  snapshot: " +
+            gotFp + "\n  current:  " + fingerprint);
+}
+
+std::string
+metaKind(const Reader &reader)
+{
+    if (reader.u64(kSectionMeta, kMetaVersion) != kVersion)
+        throw Error("unsupported checkpoint version");
+    return reader.str(kSectionMeta, kMetaKind);
+}
+
+std::vector<uint8_t>
+readFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        throw Error("cannot open checkpoint file: " + path);
+    std::vector<uint8_t> out;
+    uint8_t buf[65536];
+    size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        out.insert(out.end(), buf, buf + n);
+    const bool bad = std::ferror(f) != 0;
+    std::fclose(f);
+    if (bad)
+        throw Error("error reading checkpoint file: " + path);
+    return out;
+}
+
+void
+writeFile(const std::string &path,
+          const std::vector<uint8_t> &document)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        throw Error("cannot create checkpoint file: " + path);
+    const size_t wrote =
+        std::fwrite(document.data(), 1, document.size(), f);
+    const bool bad =
+        wrote != document.size() || std::fclose(f) != 0;
+    if (bad)
+        throw Error("short write to checkpoint file: " + path);
+    return;
+}
+
+} // namespace rr::ckpt

@@ -38,6 +38,7 @@
 #include "exp/json_out.hh"
 #include "ext/context_cache.hh"
 #include "kernel/machine_mt_kernel.hh"
+#include "ckpt/io.hh"
 #include "machine/cpu.hh"
 #include "multithread/event_core.hh"
 #include "multithread/fault_model.hh"
@@ -45,6 +46,7 @@
 #include "multithread/simulation_spec.hh"
 #include "multithread/workload.hh"
 #include "trace/audit.hh"
+#include "trace/sink.hh"
 
 namespace rr::fuzz {
 
@@ -1072,6 +1074,116 @@ checkMt(const MtSample &s)
 }
 
 // ---------------------------------------------------------------------
+// ckpt
+
+bool
+sameTraceEvent(const trace::TraceEvent &a, const trace::TraceEvent &b)
+{
+    return a.kind == b.kind && a.arch == b.arch && a.ok == b.ok &&
+           a.tid == b.tid && a.ctx == b.ctx && a.regs == b.regs &&
+           a.cycle == b.cycle && a.cycles == b.cycles &&
+           a.aux == b.aux;
+}
+
+Problems
+checkCkpt(const CkptSample &s)
+{
+    Problems problems;
+    mt::MtConfig straightConfig;
+    try {
+        straightConfig = specOf(s.spec).build();
+    } catch (const mt::SpecError &) {
+        return problems; // vacuous: generator hit a validation edge
+    }
+
+    // The uninterrupted reference run.
+    trace::VectorSink straightSink;
+    straightConfig.traceSink = &straightSink;
+    mt::MtProcessor straight(straightConfig);
+    const mt::MtStats straightStats = straight.run();
+
+    // Head: step to the boundary and snapshot. splitEvents past the
+    // end means the head finishes first — a legal snapshot point.
+    mt::MtConfig headConfig = specOf(s.spec).build();
+    trace::VectorSink headSink;
+    headConfig.traceSink = &headSink;
+    mt::MtProcessor head(headConfig);
+    head.begin();
+    while (!head.done() && head.eventIndex() < s.splitEvents)
+        head.step();
+    const std::vector<uint8_t> doc = head.snapshot();
+
+    // Tail: a fresh processor restored from the document.
+    mt::MtConfig tailConfig = specOf(s.spec).build();
+    trace::VectorSink tailSink;
+    tailConfig.traceSink = &tailSink;
+    mt::MtProcessor tail(tailConfig);
+    try {
+        tail.restore(doc);
+    } catch (const ckpt::Error &error) {
+        problems.push_back(
+            std::string("ckpt: restore rejected its own snapshot: ") +
+            error.what());
+        return problems;
+    }
+
+    // A snapshot re-taken right after restore must be byte-identical
+    // (snapshot . restore is a fixpoint).
+    if (tail.snapshot() != doc)
+        problems.push_back(
+            "ckpt: snapshot is not byte-stable across restore");
+
+    const mt::MtStats tailStats = tail.run();
+    Problems statDiffs;
+    compareStats(straightStats, tailStats, statDiffs);
+    for (const std::string &p : statDiffs)
+        if (problems.size() < 6)
+            problems.push_back("ckpt: restored leg diverged: " + p);
+
+    // The head and tail traces concatenate to the straight trace.
+    const std::vector<trace::TraceEvent> &se = straightSink.events();
+    const std::vector<trace::TraceEvent> &he = headSink.events();
+    const std::vector<trace::TraceEvent> &te = tailSink.events();
+    if (se.size() != he.size() + te.size()) {
+        problems.push_back(strf(
+            "ckpt: straight run emitted %zu events but head %zu + "
+            "tail %zu",
+            se.size(), he.size(), te.size()));
+    } else {
+        for (std::size_t i = 0; i < se.size(); ++i) {
+            const trace::TraceEvent &b =
+                i < he.size() ? he[i] : te[i - he.size()];
+            if (!sameTraceEvent(se[i], b)) {
+                problems.push_back(strf(
+                    "ckpt: trace diverges at event %zu (%s the "
+                    "snapshot)",
+                    i, i < he.size() ? "before" : "after"));
+                break;
+            }
+        }
+    }
+
+    // Hostile copy: one flipped bit anywhere must be rejected with
+    // ckpt::Error (magic or checksum), never an abort.
+    std::vector<uint8_t> bad = doc;
+    bad[static_cast<std::size_t>(s.corruptPos % bad.size())] ^=
+        static_cast<uint8_t>(1u << (s.corruptBit & 7));
+    bool rejected = false;
+    try {
+        mt::MtProcessor victim(specOf(s.spec).build());
+        victim.restore(bad);
+    } catch (const ckpt::Error &) {
+        rejected = true;
+    }
+    if (!rejected)
+        problems.push_back(strf(
+            "ckpt: corrupted document (byte %llu bit %u) was accepted",
+            static_cast<unsigned long long>(s.corruptPos % bad.size()),
+            static_cast<unsigned>(s.corruptBit & 7)));
+    return problems;
+}
+
+// ---------------------------------------------------------------------
 // xsim
 
 /** Cycles deterministically through a fixed script of values. */
@@ -1770,8 +1882,10 @@ checkSample(const AnySample &sample)
                 return checkMt(s);
             else if constexpr (std::is_same_v<T, XsimSample>)
                 return checkXsim(s);
-            else
+            else if constexpr (std::is_same_v<T, CallgraphSample>)
                 return checkCallgraph(s);
+            else
+                return checkCkpt(s);
         },
         sample);
 }

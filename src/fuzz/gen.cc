@@ -729,6 +729,33 @@ genMt(Rng &rng)
 }
 
 // ---------------------------------------------------------------------
+// ckpt
+
+CkptSample
+genCkpt(Rng &rng)
+{
+    CkptSample s;
+    s.spec = genMt(rng);
+    // Small specs keep the oracle's three runs cheap; the interesting
+    // structure is in *where* the snapshot lands, not run length.
+    s.spec.threads = pick<unsigned>(rng, {1, 2, 4, 16});
+    s.spec.work = rng.nextRange(200, 1500);
+    // Bias toward the edges: event 0 (nothing begun), tiny prefixes,
+    // and values past the end (snapshot of a finished run) all have
+    // their own restore paths.
+    const uint64_t roll = rng.nextRange(1, 10);
+    if (roll <= 2)
+        s.splitEvents = rng.nextRange(0, 2);
+    else if (roll <= 8)
+        s.splitEvents = rng.nextRange(3, 4000);
+    else
+        s.splitEvents = ~0ull; // clamped to "after the last event"
+    s.corruptPos = rng.next();
+    s.corruptBit = static_cast<uint8_t>(rng.nextRange(0, 7));
+    return s;
+}
+
+// ---------------------------------------------------------------------
 // xsim
 
 XsimSample
@@ -834,6 +861,7 @@ kindName(SampleKind kind)
       case SampleKind::Mt: return "mt";
       case SampleKind::Xsim: return "xsim";
       case SampleKind::Callgraph: return "callgraph";
+      case SampleKind::Ckpt: return "ckpt";
     }
     return "?";
 }
@@ -870,6 +898,7 @@ generateSample(SampleKind kind, Rng &rng)
       case SampleKind::Mt: return genMt(rng);
       case SampleKind::Xsim: return genXsim(rng);
       case SampleKind::Callgraph: return genCallgraph(rng);
+      case SampleKind::Ckpt: return genCkpt(rng);
     }
     rr_panic("bad sample kind");
 }

@@ -261,6 +261,17 @@ writeCallgraph(const CallgraphSample &s, std::ostringstream &out)
 }
 
 void
+writeCkpt(const CkptSample &s, std::ostringstream &out)
+{
+    // The embedded MtSample uses the mt field names verbatim; the
+    // three ckpt-only fields follow.
+    writeMt(s.spec, out);
+    out << "splitEvents " << s.splitEvents << '\n';
+    out << "corruptPos " << s.corruptPos << '\n';
+    out << "corruptBit " << unsigned{s.corruptBit} << '\n';
+}
+
+void
 writeXsim(const XsimSample &s, std::ostringstream &out)
 {
     out << "threads " << s.threads << '\n';
@@ -504,30 +515,48 @@ parseProgramFields(const std::vector<Field> &fields, ProgramSample &s,
 }
 
 bool
+bindMtField(const Field &f, MtSample &s)
+{
+    return bindU(f, "threads", s.threads) ||
+           bindU(f, "regsLo", s.regsLo) ||
+           bindU(f, "regsHi", s.regsHi) ||
+           bindU(f, "work", s.work) ||
+           bindU(f, "family", s.family) ||
+           bindD(f, "param0", s.param0) ||
+           bindD(f, "param1", s.param1) ||
+           bindD(f, "param2", s.param2) ||
+           bindD(f, "param3", s.param3) ||
+           bindU(f, "phase0Faults", s.phase0Faults) ||
+           bindU(f, "phase1Faults", s.phase1Faults) ||
+           bindU(f, "arch", s.arch) ||
+           bindU(f, "numRegs", s.numRegs) ||
+           bindU(f, "operandWidth", s.operandWidth) ||
+           bindU(f, "minContextSize", s.minContextSize) ||
+           bindU(f, "fixedContextRegs", s.fixedContextRegs) ||
+           bindU(f, "unload", s.unload) ||
+           bindU(f, "residencyCap", s.residencyCap) ||
+           bindU(f, "priorityLevels", s.priorityLevels) ||
+           bindU(f, "seed", s.seed);
+}
+
+bool
 parseMtFields(const std::vector<Field> &fields, MtSample &s,
               std::string &error)
 {
     return applyFields(fields, error, [&](const Field &f) {
-        return bindU(f, "threads", s.threads) ||
-               bindU(f, "regsLo", s.regsLo) ||
-               bindU(f, "regsHi", s.regsHi) ||
-               bindU(f, "work", s.work) ||
-               bindU(f, "family", s.family) ||
-               bindD(f, "param0", s.param0) ||
-               bindD(f, "param1", s.param1) ||
-               bindD(f, "param2", s.param2) ||
-               bindD(f, "param3", s.param3) ||
-               bindU(f, "phase0Faults", s.phase0Faults) ||
-               bindU(f, "phase1Faults", s.phase1Faults) ||
-               bindU(f, "arch", s.arch) ||
-               bindU(f, "numRegs", s.numRegs) ||
-               bindU(f, "operandWidth", s.operandWidth) ||
-               bindU(f, "minContextSize", s.minContextSize) ||
-               bindU(f, "fixedContextRegs", s.fixedContextRegs) ||
-               bindU(f, "unload", s.unload) ||
-               bindU(f, "residencyCap", s.residencyCap) ||
-               bindU(f, "priorityLevels", s.priorityLevels) ||
-               bindU(f, "seed", s.seed);
+        return bindMtField(f, s);
+    });
+}
+
+bool
+parseCkptFields(const std::vector<Field> &fields, CkptSample &s,
+                std::string &error)
+{
+    return applyFields(fields, error, [&](const Field &f) {
+        return bindMtField(f, s.spec) ||
+               bindU(f, "splitEvents", s.splitEvents) ||
+               bindU(f, "corruptPos", s.corruptPos) ||
+               bindU(f, "corruptBit", s.corruptBit);
     });
 }
 
@@ -639,8 +668,10 @@ serializeRepro(const AnySample &sample)
                 writeMt(s, out);
             else if constexpr (std::is_same_v<T, XsimSample>)
                 writeXsim(s, out);
-            else
+            else if constexpr (std::is_same_v<T, CallgraphSample>)
                 writeCallgraph(s, out);
+            else
+                writeCkpt(s, out);
         },
         sample);
     out << "end\n";
@@ -804,6 +835,16 @@ validateMt(const MtSample &s, std::string &error)
            inRange(s.residencyCap, 0, 1000000, "residencyCap",
                    error) &&
            inRange(s.priorityLevels, 1, 64, "priorityLevels", error);
+}
+
+bool
+validateCkpt(const CkptSample &s, std::string &error)
+{
+    // splitEvents and corruptPos are arbitrary u64s by design (the
+    // oracle clamps both); only the embedded spec and the bit index
+    // carry domain constraints.
+    return validateMt(s.spec, error) &&
+           inRange(s.corruptBit, 0, 7, "corruptBit", error);
 }
 
 bool
@@ -1084,6 +1125,14 @@ parseRepro(const std::string &text, AnySample &out, std::string &error)
         CallgraphSample s;
         if (!parseCallgraphFields(fields, s, error) ||
             !validateCallgraph(s, error))
+            return false;
+        out = s;
+        return true;
+      }
+      case SampleKind::Ckpt: {
+        CkptSample s;
+        if (!parseCkptFields(fields, s, error) ||
+            !validateCkpt(s, error))
             return false;
         out = s;
         return true;

@@ -28,6 +28,11 @@
  *            claims checked against both the construction's ground
  *            truth and the registers/memory the machine actually
  *            touches when each thread root runs
+ *   ckpt     rr.ckpt.v1 snapshot/restore vs a straight run: snapshot
+ *            an mt simulation at a generated event boundary, restore
+ *            into a fresh processor, and require the remaining trace
+ *            and final statistics to match bit-for-bit; a corrupted
+ *            copy of the document must be rejected with ckpt::Error
  */
 
 #ifndef RR_FUZZ_SAMPLES_HH
@@ -52,10 +57,11 @@ enum class SampleKind : uint8_t
     Mt,
     Xsim,
     Callgraph,
+    Ckpt,
 };
 
 /** Number of distinct sample kinds. */
-constexpr unsigned numSampleKinds = 9;
+constexpr unsigned numSampleKinds = 10;
 
 /** @return stable printable name of @p kind (used in repro files). */
 const char *kindName(SampleKind kind);
@@ -330,11 +336,34 @@ struct CallgraphSample
     uint64_t maxSteps = 20000;
 };
 
+// ---------------------------------------------------------------------
+// ckpt: snapshot/restore differential over the mt simulator
+
+/**
+ * A checkpoint/restore case over one event-model simulation. The
+ * oracle runs `spec` straight through, then re-runs it stepping
+ * exactly `splitEvents` events (clamped to the run's length), takes an
+ * rr.ckpt.v1 snapshot, restores it into a *fresh* MtProcessor and
+ * finishes the run there. The restored leg's remaining trace events
+ * and final statistics must match the straight run bit-for-bit, and
+ * the snapshot re-taken immediately after restore must be
+ * byte-identical to the original. Finally the document with one bit
+ * flipped (position `corruptPos` % size, bit `corruptBit`) must be
+ * rejected with ckpt::Error — never an abort.
+ */
+struct CkptSample
+{
+    MtSample spec;           ///< the simulation to checkpoint
+    uint64_t splitEvents = 0; ///< event boundary to snapshot at
+    uint64_t corruptPos = 0;  ///< byte to corrupt (mod document size)
+    uint8_t corruptBit = 0;   ///< bit index (0..7) to flip there
+};
+
 /** Any sample, tagged by domain. */
 using AnySample =
     std::variant<RelocSample, HeapSample, JsonSample, NumSample,
                  PhaseSample, ProgramSample, MtSample, XsimSample,
-                 CallgraphSample>;
+                 CallgraphSample, CkptSample>;
 
 /** @return the domain tag of @p sample. */
 SampleKind kindOf(const AnySample &sample);

@@ -261,6 +261,49 @@ shrinkMt(MtSample s, Budget &budget)
     return s;
 }
 
+/** Scalar ladder over a field of a ckpt sample's embedded spec. */
+template <typename T>
+void
+shrinkCkptSpecScalar(CkptSample &sample, T MtSample::*field,
+                     std::initializer_list<T> values, Budget &budget)
+{
+    for (const T v : values) {
+        if (sample.spec.*field == v)
+            continue;
+        CkptSample candidate = sample;
+        candidate.spec.*field = v;
+        if (fails(AnySample{candidate}, budget)) {
+            sample = candidate;
+            return;
+        }
+        if (budget.spent())
+            return;
+    }
+}
+
+AnySample
+shrinkCkpt(CkptSample s, Budget &budget)
+{
+    // Simplify the simulation first (cheapest big wins), then walk
+    // the snapshot point toward the run's start.
+    shrinkCkptSpecScalar(s, &MtSample::threads, {1u, 2u, 4u}, budget);
+    shrinkCkptSpecScalar(s, &MtSample::work,
+                         {uint64_t{100}, uint64_t{400}}, budget);
+    shrinkCkptSpecScalar(s, &MtSample::priorityLevels, {1u}, budget);
+    shrinkCkptSpecScalar(s, &MtSample::residencyCap, {0u}, budget);
+    shrinkCkptSpecScalar(s, &MtSample::unload, {uint8_t{0}}, budget);
+    shrinkCkptSpecScalar(s, &MtSample::regsLo, {6u}, budget);
+    shrinkCkptSpecScalar(s, &MtSample::regsHi, {6u, 24u}, budget);
+    shrinkCkptSpecScalar(s, &MtSample::seed, {uint64_t{1}}, budget);
+    shrinkScalar(s, &CkptSample::splitEvents,
+                 {uint64_t{0}, uint64_t{1}, uint64_t{10},
+                  uint64_t{100}},
+                 budget);
+    shrinkScalar(s, &CkptSample::corruptPos, {uint64_t{0}}, budget);
+    shrinkScalar(s, &CkptSample::corruptBit, {uint8_t{0}}, budget);
+    return s;
+}
+
 AnySample
 shrinkXsim(XsimSample s, Budget &budget)
 {
@@ -426,8 +469,10 @@ shrinkSample(const AnySample &sample, unsigned maxSteps,
                 return shrinkMt(s, budget);
             else if constexpr (std::is_same_v<T, XsimSample>)
                 return shrinkXsim(s, budget);
-            else
+            else if constexpr (std::is_same_v<T, CallgraphSample>)
                 return shrinkCallgraph(s, budget);
+            else
+                return shrinkCkpt(s, budget);
         },
         sample);
     stepsUsed = budget.used;

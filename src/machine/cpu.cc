@@ -1,5 +1,6 @@
 #include "machine/cpu.hh"
 
+#include <cstdio>
 #include <cstdlib>
 #include <string_view>
 
@@ -605,5 +606,244 @@ Cpu::executeImpl(const Instruction &inst)
 
 template void Cpu::executeImpl<false>(const Instruction &inst);
 template void Cpu::executeImpl<true>(const Instruction &inst);
+
+// ---------------------------------------------------------------------
+// Checkpointing (rr.ckpt.v1)
+
+namespace {
+
+// Section and field tags for the "machine" checkpoint kind. The meta
+// section tag 0x01 is reserved by rr::ckpt.
+constexpr uint32_t kSectionCpuConfig = 0x10;
+constexpr uint32_t kSectionCpuState = 0x11;
+
+enum CpuConfigField : uint32_t
+{
+    kCfgNumRegs = 1,
+    kCfgOperandWidth = 2,
+    kCfgLdrrmDelaySlots = 3,
+    kCfgMemWords = 4,
+    kCfgRelocationMode = 5,
+    kCfgRrmBanks = 6,
+    kCfgTakenBranchPenalty = 7,
+    kCfgLoadUsePenalty = 8,
+    kCfgLdrrmPenalty = 9,
+};
+
+enum CpuStateField : uint32_t
+{
+    kCpuPc = 1,
+    kCpuPsw = 2,
+    kCpuHalted = 3,
+    kCpuTrap = 4,
+    kCpuCycles = 5,
+    kCpuInstret = 6,
+    kCpuRegs = 7,
+    kCpuMem = 8,
+    kCpuMasks = 9,
+    kCpuContextSize = 10,
+    kCpuRrmPending = 11,
+    kCpuRrmPendingBank = 12,
+    kCpuRrmPendingValue = 13,
+    kCpuRrmPendingRemaining = 14,
+    kCpuLastFaultClass = 15,
+    kCpuFaultCount = 16,
+    kCpuBranchStalls = 17,
+    kCpuLoadUseStalls = 18,
+    kCpuLdrrmStalls = 19,
+    kCpuPrevWasLoad = 20,
+    kCpuPrevWroteReg = 21,
+    kCpuPrevDestPhys = 22,
+};
+
+} // namespace
+
+std::string
+Cpu::fingerprint() const
+{
+    char buf[160];
+    std::snprintf(
+        buf, sizeof buf,
+        "machine F=%u w=%u delay=%u mem=%llu mode=%u banks=%u "
+        "tb=%u lu=%u ld=%u",
+        config_.numRegs, config_.operandWidth,
+        config_.ldrrmDelaySlots,
+        static_cast<unsigned long long>(config_.memWords),
+        static_cast<unsigned>(config_.relocationMode),
+        config_.rrmBanks, config_.timing.takenBranchPenalty,
+        config_.timing.loadUsePenalty, config_.timing.ldrrmPenalty);
+    return buf;
+}
+
+void
+Cpu::saveState(ckpt::Writer &writer) const
+{
+    writer.beginSection(kSectionCpuConfig);
+    writer.u64(kCfgNumRegs, config_.numRegs);
+    writer.u64(kCfgOperandWidth, config_.operandWidth);
+    writer.u64(kCfgLdrrmDelaySlots, config_.ldrrmDelaySlots);
+    writer.u64(kCfgMemWords, config_.memWords);
+    writer.u64(kCfgRelocationMode,
+               static_cast<uint64_t>(config_.relocationMode));
+    writer.u64(kCfgRrmBanks, config_.rrmBanks);
+    writer.u64(kCfgTakenBranchPenalty,
+               config_.timing.takenBranchPenalty);
+    writer.u64(kCfgLoadUsePenalty, config_.timing.loadUsePenalty);
+    writer.u64(kCfgLdrrmPenalty, config_.timing.ldrrmPenalty);
+    writer.endSection();
+
+    writer.beginSection(kSectionCpuState);
+    writer.u64(kCpuPc, pc_);
+    writer.u64(kCpuPsw, psw_);
+    writer.u64(kCpuHalted, halted_ ? 1 : 0);
+    writer.u64(kCpuTrap, static_cast<uint64_t>(trap_));
+    writer.u64(kCpuCycles, cycles_);
+    writer.u64(kCpuInstret, instret_);
+    writer.u32vec(kCpuRegs, regs_.snapshot());
+    writer.u32vec(kCpuMem,
+                  std::vector<uint32_t>(mem_.data(),
+                                        mem_.data() + mem_.size()));
+    writer.u32vec(kCpuMasks, relocation_.masks());
+    writer.u64(kCpuContextSize, relocation_.contextSize());
+    writer.u64(kCpuRrmPending, rrmPending_ ? 1 : 0);
+    writer.u64(kCpuRrmPendingBank, rrmPendingBank_);
+    writer.u64(kCpuRrmPendingValue, rrmPendingValue_);
+    writer.u64(kCpuRrmPendingRemaining, rrmPendingRemaining_);
+    writer.u64(kCpuLastFaultClass, lastFaultClass_);
+    writer.u64(kCpuFaultCount, faultCount_);
+    writer.u64(kCpuBranchStalls, timingStats_.branchStalls);
+    writer.u64(kCpuLoadUseStalls, timingStats_.loadUseStalls);
+    writer.u64(kCpuLdrrmStalls, timingStats_.ldrrmStalls);
+    writer.u64(kCpuPrevWasLoad, prevWasLoad_ ? 1 : 0);
+    writer.u64(kCpuPrevWroteReg, prevWroteReg_ ? 1 : 0);
+    writer.u64(kCpuPrevDestPhys, prevDestPhys_);
+    writer.endSection();
+}
+
+void
+Cpu::restoreState(const ckpt::Reader &reader)
+{
+    const std::vector<uint32_t> regs =
+        reader.u32vec(kSectionCpuState, kCpuRegs);
+    const std::vector<uint32_t> mem =
+        reader.u32vec(kSectionCpuState, kCpuMem);
+    const std::vector<uint32_t> masks =
+        reader.u32vec(kSectionCpuState, kCpuMasks);
+    if (regs.size() != regs_.size())
+        throw ckpt::Error(
+            "register file size mismatch: checkpoint has " +
+            std::to_string(regs.size()) + ", machine has " +
+            std::to_string(regs_.size()));
+    if (mem.size() != mem_.size())
+        throw ckpt::Error("memory size mismatch: checkpoint has " +
+                          std::to_string(mem.size()) +
+                          " words, machine has " +
+                          std::to_string(mem_.size()));
+    if (masks.size() != relocation_.numBanks())
+        throw ckpt::Error("RRM bank count mismatch: checkpoint has " +
+                          std::to_string(masks.size()) +
+                          ", machine has " +
+                          std::to_string(relocation_.numBanks()));
+    const uint64_t contextSize =
+        reader.u64(kSectionCpuState, kCpuContextSize);
+    if (contextSize == 0 || (contextSize & (contextSize - 1)) != 0 ||
+        contextSize > (1u << config_.operandWidth))
+        throw ckpt::Error("invalid relocation context size " +
+                          std::to_string(contextSize));
+    const uint64_t trap = reader.u64(kSectionCpuState, kCpuTrap);
+    if (trap > static_cast<uint64_t>(TrapKind::ContextBounds))
+        throw ckpt::Error("invalid trap kind " + std::to_string(trap));
+
+    for (unsigned i = 0; i < regs_.size(); ++i)
+        regs_.write(i, regs[i]);
+    // Writing through mem_ (not memData_) keeps the predecode
+    // self-invalidation contract explicit: restored words that differ
+    // from the current contents make any stale icache entry fail its
+    // raw-word tag compare on next fetch. Entries whose word happens
+    // to match remain valid, which is safe because decode is a pure
+    // function of the word.
+    for (size_t i = 0; i < mem_.size(); ++i)
+        mem_.write(i, mem[i]);
+    relocation_.restoreMasks(masks,
+                             static_cast<unsigned>(contextSize));
+
+    pc_ = static_cast<uint32_t>(reader.u64(kSectionCpuState, kCpuPc));
+    psw_ =
+        static_cast<uint32_t>(reader.u64(kSectionCpuState, kCpuPsw));
+    halted_ = reader.u64(kSectionCpuState, kCpuHalted) != 0;
+    trap_ = static_cast<TrapKind>(trap);
+    cycles_ = reader.u64(kSectionCpuState, kCpuCycles);
+    instret_ = reader.u64(kSectionCpuState, kCpuInstret);
+    rrmPending_ = reader.u64(kSectionCpuState, kCpuRrmPending) != 0;
+    rrmPendingBank_ = static_cast<unsigned>(
+        reader.u64(kSectionCpuState, kCpuRrmPendingBank));
+    rrmPendingValue_ = static_cast<uint32_t>(
+        reader.u64(kSectionCpuState, kCpuRrmPendingValue));
+    rrmPendingRemaining_ = static_cast<unsigned>(
+        reader.u64(kSectionCpuState, kCpuRrmPendingRemaining));
+    lastFaultClass_ = static_cast<uint32_t>(
+        reader.u64(kSectionCpuState, kCpuLastFaultClass));
+    faultCount_ = reader.u64(kSectionCpuState, kCpuFaultCount);
+    timingStats_.branchStalls =
+        reader.u64(kSectionCpuState, kCpuBranchStalls);
+    timingStats_.loadUseStalls =
+        reader.u64(kSectionCpuState, kCpuLoadUseStalls);
+    timingStats_.ldrrmStalls =
+        reader.u64(kSectionCpuState, kCpuLdrrmStalls);
+    prevWasLoad_ = reader.u64(kSectionCpuState, kCpuPrevWasLoad) != 0;
+    prevWroteReg_ =
+        reader.u64(kSectionCpuState, kCpuPrevWroteReg) != 0;
+    prevDestPhys_ = static_cast<unsigned>(
+        reader.u64(kSectionCpuState, kCpuPrevDestPhys));
+
+    // Never trust pre-restore memoization: re-fetch the relocation
+    // table from the (just re-validated) unit.
+    if (predecode_)
+        refreshRelocTable();
+}
+
+CpuConfig
+Cpu::configFromCheckpoint(const ckpt::Reader &reader)
+{
+    const uint64_t mode =
+        reader.u64(kSectionCpuConfig, kCfgRelocationMode);
+    if (mode > static_cast<uint64_t>(RelocationMode::Add))
+        throw ckpt::Error("invalid relocation mode " +
+                          std::to_string(mode));
+    CpuConfig config;
+    config.numRegs = static_cast<unsigned>(
+        reader.u64(kSectionCpuConfig, kCfgNumRegs));
+    config.operandWidth = static_cast<unsigned>(
+        reader.u64(kSectionCpuConfig, kCfgOperandWidth));
+    config.ldrrmDelaySlots = static_cast<unsigned>(
+        reader.u64(kSectionCpuConfig, kCfgLdrrmDelaySlots));
+    config.memWords = static_cast<size_t>(
+        reader.u64(kSectionCpuConfig, kCfgMemWords));
+    config.relocationMode = static_cast<RelocationMode>(mode);
+    config.rrmBanks = static_cast<unsigned>(
+        reader.u64(kSectionCpuConfig, kCfgRrmBanks));
+    config.timing.takenBranchPenalty = static_cast<unsigned>(
+        reader.u64(kSectionCpuConfig, kCfgTakenBranchPenalty));
+    config.timing.loadUsePenalty = static_cast<unsigned>(
+        reader.u64(kSectionCpuConfig, kCfgLoadUsePenalty));
+    config.timing.ldrrmPenalty = static_cast<unsigned>(
+        reader.u64(kSectionCpuConfig, kCfgLdrrmPenalty));
+
+    // Geometry sanity before the CpuConfig reaches a constructor
+    // assertion (hostile files must fail with ckpt::Error, not abort).
+    const auto pow2 = [](uint64_t v) {
+        return v != 0 && (v & (v - 1)) == 0;
+    };
+    if (!pow2(config.numRegs) || config.operandWidth < 1 ||
+        config.operandWidth > 6 ||
+        (1u << config.operandWidth) > config.numRegs ||
+        !pow2(config.rrmBanks) ||
+        log2Ceil(config.rrmBanks) >= config.operandWidth ||
+        config.memWords == 0 ||
+        config.memWords > (size_t{1} << 32))
+        throw ckpt::Error("checkpoint machine configuration is "
+                          "invalid or hostile");
+    return config;
+}
 
 } // namespace rr::machine

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/snapshot.hh"
 #include "isa/instruction.hh"
 #include "machine/memory.hh"
 #include "machine/pipeline_timing.hh"
@@ -104,7 +105,7 @@ struct TraceEntry
 };
 
 /** The RRISC processor. */
-class Cpu
+class Cpu : public ckpt::Restorable
 {
   public:
     /** Called when a FAULT instruction executes. */
@@ -199,6 +200,36 @@ class Cpu
      * requested it and the memory is small enough to shadow).
      */
     bool predecodeActive() const { return predecode_; }
+
+    // ---- checkpointing ---------------------------------------------------
+
+    /**
+     * Configuration fingerprint for rr.ckpt.v1 meta checking. Covers
+     * everything that affects execution (geometry, relocation mode,
+     * delay slots, timing penalties) but not the predecode switch,
+     * which is behaviour-neutral by construction.
+     */
+    std::string fingerprint() const;
+
+    /**
+     * Save the complete architectural and timing state: registers,
+     * memory, relocation masks, PC/PSW/trap, pending LDRRM delay
+     * slots, cycle and stall counters, and the cross-step hazard
+     * window. The predecode cache is derived state (entries
+     * self-validate against memory words) and is never serialized.
+     */
+    void saveState(ckpt::Writer &writer) const override;
+
+    /**
+     * Restore state saved by saveState() into a CPU built with a
+     * matching configuration. Throws ckpt::Error on any geometry
+     * mismatch. The relocation table cache is re-validated, never
+     * trusted (see RelocationUnit::restoreMasks).
+     */
+    void restoreState(const ckpt::Reader &reader) override;
+
+    /** Rebuild a CpuConfig from a checkpoint's config section. */
+    static CpuConfig configFromCheckpoint(const ckpt::Reader &reader);
 
   private:
     struct TrapSignal

@@ -4,6 +4,7 @@
 
 #include "base/bitops.hh"
 #include "base/logging.hh"
+#include "ckpt/io.hh"
 
 namespace rr::machine {
 
@@ -53,6 +54,44 @@ RelocationUnit::setContextSize(unsigned size)
               "context size ", size, " exceeds 2^w");
     contextSize_ = size;
     ++epoch_;
+}
+
+void
+RelocationUnit::restoreMasks(const std::vector<uint32_t> &masks,
+                             unsigned context_size)
+{
+    // Checkpoint data is untrusted input: reject inconsistencies
+    // with ckpt::Error (tools exit 2), never an assertion abort.
+    if (masks.size() != masks_.size())
+        throw ckpt::Error("restored mask bank count " +
+                          std::to_string(masks.size()) +
+                          " does not match the unit's " +
+                          std::to_string(masks_.size()));
+    if (!isPowerOfTwo(context_size) ||
+        context_size > (1u << operandWidth_))
+        throw ckpt::Error("restored context size " +
+                          std::to_string(context_size) +
+                          " is invalid");
+    for (const uint32_t m : masks)
+        if ((m & ~static_cast<uint32_t>(lowMask(maskBits_))) != 0)
+            throw ckpt::Error("restored mask " + std::to_string(m) +
+                              " is wider than the RRM register");
+    masks_ = masks;
+    contextSize_ = context_size;
+    ++epoch_;
+
+    // A restored unit must not trust any pre-restore memoization:
+    // tablePtr_ was validated against an epoch sequence that no
+    // longer corresponds to this mask state, and the direct-mapped
+    // memo may hold tables keyed under a different context size.
+    // Dropping both forces the next table() call to re-validate
+    // against the 16-slot cache by content (masks + context size),
+    // which is always correct, and rebuild only on a genuine miss.
+    tableEpoch_ = 0;
+    tablePtr_ = nullptr;
+    if (!maskMemo_.empty())
+        std::fill(maskMemo_.begin(), maskMemo_.end(), nullptr);
+    memoContextSize_ = 0;
 }
 
 RelocationResult

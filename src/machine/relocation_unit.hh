@@ -102,6 +102,21 @@ class RelocationUnit
     /** Context size last configured via setContextSize. */
     unsigned contextSize() const { return contextSize_; }
 
+    /** All bank masks, for checkpointing. */
+    const std::vector<uint32_t> &masks() const { return masks_; }
+
+    /**
+     * Install a complete mask state from a checkpoint: every bank
+     * mask plus the context size, in one step. Advances the epoch
+     * and drops the (tablePtr_, maskMemo_) fast-path validity so the
+     * next table() lookup re-validates against the 16-slot cache by
+     * *content* — a restored unit never trusts epochs minted before
+     * the restore, which may coincide with epochs of entirely
+     * different mask states (the memo-epoch restore bug).
+     */
+    void restoreMasks(const std::vector<uint32_t> &masks,
+                      unsigned context_size);
+
     /**
      * Relocate one register operand field.
      *

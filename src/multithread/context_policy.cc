@@ -3,10 +3,19 @@
 #include <sstream>
 
 #include "base/logging.hh"
+#include "ckpt/io.hh"
 
 namespace rr::mt {
 
 using runtime::Context;
+
+void
+ContextPolicy::adopt(const Context &)
+{
+    throw ckpt::Error("checkpoint restore is not supported for "
+                      "custom context policy \"" +
+                      describe() + "\"");
+}
 
 FlexibleContextPolicy::FlexibleContextPolicy(unsigned num_regs,
                                              unsigned operand_width,
@@ -31,6 +40,12 @@ void
 FlexibleContextPolicy::release(const Context &context)
 {
     allocator_.release(context);
+}
+
+void
+FlexibleContextPolicy::adopt(const Context &context)
+{
+    allocator_.reserve(context);
 }
 
 unsigned
@@ -102,6 +117,18 @@ FixedContextPolicy::release(const Context &context)
     slotFree_[slot] = true;
 }
 
+void
+FixedContextPolicy::adopt(const Context &context)
+{
+    rr_assert(context.size == contextRegs_ &&
+                  context.rrm % contextRegs_ == 0,
+              "context was not allocated by this policy");
+    const unsigned slot = context.rrm / contextRegs_;
+    rr_assert(slot < slotFree_.size(), "bad slot ", slot);
+    rr_assert(slotFree_[slot], "adopt of occupied slot ", slot);
+    slotFree_[slot] = false;
+}
+
 unsigned
 FixedContextPolicy::numRegs() const
 {
@@ -154,6 +181,12 @@ void
 AddContextPolicy::release(const Context &context)
 {
     allocator_.release({context.rrm, context.size});
+}
+
+void
+AddContextPolicy::adopt(const Context &context)
+{
+    allocator_.reserve({context.rrm, context.size});
 }
 
 unsigned

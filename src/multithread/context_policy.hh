@@ -54,6 +54,16 @@ class ContextPolicy
     /** Release a context returned by allocate(). */
     virtual void release(const runtime::Context &context) = 0;
 
+    /**
+     * Re-occupy @p context during checkpoint restore, exactly as if
+     * allocate() had returned it, without charging any allocation
+     * statistics. The built-in policies reconstruct their internal
+     * maps from the live context set this way; the default
+     * implementation throws ckpt::Error because a custom policy's
+     * private state cannot be recovered generically.
+     */
+    virtual void adopt(const runtime::Context &context);
+
     /** Register file size F. */
     virtual unsigned numRegs() const = 0;
 
@@ -79,6 +89,7 @@ class FlexibleContextPolicy : public ContextPolicy
     std::optional<runtime::Context> allocate(unsigned regs_used) override;
     unsigned requiredSpace(unsigned regs_used) const override;
     void release(const runtime::Context &context) override;
+    void adopt(const runtime::Context &context) override;
     unsigned numRegs() const override;
     unsigned freeRegs() const override;
     std::string describe() const override;
@@ -87,6 +98,12 @@ class FlexibleContextPolicy : public ContextPolicy
     const runtime::ContextAllocator &allocator() const
     {
         return allocator_;
+    }
+
+    /** Overwrite allocator statistics (checkpoint restore). */
+    void restoreAllocatorStats(const runtime::AllocatorStats &stats)
+    {
+        allocator_.restoreStats(stats);
     }
 
   private:
@@ -106,6 +123,7 @@ class FixedContextPolicy : public ContextPolicy
     std::optional<runtime::Context> allocate(unsigned regs_used) override;
     unsigned requiredSpace(unsigned regs_used) const override;
     void release(const runtime::Context &context) override;
+    void adopt(const runtime::Context &context) override;
     unsigned numRegs() const override;
     unsigned freeRegs() const override;
     std::string describe() const override;
@@ -131,6 +149,7 @@ class AddContextPolicy : public ContextPolicy
     std::optional<runtime::Context> allocate(unsigned regs_used) override;
     unsigned requiredSpace(unsigned regs_used) const override;
     void release(const runtime::Context &context) override;
+    void adopt(const runtime::Context &context) override;
     unsigned numRegs() const override;
     unsigned freeRegs() const override;
     std::string describe() const override;

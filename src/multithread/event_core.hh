@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "base/logging.hh"
+#include "ckpt/snapshot.hh"
 
 namespace rr::mt {
 
@@ -50,7 +51,7 @@ struct CompletionEvent
 };
 
 /** Min-heap of completion events with stale-entry compaction. */
-class EventCore
+class EventCore : public ckpt::Restorable
 {
   public:
     /** Pre-size all storage for @p threads concurrent threads. */
@@ -133,6 +134,83 @@ class EventCore
 
     /** Number of compaction passes performed. */
     uint64_t compactions() const { return compactions_; }
+
+    // ---- checkpointing (rr.ckpt.v1, section 0x20) -------------------
+
+    /**
+     * Serializes the heap vector in its *raw array order*, not
+     * sorted: std::push_heap/pop_heap tie-breaking among equal-time
+     * events depends on element positions, so restoring the exact
+     * layout is what makes post-restore delivery byte-identical.
+     */
+    void
+    saveState(ckpt::Writer &writer) const override
+    {
+        std::vector<uint64_t> times, epochs;
+        std::vector<uint32_t> tids;
+        times.reserve(heap_.size());
+        epochs.reserve(heap_.size());
+        tids.reserve(heap_.size());
+        for (const CompletionEvent &event : heap_) {
+            times.push_back(event.time);
+            epochs.push_back(event.epoch);
+            tids.push_back(event.tid);
+        }
+        writer.beginSection(kCkptSection);
+        writer.u64vec(1, times);
+        writer.u64vec(2, epochs);
+        writer.u32vec(3, tids);
+        writer.u32vec(4, liveCount_);
+        writer.u64vec(5, lastEpoch_);
+        writer.u64vec(6, staleBelow_);
+        writer.u64(7, stale_);
+        writer.u64(8, maxSize_);
+        writer.u64(9, compactions_);
+        writer.endSection();
+    }
+
+    void
+    restoreState(const ckpt::Reader &reader) override
+    {
+        const std::vector<uint64_t> times =
+            reader.u64vec(kCkptSection, 1);
+        const std::vector<uint64_t> epochs =
+            reader.u64vec(kCkptSection, 2);
+        const std::vector<uint32_t> tids =
+            reader.u32vec(kCkptSection, 3);
+        if (times.size() != epochs.size() ||
+            times.size() != tids.size())
+            throw ckpt::Error("event heap arrays disagree in length");
+        liveCount_ = reader.u32vec(kCkptSection, 4);
+        lastEpoch_ = reader.u64vec(kCkptSection, 5);
+        staleBelow_ = reader.u64vec(kCkptSection, 6);
+        if (liveCount_.size() != lastEpoch_.size() ||
+            liveCount_.size() != staleBelow_.size())
+            throw ckpt::Error(
+                "event accounting arrays disagree in length");
+        heap_.clear();
+        heap_.reserve(times.size());
+        std::size_t liveTotal = 0;
+        for (std::size_t i = 0; i < times.size(); ++i) {
+            if (tids[i] >= liveCount_.size())
+                throw ckpt::Error("event names a thread beyond the "
+                                  "accounting arrays");
+            heap_.push_back({times[i], epochs[i], tids[i]});
+        }
+        for (const uint32_t count : liveCount_)
+            liveTotal += count;
+        stale_ = reader.u64(kCkptSection, 7);
+        if (liveTotal + stale_ != heap_.size())
+            throw ckpt::Error("event live/stale accounting does not "
+                              "cover the heap");
+        if (!std::is_heap(heap_.begin(), heap_.end(), Later{}))
+            throw ckpt::Error("event heap order is corrupt");
+        maxSize_ = reader.u64(kCkptSection, 8);
+        compactions_ = reader.u64(kCkptSection, 9);
+    }
+
+    /** Checkpoint section tag used by EventCore. */
+    static constexpr uint32_t kCkptSection = 0x20;
 
   private:
     /** Same ordering as the old priority_queue: min-heap on time. */

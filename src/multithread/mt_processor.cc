@@ -1,5 +1,8 @@
 #include "multithread/mt_processor.hh"
 
+#include <algorithm>
+#include <cstdio>
+
 #include "base/logging.hh"
 
 namespace rr::mt {
@@ -549,34 +552,46 @@ MtProcessor::idleOrEvict()
     }
 }
 
-MtStats
-MtProcessor::run()
+void
+MtProcessor::begin()
 {
+    if (begun_)
+        return;
+    begun_ = true;
+    if (!config_.resumeFrom.empty()) {
+        restore(ckpt::readFile(config_.resumeFrom));
+        return;
+    }
     createThreads();
     recorder_.record(0, 0);
     refill();
+}
 
-    const unsigned total = config_.workload.numThreads;
-    while (finished_ < total) {
-        // Charging overheads while processing completions can push
-        // the clock past further completions, so iterate to a
-        // fixpoint: when no cycles were charged, every event due at
-        // or before now has been handled.
-        for (;;) {
-            const uint64_t before = now_;
-            processCompletions();
-            if (now_ == before)
-                break;
-        }
-
-        if (!ring_.empty())
-            runNext();
-        else
-            idleOrEvict();
-        recorder_.record(now_, useful_);
+void
+MtProcessor::step()
+{
+    // Charging overheads while processing completions can push
+    // the clock past further completions, so iterate to a
+    // fixpoint: when no cycles were charged, every event due at
+    // or before now has been handled.
+    for (;;) {
+        const uint64_t before = now_;
+        processCompletions();
+        if (now_ == before)
+            break;
     }
 
-    // Finalize.
+    if (!ring_.empty())
+        runNext();
+    else
+        idleOrEvict();
+    recorder_.record(now_, useful_);
+    ++eventIndex_;
+}
+
+MtStats
+MtProcessor::finish()
+{
     noteResidencyChange(0);
     stats_.totalCycles = now_;
     stats_.efficiencyTotal = recorder_.totalRate();
@@ -586,6 +601,490 @@ MtProcessor::run()
         now_ == 0 ? 0.0 : residencyIntegral_ / static_cast<double>(now_);
     tracer_.flush();
     return stats_;
+}
+
+MtStats
+MtProcessor::run()
+{
+    begin();
+    while (!done()) {
+        if (config_.checkpointEvery != 0 &&
+            eventIndex_ % config_.checkpointEvery == 0)
+            ckpt::writeFile(config_.checkpointPath, snapshot());
+        step();
+    }
+    return finish();
+}
+
+// ---------------------------------------------------------------------
+// Checkpointing (rr.ckpt.v1, kind "mt")
+
+namespace {
+
+// Section tags for the mt checkpoint kind. 0x01 is the rr::ckpt
+// meta section; 0x20 EventCore; 0x30 TraceAuditor (written by sinks
+// that are themselves auditors, not by the processor).
+constexpr uint32_t kSectionProc = 0x40;
+constexpr uint32_t kSectionThreads = 0x41;
+constexpr uint32_t kSectionRecorder = 0x42;
+
+enum ProcField : uint32_t
+{
+    kProcNow = 1,
+    kProcUseful = 2,
+    kProcFinished = 3,
+    kProcEventIndex = 4,
+    kProcThreadQueue = 5,
+    kProcRingLevels = 6,   ///< u64: number of priority levels
+    kProcRingBase = 0x100, ///< u32vec per level: members in ring order
+    kProcResidentCount = 7,
+    kProcLastResidencyTime = 8,
+    kProcResidencyIntegral = 9,
+    kProcStats = 10,          ///< u64vec: every integer MtStats field
+    kProcMaxResident = 11,
+    kProcAllocStats = 12,     ///< u64vec: allocator call counters
+};
+
+enum ThreadField : uint32_t
+{
+    kThrRegsUsed = 1,
+    kThrState = 2,
+    kThrPriority = 3,
+    kThrTotalWork = 4,
+    kThrRemainingWork = 5,
+    kThrFinishTime = 6,
+    kThrHasContext = 7,
+    kThrCtxRrm = 8,
+    kThrCtxSize = 9,
+    kThrFaultCompletion = 10,
+    kThrBlockedAt = 11,
+    kThrBlockEpoch = 12,
+    kThrSpinAccrued = 13,
+    kThrFaults = 14,
+    kThrTimesLoaded = 15,
+    kThrTimesUnloaded = 16,
+    kThrRng0 = 17,
+    kThrRng1 = 18,
+    kThrRng2 = 19,
+    kThrRng3 = 20,
+};
+
+} // namespace
+
+std::string
+MtProcessor::fingerprint() const
+{
+    const runtime::CostModel &c = config_.costs;
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "mt threads=%u work=%s regs=%s prio=%s faults=%s "
+        "costs=%llu/%llu/%llu/%llu/%llu/%llu/%d arch=%s policy=%s "
+        "F=%u w=%u min=%u fixed=%u unload=%u cap=%u seed=%llu "
+        "levels=%u window=%.17g..%.17g",
+        config_.workload.numThreads,
+        config_.workload.workDist->describe().c_str(),
+        config_.workload.regsDist->describe().c_str(),
+        config_.workload.priorityDist
+            ? config_.workload.priorityDist->describe().c_str()
+            : "none",
+        config_.faultModel->describe().c_str(),
+        static_cast<unsigned long long>(c.allocSucceed),
+        static_cast<unsigned long long>(c.allocFail),
+        static_cast<unsigned long long>(c.dealloc),
+        static_cast<unsigned long long>(c.queueOp),
+        static_cast<unsigned long long>(c.blockOverhead),
+        static_cast<unsigned long long>(c.contextSwitch),
+        c.dribbleRegisters ? 1 : 0, archName(config_.arch),
+        policy_->describe().c_str(), config_.numRegs,
+        config_.operandWidth, config_.minContextSize,
+        config_.fixedContextRegs,
+        static_cast<unsigned>(config_.unloadPolicy),
+        config_.residencyCap,
+        static_cast<unsigned long long>(config_.seed),
+        config_.priorityLevels, config_.statsLoFrac,
+        config_.statsHiFrac);
+    return buf;
+}
+
+void
+MtProcessor::saveState(ckpt::Writer &writer) const
+{
+    const unsigned numThreads = config_.workload.numThreads;
+
+    writer.beginSection(kSectionProc);
+    writer.u64(kProcNow, now_);
+    writer.u64(kProcUseful, useful_);
+    writer.u64(kProcFinished, finished_);
+    writer.u64(kProcEventIndex, eventIndex_);
+    {
+        std::vector<uint32_t> queue;
+        queue.reserve(threadQueue_.size());
+        for (const unsigned tid : threadQueue_)
+            queue.push_back(tid);
+        writer.u32vec(kProcThreadQueue, queue);
+    }
+    const unsigned levels = std::max(1u, config_.priorityLevels);
+    writer.u64(kProcRingLevels, levels);
+    for (unsigned l = 0; l < levels; ++l) {
+        // members() walks from the current element, and insert()
+        // appends at the tail, so re-inserting this sequence in
+        // order reproduces both the ring linkage and the current
+        // pointer exactly.
+        writer.u32vec(kProcRingBase + l,
+                      const_cast<runtime::PriorityRing &>(ring_)
+                          .level(l)
+                          .members());
+    }
+    writer.u64(kProcResidentCount, residentCount_);
+    writer.u64(kProcLastResidencyTime, lastResidencyTime_);
+    writer.f64(kProcResidencyIntegral, residencyIntegral_);
+    writer.u64vec(
+        kProcStats,
+        {stats_.totalCycles, stats_.usefulCycles, stats_.idleCycles,
+         stats_.switchCycles, stats_.allocCycles,
+         stats_.deallocCycles, stats_.loadCycles,
+         stats_.unloadCycles, stats_.queueCycles, stats_.faults,
+         stats_.cacheFaults, stats_.syncFaults, stats_.loads,
+         stats_.unloads, stats_.allocSuccesses,
+         stats_.allocFailures});
+    writer.u64(kProcMaxResident, stats_.maxResidentContexts);
+    if (const auto *flexible =
+            dynamic_cast<const FlexibleContextPolicy *>(policy_.get())) {
+        const runtime::AllocatorStats &as =
+            flexible->allocator().stats();
+        writer.u64vec(kProcAllocStats, {as.allocCalls,
+                                        as.allocFailures,
+                                        as.deallocCalls});
+    }
+    writer.endSection();
+
+    writer.beginSection(kSectionThreads);
+    std::vector<uint32_t> regsUsed, state, priority, hasContext,
+        ctxRrm, ctxSize;
+    std::vector<uint64_t> totalWork, remainingWork, finishTime,
+        faultCompletion, blockedAt, blockEpoch, spinAccrued, faults,
+        timesLoaded, timesUnloaded;
+    std::vector<uint64_t> rngState[4];
+    for (unsigned f = 0; f < 4; ++f)
+        rngState[f].reserve(numThreads);
+    for (const Thread &t : threads_) {
+        regsUsed.push_back(t.regsUsed);
+        state.push_back(static_cast<uint32_t>(t.state));
+        priority.push_back(t.priority);
+        hasContext.push_back(t.context ? 1 : 0);
+        ctxRrm.push_back(t.context ? t.context->rrm : 0);
+        ctxSize.push_back(t.context ? t.context->size : 0);
+        totalWork.push_back(t.totalWork);
+        remainingWork.push_back(t.remainingWork);
+        finishTime.push_back(t.finishTime);
+        faultCompletion.push_back(t.faultCompletion);
+        blockedAt.push_back(t.blockedAt);
+        blockEpoch.push_back(t.blockEpoch);
+        spinAccrued.push_back(t.spinAccrued);
+        faults.push_back(t.faults);
+        timesLoaded.push_back(t.timesLoaded);
+        timesUnloaded.push_back(t.timesUnloaded);
+        uint64_t s[4];
+        t.rng.state(s);
+        for (unsigned f = 0; f < 4; ++f)
+            rngState[f].push_back(s[f]);
+    }
+    writer.u32vec(kThrRegsUsed, regsUsed);
+    writer.u32vec(kThrState, state);
+    writer.u32vec(kThrPriority, priority);
+    writer.u64vec(kThrTotalWork, totalWork);
+    writer.u64vec(kThrRemainingWork, remainingWork);
+    writer.u64vec(kThrFinishTime, finishTime);
+    writer.u32vec(kThrHasContext, hasContext);
+    writer.u32vec(kThrCtxRrm, ctxRrm);
+    writer.u32vec(kThrCtxSize, ctxSize);
+    writer.u64vec(kThrFaultCompletion, faultCompletion);
+    writer.u64vec(kThrBlockedAt, blockedAt);
+    writer.u64vec(kThrBlockEpoch, blockEpoch);
+    writer.u64vec(kThrSpinAccrued, spinAccrued);
+    writer.u64vec(kThrFaults, faults);
+    writer.u64vec(kThrTimesLoaded, timesLoaded);
+    writer.u64vec(kThrTimesUnloaded, timesUnloaded);
+    writer.u64vec(kThrRng0, rngState[0]);
+    writer.u64vec(kThrRng1, rngState[1]);
+    writer.u64vec(kThrRng2, rngState[2]);
+    writer.u64vec(kThrRng3, rngState[3]);
+    writer.endSection();
+
+    completions_.saveState(writer);
+
+    writer.beginSection(kSectionRecorder);
+    writer.u64vec(1, recorder_.times());
+    writer.u64vec(2, recorder_.values());
+    writer.endSection();
+
+    // A sink that audits (TraceAuditor) checkpoints its own running
+    // sums so a resumed run still reconciles end to end.
+    if (auto *auditor =
+            dynamic_cast<trace::TraceAuditor *>(config_.traceSink))
+        auditor->saveState(writer);
+}
+
+void
+MtProcessor::restoreState(const ckpt::Reader &reader)
+{
+    const unsigned numThreads = config_.workload.numThreads;
+
+    const std::vector<uint32_t> regsUsed =
+        reader.u32vec(kSectionThreads, kThrRegsUsed);
+    const std::vector<uint32_t> state =
+        reader.u32vec(kSectionThreads, kThrState);
+    const std::vector<uint32_t> priority =
+        reader.u32vec(kSectionThreads, kThrPriority);
+    const std::vector<uint32_t> hasContext =
+        reader.u32vec(kSectionThreads, kThrHasContext);
+    const std::vector<uint32_t> ctxRrm =
+        reader.u32vec(kSectionThreads, kThrCtxRrm);
+    const std::vector<uint32_t> ctxSize =
+        reader.u32vec(kSectionThreads, kThrCtxSize);
+    const std::vector<uint64_t> totalWork =
+        reader.u64vec(kSectionThreads, kThrTotalWork);
+    const std::vector<uint64_t> remainingWork =
+        reader.u64vec(kSectionThreads, kThrRemainingWork);
+    const std::vector<uint64_t> finishTime =
+        reader.u64vec(kSectionThreads, kThrFinishTime);
+    const std::vector<uint64_t> faultCompletion =
+        reader.u64vec(kSectionThreads, kThrFaultCompletion);
+    const std::vector<uint64_t> blockedAt =
+        reader.u64vec(kSectionThreads, kThrBlockedAt);
+    const std::vector<uint64_t> blockEpoch =
+        reader.u64vec(kSectionThreads, kThrBlockEpoch);
+    const std::vector<uint64_t> spinAccrued =
+        reader.u64vec(kSectionThreads, kThrSpinAccrued);
+    const std::vector<uint64_t> faults =
+        reader.u64vec(kSectionThreads, kThrFaults);
+    const std::vector<uint64_t> timesLoaded =
+        reader.u64vec(kSectionThreads, kThrTimesLoaded);
+    const std::vector<uint64_t> timesUnloaded =
+        reader.u64vec(kSectionThreads, kThrTimesUnloaded);
+    const std::vector<uint64_t> rng0 =
+        reader.u64vec(kSectionThreads, kThrRng0);
+    const std::vector<uint64_t> rng1 =
+        reader.u64vec(kSectionThreads, kThrRng1);
+    const std::vector<uint64_t> rng2 =
+        reader.u64vec(kSectionThreads, kThrRng2);
+    const std::vector<uint64_t> rng3 =
+        reader.u64vec(kSectionThreads, kThrRng3);
+
+    const auto sized = [numThreads](std::size_t n) {
+        return n == numThreads;
+    };
+    if (!sized(regsUsed.size()) || !sized(state.size()) ||
+        !sized(priority.size()) || !sized(hasContext.size()) ||
+        !sized(ctxRrm.size()) || !sized(ctxSize.size()) ||
+        !sized(totalWork.size()) || !sized(remainingWork.size()) ||
+        !sized(finishTime.size()) || !sized(faultCompletion.size()) ||
+        !sized(blockedAt.size()) || !sized(blockEpoch.size()) ||
+        !sized(spinAccrued.size()) || !sized(faults.size()) ||
+        !sized(timesLoaded.size()) || !sized(timesUnloaded.size()) ||
+        !sized(rng0.size()) || !sized(rng1.size()) ||
+        !sized(rng2.size()) || !sized(rng3.size()))
+        throw ckpt::Error(
+            "thread arrays do not match the configured " +
+            std::to_string(numThreads) + " threads");
+
+    // Validate every restored context before touching any live
+    // structure: in bounds, non-overlapping, and sized so the policy
+    // adopt cannot trip an internal assertion.
+    {
+        std::vector<bool> occupied(config_.numRegs, false);
+        for (unsigned i = 0; i < numThreads; ++i) {
+            if (state[i] >
+                static_cast<uint32_t>(ThreadState::Finished))
+                throw ckpt::Error("invalid thread state " +
+                                  std::to_string(state[i]));
+            if (!hasContext[i])
+                continue;
+            const uint64_t base = ctxRrm[i];
+            const uint64_t size = ctxSize[i];
+            if (size == 0 || base + size > config_.numRegs)
+                throw ckpt::Error(
+                    "restored context exceeds the register file");
+            if (config_.arch != ArchKind::AddReloc &&
+                ((size & (size - 1)) != 0 || base % size != 0))
+                throw ckpt::Error("restored context is not an "
+                                  "aligned power-of-two block");
+            for (uint64_t r = base; r < base + size; ++r) {
+                if (occupied[static_cast<std::size_t>(r)])
+                    throw ckpt::Error(
+                        "restored contexts overlap at register " +
+                        std::to_string(r));
+                occupied[static_cast<std::size_t>(r)] = true;
+            }
+        }
+    }
+
+    // Rebuild thread and allocator state. The policy is fresh (the
+    // processor was just constructed), so adopting every live
+    // context reproduces the allocator maps exactly.
+    threads_.assign(numThreads, Thread{});
+    for (unsigned i = 0; i < numThreads; ++i) {
+        Thread &t = threads_[i];
+        t.id = i;
+        t.regsUsed = regsUsed[i];
+        t.state = static_cast<ThreadState>(state[i]);
+        t.priority = priority[i];
+        t.totalWork = totalWork[i];
+        t.remainingWork = remainingWork[i];
+        t.finishTime = finishTime[i];
+        t.faultCompletion = faultCompletion[i];
+        t.blockedAt = blockedAt[i];
+        t.blockEpoch = blockEpoch[i];
+        t.spinAccrued = spinAccrued[i];
+        t.faults = faults[i];
+        t.timesLoaded = timesLoaded[i];
+        t.timesUnloaded = timesUnloaded[i];
+        const uint64_t s[4] = {rng0[i], rng1[i], rng2[i], rng3[i]};
+        t.rng.setState(s);
+        if (hasContext[i]) {
+            runtime::Context context;
+            context.rrm = ctxRrm[i];
+            context.size = ctxSize[i];
+            policy_->adopt(context);
+            t.context = context;
+        }
+    }
+
+    rrmIndex_.assign(config_.numRegs, kNoThread);
+    for (const Thread &t : threads_)
+        if (t.context)
+            rrmInsert(t.context->rrm, t.id);
+
+    threadQueue_.clear();
+    threadQueue_.reserve(numThreads);
+    for (const uint32_t tid :
+         reader.u32vec(kSectionProc, kProcThreadQueue)) {
+        if (tid >= numThreads)
+            throw ckpt::Error("thread queue names thread " +
+                              std::to_string(tid));
+        threadQueue_.push_back(tid);
+    }
+
+    const unsigned levels = std::max(1u, config_.priorityLevels);
+    if (reader.u64(kSectionProc, kProcRingLevels) != levels)
+        throw ckpt::Error(
+            "priority level count does not match the configuration");
+    std::vector<bool> queued(rrmIndex_.size(), false);
+    for (unsigned l = 0; l < levels; ++l) {
+        runtime::ContextRing &ring = ring_.level(l);
+        for (const uint32_t rrm : ring.members())
+            ring.remove(rrm);
+        for (const uint32_t rrm :
+             reader.u32vec(kSectionProc, kProcRingBase + l)) {
+            if (rrm >= rrmIndex_.size() ||
+                rrmIndex_[rrm] == kNoThread)
+                throw ckpt::Error(
+                    "ring references rrm " + std::to_string(rrm) +
+                    " with no resident context");
+            if (queued[rrm])
+                throw ckpt::Error("ring lists rrm " +
+                                  std::to_string(rrm) + " twice");
+            queued[rrm] = true;
+            ring.insert(rrm);
+        }
+    }
+
+    const std::vector<uint64_t> stats =
+        reader.u64vec(kSectionProc, kProcStats);
+    if (stats.size() != 16)
+        throw ckpt::Error("stats array has the wrong length");
+    stats_ = MtStats{};
+    stats_.totalCycles = stats[0];
+    stats_.usefulCycles = stats[1];
+    stats_.idleCycles = stats[2];
+    stats_.switchCycles = stats[3];
+    stats_.allocCycles = stats[4];
+    stats_.deallocCycles = stats[5];
+    stats_.loadCycles = stats[6];
+    stats_.unloadCycles = stats[7];
+    stats_.queueCycles = stats[8];
+    stats_.faults = stats[9];
+    stats_.cacheFaults = stats[10];
+    stats_.syncFaults = stats[11];
+    stats_.loads = stats[12];
+    stats_.unloads = stats[13];
+    stats_.allocSuccesses = stats[14];
+    stats_.allocFailures = stats[15];
+    stats_.maxResidentContexts = static_cast<unsigned>(
+        reader.u64(kSectionProc, kProcMaxResident));
+    stats_.threadsFinished = 0; // re-derived below
+
+    now_ = reader.u64(kSectionProc, kProcNow);
+    useful_ = reader.u64(kSectionProc, kProcUseful);
+    finished_ = static_cast<unsigned>(
+        reader.u64(kSectionProc, kProcFinished));
+    eventIndex_ = reader.u64(kSectionProc, kProcEventIndex);
+    residentCount_ = static_cast<unsigned>(
+        reader.u64(kSectionProc, kProcResidentCount));
+    lastResidencyTime_ =
+        reader.u64(kSectionProc, kProcLastResidencyTime);
+    residencyIntegral_ =
+        reader.f64(kSectionProc, kProcResidencyIntegral);
+
+    unsigned finishedThreads = 0;
+    for (const Thread &t : threads_)
+        if (t.state == ThreadState::Finished)
+            ++finishedThreads;
+    if (finishedThreads != finished_)
+        throw ckpt::Error("finished-thread counter disagrees with "
+                          "the thread states");
+    stats_.threadsFinished = finishedThreads;
+
+    if (reader.has(kSectionProc, kProcAllocStats)) {
+        const std::vector<uint64_t> as =
+            reader.u64vec(kSectionProc, kProcAllocStats);
+        if (as.size() != 3)
+            throw ckpt::Error(
+                "allocator stats array has the wrong length");
+        if (auto *flexible = dynamic_cast<FlexibleContextPolicy *>(
+                policy_.get()))
+            flexible->restoreAllocatorStats(
+                {as[0], as[1], as[2]});
+    }
+
+    // The event core validates its own internal consistency; the
+    // processor additionally requires every event to name one of its
+    // threads, or processCompletions() would index out of bounds.
+    for (const uint32_t tid :
+         reader.u32vec(EventCore::kCkptSection, 3))
+        if (tid >= numThreads)
+            throw ckpt::Error("completion event names thread " +
+                              std::to_string(tid));
+    completions_.reserve(numThreads);
+    completions_.restoreState(reader);
+
+    recorder_.restore(reader.u64vec(kSectionRecorder, 1),
+                      reader.u64vec(kSectionRecorder, 2));
+
+    if (auto *auditor =
+            dynamic_cast<trace::TraceAuditor *>(config_.traceSink))
+        if (reader.hasSection(trace::TraceAuditor::kCkptSection))
+            auditor->restoreState(reader);
+
+    begun_ = true;
+}
+
+std::vector<uint8_t>
+MtProcessor::snapshot() const
+{
+    ckpt::Writer writer;
+    ckpt::writeMeta(writer, "mt", fingerprint());
+    saveState(writer);
+    return writer.seal();
+}
+
+void
+MtProcessor::restore(const std::vector<uint8_t> &document)
+{
+    const ckpt::Reader reader(document);
+    ckpt::checkMeta(reader, "mt", fingerprint());
+    restoreState(reader);
 }
 
 MtStats

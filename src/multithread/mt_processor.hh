@@ -40,9 +40,11 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "base/stats.hh"
+#include "ckpt/snapshot.hh"
 #include "multithread/context_policy.hh"
 #include "multithread/event_core.hh"
 #include "multithread/fault_model.hh"
@@ -140,6 +142,22 @@ struct MtConfig
     /** Central measurement window (transient exclusion). */
     double statsLoFrac = 0.2;
     double statsHiFrac = 0.8;
+
+    // ---- checkpointing (rr.ckpt.v1; none of these affect results) --
+
+    /**
+     * Write a checkpoint to `checkpointPath` every N event-loop
+     * iterations (0 = never). Snapshots land at the event boundary —
+     * the top of the loop — so a run resumed from any of them
+     * produces the identical remaining trace and statistics.
+     */
+    uint64_t checkpointEvery = 0;
+
+    /** Where periodic checkpoints are written (latest wins). */
+    std::string checkpointPath;
+
+    /** Restore from this checkpoint file instead of starting fresh. */
+    std::string resumeFrom;
 };
 
 /** Results of one simulation. */
@@ -183,13 +201,70 @@ struct MtStats
 trace::AuditTotals auditTotals(const MtStats &stats);
 
 /** Single-node multithreaded processor simulator. */
-class MtProcessor
+class MtProcessor : public ckpt::Restorable
 {
   public:
     explicit MtProcessor(MtConfig config);
 
-    /** Run the workload to completion and return the statistics. */
+    /**
+     * Run the workload to completion and return the statistics.
+     * Honors MtConfig::resumeFrom (restore before the first event)
+     * and MtConfig::checkpointEvery / checkpointPath (periodic
+     * snapshots at event boundaries).
+     */
     MtStats run();
+
+    // ---- stepwise execution (run() = begin + step* + finish) -------
+
+    /**
+     * Create threads and perform the initial refill — everything up
+     * to the first event-loop iteration. Idempotent via run(); call
+     * directly only when driving step() by hand.
+     */
+    void begin();
+
+    /**
+     * Execute one event-loop iteration: drain due completions, then
+     * run the next context or idle/evict. Every boundary between
+     * step() calls is a valid snapshot point.
+     */
+    void step();
+
+    /** @return true when every thread has finished. */
+    bool done() const
+    {
+        return finished_ >= config_.workload.numThreads;
+    }
+
+    /** Finalize derived statistics and flush the tracer. */
+    MtStats finish();
+
+    /** Event-loop iterations executed so far. */
+    uint64_t eventIndex() const { return eventIndex_; }
+
+    // ---- checkpointing (rr.ckpt.v1, kind "mt") ---------------------
+
+    /**
+     * Configuration fingerprint for cross-spec restore detection:
+     * covers the workload, fault model, cost model, architecture and
+     * geometry, policies, seed, and measurement window — everything
+     * that determines the simulation's future, and nothing that does
+     * not (sinks, checkpoint settings).
+     */
+    std::string fingerprint() const;
+
+    /** Complete simulation state as a sealed rr.ckpt.v1 document. */
+    std::vector<uint8_t> snapshot() const;
+
+    /**
+     * Restore from a sealed document produced by snapshot() under a
+     * matching configuration. Throws ckpt::Error on version, kind,
+     * or fingerprint mismatch and on any malformed section.
+     */
+    void restore(const std::vector<uint8_t> &document);
+
+    void saveState(ckpt::Writer &writer) const override;
+    void restoreState(const ckpt::Reader &reader) override;
 
     /** Thread table after run() (per-thread statistics). */
     const std::vector<Thread> &threads() const { return threads_; }
@@ -259,6 +334,8 @@ class MtProcessor
     uint64_t now_ = 0;
     uint64_t useful_ = 0;
     unsigned finished_ = 0;
+    bool begun_ = false;
+    uint64_t eventIndex_ = 0;
 
     // Zero-allocation steady state: the rrm index is a flat array
     // over register numbers, the software thread queue a reserved

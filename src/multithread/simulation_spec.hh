@@ -21,10 +21,8 @@
  *  - produces a plain MtConfig via build(), so everything downstream
  *    (MtProcessor, the sweep engine, the tests) is unchanged.
  *
- * The legacy helpers in workload.hh (fig5Config, fig6Config,
- * combinedConfig, deterministicConfig) are deprecated shims over this
- * builder and produce value-identical configurations; new code should
- * use SimulationSpec directly:
+ * Every harness and test configures the simulator through this
+ * builder (the former fig5Config/fig6Config-style helpers are gone):
  *
  *   MtStats stats = SimulationSpec()
  *                       .cacheFaults(mean_run, 60)
@@ -165,6 +163,18 @@ class SimulationSpec
     /** Structured-event sink for the run (not owned; default none). */
     SimulationSpec &traceSink(trace::TraceSink *sink);
 
+    // ----- checkpointing (rr.ckpt.v1; does not affect results)
+
+    /**
+     * Write an rr.ckpt.v1 snapshot to @p path every @p n event-loop
+     * iterations (latest wins). build() rejects n > 0 with an empty
+     * path and a path with n == 0.
+     */
+    SimulationSpec &checkpointEvery(uint64_t n, std::string path);
+
+    /** Restore from @p checkpoint instead of starting fresh. */
+    SimulationSpec &resumeFrom(std::string checkpoint);
+
     /**
      * Validate and assemble the MtConfig.
      * @throws SpecError naming the first invalid setting.
@@ -220,6 +230,11 @@ class SimulationSpec
     double statsLoFrac_ = 0.2;
     double statsHiFrac_ = 0.8;
     trace::TraceSink *traceSink_ = nullptr;
+
+    // Checkpointing.
+    uint64_t checkpointEvery_ = 0;
+    std::string checkpointPath_;
+    std::string resumeFrom_;
 };
 
 } // namespace rr::mt

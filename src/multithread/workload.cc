@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "multithread/simulation_spec.hh"
 
 namespace rr::mt {
 
@@ -35,63 +34,6 @@ defaultWorkPerThread(double mean_run)
     // workloads still dominate the fixed transients.
     return std::max<uint64_t>(20000,
                               static_cast<uint64_t>(mean_run * 250.0));
-}
-
-// The helpers below are deprecated shims over SimulationSpec (see
-// simulation_spec.hh); they are kept so existing callers continue to
-// compile and produce value-identical configurations.
-
-MtConfig
-fig5Config(ArchKind arch, unsigned num_regs, double mean_run,
-           uint64_t latency, uint64_t seed)
-{
-    return SimulationSpec()
-        .cacheFaults(mean_run, latency)
-        .arch(arch)
-        .numRegs(num_regs)
-        .seed(seed)
-        .build();
-}
-
-MtConfig
-fig6Config(ArchKind arch, unsigned num_regs, double mean_run,
-           double mean_latency, uint64_t seed)
-{
-    return SimulationSpec()
-        .syncFaults(mean_run, mean_latency)
-        .arch(arch)
-        .numRegs(num_regs)
-        .seed(seed)
-        .build();
-}
-
-MtConfig
-combinedConfig(ArchKind arch, unsigned num_regs, double cache_run,
-               uint64_t cache_latency, double sync_run,
-               double sync_latency, uint64_t seed)
-{
-    return SimulationSpec()
-        .combinedFaults(cache_run, cache_latency, sync_run,
-                        sync_latency)
-        .arch(arch)
-        .numRegs(num_regs)
-        .seed(seed)
-        .build();
-}
-
-MtConfig
-deterministicConfig(ArchKind arch, unsigned num_regs, uint64_t run,
-                    uint64_t latency, unsigned num_threads,
-                    unsigned regs_used, uint64_t seed)
-{
-    return SimulationSpec()
-        .deterministicFaults(run, latency)
-        .threads(num_threads)
-        .registerDemand(regs_used)
-        .arch(arch)
-        .numRegs(num_regs)
-        .seed(seed)
-        .build();
 }
 
 } // namespace rr::mt

@@ -1,10 +1,10 @@
 /**
  * @file
- * Ready-made workloads and simulation configurations matching the
- * paper's experiments (Sections 3.2–3.4): cache-fault runs (Figure
- * 5), synchronization-fault runs (Figure 6), the homogeneous context
- * sizes of Section 3.4, combined faults, and deterministic runs used
- * to validate against the analytical model.
+ * Ready-made thread supplies matching the paper's experiments:
+ * the C ~ U[6, 24] mix of Sections 3.2–3.3 and the homogeneous
+ * context sizes of Section 3.4, plus the conventional supply sizing
+ * used by the experiment harnesses. Full simulation configurations
+ * are assembled with mt::SimulationSpec (simulation_spec.hh).
  */
 
 #ifndef RR_MULTITHREAD_WORKLOAD_HH
@@ -30,44 +30,6 @@ WorkloadSpec paperWorkload(unsigned num_threads,
 /** Homogeneous context sizes (Section 3.4): every thread uses C. */
 WorkloadSpec homogeneousWorkload(unsigned num_threads,
                                  uint64_t work_per_thread, unsigned c);
-
-/**
- * Figure 5 configuration: cache faults (geometric run length mean
- * @p mean_run, constant latency @p latency), S = 6, contexts never
- * unloaded, C ~ U[6, 24].
- *
- * @param arch      architecture under test
- * @param num_regs  register file size F (64, 128, or 256)
- */
-MtConfig fig5Config(ArchKind arch, unsigned num_regs, double mean_run,
-                    uint64_t latency, uint64_t seed = 1);
-
-/**
- * Figure 6 configuration: synchronization faults (geometric run
- * length mean @p mean_run, exponential latency mean @p mean_latency),
- * S = 8, two-phase competitive unloading, C ~ U[6, 24].
- */
-MtConfig fig6Config(ArchKind arch, unsigned num_regs, double mean_run,
-                    double mean_latency, uint64_t seed = 1);
-
-/**
- * Combined cache + synchronization faults (Section 3: "the main
- * effect was to increase the overall fault rate").
- */
-MtConfig combinedConfig(ArchKind arch, unsigned num_regs,
-                        double cache_run, uint64_t cache_latency,
-                        double sync_run, double sync_latency,
-                        uint64_t seed = 1);
-
-/**
- * Deterministic run lengths and latencies with @p num_threads
- * identical threads — the setting of the Section 3.4 closed-form
- * analysis (E_sat and E_lin).
- */
-MtConfig deterministicConfig(ArchKind arch, unsigned num_regs,
-                             uint64_t run, uint64_t latency,
-                             unsigned num_threads, unsigned regs_used,
-                             uint64_t seed = 1);
 
 /**
  * Default thread-supply size used by the experiment configs.

@@ -107,6 +107,29 @@ ContextAllocator::release(const Context &context)
     bitmap_[w] |= alloc_mask;
 }
 
+void
+ContextAllocator::reserve(const Context &context)
+{
+    rr_assert(context.size >= minSize_ && context.size <= maxSize_ &&
+                  isPowerOfTwo(context.size),
+              "bad context size ", context.size);
+    rr_assert(context.rrm % context.size == 0,
+              "context base ", context.rrm, " not aligned to size ",
+              context.size);
+    rr_assert(context.endReg() <= numRegs_,
+              "context exceeds the register file");
+
+    const unsigned run = context.size / chunkRegs;
+    const unsigned chunk = context.rrm / chunkRegs;
+    const unsigned w = chunk / 64;
+    const unsigned bit = chunk % 64;
+    const uint64_t alloc_mask = lowMask(run) << bit;
+
+    rr_assert((bitmap_[w] & alloc_mask) == alloc_mask,
+              "reserve of occupied context at base ", context.rrm);
+    bitmap_[w] &= ~alloc_mask;
+}
+
 unsigned
 ContextAllocator::freeRegs() const
 {

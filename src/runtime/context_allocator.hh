@@ -89,6 +89,18 @@ class ContextAllocator
     /** Release a previously allocated context. */
     void release(const Context &context);
 
+    /**
+     * Re-occupy @p context during checkpoint restore: marks exactly
+     * its chunks allocated without counting toward the statistics.
+     * The chunks must currently be free. Because the bitmap is a
+     * pure function of the live context set, replaying reserve() for
+     * every restored context reproduces the allocator bit-for-bit.
+     */
+    void reserve(const Context &context);
+
+    /** Overwrite lifetime statistics (checkpoint restore). */
+    void restoreStats(const AllocatorStats &stats) { stats_ = stats; }
+
     /** Registers currently free. */
     unsigned freeRegs() const;
 

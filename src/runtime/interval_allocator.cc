@@ -60,6 +60,35 @@ IntervalAllocator::release(const Interval &interval)
     freeRegs_ += interval.size;
 }
 
+void
+IntervalAllocator::reserve(const Interval &interval)
+{
+    rr_assert(interval.size > 0 &&
+                  interval.base + interval.size <= numRegs_,
+              "bad interval [", interval.base, ", ",
+              interval.base + interval.size, ")");
+
+    // Find the free block containing the interval.
+    auto it = free_.upper_bound(interval.base);
+    rr_assert(it != free_.begin(),
+              "reserve of occupied interval at base ", interval.base);
+    --it;
+    const unsigned blockBase = it->first;
+    const unsigned blockSize = it->second;
+    rr_assert(blockBase <= interval.base &&
+                  interval.base + interval.size <=
+                      blockBase + blockSize,
+              "reserve of occupied interval at base ", interval.base);
+
+    free_.erase(it);
+    if (interval.base > blockBase)
+        free_[blockBase] = interval.base - blockBase;
+    const unsigned tailBase = interval.base + interval.size;
+    if (tailBase < blockBase + blockSize)
+        free_[tailBase] = blockBase + blockSize - tailBase;
+    freeRegs_ -= interval.size;
+}
+
 unsigned
 IntervalAllocator::largestFreeBlock() const
 {

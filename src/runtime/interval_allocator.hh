@@ -45,6 +45,14 @@ class IntervalAllocator
     /** Free a previously allocated interval (coalesces neighbours). */
     void release(const Interval &interval);
 
+    /**
+     * Re-occupy @p interval during checkpoint restore: carves it out
+     * of the free map, which must currently cover it. Replaying
+     * reserve() for every restored context reproduces the free map
+     * exactly (it is a pure function of the live interval set).
+     */
+    void reserve(const Interval &interval);
+
     /** Registers currently free. */
     unsigned freeRegs() const { return freeRegs_; }
 

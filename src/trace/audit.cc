@@ -1,5 +1,6 @@
 #include "trace/audit.hh"
 
+#include <algorithm>
 #include <utility>
 
 namespace rr::trace {
@@ -248,6 +249,113 @@ TraceAuditor::reconcile(const AuditTotals &totals) const
     }
 
     return out;
+}
+
+void
+TraceAuditor::saveState(ckpt::Writer &writer) const
+{
+    writer.beginSection(kCkptSection);
+    writer.u64(1, eventsSeen_);
+    writer.u64(2, lastCycle_);
+    writer.u64vec(3, std::vector<uint64_t>(sumCycles_,
+                                           sumCycles_ +
+                                               numEventKinds));
+    writer.u64vec(4, std::vector<uint64_t>(countByKind_,
+                                           countByKind_ +
+                                               numEventKinds));
+    writer.u64(5, allocOk_);
+    writer.u64(6, allocFailed_);
+    writer.u64(7, finishFrees_);
+    writer.u64(8, suppressed_);
+
+    // Thread lifecycle states, sorted by tid so identical auditor
+    // states always serialize to identical bytes (the unordered_map
+    // iteration order is not deterministic).
+    std::vector<uint32_t> tids, flags;
+    tids.reserve(tids_.size());
+    for (const auto &[tid, state] : tids_)
+        tids.push_back(tid);
+    std::sort(tids.begin(), tids.end());
+    flags.reserve(tids.size());
+    for (const uint32_t tid : tids) {
+        const TidState &state = tids_.at(tid);
+        flags.push_back((state.allocated ? 1u : 0u) |
+                        (state.loaded ? 2u : 0u));
+    }
+    writer.u32vec(9, tids);
+    writer.u32vec(10, flags);
+
+    // Streaming problems as length-prefixed UTF-8 records.
+    std::vector<uint8_t> blob;
+    for (const std::string &p : problems_) {
+        const auto n = static_cast<uint32_t>(p.size());
+        for (int i = 0; i < 4; ++i)
+            blob.push_back(static_cast<uint8_t>(n >> (8 * i)));
+        blob.insert(blob.end(), p.begin(), p.end());
+    }
+    writer.u64(11, problems_.size());
+    writer.bytes(12, blob);
+    writer.endSection();
+}
+
+void
+TraceAuditor::restoreState(const ckpt::Reader &reader)
+{
+    const std::vector<uint64_t> sums =
+        reader.u64vec(kCkptSection, 3);
+    const std::vector<uint64_t> counts =
+        reader.u64vec(kCkptSection, 4);
+    if (sums.size() != numEventKinds ||
+        counts.size() != numEventKinds)
+        throw ckpt::Error("auditor per-kind arrays have the wrong "
+                          "length");
+    const std::vector<uint32_t> tids =
+        reader.u32vec(kCkptSection, 9);
+    const std::vector<uint32_t> flags =
+        reader.u32vec(kCkptSection, 10);
+    if (tids.size() != flags.size())
+        throw ckpt::Error("auditor thread arrays disagree in length");
+
+    eventsSeen_ = reader.u64(kCkptSection, 1);
+    lastCycle_ = reader.u64(kCkptSection, 2);
+    std::copy(sums.begin(), sums.end(), sumCycles_);
+    std::copy(counts.begin(), counts.end(), countByKind_);
+    allocOk_ = reader.u64(kCkptSection, 5);
+    allocFailed_ = reader.u64(kCkptSection, 6);
+    finishFrees_ = reader.u64(kCkptSection, 7);
+    suppressed_ = reader.u64(kCkptSection, 8);
+
+    tids_.clear();
+    for (std::size_t i = 0; i < tids.size(); ++i) {
+        TidState state;
+        state.allocated = (flags[i] & 1u) != 0;
+        state.loaded = (flags[i] & 2u) != 0;
+        tids_[tids[i]] = state;
+    }
+
+    const uint64_t problemCount = reader.u64(kCkptSection, 11);
+    const std::vector<uint8_t> blob =
+        reader.bytes(kCkptSection, 12);
+    problems_.clear();
+    std::size_t at = 0;
+    for (uint64_t i = 0; i < problemCount; ++i) {
+        if (at + 4 > blob.size())
+            throw ckpt::Error("auditor problem list is truncated");
+        uint32_t n = 0;
+        for (int b = 0; b < 4; ++b)
+            n |= static_cast<uint32_t>(blob[at + static_cast<std::size_t>(b)])
+                 << (8 * b);
+        at += 4;
+        if (at + n > blob.size())
+            throw ckpt::Error("auditor problem list is truncated");
+        problems_.emplace_back(blob.begin() +
+                                   static_cast<std::ptrdiff_t>(at),
+                               blob.begin() +
+                                   static_cast<std::ptrdiff_t>(at + n));
+        at += n;
+    }
+    if (at != blob.size())
+        throw ckpt::Error("auditor problem list has trailing bytes");
 }
 
 } // namespace rr::trace

@@ -32,6 +32,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ckpt/snapshot.hh"
 #include "runtime/cost_model.hh"
 #include "trace/sink.hh"
 
@@ -67,13 +68,26 @@ struct AuditTotals
  * sinks, run the simulation, then call reconcile() with the reported
  * statistics; an empty problem list is the conservation proof.
  */
-class TraceAuditor : public TraceSink
+class TraceAuditor : public TraceSink, public ckpt::Restorable
 {
   public:
     /** @param costs the cost model the simulation charged under. */
     explicit TraceAuditor(const runtime::CostModel &costs);
 
     void emit(const TraceEvent &event) override;
+
+    /**
+     * Checkpoint the running sums, per-thread lifecycle states, and
+     * any streaming problems (rr.ckpt.v1 section 0x30), so an audit
+     * resumed from a snapshot reconciles exactly like one that
+     * watched the whole run. The cost model is configuration and is
+     * not serialized.
+     */
+    void saveState(ckpt::Writer &writer) const override;
+    void restoreState(const ckpt::Reader &reader) override;
+
+    /** Checkpoint section tag used by TraceAuditor. */
+    static constexpr uint32_t kCkptSection = 0x30;
 
     /**
      * Check the accumulated trace against @p totals.

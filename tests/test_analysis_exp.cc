@@ -11,6 +11,7 @@
 #include "analysis/efficiency_model.hh"
 #include "exp/env.hh"
 #include "exp/sweep.hh"
+#include "multithread/simulation_spec.hh"
 #include "multithread/workload.hh"
 
 namespace rr {
@@ -43,8 +44,11 @@ TEST(EfficiencyModel, SimulatorMatchesLinearRegime)
     const analysis::EfficiencyModel model(100, 2000, 6);
     for (unsigned n = 1; n <= 4; ++n) {
         // N threads of 8 registers each on a file with room for all.
-        mt::MtConfig config = mt::deterministicConfig(
-            mt::ArchKind::Flexible, 128, 100, 2000, n, 8);
+        mt::MtConfig config = mt::SimulationSpec()
+                                  .deterministicFaults(100, 2000)
+                                  .threads(n)
+                                  .registerDemand(8)
+                                  .build();
         const mt::MtStats stats = mt::simulate(std::move(config));
         EXPECT_NEAR(stats.efficiencyCentral, model.linear(n),
                     model.linear(n) * 0.05 + 0.005)
@@ -56,8 +60,11 @@ TEST(EfficiencyModel, SimulatorMatchesSaturation)
 {
     // N* = 1 + 200/106 ~ 2.9: six contexts saturate comfortably.
     const analysis::EfficiencyModel model(100, 200, 6);
-    mt::MtConfig config = mt::deterministicConfig(
-        mt::ArchKind::Flexible, 128, 100, 200, 6, 8);
+    mt::MtConfig config = mt::SimulationSpec()
+                              .deterministicFaults(100, 200)
+                              .threads(6)
+                              .registerDemand(8)
+                              .build();
     const mt::MtStats stats = mt::simulate(std::move(config));
     EXPECT_NEAR(stats.efficiencyCentral, model.saturated(), 0.02);
 }
@@ -72,9 +79,12 @@ TEST(Sweep, ReplicateAggregatesSeeds)
 {
     const exp::ConfigMaker maker = [](mt::ArchKind arch,
                                       uint64_t seed) {
-        mt::MtConfig config =
-            mt::fig5Config(arch, 128, 32.0, 200, seed);
-        config.workload.numThreads = 16;
+        mt::MtConfig config = mt::SimulationSpec()
+                                  .cacheFaults(32.0, 200)
+                                  .arch(arch)
+                                  .threads(16)
+                                  .seed(seed)
+                                  .build();
         return config;
     };
     const exp::Replicated rep =
@@ -92,10 +102,13 @@ TEST(Sweep, PanelCoversGridAndBuildsTable)
     const exp::PanelMaker maker = [](mt::ArchKind arch, double r,
                                      double l, uint64_t seed) {
         mt::MtConfig config =
-            mt::fig5Config(arch, 128, r,
-                           static_cast<uint64_t>(l), seed);
-        config.workload.numThreads = 12;
-        config.workload.workDist = makeConstant(4000);
+            mt::SimulationSpec()
+                .cacheFaults(r, static_cast<uint64_t>(l))
+                .arch(arch)
+                .threads(12)
+                .workPerThread(4000)
+                .seed(seed)
+                .build();
         return config;
     };
     const exp::FigurePanel panel =

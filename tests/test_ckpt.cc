@@ -1,0 +1,528 @@
+/**
+ * @file
+ * rr.ckpt.v1 checkpoint/restore tests (docs/CKPT.md).
+ *
+ * The determinism contract under test: snapshot a simulation at any
+ * event boundary, restore it into a *fresh* processor, and the
+ * remaining trace and the final statistics are identical to the
+ * uninterrupted run. Plus: the container format round-trips exactly,
+ * every corrupted or cross-spec document is rejected with a
+ * ckpt::Error (never an assertion abort), and a restored
+ * RelocationUnit never trusts memo epochs minted before the restore.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/distributions.hh"
+#include "ckpt/io.hh"
+#include "ckpt/snapshot.hh"
+#include "machine/relocation_unit.hh"
+#include "multithread/event_core.hh"
+#include "multithread/mt_processor.hh"
+#include "multithread/simulation_spec.hh"
+#include "trace/audit.hh"
+#include "trace/sink.hh"
+
+namespace rr {
+namespace {
+
+using mt::ArchKind;
+using mt::MtConfig;
+using mt::MtProcessor;
+using mt::MtStats;
+using mt::SimulationSpec;
+using trace::TraceEvent;
+using trace::VectorSink;
+
+// ---------------------------------------------------------------------
+// Container format
+
+TEST(CkptIo, RoundTripsEveryFieldType)
+{
+    ckpt::Writer writer;
+    writer.beginSection(0x50);
+    writer.u64(1, 0xdeadbeefcafef00dull);
+    writer.f64(2, -0.1);
+    writer.str(3, "hello ckpt");
+    writer.bytes(4, {0x00, 0xff, 0x7f});
+    writer.u64vec(5, {1, 2, 3});
+    writer.u32vec(6, {});
+    writer.endSection();
+    writer.beginSection(0x51);
+    writer.u64(1, 7);
+    writer.endSection();
+    const std::vector<uint8_t> doc = writer.seal();
+
+    const ckpt::Reader reader(doc);
+    EXPECT_TRUE(reader.hasSection(0x50));
+    EXPECT_TRUE(reader.hasSection(0x51));
+    EXPECT_FALSE(reader.hasSection(0x52));
+    EXPECT_EQ(reader.u64(0x50, 1), 0xdeadbeefcafef00dull);
+    EXPECT_EQ(reader.f64(0x50, 2), -0.1);
+    EXPECT_EQ(reader.str(0x50, 3), "hello ckpt");
+    EXPECT_EQ(reader.bytes(0x50, 4),
+              (std::vector<uint8_t>{0x00, 0xff, 0x7f}));
+    EXPECT_EQ(reader.u64vec(0x50, 5),
+              (std::vector<uint64_t>{1, 2, 3}));
+    EXPECT_TRUE(reader.u32vec(0x50, 6).empty());
+    EXPECT_EQ(reader.u64(0x51, 1), 7u);
+    EXPECT_FALSE(reader.has(0x50, 9));
+    EXPECT_THROW(reader.u64(0x50, 9), ckpt::Error);
+    EXPECT_THROW(reader.str(0x50, 1), ckpt::Error); // wrong type
+}
+
+TEST(CkptIo, RejectsEveryTruncation)
+{
+    ckpt::Writer writer;
+    writer.beginSection(0x50);
+    writer.u64(1, 42);
+    writer.str(2, "payload");
+    writer.endSection();
+    const std::vector<uint8_t> doc = writer.seal();
+
+    for (std::size_t n = 0; n < doc.size(); ++n) {
+        const std::vector<uint8_t> cut(doc.begin(),
+                                       doc.begin() +
+                                           static_cast<long>(n));
+        EXPECT_THROW(ckpt::Reader reader(cut), ckpt::Error)
+            << "truncation to " << n << " bytes was accepted";
+    }
+}
+
+TEST(CkptIo, RejectsEverySingleBitFlip)
+{
+    ckpt::Writer writer;
+    writer.beginSection(0x50);
+    writer.u64vec(1, {5, 6, 7});
+    writer.endSection();
+    const std::vector<uint8_t> doc = writer.seal();
+
+    // Any flipped bit lands in the magic (rejected outright) or in
+    // the body/trailer (rejected by the FNV-1a checksum).
+    for (std::size_t byte = 0; byte < doc.size(); ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            std::vector<uint8_t> bad = doc;
+            bad[byte] ^= static_cast<uint8_t>(1u << bit);
+            EXPECT_THROW(ckpt::Reader reader(bad), ckpt::Error)
+                << "flip at byte " << byte << " bit " << bit;
+        }
+    }
+}
+
+TEST(CkptIo, ErrorsCarryTheSchemaPrefix)
+{
+    try {
+        ckpt::Reader reader(std::vector<uint8_t>{});
+        FAIL() << "empty document was accepted";
+    } catch (const ckpt::Error &error) {
+        EXPECT_EQ(std::string(error.what()).rfind("rr.ckpt: ", 0), 0u)
+            << error.what();
+    }
+}
+
+TEST(CkptMeta, RejectsKindAndFingerprintMismatches)
+{
+    ckpt::Writer writer;
+    ckpt::writeMeta(writer, "mt", "spec-a");
+    const std::vector<uint8_t> doc = writer.seal();
+    const ckpt::Reader reader(doc);
+
+    EXPECT_EQ(ckpt::metaKind(reader), "mt");
+    EXPECT_NO_THROW(ckpt::checkMeta(reader, "mt", "spec-a"));
+    EXPECT_THROW(ckpt::checkMeta(reader, "machine", "spec-a"),
+                 ckpt::Error);
+    try {
+        ckpt::checkMeta(reader, "mt", "spec-b");
+        FAIL() << "cross-spec restore was accepted";
+    } catch (const ckpt::Error &error) {
+        EXPECT_NE(std::string(error.what()).find("cross-spec"),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
+// ---------------------------------------------------------------------
+// MT simulator: snapshot/restore equals the straight run
+
+void
+expectSameEvent(const TraceEvent &a, const TraceEvent &b,
+                std::size_t index)
+{
+    EXPECT_EQ(a.kind, b.kind) << "event " << index;
+    EXPECT_EQ(a.arch, b.arch) << "event " << index;
+    EXPECT_EQ(a.ok, b.ok) << "event " << index;
+    EXPECT_EQ(a.tid, b.tid) << "event " << index;
+    EXPECT_EQ(a.ctx, b.ctx) << "event " << index;
+    EXPECT_EQ(a.regs, b.regs) << "event " << index;
+    EXPECT_EQ(a.cycle, b.cycle) << "event " << index;
+    EXPECT_EQ(a.cycles, b.cycles) << "event " << index;
+    EXPECT_EQ(a.aux, b.aux) << "event " << index;
+}
+
+void
+expectSameStats(const MtStats &a, const MtStats &b)
+{
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.usefulCycles, b.usefulCycles);
+    EXPECT_EQ(a.idleCycles, b.idleCycles);
+    EXPECT_EQ(a.switchCycles, b.switchCycles);
+    EXPECT_EQ(a.allocCycles, b.allocCycles);
+    EXPECT_EQ(a.deallocCycles, b.deallocCycles);
+    EXPECT_EQ(a.loadCycles, b.loadCycles);
+    EXPECT_EQ(a.unloadCycles, b.unloadCycles);
+    EXPECT_EQ(a.queueCycles, b.queueCycles);
+    EXPECT_EQ(a.faults, b.faults);
+    EXPECT_EQ(a.cacheFaults, b.cacheFaults);
+    EXPECT_EQ(a.syncFaults, b.syncFaults);
+    EXPECT_EQ(a.loads, b.loads);
+    EXPECT_EQ(a.unloads, b.unloads);
+    EXPECT_EQ(a.allocSuccesses, b.allocSuccesses);
+    EXPECT_EQ(a.allocFailures, b.allocFailures);
+    EXPECT_EQ(a.efficiencyCentral, b.efficiencyCentral);
+    EXPECT_EQ(a.efficiencyTotal, b.efficiencyTotal);
+    EXPECT_EQ(a.avgResidentContexts, b.avgResidentContexts);
+    EXPECT_EQ(a.maxResidentContexts, b.maxResidentContexts);
+    EXPECT_EQ(a.threadsFinished, b.threadsFinished);
+}
+
+/**
+ * Run @p spec straight through, then again split at event boundary
+ * @p splitAt (snapshot, restore into a fresh processor, continue),
+ * and require identical traces, statistics, and thread tables.
+ */
+void
+checkResumeEqualsStraight(const SimulationSpec &spec,
+                          uint64_t splitAt)
+{
+    SCOPED_TRACE("split at event " + std::to_string(splitAt));
+
+    // The uninterrupted reference run.
+    VectorSink straightSink;
+    SimulationSpec straightSpec = spec;
+    MtProcessor straight(straightSpec.traceSink(&straightSink).build());
+    const MtStats straightStats = straight.run();
+
+    // Head: run to the boundary and snapshot.
+    VectorSink headSink;
+    SimulationSpec headSpec = spec;
+    MtProcessor head(headSpec.traceSink(&headSink).build());
+    head.begin();
+    while (!head.done() && head.eventIndex() < splitAt)
+        head.step();
+    const std::vector<uint8_t> doc = head.snapshot();
+
+    // Tail: a fresh processor restored from the document.
+    VectorSink tailSink;
+    SimulationSpec tailSpec = spec;
+    MtProcessor tail(tailSpec.traceSink(&tailSink).build());
+    tail.restore(doc);
+    const MtStats tailStats = tail.run();
+
+    expectSameStats(straightStats, tailStats);
+
+    const std::vector<TraceEvent> &straightEvents =
+        straightSink.events();
+    ASSERT_EQ(straightEvents.size(),
+              headSink.events().size() + tailSink.events().size());
+    for (std::size_t i = 0; i < straightEvents.size(); ++i) {
+        const bool inHead = i < headSink.events().size();
+        expectSameEvent(straightEvents[i],
+                        inHead ? headSink.events()[i]
+                               : tailSink.events()
+                                     [i - headSink.events().size()],
+                        i);
+    }
+
+    ASSERT_EQ(straight.threads().size(), tail.threads().size());
+    for (std::size_t i = 0; i < straight.threads().size(); ++i) {
+        const mt::Thread &a = straight.threads()[i];
+        const mt::Thread &b = tail.threads()[i];
+        EXPECT_EQ(a.totalWork, b.totalWork) << "thread " << i;
+        EXPECT_EQ(a.faults, b.faults) << "thread " << i;
+        EXPECT_EQ(a.timesLoaded, b.timesLoaded) << "thread " << i;
+        EXPECT_EQ(a.timesUnloaded, b.timesUnloaded) << "thread " << i;
+        EXPECT_EQ(a.finishTime, b.finishTime) << "thread " << i;
+    }
+}
+
+SimulationSpec
+cacheSpec()
+{
+    return SimulationSpec()
+        .cacheFaults(20, 60)
+        .threads(24)
+        .workPerThread(2000)
+        .numRegs(128)
+        .seed(7);
+}
+
+TEST(CkptMt, CacheFlexibleResumeEqualsStraightRun)
+{
+    for (const uint64_t splitAt : {0ull, 1ull, 57ull, 400ull})
+        checkResumeEqualsStraight(cacheSpec(), splitAt);
+}
+
+TEST(CkptMt, SnapshotPastTheEndRestoresAFinishedRun)
+{
+    // splitAt beyond the run length: the head finishes, the snapshot
+    // captures the final state, and the tail has nothing left to do.
+    checkResumeEqualsStraight(cacheSpec(), ~0ull);
+}
+
+TEST(CkptMt, SyncFixedTwoPhaseResumeEqualsStraightRun)
+{
+    const SimulationSpec spec = SimulationSpec()
+                                    .syncFaults(20, 100)
+                                    .arch(ArchKind::FixedHw)
+                                    .threads(16)
+                                    .workPerThread(1500)
+                                    .numRegs(128)
+                                    .seed(3);
+    for (const uint64_t splitAt : {1ull, 123ull})
+        checkResumeEqualsStraight(spec, splitAt);
+}
+
+TEST(CkptMt, CombinedAddRelocResumeEqualsStraightRun)
+{
+    const SimulationSpec spec = SimulationSpec()
+                                    .combinedFaults(20, 60, 40, 100)
+                                    .arch(ArchKind::AddReloc)
+                                    .threads(16)
+                                    .workPerThread(1500)
+                                    .numRegs(128)
+                                    .seed(5);
+    for (const uint64_t splitAt : {1ull, 123ull})
+        checkResumeEqualsStraight(spec, splitAt);
+}
+
+TEST(CkptMt, PrioritizedWorkloadResumeEqualsStraightRun)
+{
+    const SimulationSpec spec = SimulationSpec()
+                                    .cacheFaults(20, 60)
+                                    .threads(24)
+                                    .workPerThread(1500)
+                                    .priorities(3, makeUniformInt(0, 2))
+                                    .numRegs(128)
+                                    .seed(11);
+    for (const uint64_t splitAt : {1ull, 200ull})
+        checkResumeEqualsStraight(spec, splitAt);
+}
+
+TEST(CkptMt, SnapshotIsByteStableAcrossRestore)
+{
+    MtProcessor head(cacheSpec().build());
+    head.begin();
+    for (int i = 0; i < 150 && !head.done(); ++i)
+        head.step();
+    const std::vector<uint8_t> doc = head.snapshot();
+    EXPECT_EQ(doc, head.snapshot()); // snapshotting is pure
+
+    MtProcessor restored(cacheSpec().build());
+    restored.restore(doc);
+    EXPECT_EQ(doc, restored.snapshot()); // restore loses nothing
+}
+
+TEST(CkptMt, ResumeViaConfigReproducesFinalStats)
+{
+    const std::string path =
+        testing::TempDir() + "/rr_ckpt_resume_test.ckpt";
+
+    SimulationSpec straightSpec = cacheSpec();
+    const MtStats straightStats = straightSpec.run();
+
+    SimulationSpec writeSpec = cacheSpec();
+    const MtStats writeStats =
+        writeSpec.checkpointEvery(100, path).run();
+    expectSameStats(straightStats, writeStats);
+
+    SimulationSpec resumeSpec = cacheSpec();
+    const MtStats resumedStats = resumeSpec.resumeFrom(path).run();
+    expectSameStats(straightStats, resumedStats);
+
+    std::remove(path.c_str());
+}
+
+TEST(CkptMt, CrossSpecRestoreThrows)
+{
+    MtProcessor source(cacheSpec().build());
+    source.begin();
+    const std::vector<uint8_t> doc = source.snapshot();
+
+    SimulationSpec other = cacheSpec();
+    MtProcessor target(other.seed(8).build());
+    EXPECT_THROW(target.restore(doc), ckpt::Error);
+}
+
+TEST(CkptMt, HostileDocumentsThrowNotAbort)
+{
+    MtProcessor source(cacheSpec().build());
+    source.begin();
+    for (int i = 0; i < 50 && !source.done(); ++i)
+        source.step();
+    const std::vector<uint8_t> doc = source.snapshot();
+
+    // Truncations die in the Reader.
+    for (const std::size_t keep :
+         {std::size_t{0}, std::size_t{7}, std::size_t{20},
+          doc.size() / 2, doc.size() - 1}) {
+        MtProcessor target(cacheSpec().build());
+        const std::vector<uint8_t> cut(doc.begin(),
+                                       doc.begin() +
+                                           static_cast<long>(keep));
+        EXPECT_THROW(target.restore(cut), ckpt::Error)
+            << "kept " << keep << " bytes";
+    }
+
+    // A structurally valid document with the right meta but no
+    // component sections dies in restoreState, not on an assert.
+    ckpt::Writer writer;
+    ckpt::writeMeta(writer, "mt", source.fingerprint());
+    MtProcessor target(cacheSpec().build());
+    EXPECT_THROW(target.restore(writer.seal()), ckpt::Error);
+}
+
+TEST(CkptSpec, ValidatesCheckpointSettings)
+{
+    EXPECT_THROW(SimulationSpec()
+                     .cacheFaults(20, 60)
+                     .checkpointEvery(10, "")
+                     .build(),
+                 mt::SpecError);
+    EXPECT_THROW(SimulationSpec()
+                     .cacheFaults(20, 60)
+                     .checkpointEvery(0, "somewhere.ckpt")
+                     .build(),
+                 mt::SpecError);
+}
+
+// ---------------------------------------------------------------------
+// Component round trips
+
+TEST(CkptEventCore, RoundTripsLiveAndStaleEvents)
+{
+    mt::EventCore core;
+    core.push({100, 1, 0});
+    core.push({90, 1, 1});
+    core.push({110, 1, 2});
+    core.push({90, 2, 1}); // equal-time tie with the earlier event
+    core.invalidateThread(2);
+
+    ckpt::Writer writer;
+    core.saveState(writer);
+    const std::vector<uint8_t> doc = writer.seal();
+
+    mt::EventCore restored;
+    restored.restoreState(ckpt::Reader(doc));
+    EXPECT_EQ(restored.size(), core.size());
+    EXPECT_EQ(restored.live(), core.live());
+    EXPECT_EQ(restored.stale(), core.stale());
+
+    // Byte-for-byte round trip: the raw heap order (and with it the
+    // pop tie-breaking among equal times) survives.
+    ckpt::Writer again;
+    restored.saveState(again);
+    EXPECT_EQ(again.seal(), doc);
+}
+
+TEST(CkptAuditor, SplitAuditReconcilesLikeAWholeRun)
+{
+    VectorSink sink;
+    SimulationSpec spec = cacheSpec();
+    MtConfig config = spec.traceSink(&sink).build();
+    const MtStats stats = mt::simulate(config);
+    const std::vector<TraceEvent> &events = sink.events();
+    ASSERT_GT(events.size(), 100u);
+
+    trace::TraceAuditor whole(config.costs);
+    for (const TraceEvent &event : events)
+        whole.emit(event);
+    EXPECT_TRUE(whole.reconcile(mt::auditTotals(stats)).empty());
+
+    const std::size_t split = events.size() / 3;
+    trace::TraceAuditor headAuditor(config.costs);
+    for (std::size_t i = 0; i < split; ++i)
+        headAuditor.emit(events[i]);
+    ckpt::Writer writer;
+    headAuditor.saveState(writer);
+    const std::vector<uint8_t> doc = writer.seal();
+
+    trace::TraceAuditor tailAuditor(config.costs);
+    tailAuditor.restoreState(ckpt::Reader(doc));
+    for (std::size_t i = split; i < events.size(); ++i)
+        tailAuditor.emit(events[i]);
+    EXPECT_TRUE(tailAuditor.reconcile(mt::auditTotals(stats)).empty());
+    EXPECT_EQ(tailAuditor.eventsSeen(), whole.eventsSeen());
+}
+
+// ---------------------------------------------------------------------
+// RelocationUnit: the memo-epoch restore regression
+
+TEST(CkptReloc, RestoredMasksNeverTrustPreRestoreEpochs)
+{
+    using machine::RelocationResult;
+    using machine::RelocationUnit;
+
+    RelocationUnit unit(128, 5);
+
+    // Churn through more mask states than the 16-slot table cache
+    // holds, forcing recycling, and remember one mid-churn state.
+    std::vector<uint32_t> savedMasks;
+    unsigned savedSize = 0;
+    for (unsigned i = 0; i < 24; ++i) {
+        unit.setMask((i * 8) % 128);
+        unit.setContextSize(8);
+        (void)unit.table();
+        if (i == 10) {
+            savedMasks = unit.masks();
+            savedSize = unit.contextSize();
+        }
+    }
+
+    // More churn after the save, then restore. The unit's cache now
+    // holds tables for masks the snapshot never saw; a restore that
+    // trusted pre-restore epochs could serve one of them.
+    for (unsigned i = 0; i < 8; ++i) {
+        unit.setMask(16 + i * 8);
+        unit.setContextSize(16);
+        (void)unit.table();
+    }
+    const uint64_t epochBefore = unit.epoch();
+    unit.restoreMasks(savedMasks, savedSize);
+    EXPECT_GT(unit.epoch(), epochBefore);
+
+    RelocationUnit fresh(128, 5);
+    fresh.setMask(savedMasks[0]);
+    fresh.setContextSize(savedSize);
+    const RelocationResult *restored = unit.table();
+    const RelocationResult *expected = fresh.table();
+    for (unsigned operand = 0; operand < unit.tableSize();
+         ++operand) {
+        EXPECT_EQ(restored[operand].physical,
+                  expected[operand].physical)
+            << "operand " << operand;
+        EXPECT_EQ(restored[operand].ok, expected[operand].ok)
+            << "operand " << operand;
+    }
+    for (unsigned operand = 0; operand < unit.tableSize();
+         ++operand) {
+        EXPECT_EQ(unit.relocate(operand).physical,
+                  fresh.relocate(operand).physical);
+    }
+}
+
+TEST(CkptReloc, RestoreRejectsHostileMaskState)
+{
+    machine::RelocationUnit unit(128, 5);
+    EXPECT_THROW(unit.restoreMasks({}, 8), ckpt::Error);
+    EXPECT_THROW(unit.restoreMasks({0, 8}, 8), ckpt::Error);
+    EXPECT_THROW(unit.restoreMasks({8}, 3), ckpt::Error);
+    EXPECT_THROW(unit.restoreMasks({8}, 256), ckpt::Error);
+    EXPECT_THROW(unit.restoreMasks({0xffffu}, 8), ckpt::Error);
+}
+
+} // namespace
+} // namespace rr

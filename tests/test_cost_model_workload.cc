@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "multithread/simulation_spec.hh"
 #include "multithread/workload.hh"
 #include "runtime/cost_model.hh"
 
@@ -79,10 +80,13 @@ TEST(Workload, DefaultWorkScalesWithRunLength)
     EXPECT_EQ(mt::defaultWorkPerThread(512.0), 128000u); // 250 R
 }
 
-TEST(Workload, Fig5ConfigMatchesPaperParameters)
+TEST(Workload, CacheFamilyMatchesPaperParameters)
 {
-    const mt::MtConfig flex =
-        mt::fig5Config(mt::ArchKind::Flexible, 128, 32.0, 200);
+    const mt::MtConfig flex = mt::SimulationSpec()
+                                  .cacheFaults(32.0, 200)
+                                  .arch(mt::ArchKind::Flexible)
+                                  .numRegs(128)
+                                  .build();
     EXPECT_EQ(flex.costs.contextSwitch, 6u); // Section 3.2
     EXPECT_EQ(flex.costs.allocSucceed, 25u);
     EXPECT_EQ(flex.unloadPolicy, mt::UnloadPolicyKind::Never);
@@ -90,33 +94,43 @@ TEST(Workload, Fig5ConfigMatchesPaperParameters)
     EXPECT_DOUBLE_EQ(flex.faultModel->meanRunLength(), 32.0);
     EXPECT_DOUBLE_EQ(flex.faultModel->meanLatency(), 200.0);
 
-    const mt::MtConfig fixed =
-        mt::fig5Config(mt::ArchKind::FixedHw, 128, 32.0, 200);
+    const mt::MtConfig fixed = mt::SimulationSpec()
+                                   .cacheFaults(32.0, 200)
+                                   .arch(mt::ArchKind::FixedHw)
+                                   .numRegs(128)
+                                   .build();
     EXPECT_EQ(fixed.costs.allocSucceed, 0u);
 }
 
-TEST(Workload, Fig6ConfigMatchesPaperParameters)
+TEST(Workload, SyncFamilyMatchesPaperParameters)
 {
-    const mt::MtConfig config =
-        mt::fig6Config(mt::ArchKind::Flexible, 64, 128.0, 1000.0);
+    const mt::MtConfig config = mt::SimulationSpec()
+                                    .syncFaults(128.0, 1000.0)
+                                    .numRegs(64)
+                                    .build();
     EXPECT_EQ(config.costs.contextSwitch, 8u); // Section 3.3
     EXPECT_EQ(config.unloadPolicy, mt::UnloadPolicyKind::TwoPhase);
     EXPECT_DOUBLE_EQ(config.faultModel->meanLatency(), 1000.0);
 }
 
-TEST(Workload, CombinedConfigRatesCompose)
+TEST(Workload, CombinedFamilyRatesCompose)
 {
-    const mt::MtConfig config = mt::combinedConfig(
-        mt::ArchKind::Flexible, 128, 64.0, 100, 64.0, 500.0);
+    const mt::MtConfig config = mt::SimulationSpec()
+                                    .combinedFaults(64.0, 100, 64.0,
+                                                    500.0)
+                                    .build();
     // Combined rate ~ half the run length of either process.
     EXPECT_LT(config.faultModel->meanRunLength(), 64.0);
     EXPECT_GT(config.faultModel->meanRunLength(), 20.0);
 }
 
-TEST(Workload, DeterministicConfigIsDeterministic)
+TEST(Workload, DeterministicFamilyIsDeterministic)
 {
-    const mt::MtConfig config = mt::deterministicConfig(
-        mt::ArchKind::Flexible, 128, 100, 300, 4, 8);
+    const mt::MtConfig config = mt::SimulationSpec()
+                                    .deterministicFaults(100, 300)
+                                    .threads(4)
+                                    .registerDemand(8)
+                                    .build();
     Rng rng(9);
     for (int i = 0; i < 5; ++i) {
         const mt::FaultSample sample =

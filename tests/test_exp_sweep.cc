@@ -22,6 +22,7 @@
 #include "exp/report.hh"
 #include "exp/sweep.hh"
 #include "exp/tracectl.hh"
+#include "multithread/simulation_spec.hh"
 #include "multithread/workload.hh"
 #include "trace/chrome_export.hh"
 
@@ -35,10 +36,15 @@ cheapPanel(unsigned jobs)
     exp::setDefaultJobs(jobs);
     const exp::PanelMaker maker = [](mt::ArchKind arch, double r,
                                      double l, uint64_t seed) {
-        mt::MtConfig config = mt::fig5Config(
-            arch, 128, r, static_cast<uint64_t>(l), seed);
-        config.workload.numThreads = 10;
-        config.workload.workDist = makeConstant(3000);
+        mt::MtConfig config =
+            mt::SimulationSpec()
+                .cacheFaults(r, static_cast<uint64_t>(l))
+                .arch(arch)
+                .numRegs(128)
+                .threads(10)
+                .workPerThread(3000)
+                .seed(seed)
+                .build();
         return config;
     };
     exp::FigurePanel panel =
@@ -101,10 +107,14 @@ TEST(Sweep, ReplicateManyMatchesReplicate)
 {
     const exp::ConfigMaker maker = [](mt::ArchKind arch,
                                       uint64_t seed) {
-        mt::MtConfig config = mt::fig5Config(arch, 128, 32.0, 200,
-                                             seed);
-        config.workload.numThreads = 8;
-        config.workload.workDist = makeConstant(3000);
+        mt::MtConfig config = mt::SimulationSpec()
+                                  .cacheFaults(32.0, 200)
+                                  .arch(arch)
+                                  .numRegs(128)
+                                  .threads(8)
+                                  .workPerThread(3000)
+                                  .seed(seed)
+                                  .build();
         return config;
     };
     const std::vector<exp::Replicated> many = exp::replicateMany(

@@ -14,6 +14,7 @@
 #include "ext/multi_rrm.hh"
 #include "ext/software_only.hh"
 #include "machine/cpu.hh"
+#include "multithread/simulation_spec.hh"
 #include "multithread/workload.hh"
 
 namespace rr::ext {
@@ -183,10 +184,11 @@ TEST(Adaptive, InterferenceModel)
 
 TEST(Adaptive, ResidencyCapIsRespected)
 {
-    mt::MtConfig config =
-        mt::fig5Config(mt::ArchKind::Flexible, 128, 32.0, 400);
-    config.workload.numThreads = 24;
-    config.residencyCap = 2;
+    mt::MtConfig config = mt::SimulationSpec()
+                              .cacheFaults(32.0, 400)
+                              .threads(24)
+                              .residencyCap(2)
+                              .build();
     const mt::MtStats stats = mt::simulate(std::move(config));
     EXPECT_LE(stats.maxResidentContexts, 2u);
 }
@@ -195,8 +197,10 @@ TEST(Adaptive, SearchFindsInteriorOptimumUnderInterference)
 {
     // Latency short enough that the processor can saturate: past the
     // saturation point, additional contexts only add interference.
-    mt::MtConfig base =
-        mt::fig5Config(mt::ArchKind::Flexible, 256, 64.0, 100);
+    mt::MtConfig base = mt::SimulationSpec()
+                            .cacheFaults(64.0, 100)
+                            .numRegs(256)
+                            .build();
     base.workload = mt::homogeneousWorkload(32, 20000, 8);
     // Strong interference: each extra context costs 60% of R.
     const AdaptiveResult result =
@@ -211,8 +215,10 @@ TEST(Adaptive, SearchFindsInteriorOptimumUnderInterference)
 
 TEST(Adaptive, NoInterferenceFavoursMoreContexts)
 {
-    mt::MtConfig base =
-        mt::fig5Config(mt::ArchKind::Flexible, 256, 64.0, 400);
+    mt::MtConfig base = mt::SimulationSpec()
+                            .cacheFaults(64.0, 400)
+                            .numRegs(256)
+                            .build();
     base.workload = mt::homogeneousWorkload(32, 20000, 8);
     const AdaptiveResult result =
         adaptiveSearch(base, 64.0, 400, 0.0, 8);
@@ -283,9 +289,12 @@ TEST(ContextCache, FinerBindingBeatsFixedContexts)
     config.numRegs = 64;
     const ContextCacheStats cache = simulateContextCache(config);
 
-    mt::MtConfig fixed =
-        mt::fig5Config(mt::ArchKind::FixedHw, 64, 16.0, 512);
-    fixed.workload.numThreads = 32;
+    mt::MtConfig fixed = mt::SimulationSpec()
+                             .cacheFaults(16.0, 512)
+                             .arch(mt::ArchKind::FixedHw)
+                             .numRegs(64)
+                             .threads(32)
+                             .build();
     const double fixed_eff =
         mt::simulate(std::move(fixed)).efficiencyCentral;
     EXPECT_GT(cache.efficiencyCentral, 2.0 * fixed_eff);

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "multithread/simulation_spec.hh"
 #include "multithread/workload.hh"
 
 namespace rr::mt {
@@ -33,19 +34,21 @@ meanEff(ArchKind arch, const MtConfig &proto, unsigned seeds = 2)
 MtConfig
 cacheProto(unsigned num_regs, double run, uint64_t latency)
 {
-    MtConfig config = fig5Config(ArchKind::Flexible, num_regs, run,
-                                 latency);
-    config.workload.numThreads = 32;
-    return config;
+    return SimulationSpec()
+        .cacheFaults(run, latency)
+        .numRegs(num_regs)
+        .threads(32)
+        .build();
 }
 
 MtConfig
 syncProto(unsigned num_regs, double run, double latency)
 {
-    MtConfig config = fig6Config(ArchKind::Flexible, num_regs, run,
-                                 latency);
-    config.workload.numThreads = 32;
-    return config;
+    return SimulationSpec()
+        .syncFaults(run, latency)
+        .numRegs(num_regs)
+        .threads(32)
+        .build();
 }
 
 // Figure 5: "register relocation consistently outperforms
@@ -143,9 +146,13 @@ TEST(FigureShapes, CombinedFaultsLowerBothArchitectures)
         MtConfig cache = cacheProto(128, 64.0, 64);
         cache.costs.contextSwitch = 8;
         MtConfig sync = syncProto(128, 128.0, 512.0);
-        MtConfig combined =
-            combinedConfig(arch, 128, 64.0, 64, 128.0, 512.0);
-        combined.workload.numThreads = 32;
+        MtConfig combined = SimulationSpec()
+                                .combinedFaults(64.0, 64, 128.0,
+                                                512.0)
+                                .arch(arch)
+                                .numRegs(128)
+                                .threads(32)
+                                .build();
         const double e_cache = meanEff(arch, cache);
         const double e_sync = meanEff(arch, sync);
         const double e_combined = meanEff(arch, combined);

@@ -11,6 +11,7 @@
 
 #include <tuple>
 
+#include "multithread/simulation_spec.hh"
 #include "multithread/workload.hh"
 
 namespace rr::mt {
@@ -45,13 +46,18 @@ class MtInvariants : public ::testing::TestWithParam<SweepParam>
     makeConfig() const
     {
         const SweepParam &p = GetParam();
-        MtConfig config =
-            p.sync_faults
-                ? fig6Config(p.arch, p.numRegs, 32.0, 400.0, p.seed)
-                : fig5Config(p.arch, p.numRegs, 32.0, 400, p.seed);
+        SimulationSpec spec;
+        if (p.sync_faults)
+            spec.syncFaults(32.0, 400.0);
+        else
+            spec.cacheFaults(32.0, 400);
+        MtConfig config = spec.arch(p.arch)
+                              .numRegs(p.numRegs)
+                              .threads(24)
+                              .workPerThread(6000)
+                              .seed(p.seed)
+                              .build();
         config.unloadPolicy = p.unload;
-        config.workload.numThreads = 24;
-        config.workload.workDist = makeConstant(6000);
         return config;
     }
 };
@@ -131,8 +137,11 @@ INSTANTIATE_TEST_SUITE_P(
 // Per-thread statistics are consistent with the aggregates.
 TEST(MtPerThread, ThreadCountersSumToAggregates)
 {
-    MtConfig config = fig6Config(ArchKind::Flexible, 64, 32.0, 800.0);
-    config.workload.numThreads = 24;
+    MtConfig config = SimulationSpec()
+                          .syncFaults(32.0, 800.0)
+                          .numRegs(64)
+                          .threads(24)
+                          .build();
     MtProcessor processor(std::move(config));
     const MtStats stats = processor.run();
 

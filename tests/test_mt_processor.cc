@@ -10,14 +10,55 @@
 
 #include "base/stats.hh"
 #include "multithread/mt_processor.hh"
+#include "multithread/simulation_spec.hh"
 #include "multithread/workload.hh"
 
 namespace rr::mt {
 namespace {
 
+/** Figure 5 settings: cache faults, constant latency. */
+MtConfig
+cacheConfig(ArchKind arch, unsigned num_regs, double mean_run,
+            uint64_t latency, uint64_t seed = 1)
+{
+    return SimulationSpec()
+        .cacheFaults(mean_run, latency)
+        .arch(arch)
+        .numRegs(num_regs)
+        .seed(seed)
+        .build();
+}
+
+/** Figure 6 settings: sync faults, exponential latency. */
+MtConfig
+syncConfig(ArchKind arch, unsigned num_regs, double mean_run,
+           double mean_latency, uint64_t seed = 1)
+{
+    return SimulationSpec()
+        .syncFaults(mean_run, mean_latency)
+        .arch(arch)
+        .numRegs(num_regs)
+        .seed(seed)
+        .build();
+}
+
+/** Section 3.4 settings: deterministic runs, identical threads. */
+MtConfig
+detConfig(ArchKind arch, unsigned num_regs, uint64_t run,
+          uint64_t latency, unsigned num_threads, unsigned regs_used)
+{
+    return SimulationSpec()
+        .deterministicFaults(run, latency)
+        .threads(num_threads)
+        .registerDemand(regs_used)
+        .arch(arch)
+        .numRegs(num_regs)
+        .build();
+}
+
 TEST(MtProcessor, CompletesAllThreads)
 {
-    MtConfig config = fig5Config(ArchKind::Flexible, 128, 32.0, 100);
+    MtConfig config = cacheConfig(ArchKind::Flexible, 128, 32.0, 100);
     config.workload.numThreads = 16;
     const MtStats stats = simulate(std::move(config));
     EXPECT_EQ(stats.threadsFinished, 16u);
@@ -29,7 +70,7 @@ TEST(MtProcessor, CycleAccountingPartitionsTotal)
 {
     for (const ArchKind arch :
          {ArchKind::Flexible, ArchKind::FixedHw, ArchKind::AddReloc}) {
-        MtConfig config = fig5Config(arch, 128, 16.0, 200);
+        MtConfig config = cacheConfig(arch, 128, 16.0, 200);
         config.workload.numThreads = 24;
         const MtStats stats = simulate(std::move(config));
         EXPECT_EQ(stats.accountedCycles(), stats.totalCycles)
@@ -39,7 +80,7 @@ TEST(MtProcessor, CycleAccountingPartitionsTotal)
 
 TEST(MtProcessor, UsefulCyclesEqualTotalWork)
 {
-    MtConfig config = fig5Config(ArchKind::Flexible, 128, 32.0, 100);
+    MtConfig config = cacheConfig(ArchKind::Flexible, 128, 32.0, 100);
     config.workload.numThreads = 8;
     config.workload.workDist = makeConstant(5000);
     const MtStats stats = simulate(std::move(config));
@@ -48,7 +89,7 @@ TEST(MtProcessor, UsefulCyclesEqualTotalWork)
 
 TEST(MtProcessor, EfficiencyWithinUnitInterval)
 {
-    MtConfig config = fig6Config(ArchKind::Flexible, 128, 32.0, 500.0);
+    MtConfig config = syncConfig(ArchKind::Flexible, 128, 32.0, 500.0);
     config.workload.numThreads = 32;
     const MtStats stats = simulate(std::move(config));
     EXPECT_GT(stats.efficiencyCentral, 0.0);
@@ -63,7 +104,7 @@ TEST(MtProcessor, SaturatedEfficiencyMatchesClosedForm)
 {
     // R = 100, S = 6, L = 50: a single extra context suffices;
     // 8 contexts of 8 registers fit easily in 128 registers.
-    MtConfig config = deterministicConfig(ArchKind::Flexible, 128,
+    MtConfig config = detConfig(ArchKind::Flexible, 128,
                                           100, 50, 8, 8);
     const MtStats stats = simulate(std::move(config));
     const double expected = 100.0 / (100.0 + 6.0);
@@ -74,7 +115,7 @@ TEST(MtProcessor, SaturatedEfficiencyMatchesClosedForm)
 // regime with N = 1.
 TEST(MtProcessor, SingleThreadLinearRegime)
 {
-    MtConfig config = deterministicConfig(ArchKind::Flexible, 128,
+    MtConfig config = detConfig(ArchKind::Flexible, 128,
                                           100, 400, 1, 8);
     const MtStats stats = simulate(std::move(config));
     const double expected = 100.0 / (100.0 + 6.0 + 400.0);
@@ -86,9 +127,9 @@ TEST(MtProcessor, FlexibleBeatsFixedOnSmallContexts)
     // Homogeneous C = 8 on F = 64: flexible fits 8 contexts, fixed
     // only 2. Short run lengths + long latency => linear regime,
     // where residency wins (Section 3.4 discussion).
-    MtConfig flexible = fig5Config(ArchKind::Flexible, 64, 16.0, 400);
+    MtConfig flexible = cacheConfig(ArchKind::Flexible, 64, 16.0, 400);
     flexible.workload = homogeneousWorkload(48, 20000, 8);
-    MtConfig fixed = fig5Config(ArchKind::FixedHw, 64, 16.0, 400);
+    MtConfig fixed = cacheConfig(ArchKind::FixedHw, 64, 16.0, 400);
     fixed.workload = homogeneousWorkload(48, 20000, 8);
 
     const MtStats fs = simulate(std::move(flexible));
@@ -98,7 +139,7 @@ TEST(MtProcessor, FlexibleBeatsFixedOnSmallContexts)
 
 TEST(MtProcessor, ResidencyTracksRegisterFileCapacity)
 {
-    MtConfig config = fig5Config(ArchKind::FixedHw, 128, 32.0, 400);
+    MtConfig config = cacheConfig(ArchKind::FixedHw, 128, 32.0, 400);
     config.workload.numThreads = 32;
     const MtStats stats = simulate(std::move(config));
     // F = 128 / 32 regs per fixed context -> at most 4 resident.
@@ -109,7 +150,7 @@ TEST(MtProcessor, ResidencyTracksRegisterFileCapacity)
 
 TEST(MtProcessor, TwoPhaseUnloadsUnderLongLatency)
 {
-    MtConfig config = fig6Config(ArchKind::Flexible, 64, 32.0, 2000.0);
+    MtConfig config = syncConfig(ArchKind::Flexible, 64, 32.0, 2000.0);
     config.workload.numThreads = 32;
     const MtStats stats = simulate(std::move(config));
     EXPECT_GT(stats.unloads, 0u);
@@ -119,7 +160,7 @@ TEST(MtProcessor, TwoPhaseUnloadsUnderLongLatency)
 
 TEST(MtProcessor, NeverPolicyNeverUnloads)
 {
-    MtConfig config = fig5Config(ArchKind::Flexible, 64, 8.0, 2000);
+    MtConfig config = cacheConfig(ArchKind::Flexible, 64, 8.0, 2000);
     config.workload.numThreads = 32;
     const MtStats stats = simulate(std::move(config));
     EXPECT_EQ(stats.unloads, 0u);
@@ -127,8 +168,8 @@ TEST(MtProcessor, NeverPolicyNeverUnloads)
 
 TEST(MtProcessor, DeterministicGivenSeed)
 {
-    MtConfig a = fig6Config(ArchKind::Flexible, 128, 32.0, 300.0, 7);
-    MtConfig b = fig6Config(ArchKind::Flexible, 128, 32.0, 300.0, 7);
+    MtConfig a = syncConfig(ArchKind::Flexible, 128, 32.0, 300.0, 7);
+    MtConfig b = syncConfig(ArchKind::Flexible, 128, 32.0, 300.0, 7);
     const MtStats sa = simulate(std::move(a));
     const MtStats sb = simulate(std::move(b));
     EXPECT_EQ(sa.totalCycles, sb.totalCycles);
@@ -138,8 +179,8 @@ TEST(MtProcessor, DeterministicGivenSeed)
 
 TEST(MtProcessor, SeedChangesStochasticOutcome)
 {
-    MtConfig a = fig6Config(ArchKind::Flexible, 128, 32.0, 300.0, 7);
-    MtConfig b = fig6Config(ArchKind::Flexible, 128, 32.0, 300.0, 8);
+    MtConfig a = syncConfig(ArchKind::Flexible, 128, 32.0, 300.0, 7);
+    MtConfig b = syncConfig(ArchKind::Flexible, 128, 32.0, 300.0, 8);
     const MtStats sa = simulate(std::move(a));
     const MtStats sb = simulate(std::move(b));
     EXPECT_NE(sa.totalCycles, sb.totalCycles);
@@ -147,7 +188,7 @@ TEST(MtProcessor, SeedChangesStochasticOutcome)
 
 TEST(MtProcessor, FixedArchHasZeroAllocCycles)
 {
-    MtConfig config = fig6Config(ArchKind::FixedHw, 128, 32.0, 500.0);
+    MtConfig config = syncConfig(ArchKind::FixedHw, 128, 32.0, 500.0);
     config.workload.numThreads = 32;
     const MtStats stats = simulate(std::move(config));
     EXPECT_EQ(stats.allocCycles, 0u);
@@ -156,8 +197,8 @@ TEST(MtProcessor, FixedArchHasZeroAllocCycles)
 
 TEST(MtProcessor, LongerLatencyLowersEfficiency)
 {
-    MtConfig lo = fig5Config(ArchKind::Flexible, 128, 32.0, 50);
-    MtConfig hi = fig5Config(ArchKind::Flexible, 128, 32.0, 1600);
+    MtConfig lo = cacheConfig(ArchKind::Flexible, 128, 32.0, 50);
+    MtConfig hi = cacheConfig(ArchKind::Flexible, 128, 32.0, 1600);
     const MtStats slo = simulate(std::move(lo));
     const MtStats shi = simulate(std::move(hi));
     EXPECT_GT(slo.efficiencyCentral, shi.efficiencyCentral);
@@ -165,8 +206,8 @@ TEST(MtProcessor, LongerLatencyLowersEfficiency)
 
 TEST(MtProcessor, LongerRunLengthRaisesEfficiency)
 {
-    MtConfig lo = fig5Config(ArchKind::Flexible, 128, 8.0, 400);
-    MtConfig hi = fig5Config(ArchKind::Flexible, 128, 128.0, 400);
+    MtConfig lo = cacheConfig(ArchKind::Flexible, 128, 8.0, 400);
+    MtConfig hi = cacheConfig(ArchKind::Flexible, 128, 128.0, 400);
     const MtStats slo = simulate(std::move(lo));
     const MtStats shi = simulate(std::move(hi));
     EXPECT_GT(shi.efficiencyCentral, slo.efficiencyCentral);
@@ -179,7 +220,7 @@ TEST(MtProcessor, LongerRunLengthRaisesEfficiency)
 // whenever they are runnable, so they finish far earlier.
 TEST(MtProcessor, PriorityClassesFinishInOrder)
 {
-    MtConfig config = fig5Config(ArchKind::Flexible, 128, 32.0, 200);
+    MtConfig config = cacheConfig(ArchKind::Flexible, 128, 32.0, 200);
     config.priorityLevels = 2;
     // 16 threads of 8 registers fill the 128-register file exactly:
     // everyone is resident, so dispatch order is purely the priority
@@ -203,9 +244,9 @@ TEST(MtProcessor, SinglePriorityLevelUnchangedByDistribution)
 {
     // With one level, priorities clamp to 0 and results match the
     // default configuration exactly.
-    MtConfig a = fig5Config(ArchKind::Flexible, 128, 32.0, 200, 3);
+    MtConfig a = cacheConfig(ArchKind::Flexible, 128, 32.0, 200, 3);
     a.workload.numThreads = 12;
-    MtConfig b = fig5Config(ArchKind::Flexible, 128, 32.0, 200, 3);
+    MtConfig b = cacheConfig(ArchKind::Flexible, 128, 32.0, 200, 3);
     b.workload.numThreads = 12;
     b.workload.priorityDist = makeUniformInt(0, 5);
     const MtStats sa = simulate(std::move(a));
@@ -215,7 +256,7 @@ TEST(MtProcessor, SinglePriorityLevelUnchangedByDistribution)
 
 TEST(MtProcessor, FinishTimesRecorded)
 {
-    MtConfig config = fig5Config(ArchKind::Flexible, 128, 32.0, 100);
+    MtConfig config = cacheConfig(ArchKind::Flexible, 128, 32.0, 100);
     config.workload.numThreads = 6;
     MtProcessor processor(std::move(config));
     const MtStats stats = processor.run();
@@ -236,7 +277,7 @@ TEST(MtProcessor, CompletionHeapBoundedByThreadCount)
 {
     for (const unsigned threads : {8u, 64u}) {
         MtConfig config =
-            fig5Config(ArchKind::Flexible, 128, 32.0, 100);
+            cacheConfig(ArchKind::Flexible, 128, 32.0, 100);
         config.workload.numThreads = threads;
         MtProcessor processor(std::move(config));
         processor.run();
@@ -248,7 +289,7 @@ TEST(MtProcessor, CompletionHeapBoundedByThreadCount)
 
 TEST(MtProcessor, CompletionHeapBoundedUnderSyncFaults)
 {
-    MtConfig config = fig6Config(ArchKind::Flexible, 128, 32.0, 500.0);
+    MtConfig config = syncConfig(ArchKind::Flexible, 128, 32.0, 500.0);
     config.workload.numThreads = 48;
     MtProcessor processor(std::move(config));
     processor.run();

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "multithread/simulation_spec.hh"
 #include "multithread/workload.hh"
 #include "system/multiprocessor.hh"
 
@@ -21,10 +22,13 @@ makeConfig(unsigned nodes, mt::ArchKind arch, double run_length = 16.0)
     config.baseLatency = 50.0;
     config.msgServiceCycles = 2.0;
     config.nodeConfig = [arch, run_length](uint64_t latency) {
-        mt::MtConfig node =
-            mt::fig5Config(arch, 128, run_length, latency, 1);
-        node.workload.numThreads = 24;
-        node.workload.workDist = makeConstant(6000);
+        mt::MtConfig node = mt::SimulationSpec()
+                                .cacheFaults(run_length, latency)
+                                .arch(arch)
+                                .numRegs(128)
+                                .threads(24)
+                                .workPerThread(6000)
+                                .build();
         return node;
     };
     return config;

@@ -1,10 +1,10 @@
 /**
  * @file
- * Tests for mt::SimulationSpec, the validated builder that is now the
+ * Tests for mt::SimulationSpec, the validated builder that is the
  * single entry point to the event-driven simulator: validation error
  * messages, conventional per-family defaults (Figure 5 vs Figure 6
- * settings), override precedence, and exact equivalence with the
- * deprecated config helpers it replaced.
+ * settings), override precedence, and exact equivalence between the
+ * builder's sugar and direct MtConfig field overrides.
  */
 
 #include <stdexcept>
@@ -135,15 +135,21 @@ TEST(SimulationSpec, AppliesFigureConventionsPerFaultFamily)
     EXPECT_EQ(fixed.costs.contextSwitch, 6u);
 }
 
-// The deprecated helpers are shims over the builder; the configs
-// they produce must drive the simulator to identical results.
-TEST(SimulationSpec, ShimsMatchBuilderExactly)
+// The builder's workload sugar (threads/workPerThread) is pure
+// convenience; overriding the same fields on a built MtConfig must
+// drive the simulator to identical results.
+TEST(SimulationSpec, WorkloadSugarMatchesDirectOverrides)
 {
     for (const ArchKind arch :
          {ArchKind::Flexible, ArchKind::FixedHw}) {
-        mt::MtConfig shim = mt::fig5Config(arch, 128, 16.0, 200, 5);
-        shim.workload.numThreads = 10;
-        shim.workload.workDist = makeConstant(3000);
+        mt::MtConfig direct = SimulationSpec()
+                                  .cacheFaults(16.0, 200)
+                                  .arch(arch)
+                                  .numRegs(128)
+                                  .seed(5)
+                                  .build();
+        direct.workload.numThreads = 10;
+        direct.workload.workDist = makeConstant(3000);
 
         mt::MtConfig built = SimulationSpec()
                                  .cacheFaults(16.0, 200)
@@ -154,7 +160,7 @@ TEST(SimulationSpec, ShimsMatchBuilderExactly)
                                  .seed(5)
                                  .build();
 
-        const mt::MtStats a = mt::simulate(shim);
+        const mt::MtStats a = mt::simulate(direct);
         const mt::MtStats b = mt::simulate(built);
         EXPECT_EQ(a.totalCycles, b.totalCycles)
             << mt::archName(arch);
@@ -163,10 +169,13 @@ TEST(SimulationSpec, ShimsMatchBuilderExactly)
         EXPECT_DOUBLE_EQ(a.efficiencyCentral, b.efficiencyCentral);
     }
 
-    mt::MtConfig shim6 = mt::fig6Config(ArchKind::Flexible, 64, 32.0,
-                                        400.0, 2);
-    shim6.workload.numThreads = 10;
-    shim6.workload.workDist = makeConstant(3000);
+    mt::MtConfig direct6 = SimulationSpec()
+                               .syncFaults(32.0, 400.0)
+                               .numRegs(64)
+                               .seed(2)
+                               .build();
+    direct6.workload.numThreads = 10;
+    direct6.workload.workDist = makeConstant(3000);
     mt::MtConfig built6 = SimulationSpec()
                               .syncFaults(32.0, 400.0)
                               .arch(ArchKind::Flexible)
@@ -175,7 +184,7 @@ TEST(SimulationSpec, ShimsMatchBuilderExactly)
                               .workPerThread(3000)
                               .seed(2)
                               .build();
-    const mt::MtStats a6 = mt::simulate(shim6);
+    const mt::MtStats a6 = mt::simulate(direct6);
     const mt::MtStats b6 = mt::simulate(built6);
     EXPECT_EQ(a6.totalCycles, b6.totalCycles);
     EXPECT_EQ(a6.unloads, b6.unloads);

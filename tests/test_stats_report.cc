@@ -10,6 +10,7 @@
 #include "assembler/assembler.hh"
 #include "base/rng.hh"
 #include "multithread/stats_report.hh"
+#include "multithread/simulation_spec.hh"
 #include "multithread/workload.hh"
 
 namespace rr {
@@ -17,9 +18,10 @@ namespace {
 
 TEST(StatsReport, BreakdownPartitionsTotal)
 {
-    mt::MtConfig config =
-        mt::fig6Config(mt::ArchKind::Flexible, 128, 32.0, 400.0);
-    config.workload.numThreads = 16;
+    mt::MtConfig config = mt::SimulationSpec()
+                              .syncFaults(32.0, 400.0)
+                              .threads(16)
+                              .build();
     const mt::MtStats stats = mt::simulate(std::move(config));
 
     const Table table = mt::cycleBreakdownTable(stats);
@@ -32,9 +34,12 @@ TEST(StatsReport, BreakdownPartitionsTotal)
 
 TEST(StatsReport, SummaryLineMentionsKeyNumbers)
 {
-    mt::MtConfig config =
-        mt::fig5Config(mt::ArchKind::FixedHw, 64, 32.0, 100);
-    config.workload.numThreads = 8;
+    mt::MtConfig config = mt::SimulationSpec()
+                              .cacheFaults(32.0, 100)
+                              .arch(mt::ArchKind::FixedHw)
+                              .numRegs(64)
+                              .threads(8)
+                              .build();
     const mt::MtStats stats = mt::simulate(std::move(config));
     const std::string line = mt::summaryLine(stats);
     EXPECT_NE(line.find("eff "), std::string::npos);

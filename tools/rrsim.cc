@@ -22,16 +22,33 @@
  *     --json          print the final machine state as JSON
  *     --quiet         suppress the state and register dump
  *
+ * Checkpointing (rr.ckpt.v1, docs/CKPT.md):
+ *     --checkpoint FILE     write a snapshot to FILE every
+ *                           checkpoint interval and at exit
+ *     --checkpoint-every N  snapshot cadence in instructions
+ *                           (default 1024)
+ *     --resume FILE         restore the machine from FILE and
+ *                           continue; takes no program argument —
+ *                           the machine configuration, memory, and
+ *                           registers all come from the snapshot
+ *     --rewind N            run to the end, then restore the nearest
+ *                           in-memory snapshot and deterministically
+ *                           re-execute; only the final N
+ *                           instructions are traced/printed
+ *
  * A '.hex' input is a plain list of 32-bit words in hex (as written
  * by rrasm -o); anything else is assembled as source.
  *
  * Exit status (docs/TOOLS.md): 0 on a clean halt, 1 on assembly
- * errors or a machine trap, 2 when files cannot be read or written,
- * 64 on usage errors (including unknown trailing arguments).
+ * errors or a machine trap, 2 when files cannot be read or written
+ * or a checkpoint is corrupt/incompatible, 64 on usage errors
+ * (including unknown trailing arguments).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <limits>
 #include <memory>
@@ -40,6 +57,8 @@
 #include <vector>
 
 #include "assembler/assembler.hh"
+#include "ckpt/io.hh"
+#include "ckpt/snapshot.hh"
 #include "machine/cpu.hh"
 #include "trace/sink.hh"
 #include "cli.hh"
@@ -61,7 +80,28 @@ const char *const kUsage =
     "  --trace=FILE  write a structured JSONL trace to FILE\n"
     "  --dump K      dump the first K registers on exit\n"
     "  --json        print the final machine state as JSON\n"
-    "  --quiet       suppress the state and register dump\n";
+    "  --quiet       suppress the state and register dump\n"
+    "  --checkpoint FILE     write rr.ckpt.v1 snapshots to FILE\n"
+    "  --checkpoint-every N  snapshot cadence (default 1024)\n"
+    "  --resume FILE         restore from FILE (no program arg)\n"
+    "  --rewind N            re-execute only the last N instructions\n";
+
+/** One in-memory snapshot for --rewind. */
+struct RewindSnap
+{
+    uint64_t instructions = 0;
+    std::vector<uint8_t> doc;
+};
+
+/** Sealed rr.ckpt.v1 document of @p cpu's current state. */
+std::vector<uint8_t>
+machineSnapshot(const rr::machine::Cpu &cpu)
+{
+    rr::ckpt::Writer writer;
+    rr::ckpt::writeMeta(writer, "machine", cpu.fingerprint());
+    cpu.saveState(writer);
+    return writer.seal();
+}
 
 bool
 endsWith(const std::string &text, const std::string &suffix)
@@ -94,11 +134,17 @@ main(int argc, char **argv)
     uint64_t max_steps = 1'000'000;
     std::string start_label;
     uint64_t initial_rrm = 0;
+    bool rrm_seen = false;
     bool trace = false;
     std::string trace_file;
     uint64_t dump = 16;
     bool json = false;
     bool quiet = false;
+    std::string ckpt_path;
+    uint64_t ckpt_every = 1024;
+    bool ckpt_every_seen = false;
+    std::string resume_path;
+    uint64_t rewind = 0;
 
     OptionParser parser("rrsim", kUsage);
     parser.number("--regs", &regs, 1, 1u << 20, &regs_seen);
@@ -110,21 +156,48 @@ main(int argc, char **argv)
     parser.number("--steps", &max_steps, 0,
                   std::numeric_limits<uint64_t>::max());
     parser.value("--start", &start_label);
-    parser.number("--rrm", &initial_rrm, 0, 0xffffffffull);
+    parser.number("--rrm", &initial_rrm, 0, 0xffffffffull,
+                  &rrm_seen);
     parser.flagOrValue("--trace", &trace, &trace_file);
     parser.number("--dump", &dump, 0, 1u << 20);
     parser.flag("--json", &json);
     parser.flag("--quiet", &quiet);
+    parser.value("--checkpoint", &ckpt_path);
+    parser.number("--checkpoint-every", &ckpt_every, 1,
+                  std::numeric_limits<uint64_t>::max(),
+                  &ckpt_every_seen);
+    parser.value("--resume", &resume_path);
+    parser.number("--rewind", &rewind, 1,
+                  std::numeric_limits<uint64_t>::max());
     const int parse_status = parser.parse(argc, argv);
     if (parse_status >= 0)
         return parse_status;
-    if (parser.positionals().size() != 1) {
+
+    const bool resuming = !resume_path.empty();
+    if (ckpt_every_seen && ckpt_path.empty())
+        return parser.fail(
+            "--checkpoint-every needs --checkpoint FILE");
+    if (rewind > 0 && (resuming || !ckpt_path.empty()))
+        return parser.fail(
+            "--rewind cannot be combined with --resume/--checkpoint");
+    if (resuming) {
+        if (!parser.positionals().empty())
+            return parser.fail("--resume takes no program file; the "
+                               "snapshot holds the whole machine");
+        if (regs_seen || width_seen || banks_seen || !mode.empty() ||
+            delay_seen || mem_seen || !start_label.empty() ||
+            rrm_seen)
+            return parser.fail("machine configuration flags cannot "
+                               "be combined with --resume; the "
+                               "snapshot defines the machine");
+    } else if (parser.positionals().size() != 1) {
         return parser.positionals().empty()
                    ? parser.fail("expects one program file")
                    : parser.fail("unexpected argument '%s'",
                                  parser.positionals()[1].c_str());
     }
-    const std::string input = parser.positionals().front();
+    const std::string input =
+        resuming ? resume_path : parser.positionals().front();
 
     if (regs_seen)
         config.numRegs = static_cast<unsigned>(regs);
@@ -143,11 +216,41 @@ main(int argc, char **argv)
     if (mem_seen)
         config.memWords = static_cast<size_t>(mem);
 
-    std::ifstream in(input);
-    if (!in) {
-        std::fprintf(stderr, "rrsim: cannot open '%s'\n",
-                     input.c_str());
-        return kExitFailure;
+    std::unique_ptr<rr::machine::Cpu> resumed;
+    if (resuming) {
+        // The snapshot defines the machine: geometry, memory,
+        // registers, relocation state, and position. Any corruption
+        // or incompatibility is an rr.ckpt error (exit 2), never an
+        // abort.
+        try {
+            const std::vector<uint8_t> doc =
+                rr::ckpt::readFile(resume_path);
+            const rr::ckpt::Reader reader(doc);
+            const std::string kind = rr::ckpt::metaKind(reader);
+            if (kind != "machine")
+                throw rr::ckpt::Error(
+                    "'" + resume_path + "' is a \"" + kind +
+                    "\" snapshot, not a machine snapshot");
+            config =
+                rr::machine::Cpu::configFromCheckpoint(reader);
+            resumed = std::make_unique<rr::machine::Cpu>(config);
+            rr::ckpt::checkMeta(reader, "machine",
+                                resumed->fingerprint());
+            resumed->restoreState(reader);
+        } catch (const rr::ckpt::Error &error) {
+            std::fprintf(stderr, "rrsim: %s\n", error.what());
+            return kExitFailure;
+        }
+    }
+
+    std::ifstream in;
+    if (!resuming) {
+        in.open(input);
+        if (!in) {
+            std::fprintf(stderr, "rrsim: cannot open '%s'\n",
+                         input.c_str());
+            return kExitFailure;
+        }
     }
 
     uint32_t base = 0;
@@ -155,7 +258,9 @@ main(int argc, char **argv)
     uint32_t start_pc = 0;
     bool have_start = false;
 
-    if (endsWith(input, ".hex")) {
+    if (resuming) {
+        // Nothing to load; the snapshot already holds memory.
+    } else if (endsWith(input, ".hex")) {
         std::string line;
         while (std::getline(in, line)) {
             if (line.empty())
@@ -190,10 +295,13 @@ main(int argc, char **argv)
         }
     }
 
-    rr::machine::Cpu cpu(config);
-    cpu.mem().loadImage(base, image);
-    cpu.setPc(have_start ? start_pc : base);
-    cpu.setRrmImmediate(static_cast<uint32_t>(initial_rrm));
+    if (!resumed) {
+        resumed = std::make_unique<rr::machine::Cpu>(config);
+        resumed->mem().loadImage(base, image);
+        resumed->setPc(have_start ? start_pc : base);
+        resumed->setRrmImmediate(static_cast<uint32_t>(initial_rrm));
+    }
+    rr::machine::Cpu &cpu = *resumed;
 
     std::ofstream trace_out;
     std::unique_ptr<rr::trace::StreamJsonSink> trace_sink;
@@ -206,28 +314,95 @@ main(int argc, char **argv)
         }
         trace_sink =
             std::make_unique<rr::trace::StreamJsonSink>(trace_out);
-        cpu.setTraceHook(
-            [&](const rr::machine::TraceEntry &entry) {
-                rr::trace::TraceEvent event;
-                event.kind = rr::trace::EventKind::Instruction;
-                event.ctx = entry.rrm;
-                event.cycle = entry.cycle;
-                event.aux = entry.pc;
-                trace_sink->emit(event);
-            });
-    } else if (trace) {
-        cpu.setTraceHook([](const rr::machine::TraceEntry &entry) {
-            std::printf("%8lu  rrm=0x%02x  %6u: %s\n",
+    }
+    const auto attachTraceHook = [&]() {
+        if (trace_sink != nullptr) {
+            cpu.setTraceHook(
+                [&](const rr::machine::TraceEntry &entry) {
+                    rr::trace::TraceEvent event;
+                    event.kind = rr::trace::EventKind::Instruction;
+                    event.ctx = entry.rrm;
+                    event.cycle = entry.cycle;
+                    event.aux = entry.pc;
+                    trace_sink->emit(event);
+                });
+        } else if (trace) {
+            cpu.setTraceHook(
+                [](const rr::machine::TraceEntry &entry) {
+                    std::printf(
+                        "%8lu  rrm=0x%02x  %6u: %s\n",
                         static_cast<unsigned long>(entry.cycle),
                         entry.rrm, entry.pc, entry.text.c_str());
-        });
-    }
+                });
+        }
+    };
 
-    cpu.run(max_steps);
+    uint64_t executed = 0;
+    try {
+        if (rewind > 0) {
+            // Flight-recorder mode: run silently, snapshotting at a
+            // fixed cadence, then restore the nearest snapshot and
+            // deterministically re-execute — attaching the trace
+            // hooks only for the final N instructions. The re-run
+            // retraces the straight run's suffix exactly
+            // (docs/CKPT.md, rewind semantics).
+            constexpr uint64_t kRewindCadence = 1024;
+            constexpr std::size_t kRewindRing = 64;
+            const RewindSnap initial{0, machineSnapshot(cpu)};
+            std::deque<RewindSnap> ring;
+            while (executed < max_steps) {
+                const uint64_t chunk = std::min(
+                    kRewindCadence, max_steps - executed);
+                const uint64_t n = cpu.run(chunk);
+                executed += n;
+                if (n < chunk)
+                    break;
+                ring.push_back({executed, machineSnapshot(cpu)});
+                if (ring.size() > kRewindRing)
+                    ring.pop_front();
+            }
+            const uint64_t total = executed;
+            const uint64_t target =
+                total - std::min(rewind, total);
+            const RewindSnap *nearest = &initial;
+            for (const RewindSnap &snap : ring)
+                if (snap.instructions <= target)
+                    nearest = &snap;
+            {
+                const rr::ckpt::Reader reader(nearest->doc);
+                rr::ckpt::checkMeta(reader, "machine",
+                                    cpu.fingerprint());
+                cpu.restoreState(reader);
+            }
+            if (target > nearest->instructions)
+                cpu.run(target - nearest->instructions);
+            attachTraceHook();
+            if (total > target)
+                cpu.run(total - target);
+        } else if (!ckpt_path.empty()) {
+            attachTraceHook();
+            while (executed < max_steps) {
+                const uint64_t chunk =
+                    std::min(ckpt_every, max_steps - executed);
+                const uint64_t n = cpu.run(chunk);
+                executed += n;
+                rr::ckpt::writeFile(ckpt_path,
+                                    machineSnapshot(cpu));
+                if (n < chunk)
+                    break;
+            }
+        } else {
+            attachTraceHook();
+            executed = cpu.run(max_steps);
+        }
+    } catch (const rr::ckpt::Error &error) {
+        std::fprintf(stderr, "rrsim: %s\n", error.what());
+        return kExitFailure;
+    }
     if (trace_sink != nullptr)
         trace_sink->flush();
 
-    const bool step_limit = cpu.instructionsRetired() >= max_steps;
+    const bool step_limit = executed >= max_steps;
     if (json) {
         std::printf(
             "{\"schema\":\"rr.rrsim.v1\",\"input\":\"%s\","
