@@ -1,21 +1,30 @@
 /**
  * @file
  * Interpreter-throughput microbenchmark (rrbench --perf): measures
- * Cpu::step() speed in Minstr/s with the predecoded instruction cache
- * on vs off, over the examples/asm corpus plus synthetic hot loops
- * (pure ALU, load/store, and LDRRM context ping-pong — the last
- * stressing the relocation-table rebuild on every mask switch).
+ * Cpu::run() speed in Minstr/s across the full dispatch matrix —
+ * predecode off, and predecode on with Switch / Threaded / Fused
+ * dispatch (docs/PERF.md) — over the examples/asm corpus plus
+ * synthetic hot loops (pure ALU, load/store, and LDRRM context
+ * ping-pong, the last stressing the relocation-table rebuild on every
+ * mask switch).
  *
  * Only deterministic counters (instret/cycles per repetition) go into
  * the compared table; wall-clock throughput is reported in notes,
  * which --compare ignores, so the committed baseline is stable across
- * machines. Each program additionally asserts that both cache modes
- * retire the identical instruction and cycle counts — the perf figure
- * doubles as a behaviour-neutrality check.
+ * machines. Each program additionally asserts that every mode retires
+ * the identical instruction and cycle counts — the perf figure
+ * doubles as a dispatch-matrix behaviour-neutrality check.
+ *
+ * Programs that leave memory untouched (verified once per program by
+ * comparing post-run memory against the freshly loaded image) skip
+ * the per-repetition memory clear + image reload: for the short
+ * examples the 4 KiB reset would otherwise dominate the measurement
+ * and the benchmark would time the harness, not the interpreter.
  */
 
 #include <algorithm>
 #include <chrono>
+#include <cstddef>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -149,6 +158,23 @@ buildCorpus(exp::ReportBuilder &ctx)
     return corpus;
 }
 
+/** One leg of the dispatch matrix. */
+struct ModeSpec
+{
+    const char *name;
+    bool predecode;
+    machine::DispatchMode dispatch;
+};
+
+constexpr ModeSpec kModes[] = {
+    {"off", false, machine::DispatchMode::Switch},
+    {"switch", true, machine::DispatchMode::Switch},
+    {"threaded", true, machine::DispatchMode::Threaded},
+    {"fused", true, machine::DispatchMode::Fused},
+};
+constexpr size_t kNumModes = std::size(kModes);
+constexpr size_t kFusedIdx = kNumModes - 1;
+
 struct Measurement
 {
     uint64_t instret = 0; ///< total across repetitions
@@ -157,27 +183,63 @@ struct Measurement
 };
 
 constexpr uint64_t kStepCap = 1u << 22;
+constexpr uint64_t kMemWords = 1u << 10;
 
-Measurement
-runMode(const assembler::Program &program, bool predecode,
-        unsigned reps)
+machine::CpuConfig
+configFor(const ModeSpec &mode)
 {
     machine::CpuConfig config;
-    // Small image: keeps the per-repetition memory reset negligible
-    // next to stepping, so short programs measure the interpreter.
-    config.memWords = 1u << 10;
-    config.predecode = predecode;
-    machine::Cpu cpu(config);
+    // Small image: keeps per-repetition state resets cheap, so short
+    // programs measure the interpreter rather than the harness.
+    config.memWords = kMemWords;
+    config.predecode = mode.predecode;
+    config.dispatch = mode.dispatch;
+    return config;
+}
 
-    const auto entry_sym = program.symbols.find("entry");
-    const uint32_t entry = entry_sym != program.symbols.end()
-                               ? entry_sym->second
-                               : program.base;
+/**
+ * Does one run of @p program leave memory exactly as loaded? Such
+ * programs (all the current examples: they live in registers) can be
+ * re-run without the per-repetition clear + reload, which for a
+ * 50-instruction program costs more than the instructions do.
+ */
+bool
+memoryClean(const assembler::Program &program, uint32_t entry)
+{
+    machine::Cpu cpu(configFor(kModes[kFusedIdx]));
+    cpu.mem().clear();
+    cpu.mem().loadImage(program.base, program.words);
+    cpu.setRrmImmediate(0);
+    cpu.setPc(entry);
+    cpu.run(kStepCap);
+    if (!cpu.halted())
+        return false;
+
+    machine::Memory ref(kMemWords);
+    ref.clear();
+    ref.loadImage(program.base, program.words);
+    return std::equal(ref.data(), ref.data() + ref.size(),
+                      cpu.mem().data());
+}
+
+Measurement
+runMode(const assembler::Program &program, const ModeSpec &mode,
+        uint32_t entry, unsigned reps, bool clean)
+{
+    machine::Cpu cpu(configFor(mode));
+    rr_assert(cpu.predecodeActive() == mode.predecode,
+              "predecode activation mismatch in mode ", mode.name);
+    rr_assert(cpu.dispatchActive() ==
+                  (mode.predecode &&
+                   mode.dispatch != machine::DispatchMode::Switch),
+              "dispatch activation mismatch in mode ", mode.name);
 
     const auto start = std::chrono::steady_clock::now();
     for (unsigned rep = 0; rep < reps; ++rep) {
-        cpu.mem().clear();
-        cpu.mem().loadImage(program.base, program.words);
+        if (rep == 0 || !clean) {
+            cpu.mem().clear();
+            cpu.mem().loadImage(program.base, program.words);
+        }
         cpu.regs().clear();
         cpu.setRrmImmediate(0);
         cpu.setPc(entry);
@@ -198,24 +260,32 @@ runMode(const assembler::Program &program, bool predecode,
 
 /**
  * Best of @p trials timed runs per mode, interleaving the modes so
- * slow drift (frequency scaling, co-tenants) hits both equally. The
- * counters are deterministic — identical on every trial — so keeping
- * the fastest wall clock discards scheduler noise, not data.
+ * slow drift (frequency scaling, co-tenants) hits every mode equally.
+ * The counters are deterministic — identical on every trial — so
+ * keeping the fastest wall clock discards scheduler noise, not data.
  */
-std::pair<Measurement, Measurement>
-measureBoth(const assembler::Program &program, unsigned reps,
-            unsigned trials)
+std::vector<Measurement>
+measureMatrix(const assembler::Program &program, uint32_t entry,
+              unsigned reps, bool clean, unsigned trials)
 {
-    Measurement off, on;
+    std::vector<Measurement> best(kNumModes);
     for (unsigned trial = 0; trial < trials; ++trial) {
-        const Measurement off_t = runMode(program, false, reps);
-        const Measurement on_t = runMode(program, true, reps);
-        if (trial == 0 || off_t.seconds < off.seconds)
-            off = off_t;
-        if (trial == 0 || on_t.seconds < on.seconds)
-            on = on_t;
+        for (size_t m = 0; m < kNumModes; ++m) {
+            const Measurement t =
+                runMode(program, kModes[m], entry, reps, clean);
+            if (trial == 0 || t.seconds < best[m].seconds)
+                best[m] = t;
+        }
     }
-    return {off, on};
+    return best;
+}
+
+uint32_t
+entryOf(const assembler::Program &program)
+{
+    const auto entry_sym = program.symbols.find("entry");
+    return entry_sym != program.symbols.end() ? entry_sym->second
+                                              : program.base;
 }
 
 double
@@ -227,82 +297,96 @@ minstrPerSec(const Measurement &m)
 } // namespace
 
 RR_PERF_FIGURE(perf_interp,
-               "Interpreter throughput: predecoded instruction cache "
-               "on vs off (Minstr/s)")
+               "Interpreter throughput across the dispatch matrix: "
+               "predecode off / switch / threaded / fused (Minstr/s)")
 {
     using namespace rr;
 
-    ctx.text("Each program runs to HALT repeatedly in both cache "
-             "modes; repetition\ncounts are derived from "
-             "deterministic instruction counts, never from\nwall "
-             "time. The table holds per-repetition counters "
-             "(machine-independent);\nthroughput and speedup are "
+    ctx.text("Each program runs to HALT repeatedly in all four "
+             "dispatch modes;\nrepetition counts are derived from "
+             "deterministic instruction counts,\nnever from wall "
+             "time. The table holds per-repetition counters\n"
+             "(machine-independent); throughput and speedup are "
              "notes.");
 
     std::vector<PerfProgram> corpus = buildCorpus(ctx);
 
     // Size every program to a common instruction budget so small
-    // examples are repeated enough to time meaningfully.
+    // examples are repeated enough to time meaningfully. The rep cap
+    // bounds degenerate programs (a one-instruction entry) whose
+    // measurement beyond ~20k runs only re-times the harness reset.
     const uint64_t target_instr =
         ctx.run().fast ? 150'000 : 2'000'000;
+    const uint64_t rep_cap = 20'000;
 
     Table table({"program", "instr/rep", "cycles/rep", "reps"});
     struct Totals
     {
-        double instr_on = 0.0, secs_on = 0.0;
-        double instr_off = 0.0, secs_off = 0.0;
+        double instr[kNumModes] = {};
+        double secs[kNumModes] = {};
     };
     Totals all, examples;
 
     for (const PerfProgram &p : corpus) {
-        const Measurement probe = runMode(p.program, true, 1);
+        const uint32_t entry = entryOf(p.program);
+        const bool clean = memoryClean(p.program, entry);
+        const Measurement probe =
+            runMode(p.program, kModes[kFusedIdx], entry, 1, clean);
         const uint64_t per_rep = std::max<uint64_t>(1, probe.instret);
-        const unsigned reps = static_cast<unsigned>(std::min<uint64_t>(
-            std::max<uint64_t>(target_instr / per_rep, 1), 100'000));
+        const unsigned reps = static_cast<unsigned>(std::min(
+            std::max<uint64_t>(target_instr / per_rep, 1), rep_cap));
 
-        const auto [off, on] =
-            measureBoth(p.program, reps, ctx.run().fast ? 4 : 5);
+        const std::vector<Measurement> legs = measureMatrix(
+            p.program, entry, reps, clean, ctx.run().fast ? 4 : 5);
 
-        // The predecode cache must be invisible to the architecture:
-        // identical retirement and cycle counts in both modes.
-        rr_assert(on.instret == off.instret &&
-                      on.cycles == off.cycles,
-                  "cache-on/off divergence in perf program ", p.name);
+        // Dispatch must be invisible to the architecture: identical
+        // retirement and cycle counts in every mode.
+        for (size_t m = 1; m < kNumModes; ++m) {
+            rr_assert(legs[m].instret == legs[0].instret &&
+                          legs[m].cycles == legs[0].cycles,
+                      "dispatch-mode divergence in perf program ",
+                      p.name, " (", kModes[m].name, " vs off)");
+        }
 
-        table.addRow({p.name, Table::num(on.instret / reps),
-                      Table::num(on.cycles / reps),
+        const Measurement &fused = legs[kFusedIdx];
+        table.addRow({p.name, Table::num(fused.instret / reps),
+                      Table::num(fused.cycles / reps),
                       Table::num(static_cast<uint64_t>(reps))});
 
-        ctx.text(exp::strf("%s: off %.1f Minstr/s, on %.1f Minstr/s, "
-                           "speedup %.2fx",
-                           p.name.c_str(), minstrPerSec(off),
-                           minstrPerSec(on),
-                           minstrPerSec(on) / minstrPerSec(off)));
+        ctx.text(exp::strf(
+            "%s: off %.1f, switch %.1f, threaded %.1f, fused %.1f "
+            "Minstr/s (fused %.2fx off)%s",
+            p.name.c_str(), minstrPerSec(legs[0]),
+            minstrPerSec(legs[1]), minstrPerSec(legs[2]),
+            minstrPerSec(fused),
+            minstrPerSec(fused) / minstrPerSec(legs[0]),
+            clean ? "" : " [memory-dirty: full reset per rep]"));
 
-        all.instr_on += static_cast<double>(on.instret);
-        all.secs_on += on.seconds;
-        all.instr_off += static_cast<double>(off.instret);
-        all.secs_off += off.seconds;
-        if (p.example) {
-            examples.instr_on += static_cast<double>(on.instret);
-            examples.secs_on += on.seconds;
-            examples.instr_off += static_cast<double>(off.instret);
-            examples.secs_off += off.seconds;
+        for (size_t m = 0; m < kNumModes; ++m) {
+            all.instr[m] += static_cast<double>(legs[m].instret);
+            all.secs[m] += legs[m].seconds;
+            if (p.example) {
+                examples.instr[m] +=
+                    static_cast<double>(legs[m].instret);
+                examples.secs[m] += legs[m].seconds;
+            }
         }
     }
     ctx.table("corpus", "per-repetition architectural counters "
-                        "(identical in both cache modes)",
+                        "(identical in every dispatch mode)",
               std::move(table));
 
     const auto aggregate = [&ctx](const char *label, const Totals &t) {
-        if (t.secs_on <= 0.0 || t.secs_off <= 0.0)
+        if (t.secs[0] <= 0.0)
             return;
-        const double on = t.instr_on / t.secs_on / 1e6;
-        const double off = t.instr_off / t.secs_off / 1e6;
-        ctx.text(exp::strf("%s aggregate: predecode off %.1f "
-                           "Minstr/s, on %.1f Minstr/s, speedup "
-                           "%.2fx",
-                           label, off, on, on / off));
+        double rate[kNumModes];
+        for (size_t m = 0; m < kNumModes; ++m)
+            rate[m] = t.instr[m] / std::max(t.secs[m], 1e-9) / 1e6;
+        ctx.text(exp::strf("%s aggregate: off %.1f, switch %.1f, "
+                           "threaded %.1f, fused %.1f Minstr/s "
+                           "(fused %.2fx off)",
+                           label, rate[0], rate[1], rate[2],
+                           rate[3], rate[3] / rate[0]));
     };
     aggregate("examples corpus", examples);
     aggregate("full corpus", all);

@@ -719,10 +719,12 @@ struct CpuRun
     uint64_t faults = 0;
     machine::PipelineTimingStats timing;
     bool predecodeActive = false;
+    bool dispatchActive = false;
 };
 
 machine::CpuConfig
-cpuConfigOf(const ProgramSample &s, bool predecode)
+cpuConfigOf(const ProgramSample &s, bool predecode,
+            machine::DispatchMode dispatch)
 {
     machine::CpuConfig config;
     config.numRegs = s.numRegs;
@@ -736,14 +738,15 @@ cpuConfigOf(const ProgramSample &s, bool predecode)
     config.timing.loadUsePenalty = s.loadUsePenalty;
     config.timing.ldrrmPenalty = s.ldrrmPenalty;
     config.predecode = predecode;
+    config.dispatch = dispatch;
     return config;
 }
 
 CpuRun
 runProgram(const ProgramSample &s, bool predecode,
-           Problems *reloc_problems)
+           machine::DispatchMode dispatch, Problems *reloc_problems)
 {
-    machine::Cpu cpu(cpuConfigOf(s, predecode));
+    machine::Cpu cpu(cpuConfigOf(s, predecode, dispatch));
     for (size_t i = 0; i < s.words.size(); ++i)
         cpu.mem().write(static_cast<uint32_t>(i), s.words[i]);
 
@@ -788,18 +791,20 @@ runProgram(const ProgramSample &s, bool predecode,
     run.faults = cpu.faultCount();
     run.timing = cpu.timingStats();
     run.predecodeActive = cpu.predecodeActive();
+    run.dispatchActive = cpu.dispatchActive();
     return run;
 }
 
 void
-compareRuns(const CpuRun &off, const CpuRun &on, Problems &problems)
+compareRuns(const CpuRun &off, const CpuRun &on, const char *mode,
+            Problems &problems)
 {
     const auto diff = [&](const char *what, uint64_t a, uint64_t b) {
         if (a != b)
             problems.push_back(strf(
-                "program: %s differs with predecode off/on: %llu "
-                "vs %llu",
-                what, static_cast<unsigned long long>(a),
+                "program: %s differs with predecode off vs %s "
+                "dispatch: %llu vs %llu",
+                what, mode, static_cast<unsigned long long>(a),
                 static_cast<unsigned long long>(b)));
     };
     diff("final pc", off.pc, on.pc);
@@ -817,25 +822,28 @@ compareRuns(const CpuRun &off, const CpuRun &on, Problems &problems)
     diff("ldrrm stalls", off.timing.ldrrmStalls,
          on.timing.ldrrmStalls);
     if (off.regs != on.regs)
-        problems.push_back(
+        problems.push_back(strf(
             "program: final register file differs with predecode "
-            "off/on");
+            "off vs %s dispatch",
+            mode));
     if (off.mem != on.mem)
-        problems.push_back(
-            "program: final memory differs with predecode off/on");
+        problems.push_back(strf(
+            "program: final memory differs with predecode off vs "
+            "%s dispatch",
+            mode));
     if (off.trace.size() != on.trace.size()) {
         problems.push_back(strf(
-            "program: trace length differs with predecode off/on: "
-            "%zu vs %zu",
-            off.trace.size(), on.trace.size()));
+            "program: trace length differs with predecode off vs "
+            "%s dispatch: %zu vs %zu",
+            mode, off.trace.size(), on.trace.size()));
     } else {
         for (size_t i = 0; i < off.trace.size(); ++i) {
             if (off.trace[i] == on.trace[i])
                 continue;
             problems.push_back(strf(
-                "program: trace diverges at instruction %zu "
-                "(pc %u vs %u, cycle %llu vs %llu)",
-                i, off.trace[i].pc, on.trace[i].pc,
+                "program: trace diverges under %s dispatch at "
+                "instruction %zu (pc %u vs %u, cycle %llu vs %llu)",
+                mode, i, off.trace[i].pc, on.trace[i].pc,
                 static_cast<unsigned long long>(off.trace[i].cycle),
                 static_cast<unsigned long long>(on.trace[i].cycle)));
             break;
@@ -919,12 +927,42 @@ Problems
 checkProgram(const ProgramSample &s)
 {
     Problems problems;
-    const CpuRun off = runProgram(s, false, nullptr);
-    const CpuRun on = runProgram(s, true, &problems);
-    if (!on.predecodeActive)
-        problems.push_back(
-            "program: predecode did not engage for the on-run");
-    compareRuns(off, on, problems);
+    // The identity oracle is a full dispatch-mode matrix: the
+    // undecoded reference run against every predecoded dispatch
+    // strategy. Switch, threaded, and fused dispatch must all retire
+    // the same instruction stream with the same architectural state,
+    // counters, and cycle-stamped trace.
+    const CpuRun off =
+        runProgram(s, false, machine::DispatchMode::Switch, nullptr);
+    static constexpr struct
+    {
+        machine::DispatchMode dispatch;
+        const char *name;
+        bool wantDispatchActive;
+    } kLegs[] = {
+        {machine::DispatchMode::Switch, "switch", false},
+        {machine::DispatchMode::Threaded, "threaded", true},
+        {machine::DispatchMode::Fused, "fused", true},
+    };
+    for (const auto &leg : kLegs) {
+        // Oracle 2 (table-vs-relocate) only needs one predecoded leg.
+        Problems *reloc =
+            leg.dispatch == machine::DispatchMode::Fused ? &problems
+                                                         : nullptr;
+        const CpuRun on = runProgram(s, true, leg.dispatch, reloc);
+        if (!on.predecodeActive)
+            problems.push_back(strf(
+                "program: predecode did not engage for the %s leg",
+                leg.name));
+        if (on.dispatchActive != leg.wantDispatchActive)
+            problems.push_back(strf(
+                "program: superblock dispatch %s for the %s leg",
+                on.dispatchActive ? "engaged" : "did not engage",
+                leg.name));
+        compareRuns(off, on, leg.name, problems);
+        if (!problems.empty())
+            break;
+    }
     if (s.lintChecked && problems.empty())
         checkLintClaims(s, off, problems);
     return problems;

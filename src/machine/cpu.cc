@@ -42,6 +42,37 @@ defaultPredecode()
     return value;
 }
 
+DispatchMode
+defaultDispatch()
+{
+    static const DispatchMode value = [] {
+        const char *env = std::getenv("RR_CPU_DISPATCH");
+        if (env != nullptr) {
+            const std::string_view v(env);
+            if (v == "switch")
+                return DispatchMode::Switch;
+            if (v == "threaded")
+                return DispatchMode::Threaded;
+        }
+        return DispatchMode::Fused;
+    }();
+    return value;
+}
+
+const char *
+dispatchModeName(DispatchMode mode)
+{
+    switch (mode) {
+      case DispatchMode::Switch:
+        return "switch";
+      case DispatchMode::Threaded:
+        return "threaded";
+      case DispatchMode::Fused:
+        return "fused";
+    }
+    return "unknown";
+}
+
 Cpu::Cpu(const CpuConfig &config)
     : config_(config),
       regs_(config.numRegs),
@@ -54,11 +85,19 @@ Cpu::Cpu(const CpuConfig &config)
       regsData_(regs_.data()),
       memWords_(config.memWords),
       timingEnabled_(config.timing.enabled()),
-      relocTableSize_(relocation_.tableSize())
+      relocTableSize_(relocation_.tableSize()),
+      dispatchActive_(predecode_ &&
+                      config.dispatch != DispatchMode::Switch)
 {
     if (predecode_) {
         icache_.resize(config.memWords);
         refreshRelocTable();
+    }
+    if (dispatchActive_) {
+        blockIndex_.assign(config.memWords, -1);
+        blockCover_.assign(config.memWords, 0);
+        blocks_.reserve(64);
+        memVersionSeen_ = mem_.version();
     }
 }
 
@@ -152,16 +191,6 @@ Cpu::writeOperandFast(unsigned operand, uint32_t value)
     }
 }
 
-void
-Cpu::refreshRelocTable()
-{
-    // The table replaces the per-access RegOutOfRange check; the unit
-    // asserts the range invariant once when it builds each table, so
-    // refreshing after a mask switch is just two loads.
-    relocTable_ = relocation_.table();
-    relocEpoch_ = relocation_.epoch();
-}
-
 uint32_t
 Cpu::readContextReg(unsigned context_reg) const
 {
@@ -178,18 +207,6 @@ Cpu::writeContextReg(unsigned context_reg, uint32_t value)
     rr_assert(result.ok, "context register ", context_reg,
               " violates bounds");
     regs_.write(result.physical, value);
-}
-
-void
-Cpu::advancePendingRrm()
-{
-    if (!rrmPending_)
-        return;
-    --rrmPendingRemaining_;
-    if (rrmPendingRemaining_ == 0) {
-        relocation_.setMask(rrmPendingValue_, rrmPendingBank_);
-        rrmPending_ = false;
-    }
 }
 
 bool
@@ -348,6 +365,8 @@ Cpu::applyTiming(const Instruction &inst, uint32_t pc_before)
 uint64_t
 Cpu::run(uint64_t max_steps)
 {
+    if (dispatchActive_)
+        return runBlocks(max_steps);
     uint64_t executed = 0;
     while (executed < max_steps) {
         const uint64_t before = instret_;
@@ -401,8 +420,12 @@ Cpu::executeImpl(const Instruction &inst)
                 throw TrapSignal{TrapKind::MemOutOfRange};
             memData_[addr] = value;
             // Store invalidation: drop any predecode of the stored
-            // word (self-modifying code).
+            // word (self-modifying code), and mark the superblock
+            // cache stale when the store hit a word some block
+            // decoded.
             icache_[addr].valid = false;
+            if (dispatchActive_ && blockCover_[addr] != 0)
+                blocksStale_ = true;
         } else {
             if (!mem_.inRange(addr))
                 throw TrapSignal{TrapKind::MemOutOfRange};
@@ -797,9 +820,15 @@ Cpu::restoreState(const ckpt::Reader &reader)
         reader.u64(kSectionCpuState, kCpuPrevDestPhys));
 
     // Never trust pre-restore memoization: re-fetch the relocation
-    // table from the (just re-validated) unit.
+    // table from the (just re-validated) unit, and rebuild superblocks
+    // from scratch — they are derived state, never serialized.
     if (predecode_)
         refreshRelocTable();
+    if (dispatchActive_) {
+        flushBlocks();
+        mem_.clearWriteLog();
+        memVersionSeen_ = mem_.version();
+    }
 }
 
 CpuConfig

@@ -54,6 +54,39 @@ const char *trapName(TrapKind kind);
  */
 bool defaultPredecode();
 
+/**
+ * How Cpu::run dispatches predecoded instructions. All three modes
+ * are architecturally identical — traces, stats, and checkpoints are
+ * byte-for-byte the same; only wall-clock speed changes (docs/PERF.md
+ * has the matrix and the invalidation rules).
+ */
+enum class DispatchMode : uint8_t
+{
+    /** Per-instruction switch over the predecoded side table (PR 4). */
+    Switch,
+    /**
+     * Token-threaded dispatch over cached superblocks: straight-line
+     * runs execute decoded descriptors back-to-back with one validity
+     * check per block instead of per-instruction tag compares.
+     */
+    Threaded,
+    /**
+     * Threaded, plus the dominant macro-op pairs (cmp+branch,
+     * load+use) fused into single descriptors at block-build time.
+     */
+    Fused,
+};
+
+/**
+ * Default for CpuConfig::dispatch: DispatchMode::Fused unless the
+ * environment variable RR_CPU_DISPATCH is "switch" or "threaded".
+ * Read once per process, like RR_CPU_PREDECODE.
+ */
+DispatchMode defaultDispatch();
+
+/** @return a printable name for @p mode ("switch", "threaded", ...). */
+const char *dispatchModeName(DispatchMode mode);
+
 /** Static machine configuration. */
 struct CpuConfig
 {
@@ -92,6 +125,15 @@ struct CpuConfig
      * wall-clock speed changes. Defaults from RR_CPU_PREDECODE.
      */
     bool predecode = defaultPredecode();
+
+    /**
+     * run() dispatch strategy over the predecoded stream. Behaviour-
+     * neutral like the predecode switch itself: Threaded/Fused engage
+     * only when the predecode cache is active, and single-stepping via
+     * step() always uses the per-instruction path. Defaults from
+     * RR_CPU_DISPATCH.
+     */
+    DispatchMode dispatch = defaultDispatch();
 };
 
 /** One line of execution trace. */
@@ -201,6 +243,37 @@ class Cpu : public ckpt::Restorable
      */
     bool predecodeActive() const { return predecode_; }
 
+    /**
+     * True when run() uses threaded superblock dispatch (predecode is
+     * active and the configured mode is Threaded or Fused).
+     */
+    bool dispatchActive() const { return dispatchActive_; }
+
+    /**
+     * Memories larger than this are not shadowed (the side table costs
+     * 16 bytes/word); such CPUs fall back to the decode-per-step path.
+     */
+    static constexpr size_t kPredecodeMaxWords = size_t{1} << 22;
+
+    /** Superblocks decoded since construction (diagnostics only). */
+    uint64_t superblocksBuilt() const { return sbBuilt_; }
+
+    /**
+     * Whole-cache superblock invalidations since construction: SMC
+     * hitting covered words, host writes whose re-verification found
+     * changed code, checkpoint restores, and capacity resets
+     * (diagnostics only — never serialized).
+     */
+    uint64_t superblockFlushes() const { return sbFlushes_; }
+
+    /**
+     * Superblocks kept after a host write touched cached code: the
+     * lazy re-verification compared the covered words against the
+     * block's build-time snapshot and found them unchanged
+     * (diagnostics only — never serialized).
+     */
+    uint64_t superblocksReverified() const { return sbReverified_; }
+
     // ---- checkpointing ---------------------------------------------------
 
     /**
@@ -252,12 +325,6 @@ class Cpu : public ckpt::Restorable
     };
 
     /**
-     * Memories larger than this are not shadowed (the side table costs
-     * 16 bytes/word); such CPUs fall back to the decode-per-step path.
-     */
-    static constexpr size_t kPredecodeMaxWords = size_t{1} << 22;
-
-    /**
      * Most register reads any instruction performs. Audit over
      * isa::FormatInfo: R3 and B read rs1+rs2, ST (Format::I with a
      * source rd) reads rs1+rd, every other format reads at most one
@@ -278,8 +345,20 @@ class Cpu : public ckpt::Restorable
     uint32_t readOperandFast(unsigned operand) const;
     void writeOperandFast(unsigned operand, uint32_t value);
 
-    /** Re-cache the relocation table after a mask/context change. */
-    void refreshRelocTable();
+    /**
+     * Re-cache the relocation table after a mask/context change.
+     * Inline: this sits on the LDRRM retirement path, which context-
+     * switch-heavy workloads hit every few instructions.
+     */
+    void
+    refreshRelocTable()
+    {
+        // The table replaces the per-access RegOutOfRange check; the
+        // unit asserts the range invariant once when it builds each
+        // table, so refreshing after a mask switch is just two loads.
+        relocTable_ = relocation_.table();
+        relocEpoch_ = relocation_.epoch();
+    }
 
     bool stepSlow();
     bool stepFast();
@@ -287,11 +366,98 @@ class Cpu : public ckpt::Restorable
     template <bool Fast>
     void executeImpl(const isa::Instruction &inst);
 
+    // ---- threaded superblock dispatch (cpu_dispatch.cc) -----------------
+
+    /**
+     * One token-threaded descriptor. @c token selects the handler
+     * (opcode tokens mirror isa::Opcode values; fused tokens follow).
+     * @c a and @c b hold the decoded constituent instructions
+     * verbatim, so trace reconstruction and timing charges in careful
+     * mode are exact; @c b is used by fused tokens only.
+     */
+    struct MicroOp
+    {
+        uint16_t token = 0;
+        uint32_t pc = 0;
+        isa::Instruction a{};
+        isa::Instruction b{};
+    };
+
+    /**
+     * A decoded run of instructions starting at @c entry and covering
+     * @c words memory words. Derived state: built from the predecode
+     * cache, invalidated whenever a covered word changes (simulated
+     * stores, host writes, restores), and never serialized.
+     *
+     * @c raw snapshots the covered memory words at build time and
+     * @c seenEpoch records the code epoch the block was last verified
+     * against: after host writes touch cached code, blocks are
+     * re-verified lazily (one word compare per covered word, at next
+     * entry) instead of rebuilt — reloading an identical image keeps
+     * every block.
+     */
+    struct SuperBlock
+    {
+        uint32_t entry = 0;
+        uint32_t words = 0;
+        uint64_t seenEpoch = 0;
+        std::vector<MicroOp> ops;
+        std::vector<uint32_t> raw;
+    };
+
+    /** Cache capacity; the whole cache is reset when it fills. */
+    static constexpr size_t kMaxSuperblocks = 4096;
+
+    /** Longest run of memory words decoded into one superblock. */
+    static constexpr uint32_t kMaxBlockWords = 64;
+
+    /**
+     * Decode a superblock starting at @p entry (which must be in
+     * range) and register it in the block index.
+     * @return nullptr when the entry word is undecodable.
+     */
+    const SuperBlock *buildBlock(uint32_t entry);
+
+    /** Drop every superblock and clear the index/cover maps. */
+    void flushBlocks();
+
+    /**
+     * Invalidate superblocks touched by host writes that arrived
+     * through Memory's public API since the last sync (checked via
+     * the memory version counter and bounded write journal).
+     */
+    void syncHostWrites();
+
+    /** run() loop over cached superblocks (dispatchActive_ only). */
+    uint64_t runBlocks(uint64_t max_steps);
+
+    /**
+     * Execute one superblock for at most @p budget instructions.
+     * Careful mode maintains per-instruction trace/timing state;
+     * fast mode materializes pc/counters only at exits.
+     * @return instructions retired.
+     */
+    template <bool Careful>
+    uint64_t execBlock(const SuperBlock &blk, uint64_t budget);
+
     /** Shared end-of-step hazard accounting (timing enabled only). */
     void applyTiming(const isa::Instruction &inst, uint32_t pc_before);
 
-    /** Apply/advance the pending LDRRM delay-slot state machine. */
-    void advancePendingRrm();
+    /**
+     * Apply/advance the pending LDRRM delay-slot state machine.
+     * Inline for the same reason as refreshRelocTable().
+     */
+    void
+    advancePendingRrm()
+    {
+        if (!rrmPending_)
+            return;
+        --rrmPendingRemaining_;
+        if (rrmPendingRemaining_ == 0) {
+            relocation_.setMask(rrmPendingValue_, rrmPendingBank_);
+            rrmPending_ = false;
+        }
+    }
 
     CpuConfig config_;
     RegisterFile regs_;
@@ -310,6 +476,22 @@ class Cpu : public ckpt::Restorable
     const RelocationResult *relocTable_ = nullptr;
     unsigned relocTableSize_ = 0;
     uint64_t relocEpoch_ = 0;
+
+    // Superblock cache (threaded dispatch). blockIndex_ maps an entry
+    // pc to its block (-1 = none); blockCover_ counts, per word, how
+    // many blocks decoded that word, so stores can detect in O(1)
+    // whether they clobbered cached code. blocksStale_ defers the
+    // actual flush to the next outer-loop iteration.
+    bool dispatchActive_ = false;
+    std::vector<SuperBlock> blocks_;
+    std::vector<int32_t> blockIndex_;
+    std::vector<uint16_t> blockCover_;
+    bool blocksStale_ = false;
+    uint64_t memVersionSeen_ = 0;
+    uint64_t codeEpoch_ = 0;
+    uint64_t sbBuilt_ = 0;
+    uint64_t sbFlushes_ = 0;
+    uint64_t sbReverified_ = 0;
 
     uint32_t pc_ = 0;
     uint32_t psw_ = 0;

@@ -8,6 +8,7 @@ Memory::Memory(size_t num_words)
     : words_(num_words, 0)
 {
     rr_assert(num_words > 0, "memory must be nonempty");
+    writeLog_.reserve(kWriteLogCap);
 }
 
 uint32_t
@@ -22,6 +23,13 @@ Memory::write(uint64_t addr, uint32_t value)
 {
     rr_assert(addr < words_.size(), "memory write out of range: ", addr);
     words_[addr] = value;
+    ++version_;
+    if (!writeLogOverflow_) {
+        if (writeLog_.size() < kWriteLogCap)
+            writeLog_.push_back(static_cast<uint32_t>(addr));
+        else
+            writeLogOverflow_ = true;
+    }
 }
 
 void
@@ -31,12 +39,23 @@ Memory::loadImage(uint64_t base, const std::vector<uint32_t> &image)
               "image does not fit: base ", base, " + ", image.size(),
               " > ", words_.size());
     std::copy(image.begin(), image.end(), words_.begin() + base);
+    ++version_;
+    writeLogOverflow_ = true;
 }
 
 void
 Memory::clear()
 {
     std::fill(words_.begin(), words_.end(), 0);
+    ++version_;
+    writeLogOverflow_ = true;
+}
+
+void
+Memory::clearWriteLog()
+{
+    writeLog_.clear();
+    writeLogOverflow_ = false;
 }
 
 } // namespace rr::machine

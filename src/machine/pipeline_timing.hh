@@ -48,7 +48,13 @@ struct PipelineTimingConfig
     static PipelineTimingConfig classicFiveStage();
 };
 
-/** Stall-cycle accounting. */
+/**
+ * Stall-cycle accounting. Charges are per retired instruction and
+ * independent of how the Cpu dispatched it: the threaded/fused block
+ * paths charge each fused constituent exactly as the per-step path
+ * does, so stats compare equal across DispatchMode (the dispatch-mode
+ * identity tests rely on operator==).
+ */
 struct PipelineTimingStats
 {
     uint64_t branchStalls = 0;  ///< cycles lost to redirections
@@ -60,6 +66,8 @@ struct PipelineTimingStats
     {
         return branchStalls + loadUseStalls + ldrrmStalls;
     }
+
+    bool operator==(const PipelineTimingStats &other) const = default;
 };
 
 } // namespace rr::machine

@@ -29,13 +29,11 @@ RelocationUnit::RelocationUnit(unsigned num_regs, unsigned operand_width,
               "too many banks for the operand width");
 }
 
-void
-RelocationUnit::setMask(uint32_t mask, unsigned bank)
+const RelocationResult *
+RelocationUnit::installMask(uint32_t mask, unsigned bank)
 {
-    rr_assert(bank < masks_.size(), "bad RRM bank ", bank);
-    // The hardware RRM register holds only ceil(lg n) bits.
-    masks_[bank] = mask & static_cast<uint32_t>(lowMask(maskBits_));
-    ++epoch_;
+    setMask(mask, bank);
+    return table();
 }
 
 uint32_t
@@ -52,6 +50,8 @@ RelocationUnit::setContextSize(unsigned size)
               size);
     rr_assert(size <= (1u << operandWidth_),
               "context size ", size, " exceeds 2^w");
+    if (contextSize_ == size)
+        return;
     contextSize_ = size;
     ++epoch_;
 }
@@ -101,26 +101,15 @@ RelocationUnit::relocate(unsigned operand) const
 }
 
 const RelocationResult *
-RelocationUnit::table() const
+RelocationUnit::tableSlow() const
 {
-    if (tableEpoch_ == epoch_)
-        return tablePtr_;
-
     // A context switch usually returns to a mask state seen before
     // (threads ping-pong between a handful of contexts), so memoize
     // built tables per mask state and make the common switch a lookup
-    // instead of a rebuild. For the ubiquitous single-bank machine the
-    // lookup is direct-mapped on the mask value itself.
-    const bool single_bank = masks_.size() == 1;
-    if (single_bank && contextSize_ == memoContextSize_ &&
-        !maskMemo_.empty()) {
-        if (const RelocationResult *hit = maskMemo_[masks_[0]]) {
-            tablePtr_ = hit;
-            tableEpoch_ = epoch_;
-            return hit;
-        }
-    }
-
+    // instead of a rebuild: the epoch check and the single-bank
+    // direct-mapped memo hit live inline in table(); this slow path
+    // covers multi-bank units, context-size changes, and genuinely
+    // new masks.
     for (const CachedTable &slot : tableCache_) {
         if (slot.contextSize == contextSize_ && slot.masks == masks_) {
             rememberInMemo(slot.table.data());

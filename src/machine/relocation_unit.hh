@@ -33,6 +33,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/bitops.hh"
+#include "base/logging.hh"
+
 namespace rr::machine {
 
 /** How operand fields combine with the relocation mask. */
@@ -85,8 +88,35 @@ class RelocationUnit
     /**
      * Install a mask into bank @p bank. Only the low ceil(lg n) bits
      * are retained, mirroring the width of the hardware RRM register.
+     * Inline: this is the LDRRM retirement path, hit every few
+     * instructions by context-switch-heavy workloads.
      */
-    void setMask(uint32_t mask, unsigned bank = 0);
+    void
+    setMask(uint32_t mask, unsigned bank = 0)
+    {
+        rr_assert(bank < masks_.size(), "bad RRM bank ", bank);
+        // The hardware RRM register holds only ceil(lg n) bits.
+        const auto clipped =
+            mask & static_cast<uint32_t>(lowMask(maskBits_));
+        // Reinstalling the mask a bank already holds cannot change
+        // any operand mapping, so keep the epoch (and with it every
+        // memoized table pointer) valid. Kernels re-entering the same
+        // context and harness resets hit this constantly.
+        if (masks_[bank] == clipped)
+            return;
+        masks_[bank] = clipped;
+        ++epoch_;
+    }
+
+    /**
+     * Install a mask and return the memoized operand table for the
+     * resulting state in one call. Used by the Cpu's block dispatcher,
+     * whose in-block LDRRMX path must refresh its cached table
+     * immediately rather than at the next step boundary. Equivalent
+     * to setMask() followed by table().
+     */
+    const RelocationResult *installMask(uint32_t mask,
+                                        unsigned bank = 0);
 
     /** Current mask in bank @p bank. */
     uint32_t mask(unsigned bank = 0) const;
@@ -131,8 +161,11 @@ class RelocationUnit
 
     /**
      * Monotonic counter bumped whenever the operand->physical mapping
-     * can change (setMask, setContextSize). Fast paths compare it to
-     * decide whether a cached mapping is still valid.
+     * can change (setMask, setContextSize, restoreMasks). Fast paths
+     * compare it to decide whether a cached mapping is still valid.
+     * Installing a value the unit already holds is a no-op and keeps
+     * the epoch, so memoized table pointers survive redundant context
+     * switches; restoreMasks always advances it.
      */
     uint64_t epoch() const { return epoch_; }
 
@@ -152,8 +185,26 @@ class RelocationUnit
      * paper argues the hardware does (Section 2.2: relocation happens
      * once, at decode, in a fixed stage). The returned pointer stays
      * valid until the next mask/context-size change.
+     *
+     * The epoch re-validation and the single-bank direct-mapped memo
+     * hit — the two paths a context switch to a known mask takes —
+     * are inline; cache scans and rebuilds stay out of line.
      */
-    const RelocationResult *table() const;
+    const RelocationResult *
+    table() const
+    {
+        if (tableEpoch_ == epoch_)
+            return tablePtr_;
+        if (masks_.size() == 1 && contextSize_ == memoContextSize_ &&
+            !maskMemo_.empty()) {
+            if (const RelocationResult *hit = maskMemo_[masks_[0]]) {
+                tablePtr_ = hit;
+                tableEpoch_ = epoch_;
+                return hit;
+            }
+        }
+        return tableSlow();
+    }
 
   private:
     /** One memoized table: the mask state it was built under. */
@@ -166,6 +217,9 @@ class RelocationUnit
 
     /** Memoized mask states; round-robin recycled beyond this. */
     static constexpr unsigned kMaxCachedTables = 16;
+
+    /** table() miss path: scan the table cache, build on a miss. */
+    const RelocationResult *tableSlow() const;
 
     /** Combine @p operand with the current masks (uncached). */
     RelocationResult compute(unsigned operand) const;

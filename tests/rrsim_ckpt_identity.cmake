@@ -142,6 +142,105 @@ foreach(program ${programs})
         "${name}: --rewind final state")
 endforeach()
 
+# --rewind edge cases. The flight recorder snapshots every 1024
+# instructions into a 64-deep ring, so two rewind targets need their
+# own legs: N larger than the whole run, and N landing *before* the
+# oldest surviving ring snapshot (only reachable once the ring has
+# evicted, i.e. past 65 * 1024 executed instructions). Both must
+# replay from the start and exit 0 — never fail, never clamp wrong.
+function(must_match_suffix full part what)
+    file(READ ${full} full_content)
+    file(READ ${part} part_content)
+    string(LENGTH "${full_content}" full_len)
+    string(LENGTH "${part_content}" part_len)
+    if(part_len GREATER full_len)
+        message(FATAL_ERROR "${what}: suffix longer than the trace")
+    endif()
+    math(EXPR from "${full_len} - ${part_len}")
+    string(SUBSTRING "${full_content}" ${from} -1 tail)
+    if(NOT tail STREQUAL part_content)
+        message(FATAL_ERROR "${what}: ${part} is not a suffix of "
+            "${full}")
+    endif()
+endfunction()
+
+# A two-instruction infinite loop, bounded by --steps: cheap to
+# execute well past the point where the snapshot ring starts
+# evicting its oldest entries.
+set(longloop ${WORK_DIR}/longloop.s)
+file(WRITE ${longloop} "entry:
+loop:
+    addi  r1, r1, 1
+    beq   r0, r0, loop
+")
+set(long_steps 67000)
+execute_process(
+    COMMAND ${RRSIM} --steps ${long_steps}
+        --trace=${WORK_DIR}/longloop.straight.jsonl --json
+        ${longloop}
+    OUTPUT_FILE ${WORK_DIR}/longloop.straight.json
+    RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+    message(FATAL_ERROR "rrsim failed on longloop (straight run)")
+endif()
+trace_body(${WORK_DIR}/longloop.straight.jsonl
+    ${WORK_DIR}/longloop.straight.body)
+normalized_state(${WORK_DIR}/longloop.straight.json
+    ${WORK_DIR}/longloop.straight.norm)
+
+# Leg 1: N > executed instructions. The whole run is re-executed
+# from the initial state and the full trace re-emitted.
+# Leg 2: N inside the run but before the oldest ring snapshot
+# (target 1000 < the post-eviction ring floor of 2048): the recorder
+# must fall back to the initial snapshot and replay from the start.
+foreach(rewind 100000 66000)
+    set(leg ${WORK_DIR}/longloop.r${rewind})
+    execute_process(
+        COMMAND ${RRSIM} --steps ${long_steps} --rewind ${rewind}
+            --trace=${leg}.jsonl --json ${longloop}
+        OUTPUT_FILE ${leg}.json
+        RESULT_VARIABLE status)
+    if(NOT status EQUAL 0)
+        message(FATAL_ERROR
+            "rrsim --rewind ${rewind} on longloop: expected exit 0, "
+            "got '${status}'")
+    endif()
+    trace_body(${leg}.jsonl ${leg}.body)
+    must_match_suffix(${WORK_DIR}/longloop.straight.body ${leg}.body
+        "longloop --rewind ${rewind}: trace vs straight suffix")
+    normalized_state(${leg}.json ${leg}.norm)
+    must_match(${leg}.norm ${WORK_DIR}/longloop.straight.norm
+        "longloop --rewind ${rewind}: final state")
+endforeach()
+
+# Leg 1 specifically promises the *entire* trace back, not just some
+# suffix: with N past the end the replay starts at instruction 0.
+must_match(${WORK_DIR}/longloop.r100000.body
+    ${WORK_DIR}/longloop.straight.body
+    "longloop --rewind past the end: full trace re-emitted")
+
+# And on a program that halts almost immediately, an oversized N
+# must still exit 0 with the complete trace.
+list(GET programs 0 first_short)
+get_filename_component(short_name ${first_short} NAME_WE)
+set(leg ${WORK_DIR}/${short_name}.rbig)
+execute_process(
+    COMMAND ${RRSIM} --rewind 1000000 --trace=${leg}.jsonl --json
+        ${first_short}
+    OUTPUT_FILE ${leg}.json
+    RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+    message(FATAL_ERROR
+        "rrsim --rewind 1000000 on ${short_name}: expected exit 0, "
+        "got '${status}'")
+endif()
+trace_body(${leg}.jsonl ${leg}.body)
+must_match(${leg}.body ${WORK_DIR}/${short_name}.straight.body
+    "${short_name} --rewind 1000000: full trace re-emitted")
+normalized_state(${leg}.json ${leg}.norm)
+must_match(${leg}.norm ${WORK_DIR}/${short_name}.straight.norm
+    "${short_name} --rewind 1000000: final state")
+
 # Hostile checkpoints: a text file, an empty file, and a valid
 # document with trailing garbage must all be rejected with exit 2
 # and an rr.ckpt error — never a crash or an abort.

@@ -1,8 +1,11 @@
 # Runs rrsim over the example programs with the predecoded
-# instruction cache forced on (RR_CPU_PREDECODE=1) and off (=0) and
-# fails unless the structured traces and final-state JSON dumps are
-# byte-identical — the cache must be architecturally invisible
-# (docs/PERF.md). Invoked by ctest; see tests/CMakeLists.txt.
+# instruction cache forced off (RR_CPU_PREDECODE=0) and on — the
+# latter under every run() dispatch strategy (RR_CPU_DISPATCH =
+# switch, threaded, fused) — and fails unless the structured traces
+# and final-state JSON dumps are byte-identical across all four legs:
+# the cache and the superblock dispatch engine must be
+# architecturally invisible (docs/PERF.md). Invoked by ctest; see
+# tests/CMakeLists.txt.
 
 foreach(var RRSIM ASM_DIR WORK_DIR)
     if(NOT DEFINED ${var})
@@ -19,29 +22,40 @@ if(programs STREQUAL "")
     message(FATAL_ERROR "no example programs under ${ASM_DIR}")
 endif()
 
+# leg name -> environment for that leg. "off" is the decode-per-step
+# reference every cached leg must match.
+set(legs off switch threaded fused)
+set(env_off RR_CPU_PREDECODE=0)
+set(env_switch RR_CPU_PREDECODE=1 RR_CPU_DISPATCH=switch)
+set(env_threaded RR_CPU_PREDECODE=1 RR_CPU_DISPATCH=threaded)
+set(env_fused RR_CPU_PREDECODE=1 RR_CPU_DISPATCH=fused)
+
 foreach(program ${programs})
     get_filename_component(name ${program} NAME_WE)
-    foreach(mode 0 1)
+    foreach(leg ${legs})
         execute_process(
-            COMMAND ${CMAKE_COMMAND} -E env RR_CPU_PREDECODE=${mode}
-                ${RRSIM} --trace=${WORK_DIR}/${name}.${mode}.jsonl
+            COMMAND ${CMAKE_COMMAND} -E env ${env_${leg}}
+                ${RRSIM} --trace=${WORK_DIR}/${name}.${leg}.jsonl
                 --json ${program}
-            OUTPUT_FILE ${WORK_DIR}/${name}.${mode}.json
+            OUTPUT_FILE ${WORK_DIR}/${name}.${leg}.json
             RESULT_VARIABLE status)
         if(NOT status EQUAL 0)
             message(FATAL_ERROR
-                "rrsim failed on ${name} with RR_CPU_PREDECODE=${mode}")
+                "rrsim failed on ${name} (${leg} leg)")
         endif()
     endforeach()
-    foreach(ext jsonl json)
-        execute_process(
-            COMMAND ${CMAKE_COMMAND} -E compare_files
-                ${WORK_DIR}/${name}.0.${ext}
-                ${WORK_DIR}/${name}.1.${ext}
-            RESULT_VARIABLE diff)
-        if(NOT diff EQUAL 0)
-            message(FATAL_ERROR
-                "${name}: ${ext} output differs between cache modes")
-        endif()
+    foreach(leg switch threaded fused)
+        foreach(ext jsonl json)
+            execute_process(
+                COMMAND ${CMAKE_COMMAND} -E compare_files
+                    ${WORK_DIR}/${name}.off.${ext}
+                    ${WORK_DIR}/${name}.${leg}.${ext}
+                RESULT_VARIABLE diff)
+            if(NOT diff EQUAL 0)
+                message(FATAL_ERROR
+                    "${name}: ${ext} output differs between the "
+                    "uncached run and ${leg} dispatch")
+            endif()
+        endforeach()
     endforeach()
 endforeach()

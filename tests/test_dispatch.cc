@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Threaded/fused superblock dispatch (docs/PERF.md): the run() fast
+ * path must be architecturally invisible at *every* observation
+ * point, not just at halt. These tests pin the properties the
+ * corpus-level identity tests cannot see directly:
+ *
+ *  - a step budget that expires between the two halves of a fused
+ *    macro-op pair retires exactly the same instruction prefix as
+ *    switch dispatch, for every possible split point;
+ *  - step() and run() can be interleaved freely;
+ *  - host writes demote superblocks to unverified and the next
+ *    lookup re-proves them against memory (cache kept) or flushes
+ *    (code actually changed), visible through the diagnostic
+ *    counters;
+ *  - a store into a chained hot loop (self-modifying code) exits the
+ *    block engine and rebuilds, never running stale code;
+ *  - the superblock cache is derived state: a checkpoint restore
+ *    drops it and the restored CPU rebuilds and finishes identically.
+ */
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hh"
+#include "ckpt/io.hh"
+#include "machine/cpu.hh"
+
+namespace rr::machine {
+namespace {
+
+CpuConfig
+configWith(DispatchMode dispatch, bool predecode = true)
+{
+    CpuConfig config;
+    config.numRegs = 128;
+    config.operandWidth = 5;
+    config.ldrrmDelaySlots = 1;
+    config.memWords = 4096;
+    config.predecode = predecode;
+    config.dispatch = dispatch;
+    return config;
+}
+
+assembler::Program
+assembleOrDie(const std::string &source)
+{
+    assembler::Program prog = assembler::assemble(source);
+    for (const auto &error : prog.errors)
+        ADD_FAILURE() << error.str();
+    EXPECT_TRUE(prog.ok());
+    return prog;
+}
+
+void
+loadAndStart(Cpu &cpu, const assembler::Program &prog)
+{
+    cpu.mem().loadImage(prog.base, prog.words);
+    const auto entry = prog.symbols.find("entry");
+    cpu.setPc(entry != prog.symbols.end() ? entry->second
+                                          : prog.base);
+}
+
+/** The externally observable execution state, counters included. */
+struct Observation
+{
+    uint64_t instret = 0;
+    uint64_t cycles = 0;
+    uint64_t stalls = 0;
+    uint32_t pc = 0;
+    uint32_t psw = 0;
+    bool halted = false;
+    TrapKind trap = TrapKind::None;
+    std::vector<uint32_t> regs;
+    std::vector<uint32_t> mem;
+
+    bool operator==(const Observation &other) const = default;
+};
+
+Observation
+observe(const Cpu &cpu)
+{
+    Observation obs;
+    obs.instret = cpu.instructionsRetired();
+    obs.cycles = cpu.cycles();
+    obs.stalls = cpu.timingStats().total();
+    obs.pc = cpu.pc();
+    obs.psw = cpu.psw();
+    obs.halted = cpu.halted();
+    obs.trap = cpu.trap();
+    const uint32_t *regs = cpu.regs().data();
+    obs.regs.assign(regs, regs + 128);
+    const uint32_t *mem = cpu.mem().data();
+    obs.mem.assign(mem, mem + 4096);
+    return obs;
+}
+
+// li expands to LUI+ORI (a fusable pair), the decrement feeds the
+// branch (another fusable pair), and the two back-to-back ADDIs are
+// ALU-pair candidates — every fusion rule is on this path.
+constexpr const char *kFusionLoop = R"(
+entry:
+    li    r1, 25
+loop:
+    addi  r2, r2, 3
+    addi  r1, r1, -1
+    bne   r1, r0, loop
+    halt
+)";
+
+// A step budget expiring anywhere — including between the two halves
+// of a fused pair — must leave the same architectural state and
+// counters as switch dispatch with the same budget. Sweep every
+// prefix length of the whole program.
+TEST(Dispatch, BudgetSplitsFusedPairsExactly)
+{
+    const assembler::Program prog = assembleOrDie(kFusionLoop);
+
+    // Total retired instructions at halt: li(2) + 25*3 + halt.
+    constexpr uint64_t kTotal = 2 + 25 * 3 + 1;
+    for (uint64_t budget = 1; budget <= kTotal + 1; ++budget) {
+        Observation want;
+        bool first = true;
+        for (const DispatchMode mode :
+             {DispatchMode::Switch, DispatchMode::Threaded,
+              DispatchMode::Fused}) {
+            Cpu cpu(configWith(mode));
+            loadAndStart(cpu, prog);
+            cpu.run(budget);
+            const Observation got = observe(cpu);
+            if (first) {
+                want = got;
+                first = false;
+                continue;
+            }
+            EXPECT_EQ(got, want)
+                << "budget " << budget << ", mode "
+                << dispatchModeName(mode);
+        }
+    }
+}
+
+// step() must observe and produce exactly the state the block engine
+// left behind, at any interleaving.
+TEST(Dispatch, StepAndRunInterleaveFreely)
+{
+    const assembler::Program prog = assembleOrDie(kFusionLoop);
+
+    Observation want;
+    bool first = true;
+    for (const DispatchMode mode :
+         {DispatchMode::Switch, DispatchMode::Threaded,
+          DispatchMode::Fused}) {
+        Cpu cpu(configWith(mode));
+        loadAndStart(cpu, prog);
+        for (int i = 0; i < 3; ++i)
+            cpu.step();
+        cpu.run(10);
+        for (int i = 0; i < 5; ++i)
+            cpu.step();
+        cpu.run(100'000);
+        const Observation got = observe(cpu);
+        if (first) {
+            want = got;
+            first = false;
+            continue;
+        }
+        EXPECT_EQ(got, want) << dispatchModeName(mode);
+    }
+}
+
+// A host write that does not change the covered words demotes every
+// block to unverified; the next lookup re-proves each against memory
+// and keeps it — no flush, no rebuild.
+TEST(Dispatch, HostWriteWithUnchangedCodeReverifiesBlocks)
+{
+    const assembler::Program prog = assembleOrDie(kFusionLoop);
+    Cpu cpu(configWith(DispatchMode::Fused));
+    ASSERT_TRUE(cpu.dispatchActive());
+    loadAndStart(cpu, prog);
+    cpu.run(100'000);
+    ASSERT_TRUE(cpu.halted());
+    EXPECT_EQ(cpu.regs().read(2), 75u);
+
+    const uint64_t built = cpu.superblocksBuilt();
+    const uint64_t flushes = cpu.superblockFlushes();
+    ASSERT_GT(built, 0u);
+    EXPECT_EQ(cpu.superblocksReverified(), 0u);
+
+    // Rewrite a covered instruction word with its own value: the
+    // journal records the touch, but the code is unchanged.
+    const auto entry = prog.symbols.find("entry");
+    ASSERT_NE(entry, prog.symbols.end());
+    cpu.mem().write(entry->second, cpu.mem().read(entry->second));
+
+    cpu.setPc(entry->second);
+    cpu.resume();
+    cpu.run(100'000);
+    ASSERT_TRUE(cpu.halted());
+    EXPECT_EQ(cpu.regs().read(2), 150u);
+
+    EXPECT_GT(cpu.superblocksReverified(), 0u);
+    EXPECT_EQ(cpu.superblockFlushes(), flushes);
+    EXPECT_EQ(cpu.superblocksBuilt(), built);
+}
+
+// A host write that *does* change covered code fails re-verification:
+// the cache flushes and rebuilds, and the new code runs.
+TEST(Dispatch, HostWriteWithChangedCodeFlushesAndRebuilds)
+{
+    const assembler::Program prog = assembleOrDie(kFusionLoop);
+    // The replacement body: "addi r2, r2, 5" instead of "+3".
+    const assembler::Program patched = assembleOrDie(R"(
+entry:
+    addi  r2, r2, 5
+)");
+
+    Cpu cpu(configWith(DispatchMode::Fused));
+    loadAndStart(cpu, prog);
+    cpu.run(100'000);
+    ASSERT_TRUE(cpu.halted());
+    EXPECT_EQ(cpu.regs().read(2), 75u);
+
+    const uint64_t built = cpu.superblocksBuilt();
+    const uint64_t flushes = cpu.superblockFlushes();
+
+    const auto loop = prog.symbols.find("loop");
+    ASSERT_NE(loop, prog.symbols.end());
+    cpu.mem().write(loop->second, patched.words.at(0));
+
+    const auto entry = prog.symbols.find("entry");
+    ASSERT_NE(entry, prog.symbols.end());
+    cpu.setPc(entry->second);
+    cpu.resume();
+    cpu.run(100'000);
+    ASSERT_TRUE(cpu.halted());
+    EXPECT_EQ(cpu.regs().read(2), 75u + 25 * 5);
+
+    EXPECT_GT(cpu.superblockFlushes(), flushes);
+    EXPECT_GT(cpu.superblocksBuilt(), built);
+}
+
+// Self-modifying code inside a hot (chained) loop: the store lands in
+// a covered word every iteration, so the block engine must exit,
+// rebuild, and pick up the patched instruction — in every mode.
+constexpr const char *kSmcLoop = R"(
+entry:
+    li    r1, 6
+    la    r4, patch
+    la    r5, newinst
+    ld    r6, 0(r5)
+loop:
+patch:
+    addi  r2, r2, 1
+    st    r6, 0(r4)
+    addi  r1, r1, -1
+    bne   r1, r0, loop
+    halt
+newinst:
+    addi  r2, r2, 4
+)";
+
+TEST(Dispatch, StoreIntoChainedLoopNeverRunsStaleCode)
+{
+    const assembler::Program prog = assembleOrDie(kSmcLoop);
+
+    Observation want;
+    bool first = true;
+    for (const DispatchMode mode :
+         {DispatchMode::Switch, DispatchMode::Threaded,
+          DispatchMode::Fused}) {
+        Cpu cpu(configWith(mode));
+        loadAndStart(cpu, prog);
+        cpu.run(100'000);
+        ASSERT_TRUE(cpu.halted()) << dispatchModeName(mode);
+        // Iteration 1 adds 1 and patches; iterations 2..6 add 4.
+        EXPECT_EQ(cpu.regs().read(2), 1u + 5 * 4)
+            << dispatchModeName(mode);
+        const Observation got = observe(cpu);
+        if (first) {
+            want = got;
+            first = false;
+            continue;
+        }
+        EXPECT_EQ(got, want) << dispatchModeName(mode);
+    }
+
+    // And against the undecoded reference path.
+    Cpu off(configWith(DispatchMode::Switch, false));
+    loadAndStart(off, prog);
+    off.run(100'000);
+    EXPECT_EQ(observe(off), want);
+}
+
+// The superblock cache is derived state: it is never serialized, a
+// restore drops it, and the restored CPU rebuilds it on demand and
+// finishes byte-identically to the uninterrupted run.
+TEST(Dispatch, CheckpointRestoreRebuildsDerivedBlocks)
+{
+    const assembler::Program prog = assembleOrDie(kFusionLoop);
+
+    // Uninterrupted fused run, as reference.
+    Cpu whole(configWith(DispatchMode::Fused));
+    loadAndStart(whole, prog);
+    whole.run(100'000);
+    ASSERT_TRUE(whole.halted());
+    const Observation want = observe(whole);
+
+    // Pause mid-loop (and mid-pair: budget 40 lands between the
+    // decrement and its fused branch), checkpoint, restore into a
+    // fresh CPU, finish there.
+    Cpu source(configWith(DispatchMode::Fused));
+    loadAndStart(source, prog);
+    source.run(40);
+    ASSERT_FALSE(source.halted());
+    ckpt::Writer writer;
+    source.saveState(writer);
+    const std::vector<uint8_t> doc = writer.seal();
+
+    Cpu target(configWith(DispatchMode::Fused));
+    target.restoreState(ckpt::Reader(doc));
+    EXPECT_EQ(target.superblocksBuilt(), 0u)
+        << "restore must drop derived superblocks";
+    target.run(100'000);
+    ASSERT_TRUE(target.halted());
+    EXPECT_GT(target.superblocksBuilt(), 0u);
+    EXPECT_EQ(observe(target), want);
+
+    // Restoring into a switch-dispatch CPU gives the same result:
+    // the dispatch mode is not part of the checkpointed state.
+    Cpu plain(configWith(DispatchMode::Switch));
+    plain.restoreState(ckpt::Reader(doc));
+    plain.run(100'000);
+    EXPECT_EQ(observe(plain), want);
+}
+
+TEST(Dispatch, ModeNamesAreStable)
+{
+    EXPECT_STREQ(dispatchModeName(DispatchMode::Switch), "switch");
+    EXPECT_STREQ(dispatchModeName(DispatchMode::Threaded),
+                 "threaded");
+    EXPECT_STREQ(dispatchModeName(DispatchMode::Fused), "fused");
+}
+
+} // namespace
+} // namespace rr::machine

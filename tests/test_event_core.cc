@@ -17,10 +17,12 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "ckpt/io.hh"
 #include "multithread/event_core.hh"
 
 namespace {
@@ -261,6 +263,96 @@ TEST(EventCore, CompactionPreservesOrderOfLiveEvents)
         core.pop();
     }
     EXPECT_EQ(order, (std::vector<unsigned>{4, 3, 2, 1}));
+}
+
+// A restored core must carry the *stale-epoch* bookkeeping, not just
+// the heap: after a checkpoint restore, a terminated thread's id can
+// be reused by a new thread at a higher epoch, and the very next
+// invalidation can trigger compaction. If staleBelow_/lastEpoch_
+// were rebuilt wrong, compaction would either drop the reused
+// thread's live events or keep the dead ones — both diverge from a
+// never-snapshotted run.
+TEST(EventCore, RestoreWithThreadIdReuseMatchesUninterruptedRun)
+{
+    const auto prelude = [](EventCore &core) {
+        core.reserve(4);
+        core.push({100, 1, 0});
+        core.push({90, 1, 1});
+        core.push({110, 1, 2});
+        core.push({90, 2, 1}); // equal-time tie with tid 1's first
+        core.push({120, 1, 2});
+        // tid 1 unblocks through another path: 2 stale, 3 live — not
+        // enough to compact yet.
+        core.invalidateThread(1);
+    };
+
+    EventCore uninterrupted;
+    prelude(uninterrupted);
+
+    EventCore source;
+    prelude(source);
+    rr::ckpt::Writer writer;
+    source.saveState(writer);
+    const std::vector<uint8_t> doc = writer.seal();
+
+    EventCore restored;
+    restored.restoreState(rr::ckpt::Reader(doc));
+    EXPECT_EQ(restored.size(), 5u);
+    EXPECT_EQ(restored.live(), 3u);
+    EXPECT_EQ(restored.stale(), 2u);
+    EXPECT_EQ(restored.compactions(), 0u);
+
+    const auto postlude = [](EventCore &core) {
+        // tid 2 terminates; its two pending events join tid 1's as
+        // stale (4 of 5) and compaction must fire, erasing exactly
+        // the events at or below each thread's invalidation epoch.
+        core.invalidateThread(2);
+        // A new thread reuses tid 2 at a higher epoch; its events
+        // are live and must survive every later compaction.
+        core.push({85, 7, 2});
+        core.push({115, 7, 2});
+        core.push({100, 2, 3}); // equal-time tie with tid 0's event
+        core.invalidateThread(0);
+    };
+    postlude(uninterrupted);
+    postlude(restored);
+
+    EXPECT_EQ(restored.compactions(), uninterrupted.compactions());
+    EXPECT_GT(restored.compactions(), 0u);
+    EXPECT_EQ(restored.live(), uninterrupted.live());
+    EXPECT_EQ(restored.stale(), uninterrupted.stale());
+    EXPECT_EQ(restored.maxSize(), uninterrupted.maxSize());
+
+    // The raw heap layout (and with it equal-time tie-breaking)
+    // must match byte-for-byte, compaction included.
+    rr::ckpt::Writer fromRestored, fromUninterrupted;
+    restored.saveState(fromRestored);
+    uninterrupted.saveState(fromUninterrupted);
+    EXPECT_EQ(fromRestored.seal(), fromUninterrupted.seal());
+
+    // Finally, drain both: identical pop order, with the reused id's
+    // old-epoch events never delivered and its new-epoch events
+    // always delivered. Invalidation floors per tid: 0 and 1 died at
+    // their last epochs, tid 2's *first* incarnation died at epoch 1.
+    const std::vector<uint64_t> floor = {1, 2, 1, 0};
+    const auto drain = [&floor](EventCore &core) {
+        std::vector<std::tuple<uint64_t, uint64_t, unsigned>> popped;
+        while (!core.empty()) {
+            const CompletionEvent event = core.top();
+            if (event.epoch <= floor[event.tid]) {
+                core.popStale();
+                continue;
+            }
+            popped.emplace_back(event.time, event.epoch, event.tid);
+            core.pop();
+        }
+        return popped;
+    };
+    const auto wantPops = drain(uninterrupted);
+    EXPECT_EQ(drain(restored), wantPops);
+    for (const auto &[time, epoch, tid] : wantPops)
+        EXPECT_FALSE(tid == 2 && epoch <= 1)
+            << "stale event from the reused id was delivered";
 }
 
 } // namespace

@@ -2,11 +2,13 @@
  * @file
  * The predecoded instruction cache must be architecturally invisible:
  * identical registers, memory, counters, traps, timing stats, and
- * traces with the cache on or off, over every example program and the
- * configurations that exercise each relocation mode. Plus the two
- * invalidation paths that keep it sound — simulated stores (self-
- * modifying code) and host writes through Memory — and the fall-back
- * to the uncached path for oversized memories.
+ * traces with the cache on or off — and, when on, under every run()
+ * dispatch strategy (switch, threaded, fused superblocks) — over
+ * every example program and the configurations that exercise each
+ * relocation mode. Plus the two invalidation paths that keep it
+ * sound — simulated stores (self-modifying code) and host writes
+ * through Memory — and the fall-back to the uncached path for
+ * oversized memories, including the exact cap boundary.
  */
 
 #include <algorithm>
@@ -59,6 +61,7 @@ assembleOrDie(const std::string &source)
 struct ArchState
 {
     bool cacheActive = false;
+    bool dispatchActive = false;
     uint64_t instret = 0;
     uint64_t cycles = 0;
     uint64_t stalls = 0;
@@ -70,19 +73,22 @@ struct ArchState
     std::vector<uint32_t> mem;
 };
 
-/** Run @p prog under @p config with the cache forced on or off. */
+/** Run @p prog with the cache forced on or off and @p dispatch. */
 ArchState
 runWith(const CpuConfig &config, const assembler::Program &prog,
-        bool predecode, uint64_t steps = 100'000)
+        bool predecode, uint64_t steps = 100'000,
+        DispatchMode dispatch = DispatchMode::Switch)
 {
     CpuConfig c = config;
     c.predecode = predecode;
+    c.dispatch = dispatch;
     Cpu cpu(c);
     loadAndStart(cpu, prog);
     cpu.run(steps);
 
     ArchState state;
     state.cacheActive = cpu.predecodeActive();
+    state.dispatchActive = cpu.dispatchActive();
     state.instret = cpu.instructionsRetired();
     state.cycles = cpu.cycles();
     state.stalls = cpu.timingStats().total();
@@ -97,27 +103,38 @@ runWith(const CpuConfig &config, const assembler::Program &prog,
     return state;
 }
 
-/** Full architectural-state comparison between the two modes. */
+/**
+ * Full architectural-state comparison across the dispatch matrix:
+ * the uncached reference against the cache in every dispatch mode.
+ */
 void
 expectSameArchState(const CpuConfig &config,
                     const assembler::Program &prog,
                     uint64_t steps = 100'000)
 {
     const ArchState off = runWith(config, prog, false, steps);
-    const ArchState on = runWith(config, prog, true, steps);
-
     EXPECT_FALSE(off.cacheActive);
-    EXPECT_TRUE(on.cacheActive);
 
-    EXPECT_EQ(on.instret, off.instret);
-    EXPECT_EQ(on.cycles, off.cycles);
-    EXPECT_EQ(on.pc, off.pc);
-    EXPECT_EQ(on.halted, off.halted);
-    EXPECT_EQ(on.trap, off.trap);
-    EXPECT_EQ(on.psw, off.psw);
-    EXPECT_EQ(on.stalls, off.stalls);
-    EXPECT_EQ(on.regs, off.regs);
-    EXPECT_EQ(on.mem, off.mem);
+    constexpr DispatchMode kModes[] = {DispatchMode::Switch,
+                                       DispatchMode::Threaded,
+                                       DispatchMode::Fused};
+    for (const DispatchMode mode : kModes) {
+        SCOPED_TRACE(dispatchModeName(mode));
+        const ArchState on = runWith(config, prog, true, steps, mode);
+
+        EXPECT_TRUE(on.cacheActive);
+        EXPECT_EQ(on.dispatchActive, mode != DispatchMode::Switch);
+
+        EXPECT_EQ(on.instret, off.instret);
+        EXPECT_EQ(on.cycles, off.cycles);
+        EXPECT_EQ(on.pc, off.pc);
+        EXPECT_EQ(on.halted, off.halted);
+        EXPECT_EQ(on.trap, off.trap);
+        EXPECT_EQ(on.psw, off.psw);
+        EXPECT_EQ(on.stalls, off.stalls);
+        EXPECT_EQ(on.regs, off.regs);
+        EXPECT_EQ(on.mem, off.mem);
+    }
 }
 
 std::vector<assembler::Program>
@@ -256,15 +273,25 @@ patch:
 newinst:
     addi  r3, r0, 2
 )");
-    for (const bool predecode : {false, true}) {
+    const struct
+    {
+        bool predecode;
+        DispatchMode dispatch;
+    } kLegs[] = {{false, DispatchMode::Switch},
+                 {true, DispatchMode::Switch},
+                 {true, DispatchMode::Threaded},
+                 {true, DispatchMode::Fused}};
+    for (const auto &leg : kLegs) {
         CpuConfig config = baseConfig();
-        config.predecode = predecode;
+        config.predecode = leg.predecode;
+        config.dispatch = leg.dispatch;
         Cpu cpu(config);
         loadAndStart(cpu, prog);
         cpu.run(100);
         EXPECT_TRUE(cpu.halted());
         EXPECT_EQ(cpu.regs().read(3), 2u)
-            << "stale predecode served (predecode=" << predecode
+            << "stale predecode served (predecode=" << leg.predecode
+            << ", dispatch=" << dispatchModeName(leg.dispatch)
             << ")";
     }
     const assembler::Program again = prog;
@@ -281,26 +308,33 @@ entry:
     addi  r3, r0, 1
     beq   r0, r0, entry
 )");
-    CpuConfig config = baseConfig();
-    config.predecode = true;
-    Cpu cpu(config);
-    loadAndStart(cpu, prog);
+    for (const DispatchMode dispatch :
+         {DispatchMode::Switch, DispatchMode::Threaded,
+          DispatchMode::Fused}) {
+        SCOPED_TRACE(dispatchModeName(dispatch));
+        CpuConfig config = baseConfig();
+        config.predecode = true;
+        config.dispatch = dispatch;
+        Cpu cpu(config);
+        loadAndStart(cpu, prog);
 
-    // Let the two-instruction loop get cached.
-    for (int i = 0; i < 6; ++i)
-        cpu.step();
-    EXPECT_EQ(cpu.regs().read(3), 1u);
+        // Let the two-instruction loop get cached.
+        for (int i = 0; i < 6; ++i)
+            cpu.step();
+        EXPECT_EQ(cpu.regs().read(3), 1u);
 
-    // Patch the first instruction to "addi r3, r0, 3" from the host.
-    isa::Instruction patched;
-    ASSERT_TRUE(isa::decode(cpu.mem().read(0), patched));
-    patched.imm = 3;
-    cpu.mem().write(0, isa::encode(patched));
+        // Patch the first instruction to "addi r3, r0, 3" from the
+        // host.
+        isa::Instruction patched;
+        ASSERT_TRUE(isa::decode(cpu.mem().read(0), patched));
+        patched.imm = 3;
+        cpu.mem().write(0, isa::encode(patched));
 
-    for (int i = 0; i < 2; ++i)
-        cpu.step();
-    EXPECT_EQ(cpu.regs().read(3), 3u) << "tag compare missed a host "
-                                         "write";
+        for (int i = 0; i < 2; ++i)
+            cpu.step();
+        EXPECT_EQ(cpu.regs().read(3), 3u)
+            << "tag compare missed a host write";
+    }
 }
 
 // Memories past the predecode cap silently fall back to the uncached
@@ -312,10 +346,80 @@ TEST(Predecode, OversizedMemoryFallsBackToUncached)
     config.memWords = (size_t{1} << 22) + 1;
     Cpu cpu(config);
     EXPECT_FALSE(cpu.predecodeActive());
+    EXPECT_FALSE(cpu.dispatchActive());
 
     config.memWords = 4096;
     Cpu small(config);
     EXPECT_TRUE(small.predecodeActive());
+}
+
+// The fallback boundary itself: a memory of exactly kPredecodeMaxWords
+// is still shadowed (the cap is inclusive), one word more is not, and
+// a self-modifying program sitting right against the cap behaves
+// identically on both sides of it — the store-invalidation semantics
+// must not depend on which path the memory size selected.
+TEST(Predecode, FallbackBoundaryKeepsStoreInvalidationSemantics)
+{
+    constexpr size_t kCap = Cpu::kPredecodeMaxWords;
+    // Same shape as StoreInvalidatesCachedInstruction, but placed in
+    // the last few words below the cap so the patched instruction is
+    // the highest cacheable address. la cannot encode these addresses
+    // (their low 12 bits exceed the signed ORI range), so patch and
+    // newinst are reached by backing off from the cap itself:
+    // lui 1024 == 1 << 22.
+    const assembler::Program prog = assembleOrDie(R"(
+.org 4194292
+entry:
+    jal   r9, warm
+    lui   r4, 1024
+    addi  r4, r4, -3
+    lui   r5, 1024
+    addi  r5, r5, -1
+    ld    r6, 0(r5)
+    st    r6, 0(r4)
+    jal   r9, warm
+    halt
+warm:
+patch:
+    addi  r3, r0, 1
+    jmp   r9
+newinst:
+    addi  r3, r0, 2
+)");
+    ASSERT_EQ(prog.base, 4194292u);
+    ASSERT_EQ(prog.base + prog.words.size(), kCap);
+    const auto patch = prog.symbols.find("patch");
+    const auto newinst = prog.symbols.find("newinst");
+    ASSERT_NE(patch, prog.symbols.end());
+    ASSERT_NE(newinst, prog.symbols.end());
+    ASSERT_EQ(patch->second, kCap - 3);
+    ASSERT_EQ(newinst->second, kCap - 1);
+
+    uint64_t cachedInstret = 0;
+    uint64_t cachedCycles = 0;
+    for (const size_t memWords : {kCap, kCap + 1}) {
+        SCOPED_TRACE(memWords);
+        CpuConfig config = baseConfig();
+        config.predecode = true;
+        config.memWords = memWords;
+        Cpu cpu(config);
+        // Inclusive cap: exactly kPredecodeMaxWords still caches,
+        // one more word falls back to decode-per-step.
+        EXPECT_EQ(cpu.predecodeActive(), memWords <= kCap);
+        EXPECT_EQ(cpu.dispatchActive(), memWords <= kCap);
+        loadAndStart(cpu, prog);
+        cpu.run(100);
+        EXPECT_TRUE(cpu.halted());
+        EXPECT_EQ(cpu.regs().read(3), 2u)
+            << "stale instruction served near the predecode cap";
+        if (memWords == kCap) {
+            cachedInstret = cpu.instructionsRetired();
+            cachedCycles = cpu.cycles();
+        } else {
+            EXPECT_EQ(cpu.instructionsRetired(), cachedInstret);
+            EXPECT_EQ(cpu.cycles(), cachedCycles);
+        }
+    }
 }
 
 TEST(Predecode, ConfigOffDisablesCache)
@@ -327,13 +431,16 @@ TEST(Predecode, ConfigOffDisablesCache)
 }
 
 // Traces must be identical too: the hook sees the same decoded
-// instruction, mask, cycle, and disassembly in both modes.
-TEST(Predecode, TraceStreamIdenticalInBothModes)
+// instruction, mask, cycle, and disassembly in every mode, including
+// the fused dispatcher (which must split each macro-op pair back into
+// two per-instruction hook calls).
+TEST(Predecode, TraceStreamIdenticalInAllModes)
 {
     const assembler::Program prog = assembleOrDie(kSwitchProgram);
-    const auto capture = [&](bool predecode) {
+    const auto capture = [&](bool predecode, DispatchMode dispatch) {
         CpuConfig config = baseConfig();
         config.predecode = predecode;
+        config.dispatch = dispatch;
         Cpu cpu(config);
         std::ostringstream out;
         cpu.setTraceHook([&out](const TraceEntry &entry) {
@@ -344,10 +451,14 @@ TEST(Predecode, TraceStreamIdenticalInBothModes)
         cpu.run(100'000);
         return out.str();
     };
-    const std::string off = capture(false);
-    const std::string on = capture(true);
+    const std::string off = capture(false, DispatchMode::Switch);
     EXPECT_FALSE(off.empty());
-    EXPECT_EQ(on, off);
+    for (const DispatchMode mode :
+         {DispatchMode::Switch, DispatchMode::Threaded,
+          DispatchMode::Fused}) {
+        SCOPED_TRACE(dispatchModeName(mode));
+        EXPECT_EQ(capture(true, mode), off);
+    }
 }
 
 } // namespace
