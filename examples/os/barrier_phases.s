@@ -1,0 +1,127 @@
+; Two threads running barrier-synchronized phases with skewed work —
+; a sense-reversing barrier built from plain loads and stores.
+;
+; Thread A does 3 work units per phase, thread B does 9: every phase
+; lasts as long as B, and A spends the difference spinning on the
+; barrier generation word (through yield, so B keeps the pipeline).
+; The arrive/update sequence in barrier_wait is atomic because the
+; processor switches threads only at LDRRM.
+;
+; Context-relative conventions (see docs/KERNEL.md):
+;   r0 = resume PC, r1 = PSW save, r2 = NextRRM, r3 = call linkage
+;   r4 = argument (&barrier), r5/r8 = scratch, r6 = 1, r7 = 0
+;   r9 = remaining phases, r10 = work units per phase
+;
+; Run with `rrsim examples/os/barrier_phases.s`; halts after PHASES
+; phases when the LIVE latch reaches zero.
+
+        .equ CTX_A, 0x20
+        .equ CTX_B, 0x30
+        .equ PHASES, 3
+        .equ UNITS_A, 3
+        .equ UNITS_B, 9
+        .equ BARRIER_A, 0x100   ; {count, generation, size}
+        .equ EXITLOCK, 0x103    ; protects the LIVE latch
+        .equ LIVE, 0x104        ; live-thread countdown
+
+        .thread thread_body
+        .lockdef mutex, lock_acquire, lock_release
+        .lockdef barrier, barrier_wait, barrier_wait
+
+entry:                          ; RRM = 0 (setup window)
+        li    r5, LIVE
+        li    r8, 2
+        st    r8, 0(r5)
+        li    r5, BARRIER_A
+        st    r8, 2(r5)         ; barrier size = 2
+        li    r10, CTX_A
+        ldrrm r10
+        nop                     ; LDRRM delay slot
+        ; --- window A: the fast thread ---
+        la    r0, thread_body
+        li    r2, CTX_B         ; NextRRM: yield to B
+        li    r6, 1
+        li    r7, 0
+        li    r9, PHASES
+        li    r10, UNITS_A
+        ldrrm r7                ; back to the setup window (RRM 0)
+        nop
+        li    r10, CTX_B
+        ldrrm r10
+        nop
+        ; --- window B: the slow thread ---
+        la    r0, thread_body
+        li    r2, CTX_A         ; NextRRM: yield to A
+        li    r6, 1
+        li    r7, 0
+        li    r9, PHASES
+        li    r10, UNITS_B
+        jmp   r0                ; enter thread B
+
+yield:
+        ldrrm r2                ; Figure 3: install the next mask
+        mov   r1, psw           ; delay slot: still the old context
+        mov   psw, r1           ; new context: restore PSW
+        jmp   r0                ; resume it
+
+thread_body:
+        add   r4, r10, r7       ; this phase's work budget
+work:
+        sub   r4, r4, r6
+        jal   r0, yield         ; interleave with the other thread
+        bne   r4, r7, work
+        li    r4, BARRIER_A
+        jal   r3, barrier_wait
+        sub   r9, r9, r6
+        bne   r9, r7, thread_body
+
+thread_exit:
+        li    r4, EXITLOCK
+        jal   r3, lock_acquire
+        li    r5, LIVE
+        ld    r8, 0(r5)
+        sub   r8, r8, r6
+        st    r8, 0(r5)
+        li    r4, EXITLOCK
+        jal   r3, lock_release
+        bne   r8, r7, parked
+        halt                    ; last thread out stops the machine
+parked:
+        jal   r0, yield
+        b     parked
+
+; Sense-reversing barrier (r4 = &{count, generation, size}, clobbers
+; r5 and r8, link r3). Arrivals increment count; the last arriver
+; resets it and bumps the generation, releasing the spinners.
+barrier_wait:
+        ld    r5, 0(r4)
+        add   r5, r5, r6
+        ld    r8, 2(r4)
+        beq   r5, r8, bw_last
+        st    r5, 0(r4)
+        ld    r8, 1(r4)
+bw_spin:
+        jal   r0, yield
+        ld    r5, 1(r4)
+        beq   r5, r8, bw_spin
+        jmp   r3
+bw_last:
+        st    r7, 0(r4)
+        ld    r8, 1(r4)
+        add   r8, r8, r6
+        st    r8, 1(r4)
+        jmp   r3
+
+; Exit-latch spinlock (r4 = &lock, clobbers r5, link r3).
+lock_acquire:
+        ld    r5, 0(r4)
+        bne   r5, r7, la_spin
+        st    r6, 0(r4)
+        jmp   r3
+la_spin:
+        jal   r0, yield
+        b     lock_acquire
+
+lock_release:
+        st    r7, 0(r4)
+        jmp   r3

@@ -1,0 +1,167 @@
+; One producer, one consumer, and a two-slot ring buffer guarded by
+; counting semaphores — the textbook bounded-buffer protocol written
+; for RRISC's cooperative multithreading.
+;
+; sem_p blocks by yielding (the only way to wait on this machine) and
+; its load/decrement/store is atomic because preemption happens only
+; at LDRRM. The producer P's SPACES before taking the mutex and never
+; blocks while holding it, so the pipeline cannot deadlock; the
+; unbalanced loop bodies make the consumer wait on ITEMS — an
+; endogenous wait, caused by the producer's code, not a drawn number.
+;
+; Context-relative conventions (see docs/KERNEL.md):
+;   r0 = resume PC, r1 = PSW save, r2 = NextRRM, r3 = call linkage
+;   r4 = argument (&sem / &lock), r5/r8 = scratch, r6 = 1, r7 = 0
+;   r9 = items remaining, r10 = ring index scratch
+;
+; Run with `rrsim examples/os/producer_consumer.s`; halts after all
+; ITEMS_N items pass through the ring.
+
+        .equ CTX_A, 0x20        ; producer context
+        .equ CTX_B, 0x30        ; consumer context
+        .equ ITEMS_N, 5
+        .equ MUTEX, 0x100       ; ring mutex state word
+        .equ SEM_ITEMS, 0x101    ; full slots (consumer P's this)
+        .equ SEM_SPACES, 0x102   ; free slots (producer P's this)
+        .equ HEAD_A, 0x103       ; consumer index
+        .equ TAIL_A, 0x104       ; producer index
+        .equ EXITLOCK, 0x105     ; protects the LIVE latch
+        .equ LIVE, 0x106         ; live-thread countdown
+        .equ RING_BASE, 0x110
+        .equ RING_SIZE, 2
+
+        .thread producer
+        .thread consumer
+        .lockdef mutex, lock_acquire, lock_release
+        .lockdef sem, sem_p, sem_v
+
+entry:                          ; RRM = 0 (setup window)
+        li    r5, LIVE
+        li    r8, 2
+        st    r8, 0(r5)
+        li    r5, SEM_SPACES
+        li    r8, RING_SIZE
+        st    r8, 0(r5)         ; the ring starts empty
+        li    r10, CTX_A
+        ldrrm r10
+        nop                     ; LDRRM delay slot
+        ; --- window A: the producer ---
+        la    r0, producer
+        li    r2, CTX_B
+        li    r6, 1
+        li    r7, 0
+        li    r9, ITEMS_N
+        ldrrm r7                ; back to the setup window (RRM 0)
+        nop
+        li    r10, CTX_B
+        ldrrm r10
+        nop
+        ; --- window B: the consumer ---
+        la    r0, consumer
+        li    r2, CTX_A
+        li    r6, 1
+        li    r7, 0
+        li    r9, ITEMS_N
+        jmp   r0                ; enter the consumer
+
+yield:
+        ldrrm r2                ; Figure 3: install the next mask
+        mov   r1, psw           ; delay slot: still the old context
+        mov   psw, r1           ; new context: restore PSW
+        jmp   r0                ; resume it
+
+producer:
+        li    r4, SEM_SPACES
+        jal   r3, sem_p         ; wait for a free slot
+        li    r4, MUTEX
+        jal   r3, lock_acquire
+        li    r4, TAIL_A
+        ld    r5, 0(r4)
+        li    r8, RING_BASE
+        add   r8, r8, r5
+        st    r9, 0(r8)         ; item payload: countdown value
+        add   r5, r5, r6
+        li    r8, RING_SIZE
+        bne   r5, r8, p_nowrap
+        add   r5, r7, r7        ; wrap the index to zero
+p_nowrap:
+        st    r5, 0(r4)
+        li    r4, MUTEX
+        jal   r3, lock_release
+        li    r4, SEM_ITEMS
+        jal   r3, sem_v         ; publish the item
+        jal   r0, yield
+        sub   r9, r9, r6
+        bne   r9, r7, producer
+        b     thread_exit
+
+consumer:
+        li    r4, SEM_ITEMS
+        jal   r3, sem_p         ; wait for an item
+        li    r4, MUTEX
+        jal   r3, lock_acquire
+        li    r4, HEAD_A
+        ld    r5, 0(r4)
+        li    r8, RING_BASE
+        add   r8, r8, r5
+        ld    r10, 0(r8)        ; take the item
+        add   r5, r5, r6
+        li    r8, RING_SIZE
+        bne   r5, r8, c_nowrap
+        add   r5, r7, r7
+c_nowrap:
+        st    r5, 0(r4)
+        li    r4, MUTEX
+        jal   r3, lock_release
+        li    r4, SEM_SPACES
+        jal   r3, sem_v         ; return the slot
+        jal   r0, yield
+        sub   r9, r9, r6
+        bne   r9, r7, consumer
+
+thread_exit:
+        li    r4, EXITLOCK
+        jal   r3, lock_acquire
+        li    r5, LIVE
+        ld    r8, 0(r5)
+        sub   r8, r8, r6
+        st    r8, 0(r5)
+        li    r4, EXITLOCK
+        jal   r3, lock_release
+        bne   r8, r7, parked
+        halt                    ; last thread out stops the machine
+parked:
+        jal   r0, yield
+        b     parked
+
+; Synchronization runtime (r4 = argument address, clobbers r5,
+; link r3). The .lockdef trust contracts exempt these state-word
+; accesses from race reporting.
+lock_acquire:
+        ld    r5, 0(r4)
+        bne   r5, r7, la_spin
+        st    r6, 0(r4)
+        jmp   r3
+la_spin:
+        jal   r0, yield
+        b     lock_acquire
+
+lock_release:
+        st    r7, 0(r4)
+        jmp   r3
+
+sem_p:
+        ld    r5, 0(r4)
+        bne   r5, r7, sp_take
+        jal   r0, yield         ; zero: block until a V
+        b     sem_p
+sp_take:
+        sub   r5, r5, r6
+        st    r5, 0(r4)
+        jmp   r3
+
+sem_v:
+        ld    r5, 0(r4)
+        add   r5, r5, r6
+        st    r5, 0(r4)
+        jmp   r3

@@ -1,0 +1,106 @@
+; Two threads forming a lock convoy on a real test-and-set spinlock.
+;
+; No atomic instructions exist on RRISC, and none are needed: the
+; processor switches threads only at the explicit LDRRM inside
+; `yield`, so lock_acquire's load/test/store sequence is atomic by
+; construction. Each thread yields *while holding the lock* — the
+; competitor then burns its turn spinning, which is exactly the
+; convoy the fig_contention bench measures at scale.
+;
+; Context-relative conventions (see docs/KERNEL.md):
+;   r0 = resume PC, r1 = PSW save, r2 = NextRRM, r3 = call linkage
+;   r4 = argument (&lock), r5/r8 = scratch, r6 = 1, r7 = 0
+;   r9 = remaining rounds
+;
+; Run with `rrsim examples/os/spinlock_convoy.s`; the machine halts
+; when the last thread decrements the LIVE latch to zero, with
+; COUNTER = 2 * ITERS.
+
+        .equ CTX_A, 0x20
+        .equ CTX_B, 0x30
+        .equ ITERS, 4
+        .equ COUNTER, 0x100      ; shared word both threads bump
+        .equ LOCKWORD, 0x101     ; the spinlock's state word
+        .equ EXITLOCK, 0x102     ; protects the LIVE latch
+        .equ LIVE, 0x103         ; live-thread countdown
+
+        .thread thread_body
+        .lockdef mutex, lock_acquire, lock_release
+
+entry:                          ; RRM = 0 (setup window)
+        li    r5, LIVE
+        li    r8, 2
+        st    r8, 0(r5)
+        li    r10, CTX_A
+        ldrrm r10
+        nop                     ; LDRRM delay slot
+        ; --- window A: initialize thread A's registers ---
+        la    r0, thread_body
+        li    r2, CTX_B         ; NextRRM: yield to B
+        li    r6, 1
+        li    r7, 0
+        li    r9, ITERS
+        ldrrm r7                ; back to the setup window (RRM 0)
+        nop
+        li    r10, CTX_B
+        ldrrm r10
+        nop
+        ; --- window B: initialize thread B's registers ---
+        la    r0, thread_body
+        li    r2, CTX_A         ; NextRRM: yield to A
+        li    r6, 1
+        li    r7, 0
+        li    r9, ITERS
+        jmp   r0                ; enter thread B
+
+yield:
+        ldrrm r2                ; Figure 3: install the next mask
+        mov   r1, psw           ; delay slot: still the old context
+        mov   psw, r1           ; new context: restore PSW
+        jmp   r0                ; resume it
+
+thread_body:
+        li    r4, LOCKWORD
+        jal   r3, lock_acquire
+        jal   r0, yield         ; hold the lock across a switch:
+                                ; the other thread spins (convoy)
+        li    r5, COUNTER
+        ld    r8, 0(r5)
+        add   r8, r8, r6
+        st    r8, 0(r5)
+        li    r4, LOCKWORD
+        jal   r3, lock_release
+        jal   r0, yield
+        sub   r9, r9, r6
+        bne   r9, r7, thread_body
+
+thread_exit:
+        li    r4, EXITLOCK
+        jal   r3, lock_acquire
+        li    r5, LIVE
+        ld    r8, 0(r5)
+        sub   r8, r8, r6
+        st    r8, 0(r5)
+        li    r4, EXITLOCK
+        jal   r3, lock_release
+        bne   r8, r7, parked
+        halt                    ; last thread out stops the machine
+parked:
+        jal   r0, yield
+        b     parked
+
+; Test-and-set spinlock (r4 = &lock, clobbers r5, link r3). The
+; .lockdef trust contract exempts these lock-word accesses from race
+; reporting; everything else must hold the lock.
+lock_acquire:
+        ld    r5, 0(r4)
+        bne   r5, r7, la_spin
+        st    r6, 0(r4)
+        jmp   r3
+la_spin:
+        jal   r0, yield
+        b     lock_acquire
+
+lock_release:
+        st    r7, 0(r4)
+        jmp   r3

@@ -446,6 +446,20 @@ Linter::locksetChecks(const Cfg &cfg, const CallGraph &cg,
 
         result_.races.push_back(std::move(report));
     }
+
+    // Every JALR that may reach a lock procedure: the .lockdef trust
+    // contract was applied through an indirection the analysis cannot
+    // resolve, so say so instead of silently approximating.
+    for (const IndirectLockSite &site : lockset.indirectLockSites()) {
+        std::ostringstream os;
+        os << "indirect call may reach a lock procedure (acquires "
+           << lock_text(site.acquires) << ", releases "
+           << lock_text(site.releases)
+           << "): the .lockdef contract is applied through the jalr "
+              "but the actual target is unverified";
+        add("lock-indirect-call", Severity::Warning, site.address,
+            os.str());
+    }
 }
 
 void

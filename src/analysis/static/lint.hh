@@ -41,6 +41,10 @@
  *                        call site provides
  *   race                 (lockset) two thread roots access a shared
  *                        word with no common lock held
+ *   lock-indirect-call   (lockset) a JALR may reach a lock
+ *                        procedure: the .lockdef contract is applied
+ *                        through the indirection, flagged because the
+ *                        actual target cannot be verified statically
  */
 
 #ifndef RR_LINT_LINT_HH

@@ -30,6 +30,8 @@ LocksetAnalysis::LocksetAnalysis(const Cfg &cfg,
             lockBody_[id] = true;
     }
 
+    computeIndirectEffects();
+
     const std::vector<Procedure> &procs = callgraph_.procedures();
     for (uint32_t pi = 0; pi < procs.size(); ++pi) {
         if (procs[pi].isEntry || procs[pi].isThread)
@@ -38,6 +40,73 @@ LocksetAnalysis::LocksetAnalysis(const Cfg &cfg,
     for (uint32_t ri = 0; ri < roots_.size(); ++ri)
         runRoot(ri);
     findRaces();
+}
+
+void
+LocksetAnalysis::computeIndirectEffects()
+{
+    // Transitive maybe-acquire/maybe-release masks per procedure: the
+    // locks a call into it may take or drop before it returns. The
+    // fixpoint runs over direct call edges, with every indirect site
+    // feeding from the address-taken returning set — which is exactly
+    // what the masks summarize, so the two converge together.
+    const std::vector<Procedure> &procs = callgraph_.procedures();
+    std::vector<uint32_t> may_acquire(procs.size(), 0);
+    std::vector<uint32_t> may_release(procs.size(), 0);
+    for (uint32_t pi = 0; pi < procs.size(); ++pi) {
+        if (procs[pi].lockAcquire >= 0)
+            may_acquire[pi] |= uint32_t{1} << procs[pi].lockAcquire;
+        if (procs[pi].lockRelease >= 0)
+            may_release[pi] |= uint32_t{1} << procs[pi].lockRelease;
+    }
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        indirectAcquire_ = 0;
+        indirectRelease_ = 0;
+        for (uint32_t pi = 0; pi < procs.size(); ++pi) {
+            if (procs[pi].addressTaken && procs[pi].returns) {
+                indirectAcquire_ |= may_acquire[pi];
+                indirectRelease_ |= may_release[pi];
+            }
+        }
+        for (const CallSite &site : callgraph_.callSites()) {
+            uint32_t acq, rel;
+            if (site.indirect) {
+                acq = indirectAcquire_;
+                rel = indirectRelease_;
+            } else if (site.callee != CallGraph::noProc) {
+                acq = may_acquire[site.callee];
+                rel = may_release[site.callee];
+            } else {
+                continue;
+            }
+            const uint32_t na = may_acquire[site.caller] | acq;
+            const uint32_t nr = may_release[site.caller] | rel;
+            if (na != may_acquire[site.caller] ||
+                nr != may_release[site.caller]) {
+                may_acquire[site.caller] = na;
+                may_release[site.caller] = nr;
+                changed = true;
+            }
+        }
+    }
+
+    if (indirectAcquire_ == 0 && indirectRelease_ == 0)
+        return;
+    for (const CallSite &site : callgraph_.callSites()) {
+        if (!site.indirect)
+            continue;
+        indirectSites_.push_back({site.address, site.line,
+                                  indirectAcquire_,
+                                  indirectRelease_});
+    }
+    std::sort(indirectSites_.begin(), indirectSites_.end(),
+              [](const IndirectLockSite &a,
+                 const IndirectLockSite &b) {
+                  return a.address < b.address;
+              });
 }
 
 void
@@ -111,11 +180,20 @@ LocksetAnalysis::runRoot(uint32_t rootIndex)
         // the whole block.
         const CfgInstruction &last = cfg_.at(block.end - 1);
         if (last.valid && last.inst.op == Opcode::JALR) {
-            // Indirect call: any address-taken procedure may run;
-            // conservatively assume every lock is dropped.
+            // Indirect call: any address-taken returning procedure
+            // may run. The .lockdef contract is trusted through the
+            // indirection — locks a possible callee may release
+            // leave the must-hold set, locks one may acquire enter
+            // it — and every site where this matters is reported as
+            // an explicit lock-indirect-call finding (the masks are
+            // a union over possible callees, so with several lock
+            // procedures address-taken the approximation coarsens;
+            // never silently, though).
             const uint32_t point = cfg_.blockAt(last.address + 1);
             if (point != Cfg::noBlock)
-                propagate(point, 0);
+                propagate(point,
+                          (in & ~indirectRelease_) |
+                              indirectAcquire_);
             continue;
         }
         for (const uint32_t succ : block.succs)

@@ -16,7 +16,11 @@
  *  - a forward must-hold dataflow runs per root over the call graph:
  *    the lockset is a bitmask, meet is intersection, a direct call's
  *    return edge applies the callee's acquire/release effect, and an
- *    indirect call (JALR) conservatively clears every lock;
+ *    indirect call (JALR) applies the transitive maybe-acquire /
+ *    maybe-release effect of every address-taken returning procedure
+ *    — the `.lockdef` trust contract holds through the indirection,
+ *    and each such site is surfaced as an IndirectLockSite so the
+ *    lint can report the approximation instead of staying silent;
  *  - memory accesses with a constant effective address (from the RRM
  *    analysis' constant propagation) are classified per root with
  *    the lockset held; accesses inside lock procedure bodies are
@@ -68,6 +72,21 @@ struct Race
     Access second;
 };
 
+/**
+ * One indirect call site the `.lockdef` trust contract was applied
+ * through: some address-taken procedure may acquire or release a
+ * lock, so the JALR's lockset effect is an approximation worth an
+ * explicit finding. Recorded only when a lock procedure is actually
+ * reachable indirectly — a plain helper called via JALR stays silent.
+ */
+struct IndirectLockSite
+{
+    uint32_t address = 0;  ///< word address of the JALR
+    int line = 0;          ///< 1-based source line (0 unknown)
+    uint32_t acquires = 0; ///< locks some possible callee may acquire
+    uint32_t releases = 0; ///< locks some possible callee may release
+};
+
 /** The per-root must-hold lockset dataflow and race detector. */
 class LocksetAnalysis
 {
@@ -83,6 +102,16 @@ class LocksetAnalysis
     /** One race per contended word, ascending by address. */
     const std::vector<Race> &races() const { return races_; }
 
+    /**
+     * JALR sites whose possible callees include a lock procedure,
+     * ascending by address; empty when no lock procedure is
+     * address-taken.
+     */
+    const std::vector<IndirectLockSite> &indirectLockSites() const
+    {
+        return indirectSites_;
+    }
+
     /** Lock names (bit i of a lockset = lockNames()[i]). */
     const std::vector<std::string> &lockNames() const
     {
@@ -90,6 +119,7 @@ class LocksetAnalysis
     }
 
   private:
+    void computeIndirectEffects();
     void runRoot(uint32_t rootIndex);
     void findRaces();
 
@@ -99,7 +129,10 @@ class LocksetAnalysis
     std::vector<ThreadRoot> roots_;
     std::vector<Access> accesses_;
     std::vector<Race> races_;
+    std::vector<IndirectLockSite> indirectSites_;
     std::vector<bool> lockBody_; ///< block id -> inside a lock proc
+    uint32_t indirectAcquire_ = 0; ///< maybe-acquired across a JALR
+    uint32_t indirectRelease_ = 0; ///< maybe-released across a JALR
 };
 
 } // namespace rr::lint

@@ -48,11 +48,44 @@ RrmAnalysis::RrmAnalysis(const Cfg &cfg, const RrmOptions &options,
     // to every direct call site's return point — pending LDRRM
     // included, since the hardware keeps ticking across the jump.
     // Those return points then need no conservative Top seed.
+    //
+    // Indirect call sites get a caller-side edge instead: a JALR may
+    // target any address-taken returning procedure, whose own entry
+    // state is unknown, so the callee's exit state is useless — but
+    // its *summary* is not. The caller's RRM survives the call when
+    // no possible callee subtree switches it; registers are assumed
+    // clobbered either way.
     std::vector<std::vector<uint32_t>> return_succs(num_blocks);
+    std::vector<std::vector<uint32_t>> indirect_return_succs(
+        num_blocks);
     std::vector<bool> return_point(num_blocks, false);
+    bool indirect_keeps_rrm = true;
     if (callgraph_ != nullptr) {
+        bool any_indirect_target = false;
+        for (const Procedure &p : callgraph_->procedures()) {
+            if (!p.addressTaken || !p.returns)
+                continue;
+            any_indirect_target = true;
+            if (p.switchesRrm)
+                indirect_keeps_rrm = false;
+        }
         for (const CallSite &site : callgraph_->callSites()) {
-            if (site.indirect || site.callee == CallGraph::noProc)
+            if (site.indirect) {
+                if (!any_indirect_target)
+                    continue; // no callee returns: point stays a root
+                const uint32_t point =
+                    cfg_.blockAt(site.returnAddress);
+                const uint32_t call_block =
+                    cfg_.blockAt(site.address);
+                if (point == Cfg::noBlock ||
+                    call_block == Cfg::noBlock) {
+                    continue;
+                }
+                return_point[point] = true;
+                indirect_return_succs[call_block].push_back(point);
+                continue;
+            }
+            if (site.callee == CallGraph::noProc)
                 continue;
             const uint32_t point = cfg_.blockAt(site.returnAddress);
             if (point == Cfg::noBlock)
@@ -64,6 +97,11 @@ RrmAnalysis::RrmAnalysis(const Cfg &cfg, const RrmOptions &options,
                 return_succs[from].push_back(point);
         }
         for (std::vector<uint32_t> &succs : return_succs) {
+            std::sort(succs.begin(), succs.end());
+            succs.erase(std::unique(succs.begin(), succs.end()),
+                        succs.end());
+        }
+        for (std::vector<uint32_t> &succs : indirect_return_succs) {
             std::sort(succs.begin(), succs.end());
             succs.erase(std::unique(succs.begin(), succs.end()),
                         succs.end());
@@ -137,6 +175,19 @@ RrmAnalysis::RrmAnalysis(const Cfg &cfg, const RrmOptions &options,
         // keeps ticking across a `jmp`.
         for (const uint32_t succ : return_succs[id])
             propagate(succ, out);
+        // Indirect return edges carry a summary approximation: any
+        // register may be clobbered, and the RRM survives only when
+        // no address-taken returning procedure switches it (a mask
+        // still pending at the JALR lands inside the callee, so it is
+        // unknown here too).
+        for (const uint32_t succ : indirect_return_succs[id]) {
+            State weak;
+            weak.reachable = true;
+            weak.rrm = indirect_keeps_rrm && !out.pending.active
+                           ? out.rrm
+                           : AbsVal::top();
+            propagate(succ, weak);
+        }
     }
 
     // Recording pass: per-instruction masks and hazards, once.

@@ -31,6 +31,23 @@ kernelEvent(trace::EventKind kind, uint64_t cycle, unsigned tid,
     return event;
 }
 
+unsigned
+segmentCount(const KernelConfig &config, unsigned tid)
+{
+    return config.segmentsByThread.empty()
+               ? config.segmentsPerThread
+               : config.segmentsByThread[tid];
+}
+
+unsigned
+maxSegmentCount(const KernelConfig &config)
+{
+    if (config.segmentsByThread.empty())
+        return config.segmentsPerThread;
+    return *std::max_element(config.segmentsByThread.begin(),
+                             config.segmentsByThread.end());
+}
+
 } // namespace
 
 MachineMtKernel::MachineMtKernel(KernelConfig config)
@@ -44,6 +61,9 @@ MachineMtKernel::MachineMtKernel(KernelConfig config)
     rr_assert(config_.numThreads >= 1, "no threads");
     rr_assert(config_.regsUsed >= 12,
               "the kernel body uses context-relative r0..r11");
+    rr_assert(config_.segmentsByThread.empty() ||
+                  config_.segmentsByThread.size() == config_.numThreads,
+              "segmentsByThread must name every thread");
     tracer_.attach(config_.traceSink);
 
     machine::CpuConfig cpu_config;
@@ -52,7 +72,7 @@ MachineMtKernel::MachineMtKernel(KernelConfig config)
     cpu_config.ldrrmDelaySlots = 1;
     const uint64_t table_words =
         static_cast<uint64_t>(config_.numThreads) *
-        (config_.segmentsPerThread + 1);
+        (maxSegmentCount(config_) + 1);
     cpu_config.memWords = std::max<size_t>(
         1u << 16, static_cast<size_t>(tableBase + table_words + 64));
     cpu_ = std::make_unique<machine::Cpu>(cpu_config);
@@ -119,6 +139,7 @@ MachineMtKernel::createThreads()
     const unsigned context_regs =
         config_.forcedContextSize != 0 ? config_.forcedContextSize
                                        : config_.regsUsed;
+    const uint64_t table_stride = maxSegmentCount(config_) + 1;
 
     for (unsigned tid = 0; tid < config_.numThreads; ++tid) {
         const auto context = allocator_->allocate(context_regs);
@@ -129,20 +150,18 @@ MachineMtKernel::createThreads()
         ThreadInfo info;
         info.rrm = context->rrm;
         info.flagAddr = flagBase + tid;
-        info.tableAddr =
-            tableBase + static_cast<uint64_t>(tid) *
-                            (config_.segmentsPerThread + 1);
+        info.tableAddr = tableBase + tid * table_stride;
 
         // Fill the segment table (terminated by a 0 sentinel).
-        for (unsigned s = 0; s < config_.segmentsPerThread; ++s) {
+        const unsigned segments = segmentCount(config_, tid);
+        for (unsigned s = 0; s < segments; ++s) {
             const uint64_t units =
                 std::max<uint64_t>(1, config_.segmentUnits->sample(rng_));
             cpu_->mem().write(info.tableAddr + s,
                               static_cast<uint32_t>(units));
             info.totalUnits += units;
         }
-        cpu_->mem().write(info.tableAddr + config_.segmentsPerThread,
-                          0);
+        cpu_->mem().write(info.tableAddr + segments, 0);
 
         // Architectural register images.
         runtime::pokeContextReg(*cpu_, info.rrm, 0, entryAddr_);

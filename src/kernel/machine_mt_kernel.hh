@@ -88,6 +88,15 @@ struct KernelConfig
     /** Run segments each thread executes before finishing. */
     unsigned segmentsPerThread = 32;
 
+    /**
+     * Per-thread segment-count override (empty = segmentsPerThread
+     * for everyone; otherwise size must equal numThreads). Threads
+     * with fewer segments finish early, so in Barrier mode the gang
+     * shrinks mid-run — a finishing thread must not strand the
+     * threads still blocked at the barrier.
+     */
+    std::vector<unsigned> segmentsByThread;
+
     uint64_t seed = 1;
 
     /** Step cap (safety against runaway programs). */

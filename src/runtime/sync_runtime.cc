@@ -1,0 +1,319 @@
+#include "runtime/sync_runtime.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+#include "runtime/asm_routines.hh"
+
+namespace rr::runtime {
+
+const char *
+syncScenarioName(SyncScenario scenario)
+{
+    switch (scenario) {
+      case SyncScenario::UncontendedLock:
+        return "uncontended_lock";
+      case SyncScenario::LockConvoy:
+        return "lock_convoy";
+      case SyncScenario::ProducerConsumer:
+        return "producer_consumer";
+      case SyncScenario::BarrierSkew:
+        return "barrier_skew";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/**
+ * The synchronization runtime itself. Atomicity argument: the CPU
+ * switches threads only at the explicit LDRRM inside `yield`, so any
+ * straight-line load/test/store sequence — the whole body of
+ * lock_acquire's fast path, of sem_p, of barrier_wait's update — is
+ * uninterruptible by construction. The spin paths yield between
+ * retries so a waiter never wedges the processor.
+ *
+ * Extra labels (la_take, sem_wait, bw_spin, bw_release) exist so the
+ * harness can count acquisitions, blocked waits, and barrier
+ * releases by program counter without disturbing the code.
+ */
+void
+emitRuntime(std::ostringstream &os)
+{
+    os << figure3YieldSource();
+    os << R"(
+; --- test-and-set spinlock (r4 = &lock, clobbers r5, link r3) ---
+lock_acquire:
+    ld    r5, 0(r4)
+    bne   r5, r7, la_spin
+la_take:
+    st    r6, 0(r4)
+    jmp   r3
+la_spin:
+    jal   r0, yield
+    b     lock_acquire
+
+lock_release:
+    st    r7, 0(r4)
+    jmp   r3
+
+; --- counting semaphore (r4 = &sem, clobbers r5, link r3) ---
+sem_p:
+    ld    r5, 0(r4)
+    bne   r5, r7, sp_take
+sem_wait:
+    jal   r0, yield
+    b     sem_p
+sp_take:
+    sub   r5, r5, r6
+    st    r5, 0(r4)
+    jmp   r3
+
+sem_v:
+    ld    r5, 0(r4)
+    add   r5, r5, r6
+    st    r5, 0(r4)
+    jmp   r3
+
+; --- sense-reversing barrier (r4 = &{count, generation, size},
+;     clobbers r5 and r8, link r3) ---
+barrier_wait:
+    ld    r5, 0(r4)
+    add   r5, r5, r6
+    ld    r8, 2(r4)
+    beq   r5, r8, bw_last
+    st    r5, 0(r4)
+    ld    r8, 1(r4)
+bw_spin:
+    jal   r0, yield
+    ld    r5, 1(r4)
+    beq   r5, r8, bw_spin
+    jmp   r3
+bw_last:
+    st    r7, 0(r4)
+    ld    r8, 1(r4)
+    add   r8, r8, r6
+    st    r8, 1(r4)
+bw_release:
+    jmp   r3
+
+; --- countdown exit latch: last thread out stops the machine ---
+thread_exit:
+    li    r4, EXIT_LOCK
+    jal   r3, lock_acquire
+    li    r5, LIVE
+    ld    r8, 0(r5)
+    sub   r8, r8, r6
+    st    r8, 0(r5)
+    li    r4, EXIT_LOCK
+    jal   r3, lock_release
+    bne   r8, r7, parked
+    halt
+parked:
+    jal   r0, yield
+    b     parked
+)";
+}
+
+/**
+ * One round: acquire (r10 = &lock, private or shared), critical
+ * work, FAULT (the long-latency operation that makes holding this
+ * lock expensive), release, non-critical work.
+ */
+void
+emitLockedWorkBody(std::ostringstream &os)
+{
+    os << R"(
+; r9 = rounds, r10 = &lock, r11 = &completion flag
+thread_start:
+    add   r4, r10, r7
+    jal   r3, lock_acquire
+    li    r4, CS_UNITS
+cs_work:
+    sub   r4, r4, r6
+    bne   r4, r7, cs_work
+    fault 0
+    jal   r0, yield
+cs_poll:
+    ld    r5, 0(r11)
+    bne   r5, r7, cs_done
+poll_fail:
+    jal   r0, yield
+    b     cs_poll
+cs_done:
+    add   r4, r10, r7
+    jal   r3, lock_release
+    li    r4, NC_UNITS
+nc_work:
+    sub   r4, r4, r6
+    bne   r4, r7, nc_work
+    sub   r9, r9, r6
+    bne   r9, r7, thread_start
+    b     thread_exit
+)";
+}
+
+void
+emitProducerConsumerBodies(std::ostringstream &os)
+{
+    os << R"(
+; producer: r9 = items to produce, r11 = &completion flag
+producer_start:
+    li    r4, PRODUCE_UNITS
+p_work:
+    sub   r4, r4, r6
+    bne   r4, r7, p_work
+    fault 0
+    jal   r0, yield
+p_poll:
+    ld    r5, 0(r11)
+    bne   r5, r7, p_ready
+pp_fail:
+    jal   r0, yield
+    b     p_poll
+p_ready:
+    li    r4, SEM_SPACES
+    jal   r3, sem_p
+    li    r4, MUTEX
+    jal   r3, lock_acquire
+    li    r4, TAIL_A
+    ld    r5, 0(r4)
+    li    r8, RING_BASE
+    add   r8, r8, r5
+p_item:
+    st    r9, 0(r8)
+    add   r5, r5, r6
+    li    r8, RING_SIZE
+    bne   r5, r8, p_nowrap
+    add   r5, r7, r7
+p_nowrap:
+    st    r5, 0(r4)
+    li    r4, MUTEX
+    jal   r3, lock_release
+    li    r4, SEM_ITEMS
+    jal   r3, sem_v
+    sub   r9, r9, r6
+    bne   r9, r7, producer_start
+    b     thread_exit
+
+; consumer: r9 = items to consume
+consumer_start:
+    li    r4, SEM_ITEMS
+    jal   r3, sem_p
+    li    r4, MUTEX
+    jal   r3, lock_acquire
+    li    r4, HEAD_A
+    ld    r5, 0(r4)
+    li    r8, RING_BASE
+    add   r8, r8, r5
+c_item:
+    ld    r8, 0(r8)
+    add   r5, r5, r6
+    li    r8, RING_SIZE
+    bne   r5, r8, c_nowrap
+    add   r5, r7, r7
+c_nowrap:
+    st    r5, 0(r4)
+    li    r4, MUTEX
+    jal   r3, lock_release
+    li    r4, SEM_SPACES
+    jal   r3, sem_v
+    li    r4, CONSUME_UNITS
+c_work:
+    sub   r4, r4, r6
+    bne   r4, r7, c_work
+    sub   r9, r9, r6
+    bne   r9, r7, consumer_start
+    b     thread_exit
+)";
+}
+
+void
+emitBarrierBody(std::ostringstream &os)
+{
+    os << R"(
+; r9 = phases, r10 = this thread's work units per phase
+barrier_start:
+    add   r4, r10, r7
+b_work:
+    sub   r4, r4, r6
+    bne   r4, r7, b_work
+    li    r4, BARRIER_A
+    jal   r3, barrier_wait
+    sub   r9, r9, r6
+    bne   r9, r7, barrier_start
+    b     thread_exit
+)";
+}
+
+} // namespace
+
+std::string
+syncScenarioSource(const SyncProgramParams &params)
+{
+    rr_assert(params.csUnits >= 1 && params.ncUnits >= 1 &&
+                  params.produceUnits >= 1 && params.consumeUnits >= 1,
+              "work loops need at least one unit");
+    rr_assert(params.ringSize >= 1, "ring needs at least one slot");
+
+    const SyncLayout &mem = params.layout;
+    std::ostringstream os;
+    os << "; generated scenario: " << syncScenarioName(params.scenario)
+       << " (src/runtime/sync_runtime.cc)\n";
+    os << "        .equ LIVE, 0x" << std::hex << mem.live << "\n"
+       << "        .equ EXIT_LOCK, 0x" << mem.exitLock << "\n"
+       << std::dec;
+
+    switch (params.scenario) {
+      case SyncScenario::UncontendedLock:
+      case SyncScenario::LockConvoy:
+        os << "        .equ CS_UNITS, " << params.csUnits << "\n"
+           << "        .equ NC_UNITS, " << params.ncUnits << "\n"
+           << "        .thread thread_start\n";
+        break;
+      case SyncScenario::ProducerConsumer:
+        os << std::hex
+           << "        .equ MUTEX, 0x" << mem.mutex << "\n"
+           << "        .equ SEM_ITEMS, 0x" << mem.semItems << "\n"
+           << "        .equ SEM_SPACES, 0x" << mem.semSpaces << "\n"
+           << "        .equ HEAD_A, 0x" << mem.head << "\n"
+           << "        .equ TAIL_A, 0x" << mem.tail << "\n"
+           << "        .equ RING_BASE, 0x" << mem.ringBase << "\n"
+           << std::dec
+           << "        .equ RING_SIZE, " << params.ringSize << "\n"
+           << "        .equ PRODUCE_UNITS, " << params.produceUnits
+           << "\n"
+           << "        .equ CONSUME_UNITS, " << params.consumeUnits
+           << "\n"
+           << "        .thread producer_start\n"
+           << "        .thread consumer_start\n";
+        break;
+      case SyncScenario::BarrierSkew:
+        os << std::hex << "        .equ BARRIER_A, 0x" << mem.barrier
+           << "\n"
+           << std::dec << "        .thread barrier_start\n";
+        break;
+    }
+    os << "        .lockdef mutex, lock_acquire, lock_release\n"
+       << "        .lockdef sem, sem_p, sem_v\n"
+       << "        .lockdef barrier, barrier_wait, barrier_wait\n"
+       << "\nentry:\n    jmp r0\n";
+
+    switch (params.scenario) {
+      case SyncScenario::UncontendedLock:
+      case SyncScenario::LockConvoy:
+        emitLockedWorkBody(os);
+        break;
+      case SyncScenario::ProducerConsumer:
+        emitProducerConsumerBodies(os);
+        break;
+      case SyncScenario::BarrierSkew:
+        emitBarrierBody(os);
+        break;
+    }
+
+    emitRuntime(os);
+    return os.str();
+}
+
+} // namespace rr::runtime

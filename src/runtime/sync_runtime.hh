@@ -1,0 +1,137 @@
+/**
+ * @file
+ * RRISC synchronization runtime: the assembly sources for real
+ * concurrent workloads on the machine-MT kernel (rr::runtime).
+ *
+ * The paper's machine multiplexes one pipeline over resident
+ * contexts, and control transfers between threads *only* at an
+ * explicit LDRRM (the Figure 3 yield). That makes every
+ * load/test/store sequence atomic by construction — no atomic
+ * instructions exist or are needed — so a test-and-set spinlock is
+ * three plain instructions, and a counting semaphore or a
+ * sense-reversing barrier is a handful more. Contention is still
+ * real: a lock holder that FAULTs (a long-latency memory operation)
+ * or yields inside its critical section forces every competitor into
+ * spin-yield loops, and all wait times are endogenous — caused by
+ * the other threads' code, not drawn from a distribution.
+ *
+ * This header generates the runtime and the scenario programs as
+ * assembly text so that the kernel harness (kernel/sync_workload.hh),
+ * the unit tests, and rrlint all see the same program. Every
+ * generated program carries `.thread` and `.lockdef` annotations and
+ * lints clean under `rrlint --all --strict`.
+ *
+ * Register conventions (context-relative, 12-register bodies):
+ *   r0  saved PC (Figure 3)      r6  constant 1
+ *   r1  saved PSW                r7  constant 0
+ *   r2  NextRRM                  r8  runtime scratch
+ *   r3  call linkage             r9  per-thread loop counter
+ *   r4  argument 0 / work ctr    r10 per-thread parameter
+ *   r5  runtime scratch          r11 &completion flag
+ *
+ * Runtime procedures (callable with `jal r3, NAME`):
+ *   lock_acquire   r4 = &lock word; spins through yield when taken
+ *   lock_release   r4 = &lock word
+ *   sem_p          r4 = &semaphore; blocks through yield at zero
+ *   sem_v          r4 = &semaphore
+ *   barrier_wait   r4 = &barrier {count, generation, size}
+ *   thread_exit    decrements the live counter under the exit lock,
+ *                  halts when it was the last thread, parks otherwise
+ */
+
+#ifndef RR_RUNTIME_SYNC_RUNTIME_HH
+#define RR_RUNTIME_SYNC_RUNTIME_HH
+
+#include <cstdint>
+#include <string>
+
+namespace rr::runtime {
+
+/** The four contention regimes of the fig_contention scenario family. */
+enum class SyncScenario : uint8_t
+{
+    /**
+     * Every thread bounces a *private* lock: full critical-section
+     * machinery, zero contention. The control arm of the family.
+     */
+    UncontendedLock,
+
+    /**
+     * Every thread hammers one *shared* lock and FAULTs inside the
+     * critical section: the classic lock convoy. Same instruction
+     * stream as UncontendedLock — only the lock address differs.
+     */
+    LockConvoy,
+
+    /**
+     * Producers push through a semaphore-guarded ring buffer to
+     * consumers; unbalanced work per side starves one end.
+     */
+    ProducerConsumer,
+
+    /**
+     * Barrier-synchronized phases with per-thread work skew: every
+     * phase lasts as long as its slowest thread.
+     */
+    BarrierSkew,
+};
+
+/** @return stable printable name of @p scenario. */
+const char *syncScenarioName(SyncScenario scenario);
+
+/**
+ * Word addresses of the shared synchronization state. Everything the
+ * scenarios touch lives above the code image and below the stacks of
+ * nothing (RRISC has no stacks); the defaults leave the machine
+ * kernel's layout conventions intact.
+ */
+struct SyncLayout
+{
+    uint32_t live = 0x4000;        ///< live-thread countdown latch
+    uint32_t exitLock = 0x4001;    ///< protects the live counter
+    uint32_t sharedLock = 0x4002;  ///< the convoy's single lock word
+    uint32_t mutex = 0x4003;       ///< ring-buffer mutex
+    uint32_t semItems = 0x4004;    ///< counting semaphore: full slots
+    uint32_t semSpaces = 0x4005;   ///< counting semaphore: free slots
+    uint32_t head = 0x4006;        ///< ring consumer index
+    uint32_t tail = 0x4007;        ///< ring producer index
+    uint32_t barrier = 0x4008;     ///< {count, generation, size}
+    uint32_t flagBase = 0x4010;    ///< per-thread completion flags
+    uint32_t privateLockBase = 0x4040; ///< per-thread lock words
+    uint32_t ringBase = 0x4080;    ///< ring buffer slots
+};
+
+/** Tunables of one generated scenario program. */
+struct SyncProgramParams
+{
+    SyncScenario scenario = SyncScenario::LockConvoy;
+    SyncLayout layout;
+
+    /** Critical-section work units per round (locked-work bodies). */
+    unsigned csUnits = 20;
+
+    /** Non-critical work units per round (locked-work bodies). */
+    unsigned ncUnits = 20;
+
+    /** Producer-side work units per item. */
+    unsigned produceUnits = 30;
+
+    /** Consumer-side work units per item. */
+    unsigned consumeUnits = 10;
+
+    /** Ring buffer capacity in slots. */
+    unsigned ringSize = 4;
+};
+
+/**
+ * The complete, annotated assembly program for @p params — thread
+ * bodies plus the synchronization runtime. Per-thread values (entry
+ * PC, round count, lock address or work skew, completion-flag
+ * address) are poked into context registers by the harness; shared
+ * addresses are baked in as `.equ` constants.
+ */
+std::string syncScenarioSource(const SyncProgramParams &params);
+
+} // namespace rr::runtime
+
+#endif // RR_RUNTIME_SYNC_RUNTIME_HH

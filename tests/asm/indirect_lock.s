@@ -1,0 +1,53 @@
+; Lock acquisition through an indirect call (docs/LINT.md).
+;
+; Thread t0 takes the declared mutex through `la` + `jalr` — a
+; function-pointer call the static analysis cannot resolve — while t1
+; calls the same procedures directly. The .lockdef trust contract
+; must survive the indirection: both COUNTER accesses are classified
+; as lock-protected (no race finding), and the approximation is
+; surfaced as an explicit `lock-indirect-call` warning at the jalr,
+; never silently.
+
+        .equ COUNTER, 0x80
+        .equ LOCKWORD, 0x81
+
+        .thread t0
+        .thread t1
+        .lockdef m, lock_acquire, lock_release
+
+entry:
+        halt
+
+t0:                             ; takes the lock via function pointer
+        la    r9, lock_acquire
+        jalr  r8, r9
+        li    r4, COUNTER
+        ld    r1, 0(r4)
+        addi  r1, r1, 1
+        st    r1, 0(r4)
+        jal   r8, lock_release
+        halt
+
+t1:                             ; takes the same lock directly
+        jal   r8, lock_acquire
+        li    r4, COUNTER
+        ld    r1, 0(r4)
+        addi  r1, r1, 1
+        st    r1, 0(r4)
+        jal   r8, lock_release
+        halt
+
+lock_acquire:
+        li    r5, LOCKWORD
+        li    r6, 1
+spin:
+        ld    r7, 0(r5)
+        beq   r7, r6, spin
+        st    r6, 0(r5)
+        jmp   r8
+
+lock_release:
+        li    r5, LOCKWORD
+        li    r6, 0
+        st    r6, 0(r5)
+        jmp   r8

@@ -16,7 +16,15 @@
  *  - a store into a chained hot loop (self-modifying code) exits the
  *    block engine and rebuilds, never running stale code;
  *  - the superblock cache is derived state: a checkpoint restore
- *    drops it and the restored CPU rebuilds and finishes identically.
+ *    drops it and the restored CPU rebuilds and finishes identically;
+ *  - the 64-entry write journal's boundary is exact: the 64th host
+ *    write is still scanned precisely, the 65th degrades to all-dirty
+ *    (reverify everything), and neither path ever runs stale code;
+ *  - a trap raised from either half of a fused macro-op pair retires
+ *    exactly the switch-mode instruction prefix, and FAULT inside a
+ *    fused hot loop flushes the pending retirement counters before
+ *    the hook observes the CPU — trace bytes and in-hook checkpoints
+ *    are identical across all three dispatch modes.
  */
 
 #include <sstream>
@@ -335,6 +343,459 @@ TEST(Dispatch, CheckpointRestoreRebuildsDerivedBlocks)
     plain.restoreState(ckpt::Reader(doc));
     plain.run(100'000);
     EXPECT_EQ(observe(plain), want);
+}
+
+// ---- write-journal overflow boundary --------------------------------
+//
+// Memory journals host-visible writes in a 64-entry log; on overflow
+// it degrades to an all-dirty flag. The boundary must be exact: 64
+// writes still scan precisely (blocks stay verified when none is
+// covered), the 65th demotes everything to unverified (reverify), and
+// a code patch is caught whether it lands in the journal (covered
+// scan -> flush) or is dropped by the overflow (all-dirty -> flush).
+
+/** One halt -> host-write -> resume sequence, counters around it. */
+struct JournalRun
+{
+    Observation obs;          ///< state after the resumed run
+    uint64_t built = 0;       ///< superblocks built by the resume
+    uint64_t flushes = 0;     ///< cache flushes during the resume
+    uint64_t reverified = 0;  ///< blocks re-proved during the resume
+    size_t journalDepth = 0;  ///< journal entries before the resume
+    bool overflowed = false;  ///< overflow flag before the resume
+};
+
+JournalRun
+runJournalScenario(DispatchMode mode, size_t data_writes,
+                   bool patch_code)
+{
+    const assembler::Program prog = assembleOrDie(kFusionLoop);
+    Cpu cpu(configWith(mode));
+    loadAndStart(cpu, prog);
+    cpu.run(100'000);
+    EXPECT_TRUE(cpu.halted()) << dispatchModeName(mode);
+    EXPECT_EQ(cpu.regs().read(2), 75u) << dispatchModeName(mode);
+
+    // The block engine consumes the journal at block boundaries; a
+    // halted CPU must not sit on stale entries. Switch dispatch has
+    // no consumer, so start its count from a clean journal instead.
+    if (mode == DispatchMode::Switch) {
+        cpu.mem().clearWriteLog();
+    } else {
+        EXPECT_TRUE(cpu.mem().writeLog().empty())
+            << dispatchModeName(mode);
+        EXPECT_FALSE(cpu.mem().writeLogOverflowed())
+            << dispatchModeName(mode);
+    }
+
+    // Host writes into data words no superblock covers.
+    constexpr uint32_t kDataBase = 0x800;
+    for (size_t i = 0; i < data_writes; ++i)
+        cpu.mem().write(kDataBase + static_cast<uint32_t>(i),
+                        0xD000 + static_cast<uint32_t>(i));
+    if (patch_code) {
+        // "addi r2, r2, 5" replaces the "+3" at the loop head.
+        const assembler::Program patched = assembleOrDie(R"(
+entry:
+    addi  r2, r2, 5
+)");
+        const auto loop = prog.symbols.find("loop");
+        EXPECT_NE(loop, prog.symbols.end());
+        cpu.mem().write(loop->second, patched.words.at(0));
+    }
+
+    JournalRun out;
+    out.journalDepth = cpu.mem().writeLog().size();
+    out.overflowed = cpu.mem().writeLogOverflowed();
+
+    const uint64_t built = cpu.superblocksBuilt();
+    const uint64_t flushes = cpu.superblockFlushes();
+    const uint64_t reverified = cpu.superblocksReverified();
+
+    const auto entry = prog.symbols.find("entry");
+    EXPECT_NE(entry, prog.symbols.end());
+    cpu.setPc(entry->second);
+    cpu.resume();
+    cpu.run(100'000);
+    EXPECT_TRUE(cpu.halted()) << dispatchModeName(mode);
+
+    out.obs = observe(cpu);
+    out.built = cpu.superblocksBuilt() - built;
+    out.flushes = cpu.superblockFlushes() - flushes;
+    out.reverified = cpu.superblocksReverified() - reverified;
+    return out;
+}
+
+// 64 writes exactly fill the journal without overflowing: the covered
+// scan still runs precisely, sees only data words, and leaves every
+// block verified — no demotion, no reverify, no flush.
+TEST(Dispatch, JournalSixtyFourthWriteStillScansPrecisely)
+{
+    const JournalRun sw =
+        runJournalScenario(DispatchMode::Switch, 64, false);
+    for (const DispatchMode mode :
+         {DispatchMode::Threaded, DispatchMode::Fused}) {
+        const JournalRun got = runJournalScenario(mode, 64, false);
+        EXPECT_EQ(got.journalDepth, Memory::kWriteLogCap)
+            << dispatchModeName(mode);
+        EXPECT_FALSE(got.overflowed) << dispatchModeName(mode);
+        EXPECT_EQ(got.reverified, 0u) << dispatchModeName(mode);
+        EXPECT_EQ(got.flushes, 0u) << dispatchModeName(mode);
+        EXPECT_EQ(got.built, 0u) << dispatchModeName(mode);
+        EXPECT_EQ(got.obs, sw.obs) << dispatchModeName(mode);
+    }
+}
+
+// The 65th write degrades the journal to all-dirty: every block is
+// demoted and must re-prove itself against memory. The code did not
+// change, so each re-proof succeeds — reverified grows, nothing
+// flushes or rebuilds.
+TEST(Dispatch, JournalSixtyFifthWriteDegradesToAllDirty)
+{
+    const JournalRun sw =
+        runJournalScenario(DispatchMode::Switch, 65, false);
+    for (const DispatchMode mode :
+         {DispatchMode::Threaded, DispatchMode::Fused}) {
+        const JournalRun got = runJournalScenario(mode, 65, false);
+        EXPECT_TRUE(got.overflowed) << dispatchModeName(mode);
+        EXPECT_GT(got.reverified, 0u) << dispatchModeName(mode);
+        EXPECT_EQ(got.flushes, 0u) << dispatchModeName(mode);
+        EXPECT_EQ(got.built, 0u) << dispatchModeName(mode);
+        EXPECT_EQ(got.obs, sw.obs) << dispatchModeName(mode);
+    }
+}
+
+// A code patch recorded as the journal's 64th (last) entry: full but
+// not overflowed, the precise scan must still see the covered word,
+// fail re-verification, and flush + rebuild with the patched code.
+TEST(Dispatch, JournalFullButNotOverflowedCatchesCodePatch)
+{
+    const JournalRun sw =
+        runJournalScenario(DispatchMode::Switch, 63, true);
+    for (const DispatchMode mode :
+         {DispatchMode::Threaded, DispatchMode::Fused}) {
+        const JournalRun got = runJournalScenario(mode, 63, true);
+        EXPECT_EQ(got.journalDepth, Memory::kWriteLogCap)
+            << dispatchModeName(mode);
+        EXPECT_FALSE(got.overflowed) << dispatchModeName(mode);
+        EXPECT_GT(got.flushes, 0u) << dispatchModeName(mode);
+        EXPECT_GT(got.built, 0u) << dispatchModeName(mode);
+        EXPECT_EQ(got.obs.regs[2], 75u + 25 * 5)
+            << dispatchModeName(mode);
+        EXPECT_EQ(got.obs, sw.obs) << dispatchModeName(mode);
+    }
+}
+
+// A code patch as the 65th write: the journal dropped its address,
+// but the overflow flag demotes everything, the patched block fails
+// its re-proof, and the new code runs — stale code is impossible on
+// either side of the boundary.
+TEST(Dispatch, JournalOverflowNeverRunsStaleCode)
+{
+    const JournalRun sw =
+        runJournalScenario(DispatchMode::Switch, 64, true);
+    for (const DispatchMode mode :
+         {DispatchMode::Threaded, DispatchMode::Fused}) {
+        const JournalRun got = runJournalScenario(mode, 64, true);
+        EXPECT_TRUE(got.overflowed) << dispatchModeName(mode);
+        EXPECT_GT(got.flushes, 0u) << dispatchModeName(mode);
+        EXPECT_EQ(got.obs.regs[2], 75u + 25 * 5)
+            << dispatchModeName(mode);
+        EXPECT_EQ(got.obs, sw.obs) << dispatchModeName(mode);
+    }
+}
+
+// ---- traps and faults inside fused macro-op pairs -------------------
+
+// li expands to a fused LUI+ORI pair; the ld fuses with the addi that
+// consumes its result (FUSED_LD_ADDI). The load address 5000 is past
+// memWords = 4096, so the *first* constituent traps MemOutOfRange.
+constexpr const char *kLdPairTrap = R"(
+entry:
+    li    r4, 5000
+    ld    r5, 0(r4)
+    addi  r5, r5, 1
+    halt
+)";
+
+TEST(Dispatch, TrapOnFirstHalfOfFusedPairMatchesSwitch)
+{
+    const assembler::Program prog = assembleOrDie(kLdPairTrap);
+
+    for (uint64_t budget = 1; budget <= 4; ++budget) {
+        Observation want;
+        bool first = true;
+        for (const DispatchMode mode :
+             {DispatchMode::Switch, DispatchMode::Threaded,
+              DispatchMode::Fused}) {
+            Cpu cpu(configWith(mode));
+            loadAndStart(cpu, prog);
+            cpu.run(budget);
+            const Observation got = observe(cpu);
+            if (first) {
+                want = got;
+                first = false;
+                continue;
+            }
+            EXPECT_EQ(got, want)
+                << "budget " << budget << ", mode "
+                << dispatchModeName(mode);
+        }
+    }
+
+    // Absolute semantics under fused dispatch: the li pair retires,
+    // the ld traps before retiring, the pc names the ld itself.
+    Cpu cpu(configWith(DispatchMode::Fused));
+    loadAndStart(cpu, prog);
+    cpu.run(100);
+    EXPECT_EQ(cpu.trap(), TrapKind::MemOutOfRange);
+    EXPECT_EQ(cpu.instructionsRetired(), 2u);
+    EXPECT_EQ(cpu.pc(), 2u);
+}
+
+// The two ADDIs fuse (the next instruction is not a branch). r40 is
+// encodable (6-bit field) but past the configured operand width of
+// 5, so the *second* constituent traps OperandTooWide after the first
+// already executed: exactly the first half must retire.
+constexpr const char *kMidPairTrap = R"(
+entry:
+    addi  r2, r2, 3
+    addi  r3, r40, 1
+    halt
+)";
+
+TEST(Dispatch, TrapOnSecondHalfRetiresExactlyTheFirstHalf)
+{
+    const assembler::Program prog = assembleOrDie(kMidPairTrap);
+
+    for (uint64_t budget = 1; budget <= 3; ++budget) {
+        Observation want;
+        bool first = true;
+        for (const DispatchMode mode :
+             {DispatchMode::Switch, DispatchMode::Threaded,
+              DispatchMode::Fused}) {
+            Cpu cpu(configWith(mode));
+            loadAndStart(cpu, prog);
+            cpu.run(budget);
+            const Observation got = observe(cpu);
+            if (first) {
+                want = got;
+                first = false;
+                continue;
+            }
+            EXPECT_EQ(got, want)
+                << "budget " << budget << ", mode "
+                << dispatchModeName(mode);
+        }
+    }
+
+    Cpu cpu(configWith(DispatchMode::Fused));
+    loadAndStart(cpu, prog);
+    cpu.run(100);
+    EXPECT_EQ(cpu.trap(), TrapKind::OperandTooWide);
+    EXPECT_EQ(cpu.instructionsRetired(), 1u);
+    EXPECT_EQ(cpu.pc(), 1u);
+    EXPECT_EQ(cpu.regs().read(2), 3u);
+}
+
+// A checkpoint taken at a mid-pair trap point must be byte-identical
+// to one written by switch dispatch at the same point, and restore
+// into any mode with the full trap state intact.
+TEST(Dispatch, CheckpointAtMidPairTrapIsModeInvariant)
+{
+    const assembler::Program prog = assembleOrDie(kMidPairTrap);
+
+    Cpu sw(configWith(DispatchMode::Switch));
+    loadAndStart(sw, prog);
+    sw.run(100);
+    const Observation want = observe(sw);
+    EXPECT_EQ(want.trap, TrapKind::OperandTooWide);
+
+    Cpu fused(configWith(DispatchMode::Fused));
+    loadAndStart(fused, prog);
+    fused.run(100);
+    EXPECT_EQ(observe(fused), want);
+
+    ckpt::Writer fusedWriter;
+    fused.saveState(fusedWriter);
+    const std::vector<uint8_t> doc = fusedWriter.seal();
+
+    ckpt::Writer swWriter;
+    sw.saveState(swWriter);
+    EXPECT_EQ(doc, swWriter.seal())
+        << "trap-point checkpoints must not depend on dispatch mode";
+
+    for (const DispatchMode mode :
+         {DispatchMode::Switch, DispatchMode::Threaded,
+          DispatchMode::Fused}) {
+        Cpu target(configWith(mode));
+        target.restoreState(ckpt::Reader(doc));
+        EXPECT_EQ(observe(target), want) << dispatchModeName(mode);
+    }
+}
+
+// FAULT between fused pairs in a hot loop: the ALU pair before it and
+// the decrement/branch pair after it both fuse, so the handler's
+// counter flush before the hook is on the hot path every iteration.
+constexpr const char *kFaultLoop = R"(
+entry:
+    li    r1, 6
+loop:
+    addi  r2, r2, 3
+    addi  r3, r3, 1
+    fault 2
+    addi  r1, r1, -1
+    bne   r1, r0, loop
+    halt
+)";
+
+// Retired at halt: li(2) + 6 * (pair(2) + fault + pair(2)) + halt.
+constexpr uint64_t kFaultLoopTotal = 2 + 6 * 5 + 1;
+
+// The hook observes flushed counters, trace bytes agree across all
+// modes, and a budget expiring anywhere — including right at a FAULT
+// or just after the hook's own host write — splits identically.
+TEST(Dispatch, FaultInsideFusedLoopFlushesCountersBeforeHook)
+{
+    const assembler::Program prog = assembleOrDie(kFaultLoop);
+
+    Observation want;
+    std::vector<std::string> wantTrace;
+    std::vector<uint64_t> wantAtHook;
+    bool first = true;
+    for (const DispatchMode mode :
+         {DispatchMode::Switch, DispatchMode::Threaded,
+          DispatchMode::Fused}) {
+        Cpu cpu(configWith(mode));
+        std::vector<std::string> trace;
+        cpu.setTraceHook([&trace](const TraceEntry &e) {
+            std::ostringstream os;
+            os << e.cycle << ':' << e.pc << ':' << e.rrm << ':'
+               << e.text;
+            trace.push_back(os.str());
+        });
+        std::vector<uint64_t> atHook;
+        cpu.setFaultHook([&atHook](Cpu &c, uint32_t fault_class) {
+            EXPECT_EQ(fault_class, 2u);
+            // The retirement counter must already include every
+            // instruction before the FAULT — fused pairs flushed.
+            atHook.push_back(c.instructionsRetired());
+            // A host write from inside the hook: journal interplay.
+            c.mem().write(0x700, static_cast<uint32_t>(atHook.size()));
+        });
+        loadAndStart(cpu, prog);
+        cpu.run(100'000);
+        EXPECT_TRUE(cpu.halted()) << dispatchModeName(mode);
+        EXPECT_EQ(cpu.faultCount(), 6u) << dispatchModeName(mode);
+        const Observation got = observe(cpu);
+        if (first) {
+            want = got;
+            wantTrace = trace;
+            wantAtHook = atHook;
+            first = false;
+            continue;
+        }
+        EXPECT_EQ(got, want) << dispatchModeName(mode);
+        EXPECT_EQ(trace, wantTrace) << dispatchModeName(mode);
+        EXPECT_EQ(atHook, wantAtHook) << dispatchModeName(mode);
+    }
+    ASSERT_EQ(wantAtHook.size(), 6u);
+
+    // Budget sweep with the host-writing hook still in place.
+    for (uint64_t budget = 1; budget <= kFaultLoopTotal + 1;
+         ++budget) {
+        Observation bwant;
+        bool bfirst = true;
+        for (const DispatchMode mode :
+             {DispatchMode::Switch, DispatchMode::Threaded,
+              DispatchMode::Fused}) {
+            Cpu cpu(configWith(mode));
+            uint64_t faults = 0;
+            cpu.setFaultHook([&faults](Cpu &c, uint32_t) {
+                ++faults;
+                c.mem().write(0x700, static_cast<uint32_t>(faults));
+            });
+            loadAndStart(cpu, prog);
+            cpu.run(budget);
+            const Observation got = observe(cpu);
+            if (bfirst) {
+                bwant = got;
+                bfirst = false;
+                continue;
+            }
+            EXPECT_EQ(got, bwant)
+                << "budget " << budget << ", mode "
+                << dispatchModeName(mode);
+        }
+    }
+}
+
+// A checkpoint written from *inside* the fault hook (pc already past
+// the FAULT, the FAULT itself not yet retired) is byte-identical
+// across modes, and every mode resumes from it to the same final
+// architectural state.
+TEST(Dispatch, CheckpointFromFaultHookIsModeInvariant)
+{
+    const assembler::Program prog = assembleOrDie(kFaultLoop);
+
+    Observation want;
+    std::vector<uint8_t> wantDoc;
+    Observation resumedWant;
+    bool first = true;
+    for (const DispatchMode mode :
+         {DispatchMode::Switch, DispatchMode::Threaded,
+          DispatchMode::Fused}) {
+        Cpu cpu(configWith(mode));
+        uint64_t faults = 0;
+        std::vector<uint8_t> doc;
+        cpu.setFaultHook([&faults, &doc](Cpu &c, uint32_t) {
+            ++faults;
+            c.mem().write(0x700, static_cast<uint32_t>(faults));
+            if (faults == 3) {
+                ckpt::Writer writer;
+                c.saveState(writer);
+                doc = writer.seal();
+            }
+        });
+        loadAndStart(cpu, prog);
+        cpu.run(100'000);
+        ASSERT_TRUE(cpu.halted()) << dispatchModeName(mode);
+        ASSERT_FALSE(doc.empty()) << dispatchModeName(mode);
+        const Observation got = observe(cpu);
+
+        // Resume from the in-hook checkpoint under this same mode,
+        // with the hook continuing its count where it left off.
+        Cpu target(configWith(mode));
+        uint64_t resumed = 3;
+        target.setFaultHook([&resumed](Cpu &c, uint32_t) {
+            ++resumed;
+            c.mem().write(0x700, static_cast<uint32_t>(resumed));
+        });
+        target.restoreState(ckpt::Reader(doc));
+        target.run(100'000);
+        ASSERT_TRUE(target.halted()) << dispatchModeName(mode);
+        EXPECT_EQ(resumed, 6u) << dispatchModeName(mode);
+        const Observation res = observe(target);
+
+        if (first) {
+            want = got;
+            wantDoc = doc;
+            resumedWant = res;
+            first = false;
+            continue;
+        }
+        EXPECT_EQ(got, want) << dispatchModeName(mode);
+        EXPECT_EQ(doc, wantDoc) << dispatchModeName(mode);
+        EXPECT_EQ(res, resumedWant) << dispatchModeName(mode);
+    }
+
+    // The resumed runs end with the same registers and memory as the
+    // uninterrupted ones (the snapshot predates the third FAULT's own
+    // retirement, so only the retire counters may differ).
+    EXPECT_EQ(resumedWant.regs, want.regs);
+    EXPECT_EQ(resumedWant.mem, want.mem);
+    EXPECT_EQ(resumedWant.pc, want.pc);
+    EXPECT_TRUE(resumedWant.halted);
 }
 
 TEST(Dispatch, ModeNamesAreStable)

@@ -83,6 +83,64 @@ TEST(BarrierKernel, UnevenSegmentCountsStillTerminate)
     EXPECT_GE(result.barriers, 12u);
 }
 
+// Regression: a thread that halts while others are blocked at the
+// barrier must not strand them. The live counter shrinks between the
+// blocked threads' poll windows, and the release check has to pick
+// the new, smaller gang size up — if it compared against the
+// original thread count the remaining threads would spin forever and
+// the run would only end at the step cap.
+TEST(BarrierKernel, GangShrinksWhenAThreadFinishesEarly)
+{
+    KernelConfig config = barrierConfig(4, 30, 6);
+    config.segmentsByThread = {2, 6, 6, 6};
+    const KernelResult result = runMachineKernel(config);
+    EXPECT_TRUE(result.halted);
+    EXPECT_EQ(result.faults, 2u + 6u + 6u + 6u);
+    EXPECT_EQ(result.workUnits, 30u * (2u + 6u + 6u + 6u));
+    // Two full-gang phases, then four phases of the surviving trio:
+    // exactly one release each, no spurious re-releases while the
+    // finished thread parks.
+    EXPECT_EQ(result.barriers, 6u);
+}
+
+TEST(BarrierKernel, LastRaiserExitingBetweenPollWindowsReleasesRest)
+{
+    // Thread 0 leaves after the first phase: the moment it
+    // decrements the live counter, the other three — already blocked
+    // and polling — form a complete gang and every later phase must
+    // release on their arrivals alone.
+    KernelConfig config = barrierConfig(4, 25, 3);
+    config.segmentsByThread = {1, 3, 3, 3};
+    const KernelResult result = runMachineKernel(config);
+    EXPECT_TRUE(result.halted);
+    EXPECT_EQ(result.faults, 1u + 3u + 3u + 3u);
+    EXPECT_EQ(result.barriers, 3u);
+}
+
+TEST(BarrierKernel, ZeroSegmentThreadNeverJoinsTheGang)
+{
+    // A thread with an empty table exits before ever faulting; the
+    // barrier accounting must treat it as finished, not pending.
+    KernelConfig config = barrierConfig(3, 30, 4);
+    config.segmentsByThread = {0, 4, 4};
+    const KernelResult result = runMachineKernel(config);
+    EXPECT_TRUE(result.halted);
+    EXPECT_EQ(result.faults, 8u);
+    EXPECT_EQ(result.workUnits, 30u * 8u);
+    EXPECT_EQ(result.barriers, 4u);
+}
+
+TEST(BarrierKernel, AllThreadsEmptyStillHaltsCleanly)
+{
+    KernelConfig config = barrierConfig(3, 30, 4);
+    config.segmentsByThread = {0, 0, 0};
+    const KernelResult result = runMachineKernel(config);
+    EXPECT_TRUE(result.halted);
+    EXPECT_EQ(result.faults, 0u);
+    EXPECT_EQ(result.barriers, 0u);
+    EXPECT_EQ(result.workUnits, 0u);
+}
+
 TEST(BarrierKernel, DeterministicGivenSeed)
 {
     KernelConfig a = barrierConfig(4, 0, 10);

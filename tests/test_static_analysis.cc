@@ -695,13 +695,14 @@ TEST(Lockset, UnlockedThreadRacesWithStableSitePair)
               std::string::npos);
 }
 
-TEST(Lockset, PostIndirectCallAccessesAreUnclassified)
+TEST(Lockset, PostIndirectCallAccessesStayClassified)
 {
     // t0 holds the lock for its first store, then makes an indirect
-    // call and stores again. The indirect callee may switch the RRM,
-    // so constant propagation (and with it access classification)
-    // stops at the JALR: the second store is neither reported clean
-    // nor racy — the documented soundness caveat (docs/LINT.md).
+    // call to a plain helper and stores again. No address-taken
+    // procedure switches the RRM, so the caller-side return edge
+    // keeps the RRM constant across the JALR and the second store
+    // stays classified — still under the lock, since the helper has
+    // no .lockdef effect the indirection could apply.
     const auto p = prog("    .thread t0\n"
                         "    .thread t1\n"
                         "    .lockdef m, lock_acquire, lock_release\n"
@@ -734,15 +735,142 @@ TEST(Lockset, PostIndirectCallAccessesAreUnclassified)
     const LocksetAnalysis lockset(cfg, cg, rrm);
 
     EXPECT_TRUE(lockset.races().empty());
+    // The helper is not a lock procedure, so no trust-contract site
+    // is reported for the JALR.
+    EXPECT_TRUE(lockset.indirectLockSites().empty());
     unsigned counted = 0;
     for (const Access &access : lockset.accesses())
         if (access.mem == 0x80) {
             ++counted;
             EXPECT_NE(access.held, 0u);
         }
-    // Only the lock-held store and load fold to a constant address;
-    // the post-JALR store drops out of classification entirely.
-    EXPECT_EQ(counted, 2u);
+    // All three accesses fold and carry the lock: both of t0's
+    // stores (the JALR no longer drops the lockset or the constant
+    // RRM) and t1's load.
+    EXPECT_EQ(counted, 3u);
+}
+
+TEST(Lockset, RrmSwitchingIndirectCalleeStopsClassification)
+{
+    // Same shape, but the address-taken helper executes LDRRM: the
+    // RRM after the JALR is genuinely unknown, so the post-call store
+    // drops out of classification — the documented caveat, now
+    // narrowed to callees that actually switch the mask.
+    const auto p = prog("    .thread t0\n"
+                        "    .lockdef m, lock_acquire, lock_release\n"
+                        "entry:\n"
+                        "    halt\n"
+                        "t0:\n"
+                        "    jal   r8, lock_acquire\n"
+                        "    li    r4, 0x80\n"
+                        "    st    r1, 0(r4)\n"
+                        "    la    r9, helper\n"
+                        "    jalr  r10, r9\n"
+                        "    li    r4, 0x80\n"
+                        "    st    r1, 0(r4)\n"
+                        "    halt\n"
+                        "helper:\n"
+                        "    ldrrm r5\n"
+                        "    nop\n"
+                        "    jmp   r10\n"
+                        "lock_acquire:\n"
+                        "    jmp   r8\n"
+                        "lock_release:\n"
+                        "    jmp   r8\n");
+    const Cfg cfg(p);
+    const CallGraph cg(cfg);
+    const RrmAnalysis rrm(cfg, {}, &cg);
+    const LocksetAnalysis lockset(cfg, cg, rrm);
+
+    unsigned counted = 0;
+    for (const Access &access : lockset.accesses())
+        if (access.mem == 0x80)
+            ++counted;
+    EXPECT_EQ(counted, 1u);
+}
+
+TEST(Lockset, LockAcquireViaJalrKeepsTheTrustContract)
+{
+    // t0 takes the mutex through `la` + `jalr`, t1 directly. The
+    // .lockdef contract must survive the indirection — no race on
+    // the counter — and the approximation must surface as an
+    // explicit indirect-lock site, never silently.
+    const auto p = prog("    .thread t0\n"
+                        "    .thread t1\n"
+                        "    .lockdef m, lock_acquire, lock_release\n"
+                        "entry:\n"
+                        "    halt\n"
+                        "t0:\n"
+                        "    la    r9, lock_acquire\n"
+                        "    jalr  r8, r9\n"
+                        "    li    r4, 0x80\n"
+                        "    st    r1, 0(r4)\n"
+                        "    jal   r8, lock_release\n"
+                        "    halt\n"
+                        "t1:\n"
+                        "    jal   r8, lock_acquire\n"
+                        "    li    r4, 0x80\n"
+                        "    ld    r1, 0(r4)\n"
+                        "    jal   r8, lock_release\n"
+                        "    halt\n"
+                        "lock_acquire:\n"
+                        "    jmp   r8\n"
+                        "lock_release:\n"
+                        "    jmp   r8\n");
+    const Cfg cfg(p);
+    const CallGraph cg(cfg);
+    const RrmAnalysis rrm(cfg, {}, &cg);
+    const LocksetAnalysis lockset(cfg, cg, rrm);
+
+    EXPECT_TRUE(lockset.races().empty());
+    ASSERT_EQ(lockset.indirectLockSites().size(), 1u);
+    const IndirectLockSite &site = lockset.indirectLockSites()[0];
+    EXPECT_EQ(site.acquires, 1u); // lock bit 0: "m"
+    EXPECT_EQ(site.releases, 0u);
+
+    // t0's store is classified *with* the lock held.
+    bool saw_store = false;
+    for (const Access &access : lockset.accesses()) {
+        if (access.mem != 0x80 || !access.write)
+            continue;
+        saw_store = true;
+        EXPECT_EQ(access.held, 1u);
+    }
+    EXPECT_TRUE(saw_store);
+}
+
+TEST(Lint, IndirectLockCallWarnsInsteadOfStayingSilent)
+{
+    const auto p = prog("    .thread t0\n"
+                        "    .lockdef m, lock_acquire, lock_release\n"
+                        "entry:\n"
+                        "    halt\n"
+                        "t0:\n"
+                        "    la    r9, lock_acquire\n"
+                        "    jalr  r8, r9\n"
+                        "    li    r4, 0x80\n"
+                        "    st    r1, 0(r4)\n"
+                        "    jal   r8, lock_release\n"
+                        "    halt\n"
+                        "lock_acquire:\n"
+                        "    jmp   r8\n"
+                        "lock_release:\n"
+                        "    jmp   r8\n");
+    LintOptions options;
+    options.interprocedural = true;
+    options.lockset = true;
+    const LintResult result = lintProgram(p, options);
+
+    EXPECT_TRUE(result.races.empty());
+    const auto findings =
+        findingsByCode(result, "lock-indirect-call");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0]->severity, Severity::Warning);
+    EXPECT_NE(findings[0]->message.find("acquires m"),
+              std::string::npos);
+    // A warning fails the lint: the approximation is never free.
+    EXPECT_FALSE(result.clean());
+    EXPECT_EQ(result.errors, 0u);
 }
 
 // ---- rr.lint.v1 document -------------------------------------------------
